@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the storage-stack kernels the experiments lean on:
+//! page-cache operations, the readahead state machine, and simulated
+//! device request streams. These bound how much simulator overhead could
+//! distort the experiment clock (it cannot — the clock is simulated — but
+//! wall-clock cost caps experiment scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernel_sim::cache::PageCache;
+use kernel_sim::readahead::RaState;
+use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use std::hint::black_box;
+
+fn bench_page_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_cache");
+    group.bench_function("hit_touch", |b| {
+        let mut cache = PageCache::new(4096);
+        for p in 0..4096 {
+            cache.insert((1, p), false);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 1) % 4096;
+            black_box(cache.touch((1, p)))
+        });
+    });
+    group.bench_function("insert_evict_cycle", |b| {
+        let mut cache = PageCache::new(1024);
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            black_box(cache.insert((1, p), false))
+        });
+    });
+    group.finish();
+}
+
+fn bench_readahead_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("readahead_state_machine");
+    group.bench_function("sequential_stream", |b| {
+        let mut ra = RaState::new(256);
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            black_box(ra.on_access(p, 1, !p.is_multiple_of(4), 1 << 30))
+        });
+    });
+    group.bench_function("random_blocks", |b| {
+        let mut ra = RaState::new(256);
+        let mut x = 7u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(ra.on_access(x % (1 << 30), 4, false, 1 << 30))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sim_read_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_read_path");
+    group.sample_size(20);
+    group.bench_function("sequential_4k_pages", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::nvme(),
+                cache_pages: 2048,
+                ..SimConfig::default()
+            });
+            let f = sim.create_file(1 << 16);
+            for p in 0..4096u64 {
+                sim.read(f, p, 1);
+            }
+            black_box(sim.now_ns())
+        });
+    });
+    group.bench_function("random_block_reads_x512", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::sata_ssd(),
+                cache_pages: 2048,
+                ..SimConfig::default()
+            });
+            let f = sim.create_file(1 << 20);
+            let mut x = 3u64;
+            for _ in 0..512 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sim.read(f, (x >> 12) % ((1 << 20) - 4), 4);
+            }
+            black_box(sim.now_ns())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_page_cache, bench_readahead_machine, bench_sim_read_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! The KML application for the scheduler: observe the request stream,
+//! classify the traffic pattern, actuate the batching window.
+//!
+//! Exactly the Figure 1 loop, at a different layer of the stack. Features
+//! are computed per window from the arrival stream (the scheduler-side
+//! equivalents of the readahead features):
+//!
+//! 1. request count,
+//! 2. mean inter-arrival gap (ns),
+//! 3. adjacency fraction — requests contiguous with the previous one by
+//!    sector order (the mergeability signal),
+//! 4. mean queue depth at submission (burstiness).
+
+use crate::scheduler::{IoRequest, IoScheduler};
+use kml_core::dataset::{Dataset, Normalizer};
+use kml_core::loss::CrossEntropyLoss;
+use kml_core::model::{Model, ModelBuilder};
+use kml_core::optimizer::Sgd;
+use kml_core::{KmlRng, Result};
+use rand::SeedableRng;
+
+/// Number of scheduler features.
+pub const NUM_SCHED_FEATURES: usize = 4;
+
+/// Streaming feature extractor over the request-arrival stream.
+#[derive(Debug, Clone, Default)]
+pub struct SchedFeatures {
+    count: u64,
+    last_arrival: Option<u64>,
+    gap_sum: u64,
+    last_end: Option<(u64, u64)>,
+    adjacent: u64,
+    depth_sum: u64,
+}
+
+impl SchedFeatures {
+    /// Creates an empty extractor.
+    pub fn new() -> Self {
+        SchedFeatures::default()
+    }
+
+    /// Folds one submitted request (with the queue depth at submission).
+    pub fn push(&mut self, req: &IoRequest, queue_depth: usize) {
+        if let Some(last) = self.last_arrival {
+            self.gap_sum += req.arrival_ns.saturating_sub(last);
+        }
+        self.last_arrival = Some(req.arrival_ns);
+        if let Some((inode, end)) = self.last_end {
+            // Local in either direction counts: the elevator will sort and
+            // merge anything within one burst span.
+            const LOCALITY_PAGES: u64 = 256;
+            if inode == req.inode && req.page.abs_diff(end) <= LOCALITY_PAGES {
+                self.adjacent += 1;
+            }
+        }
+        self.last_end = Some((req.inode, req.page + req.npages));
+        self.depth_sum += queue_depth as u64;
+        self.count += 1;
+    }
+
+    /// Requests folded into the current window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Closes the window and returns `[count, mean_gap, adjacency, depth]`.
+    pub fn roll_window(&mut self) -> [f64; NUM_SCHED_FEATURES] {
+        let n = self.count.max(1) as f64;
+        let features = [
+            self.count as f64,
+            self.gap_sum as f64 / (self.count.saturating_sub(1).max(1)) as f64,
+            self.adjacent as f64 / n,
+            self.depth_sum as f64 / n,
+        ];
+        *self = SchedFeatures {
+            last_arrival: self.last_arrival,
+            last_end: self.last_end,
+            ..SchedFeatures::default()
+        };
+        features
+    }
+}
+
+/// The trained scheduler tuner: classifier + class → batch-wait policy.
+#[derive(Debug)]
+pub struct SchedTuner {
+    model: Model<f32>,
+    /// Batch wait per class: 0 = latency-sensitive, 1 = mergeable.
+    policy_ns: [u64; 2],
+    features: SchedFeatures,
+    window_requests: u64,
+    decisions: Vec<(u64, usize, u64)>,
+}
+
+impl SchedTuner {
+    /// Requests per inference window (count-based, since the scheduler has
+    /// no global clock hook).
+    pub const WINDOW_REQUESTS: u64 = 128;
+
+    /// Trains the classifier from synthetic labeled windows of the two
+    /// traffic patterns and wraps it with the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset/training errors.
+    pub fn train(policy_ns: [u64; 2], seed: u64) -> Result<SchedTuner> {
+        let data = Self::training_windows(seed)?;
+        let mut model = ModelBuilder::new(NUM_SCHED_FEATURES)
+            .linear(10)
+            .sigmoid()
+            .linear(2)
+            .seed(seed)
+            .build::<f64>()?;
+        model.set_normalizer(Normalizer::fit(data.features())?);
+        let mut sgd = Sgd::new(0.05, 0.9);
+        let mut rng = KmlRng::seed_from_u64(seed ^ 0x10);
+        for _ in 0..200 {
+            model.train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)?;
+        }
+        // Deploy at f32 through the model file, like the readahead model.
+        let bytes = kml_core::modelfile::encode(&model)?;
+        let deployed = kml_core::modelfile::decode::<f32>(&bytes)?;
+        Ok(SchedTuner {
+            model: deployed,
+            policy_ns,
+            features: SchedFeatures::new(),
+            window_requests: 0,
+            decisions: Vec::new(),
+        })
+    }
+
+    /// Generates labeled feature windows by running both traffic patterns
+    /// against a throwaway scheduler.
+    fn training_windows(seed: u64) -> Result<Dataset> {
+        use crate::scheduler::SchedulerConfig;
+        use crate::workload::{run_sched_workload, SchedWorkload};
+        use kernel_sim::DeviceProfile;
+
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (class, workload) in [
+            SchedWorkload::DependentRandom,
+            SchedWorkload::MergeableBurst,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            for run_seed in [seed, seed + 1] {
+                let mut sched =
+                    IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+                let mut fx = SchedFeatures::new();
+                let mut in_window = 0u64;
+                run_sched_workload(&mut sched, workload, 2_048, run_seed, |s, req, _| {
+                    fx.push(req, s.queued());
+                    in_window += 1;
+                    if in_window >= Self::WINDOW_REQUESTS {
+                        rows.push(fx.roll_window().to_vec());
+                        labels.push(class);
+                        in_window = 0;
+                    }
+                });
+            }
+        }
+        Dataset::from_rows(&rows, &labels)
+    }
+
+    /// The per-request hook: folds features and, once per window, infers
+    /// and re-tunes the batching window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction failures.
+    pub fn on_request(
+        &mut self,
+        sched: &mut IoScheduler,
+        req: &IoRequest,
+        now_ns: u64,
+    ) -> Result<()> {
+        self.features.push(req, sched.queued());
+        self.window_requests += 1;
+        if self.window_requests < Self::WINDOW_REQUESTS {
+            return Ok(());
+        }
+        self.window_requests = 0;
+        let features = self.features.roll_window();
+        let class = self.model.predict(&features)?;
+        let wait = self.policy_ns[class.min(1)];
+        sched.set_batch_wait_ns(wait);
+        self.decisions.push((now_ns, class, wait));
+        Ok(())
+    }
+
+    /// The decision log `(time_ns, class, batch_wait_ns)`.
+    pub fn decisions(&self) -> &[(u64, usize, u64)] {
+        &self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+    use crate::workload::{run_sched_workload, SchedWorkload, SchedWorkloadReport};
+    use kernel_sim::DeviceProfile;
+
+    #[test]
+    fn features_separate_the_two_patterns() {
+        let collect = |workload| {
+            let mut sched =
+                IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+            let mut fx = SchedFeatures::new();
+            let mut windows: Vec<[f64; 4]> = Vec::new();
+            run_sched_workload(&mut sched, workload, 1_024, 3, |s, req, _| {
+                fx.push(req, s.queued());
+                if fx.count() >= 128 {
+                    windows.push(fx.roll_window());
+                }
+            });
+            windows
+        };
+        let random = collect(SchedWorkload::DependentRandom);
+        let burst = collect(SchedWorkload::MergeableBurst);
+        assert!(!random.is_empty() && !burst.is_empty());
+        let adj = |ws: &[[f64; 4]]| ws.iter().map(|w| w[2]).sum::<f64>() / ws.len() as f64;
+        let depth = |ws: &[[f64; 4]]| ws.iter().map(|w| w[3]).sum::<f64>() / ws.len() as f64;
+        assert!(
+            adj(&burst) > adj(&random) + 0.2,
+            "adjacency: burst {:.2} vs random {:.2}",
+            adj(&burst),
+            adj(&random)
+        );
+        assert!(depth(&burst) > depth(&random));
+    }
+
+    fn tuned_run(workload: SchedWorkload) -> SchedWorkloadReport {
+        let mut sched =
+            IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+        let mut tuner = SchedTuner::train([0, 150_000], 5).expect("training succeeds");
+        run_sched_workload(&mut sched, workload, 4_096, 11, |s, req, now| {
+            tuner.on_request(s, req, now).expect("tuner survives");
+        })
+    }
+
+    fn static_run(workload: SchedWorkload, wait: u64) -> SchedWorkloadReport {
+        let mut sched = IoScheduler::new(
+            DeviceProfile::sata_ssd(),
+            SchedulerConfig {
+                batch_wait_ns: wait,
+                max_batch: 256,
+            },
+        );
+        run_sched_workload(&mut sched, workload, 4_096, 11, |_, _, _| {})
+    }
+
+    #[test]
+    fn tuned_scheduler_tracks_the_best_static_config_per_pattern() {
+        for workload in [SchedWorkload::DependentRandom, SchedWorkload::MergeableBurst] {
+            let tuned = tuned_run(workload);
+            let best_static = [0u64, 150_000]
+                .into_iter()
+                .map(|w| static_run(workload, w).requests_per_sec)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                tuned.requests_per_sec > 0.85 * best_static,
+                "{workload}: tuned {:.0} vs best static {:.0}",
+                tuned.requests_per_sec,
+                best_static
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_scheduler_beats_both_static_configs_on_phased_traffic() {
+        // The adaptive story: when the pattern alternates, neither static
+        // setting can win both phases.
+        let tuned = tuned_run(SchedWorkload::Phased);
+        let eager = static_run(SchedWorkload::Phased, 0);
+        let patient = static_run(SchedWorkload::Phased, 150_000);
+        assert!(
+            tuned.requests_per_sec >= eager.requests_per_sec.min(patient.requests_per_sec),
+            "tuned {:.0} vs eager {:.0} / patient {:.0}",
+            tuned.requests_per_sec,
+            eager.requests_per_sec,
+            patient.requests_per_sec
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! LRU page cache with dirty tracking and prefetch accounting.
+//!
+//! Models the part of the Linux memory-management subsystem the readahead
+//! model observes and perturbs: pages enter via demand reads or readahead
+//! (`add_to_page_cache` tracepoint territory), are recycled in LRU order,
+//! dirty pages require writeback before reclaim, and pages brought in by
+//! readahead that get evicted untouched are counted as **wasted prefetch**
+//! — the quantity bad readahead tuning inflates.
+
+use std::collections::HashMap;
+
+/// Key of a cached page: (inode number, page index within the file).
+pub type PageKey = (u64, u64);
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: PageKey,
+    prev: usize,
+    next: usize,
+    dirty: bool,
+    /// Brought in by readahead and not yet referenced by a real access.
+    speculative: bool,
+}
+
+/// Cumulative page-cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the page.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Pages inserted.
+    pub insertions: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Evicted pages that readahead fetched but nothing ever used.
+    pub wasted_prefetch: u64,
+    /// Dirty pages flushed.
+    pub writebacks: u64,
+}
+
+/// A fixed-capacity LRU page cache.
+///
+/// # Example
+///
+/// ```
+/// use kernel_sim::cache::PageCache;
+///
+/// let mut c = PageCache::new(2);
+/// c.insert((1, 0), false);
+/// c.insert((1, 1), false);
+/// assert!(c.touch((1, 0))); // hit, moves to MRU
+/// c.insert((1, 2), false);  // evicts (1,1), the LRU
+/// assert!(!c.touch((1, 1)));
+/// assert!(c.touch((1, 0)));
+/// ```
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    map: HashMap<PageKey, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most recently used entry.
+    head: usize,
+    /// Least recently used entry.
+    tail: usize,
+    dirty_count: usize,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Creates a cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "page cache capacity must be positive");
+        PageCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            dirty_count: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Dirty pages currently resident.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Whether the page is resident (does not update LRU or stats).
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Looks up a page as a real access: on hit, promotes it to MRU, clears
+    /// its speculative flag, counts a hit, and returns true; on miss, counts
+    /// a miss and returns false.
+    pub fn touch(&mut self, key: PageKey) -> bool {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.link_front(idx);
+                self.entries[idx].speculative = false;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts a page (idempotent: re-inserting promotes and merges flags).
+    /// `speculative` marks readahead-fetched pages. Returns the pages that
+    /// were evicted (with their dirty flags) to make room — the caller is
+    /// responsible for writing dirty victims back to the device.
+    pub fn insert(&mut self, key: PageKey, speculative: bool) -> Vec<(PageKey, bool)> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.link_front(idx);
+            // A demand insert over a speculative page de-speculates it.
+            if !speculative {
+                self.entries[idx].speculative = false;
+            }
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.map.len() >= self.capacity {
+            if let Some(victim) = self.evict_lru() {
+                evicted.push(victim);
+            } else {
+                break;
+            }
+        }
+        let entry = Entry {
+            key,
+            prev: NIL,
+            next: NIL,
+            dirty: false,
+            speculative,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i] = entry;
+                i
+            }
+            None => {
+                self.entries.push(entry);
+                self.entries.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.link_front(idx);
+        self.stats.insertions += 1;
+        evicted
+    }
+
+    /// Marks a resident page dirty; returns false if the page is absent.
+    pub fn mark_dirty(&mut self, key: PageKey) -> bool {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                if !self.entries[idx].dirty {
+                    self.entries[idx].dirty = true;
+                    self.dirty_count += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flushes up to `max` dirty pages in LRU order, clearing their dirty
+    /// bits; returns their keys (the caller charges device write time and
+    /// fires `writeback_dirty_page` tracepoints).
+    pub fn writeback(&mut self, max: usize) -> Vec<PageKey> {
+        let mut flushed = Vec::new();
+        let mut idx = self.tail;
+        while idx != NIL && flushed.len() < max {
+            if self.entries[idx].dirty {
+                self.entries[idx].dirty = false;
+                self.dirty_count -= 1;
+                self.stats.writebacks += 1;
+                flushed.push(self.entries[idx].key);
+            }
+            idx = self.entries[idx].prev;
+        }
+        flushed
+    }
+
+    /// Removes one specific page (the `DontNeed` path); returns whether the
+    /// page was dirty (the caller must write it back). No-op when absent.
+    pub fn forget(&mut self, key: PageKey) -> bool {
+        let Some(&idx) = self.map.get(&key) else {
+            return false;
+        };
+        let dirty = self.entries[idx].dirty;
+        if dirty {
+            self.dirty_count -= 1;
+        }
+        self.unlink(idx);
+        self.map.remove(&key);
+        self.free.push(idx);
+        dirty
+    }
+
+    /// Drops every page (the benchmark-between-runs `drop_caches`).
+    /// Dirty pages are silently discarded — callers flush first if the data
+    /// matters (mirrors `echo 3 > drop_caches` after `sync`).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.dirty_count = 0;
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Hit ratio over all lookups so far (0 when there were none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.stats.hits + self.stats.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / total as f64
+        }
+    }
+
+    fn evict_lru(&mut self) -> Option<(PageKey, bool)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.entries[idx].key;
+        let dirty = self.entries[idx].dirty;
+        if dirty {
+            self.dirty_count -= 1;
+        }
+        if self.entries[idx].speculative {
+            self.stats.wasted_prefetch += 1;
+        }
+        self.unlink(idx);
+        self.map.remove(&key);
+        self.free.push(idx);
+        self.stats.evictions += 1;
+        Some((key, dirty))
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev != NIL {
+            self.entries[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.entries[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = NIL;
+    }
+
+    fn link_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = PageCache::new(3);
+        c.insert((1, 0), false);
+        c.insert((1, 1), false);
+        c.insert((1, 2), false);
+        c.touch((1, 0)); // 0 becomes MRU; LRU order now 1, 2, 0
+        let ev = c.insert((1, 3), false);
+        assert_eq!(ev, vec![((1, 1), false)]);
+        let ev = c.insert((1, 4), false);
+        assert_eq!(ev, vec![((1, 2), false)]);
+        assert!(c.contains((1, 0)));
+    }
+
+    #[test]
+    fn reinsert_promotes_instead_of_duplicating() {
+        let mut c = PageCache::new(2);
+        c.insert((1, 0), false);
+        c.insert((1, 1), false);
+        c.insert((1, 0), false); // promote, no eviction
+        assert_eq!(c.len(), 2);
+        let ev = c.insert((1, 2), false);
+        assert_eq!(ev, vec![((1, 1), false)]); // 1 was LRU after promotion
+    }
+
+    #[test]
+    fn dirty_pages_reported_on_eviction() {
+        let mut c = PageCache::new(2);
+        c.insert((1, 0), false);
+        c.mark_dirty((1, 0));
+        c.insert((1, 1), false);
+        let ev = c.insert((1, 2), false);
+        assert_eq!(ev, vec![((1, 0), true)]);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn writeback_flushes_lru_first_and_clears_dirty() {
+        let mut c = PageCache::new(4);
+        for i in 0..4 {
+            c.insert((1, i), false);
+            c.mark_dirty((1, i));
+        }
+        assert_eq!(c.dirty_count(), 4);
+        let flushed = c.writeback(2);
+        assert_eq!(flushed, vec![(1, 0), (1, 1)]); // LRU end first
+        assert_eq!(c.dirty_count(), 2);
+        assert_eq!(c.stats().writebacks, 2);
+    }
+
+    #[test]
+    fn wasted_prefetch_accounting() {
+        let mut c = PageCache::new(2);
+        c.insert((1, 0), true); // speculative, never touched
+        c.insert((1, 1), true);
+        c.touch((1, 1)); // used: de-speculated
+        c.insert((1, 2), false); // evicts (1,0) → wasted
+        c.insert((1, 3), false); // evicts (1,1) → NOT wasted
+        assert_eq!(c.stats().wasted_prefetch, 1);
+    }
+
+    #[test]
+    fn touch_counts_hits_and_misses() {
+        let mut c = PageCache::new(2);
+        assert!(!c.touch((9, 9)));
+        c.insert((9, 9), false);
+        assert!(c.touch((9, 9)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = PageCache::new(4);
+        for i in 0..4 {
+            c.insert((1, i), false);
+            c.mark_dirty((1, i));
+        }
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.dirty_count(), 0);
+        assert!(!c.touch((1, 0)));
+    }
+
+    #[test]
+    fn forget_removes_and_reports_dirty() {
+        let mut c = PageCache::new(4);
+        c.insert((1, 0), false);
+        c.insert((1, 1), false);
+        c.mark_dirty((1, 1));
+        assert!(!c.forget((1, 0))); // clean
+        assert!(c.forget((1, 1))); // dirty
+        assert!(!c.forget((1, 2))); // absent
+        assert!(c.is_empty());
+        assert_eq!(c.dirty_count(), 0);
+        // Slots are recycled.
+        c.insert((1, 3), false);
+        assert!(c.touch((1, 3)));
+    }
+
+    #[test]
+    fn mark_dirty_absent_page_is_false() {
+        let mut c = PageCache::new(2);
+        assert!(!c.mark_dirty((1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = PageCache::new(0);
+    }
+
+    proptest! {
+        /// The cache never exceeds capacity and stays internally consistent
+        /// under arbitrary operation sequences.
+        #[test]
+        fn prop_capacity_invariant(ops in proptest::collection::vec((0u8..4, 0u64..20), 1..300)) {
+            let mut c = PageCache::new(8);
+            for (op, page) in ops {
+                match op {
+                    0 => { c.insert((1, page), false); }
+                    1 => { c.insert((1, page), true); }
+                    2 => { c.touch((1, page)); }
+                    _ => { c.mark_dirty((1, page)); }
+                }
+                prop_assert!(c.len() <= 8);
+                prop_assert!(c.dirty_count() <= c.len());
+            }
+            // Every mapped page must be reachable by a touch.
+            let resident: Vec<PageKey> = (0..20).map(|p| (1u64, p))
+                .filter(|k| c.contains(*k)).collect();
+            for k in resident {
+                prop_assert!(c.touch(k));
+            }
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The assembled storage-stack simulator.
+//!
+//! [`Sim`] wires the page cache, readahead state machines, block device, and
+//! tracepoints into the closed loop of the paper's Figure 1: workloads call
+//! [`Sim::read`]/[`Sim::write`]; misses run the readahead heuristic and
+//! charge device time; inserted pages fire `add_to_page_cache`; dirty
+//! pages written back fire `writeback_dirty_page`; and the KML application
+//! retunes [`Sim::set_ra_kb`] based on what it observes — which changes
+//! every subsequent cost.
+//!
+//! Time is a simulated nanosecond clock advanced by each operation, so
+//! throughput = ops / simulated seconds is deterministic.
+
+use crate::cache::{CacheStats, PageCache};
+use crate::device::{BlockDevice, DeviceProfile, DeviceStats};
+use crate::readahead::{RaAction, RaState};
+use crate::trace::{TraceKind, TraceRecord, TraceSink};
+use crate::ra_kb_to_pages;
+use kml_collect::ringbuf::Producer;
+
+/// Handle to a simulated file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(usize);
+
+/// `posix_fadvise`/`madvise`-style access hints (see [`Sim::fadvise`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Expect sequential access: double the readahead window.
+    Sequential,
+    /// Expect random access: disable readahead (one page).
+    Random,
+    /// No special pattern: restore the default window.
+    Normal,
+    /// Prefetch this range now.
+    WillNeed {
+        /// First page of the range.
+        page: u64,
+        /// Pages in the range.
+        npages: u64,
+    },
+    /// Drop this range from the cache (flushing dirty pages).
+    DontNeed {
+        /// First page of the range.
+        page: u64,
+        /// Pages in the range.
+        npages: u64,
+    },
+}
+
+#[derive(Debug)]
+struct FileState {
+    inode: u64,
+    pages: u64,
+    ra: RaState,
+}
+
+/// Configuration of a simulation instance.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Block-device timing model.
+    pub device: DeviceProfile,
+    /// Page-cache capacity in 4 KiB pages.
+    pub cache_pages: usize,
+    /// Default per-file readahead in KiB (Linux ships 128).
+    pub default_ra_kb: u32,
+    /// Cost of serving one page from the cache, ns.
+    pub cache_hit_ns: u64,
+    /// Dirty fraction of the cache that triggers writeback.
+    pub dirty_threshold: f64,
+    /// Pages flushed per writeback round.
+    pub writeback_batch: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 16_384, // 64 MiB
+            default_ra_kb: 128,
+            cache_hit_ns: 400,
+            dirty_threshold: 0.25,
+            writeback_batch: 64,
+        }
+    }
+}
+
+/// Aggregated statistics of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Page-cache counters.
+    pub cache: CacheStats,
+    /// Device counters.
+    pub device: DeviceStats,
+    /// Logical read requests served.
+    pub logical_reads: u64,
+    /// Logical write requests served.
+    pub logical_writes: u64,
+}
+
+/// The simulated storage stack.
+#[derive(Debug)]
+pub struct Sim {
+    cfg: SimConfig,
+    clock_ns: u64,
+    cache: PageCache,
+    device: BlockDevice,
+    files: Vec<FileState>,
+    trace: TraceSink,
+    next_inode: u64,
+    logical_reads: u64,
+    logical_writes: u64,
+}
+
+impl Sim {
+    /// Creates a simulator from the configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            cfg,
+            clock_ns: 0,
+            cache: PageCache::new(cfg.cache_pages),
+            device: BlockDevice::new(cfg.device),
+            files: Vec::new(),
+            trace: TraceSink::disabled(),
+            next_inode: 1,
+            logical_reads: 0,
+            logical_writes: 0,
+        }
+    }
+
+    /// Attaches a KML ring-buffer producer that will receive tracepoint
+    /// records (the paper's data-collection hooks).
+    pub fn attach_trace(&mut self, producer: Producer<TraceRecord>) {
+        self.trace = TraceSink::new(producer);
+    }
+
+    /// Creates a file of `pages` 4 KiB pages; returns its handle.
+    pub fn create_file(&mut self, pages: u64) -> FileId {
+        let inode = self.next_inode;
+        self.next_inode += 1;
+        self.files.push(FileState {
+            inode,
+            pages,
+            ra: RaState::new(ra_kb_to_pages(self.cfg.default_ra_kb)),
+        });
+        FileId(self.files.len() - 1)
+    }
+
+    /// Size of a file in pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn file_pages(&self, f: FileId) -> u64 {
+        self.files[f.0].pages
+    }
+
+    /// Inode number of a file (matches tracepoint records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn file_inode(&self, f: FileId) -> u64 {
+        self.files[f.0].inode
+    }
+
+    /// Current simulated time, ns since start.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns
+    }
+
+    /// Advances the clock by pure compute time (workload think time).
+    pub fn advance(&mut self, ns: u64) {
+        self.clock_ns += ns;
+    }
+
+    /// Sets one file's readahead limit in KiB (`ra_pages` in struct file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn set_file_ra_kb(&mut self, f: FileId, kb: u32) {
+        self.files[f.0].ra.set_ra_pages(ra_kb_to_pages(kb));
+    }
+
+    /// Sets every file's readahead limit (the block-device ioctl analogue).
+    pub fn set_ra_kb(&mut self, kb: u32) {
+        let pages = ra_kb_to_pages(kb);
+        for file in &mut self.files {
+            file.ra.set_ra_pages(pages);
+        }
+    }
+
+    /// Current readahead limit of a file, in KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn file_ra_kb(&self, f: FileId) -> u32 {
+        (self.files[f.0].ra.ra_pages() * crate::PAGE_SIZE / 1024) as u32
+    }
+
+    /// Applies a `posix_fadvise`/`madvise`-style hint to a file — the manual
+    /// tuning interface the paper's KML replaces ("hints that users can
+    /// provide through system calls such as fadvise and madvise"):
+    ///
+    /// - [`Advice::Sequential`] doubles the file's readahead limit (as
+    ///   `POSIX_FADV_SEQUENTIAL` does in Linux).
+    /// - [`Advice::Random`] collapses it to a single page (readahead off).
+    /// - [`Advice::Normal`] restores the device default.
+    /// - [`Advice::WillNeed`] prefetches the given range immediately.
+    /// - [`Advice::DontNeed`] drops the range's clean pages from the cache.
+    ///
+    /// Returns the cost in ns (nonzero only for `WillNeed`/`DontNeed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn fadvise(&mut self, f: FileId, advice: Advice) -> u64 {
+        let default_pages = ra_kb_to_pages(self.cfg.default_ra_kb);
+        let mut cost = 0;
+        match advice {
+            Advice::Sequential => {
+                let cur = self.files[f.0].ra.ra_pages();
+                self.files[f.0].ra.set_ra_pages(cur * 2);
+            }
+            Advice::Random => self.files[f.0].ra.set_ra_pages(1),
+            Advice::Normal => self.files[f.0].ra.set_ra_pages(default_pages),
+            Advice::WillNeed { page, npages } => {
+                let end = (page + npages).min(self.files[f.0].pages);
+                if end > page {
+                    cost = self.fetch(f, page, end - page, u64::MAX);
+                }
+            }
+            Advice::DontNeed { page, npages } => {
+                let inode = self.files[f.0].inode;
+                let end = (page + npages).min(self.files[f.0].pages);
+                // Flush dirty pages in range first, then forget them.
+                let mut dirty_in_range = Vec::new();
+                for p in page..end {
+                    if self.cache.contains((inode, p)) && self.cache.forget((inode, p)) {
+                        dirty_in_range.push((inode, p));
+                    }
+                }
+                cost = self.charge_runs(&dirty_in_range, false);
+                for &(ino, p) in &dirty_in_range {
+                    self.emit(TraceKind::WritebackDirtyPage, ino, p);
+                }
+            }
+        }
+        self.clock_ns += cost;
+        cost
+    }
+
+    /// Reads `npages` starting at `page`; returns the operation's cost in ns
+    /// (the clock advances by the same amount). Reads past EOF are clamped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn read(&mut self, f: FileId, page: u64, npages: u64) -> u64 {
+        let file_pages = self.files[f.0].pages;
+        let end = (page + npages).min(file_pages);
+        let mut cost = 0;
+        self.logical_reads += 1;
+        for p in page..end {
+            let inode = self.files[f.0].inode;
+            // touch() counts the hit/miss and promotes on hit.
+            let cached = self.cache.touch((inode, p));
+            let action = self.files[f.0].ra.on_access(p, npages, cached, file_pages);
+            match action {
+                RaAction::None => {}
+                RaAction::Sync { start, len } | RaAction::Async { start, len } => {
+                    cost += self.fetch(f, start, len, p);
+                }
+            }
+            // Safety net: if readahead declined (EOF edge) the page still
+            // needs a single-page demand fetch.
+            if !cached && !self.cache.contains((inode, p)) {
+                cost += self.fetch(f, p, 1, p);
+            }
+            cost += self.cfg.cache_hit_ns;
+        }
+        self.clock_ns += cost;
+        cost
+    }
+
+    /// A page-fault-driven access, as an `mmap`ed file generates (paper §5:
+    /// KML "also intercepts mmap-based file accesses"): the fault touches
+    /// exactly one page, so the readahead heuristic sees `req_len == 1`
+    /// regardless of how much the application will eventually read.
+    /// Returns the fault's cost in ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn mmap_read(&mut self, f: FileId, page: u64) -> u64 {
+        self.read(f, page, 1)
+    }
+
+    /// Writes `npages` starting at `page` (full-page buffered writes:
+    /// no read-modify-write); returns the cost in ns. May trigger
+    /// threshold writeback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not a handle from this simulator.
+    pub fn write(&mut self, f: FileId, page: u64, npages: u64) -> u64 {
+        let inode = self.files[f.0].inode;
+        let file_pages = self.files[f.0].pages;
+        let end = (page + npages).min(file_pages);
+        let mut cost = 0;
+        self.logical_writes += 1;
+        for p in page..end {
+            let was_cached = self.cache.contains((inode, p));
+            // insert() promotes existing pages and evicts for new ones.
+            let evicted = self.cache.insert((inode, p), false);
+            cost += self.flush_victims(&evicted);
+            if !was_cached {
+                self.emit(TraceKind::AddToPageCache, inode, p);
+            }
+            self.cache.mark_dirty((inode, p));
+            cost += self.cfg.cache_hit_ns;
+        }
+        // Threshold writeback, like the flusher threads kicking in.
+        let threshold = (self.cfg.dirty_threshold * self.cfg.cache_pages as f64) as usize;
+        if self.cache.dirty_count() > threshold {
+            let flushed = self.cache.writeback(self.cfg.writeback_batch);
+            cost += self.charge_runs(&flushed, false);
+            for &(ino, p) in &flushed {
+                self.emit(TraceKind::WritebackDirtyPage, ino, p);
+            }
+        }
+        self.clock_ns += cost;
+        cost
+    }
+
+    /// Flushes every dirty page to the device (`fsync`-ish; SSTable builds
+    /// call this so table data reaches the device before being read back).
+    pub fn sync(&mut self) {
+        let flushed = self.cache.writeback(usize::MAX);
+        let cost = self.charge_runs(&flushed, false);
+        for &(ino, p) in &flushed {
+            self.emit(TraceKind::WritebackDirtyPage, ino, p);
+        }
+        self.clock_ns += cost;
+    }
+
+    /// Drops the whole page cache (the paper clears caches between runs).
+    /// Dirty pages are flushed first (`sync; echo 3 > drop_caches`).
+    pub fn drop_caches(&mut self) {
+        let flushed = self.cache.writeback(usize::MAX);
+        let cost = self.charge_runs(&flushed, false);
+        self.clock_ns += cost;
+        self.cache.clear();
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cache: self.cache.stats(),
+            device: self.device.stats(),
+            logical_reads: self.logical_reads,
+            logical_writes: self.logical_writes,
+        }
+    }
+
+    /// Resets statistics (not contents, not the clock).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+        self.device.reset();
+        self.logical_reads = 0;
+        self.logical_writes = 0;
+    }
+
+    /// Fetches the uncached pages of `[start, start+len)` from the device,
+    /// inserting them into the cache. `demand` is the page the application
+    /// actually asked for (inserted non-speculative).
+    fn fetch(&mut self, f: FileId, start: u64, len: u64, demand: u64) -> u64 {
+        let inode = self.files[f.0].inode;
+        let file_pages = self.files[f.0].pages;
+        let end = (start + len).min(file_pages);
+        let mut cost = 0;
+        // Group uncached pages into contiguous runs: each run is one
+        // device request (bigger readahead ⇒ fewer, larger requests).
+        let mut run_start: Option<u64> = None;
+        let mut run_len = 0;
+        for p in start..=end {
+            let uncached = p < end && !self.cache.contains((inode, p));
+            if uncached {
+                if run_start.is_none() {
+                    run_start = Some(p);
+                    run_len = 0;
+                }
+                run_len += 1;
+            } else if let Some(rs) = run_start.take() {
+                cost += self.device.read(inode, rs, run_len);
+                for q in rs..rs + run_len {
+                    let evicted = self.cache.insert((inode, q), q != demand);
+                    cost += self.flush_victims(&evicted);
+                    self.emit(TraceKind::AddToPageCache, inode, q);
+                }
+                run_len = 0;
+            }
+        }
+        cost
+    }
+
+    /// Writes dirty eviction victims back to the device.
+    fn flush_victims(&mut self, victims: &[((u64, u64), bool)]) -> u64 {
+        let dirty: Vec<(u64, u64)> = victims
+            .iter()
+            .filter(|(_, dirty)| *dirty)
+            .map(|(k, _)| *k)
+            .collect();
+        let cost = self.charge_runs(&dirty, true);
+        for &(ino, p) in &dirty {
+            self.emit(TraceKind::WritebackDirtyPage, ino, p);
+        }
+        cost
+    }
+
+    /// Charges device write time for a set of pages, merging contiguous
+    /// same-inode pages into single requests.
+    fn charge_runs(&mut self, pages: &[(u64, u64)], _eviction: bool) -> u64 {
+        if pages.is_empty() {
+            return 0;
+        }
+        let mut sorted = pages.to_vec();
+        sorted.sort_unstable();
+        let mut cost = 0;
+        let (mut run_inode, mut run_start) = sorted[0];
+        let mut run_len = 1;
+        for &(ino, p) in &sorted[1..] {
+            if ino == run_inode && p == run_start + run_len {
+                run_len += 1;
+            } else {
+                cost += self.device.write(run_inode, run_start, run_len);
+                run_inode = ino;
+                run_start = p;
+                run_len = 1;
+            }
+        }
+        cost += self.device.write(run_inode, run_start, run_len);
+        cost
+    }
+
+    fn emit(&mut self, kind: TraceKind, inode: u64, page_offset: u64) {
+        let time_ns = self.clock_ns;
+        self.trace.emit(TraceRecord {
+            kind,
+            inode,
+            page_offset,
+            time_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kml_collect::RingBuffer;
+
+    fn small_sim(device: DeviceProfile) -> Sim {
+        Sim::new(SimConfig {
+            device,
+            cache_pages: 256,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn warm_reads_cost_cache_hits_only() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let f = sim.create_file(128);
+        sim.read(f, 0, 64);
+        let warm = sim.read(f, 0, 64);
+        assert_eq!(warm, 64 * sim.cfg.cache_hit_ns);
+    }
+
+    #[test]
+    fn sequential_read_batches_device_requests() {
+        let mut sim = small_sim(DeviceProfile::sata_ssd());
+        let f = sim.create_file(4096);
+        for chunk in 0..32 {
+            sim.read(f, chunk * 8, 8); // a 32 KiB-block sequential scan
+        }
+        let stats = sim.stats();
+        // 256 pages read but far fewer device requests thanks to readahead.
+        assert!(stats.device.pages_read >= 256);
+        assert!(
+            stats.device.read_requests < 32,
+            "requests: {}",
+            stats.device.read_requests
+        );
+    }
+
+    #[test]
+    fn larger_readahead_speeds_sequential_scans() {
+        let mut costs = Vec::new();
+        for ra in [8u32, 128, 1024] {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::sata_ssd(),
+                cache_pages: 8192,
+                default_ra_kb: ra,
+                ..SimConfig::default()
+            });
+            let f = sim.create_file(4096);
+            let mut cost = 0;
+            for page in 0..4096 {
+                cost += sim.read(f, page, 1);
+            }
+            costs.push(cost);
+        }
+        assert!(
+            costs[0] > costs[1] && costs[1] > costs[2],
+            "sequential scan costs should fall with readahead: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn smaller_readahead_speeds_random_block_reads() {
+        let mut costs = Vec::new();
+        for ra in [16u32, 128, 1024] {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::sata_ssd(),
+                cache_pages: 1024,
+                default_ra_kb: ra,
+                ..SimConfig::default()
+            });
+            let f = sim.create_file(1 << 20); // 4 GiB: cache can't help
+            let mut cost = 0;
+            let mut x = 12345u64;
+            for _ in 0..500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let block = (x >> 20) % ((1 << 20) / 4);
+                cost += sim.read(f, block * 4, 4); // 16 KiB block read
+            }
+            costs.push(cost);
+        }
+        assert!(
+            costs[0] < costs[1] && costs[1] < costs[2],
+            "random block reads should slow down with readahead: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn wasted_prefetch_visible_under_oversized_readahead() {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 512,
+            default_ra_kb: 1024,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(1 << 18);
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sim.read(f, (x >> 16) % (1 << 18), 1);
+        }
+        assert!(
+            sim.stats().cache.wasted_prefetch > 1000,
+            "wasted: {}",
+            sim.stats().cache.wasted_prefetch
+        );
+    }
+
+    #[test]
+    fn writes_dirty_pages_and_threshold_writeback_fires() {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 64,
+            dirty_threshold: 0.25,
+            writeback_batch: 8,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(4096);
+        for p in 0..40 {
+            sim.write(f, p, 1);
+        }
+        let stats = sim.stats();
+        assert!(stats.cache.writebacks > 0, "no writeback happened");
+        assert!(stats.device.pages_written > 0);
+    }
+
+    #[test]
+    fn dirty_eviction_charges_device_write() {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 16,
+            dirty_threshold: 0.99, // keep threshold writeback out of the way
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(4096);
+        for p in 0..16 {
+            sim.write(f, p, 1);
+        }
+        // Reading far away evicts the dirty pages.
+        sim.read(f, 2000, 16);
+        assert!(sim.stats().device.pages_written > 0);
+    }
+
+    #[test]
+    fn drop_caches_forces_cold_reads() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let f = sim.create_file(64);
+        sim.read(f, 0, 32);
+        sim.drop_caches();
+        let before = sim.stats().device.pages_read;
+        sim.read(f, 0, 32);
+        assert!(sim.stats().device.pages_read > before);
+    }
+
+    #[test]
+    fn tracepoints_record_inode_offset_time() {
+        let (p, mut c) = RingBuffer::with_capacity(4096).split();
+        let mut sim = small_sim(DeviceProfile::nvme());
+        sim.attach_trace(p);
+        let f = sim.create_file(128);
+        let inode = sim.file_inode(f);
+        sim.read(f, 0, 8);
+        sim.write(f, 100, 1);
+        let records: Vec<TraceRecord> = c.drain().collect();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.inode == inode));
+        assert!(records.iter().any(|r| r.kind == TraceKind::AddToPageCache));
+        // Timestamps are monotone non-decreasing.
+        assert!(records.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    #[test]
+    fn set_ra_kb_changes_file_limits() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let a = sim.create_file(64);
+        let b = sim.create_file(64);
+        sim.set_file_ra_kb(a, 8);
+        assert_eq!(sim.file_ra_kb(a), 8);
+        assert_eq!(sim.file_ra_kb(b), 128);
+        sim.set_ra_kb(512);
+        assert_eq!(sim.file_ra_kb(a), 512);
+        assert_eq!(sim.file_ra_kb(b), 512);
+    }
+
+    #[test]
+    fn reads_past_eof_are_clamped() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let f = sim.create_file(10);
+        let cost = sim.read(f, 8, 10); // only pages 8, 9 exist
+        assert!(cost > 0);
+        let stats = sim.stats();
+        assert!(stats.device.pages_read <= 10);
+    }
+
+    #[test]
+    fn clock_advances_with_every_operation() {
+        let mut sim = small_sim(DeviceProfile::sata_ssd());
+        let f = sim.create_file(128);
+        let t0 = sim.now_ns();
+        sim.read(f, 0, 8);
+        let t1 = sim.now_ns();
+        assert!(t1 > t0);
+        sim.advance(1_000_000);
+        assert_eq!(sim.now_ns(), t1 + 1_000_000);
+    }
+
+    #[test]
+    fn mmap_faults_drive_readahead_like_single_page_reads() {
+        let mut sim = small_sim(DeviceProfile::sata_ssd());
+        let f = sim.create_file(4096);
+        // Sequential faulting builds a readahead stream: far fewer device
+        // requests than pages touched.
+        for p in 0..512 {
+            sim.mmap_read(f, p);
+        }
+        let stats = sim.stats();
+        assert!(stats.device.pages_read >= 512);
+        assert!(
+            stats.device.read_requests < 64,
+            "requests: {}",
+            stats.device.read_requests
+        );
+        // Faults fire tracepoints like any other access path.
+        assert!(stats.cache.insertions >= 512);
+    }
+
+    #[test]
+    fn fadvise_sequential_and_random_retune_windows() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let f = sim.create_file(1 << 16);
+        assert_eq!(sim.file_ra_kb(f), 128);
+        sim.fadvise(f, Advice::Sequential);
+        assert_eq!(sim.file_ra_kb(f), 256);
+        sim.fadvise(f, Advice::Random);
+        assert_eq!(sim.file_ra_kb(f), 4); // one page
+        sim.fadvise(f, Advice::Normal);
+        assert_eq!(sim.file_ra_kb(f), 128);
+    }
+
+    #[test]
+    fn fadvise_willneed_prefetches_range() {
+        let mut sim = small_sim(DeviceProfile::sata_ssd());
+        let f = sim.create_file(256);
+        let cost = sim.fadvise(f, Advice::WillNeed { page: 0, npages: 64 });
+        assert!(cost > 0);
+        // A subsequent read is all cache hits.
+        let warm = sim.read(f, 0, 64);
+        assert_eq!(warm, 64 * sim.cfg.cache_hit_ns);
+    }
+
+    #[test]
+    fn fadvise_dontneed_drops_and_flushes() {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 256,
+            dirty_threshold: 0.99,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(256);
+        sim.read(f, 0, 16);
+        sim.write(f, 0, 4); // dirty the head of the range
+        let before_writes = sim.stats().device.pages_written;
+        let cost = sim.fadvise(f, Advice::DontNeed { page: 0, npages: 16 });
+        assert!(cost > 0, "dirty flush must cost device time");
+        assert!(sim.stats().device.pages_written > before_writes);
+        // The range is cold again.
+        let before_reads = sim.stats().device.pages_read;
+        sim.read(f, 0, 4);
+        assert!(sim.stats().device.pages_read > before_reads);
+    }
+
+    #[test]
+    fn fadvise_random_beats_default_for_random_block_reads() {
+        // The manual-hint baseline the paper's KML automates: a programmer
+        // who knows the workload is random can fadvise(RANDOM) and get much
+        // of the benefit — without adaptivity when the workload changes.
+        let run = |hint: bool| {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::sata_ssd(),
+                cache_pages: 1024,
+                ..SimConfig::default()
+            });
+            let f = sim.create_file(1 << 20);
+            if hint {
+                sim.fadvise(f, Advice::Random);
+            }
+            let t0 = sim.now_ns();
+            let mut x = 12345u64;
+            for _ in 0..400 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                sim.read(f, ((x >> 20) % ((1 << 20) / 4)) * 4, 4);
+            }
+            sim.now_ns() - t0
+        };
+        let unhinted = run(false);
+        let hinted = run(true);
+        assert!(
+            hinted < unhinted,
+            "fadvise(RANDOM) {hinted} should beat default {unhinted}"
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Streaming statistics for data normalization (paper §3.2, §4).
+//!
+//! "KML offers several data normalization and statistical functions: moving
+//! average, standard deviation, and Z-score calculation." The readahead
+//! features (§4) are built from exactly these primitives: cumulative moving
+//! average and cumulative moving standard deviation of page offsets, mean
+//! absolute difference of consecutive offsets, and per-feature Z-scores.
+//!
+//! All accumulators are O(1) per sample (Welford's algorithm for the
+//! variance) since they run on the asynchronous training thread once per
+//! drained record.
+
+/// Cumulative (running) mean and standard deviation via Welford's algorithm.
+///
+/// # Example
+///
+/// ```
+/// use kml_collect::CumulativeStats;
+///
+/// let mut s = CumulativeStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.std(), 2.0); // population std of the classic example
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CumulativeStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl CumulativeStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        CumulativeStats::default()
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+    }
+
+    /// Samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 before any sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Running population variance (0 before two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Running population standard deviation.
+    pub fn std(&self) -> f64 {
+        kml_core::math::sqrt(self.variance())
+    }
+
+    /// Resets to empty (used at each feature-window boundary).
+    pub fn reset(&mut self) {
+        *self = CumulativeStats::default();
+    }
+}
+
+/// Fixed-window moving average over the last `window` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingAverage {
+    window: usize,
+    buf: Vec<f64>,
+    next: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "moving-average window must be positive");
+        MovingAverage {
+            window,
+            buf: vec![0.0; window],
+            next: 0,
+            filled: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Folds in one sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, v: f64) {
+        if self.filled == self.window {
+            self.sum -= self.buf[self.next];
+        } else {
+            self.filled += 1;
+        }
+        self.buf[self.next] = v;
+        self.sum += v;
+        self.next = (self.next + 1) % self.window;
+    }
+
+    /// Mean of the samples currently in the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.filled == 0 {
+            0.0
+        } else {
+            self.sum / self.filled as f64
+        }
+    }
+
+    /// How many samples the window currently holds.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+}
+
+/// Running Z-score: normalizes each new sample against the statistics of all
+/// samples seen so far.
+///
+/// Until the accumulated standard deviation is positive, the z-score is 0
+/// (a neutral value, keeping early model inputs bounded).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ZScore {
+    stats: CumulativeStats,
+}
+
+impl ZScore {
+    /// Creates an empty normalizer.
+    pub fn new() -> Self {
+        ZScore::default()
+    }
+
+    /// Folds in `v` and returns its z-score against the *updated* statistics.
+    pub fn push(&mut self, v: f64) -> f64 {
+        self.stats.push(v);
+        let std = self.stats.std();
+        if std > 1e-12 {
+            (v - self.stats.mean()) / std
+        } else {
+            0.0
+        }
+    }
+
+    /// The underlying running statistics.
+    pub fn stats(&self) -> &CumulativeStats {
+        &self.stats
+    }
+}
+
+/// Mean absolute difference between consecutive samples — the paper's fourth
+/// readahead feature ("the mean absolute page offset differences for
+/// consecutive tracepoints"), a cheap sequentiality signal: ~constant small
+/// for sequential scans, large and noisy for random access.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AbsDiffMean {
+    last: Option<f64>,
+    sum_abs: f64,
+    count: u64,
+}
+
+impl AbsDiffMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        AbsDiffMean::default()
+    }
+
+    /// Folds in one sample.
+    pub fn push(&mut self, v: f64) {
+        if let Some(last) = self.last {
+            self.sum_abs += (v - last).abs();
+            self.count += 1;
+        }
+        self.last = Some(v);
+    }
+
+    /// Mean |Δ| over consecutive pairs (0 before two samples).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.count as f64
+        }
+    }
+
+    /// Number of consecutive pairs folded so far.
+    pub fn pairs(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets to empty, forgetting the last sample.
+    pub fn reset(&mut self) {
+        *self = AbsDiffMean::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.5, -2.0, 3.25, 0.0, 7.5, -1.25];
+        let mut s = CumulativeStats::new();
+        for &v in &data {
+            s.push(v);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_before_samples_are_zero() {
+        let s = CumulativeStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        let mut one = CumulativeStats::new();
+        one.push(42.0);
+        assert_eq!(one.mean(), 42.0);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Catastrophic-cancellation check: large mean, tiny variance.
+        let mut s = CumulativeStats::new();
+        for i in 0..1000 {
+            s.push(1e12 + (i % 2) as f64);
+        }
+        assert!((s.variance() - 0.25).abs() < 1e-6, "var {}", s.variance());
+    }
+
+    #[test]
+    fn moving_average_window_semantics() {
+        let mut m = MovingAverage::new(3);
+        assert_eq!(m.mean(), 0.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), 3.0);
+        m.push(6.0);
+        m.push(9.0);
+        assert_eq!(m.mean(), 6.0);
+        m.push(12.0); // evicts 3.0
+        assert_eq!(m.mean(), 9.0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = MovingAverage::new(0);
+    }
+
+    #[test]
+    fn zscore_constant_stream_is_zero() {
+        let mut z = ZScore::new();
+        for _ in 0..10 {
+            assert_eq!(z.push(5.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn zscore_flags_outliers_positive() {
+        let mut z = ZScore::new();
+        for _ in 0..100 {
+            z.push(10.0);
+        }
+        for i in 0..100 {
+            z.push(10.0 + (i % 3) as f64 - 1.0);
+        }
+        let score = z.push(50.0);
+        assert!(score > 3.0, "outlier z-score was {score}");
+    }
+
+    #[test]
+    fn absdiff_distinguishes_sequential_from_random() {
+        let mut seq = AbsDiffMean::new();
+        for i in 0..100 {
+            seq.push(i as f64); // stride 1
+        }
+        assert!((seq.mean() - 1.0).abs() < 1e-12);
+
+        let mut random = AbsDiffMean::new();
+        let mut x = 1u64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            random.push((x % 100_000) as f64);
+        }
+        assert!(random.mean() > 100.0 * seq.mean());
+    }
+
+    #[test]
+    fn absdiff_reset_forgets_history() {
+        let mut a = AbsDiffMean::new();
+        a.push(0.0);
+        a.push(100.0);
+        assert_eq!(a.mean(), 100.0);
+        a.reset();
+        assert_eq!(a.mean(), 0.0);
+        a.push(5.0);
+        assert_eq!(a.pairs(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_mean_bounded_by_extremes(
+            data in proptest::collection::vec(-1e6f64..1e6, 1..100)
+        ) {
+            let mut s = CumulativeStats::new();
+            for &v in &data {
+                s.push(v);
+            }
+            let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(s.mean() >= lo - 1e-9 && s.mean() <= hi + 1e-9);
+            prop_assert!(s.variance() >= 0.0);
+        }
+
+        #[test]
+        fn prop_moving_average_equals_naive(
+            data in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            window in 1usize..10
+        ) {
+            let mut m = MovingAverage::new(window);
+            for &v in &data {
+                m.push(v);
+            }
+            let tail: Vec<f64> = data.iter().rev().take(window).copied().collect();
+            let naive = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((m.mean() - naive).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_zscore_is_finite(data in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+            let mut z = ZScore::new();
+            for &v in &data {
+                prop_assert!(z.push(v).is_finite());
+            }
+        }
+    }
+}

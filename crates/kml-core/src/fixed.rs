@@ -1,0 +1,211 @@
+//! Q16.16 fixed-point arithmetic — KML's FPU-free "integer matrices" (§3.1).
+//!
+//! The paper notes that fixed-point representations let ML run without the
+//! FPU (no `kernel_fpu_begin`/`end` cost) at the price of limited range,
+//! "which can lead to numerical instability issues". [`Fix32`] models exactly
+//! that trade-off: 16 integer bits, 16 fractional bits, **saturating**
+//! arithmetic (overflow clamps to ±32768 instead of wrapping, which keeps
+//! training degradation graceful and observable rather than catastrophic).
+
+/// A signed Q16.16 fixed-point number stored in an `i32`.
+///
+/// Range ≈ `[-32768, 32767.99998]`, resolution `2⁻¹⁶ ≈ 1.5e-5`.
+///
+/// # Example
+///
+/// ```
+/// use kml_core::fixed::Fix32;
+///
+/// let a = Fix32::from_f64(1.5);
+/// let b = Fix32::from_f64(2.25);
+/// assert_eq!((a * b).to_f64(), 3.375);
+/// assert_eq!((a + b).to_f64(), 3.75);
+///
+/// // Saturation instead of wrap-around on overflow:
+/// let big = Fix32::from_f64(30000.0);
+/// assert_eq!((big * big), Fix32::MAX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fix32(i32);
+
+const FRAC_BITS: u32 = 16;
+const SCALE: f64 = (1u32 << FRAC_BITS) as f64;
+
+impl Fix32 {
+    /// Zero.
+    pub const ZERO: Fix32 = Fix32(0);
+    /// One.
+    pub const ONE: Fix32 = Fix32(1 << FRAC_BITS);
+    /// Largest representable value (≈ 32767.99998).
+    pub const MAX: Fix32 = Fix32(i32::MAX);
+    /// Smallest (most negative) representable value (= −32768).
+    pub const MIN: Fix32 = Fix32(i32::MIN);
+
+    /// Converts from `f64`, saturating outside the representable range and
+    /// mapping NaN to zero (a deliberate "keep training alive" choice).
+    pub fn from_f64(v: f64) -> Fix32 {
+        if v.is_nan() {
+            return Fix32::ZERO;
+        }
+        let scaled = v * SCALE;
+        if scaled >= i32::MAX as f64 {
+            Fix32::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Fix32::MIN
+        } else {
+            Fix32(scaled as i32)
+        }
+    }
+
+    /// Converts to `f64` exactly (every Q16.16 value is a dyadic rational).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE
+    }
+
+    /// The raw underlying `i32` representation.
+    pub fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Reconstructs from a raw representation (inverse of [`Fix32::to_bits`]).
+    pub fn from_bits(bits: i32) -> Fix32 {
+        Fix32(bits)
+    }
+
+    /// Absolute value (saturating at [`Fix32::MAX`] for `MIN`).
+    pub fn abs(self) -> Fix32 {
+        Fix32(self.0.saturating_abs())
+    }
+}
+
+impl std::ops::Add for Fix32 {
+    type Output = Fix32;
+    fn add(self, rhs: Fix32) -> Fix32 {
+        Fix32(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::Sub for Fix32 {
+    type Output = Fix32;
+    fn sub(self, rhs: Fix32) -> Fix32 {
+        Fix32(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Mul for Fix32 {
+    type Output = Fix32;
+    fn mul(self, rhs: Fix32) -> Fix32 {
+        let wide = ((self.0 as i64) * (rhs.0 as i64)) >> FRAC_BITS;
+        Fix32(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+}
+
+impl std::ops::Div for Fix32 {
+    type Output = Fix32;
+    fn div(self, rhs: Fix32) -> Fix32 {
+        if rhs.0 == 0 {
+            // Saturate instead of trapping, mirroring the "no kernel oops" rule.
+            return if self.0 >= 0 { Fix32::MAX } else { Fix32::MIN };
+        }
+        let wide = ((self.0 as i64) << FRAC_BITS) / (rhs.0 as i64);
+        Fix32(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+}
+
+impl std::ops::Neg for Fix32 {
+    type Output = Fix32;
+    fn neg(self) -> Fix32 {
+        Fix32(self.0.saturating_neg())
+    }
+}
+
+impl std::fmt::Display for Fix32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_arithmetic_is_exact_for_dyadics() {
+        let a = Fix32::from_f64(1.5);
+        let b = Fix32::from_f64(0.25);
+        assert_eq!((a + b).to_f64(), 1.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((a * b).to_f64(), 0.375);
+        assert_eq!((a / b).to_f64(), 6.0);
+        assert_eq!((-a).to_f64(), -1.5);
+    }
+
+    #[test]
+    fn conversion_saturates() {
+        assert_eq!(Fix32::from_f64(1e9), Fix32::MAX);
+        assert_eq!(Fix32::from_f64(-1e9), Fix32::MIN);
+        assert_eq!(Fix32::from_f64(f64::NAN), Fix32::ZERO);
+    }
+
+    #[test]
+    fn multiplication_saturates_not_wraps() {
+        let big = Fix32::from_f64(30000.0);
+        assert_eq!(big * big, Fix32::MAX);
+        let negbig = Fix32::from_f64(-30000.0);
+        assert_eq!(negbig * big, Fix32::MIN);
+    }
+
+    #[test]
+    fn division_by_zero_saturates() {
+        assert_eq!(Fix32::ONE / Fix32::ZERO, Fix32::MAX);
+        assert_eq!((-Fix32::ONE) / Fix32::ZERO, Fix32::MIN);
+    }
+
+    #[test]
+    fn resolution_is_two_to_minus_sixteen() {
+        let eps = Fix32::from_bits(1);
+        assert_eq!(eps.to_f64(), 1.0 / 65536.0);
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for v in [-12345, -1, 0, 1, 99999] {
+            assert_eq!(Fix32::from_bits(v).to_bits(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_within_resolution(v in -30000.0f64..30000.0) {
+            let q = Fix32::from_f64(v);
+            prop_assert!((q.to_f64() - v).abs() <= 1.0 / 65536.0);
+        }
+
+        #[test]
+        fn prop_add_commutative(a in -10000.0f64..10000.0, b in -10000.0f64..10000.0) {
+            let (x, y) = (Fix32::from_f64(a), Fix32::from_f64(b));
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let (x, y) = (Fix32::from_f64(a), Fix32::from_f64(b));
+            prop_assert_eq!(x * y, y * x);
+        }
+
+        #[test]
+        fn prop_mul_error_bounded(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let got = (Fix32::from_f64(a) * Fix32::from_f64(b)).to_f64();
+            // Error ≤ quantization of operands propagated + result truncation.
+            let tol = (a.abs() + b.abs() + 2.0) / 65536.0;
+            prop_assert!((got - a * b).abs() <= tol, "got {got}, want {}", a * b);
+        }
+
+        #[test]
+        fn prop_neg_is_involution(a in -30000.0f64..30000.0) {
+            let x = Fix32::from_f64(a);
+            prop_assert_eq!(-(-x), x);
+        }
+    }
+}

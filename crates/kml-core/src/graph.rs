@@ -1,0 +1,415 @@
+//! The computation DAG (paper §2 "Inference and training").
+//!
+//! KML performs inference by "creating a computation directed acyclic graph
+//! (DAG) of the individual layers", traversing it forward for inference, and
+//! backward in reverse topological order for reverse-mode automatic
+//! differentiation. The paper's prototype trains chain graphs only; this
+//! implementation additionally supports **fan-out** (one layer's output
+//! consumed by several downstream layers, gradients summed on the way back),
+//! which is the first step toward the arbitrary-DAG support the paper lists
+//! as future work. Multi-*input* layers (joins) remain unsupported.
+
+use crate::layers::{Layer, ParamGrad};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{KmlError, Result};
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+struct Node<S: Scalar> {
+    layer: Box<dyn Layer<S>>,
+    input: Option<NodeId>,
+}
+
+impl<S: Scalar> std::fmt::Debug for Node<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("kind", &self.layer.kind())
+            .field("input", &self.input)
+            .finish()
+    }
+}
+
+/// A computation DAG of single-input layers with fan-out support.
+///
+/// Nodes are appended in topological order by construction: a node's input
+/// must already exist, so forward traversal is a simple scan and backward a
+/// reverse scan with gradient accumulation at fan-out points.
+///
+/// # Example
+///
+/// ```
+/// use kml_core::graph::Graph;
+/// use kml_core::layers::{Activation, ActivationLayer, Linear};
+/// use kml_core::matrix::Matrix;
+/// use kml_core::{KmlRng, prelude::SeedableRng};
+///
+/// # fn main() -> kml_core::Result<()> {
+/// let mut rng = KmlRng::seed_from_u64(1);
+/// let mut g: Graph<f64> = Graph::new();
+/// let a = g.add_source(Box::new(Linear::new(3, 4, &mut rng)))?;
+/// let b = g.add_node(Box::new(ActivationLayer::new(Activation::Sigmoid)), a)?;
+/// g.set_output(b)?;
+/// let y = g.forward(&Matrix::row_vector(&[1.0, 2.0, 3.0]))?;
+/// assert_eq!(y.shape(), (1, 4));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Graph<S: Scalar> {
+    nodes: Vec<Node<S>>,
+    output: Option<NodeId>,
+    /// Cached per-node gradient accumulators from the last backward pass.
+    last_outputs: Vec<Option<Matrix<S>>>,
+}
+
+impl<S: Scalar> std::fmt::Debug for Graph<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes)
+            .field("output", &self.output)
+            .finish()
+    }
+}
+
+impl<S: Scalar> Graph<S> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            output: None,
+            last_outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a node fed directly by the graph input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if a source already exists —
+    /// the graph has a single external input, like KML's chain prototype.
+    pub fn add_source(&mut self, layer: Box<dyn Layer<S>>) -> Result<NodeId> {
+        if self.nodes.iter().any(|n| n.input.is_none()) {
+            return Err(KmlError::InvalidConfig(
+                "graph already has a source node".into(),
+            ));
+        }
+        self.nodes.push(Node { layer, input: None });
+        self.last_outputs.push(None);
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Adds a node consuming the output of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if `input` does not exist.
+    pub fn add_node(&mut self, layer: Box<dyn Layer<S>>, input: NodeId) -> Result<NodeId> {
+        if input.0 >= self.nodes.len() {
+            return Err(KmlError::InvalidConfig(format!(
+                "input node {} does not exist",
+                input.0
+            )));
+        }
+        self.nodes.push(Node {
+            layer,
+            input: Some(input),
+        });
+        self.last_outputs.push(None);
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Declares which node's output the graph returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if `node` does not exist.
+    pub fn set_output(&mut self, node: NodeId) -> Result<()> {
+        if node.0 >= self.nodes.len() {
+            return Err(KmlError::InvalidConfig(format!(
+                "output node {} does not exist",
+                node.0
+            )));
+        }
+        self.output = Some(node);
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the graph is a pure chain (every node consumed exactly once) —
+    /// the only shape the paper's prototype trains.
+    pub fn is_chain(&self) -> bool {
+        let mut consumers = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            if let Some(i) = n.input {
+                consumers[i.0] += 1;
+            }
+        }
+        // Exactly one sink (the output) and no fan-out.
+        consumers.iter().filter(|&&c| c == 0).count() == 1
+            && consumers.iter().all(|&c| c <= 1)
+    }
+
+    /// Forward propagation: feeds `input` to the source node and returns the
+    /// output node's activation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if the graph is empty or no output
+    /// was declared, plus any shape error from the layers.
+    pub fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
+        let output = self.output.ok_or_else(|| {
+            KmlError::InvalidConfig("graph has no output node declared".into())
+        })?;
+        for i in 0..self.nodes.len() {
+            let fed: Matrix<S> = match self.nodes[i].input {
+                None => input.clone(),
+                Some(src) => self.last_outputs[src.0]
+                    .as_ref()
+                    .ok_or_else(|| {
+                        KmlError::InvalidConfig(format!(
+                            "node {} consumed before production",
+                            src.0
+                        ))
+                    })?
+                    .clone(),
+            };
+            let out = self.nodes[i].layer.forward(&fed)?;
+            self.last_outputs[i] = Some(out);
+        }
+        Ok(self.last_outputs[output.0]
+            .as_ref()
+            .expect("output node was computed in the scan")
+            .clone())
+    }
+
+    /// Backward propagation from `grad_output` (∂L/∂output of the graph);
+    /// parameter gradients are left inside the layers for the optimizer.
+    /// Returns ∂L/∂input of the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if called before [`Graph::forward`].
+    pub fn backward(&mut self, grad_output: &Matrix<S>) -> Result<Matrix<S>> {
+        let output = self.output.ok_or_else(|| {
+            KmlError::InvalidConfig("graph has no output node declared".into())
+        })?;
+        let mut grads: Vec<Option<Matrix<S>>> = vec![None; self.nodes.len()];
+        grads[output.0] = Some(grad_output.clone());
+        let mut input_grad: Option<Matrix<S>> = None;
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gout) = grads[i].take() else {
+                continue; // node not on a path to the output
+            };
+            let gin = self.nodes[i].layer.backward(&gout)?;
+            match self.nodes[i].input {
+                Some(src) => match &mut grads[src.0] {
+                    // Fan-out point: sum gradients from all consumers.
+                    Some(acc) => *acc = acc.add(&gin)?,
+                    slot @ None => *slot = Some(gin),
+                },
+                None => {
+                    input_grad = Some(match input_grad.take() {
+                        Some(acc) => acc.add(&gin)?,
+                        None => gin,
+                    })
+                }
+            }
+        }
+        input_grad.ok_or_else(|| {
+            KmlError::InvalidConfig("backward called before forward".into())
+        })
+    }
+
+    /// All parameter/gradient slots across the graph, in node order.
+    pub fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| n.layer.param_grads())
+            .collect()
+    }
+
+    /// Immutable access to the layers in topological order.
+    pub fn layers(&self) -> impl Iterator<Item = &dyn Layer<S>> {
+        self.nodes.iter().map(|n| n.layer.as_ref())
+    }
+
+    /// Mutable access to the layers in topological order.
+    pub fn layers_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn Layer<S>>> {
+        self.nodes.iter_mut().map(|n| &mut n.layer)
+    }
+
+    /// Total bytes of parameter storage across all layers.
+    pub fn param_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.layer.param_bytes()).sum()
+    }
+}
+
+impl<S: Scalar> Default for Graph<S> {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, ActivationLayer, Linear};
+    use crate::KmlRng;
+    use rand::SeedableRng;
+
+    fn rng() -> KmlRng {
+        KmlRng::seed_from_u64(11)
+    }
+
+    fn chain_graph() -> Graph<f64> {
+        let mut rng = rng();
+        let mut g = Graph::new();
+        let a = g.add_source(Box::new(Linear::new(2, 3, &mut rng))).unwrap();
+        let b = g
+            .add_node(Box::new(ActivationLayer::new(Activation::Sigmoid)), a)
+            .unwrap();
+        let c = g.add_node(Box::new(Linear::new(3, 2, &mut rng)), b).unwrap();
+        g.set_output(c).unwrap();
+        g
+    }
+
+    #[test]
+    fn chain_forward_produces_expected_shape() {
+        let mut g = chain_graph();
+        let y = g
+            .forward(&Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 0.5]]).unwrap())
+            .unwrap();
+        assert_eq!(y.shape(), (2, 2));
+        assert!(g.is_chain());
+    }
+
+    #[test]
+    fn backward_needs_forward_first() {
+        let mut g = chain_graph();
+        // Without a forward pass the layers have no cached activations.
+        assert!(g.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn two_sources_rejected() {
+        let mut rng = rng();
+        let mut g: Graph<f64> = Graph::new();
+        g.add_source(Box::new(Linear::new(2, 2, &mut rng))).unwrap();
+        assert!(g
+            .add_source(Box::new(Linear::new(2, 2, &mut rng)))
+            .is_err());
+    }
+
+    #[test]
+    fn dangling_references_rejected() {
+        let mut rng = rng();
+        let mut g: Graph<f64> = Graph::new();
+        let a = g.add_source(Box::new(Linear::new(2, 2, &mut rng))).unwrap();
+        assert!(g
+            .add_node(Box::new(Linear::new(2, 2, &mut rng)), NodeId(99))
+            .is_err());
+        assert!(g.set_output(NodeId(99)).is_err());
+        g.set_output(a).unwrap();
+    }
+
+    #[test]
+    fn forward_without_output_declared_is_error() {
+        let mut rng = rng();
+        let mut g: Graph<f64> = Graph::new();
+        g.add_source(Box::new(Linear::new(2, 2, &mut rng))).unwrap();
+        assert!(g.forward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn fan_out_graph_is_not_chain_and_sums_gradients() {
+        // x -> lin -> {sig, relu consumed nowhere}: make both consumed by
+        // building y = sig(h) where h also feeds relu -> output? A single
+        // output graph: h -> sigmoid -> out, h -> relu (dead end). The relu
+        // branch is dead (not on output path) and must not contribute.
+        let mut rng = rng();
+        let mut g: Graph<f64> = Graph::new();
+        let h = g.add_source(Box::new(Linear::new(2, 2, &mut rng))).unwrap();
+        let s = g
+            .add_node(Box::new(ActivationLayer::new(Activation::Sigmoid)), h)
+            .unwrap();
+        let _dead = g
+            .add_node(Box::new(ActivationLayer::new(Activation::Relu)), h)
+            .unwrap();
+        g.set_output(s).unwrap();
+        assert!(!g.is_chain());
+
+        let x = Matrix::from_rows(&[vec![0.3, -0.7]]).unwrap();
+        let y = g.forward(&x).unwrap();
+        assert_eq!(y.shape(), (1, 2));
+        let gin = g.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
+        assert_eq!(gin.shape(), (1, 2));
+        assert!(gin.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn graph_gradient_matches_finite_difference_end_to_end() {
+        let mut g = chain_graph();
+        let x = Matrix::from_rows(&[vec![0.4, -0.9]]).unwrap();
+        let coeff = Matrix::from_rows(&[vec![1.0, -0.5]]).unwrap();
+        g.forward(&x).unwrap();
+        let gin = g.backward(&coeff).unwrap();
+
+        let eps = 1e-6;
+        for c in 0..2 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let lp: f64 = g
+                .forward(&xp)
+                .unwrap()
+                .hadamard(&coeff)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .sum();
+            let lm: f64 = g
+                .forward(&xm)
+                .unwrap()
+                .hadamard(&coeff)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gin.get(0, c)).abs() < 1e-5,
+                "input grad {c}: numeric {numeric}, analytic {}",
+                gin.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn param_grads_cover_all_linear_slots() {
+        let mut g = chain_graph();
+        g.forward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
+        g.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
+        // Two linear layers × (weights, bias) = 4 slots.
+        assert_eq!(g.param_grads().len(), 4);
+    }
+
+    #[test]
+    fn param_bytes_sums_layers() {
+        let g = chain_graph();
+        // (2*3 + 3) + (3*2 + 2) = 17 f64 params.
+        assert_eq!(g.param_bytes(), 17 * 8);
+    }
+}

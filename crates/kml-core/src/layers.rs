@@ -1,0 +1,641 @@
+//! Differentiable layer components (paper §2 "Layer and loss functions").
+//!
+//! Each layer implements forward propagation (inference) and backward
+//! propagation (training); the paper's extensibility recipe — "(i) building
+//! and initializing the layer, (ii) forward propagation, (iii) backward
+//! propagation" — maps onto the three required members of [`Layer`].
+//! Layers cache whatever forward state their backward pass needs, exactly
+//! like the original C implementation.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{KmlError, KmlRng, Result};
+
+/// Discriminates layer types for model files and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Fully connected (weights + bias).
+    Linear,
+    /// Element-wise sigmoid.
+    Sigmoid,
+    /// Element-wise rectified linear unit.
+    Relu,
+    /// Element-wise hyperbolic tangent.
+    Tanh,
+    /// Row-wise softmax.
+    Softmax,
+}
+
+impl LayerKind {
+    /// Stable numeric tag used in the KML model-file format.
+    pub fn tag(self) -> u8 {
+        match self {
+            LayerKind::Linear => 1,
+            LayerKind::Sigmoid => 2,
+            LayerKind::Relu => 3,
+            LayerKind::Tanh => 4,
+            LayerKind::Softmax => 5,
+        }
+    }
+
+    /// Inverse of [`LayerKind::tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadModelFile`] for unknown tags.
+    pub fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            1 => LayerKind::Linear,
+            2 => LayerKind::Sigmoid,
+            3 => LayerKind::Relu,
+            4 => LayerKind::Tanh,
+            5 => LayerKind::Softmax,
+            other => {
+                return Err(KmlError::BadModelFile(format!(
+                    "unknown layer tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            LayerKind::Linear => "linear",
+            LayerKind::Sigmoid => "sigmoid",
+            LayerKind::Relu => "relu",
+            LayerKind::Tanh => "tanh",
+            LayerKind::Softmax => "softmax",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A mutable parameter together with its most recent gradient, handed to the
+/// optimizer one slot at a time.
+#[derive(Debug)]
+pub struct ParamGrad<'a, S: Scalar> {
+    /// The parameter matrix to update in place.
+    pub param: &'a mut Matrix<S>,
+    /// The gradient computed by the latest backward pass (same shape).
+    pub grad: &'a Matrix<S>,
+}
+
+/// A differentiable component of a KML computation graph.
+///
+/// Implementations cache forward state internally, so `backward` must always
+/// be preceded by a `forward` on the same instance (the chain discipline the
+/// paper's serial training thread enforces).
+pub trait Layer<S: Scalar>: std::fmt::Debug + Send + Sync {
+    /// Which kind of layer this is (drives serialization).
+    fn kind(&self) -> LayerKind;
+
+    /// Forward propagation: consumes a `batch × in_dim` activation matrix,
+    /// produces `batch × out_dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] if `input` does not match the
+    /// layer's expected input width.
+    fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>>;
+
+    /// Backward propagation: consumes `∂L/∂output`, updates any internal
+    /// parameter gradients, and returns `∂L/∂input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if called before `forward`, or
+    /// [`KmlError::ShapeMismatch`] if `grad_out` has the wrong shape.
+    fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>>;
+
+    /// Parameter/gradient slots for the optimizer (empty for activations).
+    fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
+        Vec::new()
+    }
+
+    /// Read-only views of the parameters, in slot order (for serialization).
+    fn params(&self) -> Vec<&Matrix<S>> {
+        Vec::new()
+    }
+
+    /// Overwrites parameters from slices in slot order (for deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadModelFile`] on slot-count or shape mismatch.
+    fn load_params(&mut self, params: &[Matrix<S>]) -> Result<()> {
+        if params.is_empty() {
+            Ok(())
+        } else {
+            Err(KmlError::BadModelFile(format!(
+                "layer {} takes no parameters but {} were supplied",
+                self.kind(),
+                params.len()
+            )))
+        }
+    }
+
+    /// Output width given an input width (`None` if incompatible).
+    fn output_dim(&self, input_dim: usize) -> Option<usize>;
+
+    /// Bytes of parameter storage (for §4 memory accounting).
+    fn param_bytes(&self) -> usize {
+        self.params().iter().map(|p| p.storage_bytes()).sum()
+    }
+}
+
+/// Fully connected layer: `y = x·W + b` with `W: in×out`, `b: 1×out`.
+#[derive(Debug, Clone)]
+pub struct Linear<S: Scalar> {
+    weights: Matrix<S>,
+    bias: Matrix<S>,
+    grad_w: Matrix<S>,
+    grad_b: Matrix<S>,
+    cached_input: Option<Matrix<S>>,
+}
+
+impl<S: Scalar> Linear<S> {
+    /// Creates a layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut KmlRng) -> Self {
+        Linear {
+            weights: Matrix::xavier_uniform(in_dim, out_dim, rng),
+            bias: Matrix::zeros(1, out_dim),
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a layer from explicit parameters (used by model loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] unless `bias` is `1 × weights.cols()`.
+    pub fn from_params(weights: Matrix<S>, bias: Matrix<S>) -> Result<Self> {
+        if bias.rows() != 1 || bias.cols() != weights.cols() {
+            return Err(KmlError::InvalidConfig(format!(
+                "bias {}x{} does not match weights {}x{}",
+                bias.rows(),
+                bias.cols(),
+                weights.rows(),
+                weights.cols()
+            )));
+        }
+        let (in_dim, out_dim) = weights.shape();
+        Ok(Linear {
+            weights,
+            bias,
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        })
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weights(&self) -> &Matrix<S> {
+        &self.weights
+    }
+
+    /// The bias row vector.
+    pub fn bias(&self) -> &Matrix<S> {
+        &self.bias
+    }
+}
+
+impl<S: Scalar> Layer<S> for Linear<S> {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
+        let out = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
+        let input = self.cached_input.as_ref().ok_or_else(|| {
+            KmlError::InvalidConfig("backward called before forward on linear layer".into())
+        })?;
+        // dW = xᵀ · dy ; db = column sums of dy ; dx = dy · Wᵀ
+        self.grad_w = input.transpose_matmul(grad_out)?;
+        self.grad_b = grad_out.sum_rows();
+        grad_out.matmul_transpose(&self.weights)
+    }
+
+    fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
+        vec![
+            ParamGrad {
+                param: &mut self.weights,
+                grad: &self.grad_w,
+            },
+            ParamGrad {
+                param: &mut self.bias,
+                grad: &self.grad_b,
+            },
+        ]
+    }
+
+    fn params(&self) -> Vec<&Matrix<S>> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn load_params(&mut self, params: &[Matrix<S>]) -> Result<()> {
+        if params.len() != 2 {
+            return Err(KmlError::BadModelFile(format!(
+                "linear layer expects 2 parameters, got {}",
+                params.len()
+            )));
+        }
+        if params[0].shape() != self.weights.shape() || params[1].shape() != self.bias.shape() {
+            return Err(KmlError::BadModelFile(
+                "linear layer parameter shapes do not match".into(),
+            ));
+        }
+        self.weights = params[0].clone();
+        self.bias = params[1].clone();
+        Ok(())
+    }
+
+    fn output_dim(&self, input_dim: usize) -> Option<usize> {
+        (input_dim == self.in_dim()).then_some(self.out_dim())
+    }
+}
+
+/// Which element-wise nonlinearity an [`ActivationLayer`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Logistic sigmoid — the activation the paper's readahead model uses.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// Element-wise activation layer (sigmoid / ReLU / tanh).
+#[derive(Debug, Clone)]
+pub struct ActivationLayer<S: Scalar> {
+    activation: Activation,
+    cached_output: Option<Matrix<S>>,
+    cached_input: Option<Matrix<S>>,
+}
+
+impl<S: Scalar> ActivationLayer<S> {
+    /// Creates an activation layer.
+    pub fn new(activation: Activation) -> Self {
+        ActivationLayer {
+            activation,
+            cached_output: None,
+            cached_input: None,
+        }
+    }
+
+    /// Which nonlinearity this layer applies.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl<S: Scalar> Layer<S> for ActivationLayer<S> {
+    fn kind(&self) -> LayerKind {
+        match self.activation {
+            Activation::Sigmoid => LayerKind::Sigmoid,
+            Activation::Relu => LayerKind::Relu,
+            Activation::Tanh => LayerKind::Tanh,
+        }
+    }
+
+    fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
+        let out = match self.activation {
+            Activation::Sigmoid => input.map(Scalar::sigmoid),
+            Activation::Relu => input.map(Scalar::relu),
+            Activation::Tanh => input.map(Scalar::tanh),
+        };
+        if self.activation == Activation::Relu {
+            self.cached_input = Some(input.clone());
+        } else {
+            self.cached_output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
+        match self.activation {
+            // σ' = σ(1-σ), computed from the cached output.
+            Activation::Sigmoid => {
+                let s = self.cached_output.as_ref().ok_or_else(|| {
+                    KmlError::InvalidConfig("backward before forward on sigmoid".into())
+                })?;
+                let deriv = s.map(|v| v.mul(S::ONE.sub(v)));
+                grad_out.hadamard(&deriv)
+            }
+            // tanh' = 1 - tanh², from the cached output.
+            Activation::Tanh => {
+                let t = self.cached_output.as_ref().ok_or_else(|| {
+                    KmlError::InvalidConfig("backward before forward on tanh".into())
+                })?;
+                let deriv = t.map(|v| S::ONE.sub(v.mul(v)));
+                grad_out.hadamard(&deriv)
+            }
+            // relu' = 1 for x > 0 else 0, from the cached input.
+            Activation::Relu => {
+                let x = self.cached_input.as_ref().ok_or_else(|| {
+                    KmlError::InvalidConfig("backward before forward on relu".into())
+                })?;
+                let deriv = x.map(|v| if v > S::ZERO { S::ONE } else { S::ZERO });
+                grad_out.hadamard(&deriv)
+            }
+        }
+    }
+
+    fn output_dim(&self, input_dim: usize) -> Option<usize> {
+        Some(input_dim)
+    }
+}
+
+/// Row-wise softmax layer.
+///
+/// Usually the final [`crate::loss::CrossEntropyLoss`] fuses softmax with the
+/// loss for numerical stability; this standalone layer exists for inference
+/// pipelines that want calibrated probabilities out of the graph.
+#[derive(Debug, Clone, Default)]
+pub struct SoftmaxLayer<S: Scalar> {
+    cached_output: Option<Matrix<S>>,
+}
+
+impl<S: Scalar> SoftmaxLayer<S> {
+    /// Creates a softmax layer.
+    pub fn new() -> Self {
+        SoftmaxLayer {
+            cached_output: None,
+        }
+    }
+}
+
+impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Softmax
+    }
+
+    fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut out = input.clone();
+        let cols = out.cols();
+        for r in 0..out.rows() {
+            let mut row: Vec<f64> = out.row(r).iter().map(|v| v.to_f64()).collect();
+            crate::math::softmax_in_place(&mut row);
+            for (c, v) in row.iter().enumerate().take(cols) {
+                out.set(r, c, S::from_f64(*v));
+            }
+        }
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
+        let s = self.cached_output.as_ref().ok_or_else(|| {
+            KmlError::InvalidConfig("backward before forward on softmax".into())
+        })?;
+        if s.shape() != grad_out.shape() {
+            return Err(KmlError::ShapeMismatch {
+                op: "softmax backward",
+                lhs: s.shape(),
+                rhs: grad_out.shape(),
+            });
+        }
+        // Jacobian-vector product per row: dx = s ⊙ (dy − (dy·s)·1)
+        let mut out = Matrix::zeros(s.rows(), s.cols());
+        for r in 0..s.rows() {
+            let srow = s.row(r);
+            let gyrow = grad_out.row(r);
+            let dot: f64 = srow
+                .iter()
+                .zip(gyrow)
+                .map(|(&a, &b)| a.to_f64() * b.to_f64())
+                .sum();
+            for c in 0..s.cols() {
+                let v = srow[c].to_f64() * (gyrow[c].to_f64() - dot);
+                out.set(r, c, S::from_f64(v));
+            }
+        }
+        Ok(out)
+    }
+
+    fn output_dim(&self, input_dim: usize) -> Option<usize> {
+        Some(input_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> KmlRng {
+        KmlRng::seed_from_u64(42)
+    }
+
+    /// Numerically checks `backward` of `layer` against finite differences of
+    /// a scalar objective `L = sum(forward(x) ⊙ coeff)`.
+    fn check_input_gradient(layer: &mut dyn Layer<f64>, x: &Matrix<f64>) {
+        let y = layer.forward(x).unwrap();
+        // Arbitrary fixed coefficients make L sensitive to every output.
+        let coeff = Matrix::from_f64_vec(
+            y.rows(),
+            y.cols(),
+            &(0..y.len()).map(|i| 0.3 + 0.1 * i as f64).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let grad_in = layer.backward(&coeff).unwrap();
+
+        let eps = 1e-6;
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let lp: f64 = layer
+                    .forward(&xp)
+                    .unwrap()
+                    .hadamard(&coeff)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .sum();
+                let lm: f64 = layer
+                    .forward(&xm)
+                    .unwrap()
+                    .hadamard(&coeff)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .sum();
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grad_in.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "grad mismatch at ({r},{c}): numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let mut layer = Linear::from_params(w, b).unwrap();
+        let x = Matrix::row_vector(&[1.0, 1.0]);
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[14.0, 26.0]);
+    }
+
+    #[test]
+    fn linear_input_gradient_is_correct() {
+        let mut layer = Linear::<f64>::new(3, 4, &mut rng());
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.25, -0.75]]).unwrap();
+        check_input_gradient(&mut layer, &x);
+    }
+
+    #[test]
+    fn linear_weight_gradient_is_correct() {
+        let mut layer = Linear::<f64>::new(2, 2, &mut rng());
+        let x = Matrix::from_rows(&[vec![0.7, -0.3], vec![0.2, 0.9]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        let coeff = Matrix::from_f64_vec(y.rows(), y.cols(), &[1.0, 0.5, -0.25, 2.0]).unwrap();
+        layer.backward(&coeff).unwrap();
+        let analytic = layer.grad_w.clone();
+
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let orig = layer.weights.get(r, c);
+                layer.weights.set(r, c, orig + eps);
+                let lp: f64 = layer
+                    .forward(&x)
+                    .unwrap()
+                    .hadamard(&coeff)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .sum();
+                layer.weights.set(r, c, orig - eps);
+                let lm: f64 = layer
+                    .forward(&x)
+                    .unwrap()
+                    .hadamard(&coeff)
+                    .unwrap()
+                    .as_slice()
+                    .iter()
+                    .sum();
+                layer.weights.set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(r, c)).abs() < 1e-5,
+                    "dW({r},{c}): numeric {numeric}, analytic {}",
+                    analytic.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_gradient_is_correct() {
+        let mut layer = ActivationLayer::<f64>::new(Activation::Sigmoid);
+        let x = Matrix::from_rows(&[vec![-2.0, 0.0, 3.0]]).unwrap();
+        check_input_gradient(&mut layer, &x);
+    }
+
+    #[test]
+    fn tanh_gradient_is_correct() {
+        let mut layer = ActivationLayer::<f64>::new(Activation::Tanh);
+        let x = Matrix::from_rows(&[vec![-1.0, 0.5, 2.0]]).unwrap();
+        check_input_gradient(&mut layer, &x);
+    }
+
+    #[test]
+    fn relu_gradient_is_correct_away_from_kink() {
+        let mut layer = ActivationLayer::<f64>::new(Activation::Relu);
+        let x = Matrix::from_rows(&[vec![-2.0, 0.5, 3.0, -0.25]]).unwrap();
+        check_input_gradient(&mut layer, &x);
+    }
+
+    #[test]
+    fn softmax_gradient_is_correct() {
+        let mut layer = SoftmaxLayer::<f64>::new();
+        let x = Matrix::from_rows(&[vec![0.1, -0.7, 1.3]]).unwrap();
+        check_input_gradient(&mut layer, &x);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut layer = SoftmaxLayer::<f64>::new();
+        let x = Matrix::from_rows(&[vec![5.0, 1.0, 1.0], vec![-3.0, 0.0, 3.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        for r in 0..2 {
+            let sum: f64 = y.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-10);
+        }
+        assert_eq!(y.argmax_row(0), 0);
+        assert_eq!(y.argmax_row(1), 2);
+    }
+
+    #[test]
+    fn backward_before_forward_is_an_error() {
+        let mut layer = Linear::<f64>::new(2, 2, &mut rng());
+        let g = Matrix::zeros(1, 2);
+        assert!(matches!(
+            layer.backward(&g),
+            Err(KmlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn linear_rejects_mismatched_bias() {
+        let w = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(1, 2);
+        assert!(Linear::from_params(w, b).is_err());
+    }
+
+    #[test]
+    fn layer_kind_tags_round_trip() {
+        for kind in [
+            LayerKind::Linear,
+            LayerKind::Sigmoid,
+            LayerKind::Relu,
+            LayerKind::Tanh,
+            LayerKind::Softmax,
+        ] {
+            assert_eq!(LayerKind::from_tag(kind.tag()).unwrap(), kind);
+        }
+        assert!(LayerKind::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn param_bytes_counts_weights_and_bias() {
+        let layer = Linear::<f32>::new(5, 10, &mut rng());
+        assert_eq!(layer.param_bytes(), (5 * 10 + 10) * 4);
+    }
+
+    #[test]
+    fn load_params_validates_shape() {
+        let mut layer = Linear::<f64>::new(2, 2, &mut rng());
+        let bad = vec![Matrix::zeros(3, 3), Matrix::zeros(1, 3)];
+        assert!(layer.load_params(&bad).is_err());
+        let good = vec![Matrix::identity(2), Matrix::zeros(1, 2)];
+        layer.load_params(&good).unwrap();
+        assert_eq!(layer.weights(), &Matrix::identity(2));
+    }
+}

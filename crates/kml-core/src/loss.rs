@@ -1,0 +1,336 @@
+//! Loss functions with gradients (paper §2 "Layer and loss functions").
+//!
+//! KML's readahead model uses the **cross-entropy** loss; MSE and binary
+//! cross-entropy are implemented as the other "commonly used" losses the
+//! framework supports. Each loss provides the forward value and the gradient
+//! with respect to the network output, which seeds back-propagation.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{KmlError, Result};
+
+/// The supervision signal a loss is computed against.
+#[derive(Debug, Clone, Copy)]
+pub enum TargetRef<'a> {
+    /// Class indices for classification (one per batch row).
+    Classes(&'a [usize]),
+    /// Dense regression targets, row-major, same shape as the prediction.
+    Values(&'a [f64]),
+}
+
+/// A differentiable training objective.
+///
+/// `pred` is the raw network output (logits for the classification losses).
+pub trait Loss: std::fmt::Debug {
+    /// Stable numeric tag for model files.
+    fn tag(&self) -> u8;
+
+    /// Mean loss over the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadDataset`] if the target does not match `pred`'s
+    /// shape (wrong count, class index out of range, or wrong target variant).
+    fn loss<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<f64>;
+
+    /// Gradient of the mean loss with respect to `pred` (same shape).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::loss`].
+    fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>>;
+}
+
+fn classes_for<'a>(
+    pred_rows: usize,
+    pred_cols: usize,
+    target: TargetRef<'a>,
+    loss_name: &str,
+) -> Result<&'a [usize]> {
+    match target {
+        TargetRef::Classes(cs) => {
+            if cs.len() != pred_rows {
+                return Err(KmlError::BadDataset(format!(
+                    "{loss_name}: {} labels for {} rows",
+                    cs.len(),
+                    pred_rows
+                )));
+            }
+            if let Some(&bad) = cs.iter().find(|&&c| c >= pred_cols) {
+                return Err(KmlError::BadDataset(format!(
+                    "{loss_name}: class {bad} out of range for {pred_cols} outputs"
+                )));
+            }
+            Ok(cs)
+        }
+        TargetRef::Values(_) => Err(KmlError::BadDataset(format!(
+            "{loss_name} expects class-index targets"
+        ))),
+    }
+}
+
+fn values_for<'a>(
+    pred_len: usize,
+    target: TargetRef<'a>,
+    loss_name: &str,
+) -> Result<&'a [f64]> {
+    match target {
+        TargetRef::Values(vs) => {
+            if vs.len() != pred_len {
+                return Err(KmlError::BadDataset(format!(
+                    "{loss_name}: {} target values for {} predictions",
+                    vs.len(),
+                    pred_len
+                )));
+            }
+            Ok(vs)
+        }
+        TargetRef::Classes(_) => Err(KmlError::BadDataset(format!(
+            "{loss_name} expects dense value targets"
+        ))),
+    }
+}
+
+/// Multi-class cross-entropy over raw logits, with softmax fused in
+/// (numerically stable log-sum-exp form). This is the loss of the paper's
+/// readahead workload classifier.
+///
+/// # Example
+///
+/// ```
+/// use kml_core::loss::{CrossEntropyLoss, Loss, TargetRef};
+/// use kml_core::matrix::Matrix;
+///
+/// # fn main() -> kml_core::Result<()> {
+/// let logits = Matrix::from_rows(&[vec![4.0_f64, 0.0, 0.0]])?;
+/// let loss = CrossEntropyLoss.loss(&logits, TargetRef::Classes(&[0]))?;
+/// assert!(loss < 0.1); // confident and correct → small loss
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl Loss for CrossEntropyLoss {
+    fn tag(&self) -> u8 {
+        1
+    }
+
+    fn loss<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<f64> {
+        let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
+        let mut total = 0.0;
+        for (r, &c) in classes.iter().enumerate() {
+            let row: Vec<f64> = pred.row(r).iter().map(|v| v.to_f64()).collect();
+            total -= crate::math::log_softmax_at(&row, c);
+        }
+        Ok(total / pred.rows() as f64)
+    }
+
+    fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
+        let n = pred.rows() as f64;
+        let mut out = Matrix::zeros(pred.rows(), pred.cols());
+        for (r, &c) in classes.iter().enumerate() {
+            let mut row: Vec<f64> = pred.row(r).iter().map(|v| v.to_f64()).collect();
+            crate::math::softmax_in_place(&mut row);
+            for (j, &s) in row.iter().enumerate() {
+                let g = (s - if j == c { 1.0 } else { 0.0 }) / n;
+                out.set(r, j, S::from_f64(g));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Mean squared error: `mean((pred − target)²)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl Loss for MseLoss {
+    fn tag(&self) -> u8 {
+        2
+    }
+
+    fn loss<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<f64> {
+        let vs = values_for(pred.len(), target, "mse")?;
+        let total: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(vs)
+            .map(|(&p, &t)| {
+                let d = p.to_f64() - t;
+                d * d
+            })
+            .sum();
+        Ok(total / pred.len() as f64)
+    }
+
+    fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let vs = values_for(pred.len(), target, "mse")?;
+        let n = pred.len() as f64;
+        let data: Vec<f64> = pred
+            .as_slice()
+            .iter()
+            .zip(vs)
+            .map(|(&p, &t)| 2.0 * (p.to_f64() - t) / n)
+            .collect();
+        Matrix::from_f64_vec(pred.rows(), pred.cols(), &data)
+    }
+}
+
+/// Binary cross-entropy over a single logit column, stable on both tails.
+///
+/// Targets are dense values in `{0, 1}` (one per element of `pred`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BceLoss;
+
+impl Loss for BceLoss {
+    fn tag(&self) -> u8 {
+        3
+    }
+
+    fn loss<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<f64> {
+        let vs = values_for(pred.len(), target, "bce")?;
+        // loss(x, y) = max(x,0) − x·y + ln(1 + e^{−|x|})   (log-sum-exp form)
+        let total: f64 = pred
+            .as_slice()
+            .iter()
+            .zip(vs)
+            .map(|(&p, &y)| {
+                let x = p.to_f64();
+                x.max(0.0) - x * y + crate::math::ln(1.0 + crate::math::exp(-x.abs()))
+            })
+            .sum();
+        Ok(total / pred.len() as f64)
+    }
+
+    fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let vs = values_for(pred.len(), target, "bce")?;
+        let n = pred.len() as f64;
+        let data: Vec<f64> = pred
+            .as_slice()
+            .iter()
+            .zip(vs)
+            .map(|(&p, &y)| (crate::math::sigmoid(p.to_f64()) - y) / n)
+            .collect();
+        Matrix::from_f64_vec(pred.rows(), pred.cols(), &data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(loss: &impl Loss, pred: &Matrix<f64>, target: TargetRef<'_>) {
+        let grad = loss.grad(pred, target).unwrap();
+        let eps = 1e-6;
+        for r in 0..pred.rows() {
+            for c in 0..pred.cols() {
+                let mut pp = pred.clone();
+                pp.set(r, c, pred.get(r, c) + eps);
+                let mut pm = pred.clone();
+                pm.set(r, c, pred.get(r, c) - eps);
+                let numeric =
+                    (loss.loss(&pp, target).unwrap() - loss.loss(&pm, target).unwrap())
+                        / (2.0 * eps);
+                let analytic = grad.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "grad({r},{c}): numeric {numeric}, analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let pred =
+            Matrix::from_rows(&[vec![0.2, -1.0, 2.0], vec![1.5, 1.4, -0.3]]).unwrap();
+        finite_diff_check(&CrossEntropyLoss, &pred, TargetRef::Classes(&[2, 0]));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[vec![0.5, -0.5], vec![2.0, 1.0]]).unwrap();
+        let target = [1.0, 0.0, 1.5, 1.0];
+        finite_diff_check(&MseLoss, &pred, TargetRef::Values(&target));
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[vec![0.3], vec![-2.0], vec![4.0]]).unwrap();
+        let target = [1.0, 0.0, 1.0];
+        finite_diff_check(&BceLoss, &pred, TargetRef::Values(&target));
+    }
+
+    #[test]
+    fn cross_entropy_prefers_correct_class() {
+        let confident_right = Matrix::from_rows(&[vec![5.0, 0.0]]).unwrap();
+        let confident_wrong = Matrix::from_rows(&[vec![0.0, 5.0]]).unwrap();
+        let right = CrossEntropyLoss
+            .loss(&confident_right, TargetRef::Classes(&[0]))
+            .unwrap();
+        let wrong = CrossEntropyLoss
+            .loss(&confident_wrong, TargetRef::Classes(&[0]))
+            .unwrap();
+        assert!(right < 0.01);
+        assert!(wrong > 4.0);
+    }
+
+    #[test]
+    fn cross_entropy_stable_for_extreme_logits() {
+        let pred = Matrix::<f64>::from_rows(&[vec![1000.0, -1000.0]]).unwrap();
+        let l = CrossEntropyLoss.loss(&pred, TargetRef::Classes(&[0])).unwrap();
+        assert!(l.is_finite());
+        assert!(l < 1e-6);
+        let g = CrossEntropyLoss.grad(&pred, TargetRef::Classes(&[0])).unwrap();
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mse_of_exact_prediction_is_zero() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let l = MseLoss.loss(&pred, TargetRef::Values(&[1.0, 2.0])).unwrap();
+        assert_eq!(l, 0.0);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let pred = Matrix::from_rows(&[vec![500.0], vec![-500.0]]).unwrap();
+        let l = BceLoss.loss(&pred, TargetRef::Values(&[1.0, 0.0])).unwrap();
+        assert!(l.is_finite());
+        assert!(l < 1e-6);
+    }
+
+    #[test]
+    fn wrong_target_variant_is_rejected() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(CrossEntropyLoss
+            .loss(&pred, TargetRef::Values(&[1.0, 0.0]))
+            .is_err());
+        assert!(MseLoss.loss(&pred, TargetRef::Classes(&[0])).is_err());
+    }
+
+    #[test]
+    fn class_out_of_range_is_rejected() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(CrossEntropyLoss
+            .loss(&pred, TargetRef::Classes(&[2]))
+            .is_err());
+    }
+
+    #[test]
+    fn label_count_mismatch_is_rejected() {
+        let pred = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(CrossEntropyLoss
+            .loss(&pred, TargetRef::Classes(&[0]))
+            .is_err());
+        assert!(MseLoss.loss(&pred, TargetRef::Values(&[0.0])).is_err());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        assert_ne!(CrossEntropyLoss.tag(), MseLoss.tag());
+        assert_ne!(MseLoss.tag(), BceLoss.tag());
+    }
+}

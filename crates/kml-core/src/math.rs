@@ -1,0 +1,357 @@
+//! From-scratch math approximations (paper §2 "Math and matrix operations").
+//!
+//! The kernel offers no `libm`, so KML "implemented must-have functions such
+//! as logarithm, softmax, and logistic from scratch using approximation
+//! algorithms". This module is that layer: every transcendental used by the
+//! library is computed here with classic range-reduction + polynomial /
+//! iterative schemes, using only `f64` arithmetic primitives (`+ - * /`) and
+//! integer bit manipulation. Accuracy targets are documented per function and
+//! locked in by tests against `std` implementations.
+
+/// Natural exponential via range reduction and an order-11 Taylor core.
+///
+/// Reduces `x = k·ln2 + r` with `|r| ≤ ln2/2`, evaluates the Taylor series of
+/// `e^r` (converges fast on the reduced range), and reassembles with an exact
+/// power-of-two scale. Relative error < 1e-13 on `[-700, 700]`.
+///
+/// # Example
+///
+/// ```
+/// let y = kml_core::math::exp(1.0);
+/// assert!((y - std::f64::consts::E).abs() < 1e-12);
+/// ```
+pub fn exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    // Overflow / underflow clamps for f64.
+    if x > 709.78 {
+        return f64::INFINITY;
+    }
+    if x < -745.0 {
+        return 0.0;
+    }
+    const LN2: f64 = std::f64::consts::LN_2;
+    // x = k*ln2 + r
+    let k = (x / LN2 + if x >= 0.0 { 0.5 } else { -0.5 }) as i64;
+    let r = x - (k as f64) * LN2;
+    // Taylor series e^r = sum r^n / n!  for |r| <= ln2/2 ≈ 0.347
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    for n in 1..=13 {
+        term *= r / (n as f64);
+        sum += term;
+    }
+    scale_by_pow2(sum, k as i32)
+}
+
+/// Multiplies `x` by `2^k` exactly using exponent-field manipulation.
+fn scale_by_pow2(x: f64, k: i32) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let bits = x.to_bits();
+    let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+    let new_exp = exp_bits + k as i64;
+    if new_exp <= 0 {
+        // Subnormal territory: fall back to repeated halving (rare, cold path).
+        let mut y = x;
+        for _ in 0..(-k) {
+            y *= 0.5;
+        }
+        return y;
+    }
+    if new_exp >= 0x7ff {
+        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+    }
+    f64::from_bits((bits & !(0x7ffu64 << 52)) | ((new_exp as u64) << 52))
+}
+
+/// Natural logarithm via exponent extraction and the `atanh` series.
+///
+/// Writes `x = m·2^e` with `m ∈ [√½, √2)`, then `ln m = 2·atanh((m-1)/(m+1))`
+/// evaluated as an odd polynomial. Relative error < 1e-14 for normal inputs.
+///
+/// Returns NaN for negative inputs and `-inf` for zero, matching `f64::ln`.
+///
+/// # Example
+///
+/// ```
+/// assert!((kml_core::math::ln(10.0) - 10.0_f64.ln()).abs() < 1e-13);
+/// ```
+pub fn ln(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    let bits = x.to_bits();
+    let mut exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut mant = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52));
+    if exp == -1023 {
+        // Subnormal: normalize by scaling up.
+        let y = x * scale_by_pow2(1.0, 60);
+        return ln(y) - 60.0 * std::f64::consts::LN_2;
+    }
+    // Bring mantissa into [sqrt(1/2), sqrt(2)) for fast series convergence.
+    const SQRT2: f64 = std::f64::consts::SQRT_2;
+    if mant > SQRT2 {
+        mant *= 0.5;
+        exp += 1;
+    }
+    let t = (mant - 1.0) / (mant + 1.0);
+    let t2 = t * t;
+    // 2*atanh(t) = 2t (1 + t²/3 + t⁴/5 + ...)
+    let mut sum = 0.0f64;
+    let mut power = 1.0f64;
+    for n in 0..13 {
+        sum += power / (2 * n + 1) as f64;
+        power *= t2;
+    }
+    2.0 * t * sum + (exp as f64) * std::f64::consts::LN_2
+}
+
+/// Logistic sigmoid `1/(1+e^{-x})`, numerically stable on both tails.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(kml_core::math::sigmoid(0.0), 0.5);
+/// assert!(kml_core::math::sigmoid(40.0) > 0.999999);
+/// ```
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = exp(-x);
+        1.0 / (1.0 + e)
+    } else {
+        let e = exp(x);
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent via the stable identity `tanh(x) = 2σ(2x) − 1`.
+///
+/// # Example
+///
+/// ```
+/// assert!((kml_core::math::tanh(0.5) - 0.5_f64.tanh()).abs() < 1e-12);
+/// ```
+pub fn tanh(x: f64) -> f64 {
+    2.0 * sigmoid(2.0 * x) - 1.0
+}
+
+/// Square root by Newton–Raphson on a bit-level initial guess.
+///
+/// Returns NaN for negative inputs. Relative error < 1e-15.
+///
+/// # Example
+///
+/// ```
+/// assert!((kml_core::math::sqrt(2.0) - std::f64::consts::SQRT_2).abs() < 1e-14);
+/// ```
+pub fn sqrt(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 || x.is_infinite() {
+        return x;
+    }
+    // Initial guess: halve the exponent (classic bit hack for doubles).
+    let guess = f64::from_bits((x.to_bits() >> 1) + (1023u64 << 51));
+    let mut y = guess;
+    for _ in 0..5 {
+        y = 0.5 * (y + x / y);
+    }
+    y
+}
+
+/// In-place softmax over `v` with max-subtraction for numerical stability.
+///
+/// After the call `v` sums to 1 (within FP error) and every element is in
+/// `(0, 1]`. Empty slices are left untouched.
+///
+/// # Example
+///
+/// ```
+/// let mut v = [1.0, 2.0, 3.0];
+/// kml_core::math::softmax_in_place(&mut v);
+/// let sum: f64 = v.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-12);
+/// assert!(v[2] > v[1] && v[1] > v[0]);
+/// ```
+pub fn softmax_in_place(v: &mut [f64]) {
+    if v.is_empty() {
+        return;
+    }
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = exp(*x - max);
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// `log(softmax(v))[i]` computed stably (used by cross-entropy).
+///
+/// # Panics
+///
+/// Panics if `i >= v.len()` or `v` is empty.
+pub fn log_softmax_at(v: &[f64], i: usize) -> f64 {
+    assert!(!v.is_empty(), "log_softmax_at on empty slice");
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for &x in v {
+        sum += exp(x - max);
+    }
+    (v[i] - max) - ln(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exp_matches_std_on_grid() {
+        let mut x = -30.0;
+        while x <= 30.0 {
+            let got = exp(x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-12, "exp({x}): got {got}, want {want}, rel {rel}");
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn exp_extremes() {
+        assert_eq!(exp(0.0), 1.0);
+        assert_eq!(exp(1000.0), f64::INFINITY);
+        assert_eq!(exp(-1000.0), 0.0);
+        assert!(exp(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn ln_matches_std_on_grid() {
+        for &x in &[1e-8, 1e-3, 0.5, 1.0, 2.0, std::f64::consts::E, 10.0, 12345.678, 1e12] {
+            let got = ln(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() < 1e-12 * want.abs().max(1.0),
+                "ln({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_edge_cases() {
+        assert_eq!(ln(0.0), f64::NEG_INFINITY);
+        assert!(ln(-1.0).is_nan());
+        assert_eq!(ln(1.0), 0.0);
+        assert_eq!(ln(f64::INFINITY), f64::INFINITY);
+        // Subnormal input.
+        let tiny = f64::MIN_POSITIVE / 8.0;
+        assert!((ln(tiny) - tiny.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        for &x in &[-50.0, -5.0, -0.1, 0.0, 0.1, 5.0, 50.0] {
+            let s = sigmoid(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12, "sigmoid symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let mut x = -5.0;
+        while x <= 5.0 {
+            assert!((tanh(x) - x.tanh()).abs() < 1e-11, "tanh({x})");
+            x += 0.19;
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_std() {
+        for &x in &[0.0, 1e-12, 0.25, 1.0, 2.0, 3.0, 1e6, 1e300] {
+            let got = sqrt(x);
+            let want = x.sqrt();
+            if want == 0.0 {
+                assert_eq!(got, 0.0);
+            } else {
+                assert!(((got - want) / want).abs() < 1e-14, "sqrt({x})");
+            }
+        }
+        assert!(sqrt(-1.0).is_nan());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = vec![-2.0, 0.0, 3.0, 3.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+        assert!((v[2] - v[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let mut v = vec![1000.0, 1001.0, 999.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let v = vec![0.3, -1.2, 2.5];
+        let mut s = v.clone();
+        softmax_in_place(&mut s);
+        for (i, &si) in s.iter().enumerate() {
+            assert!((log_softmax_at(&v, i) - ln(si)).abs() < 1e-10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_exp_ln_inverse(x in 1e-6f64..1e6) {
+            let y = ln(exp(ln(x)).max(f64::MIN_POSITIVE));
+            prop_assert!((y - ln(x)).abs() < 1e-9 * ln(x).abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_exp_positive(x in -700.0f64..700.0) {
+            prop_assert!(exp(x) > 0.0);
+        }
+
+        #[test]
+        fn prop_sigmoid_monotone(a in -100.0f64..100.0, d in 1e-6f64..10.0) {
+            prop_assert!(sigmoid(a + d) >= sigmoid(a));
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(v in proptest::collection::vec(-50.0f64..50.0, 1..16)) {
+            let mut s = v.clone();
+            softmax_in_place(&mut s);
+            let sum: f64 = s.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        }
+
+        #[test]
+        fn prop_sqrt_squares_back(x in 1e-12f64..1e12) {
+            let r = sqrt(x);
+            prop_assert!(((r * r - x) / x).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Dense row-major matrices and the linear-algebra kernels KML needs (§2).
+//!
+//! The paper implements "commonly used matrix manipulation and linear algebra
+//! functions" from scratch because none exist in the kernel. [`Matrix`] is
+//! generic over [`Scalar`] so the same layer code runs in `f32`, `f64`, or
+//! Q16.16 fixed point, and every fallible operation returns a typed error
+//! rather than panicking — a kernel oops is not an acceptable failure mode.
+
+use crate::scalar::Scalar;
+use crate::{KmlError, KmlRng, Result};
+use rand::Rng;
+
+/// A dense, row-major matrix of [`Scalar`] elements.
+///
+/// # Example
+///
+/// ```
+/// use kml_core::matrix::Matrix;
+///
+/// # fn main() -> kml_core::Result<()> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S: Scalar = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, S::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadDataset`] if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<S>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(KmlError::BadDataset("matrix with zero rows".into()));
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(KmlError::BadDataset("matrix with zero columns".into()));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(KmlError::BadDataset(format!(
+                    "ragged matrix: row 0 has {cols} columns, row {i} has {}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadDataset`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(KmlError::BadDataset(format!(
+                "buffer of {} elements cannot form a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a 1×n row vector.
+    pub fn row_vector(v: &[S]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a layer weight matrix:
+    /// entries drawn from `U(-limit, limit)` with `limit = sqrt(6/(fan_in+fan_out))`.
+    pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut KmlRng) -> Self {
+        let limit = crate::math::sqrt(6.0 / (rows + cols) as f64);
+        let data = (0..rows * cols)
+            .map(|_| S::from_f64(rng.gen_range(-limit..limit)))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes of element storage (for §4 memory-footprint accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * S::BYTES
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> S {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[S] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of all elements.
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of all elements.
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        if self.cols != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out: Matrix<S> = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through rhs rows, cache-friendly for
+        // row-major layout (the kernels the paper hand-optimizes).
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == S::ZERO {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o = o.mul_acc(a, b);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · rhsᵀ` without materializing the transpose (back-prop kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.cols`.
+    pub fn matmul_transpose(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        if self.cols != rhs.cols {
+            return Err(KmlError::ShapeMismatch {
+                op: "matmul_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = S::ZERO;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc = acc.mul_acc(a, b);
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose (gradient kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.rows == rhs.rows`.
+    pub fn transpose_matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        if self.rows != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out: Matrix<S> = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == S::ZERO {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o = o.mul_acc(a, b);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix<S> {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn add(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        self.zip_with(rhs, "add", S::add)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn sub(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        self.zip_with(rhs, "sub", S::sub)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn hadamard(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        self.zip_with(rhs, "hadamard", S::mul)
+    }
+
+    /// Adds a 1×cols row vector to every row (bias broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `bias` is `1 × self.cols`.
+    pub fn add_row_broadcast(&self, bias: &Matrix<S>) -> Result<Matrix<S>> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(KmlError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: bias.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in row.iter_mut().zip(&bias.data) {
+                *o = o.add(b);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sums each column into a 1×cols row vector (bias-gradient reduction).
+    pub fn sum_rows(&self) -> Matrix<S> {
+        let mut out: Matrix<S> = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] = out.data[c].add(self.data[r * self.cols + c]);
+            }
+        }
+        out
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: S) -> Matrix<S> {
+        self.map(|v| v.mul(k))
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map(&self, f: impl Fn(S) -> S) -> Matrix<S> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(S) -> S) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// In-place `self += rhs * k` (the SGD update kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn axpy_in_place(&mut self, rhs: &Matrix<S>, k: S) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(KmlError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = a.mul_acc(b, k);
+        }
+        Ok(())
+    }
+
+    /// Index of the maximum element in row `r` (ties → first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or the matrix has zero columns.
+    pub fn argmax_row(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, v) in row.iter().enumerate() {
+            if *v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Converts every element to `f64` (for loss computation / reporting).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|v| v.to_f64()).collect()
+    }
+
+    /// Builds a matrix from `f64` data, converting into `S`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadDataset`] if `data.len() != rows * cols`.
+    pub fn from_f64_vec(rows: usize, cols: usize, data: &[f64]) -> Result<Matrix<S>> {
+        if data.len() != rows * cols {
+            return Err(KmlError::BadDataset(format!(
+                "buffer of {} elements cannot form a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&v| S::from_f64(v)).collect(),
+        })
+    }
+
+    /// Frobenius norm, computed in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::math::sqrt(
+            self.data
+                .iter()
+                .map(|v| {
+                    let x = v.to_f64();
+                    x * x
+                })
+                .sum(),
+        )
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix<S>,
+        op: &'static str,
+        f: impl Fn(S, S) -> S,
+    ) -> Result<Matrix<S>> {
+        if self.shape() != rhs.shape() {
+            return Err(KmlError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl<S: Scalar> std::fmt::Display for Matrix<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Fix32;
+    use rand::SeedableRng;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix<f64> {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = m(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(KmlError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(&[vec![1.5, -2.0, 3.0], vec![0.0, 4.0, -1.0]]);
+        let i = Matrix::<f64>::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_kernels_match_explicit_transpose() {
+        let mut rng = KmlRng::seed_from_u64(1);
+        let a = Matrix::<f64>::xavier_uniform(4, 6, &mut rng);
+        let b = Matrix::<f64>::xavier_uniform(5, 6, &mut rng);
+        let via_kernel = a.matmul_transpose(&b).unwrap();
+        let via_explicit = a.matmul(&b.transpose()).unwrap();
+        for (x, y) in via_kernel.as_slice().iter().zip(via_explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+
+        let c = Matrix::<f64>::xavier_uniform(4, 3, &mut rng);
+        let via_kernel = a.transpose_matmul(&c).unwrap();
+        let via_explicit = a.transpose().matmul(&c).unwrap();
+        for (x, y) in via_kernel.as_slice().iter().zip(via_explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn elementwise_operations() {
+        let a = m(&[vec![1.0, 2.0]]);
+        let b = m(&[vec![10.0, 20.0]]);
+        assert_eq!(a.add(&b).unwrap(), m(&[vec![11.0, 22.0]]));
+        assert_eq!(b.sub(&a).unwrap(), m(&[vec![9.0, 18.0]]));
+        assert_eq!(a.hadamard(&b).unwrap(), m(&[vec![10.0, 40.0]]));
+        assert_eq!(a.scale(3.0), m(&[vec![3.0, 6.0]]));
+    }
+
+    #[test]
+    fn broadcast_and_reduce() {
+        let x = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let bias = m(&[vec![10.0, 20.0]]);
+        assert_eq!(
+            x.add_row_broadcast(&bias).unwrap(),
+            m(&[vec![11.0, 22.0], vec![13.0, 24.0]])
+        );
+        assert_eq!(x.sum_rows(), m(&[vec![4.0, 6.0]]));
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut w = m(&[vec![1.0, 1.0]]);
+        let g = m(&[vec![2.0, 4.0]]);
+        w.axpy_in_place(&g, -0.5).unwrap();
+        assert_eq!(w, m(&[vec![0.0, -1.0]]));
+    }
+
+    #[test]
+    fn argmax_takes_first_on_tie() {
+        let x = m(&[vec![0.3, 0.5, 0.5, 0.1]]);
+        assert_eq!(x.argmax_row(0), 1);
+    }
+
+    #[test]
+    fn ragged_and_empty_inputs_rejected() {
+        assert!(Matrix::<f64>::from_rows(&[]).is_err());
+        assert!(Matrix::<f64>::from_rows(&[vec![]]).is_err());
+        assert!(Matrix::<f64>::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::<f64>::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn fixed_point_matmul_close_to_float() {
+        let mut rng = KmlRng::seed_from_u64(3);
+        let af = Matrix::<f64>::xavier_uniform(3, 3, &mut rng);
+        let bf = Matrix::<f64>::xavier_uniform(3, 3, &mut rng);
+        let aq = Matrix::<Fix32>::from_f64_vec(3, 3, &af.to_f64_vec()).unwrap();
+        let bq = Matrix::<Fix32>::from_f64_vec(3, 3, &bf.to_f64_vec()).unwrap();
+        let cf = af.matmul(&bf).unwrap();
+        let cq = aq.matmul(&bq).unwrap();
+        for (x, y) in cf.to_f64_vec().iter().zip(cq.to_f64_vec()) {
+            assert!((x - y).abs() < 1e-3, "fixed-point drifted: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn storage_bytes_counts_elements() {
+        assert_eq!(Matrix::<f32>::zeros(3, 4).storage_bytes(), 48);
+        assert_eq!(Matrix::<f64>::zeros(3, 4).storage_bytes(), 96);
+        assert_eq!(Matrix::<Fix32>::zeros(3, 4).storage_bytes(), 48);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = KmlRng::seed_from_u64(9);
+        let w = Matrix::<f64>::xavier_uniform(10, 10, &mut rng);
+        let limit = (6.0f64 / 20.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= limit));
+        // Not all zero (i.e. it actually randomized).
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let x = Matrix::<f64>::zeros(2, 2);
+        assert!(!format!("{x}").is_empty());
+        assert!(!format!("{x:?}").is_empty());
+    }
+}

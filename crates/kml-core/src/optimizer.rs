@@ -1,0 +1,210 @@
+//! Stochastic gradient descent with momentum (paper §2, §4).
+//!
+//! "Once gradients are computed, KML optimizes the neural network's
+//! parameters using Stochastic Gradient Descent." The readahead model uses
+//! lr = 0.01 and momentum = 0.99 (§4); [`Sgd::paper_defaults`] encodes that
+//! configuration.
+
+use crate::layers::ParamGrad;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::Result;
+
+/// SGD with classical (heavy-ball) momentum:
+///
+/// `v ← μ·v − η·g` ; `w ← w + v`
+///
+/// Velocity buffers are allocated lazily per parameter slot and reused across
+/// steps; slot order must stay stable across calls (it does for a fixed
+/// model, since layers enumerate parameters deterministically).
+///
+/// # Example
+///
+/// ```
+/// use kml_core::optimizer::Sgd;
+///
+/// let sgd = Sgd::paper_defaults();
+/// assert_eq!(sgd.learning_rate(), 0.01);
+/// assert_eq!(sgd.momentum(), 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+    momentum: f64,
+    velocities: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with the given learning rate and momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        Sgd {
+            learning_rate,
+            momentum,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// The configuration of the paper's readahead model: lr 0.01, momentum 0.99.
+    pub fn paper_defaults() -> Self {
+        Sgd::new(0.01, 0.99)
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The configured momentum coefficient.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    /// Clears all velocity state (e.g. between cross-validation folds).
+    pub fn reset(&mut self) {
+        self.velocities.clear();
+    }
+
+    /// Applies one update to every parameter slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors if a gradient's shape stopped matching its
+    /// parameter (which indicates a corrupted training loop).
+    pub fn step<S: Scalar>(&mut self, slots: &mut [ParamGrad<'_, S>]) -> Result<()> {
+        // Grow velocity storage on first sight of each slot.
+        while self.velocities.len() < slots.len() {
+            let idx = self.velocities.len();
+            self.velocities.push(vec![0.0; slots[idx].grad.len()]);
+        }
+        for (slot, vel) in slots.iter_mut().zip(&mut self.velocities) {
+            debug_assert_eq!(slot.param.shape(), slot.grad.shape());
+            let grad = slot.grad.as_slice();
+            let mut update = Vec::with_capacity(grad.len());
+            for (v, g) in vel.iter_mut().zip(grad) {
+                *v = self.momentum * *v - self.learning_rate * g.to_f64();
+                update.push(*v);
+            }
+            let delta = Matrix::<S>::from_f64_vec(
+                slot.param.rows(),
+                slot.param.cols(),
+                &update,
+            )?;
+            slot.param.axpy_in_place(&delta, S::ONE)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear};
+    use crate::loss::{Loss, MseLoss, TargetRef};
+    use crate::KmlRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_learning_rate_panics() {
+        let _ = Sgd::new(0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn momentum_one_panics() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut w = Matrix::from_rows(&[vec![1.0_f64, -1.0]]).unwrap();
+        let g = Matrix::from_rows(&[vec![0.5, -0.5]]).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.0);
+        sgd.step(&mut [ParamGrad {
+            param: &mut w,
+            grad: &g,
+        }])
+        .unwrap();
+        assert_eq!(w.as_slice(), &[0.95, -0.95]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut w = Matrix::from_rows(&[vec![0.0_f64]]).unwrap();
+        let g = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.5);
+        // step 1: v = -0.1, w = -0.1
+        // step 2: v = -0.15, w = -0.25
+        sgd.step(&mut [ParamGrad {
+            param: &mut w,
+            grad: &g,
+        }])
+        .unwrap();
+        sgd.step(&mut [ParamGrad {
+            param: &mut w,
+            grad: &g,
+        }])
+        .unwrap();
+        assert!((w.get(0, 0) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_velocity() {
+        let mut w = Matrix::from_rows(&[vec![0.0_f64]]).unwrap();
+        let g = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.9);
+        sgd.step(&mut [ParamGrad {
+            param: &mut w,
+            grad: &g,
+        }])
+        .unwrap();
+        sgd.reset();
+        let before = w.get(0, 0);
+        sgd.step(&mut [ParamGrad {
+            param: &mut w,
+            grad: &g,
+        }])
+        .unwrap();
+        // With cleared velocity the step is exactly -lr*g again.
+        assert!((w.get(0, 0) - (before - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_drives_linear_regression_to_target() {
+        // Fit y = 2x with a single 1x1 linear layer.
+        let mut rng = KmlRng::seed_from_u64(5);
+        let mut layer = Linear::<f64>::new(1, 1, &mut rng);
+        let mut sgd = Sgd::new(0.02, 0.8);
+        let xs = [0.0, 0.5, 1.0, 1.5, 2.0];
+        for _ in 0..500 {
+            for &x in &xs {
+                let input = Matrix::row_vector(&[x]);
+                let pred = layer.forward(&input).unwrap();
+                let target = [2.0 * x];
+                let grad = MseLoss.grad(&pred, TargetRef::Values(&target)).unwrap();
+                layer.backward(&grad).unwrap();
+                sgd.step(&mut layer.param_grads()).unwrap();
+            }
+        }
+        let w = layer.weights().get(0, 0);
+        let b = layer.bias().get(0, 0);
+        assert!((w - 2.0).abs() < 0.05, "w = {w}");
+        assert!(b.abs() < 0.05, "b = {b}");
+    }
+
+    #[test]
+    fn paper_defaults_match_section_four() {
+        let sgd = Sgd::paper_defaults();
+        assert_eq!(sgd.learning_rate(), 0.01);
+        assert_eq!(sgd.momentum(), 0.99);
+    }
+}

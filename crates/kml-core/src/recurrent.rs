@@ -1,0 +1,643 @@
+//! Recurrent networks — the paper's §6 future work, implemented.
+//!
+//! "We also plan to support arbitrary computation DAGs (e.g., Recurrent
+//! Neural Networks (RNNs)) and Long Short-Term Memory (LSTM)." This module
+//! adds both as sequence classifiers: an Elman [`Rnn`] and an [`Lstm`],
+//! each processing a `T × in_dim` sequence one timestep at a time and
+//! emitting class logits from the final hidden state through a linear
+//! head. Training is truncated-free full back-propagation through time
+//! (BPTT) with the same SGD optimizer the feed-forward models use.
+//!
+//! In KML terms these enable *sequence-native* workload classification:
+//! instead of hand-windowed summary features, the raw per-tracepoint
+//! offset-delta stream is the input (see `seq_features` in the readahead
+//! crate's tests and the `rnn_workloads` example).
+
+use crate::layers::ParamGrad;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{KmlError, KmlRng, Result};
+
+/// Elman recurrent network with a linear classification head:
+///
+/// `h_t = tanh(x_t·Wx + h_{t−1}·Wh + b)` ; `logits = h_T·Wo + bo`
+#[derive(Debug, Clone)]
+pub struct Rnn<S: Scalar> {
+    wx: Matrix<S>,
+    wh: Matrix<S>,
+    b: Matrix<S>,
+    wo: Matrix<S>,
+    bo: Matrix<S>,
+    grad_wx: Matrix<S>,
+    grad_wh: Matrix<S>,
+    grad_b: Matrix<S>,
+    grad_wo: Matrix<S>,
+    grad_bo: Matrix<S>,
+    /// Cached per-step values from the last forward pass (for BPTT).
+    cache: Option<RnnCache<S>>,
+}
+
+#[derive(Debug, Clone)]
+struct RnnCache<S: Scalar> {
+    inputs: Vec<Matrix<S>>,
+    hiddens: Vec<Matrix<S>>, // h_0 (zeros) .. h_T
+}
+
+impl<S: Scalar> Rnn<S> {
+    /// Creates a network with Xavier-initialized parameters.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, rng: &mut KmlRng) -> Self {
+        Rnn {
+            wx: Matrix::xavier_uniform(in_dim, hidden, rng),
+            wh: Matrix::xavier_uniform(hidden, hidden, rng),
+            b: Matrix::zeros(1, hidden),
+            wo: Matrix::xavier_uniform(hidden, classes, rng),
+            bo: Matrix::zeros(1, classes),
+            grad_wx: Matrix::zeros(in_dim, hidden),
+            grad_wh: Matrix::zeros(hidden, hidden),
+            grad_b: Matrix::zeros(1, hidden),
+            grad_wo: Matrix::zeros(hidden, classes),
+            grad_bo: Matrix::zeros(1, classes),
+            cache: None,
+        }
+    }
+
+    /// Input width per timestep.
+    pub fn in_dim(&self) -> usize {
+        self.wx.rows()
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.wh.rows()
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.wo.cols()
+    }
+
+    /// Bytes of parameter storage.
+    pub fn param_bytes(&self) -> usize {
+        [&self.wx, &self.wh, &self.b, &self.wo, &self.bo]
+            .iter()
+            .map(|m| m.storage_bytes())
+            .sum()
+    }
+
+    /// Forward pass over a `T × in_dim` sequence; returns the class logits
+    /// (1 × classes) from the final hidden state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] if the sequence width is wrong
+    /// or [`KmlError::BadDataset`] for an empty sequence.
+    pub fn forward(&mut self, seq: &Matrix<S>) -> Result<Matrix<S>> {
+        if seq.cols() != self.in_dim() {
+            return Err(KmlError::ShapeMismatch {
+                op: "rnn forward",
+                lhs: seq.shape(),
+                rhs: (1, self.in_dim()),
+            });
+        }
+        if seq.rows() == 0 {
+            return Err(KmlError::BadDataset("empty sequence".into()));
+        }
+        let mut inputs = Vec::with_capacity(seq.rows());
+        let mut hiddens = Vec::with_capacity(seq.rows() + 1);
+        hiddens.push(Matrix::zeros(1, self.hidden_dim()));
+        for t in 0..seq.rows() {
+            let x = Matrix::row_vector(seq.row(t));
+            let z = x
+                .matmul(&self.wx)?
+                .add(&hiddens[t].matmul(&self.wh)?)?
+                .add_row_broadcast(&self.b)?;
+            hiddens.push(z.map(Scalar::tanh));
+            inputs.push(x);
+        }
+        let logits = hiddens
+            .last()
+            .expect("at least h_0")
+            .matmul(&self.wo)?
+            .add_row_broadcast(&self.bo)?;
+        self.cache = Some(RnnCache { inputs, hiddens });
+        Ok(logits)
+    }
+
+    /// Full back-propagation through time from `grad_logits` (∂L/∂logits).
+    /// Parameter gradients land in the internal slots for the optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if called before `forward`.
+    pub fn backward(&mut self, grad_logits: &Matrix<S>) -> Result<()> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            KmlError::InvalidConfig("rnn backward before forward".into())
+        })?;
+        let t_steps = cache.inputs.len();
+        let h_last = &cache.hiddens[t_steps];
+
+        self.grad_wo = h_last.transpose_matmul(grad_logits)?;
+        self.grad_bo = grad_logits.sum_rows();
+        let mut dh = grad_logits.matmul_transpose(&self.wo)?;
+
+        self.grad_wx = Matrix::zeros(self.wx.rows(), self.wx.cols());
+        self.grad_wh = Matrix::zeros(self.wh.rows(), self.wh.cols());
+        self.grad_b = Matrix::zeros(1, self.b.cols());
+
+        for t in (0..t_steps).rev() {
+            let h_t = &cache.hiddens[t + 1];
+            // dz = dh ⊙ (1 − h²)   (tanh')
+            let dz = dh.hadamard(&h_t.map(|v| S::ONE.sub(v.mul(v))))?;
+            self.grad_wx = self.grad_wx.add(&cache.inputs[t].transpose_matmul(&dz)?)?;
+            self.grad_wh = self.grad_wh.add(&cache.hiddens[t].transpose_matmul(&dz)?)?;
+            self.grad_b = self.grad_b.add(&dz.sum_rows())?;
+            dh = dz.matmul_transpose(&self.wh)?;
+        }
+        Ok(())
+    }
+
+    /// Parameter/gradient slots for the optimizer.
+    pub fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
+        vec![
+            ParamGrad { param: &mut self.wx, grad: &self.grad_wx },
+            ParamGrad { param: &mut self.wh, grad: &self.grad_wh },
+            ParamGrad { param: &mut self.b, grad: &self.grad_b },
+            ParamGrad { param: &mut self.wo, grad: &self.grad_wo },
+            ParamGrad { param: &mut self.bo, grad: &self.grad_bo },
+        ]
+    }
+
+    /// Predicted class for a sequence (argmax of the logits).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rnn::forward`].
+    pub fn predict(&mut self, seq: &Matrix<S>) -> Result<usize> {
+        Ok(self.forward(seq)?.argmax_row(0))
+    }
+}
+
+/// LSTM with a linear classification head.
+///
+/// Gates (row-vector convention, `[x, h]` via two weight matrices each):
+///
+/// ```text
+/// i = σ(x·Wxi + h·Whi + bi)      f = σ(x·Wxf + h·Whf + bf)
+/// o = σ(x·Wxo + h·Who + bo)      g = tanh(x·Wxg + h·Whg + bg)
+/// c' = f ⊙ c + i ⊙ g             h' = o ⊙ tanh(c')
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm<S: Scalar> {
+    /// Gate parameters, indexed i=0, f=1, o=2, g=3.
+    wx: [Matrix<S>; 4],
+    wh: [Matrix<S>; 4],
+    b: [Matrix<S>; 4],
+    head_w: Matrix<S>,
+    head_b: Matrix<S>,
+    grad_wx: [Matrix<S>; 4],
+    grad_wh: [Matrix<S>; 4],
+    grad_b: [Matrix<S>; 4],
+    grad_head_w: Matrix<S>,
+    grad_head_b: Matrix<S>,
+    cache: Option<LstmCache<S>>,
+}
+
+#[derive(Debug, Clone)]
+struct LstmCache<S: Scalar> {
+    inputs: Vec<Matrix<S>>,
+    /// Per step: gates [i, f, o, g].
+    gates: Vec<[Matrix<S>; 4]>,
+    /// c_0 .. c_T.
+    cells: Vec<Matrix<S>>,
+    /// h_0 .. h_T.
+    hiddens: Vec<Matrix<S>>,
+    /// tanh(c_t) per step (recomputed values cached for backward).
+    tanh_c: Vec<Matrix<S>>,
+}
+
+const I: usize = 0;
+const F: usize = 1;
+const O: usize = 2;
+const G: usize = 3;
+
+impl<S: Scalar> Lstm<S> {
+    /// Creates an LSTM with Xavier-initialized parameters and the standard
+    /// forget-gate bias of 1 (helps gradient flow early in training).
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, rng: &mut KmlRng) -> Self {
+        let wx = std::array::from_fn(|_| Matrix::xavier_uniform(in_dim, hidden, rng));
+        let wh = std::array::from_fn(|_| Matrix::xavier_uniform(hidden, hidden, rng));
+        let mut b: [Matrix<S>; 4] = std::array::from_fn(|_| Matrix::zeros(1, hidden));
+        b[F].map_in_place(|_| S::ONE);
+        Lstm {
+            wx,
+            wh,
+            b,
+            head_w: Matrix::xavier_uniform(hidden, classes, rng),
+            head_b: Matrix::zeros(1, classes),
+            grad_wx: std::array::from_fn(|_| Matrix::zeros(in_dim, hidden)),
+            grad_wh: std::array::from_fn(|_| Matrix::zeros(hidden, hidden)),
+            grad_b: std::array::from_fn(|_| Matrix::zeros(1, hidden)),
+            grad_head_w: Matrix::zeros(hidden, classes),
+            grad_head_b: Matrix::zeros(1, classes),
+            cache: None,
+        }
+    }
+
+    /// Input width per timestep.
+    pub fn in_dim(&self) -> usize {
+        self.wx[I].rows()
+    }
+
+    /// Hidden-state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.wh[I].rows()
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.head_w.cols()
+    }
+
+    /// Bytes of parameter storage.
+    pub fn param_bytes(&self) -> usize {
+        let gates: usize = (0..4)
+            .map(|k| {
+                self.wx[k].storage_bytes()
+                    + self.wh[k].storage_bytes()
+                    + self.b[k].storage_bytes()
+            })
+            .sum();
+        gates + self.head_w.storage_bytes() + self.head_b.storage_bytes()
+    }
+
+    /// Forward pass over a `T × in_dim` sequence; returns the class logits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Rnn::forward`].
+    pub fn forward(&mut self, seq: &Matrix<S>) -> Result<Matrix<S>> {
+        if seq.cols() != self.in_dim() {
+            return Err(KmlError::ShapeMismatch {
+                op: "lstm forward",
+                lhs: seq.shape(),
+                rhs: (1, self.in_dim()),
+            });
+        }
+        if seq.rows() == 0 {
+            return Err(KmlError::BadDataset("empty sequence".into()));
+        }
+        let hidden = self.hidden_dim();
+        let mut cache = LstmCache {
+            inputs: Vec::with_capacity(seq.rows()),
+            gates: Vec::with_capacity(seq.rows()),
+            cells: vec![Matrix::zeros(1, hidden)],
+            hiddens: vec![Matrix::zeros(1, hidden)],
+            tanh_c: Vec::with_capacity(seq.rows()),
+        };
+        for t in 0..seq.rows() {
+            let x = Matrix::row_vector(seq.row(t));
+            let h_prev = cache.hiddens[t].clone();
+            let c_prev = cache.cells[t].clone();
+            let mut gates: [Matrix<S>; 4] = std::array::from_fn(|_| Matrix::zeros(1, hidden));
+            for (k, gate) in gates.iter_mut().enumerate() {
+                let z = x
+                    .matmul(&self.wx[k])?
+                    .add(&h_prev.matmul(&self.wh[k])?)?
+                    .add_row_broadcast(&self.b[k])?;
+                *gate = if k == G {
+                    z.map(Scalar::tanh)
+                } else {
+                    z.map(Scalar::sigmoid)
+                };
+            }
+            let c = gates[F].hadamard(&c_prev)?.add(&gates[I].hadamard(&gates[G])?)?;
+            let tanh_c = c.map(Scalar::tanh);
+            let h = gates[O].hadamard(&tanh_c)?;
+            cache.inputs.push(x);
+            cache.gates.push(gates);
+            cache.cells.push(c);
+            cache.hiddens.push(h);
+            cache.tanh_c.push(tanh_c);
+        }
+        let logits = cache
+            .hiddens
+            .last()
+            .expect("at least h_0")
+            .matmul(&self.head_w)?
+            .add_row_broadcast(&self.head_b)?;
+        self.cache = Some(cache);
+        Ok(logits)
+    }
+
+    /// Full BPTT from `grad_logits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if called before `forward`.
+    pub fn backward(&mut self, grad_logits: &Matrix<S>) -> Result<()> {
+        let cache = self.cache.as_ref().ok_or_else(|| {
+            KmlError::InvalidConfig("lstm backward before forward".into())
+        })?;
+        let t_steps = cache.inputs.len();
+        let hidden = self.hidden_dim();
+
+        let h_last = &cache.hiddens[t_steps];
+        self.grad_head_w = h_last.transpose_matmul(grad_logits)?;
+        self.grad_head_b = grad_logits.sum_rows();
+        let mut dh = grad_logits.matmul_transpose(&self.head_w)?;
+        let mut dc = Matrix::zeros(1, hidden);
+
+        self.grad_wx = std::array::from_fn(|_| Matrix::zeros(self.in_dim(), hidden));
+        self.grad_wh = std::array::from_fn(|_| Matrix::zeros(hidden, hidden));
+        self.grad_b = std::array::from_fn(|_| Matrix::zeros(1, hidden));
+
+        for t in (0..t_steps).rev() {
+            let gates = &cache.gates[t];
+            let c_prev = &cache.cells[t];
+            let h_prev = &cache.hiddens[t];
+            let tanh_c = &cache.tanh_c[t];
+
+            // h = o ⊙ tanh(c):   do = dh ⊙ tanh(c) ; dc += dh ⊙ o ⊙ tanh'(c)
+            let d_o = dh.hadamard(tanh_c)?;
+            let tanh_deriv = tanh_c.map(|v| S::ONE.sub(v.mul(v)));
+            dc = dc.add(&dh.hadamard(&gates[O])?.hadamard(&tanh_deriv)?)?;
+
+            // c = f ⊙ c_prev + i ⊙ g
+            let d_f = dc.hadamard(c_prev)?;
+            let d_i = dc.hadamard(&gates[G])?;
+            let d_g = dc.hadamard(&gates[I])?;
+
+            // Pre-activation gradients: sigmoid' = s(1-s); tanh' = 1 - g².
+            let dz = [
+                d_i.hadamard(&gates[I].map(|v| v.mul(S::ONE.sub(v))))?,
+                d_f.hadamard(&gates[F].map(|v| v.mul(S::ONE.sub(v))))?,
+                d_o.hadamard(&gates[O].map(|v| v.mul(S::ONE.sub(v))))?,
+                d_g.hadamard(&gates[G].map(|v| S::ONE.sub(v.mul(v))))?,
+            ];
+
+            let mut dh_next = Matrix::zeros(1, hidden);
+            #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
+            for k in 0..4 {
+                self.grad_wx[k] = self.grad_wx[k].add(&cache.inputs[t].transpose_matmul(&dz[k])?)?;
+                self.grad_wh[k] = self.grad_wh[k].add(&h_prev.transpose_matmul(&dz[k])?)?;
+                self.grad_b[k] = self.grad_b[k].add(&dz[k].sum_rows())?;
+                dh_next = dh_next.add(&dz[k].matmul_transpose(&self.wh[k])?)?;
+            }
+            dh = dh_next;
+            dc = dc.hadamard(&gates[F])?;
+        }
+        Ok(())
+    }
+
+    /// Parameter/gradient slots for the optimizer.
+    pub fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
+        let mut slots = Vec::with_capacity(14);
+        let (wx, gwx) = (&mut self.wx, &self.grad_wx);
+        for (p, g) in wx.iter_mut().zip(gwx) {
+            slots.push(ParamGrad { param: p, grad: g });
+        }
+        for (p, g) in self.wh.iter_mut().zip(&self.grad_wh) {
+            slots.push(ParamGrad { param: p, grad: g });
+        }
+        for (p, g) in self.b.iter_mut().zip(&self.grad_b) {
+            slots.push(ParamGrad { param: p, grad: g });
+        }
+        slots.push(ParamGrad {
+            param: &mut self.head_w,
+            grad: &self.grad_head_w,
+        });
+        slots.push(ParamGrad {
+            param: &mut self.head_b,
+            grad: &self.grad_head_b,
+        });
+        slots
+    }
+
+    /// Predicted class for a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lstm::forward`].
+    pub fn predict(&mut self, seq: &Matrix<S>) -> Result<usize> {
+        Ok(self.forward(seq)?.argmax_row(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{CrossEntropyLoss, Loss, TargetRef};
+    use crate::optimizer::Sgd;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> KmlRng {
+        KmlRng::seed_from_u64(23)
+    }
+
+    /// Finite-difference check of dL/dparam for one parameter matrix,
+    /// where L = cross-entropy of the sequence classification.
+    fn check_param_gradient<M>(
+        mut forward: impl FnMut(&mut M, &Matrix<f64>) -> Matrix<f64>,
+        mut backward: impl FnMut(&mut M, &Matrix<f64>),
+        param_access: impl Fn(&mut M) -> &mut Matrix<f64>,
+        analytic_grad: impl Fn(&M) -> Matrix<f64>,
+        model: &mut M,
+        seq: &Matrix<f64>,
+        label: usize,
+    ) {
+        let logits = forward(model, seq);
+        let grad_logits = CrossEntropyLoss
+            .grad(&logits, TargetRef::Classes(&[label]))
+            .expect("grad");
+        backward(model, &grad_logits);
+        let analytic = analytic_grad(model);
+
+        let eps = 1e-6;
+        let (rows, cols) = analytic.shape();
+        for r in 0..rows.min(3) {
+            for c in 0..cols.min(3) {
+                let orig = param_access(model).get(r, c);
+                param_access(model).set(r, c, orig + eps);
+                let lp = CrossEntropyLoss
+                    .loss(&forward(model, seq), TargetRef::Classes(&[label]))
+                    .expect("loss");
+                param_access(model).set(r, c, orig - eps);
+                let lm = CrossEntropyLoss
+                    .loss(&forward(model, seq), TargetRef::Classes(&[label]))
+                    .expect("loss");
+                param_access(model).set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic.get(r, c)).abs() < 1e-5,
+                    "grad({r},{c}): numeric {numeric}, analytic {}",
+                    analytic.get(r, c)
+                );
+            }
+        }
+    }
+
+    fn sample_seq(len: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = KmlRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..len)
+            .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        Matrix::from_rows(&rows).expect("builds")
+    }
+
+    #[test]
+    fn rnn_bptt_gradients_match_finite_differences() {
+        let mut rnn = Rnn::<f64>::new(2, 5, 3, &mut rng());
+        let seq = sample_seq(7, 1);
+        // Check every parameter family.
+        for which in 0..5 {
+            check_param_gradient(
+                |m: &mut Rnn<f64>, s| m.forward(s).expect("forward"),
+                |m, g| m.backward(g).expect("backward"),
+                move |m| match which {
+                    0 => &mut m.wx,
+                    1 => &mut m.wh,
+                    2 => &mut m.b,
+                    3 => &mut m.wo,
+                    _ => &mut m.bo,
+                },
+                move |m| match which {
+                    0 => m.grad_wx.clone(),
+                    1 => m.grad_wh.clone(),
+                    2 => m.grad_b.clone(),
+                    3 => m.grad_wo.clone(),
+                    _ => m.grad_bo.clone(),
+                },
+                &mut rnn,
+                &seq,
+                2,
+            );
+        }
+    }
+
+    #[test]
+    fn lstm_bptt_gradients_match_finite_differences() {
+        let mut lstm = Lstm::<f64>::new(2, 4, 3, &mut rng());
+        let seq = sample_seq(6, 2);
+        // Check one matrix from each family (gate 0 and the head).
+        for which in 0..5 {
+            check_param_gradient(
+                |m: &mut Lstm<f64>, s| m.forward(s).expect("forward"),
+                |m, g| m.backward(g).expect("backward"),
+                move |m| match which {
+                    0 => &mut m.wx[0],
+                    1 => &mut m.wh[1],
+                    2 => &mut m.b[3],
+                    3 => &mut m.head_w,
+                    _ => &mut m.head_b,
+                },
+                move |m| match which {
+                    0 => m.grad_wx[0].clone(),
+                    1 => m.grad_wh[1].clone(),
+                    2 => m.grad_b[3].clone(),
+                    3 => m.grad_head_w.clone(),
+                    _ => m.grad_head_b.clone(),
+                },
+                &mut lstm,
+                &seq,
+                1,
+            );
+        }
+    }
+
+    /// Sequence task: classify by the *temporal pattern* — class 0 sequences
+    /// ascend, class 1 sequences descend; instantaneous values overlap, so
+    /// only a stateful model can separate them.
+    fn temporal_task(n: usize, len: usize, seed: u64) -> Vec<(Matrix<f64>, usize)> {
+        let mut rng = KmlRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let class = rng.gen_range(0..2usize);
+                let start: f64 = rng.gen_range(-0.5..0.5);
+                let step = if class == 0 { 0.12 } else { -0.12 };
+                let rows: Vec<Vec<f64>> = (0..len)
+                    .map(|t| {
+                        vec![start + step * t as f64 + rng.gen_range(-0.03..0.03)]
+                    })
+                    .collect();
+                (Matrix::from_rows(&rows).expect("builds"), class)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rnn_learns_temporal_direction() {
+        let data = temporal_task(120, 8, 5);
+        let mut rnn = Rnn::<f64>::new(1, 8, 2, &mut rng());
+        let mut sgd = Sgd::new(0.05, 0.9);
+        for _ in 0..30 {
+            for (seq, label) in &data {
+                let logits = rnn.forward(seq).expect("forward");
+                let g = CrossEntropyLoss
+                    .grad(&logits, TargetRef::Classes(&[*label]))
+                    .expect("grad");
+                rnn.backward(&g).expect("backward");
+                sgd.step(&mut rnn.param_grads()).expect("step");
+            }
+        }
+        let test = temporal_task(60, 8, 6);
+        let correct = test
+            .iter()
+            .filter(|(seq, label)| {
+                rnn.predict(&seq.clone()).expect("predict") == *label
+            })
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "rnn accuracy {acc}");
+    }
+
+    #[test]
+    fn lstm_learns_temporal_direction() {
+        let data = temporal_task(120, 8, 7);
+        let mut lstm = Lstm::<f64>::new(1, 6, 2, &mut rng());
+        let mut sgd = Sgd::new(0.05, 0.9);
+        for _ in 0..30 {
+            for (seq, label) in &data {
+                let logits = lstm.forward(seq).expect("forward");
+                let g = CrossEntropyLoss
+                    .grad(&logits, TargetRef::Classes(&[*label]))
+                    .expect("grad");
+                lstm.backward(&g).expect("backward");
+                sgd.step(&mut lstm.param_grads()).expect("step");
+            }
+        }
+        let test = temporal_task(60, 8, 8);
+        let correct = test
+            .iter()
+            .filter(|(seq, label)| {
+                lstm.predict(&seq.clone()).expect("predict") == *label
+            })
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "lstm accuracy {acc}");
+    }
+
+    #[test]
+    fn recurrent_models_validate_inputs() {
+        let mut rnn = Rnn::<f64>::new(3, 4, 2, &mut rng());
+        assert!(rnn.forward(&Matrix::zeros(2, 2)).is_err()); // wrong width
+        assert!(rnn.backward(&Matrix::zeros(1, 2)).is_err()); // before forward
+        let mut lstm = Lstm::<f64>::new(3, 4, 2, &mut rng());
+        assert!(lstm.forward(&Matrix::zeros(2, 2)).is_err());
+        assert!(lstm.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn lstm_forget_bias_initialized_to_one() {
+        let lstm = Lstm::<f64>::new(2, 3, 2, &mut rng());
+        assert!(lstm.b[F].as_slice().iter().all(|&v| v == 1.0));
+        assert!(lstm.b[I].as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn param_slot_counts() {
+        let mut rnn = Rnn::<f64>::new(2, 3, 2, &mut rng());
+        assert_eq!(rnn.param_grads().len(), 5);
+        let mut lstm = Lstm::<f64>::new(2, 3, 2, &mut rng());
+        assert_eq!(lstm.param_grads().len(), 14);
+    }
+}

@@ -1,0 +1,306 @@
+//! The [`Scalar`] abstraction over matrix element types.
+//!
+//! KML "supports *integer*, *floating-point*, and *double* precision
+//! matrices" (§3.1) so the same model code can run with the FPU disabled
+//! (fixed-point) or enabled (f32/f64). `Scalar` is the sealed trait that
+//! matrices and layers are generic over; the three implementations are `f32`,
+//! `f64`, and [`crate::fixed::Fix32`] (Q16.16 fixed point standing in for the
+//! paper's integer matrices).
+
+use crate::fixed::Fix32;
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for crate::fixed::Fix32 {}
+}
+
+/// Element type usable inside a [`crate::matrix::Matrix`].
+///
+/// This trait is sealed: the supported scalar types are exactly `f32`, `f64`
+/// and [`Fix32`], matching the three matrix precisions the paper lists.
+pub trait Scalar:
+    private::Sealed
+    + Copy
+    + Clone
+    + std::fmt::Debug
+    + std::fmt::Display
+    + PartialEq
+    + PartialOrd
+    + Default
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Short name stored in model files (`"f32"`, `"f64"`, `"q16"`).
+    const DTYPE: &'static str;
+    /// Whether arithmetic on this type uses the floating-point unit
+    /// (and therefore must run inside an [`kml_platform::fpu::FpuGuard`]).
+    const USES_FPU: bool;
+    /// Bytes per element (for the memory-footprint accounting in §4).
+    const BYTES: usize = std::mem::size_of::<Self>();
+
+    /// Converts from `f64`, saturating where the representation requires.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` (exact for f32/f64, exact by construction for Q16.16).
+    fn to_f64(self) -> f64;
+
+    /// Addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Subtraction.
+    fn sub(self, rhs: Self) -> Self;
+    /// Multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Division.
+    fn div(self, rhs: Self) -> Self;
+    /// Multiply-accumulate `self + a*b` (the inner-product kernel).
+    /// Named `mul_acc` to avoid colliding with `f64::mul_add`, whose argument
+    /// convention (`self*a + b`) differs.
+    fn mul_acc(self, a: Self, b: Self) -> Self {
+        self.add(a.mul(b))
+    }
+
+    /// Logistic sigmoid. The default routes through the `f64` approximation
+    /// in [`crate::math`]; FPU-free scalars override it.
+    fn sigmoid(self) -> Self {
+        Self::from_f64(crate::math::sigmoid(self.to_f64()))
+    }
+
+    /// Hyperbolic tangent, same routing policy as [`Scalar::sigmoid`].
+    fn tanh(self) -> Self {
+        Self::from_f64(crate::math::tanh(self.to_f64()))
+    }
+
+    /// Rectified linear unit (`max(0, x)`), FPU-free for every scalar.
+    fn relu(self) -> Self {
+        if self > Self::ZERO {
+            self
+        } else {
+            Self::ZERO
+        }
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: &'static str = "f32";
+    const USES_FPU: bool = true;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: &'static str = "f64";
+    const USES_FPU: bool = true;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+}
+
+impl Scalar for Fix32 {
+    const ZERO: Self = Fix32::ZERO;
+    const ONE: Self = Fix32::ONE;
+    const DTYPE: &'static str = "q16";
+    const USES_FPU: bool = false;
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        Fix32::from_f64(v)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Fix32::to_f64(self)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self / rhs
+    }
+
+    /// FPU-free piecewise-linear sigmoid (the fixed-point trick the paper's
+    /// §3.1 discussion motivates): exact at 0 and saturated beyond |x| ≥ 5,
+    /// linear interpolation on 10 integer-boundary segments in between.
+    /// Max absolute error ≈ 0.02 — enough for classification, measured in
+    /// the `ablate_dtype` benchmark.
+    fn sigmoid(self) -> Self {
+        // Knot table: sigmoid at x = 0..=5, Q16.16-encoded.
+        const KNOTS: [i64; 6] = [32768, 47911, 57723, 62428, 64357, 65097];
+        let x = self.to_bits() as i64;
+        let (neg, ax) = if x < 0 { (true, -x) } else { (false, x) };
+        let y = if ax >= (5 << 16) {
+            65536 // saturate at 1.0
+        } else {
+            let seg = (ax >> 16) as usize;
+            let frac = ax & 0xffff; // position within the segment, Q0.16
+            let lo = KNOTS[seg];
+            let hi = KNOTS[seg + 1];
+            lo + (((hi - lo) * frac) >> 16)
+        };
+        let y = if neg { 65536 - y } else { y };
+        Fix32::from_bits(y as i32)
+    }
+
+    /// FPU-free tanh via the identity `tanh(x) = 2σ(2x) − 1` on the
+    /// piecewise-linear sigmoid.
+    fn tanh(self) -> Self {
+        let two = Fix32::from_bits(2 << 16);
+        let two_x = self * two;
+        (Scalar::sigmoid(two_x) * two) - Fix32::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_names_are_distinct() {
+        assert_ne!(f32::DTYPE, f64::DTYPE);
+        assert_ne!(f64::DTYPE, Fix32::DTYPE);
+    }
+
+    #[test]
+    fn fpu_flags_match_representation() {
+        // Compile-time constants; compare against runtime values so the
+        // intent (floats guard, fixed point does not) stays asserted.
+        let flags = [f32::USES_FPU, f64::USES_FPU, Fix32::USES_FPU];
+        assert_eq!(flags, [true, true, false]);
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for &v in &[-3.25, 0.0, 1.0, 12345.6789] {
+            assert_eq!(f64::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn mul_acc_default_matches_composition() {
+        let acc = 1.5f64;
+        assert_eq!(Scalar::mul_acc(acc, 2.0, 3.0), 1.5 + 2.0 * 3.0);
+    }
+
+    #[test]
+    fn bytes_constant_matches_size_of() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(Fix32::BYTES, 4);
+    }
+
+    #[test]
+    fn fixed_sigmoid_tracks_float_sigmoid() {
+        let mut x = -8.0;
+        while x <= 8.0 {
+            let want = crate::math::sigmoid(x);
+            let got = Scalar::sigmoid(Fix32::from_f64(x)).to_f64();
+            assert!(
+                (got - want).abs() < 0.025,
+                "piecewise sigmoid({x}): got {got}, want {want}"
+            );
+            x += 0.13;
+        }
+    }
+
+    #[test]
+    fn fixed_sigmoid_is_monotone_and_symmetric() {
+        let mut prev = -1.0;
+        let mut x = -10.0;
+        while x <= 10.0 {
+            let s = Scalar::sigmoid(Fix32::from_f64(x)).to_f64();
+            assert!(s >= prev, "monotonicity broken at {x}");
+            let mirrored = Scalar::sigmoid(Fix32::from_f64(-x)).to_f64();
+            assert!((s + mirrored - 1.0).abs() < 2e-4, "symmetry broken at {x}");
+            prev = s;
+            x += 0.25;
+        }
+    }
+
+    #[test]
+    fn fixed_tanh_tracks_float_tanh() {
+        let mut x = -3.0;
+        while x <= 3.0 {
+            let want = crate::math::tanh(x);
+            let got = Scalar::tanh(Fix32::from_f64(x)).to_f64();
+            assert!((got - want).abs() < 0.05, "piecewise tanh({x}): {got} vs {want}");
+            x += 0.11;
+        }
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_for_all_scalars() {
+        assert_eq!(Scalar::relu(-1.0f64), 0.0);
+        assert_eq!(Scalar::relu(2.0f64), 2.0);
+        assert_eq!(Scalar::relu(Fix32::from_f64(-3.0)), Fix32::ZERO);
+        assert_eq!(Scalar::relu(Fix32::from_f64(3.0)).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn float_sigmoid_default_matches_math() {
+        let got = Scalar::sigmoid(0.7f64);
+        assert!((got - crate::math::sigmoid(0.7)).abs() < 1e-15);
+    }
+}

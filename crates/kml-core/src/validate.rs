@@ -1,0 +1,279 @@
+//! Model validation: accuracy, confusion matrices, k-fold cross-validation.
+//!
+//! The paper measures its readahead classifier "using k-fold cross-validation
+//! with k = 10, and found that our model reached an average accuracy of
+//! 95.5%" (§4). [`k_fold_cross_validate`] reproduces that protocol for any
+//! model-factory closure, so the same harness validates neural networks and
+//! decision trees.
+
+use crate::dataset::{Dataset, Normalizer};
+use crate::loss::Loss;
+use crate::model::Model;
+use crate::optimizer::Sgd;
+use crate::scalar::Scalar;
+use crate::{KmlError, KmlRng, Result};
+
+/// Fraction of `predictions` equal to `truth`.
+///
+/// # Errors
+///
+/// Returns [`KmlError::BadDataset`] on length mismatch or empty input.
+pub fn accuracy(predictions: &[usize], truth: &[usize]) -> Result<f64> {
+    if predictions.len() != truth.len() || predictions.is_empty() {
+        return Err(KmlError::BadDataset(format!(
+            "accuracy over {} predictions vs {} labels",
+            predictions.len(),
+            truth.len()
+        )));
+    }
+    let correct = predictions
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p == t)
+        .count();
+    Ok(correct as f64 / truth.len() as f64)
+}
+
+/// A `classes × classes` confusion matrix; `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::BadDataset`] on length mismatch or a label out of
+    /// `0..classes`.
+    pub fn from_predictions(
+        predictions: &[usize],
+        truth: &[usize],
+        classes: usize,
+    ) -> Result<Self> {
+        if predictions.len() != truth.len() {
+            return Err(KmlError::BadDataset("prediction/label count mismatch".into()));
+        }
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&p, &t) in predictions.iter().zip(truth) {
+            if p >= classes || t >= classes {
+                return Err(KmlError::BadDataset(format!(
+                    "label {p}/{t} out of range for {classes} classes"
+                )));
+            }
+            counts[t][p] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Per-class recall (`None` when the class has no samples).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let total: usize = self.counts[class].iter().sum();
+        (total > 0).then(|| self.counts[class][class] as f64 / total as f64)
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// Per-fold results of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// Held-out accuracy of each fold.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CrossValidation {
+    /// Mean held-out accuracy across folds (the paper's 95.5% figure).
+    pub fn mean_accuracy(&self) -> f64 {
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len().max(1) as f64
+    }
+
+    /// Sample standard deviation of the fold accuracies.
+    pub fn std_accuracy(&self) -> f64 {
+        let n = self.fold_accuracies.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_accuracy();
+        let var = self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        crate::math::sqrt(var)
+    }
+}
+
+/// k-fold cross-validation of a neural-network recipe.
+///
+/// For each fold: fit a fresh normalizer **on the training split only**,
+/// train `epochs` epochs with the supplied loss/optimizer settings, and
+/// score on the held-out fold. `make_model` receives the fold index so
+/// callers can vary seeds.
+///
+/// # Errors
+///
+/// Returns [`KmlError::BadDataset`] if `k < 2` or `k > data.len()`, and
+/// propagates training errors.
+pub fn k_fold_cross_validate<S: Scalar>(
+    data: &Dataset,
+    k: usize,
+    epochs: usize,
+    loss: &impl Loss,
+    mut make_model: impl FnMut(usize) -> Result<Model<S>>,
+    mut make_sgd: impl FnMut() -> Sgd,
+    rng: &mut KmlRng,
+) -> Result<CrossValidation> {
+    if k < 2 || k > data.len() {
+        return Err(KmlError::BadDataset(format!(
+            "k = {k} invalid for {} samples",
+            data.len()
+        )));
+    }
+    let shuffled = data.shuffled(rng);
+    let n = shuffled.len();
+    let mut fold_accuracies = Vec::with_capacity(k);
+
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let test_idx: Vec<usize> = (lo..hi).collect();
+        let train_idx: Vec<usize> = (0..lo).chain(hi..n).collect();
+        let train = shuffled.subset(&train_idx)?;
+        let test = shuffled.subset(&test_idx)?;
+
+        let mut model = make_model(fold)?;
+        model.set_normalizer(Normalizer::fit(train.features())?);
+        let mut sgd = make_sgd();
+        for _ in 0..epochs {
+            model.train_epoch(&train, loss, &mut sgd, rng)?;
+        }
+        fold_accuracies.push(model.accuracy(&test)?);
+    }
+    Ok(CrossValidation { fold_accuracies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::CrossEntropyLoss;
+    use crate::model::ModelBuilder;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]).unwrap(), 2.0 / 3.0);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_recall() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 1, 1], 2).unwrap();
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert!((cm.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn confusion_matrix_validates_labels() {
+        assert!(ConfusionMatrix::from_predictions(&[5], &[0], 2).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[0], &[0, 1], 2).is_err());
+    }
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = KmlRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let class = rng.gen_range(0..3usize);
+            let center = class as f64 * 4.0;
+            rows.push(vec![
+                center + rng.gen_range(-0.8..0.8),
+                -center + rng.gen_range(-0.8..0.8),
+            ]);
+            labels.push(class);
+        }
+        Dataset::from_rows(&rows, &labels).unwrap()
+    }
+
+    #[test]
+    fn k_fold_reaches_high_accuracy_on_separable_data() {
+        let data = separable(240, 21);
+        let mut rng = KmlRng::seed_from_u64(22);
+        let cv = k_fold_cross_validate(
+            &data,
+            5,
+            60,
+            &CrossEntropyLoss,
+            |fold| {
+                ModelBuilder::new(2)
+                    .linear(8)
+                    .sigmoid()
+                    .linear(3)
+                    .seed(100 + fold as u64)
+                    .build::<f64>()
+            },
+            || Sgd::new(0.5, 0.9),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(cv.fold_accuracies.len(), 5);
+        assert!(cv.mean_accuracy() > 0.9, "mean {}", cv.mean_accuracy());
+        assert!(cv.std_accuracy() < 0.2);
+    }
+
+    #[test]
+    fn k_fold_validates_k() {
+        let data = separable(10, 1);
+        let mut rng = KmlRng::seed_from_u64(1);
+        let err = k_fold_cross_validate(
+            &data,
+            1,
+            1,
+            &CrossEntropyLoss,
+            |_| ModelBuilder::new(2).linear(3).build::<f64>(),
+            || Sgd::new(0.1, 0.0),
+            &mut rng,
+        );
+        assert!(err.is_err());
+        let err = k_fold_cross_validate(
+            &data,
+            11,
+            1,
+            &CrossEntropyLoss,
+            |_| ModelBuilder::new(2).linear(3).build::<f64>(),
+            || Sgd::new(0.1, 0.0),
+            &mut rng,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cross_validation_stats() {
+        let cv = CrossValidation {
+            fold_accuracies: vec![0.9, 1.0, 0.8],
+        };
+        assert!((cv.mean_accuracy() - 0.9).abs() < 1e-12);
+        assert!((cv.std_accuracy() - 0.1).abs() < 1e-12);
+    }
+}

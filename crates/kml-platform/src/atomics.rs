@@ -1,0 +1,136 @@
+//! Atomic-operation wrappers (`kml_atomic_add`, `kml_atomic_cmpxchg`, ...).
+//!
+//! KML relies on lock-free data structures for deadlock-free data collection
+//! (paper §3.3 "Safety in KML's programming model"). The dev API exposes the
+//! small set of atomic primitives that code needs, so the same source maps to
+//! C11 atomics in user space and `atomic_t`/`atomic64_t` in the kernel.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A 64-bit unsigned counter with kernel-flavoured helper methods.
+///
+/// # Example
+///
+/// ```
+/// use kml_platform::atomics::KmlCounter;
+///
+/// let c = KmlCounter::new(0);
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// assert_eq!(c.swap(0), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct KmlCounter(AtomicU64);
+
+impl KmlCounter {
+    /// Creates a counter with the given initial value.
+    pub fn new(v: u64) -> Self {
+        KmlCounter(AtomicU64::new(v))
+    }
+
+    /// Atomically increments by one and returns the previous value.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Atomically adds `n` and returns the previous value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::AcqRel)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the value, returning the old one.
+    pub fn swap(&self, v: u64) -> u64 {
+        self.0.swap(v, Ordering::AcqRel)
+    }
+
+    /// Compare-and-exchange; returns `Ok(old)` on success, `Err(actual)` on
+    /// mismatch (the `kml_atomic_cmpxchg` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` carrying the observed value when it differs from
+    /// `expected`.
+    pub fn cmpxchg(&self, expected: u64, new: u64) -> Result<u64, u64> {
+        self.0
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+}
+
+/// A 64-bit signed gauge (values may go negative transiently, e.g. byte
+/// balances during concurrent charge/refund).
+#[derive(Debug, Default)]
+pub struct KmlGauge(AtomicI64);
+
+impl KmlGauge {
+    /// Creates a gauge with the given initial value.
+    pub fn new(v: i64) -> Self {
+        KmlGauge(AtomicI64::new(v))
+    }
+
+    /// Atomically adds `delta` (may be negative) and returns the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Atomically records `v` as a maximum candidate, returning the new max.
+    pub fn fetch_max(&self, v: i64) -> i64 {
+        self.0.fetch_max(v, Ordering::AcqRel).max(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = KmlCounter::new(10);
+        assert_eq!(c.inc(), 10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.add(5), 11);
+        assert_eq!(c.get(), 16);
+    }
+
+    #[test]
+    fn cmpxchg_success_and_failure() {
+        let c = KmlCounter::new(1);
+        assert_eq!(c.cmpxchg(1, 2), Ok(1));
+        assert_eq!(c.cmpxchg(1, 3), Err(2));
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn gauge_handles_negative_and_max() {
+        let g = KmlGauge::new(0);
+        assert_eq!(g.add(-5), -5);
+        assert_eq!(g.add(15), 10);
+        assert_eq!(g.fetch_max(7), 10);
+        assert_eq!(g.fetch_max(20), 20);
+    }
+
+    #[test]
+    fn counter_is_linearizable_under_contention() {
+        let c = KmlCounter::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,188 @@
+//! File-operation wrappers (`kml_file_open`, `kml_file_read`, ...).
+//!
+//! Used by KML's model save/load path: trained models are serialized to a
+//! KML-specific binary file in user space and loaded by the kernel module at
+//! deploy time (paper §3.3 "Training in user space"). The wrapper keeps the
+//! ML code independent of `std::fs` vs kernel VFS calls.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::{PlatformError, Result};
+
+/// An open KML file handle.
+///
+/// # Example
+///
+/// ```no_run
+/// use kml_platform::fileops::KmlFile;
+///
+/// # fn main() -> kml_platform::Result<()> {
+/// let mut f = KmlFile::create("/tmp/model.kml")?;
+/// f.write_all(b"KMLMODEL")?;
+/// f.seek_to(0)?;
+/// let bytes = f.read_exact_vec(8)?;
+/// assert_eq!(&bytes, b"KMLMODEL");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KmlFile {
+    inner: std::fs::File,
+    path: String,
+}
+
+impl KmlFile {
+    /// Opens an existing file read-only (`kml_file_open` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let p = path.as_ref();
+        let inner = std::fs::File::open(p)
+            .map_err(|e| PlatformError::File(format!("{}: {e}", p.display())))?;
+        Ok(KmlFile {
+            inner,
+            path: p.display().to_string(),
+        })
+    }
+
+    /// Creates (truncating) a file for read/write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let p = path.as_ref();
+        let inner = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(p)
+            .map_err(|e| PlatformError::File(format!("{}: {e}", p.display())))?;
+        Ok(KmlFile {
+            inner,
+            path: p.display().to_string(),
+        })
+    }
+
+    /// Path this handle was opened with.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Writes all of `buf` (`kml_file_write` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] on any I/O error.
+    pub fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+        self.inner
+            .write_all(buf)
+            .map_err(|e| PlatformError::File(format!("{}: write: {e}", self.path)))
+    }
+
+    /// Reads exactly `len` bytes into a fresh vector (`kml_file_read`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] on short read or I/O error.
+    pub fn read_exact_vec(&mut self, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.inner
+            .read_exact(&mut buf)
+            .map_err(|e| PlatformError::File(format!("{}: read: {e}", self.path)))?;
+        Ok(buf)
+    }
+
+    /// Reads the remainder of the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] on I/O error.
+    pub fn read_to_end_vec(&mut self) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.inner
+            .read_to_end(&mut buf)
+            .map_err(|e| PlatformError::File(format!("{}: read: {e}", self.path)))?;
+        Ok(buf)
+    }
+
+    /// Seeks to an absolute offset (`kml_file_seek`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] on I/O error.
+    pub fn seek_to(&mut self, offset: u64) -> Result<()> {
+        self.inner
+            .seek(SeekFrom::Start(offset))
+            .map(|_| ())
+            .map_err(|e| PlatformError::File(format!("{}: seek: {e}", self.path)))
+    }
+
+    /// Flushes buffered writes to the OS (`kml_file_sync` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::File`] on I/O error.
+    pub fn sync(&mut self) -> Result<()> {
+        self.inner
+            .sync_all()
+            .map_err(|e| PlatformError::File(format!("{}: sync: {e}", self.path)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kml-fileops-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let path = tmp("roundtrip");
+        let mut f = KmlFile::create(&path).unwrap();
+        f.write_all(b"hello kml").unwrap();
+        f.seek_to(0).unwrap();
+        assert_eq!(f.read_exact_vec(5).unwrap(), b"hello");
+        assert_eq!(f.read_to_end_vec().unwrap(), b" kml");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_error() {
+        let err = KmlFile::open("/nonexistent/kml/model.bin").unwrap_err();
+        assert!(matches!(err, PlatformError::File(_)));
+        assert!(err.to_string().contains("model.bin"));
+    }
+
+    #[test]
+    fn short_read_is_error() {
+        let path = tmp("short");
+        let mut f = KmlFile::create(&path).unwrap();
+        f.write_all(b"abc").unwrap();
+        f.seek_to(0).unwrap();
+        assert!(f.read_exact_vec(10).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn create_truncates_existing() {
+        let path = tmp("trunc");
+        {
+            let mut f = KmlFile::create(&path).unwrap();
+            f.write_all(b"long old contents").unwrap();
+        }
+        let mut f = KmlFile::create(&path).unwrap();
+        f.write_all(b"new").unwrap();
+        f.seek_to(0).unwrap();
+        assert_eq!(f.read_to_end_vec().unwrap(), b"new");
+        std::fs::remove_file(path).unwrap();
+    }
+}

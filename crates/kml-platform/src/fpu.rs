@@ -1,0 +1,138 @@
+//! Simulated `kernel_fpu_begin` / `kernel_fpu_end` discipline (paper §3.1).
+//!
+//! In a real kernel, floating-point use must be bracketed so the FPU register
+//! state is saved and restored, and each bracket is costly — which is why the
+//! paper *minimizes the number of code blocks using FP*. In this userspace
+//! reproduction the guard is a bookkeeping device: it counts sections and
+//! tracks nesting so tests and benchmarks can verify that (a) all FP-heavy
+//! KML code runs inside a guard and (b) the number of guard transitions stays
+//! small per operation, matching the paper's design goal.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global count of `FpuGuard` sections entered (process-wide, for reporting).
+static FPU_SECTIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static FPU_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard representing one `kernel_fpu_begin()`/`kernel_fpu_end()` pair.
+///
+/// Guards nest: only the outermost enter/exit counts as a "section", exactly
+/// like the cost model of the real primitive (nested begins are free).
+///
+/// # Example
+///
+/// ```
+/// use kml_platform::fpu::{self, FpuGuard};
+///
+/// let before = fpu::sections_entered();
+/// {
+///     let _g = FpuGuard::enter();
+///     let _nested = FpuGuard::enter(); // free: already inside a section
+///     assert!(fpu::in_fpu_section());
+/// }
+/// assert!(!fpu::in_fpu_section());
+/// assert_eq!(fpu::sections_entered(), before + 1);
+/// ```
+#[derive(Debug)]
+pub struct FpuGuard {
+    outermost: bool,
+}
+
+impl FpuGuard {
+    /// Enters an FPU section (`kernel_fpu_begin`).
+    pub fn enter() -> Self {
+        let outermost = FPU_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth == 0
+        });
+        if outermost {
+            FPU_SECTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        FpuGuard { outermost }
+    }
+}
+
+impl Drop for FpuGuard {
+    fn drop(&mut self) {
+        FPU_DEPTH.with(|d| d.set(d.get() - 1));
+        let _ = self.outermost; // kernel_fpu_end(): nothing to restore in userspace
+    }
+}
+
+/// Whether the current thread is inside an FPU section.
+pub fn in_fpu_section() -> bool {
+    FPU_DEPTH.with(|d| d.get() > 0)
+}
+
+/// Process-wide number of outermost FPU sections entered so far.
+///
+/// Benchmarks use the delta of this counter across an operation to report
+/// "FPU transitions per inference", which the paper minimizes.
+pub fn sections_entered() -> u64 {
+    FPU_SECTIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` inside a single FPU section and returns its result.
+///
+/// This is the preferred pattern: batch all FP work of one logical operation
+/// under one section, per the paper's "minimize the number of code blocks
+/// using FPs" guidance.
+///
+/// # Example
+///
+/// ```
+/// let y = kml_platform::fpu::with_fpu(|| (0..10).map(|i| (i as f64).sqrt()).sum::<f64>());
+/// assert!(y > 0.0);
+/// ```
+pub fn with_fpu<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = FpuGuard::enter();
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_counts_one_section() {
+        let before = sections_entered();
+        {
+            let _a = FpuGuard::enter();
+            let _b = FpuGuard::enter();
+            let _c = FpuGuard::enter();
+            assert!(in_fpu_section());
+        }
+        assert!(!in_fpu_section());
+        assert_eq!(sections_entered(), before + 1);
+    }
+
+    #[test]
+    fn sequential_sections_each_count() {
+        let before = sections_entered();
+        for _ in 0..5 {
+            with_fpu(|| 1.0_f64 + 1.0);
+        }
+        assert_eq!(sections_entered(), before + 5);
+    }
+
+    #[test]
+    fn sections_are_per_thread() {
+        let _outer = FpuGuard::enter();
+        std::thread::spawn(|| {
+            assert!(!in_fpu_section());
+        })
+        .join()
+        .unwrap();
+        assert!(in_fpu_section());
+    }
+
+    #[test]
+    fn with_fpu_returns_value() {
+        assert_eq!(with_fpu(|| 21 * 2), 42);
+    }
+}

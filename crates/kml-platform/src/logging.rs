@@ -1,0 +1,166 @@
+//! Logging wrappers (`kml_log`, `kml_debug`, ...).
+//!
+//! The dev API routes diagnostics through one interface so the same ML code
+//! prints via `printf` in user space and `printk` in the kernel. Our logger
+//! additionally supports an in-memory sink so tests can assert on messages
+//! and benchmark runs can stay silent.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Severity of a log record, mirroring the kernel's printk levels KML uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Verbose diagnostics, compiled out of hot paths.
+    Debug,
+    /// Normal operational messages.
+    Info,
+    /// Recoverable anomalies (e.g. dropped training samples).
+    Warn,
+    /// Failures that degrade the model or the framework.
+    Error,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::Debug => f.write_str("DEBUG"),
+            Level::Info => f.write_str("INFO"),
+            Level::Warn => f.write_str("WARN"),
+            Level::Error => f.write_str("ERROR"),
+        }
+    }
+}
+
+/// Where log records go.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Print to stderr (userspace `printf` / kernel `printk` analogue).
+    Stderr,
+    /// Collect records in memory (for tests and quiet benchmark runs).
+    Memory(Arc<Mutex<Vec<(Level, String)>>>),
+    /// Drop all records.
+    Null,
+}
+
+/// A KML logger handle. Cheap to clone; clones share the sink.
+///
+/// # Example
+///
+/// ```
+/// use kml_platform::logging::{Level, Logger};
+///
+/// let log = Logger::memory();
+/// log.log(Level::Info, "model loaded");
+/// log.log(Level::Debug, "this is filtered out by default threshold");
+/// assert_eq!(log.records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Logger {
+    sink: Sink,
+    min_level: Level,
+}
+
+impl Logger {
+    /// A logger that prints `Info` and above to stderr.
+    pub fn stderr() -> Self {
+        Logger {
+            sink: Sink::Stderr,
+            min_level: Level::Info,
+        }
+    }
+
+    /// A logger that records `Info` and above in memory.
+    pub fn memory() -> Self {
+        Logger {
+            sink: Sink::Memory(Arc::new(Mutex::new(Vec::new()))),
+            min_level: Level::Info,
+        }
+    }
+
+    /// A logger that discards everything.
+    pub fn null() -> Self {
+        Logger {
+            sink: Sink::Null,
+            min_level: Level::Error,
+        }
+    }
+
+    /// Returns a copy of this logger with a different minimum level.
+    pub fn with_min_level(mut self, level: Level) -> Self {
+        self.min_level = level;
+        self
+    }
+
+    /// Emits a record at `level` (dropped if below the configured minimum).
+    pub fn log(&self, level: Level, msg: impl AsRef<str>) {
+        if level < self.min_level {
+            return;
+        }
+        match &self.sink {
+            Sink::Stderr => eprintln!("[kml {level}] {}", msg.as_ref()),
+            Sink::Memory(buf) => buf.lock().push((level, msg.as_ref().to_owned())),
+            Sink::Null => {}
+        }
+    }
+
+    /// Records captured so far (empty unless the sink is [`Sink::Memory`]).
+    pub fn records(&self) -> Vec<(Level, String)> {
+        match &self.sink {
+            Sink::Memory(buf) => buf.lock().clone(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Logger::stderr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let log = Logger::memory();
+        log.log(Level::Info, "a");
+        log.log(Level::Warn, "b");
+        let recs = log.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], (Level::Info, "a".to_owned()));
+        assert_eq!(recs[1], (Level::Warn, "b".to_owned()));
+    }
+
+    #[test]
+    fn level_threshold_filters() {
+        let log = Logger::memory().with_min_level(Level::Warn);
+        log.log(Level::Info, "dropped");
+        log.log(Level::Error, "kept");
+        assert_eq!(log.records().len(), 1);
+    }
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let log = Logger::null();
+        log.log(Level::Error, "still dropped");
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn clones_share_memory_sink() {
+        let log = Logger::memory();
+        let clone = log.clone();
+        clone.log(Level::Info, "shared");
+        assert_eq!(log.records().len(), 1);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+}

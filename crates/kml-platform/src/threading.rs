@@ -1,0 +1,181 @@
+//! Threading wrappers (`kml_create_thread`, `kml_stop_thread`, ...).
+//!
+//! KML's async training runs on a dedicated thread created through the dev
+//! API so the same model code spawns a pthread in user space and a kthread in
+//! the kernel. [`KmlThread`] reproduces the kthread lifecycle: a `should_stop`
+//! flag the worker polls (`kthread_should_stop`), an explicit `stop()` that
+//! joins, and named threads for debuggability.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::{Persona, PlatformError, Result};
+
+/// Handle to a stoppable worker thread, mirroring the kernel kthread API.
+///
+/// # Example
+///
+/// ```
+/// use kml_platform::{threading::KmlThread, Persona};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let count = Arc::new(AtomicU64::new(0));
+/// let c = count.clone();
+/// let t = KmlThread::spawn(Persona::Kernel, "kml-train", move |ctl| {
+///     while !ctl.should_stop() {
+///         c.fetch_add(1, Ordering::Relaxed);
+///         std::thread::yield_now();
+///     }
+/// }).unwrap();
+/// while count.load(Ordering::Relaxed) == 0 {
+///     std::thread::yield_now();
+/// }
+/// t.stop().unwrap();
+/// assert!(count.load(Ordering::Relaxed) > 0);
+/// ```
+#[derive(Debug)]
+pub struct KmlThread {
+    name: String,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Control block passed to the worker closure.
+#[derive(Debug, Clone)]
+pub struct ThreadCtl {
+    stop: Arc<AtomicBool>,
+}
+
+impl ThreadCtl {
+    /// Whether the owner has requested the thread to stop
+    /// (`kthread_should_stop` analogue). Workers should poll this in their
+    /// main loop and return promptly when it turns true.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+impl KmlThread {
+    /// Spawns a named worker thread (`kml_create_thread` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Thread`] if the OS refuses to spawn a thread.
+    pub fn spawn<F>(persona: Persona, name: &str, work: F) -> Result<Self>
+    where
+        F: FnOnce(ThreadCtl) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ctl = ThreadCtl { stop: stop.clone() };
+        let full_name = match persona {
+            Persona::Kernel => format!("kthread/{name}"),
+            Persona::User => name.to_owned(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(full_name.clone())
+            .spawn(move || work(ctl))
+            .map_err(|e| PlatformError::Thread(e.to_string()))?;
+        Ok(KmlThread {
+            name: full_name,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The (persona-prefixed) thread name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Requests the worker to stop and joins it (`kml_stop_thread` analogue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::Thread`] if the worker panicked.
+    pub fn stop(mut self) -> Result<()> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle
+                .join()
+                .map_err(|_| PlatformError::Thread(format!("{} panicked", self.name)))?;
+        }
+        Ok(())
+    }
+
+    /// Whether a stop has been requested (visible to the owner side).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for KmlThread {
+    fn drop(&mut self) {
+        // Destructors never fail: request stop and detach-join best effort.
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Yields the current thread (`kml_yield` analogue; `cond_resched` in-kernel).
+pub fn kml_yield() {
+    std::thread::yield_now();
+}
+
+/// Sleeps for the given duration (`kml_msleep` analogue).
+pub fn kml_sleep(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn worker_runs_and_stops() {
+        let n = Arc::new(AtomicU64::new(0));
+        let nn = n.clone();
+        let t = KmlThread::spawn(Persona::User, "worker", move |ctl| {
+            while !ctl.should_stop() {
+                nn.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+        while n.load(Ordering::Relaxed) < 10 {
+            kml_yield();
+        }
+        t.stop().unwrap();
+        let after = n.load(Ordering::Relaxed);
+        assert!(after >= 10);
+    }
+
+    #[test]
+    fn kernel_persona_prefixes_name() {
+        let t = KmlThread::spawn(Persona::Kernel, "train", |_| {}).unwrap();
+        assert_eq!(t.name(), "kthread/train");
+        t.stop().unwrap();
+    }
+
+    #[test]
+    fn stop_reports_worker_panic() {
+        let t = KmlThread::spawn(Persona::User, "panicky", |_| panic!("boom")).unwrap();
+        // Give it a moment to panic, then join through stop().
+        let err = t.stop().unwrap_err();
+        assert!(matches!(err, PlatformError::Thread(_)));
+    }
+
+    #[test]
+    fn drop_joins_without_hanging() {
+        let t = KmlThread::spawn(Persona::User, "dropper", |ctl| {
+            while !ctl.should_stop() {
+                kml_yield();
+            }
+        })
+        .unwrap();
+        drop(t); // must not hang or panic
+    }
+}

@@ -1,0 +1,42 @@
+//! # kvstore — an LSM key-value store over the simulated storage stack
+//!
+//! The paper drives its readahead evaluation with RocksDB `db_bench`
+//! workloads. This crate is the RocksDB stand-in (DESIGN.md §1): a
+//! log-structured merge store whose read paths generate the same *access
+//! pattern classes* the KML readahead model classifies —
+//!
+//! - point reads touching random 16 KiB blocks (`readrandom`),
+//! - forward scans streaming blocks sequentially (`readseq`),
+//! - backward scans (`readreverse`),
+//! - mixed read/write traffic with WAL appends, memtable flushes, and
+//!   compaction streams (`readrandomwriterandom`, `updaterandom`),
+//! - a Zipfian mixed-operation workload modeled on Facebook's `mixgraph`
+//!   (`mixgraph`).
+//!
+//! Key/value *contents* live in host memory (we are simulating I/O cost,
+//! not durability); every page the real store would touch is charged to the
+//! [`kernel_sim::Sim`] clock, so readahead tuning changes throughput the
+//! same way it does under RocksDB.
+//!
+//! ## Example
+//!
+//! ```
+//! use kernel_sim::{DeviceProfile, Sim, SimConfig};
+//! use kvstore::{Db, DbConfig};
+//!
+//! let mut sim = Sim::new(SimConfig { device: DeviceProfile::nvme(), ..SimConfig::default() });
+//! let mut db = Db::create(&mut sim, DbConfig::default());
+//! for k in 0..10_000u64 {
+//!     db.put(&mut sim, k);
+//! }
+//! db.flush(&mut sim);
+//! assert!(db.get(&mut sim, 1234));
+//! assert!(!db.get(&mut sim, 999_999));
+//! ```
+
+pub mod db;
+pub mod sstable;
+pub mod workload;
+
+pub use db::{Db, DbConfig, DbStats};
+pub use workload::{fill_db, run_workload, FillMode, Workload, WorkloadConfig, WorkloadReport};

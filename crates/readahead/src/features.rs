@@ -1,0 +1,221 @@
+//! The five readahead features (paper §4 "Data pre-processing and feature
+//! extraction").
+//!
+//! "We process the collected data points every second and then extract
+//! features at runtime. ... five features that had the most predictive
+//! accuracy: (i) the number of tracepoints that were traced, (ii) the
+//! cumulative moving average of page offsets, (iii) the cumulative moving
+//! standard deviation of page offsets, (iv) the mean absolute page offset
+//! differences for consecutive tracepoints, and (v) the current readahead
+//! value."
+//!
+//! Features (ii)–(iii) are *cumulative* — they integrate over the whole run
+//! (that is what separates a forward scan, whose running average climbs,
+//! from a backward scan, whose running average sinks). Features (i) and
+//! (iv) are per-window. Z-scoring happens in the model's attached
+//! normalizer, fitted on training data.
+
+use kernel_sim::TraceRecord;
+use kml_collect::stats::{AbsDiffMean, CumulativeStats};
+
+/// Number of features the readahead models consume.
+pub const NUM_FEATURES: usize = 5;
+
+/// One extracted feature vector (one per window).
+pub type FeatureVector = [f64; NUM_FEATURES];
+
+/// Streaming feature extractor over the tracepoint stream.
+///
+/// Feed every [`TraceRecord`] with [`FeatureExtractor::push`]; call
+/// [`FeatureExtractor::roll_window`] at each window boundary (once per
+/// simulated second in the closed loop) to obtain the feature vector for
+/// the elapsed window.
+///
+/// # Example
+///
+/// ```
+/// use readahead::features::FeatureExtractor;
+/// use kernel_sim::{TraceKind, TraceRecord};
+///
+/// let mut fx = FeatureExtractor::new();
+/// for i in 0..100u64 {
+///     fx.push(&TraceRecord {
+///         kind: TraceKind::AddToPageCache,
+///         inode: 1,
+///         page_offset: i,       // perfectly sequential
+///         time_ns: i * 1000,
+///     });
+/// }
+/// let f = fx.roll_window(128.0);
+/// assert_eq!(f[0], 100.0);          // tracepoints in window
+/// assert!((f[3] - 1.0).abs() < 1e-9); // mean |Δoffset| = 1 (sequential)
+/// assert_eq!(f[4], 128.0);          // current readahead
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    /// Cumulative over the whole run (paper features ii and iii).
+    cumulative: CumulativeStats,
+    /// Per-window tracepoint count (feature i).
+    window_count: u64,
+    /// Per-window mean absolute consecutive-offset difference (feature iv).
+    window_absdiff: AbsDiffMean,
+    /// Total records ever pushed.
+    total: u64,
+}
+
+impl FeatureExtractor {
+    /// Creates an empty extractor.
+    pub fn new() -> Self {
+        FeatureExtractor::default()
+    }
+
+    /// Folds one tracepoint record into the current window.
+    pub fn push(&mut self, record: &TraceRecord) {
+        let offset = record.page_offset as f64;
+        self.cumulative.push(offset);
+        self.window_absdiff.push(offset);
+        self.window_count += 1;
+        self.total += 1;
+    }
+
+    /// Closes the current window and returns its feature vector.
+    /// `current_ra_kb` is feature (v), the readahead value in force.
+    ///
+    /// Per-window accumulators reset; cumulative statistics persist.
+    pub fn roll_window(&mut self, current_ra_kb: f64) -> FeatureVector {
+        let features = [
+            self.window_count as f64,
+            self.cumulative.mean(),
+            self.cumulative.std(),
+            self.window_absdiff.mean(),
+            current_ra_kb,
+        ];
+        self.window_count = 0;
+        self.window_absdiff.reset();
+        features
+    }
+
+    /// Records pushed into the current (open) window.
+    pub fn window_count(&self) -> u64 {
+        self.window_count
+    }
+
+    /// Records pushed since creation.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Resets everything, including the cumulative statistics (a fresh run).
+    pub fn reset(&mut self) {
+        *self = FeatureExtractor::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_sim::TraceKind;
+
+    fn rec(offset: u64) -> TraceRecord {
+        TraceRecord {
+            kind: TraceKind::AddToPageCache,
+            inode: 1,
+            page_offset: offset,
+            time_ns: 0,
+        }
+    }
+
+    #[test]
+    fn sequential_and_random_streams_differ_in_absdiff() {
+        let mut seq = FeatureExtractor::new();
+        for i in 0..1000 {
+            seq.push(&rec(i));
+        }
+        let fseq = seq.roll_window(128.0);
+
+        let mut random = FeatureExtractor::new();
+        let mut x = 99u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            random.push(&rec(x % 100_000));
+        }
+        let frand = random.roll_window(128.0);
+
+        assert!(fseq[3] < 2.0);
+        assert!(frand[3] > 1_000.0);
+        assert!(frand[2] > fseq[2], "random std should exceed sequential");
+    }
+
+    #[test]
+    fn forward_and_backward_scans_differ_in_cumulative_mean_trajectory() {
+        let n = 10_000u64;
+        let mut fwd = FeatureExtractor::new();
+        let mut bwd = FeatureExtractor::new();
+        // First half of each scan.
+        for i in 0..n / 2 {
+            fwd.push(&rec(i));
+            bwd.push(&rec(n - 1 - i));
+        }
+        let f_fwd = fwd.roll_window(128.0);
+        let f_bwd = bwd.roll_window(128.0);
+        // Forward scan's running average sits low, backward's sits high.
+        assert!(f_fwd[1] < n as f64 * 0.3);
+        assert!(f_bwd[1] > n as f64 * 0.7);
+        // Both look "sequential" by absolute diff.
+        assert!((f_fwd[3] - 1.0).abs() < 1e-9);
+        assert!((f_bwd[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_counters_reset_but_cumulative_persists() {
+        let mut fx = FeatureExtractor::new();
+        for i in 0..10 {
+            fx.push(&rec(i));
+        }
+        let w1 = fx.roll_window(128.0);
+        assert_eq!(w1[0], 10.0);
+        assert_eq!(fx.window_count(), 0);
+        for i in 10..15 {
+            fx.push(&rec(i));
+        }
+        let w2 = fx.roll_window(128.0);
+        assert_eq!(w2[0], 5.0);
+        // Cumulative mean covers all 15 offsets 0..15 → mean 7.
+        assert!((w2[1] - 7.0).abs() < 1e-9);
+        assert_eq!(fx.total(), 15);
+    }
+
+    #[test]
+    fn empty_window_yields_neutral_features() {
+        let mut fx = FeatureExtractor::new();
+        let f = fx.roll_window(64.0);
+        assert_eq!(f, [0.0, 0.0, 0.0, 0.0, 64.0]);
+    }
+
+    #[test]
+    fn reset_clears_cumulative_state() {
+        let mut fx = FeatureExtractor::new();
+        for i in 0..100 {
+            fx.push(&rec(i * 1000));
+        }
+        fx.reset();
+        fx.push(&rec(5));
+        let f = fx.roll_window(8.0);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 5.0);
+        assert_eq!(f[2], 0.0);
+    }
+
+    #[test]
+    fn absdiff_does_not_leak_across_windows() {
+        let mut fx = FeatureExtractor::new();
+        fx.push(&rec(0));
+        fx.push(&rec(1_000_000));
+        fx.roll_window(128.0);
+        // New window: first diff pair starts fresh.
+        fx.push(&rec(10));
+        fx.push(&rec(11));
+        let f = fx.roll_window(128.0);
+        assert!((f[3] - 1.0).abs() < 1e-9, "window absdiff leaked: {}", f[3]);
+    }
+}

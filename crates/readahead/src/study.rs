@@ -1,0 +1,234 @@
+//! §4 "Studying the problem": the readahead-vs-throughput sweep.
+//!
+//! "We tested RocksDB with four different workloads, 20 different readahead
+//! sizes (ranging from 8 to 1024), and two different storage media ... We
+//! then built a mapping from the workload type to the readahead value that
+//! provided the best throughput. The results showed that no single
+//! readahead value maximized throughput for all workloads."
+//!
+//! [`ReadaheadStudy::run`] regenerates that experiment (E1 in DESIGN.md)
+//! for any device/workload set, and the winning values feed the tuner's
+//! class → readahead [`crate::tuner::RaPolicy`].
+
+use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kvstore::{fill_db, run_workload, FillMode, Workload, WorkloadConfig};
+
+/// The paper's sweep: 20 readahead sizes from 8 KiB to 1024 KiB.
+pub const RA_SWEEP_KB: [u32; 20] = [
+    8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+];
+
+/// Scale parameters of a study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Keys in the benchmark database.
+    pub num_keys: u64,
+    /// Operations per (workload, readahead) cell.
+    pub ops: u64,
+    /// Page-cache capacity in pages.
+    pub cache_pages: usize,
+    /// Readahead sizes to sweep, KiB.
+    pub sweep_kb: Vec<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            num_keys: 1 << 20,
+            ops: 20_000,
+            cache_pages: 16_384,
+            sweep_kb: RA_SWEEP_KB.to_vec(),
+            seed: 0x57,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for unit tests and smoke runs.
+    pub fn quick() -> Self {
+        StudyConfig {
+            num_keys: 1 << 16,
+            ops: 3_000,
+            cache_pages: 2_048,
+            sweep_kb: vec![8, 32, 128, 512, 1024],
+            seed: 0x57,
+        }
+    }
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyCell {
+    /// Workload of this cell.
+    pub workload: Workload,
+    /// Readahead size of this cell, KiB.
+    pub ra_kb: u32,
+    /// Measured throughput, ops per simulated second.
+    pub ops_per_sec: f64,
+}
+
+/// Results of a full sweep on one device.
+#[derive(Debug, Clone)]
+pub struct ReadaheadStudy {
+    /// Device the study ran on.
+    pub device: DeviceProfile,
+    /// All measured cells.
+    pub cells: Vec<StudyCell>,
+}
+
+impl ReadaheadStudy {
+    /// Runs the sweep for the given workloads on `device`.
+    pub fn run(device: DeviceProfile, workloads: &[Workload], cfg: &StudyConfig) -> Self {
+        let mut cells = Vec::with_capacity(workloads.len() * cfg.sweep_kb.len());
+        for &workload in workloads {
+            for &ra_kb in &cfg.sweep_kb {
+                let ops_per_sec = measure(device, workload, ra_kb, cfg);
+                cells.push(StudyCell {
+                    workload,
+                    ra_kb,
+                    ops_per_sec,
+                });
+            }
+        }
+        ReadaheadStudy { device, cells }
+    }
+
+    /// Throughput of one cell (`None` if that cell was not swept).
+    pub fn throughput(&self, workload: Workload, ra_kb: u32) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.ra_kb == ra_kb)
+            .map(|c| c.ops_per_sec)
+    }
+
+    /// The readahead size that maximized throughput for `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workload` was not part of the sweep.
+    pub fn best_ra_kb(&self, workload: Workload) -> u32 {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload)
+            .max_by(|a, b| a.ops_per_sec.total_cmp(&b.ops_per_sec))
+            .map(|c| c.ra_kb)
+            .expect("workload was part of the sweep")
+    }
+
+    /// Cells of one workload, in sweep order (for printing the curves).
+    pub fn curve(&self, workload: Workload) -> Vec<StudyCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload)
+            .copied()
+            .collect()
+    }
+
+    /// Best readahead per class for [`Workload::training_set`] order — the
+    /// mapping deployed into the tuner policy.
+    pub fn training_class_policy(&self) -> Vec<u32> {
+        Workload::training_set()
+            .into_iter()
+            .map(|w| self.best_ra_kb(w))
+            .collect()
+    }
+}
+
+/// Measures one (device, workload, readahead) cell: fresh simulator, bulk
+/// fill, cold caches, fixed readahead — exactly how the paper measures its
+/// static sweep.
+pub fn measure(device: DeviceProfile, workload: Workload, ra_kb: u32, cfg: &StudyConfig) -> f64 {
+    let mut sim = Sim::new(SimConfig {
+        device,
+        cache_pages: cfg.cache_pages,
+        default_ra_kb: ra_kb,
+        ..SimConfig::default()
+    });
+    // Scans visit keys far faster than point reads; scale their op budget
+    // so every cell runs long enough for readahead to reach steady state.
+    let ops_factor = match workload {
+        Workload::ReadSeq | Workload::ReadReverse => 10,
+        _ => 1,
+    };
+    let wcfg = WorkloadConfig {
+        num_keys: cfg.num_keys,
+        ops: cfg.ops * ops_factor,
+        seed: cfg.seed,
+        ..WorkloadConfig::new(workload)
+    };
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
+    sim.drop_caches();
+    sim.set_ra_kb(ra_kb); // files created during fill pick up the tuned value
+    sim.reset_stats();
+    run_workload(&mut sim, &mut db, &wcfg, |_| {}).ops_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_single_readahead_wins_everywhere() {
+        // The paper's central motivating observation.
+        let cfg = StudyConfig::quick();
+        let study = ReadaheadStudy::run(
+            DeviceProfile::sata_ssd(),
+            &[Workload::ReadSeq, Workload::ReadRandom],
+            &cfg,
+        );
+        let best_seq = study.best_ra_kb(Workload::ReadSeq);
+        let best_rand = study.best_ra_kb(Workload::ReadRandom);
+        assert_ne!(
+            best_seq, best_rand,
+            "sequential and random should prefer different readahead"
+        );
+        assert!(best_seq > best_rand, "seq {best_seq} !> rand {best_rand}");
+    }
+
+    #[test]
+    fn sequential_curve_rises_with_readahead() {
+        let cfg = StudyConfig::quick();
+        let study =
+            ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadSeq], &cfg);
+        let lo = study.throughput(Workload::ReadSeq, 8).unwrap();
+        let hi = study.throughput(Workload::ReadSeq, 1024).unwrap();
+        assert!(hi > lo * 1.3, "seq: ra=1024 {hi:.0} vs ra=8 {lo:.0}");
+    }
+
+    #[test]
+    fn random_curve_falls_beyond_block_size() {
+        let cfg = StudyConfig::quick();
+        let study =
+            ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadRandom], &cfg);
+        let at_32 = study.throughput(Workload::ReadRandom, 32).unwrap();
+        let at_1024 = study.throughput(Workload::ReadRandom, 1024).unwrap();
+        assert!(
+            at_32 > at_1024 * 1.1,
+            "random: ra=32 {at_32:.0} should beat ra=1024 {at_1024:.0}"
+        );
+    }
+
+    #[test]
+    fn policy_covers_all_training_classes() {
+        let cfg = StudyConfig::quick();
+        let study = ReadaheadStudy::run(
+            DeviceProfile::nvme(),
+            &Workload::training_set(),
+            &cfg,
+        );
+        let policy = study.training_class_policy();
+        assert_eq!(policy.len(), 4);
+        assert!(policy.iter().all(|&kb| cfg.sweep_kb.contains(&kb)));
+    }
+
+    #[test]
+    fn unknown_cell_returns_none() {
+        let cfg = StudyConfig::quick();
+        let study =
+            ReadaheadStudy::run(DeviceProfile::nvme(), &[Workload::ReadRandom], &cfg);
+        assert!(study.throughput(Workload::ReadSeq, 8).is_none());
+        assert!(study.throughput(Workload::ReadRandom, 7).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! The deployed KML readahead application (paper §3.3 execution flow).
+//!
+//! "(1) KML starts collecting data from the memory management component;
+//! (2) the collected data is processed and normalized ...; (3) features are
+//! passed to the KML engine for inference; (4) KML's engine ... generates
+//! predictions; and (5) finally, the KML application takes actions based on
+//! the predictions just made — e.g., changes readahead sizes using block
+//! device layer ioctls and updates the readahead values in struct files."
+//!
+//! [`KmlTuner`] is that loop: it drains the tracepoint ring buffer on every
+//! hook invocation, and once per window rolls the features, infers the
+//! workload class (neural network or decision tree), and actuates the
+//! class's best readahead value from the [`RaPolicy`].
+
+use crate::datagen::workload_of_class;
+use crate::features::FeatureExtractor;
+use kernel_sim::{Sim, TraceRecord};
+use kml_collect::ringbuf::Consumer;
+use kml_core::dtree::DecisionTree;
+use kml_core::model::Model;
+use kml_core::Result;
+
+/// Class → readahead-KiB mapping, built from a [`crate::ReadaheadStudy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaPolicy {
+    per_class_kb: Vec<u32>,
+}
+
+impl RaPolicy {
+    /// Builds a policy from per-class best readahead values (indexed by
+    /// training-class id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_class_kb` is empty.
+    pub fn new(per_class_kb: Vec<u32>) -> Self {
+        assert!(!per_class_kb.is_empty(), "policy needs at least one class");
+        RaPolicy { per_class_kb }
+    }
+
+    /// Best readahead for a class (clamped to the last entry for overflow).
+    pub fn ra_kb_for(&self, class: usize) -> u32 {
+        self.per_class_kb[class.min(self.per_class_kb.len() - 1)]
+    }
+
+    /// Number of classes the policy covers.
+    pub fn classes(&self) -> usize {
+        self.per_class_kb.len()
+    }
+}
+
+/// Which trained model drives the tuner.
+#[derive(Debug)]
+pub enum TunerModel {
+    /// The readahead neural network (f32, as deployed in-kernel).
+    NeuralNet(Model<f32>),
+    /// The comparison decision tree.
+    Tree(DecisionTree),
+}
+
+impl TunerModel {
+    /// Predicts the workload class for a feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the underlying model.
+    pub fn predict(&mut self, features: &[f64]) -> Result<usize> {
+        match self {
+            TunerModel::NeuralNet(m) => m.predict(features),
+            TunerModel::Tree(t) => t.predict(features),
+        }
+    }
+}
+
+/// One entry of the tuner's decision log (drives Figure 2's Y2 axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerDecision {
+    /// Simulated time of the decision, ns.
+    pub time_ns: u64,
+    /// Predicted workload class.
+    pub class: usize,
+    /// Readahead applied, KiB.
+    pub ra_kb: u32,
+}
+
+/// The closed-loop readahead tuner.
+#[derive(Debug)]
+pub struct KmlTuner {
+    model: TunerModel,
+    policy: RaPolicy,
+    extractor: FeatureExtractor,
+    consumer: Consumer<TraceRecord>,
+    window_ns: u64,
+    next_window_end: Option<u64>,
+    current_ra_kb: u32,
+    /// Class predicted in the previous window (hysteresis state).
+    last_class: Option<usize>,
+    /// Whether actuation waits for two agreeing windows (default true).
+    hysteresis: bool,
+    decisions: Vec<TunerDecision>,
+}
+
+impl KmlTuner {
+    /// Creates a tuner.
+    ///
+    /// - `model`/`policy`: the trained classifier and class→readahead map.
+    /// - `consumer`: the read end of the ring buffer attached to the sim.
+    /// - `window_ns`: inference cadence on the simulated clock (the paper
+    ///   infers once per second).
+    /// - `initial_ra_kb`: the readahead in force before the first decision.
+    pub fn new(
+        model: TunerModel,
+        policy: RaPolicy,
+        consumer: Consumer<TraceRecord>,
+        window_ns: u64,
+        initial_ra_kb: u32,
+    ) -> Self {
+        KmlTuner {
+            model,
+            policy,
+            extractor: FeatureExtractor::new(),
+            consumer,
+            window_ns,
+            next_window_end: None,
+            current_ra_kb: initial_ra_kb,
+            last_class: None,
+            hysteresis: true,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Disables/enables the two-window agreement requirement before
+    /// actuating (on by default). Exposed for the hysteresis ablation.
+    pub fn set_hysteresis(&mut self, enabled: bool) {
+        self.hysteresis = enabled;
+    }
+
+    /// The hook invoked after every workload operation: drains tracepoints
+    /// and, at window boundaries, infers and actuates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction failures (dimension mismatch — a
+    /// deployment bug, not a runtime condition).
+    pub fn on_op(&mut self, sim: &mut Sim) -> Result<()> {
+        while let Some(record) = self.consumer.pop() {
+            self.extractor.push(&record);
+        }
+        let now = sim.now_ns();
+        let end = *self.next_window_end.get_or_insert(now + self.window_ns);
+        if now < end {
+            return Ok(());
+        }
+        // Window closed: infer and actuate (step 2-5 of the §3.3 flow).
+        // Hysteresis: actuate only when two consecutive windows agree, so a
+        // single misclassified window (the Figure 2 fluctuations) cannot
+        // whipsaw the readahead setting.
+        if self.extractor.window_count() > 0 {
+            let features = self.extractor.roll_window(self.current_ra_kb as f64);
+            let class = self.model.predict(&features)?;
+            let confirmed = !self.hysteresis || self.last_class == Some(class);
+            self.last_class = Some(class);
+            let ra_kb = if confirmed {
+                let target = self.policy.ra_kb_for(class);
+                if target != self.current_ra_kb {
+                    sim.set_ra_kb(target);
+                    self.current_ra_kb = target;
+                }
+                target
+            } else {
+                self.current_ra_kb
+            };
+            self.decisions.push(TunerDecision {
+                time_ns: now,
+                class,
+                ra_kb,
+            });
+        }
+        // Skip windows with no traffic entirely (nothing to learn from).
+        let mut next = end;
+        while next <= now {
+            next += self.window_ns;
+        }
+        self.next_window_end = Some(next);
+        Ok(())
+    }
+
+    /// The readahead currently in force, KiB.
+    pub fn current_ra_kb(&self) -> u32 {
+        self.current_ra_kb
+    }
+
+    /// All decisions taken so far.
+    pub fn decisions(&self) -> &[TunerDecision] {
+        &self.decisions
+    }
+
+    /// Tracepoint records lost to ring-buffer overwrites.
+    pub fn records_dropped(&self) -> u64 {
+        self.consumer.dropped()
+    }
+
+    /// Human-readable summary of the most recent decision.
+    pub fn last_decision_summary(&self) -> Option<String> {
+        self.decisions.last().map(|d| {
+            format!(
+                "t={:.3}s class={} ({}) ra={}KiB",
+                d.time_ns as f64 / 1e9,
+                d.class,
+                workload_of_class(d.class.min(3)).name(),
+                d.ra_kb
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_sim::{DeviceProfile, SimConfig};
+    use kml_collect::RingBuffer;
+    use kml_core::dataset::Dataset;
+    use kml_core::dtree::DecisionTreeConfig;
+
+    #[test]
+    fn policy_lookup_and_clamping() {
+        let p = RaPolicy::new(vec![8, 1024, 32, 128]);
+        assert_eq!(p.ra_kb_for(0), 8);
+        assert_eq!(p.ra_kb_for(3), 128);
+        assert_eq!(p.ra_kb_for(99), 128); // clamped
+        assert_eq!(p.classes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_policy_panics() {
+        let _ = RaPolicy::new(vec![]);
+    }
+
+    /// A stub decision tree that always predicts by thresholding feature 3
+    /// (mean abs diff): big → class 0 (random), small → class 1 (seq).
+    fn stub_tree() -> DecisionTree {
+        let data = Dataset::from_rows(
+            &[
+                vec![100.0, 0.0, 0.0, 5000.0, 128.0],
+                vec![100.0, 0.0, 0.0, 6000.0, 128.0],
+                vec![100.0, 0.0, 0.0, 1.0, 128.0],
+                vec![100.0, 0.0, 0.0, 2.0, 128.0],
+            ],
+            &[0, 0, 1, 1],
+        )
+        .unwrap();
+        DecisionTree::fit(&data, DecisionTreeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn tuner_retunes_at_window_boundaries() {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::sata_ssd(),
+            cache_pages: 2048,
+            ..SimConfig::default()
+        });
+        let (producer, consumer) = RingBuffer::with_capacity(1 << 14).split();
+        sim.attach_trace(producer);
+        let f = sim.create_file(1 << 20);
+
+        // Policy: class 0 (random) → 16 KiB, class 1 (seq) → 1024 KiB.
+        let mut tuner = KmlTuner::new(
+            TunerModel::Tree(stub_tree()),
+            RaPolicy::new(vec![16, 1024]),
+            consumer,
+            1_000_000, // 1 ms windows so the test crosses many
+            128,
+        );
+
+        // Phase 1: random reads → the tuner should settle at 16 KiB.
+        let mut x = 5u64;
+        for _ in 0..400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sim.read(f, (x >> 16) % ((1 << 20) - 8), 4);
+            tuner.on_op(&mut sim).unwrap();
+        }
+        assert_eq!(tuner.current_ra_kb(), 16, "random phase mis-tuned");
+        assert!(!tuner.decisions().is_empty());
+
+        // Phase 2: sequential scan → the tuner should move to 1024 KiB.
+        for p in 0..20_000u64 {
+            sim.read(f, p, 1);
+            tuner.on_op(&mut sim).unwrap();
+        }
+        assert_eq!(tuner.current_ra_kb(), 1024, "sequential phase mis-tuned");
+        // Decisions recorded with monotone timestamps.
+        let d = tuner.decisions();
+        assert!(d.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    #[test]
+    fn tuner_skips_idle_windows() {
+        let mut sim = Sim::new(SimConfig::default());
+        let (_producer, consumer) = RingBuffer::<TraceRecord>::with_capacity(16).split();
+        let mut tuner = KmlTuner::new(
+            TunerModel::Tree(stub_tree()),
+            RaPolicy::new(vec![16, 1024]),
+            consumer,
+            1_000_000,
+            128,
+        );
+        // Clock advances with no tracepoints at all: no decisions.
+        for _ in 0..10 {
+            sim.advance(10_000_000);
+            tuner.on_op(&mut sim).unwrap();
+        }
+        assert!(tuner.decisions().is_empty());
+        assert_eq!(tuner.current_ra_kb(), 128);
+    }
+}

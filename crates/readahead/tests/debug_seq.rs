@@ -1,0 +1,31 @@
+//! Ignored-by-default diagnostic harness for the sequence models:
+//! prints per-class confusion across training lengths.
+//! Run with: `cargo test -p readahead --test debug_seq -- --ignored --nocapture`
+
+use readahead::datagen::DatagenConfig;
+use readahead::seq::*;
+
+#[test]
+#[ignore]
+fn debug_seq() {
+    let cfg = DatagenConfig::quick();
+    let data = sequence_dataset(&cfg, 16, 60).unwrap();
+    println!("sequences: {}", data.len());
+    let mut counts = [0; 4];
+    for &l in &data.labels { counts[l] += 1; }
+    println!("class counts: {counts:?}");
+    for epochs in [30, 80] {
+        let (mut rnn, acc) = train_rnn(&data, 12, epochs, 3).unwrap();
+        let mut per = [[0usize; 4]; 4];
+        for (s, &l) in data.sequences.iter().zip(&data.labels) {
+            per[l][rnn.predict(s).unwrap()] += 1;
+        }
+        println!("rnn epochs {epochs}: acc {acc:.3} confusion {per:?}");
+        let (mut lstm, acc) = train_lstm(&data, 8, epochs, 3).unwrap();
+        let mut per = [[0usize; 4]; 4];
+        for (s, &l) in data.sequences.iter().zip(&data.labels) {
+            per[l][lstm.predict(s).unwrap()] += 1;
+        }
+        println!("lstm epochs {epochs}: acc {acc:.3} confusion {per:?}");
+    }
+}

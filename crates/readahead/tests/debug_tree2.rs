@@ -1,0 +1,31 @@
+//! Diagnostic: tree predictions on deployment-like feature windows.
+use kernel_sim::DeviceProfile;
+use kvstore::Workload;
+use readahead::datagen::{self};
+use readahead::model::{train_paper_model, LoopConfig};
+
+#[test]
+#[ignore]
+fn debug_tree_features() {
+    let cfg = LoopConfig::default();
+    let trained = train_paper_model(&cfg).unwrap();
+    // Deployment-like windows: readrandom on SSD at various ra values.
+    for ra in [128u32, 16, 1024] {
+        let windows = datagen::collect_windows(
+            DeviceProfile::sata_ssd(), Workload::ReadRandom, ra, 99, &cfg.datagen);
+        let mut preds = [0usize; 4];
+        for w in windows.iter().take(50) {
+            preds[trained.tree.predict(w).unwrap()] += 1;
+        }
+        println!("ssd readrandom@{ra}: {} windows, tree preds {preds:?}, first {:?}",
+            windows.len(), windows.first());
+    }
+    // Same on NVMe (training device).
+    let windows = datagen::collect_windows(
+        DeviceProfile::nvme(), Workload::ReadRandom, 128, 99, &cfg.datagen);
+    let mut preds = [0usize; 4];
+    for w in windows.iter().take(50) {
+        preds[trained.tree.predict(w).unwrap()] += 1;
+    }
+    println!("nvme readrandom@128: tree preds {preds:?}");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build, train, validate, and save a KML neural network.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! This is the smallest end-to-end tour of the ML core: a 3-class toy
+//! classification problem, the paper's training recipe (cross-entropy +
+//! SGD with momentum), k-fold validation, and the KML model-file format.
+
+use kml_core::dataset::Normalizer;
+use kml_core::prelude::*;
+use kml_core::validate::ConfusionMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A toy dataset: three Gaussian-ish blobs in 2-D. -------------
+    let mut rng = KmlRng::seed_from_u64(42);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..600 {
+        let class = rng.gen_range(0..3usize);
+        let (cx, cy) = [(0.0, 0.0), (4.0, 0.0), (2.0, 3.5)][class];
+        rows.push(vec![
+            cx + rng.gen_range(-1.0..1.0),
+            cy + rng.gen_range(-1.0..1.0),
+        ]);
+        labels.push(class);
+    }
+    let data = Dataset::from_rows(&rows, &labels)?;
+    let (train, test) = data.shuffled(&mut rng).split(0.8)?;
+    println!("dataset: {} train / {} test samples", train.len(), test.len());
+
+    // --- 2. Build the network (builder API, Xavier init). ---------------
+    let mut model = ModelBuilder::new(2)
+        .linear(16)
+        .sigmoid()
+        .linear(3)
+        .seed(7)
+        .build::<f64>()?;
+    model.set_normalizer(Normalizer::fit(train.features())?);
+    println!(
+        "model: {} parameters, {} B init memory",
+        model.param_bytes() / 8,
+        model.init_memory_bytes()
+    );
+
+    // --- 3. Train with the paper's optimizer settings. ------------------
+    let mut sgd = Sgd::new(0.05, 0.9);
+    for epoch in 0..120 {
+        let loss = model.train_epoch(&train, &CrossEntropyLoss, &mut sgd, &mut rng)?;
+        if epoch % 30 == 0 {
+            println!("epoch {epoch:3}: loss {loss:.4}");
+        }
+    }
+
+    // --- 4. Evaluate on held-out data. -----------------------------------
+    let mut predictions = Vec::new();
+    for i in 0..test.len() {
+        predictions.push(model.predict(test.sample(i).0)?);
+    }
+    let cm = ConfusionMatrix::from_predictions(&predictions, test.labels(), 3)?;
+    println!("test accuracy: {:.1}%", cm.accuracy() * 100.0);
+    for c in 0..3 {
+        if let Some(r) = cm.recall(c) {
+            println!("  class {c} recall: {:.1}%", r * 100.0);
+        }
+    }
+
+    // --- 5. Save to the KML model-file format and reload. ----------------
+    let path = std::env::temp_dir().join("kml-quickstart.kml");
+    kml_core::modelfile::save(&model, &path)?;
+    let mut reloaded = kml_core::modelfile::load::<f64>(&path)?;
+    let sample = test.sample(0).0;
+    assert_eq!(model.predict(sample)?, reloaded.predict(sample)?);
+    println!("model round-tripped through {}", path.display());
+    std::fs::remove_file(path)?;
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The paper's motivating experiment (§4 "Studying the problem"): sweep
+//! readahead sizes across workloads and devices and observe that **no
+//! single value wins everywhere**.
+//!
+//! Run with: `cargo run --release --example workload_study`
+
+use kernel_sim::DeviceProfile;
+use kvstore::Workload;
+use readahead::study::{ReadaheadStudy, StudyConfig};
+
+fn main() {
+    let cfg = StudyConfig {
+        sweep_kb: vec![8, 16, 32, 64, 128, 256, 512, 1024],
+        ..StudyConfig::quick()
+    };
+    let workloads = [Workload::ReadSeq, Workload::ReadRandom, Workload::ReadReverse];
+
+    for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
+        println!("=== device: {} ===", device.name);
+        let study = ReadaheadStudy::run(device, &workloads, &cfg);
+        // Curves: one row per readahead value, one column per workload.
+        print!("{:>8}", "ra KiB");
+        for w in &workloads {
+            print!("{:>24}", w.name());
+        }
+        println!();
+        for &ra in &cfg.sweep_kb {
+            print!("{ra:>8}");
+            for &w in &workloads {
+                let tp = study.throughput(w, ra).unwrap_or(0.0);
+                let best = study.throughput(w, study.best_ra_kb(w)).unwrap_or(1.0);
+                let bar = "#".repeat(((tp / best) * 16.0) as usize);
+                print!("{:>7.0} {bar:<16}", tp);
+            }
+            println!();
+        }
+        for &w in &workloads {
+            println!("best for {:<12}: {} KiB", w.name(), study.best_ra_kb(w));
+        }
+        println!();
+    }
+    println!(
+        "The paper's observation holds: sequential scans want the largest\n\
+         window, random point reads want one matching the block size, and\n\
+         the optimum shifts with the device — hence an adaptive tuner."
+    );
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the KML reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! - [`kml_core`] — the machine-learning library (matrices, layers, losses,
+//!   autodiff, SGD, decision trees, model serialization).
+//! - [`kml_platform`] — the portability/dev API layer (paper §3.3).
+//! - [`kml_collect`] — lock-free data collection and async training (§3.1–3.2).
+//! - [`kernel_sim`] — simulated OS substrate: page cache, readahead, block
+//!   devices, tracepoints.
+//! - [`kvstore`] — LSM key-value store + db_bench-style workload driver.
+//! - [`readahead`] — the paper's §4 use case: the readahead tuning models and
+//!   the closed-loop KML application.
+//! - [`iosched`] — the §6 future-work second use case: KML tuning the block
+//!   layer's request-batching window.
+
+pub use iosched;
+pub use kernel_sim;
+pub use kml_collect;
+pub use kml_core;
+pub use kml_platform;
+pub use kvstore;
+pub use readahead;

@@ -1,0 +1,142 @@
+//! E8 — Table 1 API parity: the paper's Table 1 lists "KML API examples",
+//! the interface between KML models and the kernel. This test exercises the
+//! equivalent Rust surface end to end, one paper-flow step at a time, and
+//! doubles as living documentation of the public API.
+
+use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kml_collect::RingBuffer;
+use kml_core::dataset::{Dataset, Normalizer};
+use kml_core::loss::CrossEntropyLoss;
+use kml_core::model::ModelBuilder;
+use kml_core::optimizer::Sgd;
+use kml_core::KmlRng;
+use kml_platform::alloc::KmlAllocator;
+use kml_platform::{fpu, Persona};
+use rand::SeedableRng;
+
+#[test]
+fn paper_flow_steps_one_through_five() {
+    // §3.3: "(1) KML starts collecting data from the memory management
+    // component" — attach the lock-free buffer to the substrate.
+    let mut sim = Sim::new(SimConfig {
+        device: DeviceProfile::nvme(),
+        cache_pages: 1024,
+        ..SimConfig::default()
+    });
+    let (producer, mut consumer) = RingBuffer::with_capacity(1 << 14).split();
+    sim.attach_trace(producer);
+    let file = sim.create_file(1 << 16);
+    for p in 0..512u64 {
+        sim.read(file, p * 8, 4);
+    }
+
+    // "(2) the collected data is processed and normalized" — features.
+    let mut fx = readahead::FeatureExtractor::new();
+    while let Some(record) = consumer.pop() {
+        fx.push(&record);
+    }
+    assert!(fx.total() > 0, "tracepoints reached the collector");
+    let features = fx.roll_window(128.0);
+
+    // "(3) features are passed to the KML engine for inference" and
+    // "(4) KML's engine inferences and generates predictions".
+    let mut model = ModelBuilder::readahead_paper_topology(5, 4)
+        .build::<f32>()
+        .expect("topology builds");
+    let training = Dataset::from_rows(
+        &[features.to_vec(), features.map(|v| v * 0.5).to_vec()],
+        &[0, 1],
+    )
+    .expect("dataset builds");
+    model.set_normalizer(Normalizer::fit(training.features()).expect("normalizer fits"));
+    let class = model.predict(&features).expect("inference succeeds");
+    assert!(class < 4);
+
+    // "(5) the KML application takes actions based on the predictions ...
+    // changes readahead sizes using block device layer ioctls and updates
+    // the readahead values in struct files."
+    sim.set_ra_kb(1024); // the "ioctl"
+    sim.set_file_ra_kb(file, 8); // the per-file struct update
+    assert_eq!(sim.file_ra_kb(file), 8);
+}
+
+#[test]
+fn dev_api_memory_threading_logging_atomics_files() {
+    // §3.3: "The KML development API has five parts: (i) system memory
+    // allocation, (ii) threading, (iii) logging, (iv) atomic operations,
+    // and (v) file operations."
+
+    // (i) memory — kml_malloc analogue with reservation.
+    let alloc = KmlAllocator::new(Persona::Kernel);
+    alloc.reserve(1 << 16).expect("reservation succeeds");
+    let buf = alloc.alloc_slice::<f32>(256).expect("allocation succeeds");
+    assert_eq!(buf.len(), 256);
+
+    // (ii) threading — the kthread wrapper.
+    let t = kml_platform::threading::KmlThread::spawn(Persona::Kernel, "api-demo", |ctl| {
+        while !ctl.should_stop() {
+            kml_platform::threading::kml_yield();
+        }
+    })
+    .expect("thread spawns");
+    assert_eq!(t.name(), "kthread/api-demo");
+    t.stop().expect("thread stops cleanly");
+
+    // (iii) logging — printk/printf router.
+    let log = kml_platform::logging::Logger::memory();
+    log.log(kml_platform::logging::Level::Info, "model deployed");
+    assert_eq!(log.records().len(), 1);
+
+    // (iv) atomics.
+    let counter = kml_platform::atomics::KmlCounter::new(0);
+    counter.inc();
+    assert_eq!(counter.get(), 1);
+
+    // (v) file operations — the model save/load path.
+    let path = std::env::temp_dir().join(format!("kml-api-{}.kml", std::process::id()));
+    let model = ModelBuilder::new(3).linear(2).build::<f64>().expect("builds");
+    kml_core::modelfile::save(&model, &path).expect("save succeeds");
+    let loaded = kml_core::modelfile::load::<f64>(&path).expect("load succeeds");
+    assert_eq!(loaded.input_dim(), 3);
+    std::fs::remove_file(path).expect("cleanup");
+}
+
+#[test]
+fn training_and_inference_run_in_both_personas() {
+    // §3.3: "KML can do either training or inference in user or kernel
+    // spaces." The persona difference in this reproduction is the FPU
+    // discipline: kernel-side FP math must happen inside guard sections.
+    let mut rng = KmlRng::seed_from_u64(3);
+    let data = Dataset::from_rows(
+        &[
+            vec![0.0, 0.0],
+            vec![0.1, 0.2],
+            vec![5.0, 5.0],
+            vec![5.2, 4.9],
+        ],
+        &[0, 0, 1, 1],
+    )
+    .expect("dataset builds");
+
+    // "User space" training (f64) ...
+    let mut user_model = ModelBuilder::new(2).linear(4).sigmoid().linear(2).build::<f64>()
+        .expect("builds");
+    let mut sgd = Sgd::new(0.3, 0.5);
+    for _ in 0..100 {
+        user_model
+            .train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)
+            .expect("training epoch runs");
+    }
+    assert!(user_model.accuracy(&data).expect("accuracy computes") > 0.9);
+
+    // ... deployed "in kernel" (f32), inference bracketed by FPU guards.
+    let bytes = kml_core::modelfile::encode(&user_model).expect("encode");
+    let mut kernel_model = kml_core::modelfile::decode::<f32>(&bytes).expect("decode");
+    let before = fpu::sections_entered();
+    let p = kernel_model.predict(&[5.1, 5.0]).expect("inference");
+    assert_eq!(p, 1);
+    assert!(
+        fpu::sections_entered() > before,
+        "kernel-persona float inference must enter an FPU section"
+    );
+}

