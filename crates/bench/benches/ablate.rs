@@ -45,9 +45,13 @@ fn bench_dtype(c: &mut Criterion) {
         )
     }
     let (a, b32) = mm::<f32>();
-    group.bench_function("f32", |b| b.iter(|| a.matmul(black_box(&b32)).expect("matmul")));
+    group.bench_function("f32", |b| {
+        b.iter(|| a.matmul(black_box(&b32)).expect("matmul"))
+    });
     let (a, b64) = mm::<f64>();
-    group.bench_function("f64", |b| b.iter(|| a.matmul(black_box(&b64)).expect("matmul")));
+    group.bench_function("f64", |b| {
+        b.iter(|| a.matmul(black_box(&b64)).expect("matmul"))
+    });
     let (a, bq) = mm::<Fix32>();
     group.bench_function("q16_fixed", |b| {
         b.iter(|| a.matmul(black_box(&bq)).expect("matmul"))
@@ -85,7 +89,11 @@ fn bench_math(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_math_approximations");
     let xs: Vec<f64> = (0..256).map(|i| (i as f64 - 128.0) / 16.0).collect();
     group.bench_function("kml_exp", |b| {
-        b.iter(|| xs.iter().map(|&x| kml_core::math::exp(black_box(x))).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| kml_core::math::exp(black_box(x)))
+                .sum::<f64>()
+        })
     });
     group.bench_function("std_exp", |b| {
         b.iter(|| xs.iter().map(|&x| black_box(x).exp()).sum::<f64>())

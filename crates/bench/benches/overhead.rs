@@ -54,7 +54,11 @@ fn bench_inference(c: &mut Criterion) {
         .expect("paper topology builds");
     let features = [5_000.0, 3_000.0, 1_800.0, 500.0, 128.0];
     c.bench_function("overhead_inference", |b| {
-        b.iter(|| model.predict(black_box(&features)).expect("inference succeeds"))
+        b.iter(|| {
+            model
+                .predict(black_box(&features))
+                .expect("inference succeeds")
+        })
     });
 }
 

@@ -1,0 +1,130 @@
+//! Telemetry hot-path overhead gate.
+//!
+//! The kml-telemetry subsystem instruments the I/O path itself, so its own
+//! cost must be far below what it measures: the acceptance bar is **under
+//! 100 ns median** for a counter increment and a histogram record (the
+//! paper's whole collection hook budget is ~49 ns/event). This bench both
+//! reports the numbers and *enforces* the bar — `cargo bench -p bench
+//! --bench telemetry_overhead` exits nonzero on regression — and shows the
+//! disabled paths cost (near) nothing.
+
+use criterion::{criterion_group, Criterion};
+use kml_telemetry::{Counter, Gauge, Histogram, Registry, Span};
+use std::hint::black_box;
+
+fn bench_counter(c: &mut Criterion) {
+    let reg = Registry::new();
+    let live = reg.counter("bench.counter_total");
+    c.bench_function("telemetry_counter_inc_live", |b| {
+        b.iter(|| black_box(&live).inc())
+    });
+    let noop = Counter::noop();
+    c.bench_function("telemetry_counter_inc_noop", |b| {
+        b.iter(|| black_box(&noop).inc())
+    });
+}
+
+fn bench_gauge(c: &mut Criterion) {
+    let reg = Registry::new();
+    let live = reg.gauge("bench.gauge");
+    let mut v = 0u64;
+    c.bench_function("telemetry_gauge_set_live", |b| {
+        b.iter(|| {
+            v = v.wrapping_add(3);
+            black_box(&live).set(v)
+        })
+    });
+    let noop = Gauge::noop();
+    c.bench_function("telemetry_gauge_set_noop", |b| {
+        b.iter(|| black_box(&noop).set(7))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let reg = Registry::new();
+    let live = reg.histogram("bench.latency_ns");
+    let mut v = 1u64;
+    c.bench_function("telemetry_histogram_record_live", |b| {
+        b.iter(|| {
+            // Vary the value so branch prediction can't collapse bucket_of.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(&live).record(v >> 32)
+        })
+    });
+    let noop = Histogram::noop();
+    c.bench_function("telemetry_histogram_record_noop", |b| {
+        b.iter(|| black_box(&noop).record(42))
+    });
+}
+
+fn bench_span(c: &mut Criterion) {
+    let reg = Registry::new();
+    let live = reg.histogram("bench.span_ns");
+    c.bench_function("telemetry_span_live", |b| {
+        // A span is two clock reads + one record; it brackets real work in
+        // the loop, so it has a looser (but still sub-µs) budget.
+        b.iter(|| Span::start(black_box(&live)).finish())
+    });
+    let noop = Histogram::noop();
+    c.bench_function("telemetry_span_noop", |b| {
+        b.iter(|| Span::start(black_box(&noop)).finish())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_counter, bench_gauge, bench_histogram, bench_span
+}
+
+fn main() {
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if !arg.starts_with('-') {
+            filter = Some(arg);
+        }
+    }
+    benches(filter.as_deref());
+
+    // Enforce the acceptance bar on the hot-path primitives.
+    let summaries = criterion::summaries();
+    let median = |id: &str| {
+        summaries
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let mut failed = false;
+    for (id, budget_ns) in [
+        ("telemetry_counter_inc_live", 100.0),
+        ("telemetry_histogram_record_live", 100.0),
+        ("telemetry_gauge_set_live", 100.0),
+    ] {
+        let m = median(id);
+        if m.is_nan() {
+            continue; // filtered out on this invocation
+        }
+        let verdict = if m < budget_ns { "PASS" } else { "FAIL" };
+        println!("{verdict}: {id} median {m:.1} ns (budget {budget_ns:.0} ns)");
+        failed |= m >= budget_ns;
+    }
+    // The disabled handles must be effectively free (ZST or one branch);
+    // allow generous slack for timer noise but catch accidental work.
+    for id in [
+        "telemetry_counter_inc_noop",
+        "telemetry_histogram_record_noop",
+    ] {
+        let m = median(id);
+        if m.is_nan() {
+            continue;
+        }
+        let verdict = if m < 20.0 { "PASS" } else { "FAIL" };
+        println!("{verdict}: {id} median {m:.1} ns (budget 20 ns)");
+        failed |= m >= 20.0;
+    }
+    if failed {
+        eprintln!("telemetry hot path exceeded its overhead budget");
+        std::process::exit(1);
+    }
+}

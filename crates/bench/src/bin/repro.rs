@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] <experiment>
+//! repro [--quick] [--json] <experiment>
 //!
 //!   study      E1  readahead-vs-throughput curves + best-value table (§4)
 //!   accuracy   E2  k-fold cross-validation of the readahead NN (§4)
@@ -17,7 +17,11 @@
 //! ```
 //!
 //! `--quick` uses the reduced test-scale configuration (seconds instead of
-//! minutes); EXPERIMENTS.md records full-scale output.
+//! minutes); EXPERIMENTS.md records full-scale output. `--json`
+//! additionally writes machine-readable JSON-lines for table2, overheads,
+//! and dtree under `results/`.
+//!
+//! Unit conventions: durations are reported in ns, sizes in bytes.
 
 use kernel_sim::DeviceProfile;
 use kvstore::Workload;
@@ -29,6 +33,7 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -47,14 +52,14 @@ fn main() {
     let result = match cmd {
         "study" => cmd_study(&cfg),
         "accuracy" => cmd_accuracy(&cfg),
-        "table2" => cmd_table2(&cfg),
+        "table2" => cmd_table2(&cfg, json),
         "figure2" => cmd_figure2(&cfg),
-        "overheads" => cmd_overheads(&cfg),
-        "dtree" => cmd_dtree(&cfg),
+        "overheads" => cmd_overheads(&cfg, json),
+        "dtree" => cmd_dtree(&cfg, json),
         "rl" => cmd_rl(&cfg),
         "iosched" => cmd_iosched(),
         "ablate" => cmd_ablate(&cfg),
-        "all" => cmd_all(&cfg),
+        "all" => cmd_all(&cfg, json),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
@@ -88,13 +93,13 @@ fn trained_model(
     Ok(CELL.get().expect("set above"))
 }
 
-fn cmd_all(cfg: &LoopConfig) -> DynResult {
+fn cmd_all(cfg: &LoopConfig, json: bool) -> DynResult {
     cmd_study(cfg)?;
     cmd_accuracy(cfg)?;
-    cmd_table2(cfg)?;
+    cmd_table2(cfg, json)?;
     cmd_figure2(cfg)?;
-    cmd_dtree(cfg)?;
-    cmd_overheads(cfg)?;
+    cmd_dtree(cfg, json)?;
+    cmd_overheads(cfg, json)?;
     cmd_rl(cfg)?;
     cmd_iosched()?;
     cmd_ablate(cfg)
@@ -129,20 +134,28 @@ fn cmd_iosched() -> DynResult {
         let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
         let mut tuner = SchedTuner::train([0, PATIENT_NS], 5)?;
         let tuned = run_sched_workload(&mut sched, workload, REQUESTS, 11, |s, req, now| {
-            tuner.on_request(s, req, now).expect("tuner inference succeeds");
+            tuner
+                .on_request(s, req, now)
+                .expect("tuner inference succeeds");
         });
         rows.push(vec![
             workload.name().into(),
             format!("{:.0}", eager.requests_per_sec),
             format!("{:.0}", patient.requests_per_sec),
             format!("{:.0}", tuned.requests_per_sec),
-            format!("{:.1} us", tuned.mean_latency_ns as f64 / 1000.0),
+            format!("{:.0} ns", tuned.mean_latency_ns),
         ]);
     }
     println!(
         "{}",
         bench::render_table(
-            &["traffic", "eager req/s", "patient req/s", "KML req/s", "KML latency"],
+            &[
+                "traffic",
+                "eager req/s",
+                "patient req/s",
+                "KML req/s",
+                "KML latency"
+            ],
             &rows
         )
     );
@@ -268,23 +281,32 @@ fn cmd_accuracy(cfg: &LoopConfig) -> DynResult {
 }
 
 /// E3 — Table 2.
-fn cmd_table2(cfg: &LoopConfig) -> DynResult {
+fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
     println!("## E3: Table 2 — KML readahead NN speedups\n");
     let trained = trained_model(cfg)?;
     let mut rows = Vec::new();
     let mut nvme_speedups = Vec::new();
     let mut ssd_speedups = Vec::new();
+    let mut json_lines = String::new();
     for workload in Workload::all() {
         let mut row = vec![workload.name().to_string()];
+        let mut cells = Vec::new();
         for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
             let outcome = closed_loop::compare(workload, device, trained, cfg)?;
             row.push(format!("{:.2}x", outcome.speedup));
+            cells.push(outcome.speedup);
             if device.name == "nvme" {
                 nvme_speedups.push(outcome.speedup);
             } else {
                 ssd_speedups.push(outcome.speedup);
             }
         }
+        json_lines.push_str(&format!(
+            "{{\"experiment\":\"e3_table2\",\"workload\":{},\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
+            kml_telemetry::json_str(workload.name()),
+            cells[0],
+            cells[1],
+        ));
         rows.push(row);
     }
     rows.push(vec![
@@ -302,6 +324,15 @@ fn cmd_table2(cfg: &LoopConfig) -> DynResult {
     );
     let path = bench::write_results("e3_table2.txt", &table)?;
     println!("written to {}\n", path.display());
+    if json {
+        json_lines.push_str(&format!(
+            "{{\"experiment\":\"e3_table2\",\"workload\":\"geomean\",\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
+            bench::geometric_mean(&nvme_speedups),
+            bench::geometric_mean(&ssd_speedups),
+        ));
+        let jp = bench::write_results("e3_table2.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
     Ok(())
 }
 
@@ -317,12 +348,8 @@ fn cmd_figure2(cfg: &LoopConfig) -> DynResult {
     for rep in 0..repeats {
         let mut run_cfg = cfg.clone();
         run_cfg.seed = cfg.seed + rep as u64;
-        let outcome = closed_loop::compare(
-            Workload::MixGraph,
-            DeviceProfile::nvme(),
-            trained,
-            &run_cfg,
-        )?;
+        let outcome =
+            closed_loop::compare(Workload::MixGraph, DeviceProfile::nvme(), trained, &run_cfg)?;
         speedups.push(outcome.speedup);
         for p in &outcome.timeline {
             all_rows.push(vec![
@@ -330,10 +357,14 @@ fn cmd_figure2(cfg: &LoopConfig) -> DynResult {
                 p.t_ms.to_string(),
                 format!("{:.0}", p.ops_per_sec),
                 p.ra_kb.to_string(),
+                format!("{:.0}", p.infer_ns_mean),
             ]);
         }
     }
-    let csv = bench::to_csv(&["run", "t_ms", "ops_per_sec", "ra_kb"], &all_rows);
+    let csv = bench::to_csv(
+        &["run", "t_ms", "ops_per_sec", "ra_kb", "infer_ns_mean"],
+        &all_rows,
+    );
     let path = bench::write_results("e4_figure2.csv", &csv)?;
     println!(
         "{} timeline points over {repeats} runs written to {}",
@@ -350,12 +381,13 @@ fn cmd_figure2(cfg: &LoopConfig) -> DynResult {
 }
 
 /// E6 — decision-tree comparison.
-fn cmd_dtree(cfg: &LoopConfig) -> DynResult {
+fn cmd_dtree(cfg: &LoopConfig, json: bool) -> DynResult {
     println!("## E6: decision-tree tuner vs neural network (§4)\n");
     let trained = trained_model(cfg)?;
     let mut rows = Vec::new();
     let mut nn_means = Vec::new();
     let mut dt_means = Vec::new();
+    let mut json_lines = String::new();
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
         let mut nn_speedups = Vec::new();
         let mut dt_speedups = Vec::new();
@@ -373,6 +405,13 @@ fn cmd_dtree(cfg: &LoopConfig) -> DynResult {
             format!("{:.2}x", nn_mean),
             format!("{:.2}x", dt_mean),
         ]);
+        json_lines.push_str(&format!(
+            "{{\"experiment\":\"e6_dtree\",\"device\":{},\"nn_geomean\":{:.4},\"dtree_geomean\":{:.4},\"tree_training_accuracy\":{:.4}}}\n",
+            kml_telemetry::json_str(device.name),
+            nn_mean,
+            dt_mean,
+            trained.tree_training_accuracy,
+        ));
         nn_means.push(nn_mean);
         dt_means.push(dt_mean);
     }
@@ -385,11 +424,15 @@ fn cmd_dtree(cfg: &LoopConfig) -> DynResult {
          Paper: DT improved SSD 55% / NVMe 26% on average — inferior to the NN.\n",
         trained.tree_training_accuracy * 100.0
     );
+    if json {
+        let jp = bench::write_results("e6_dtree.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
     Ok(())
 }
 
 /// E5 — §4 overhead micro-numbers (wall-clock; see also `cargo bench`).
-fn cmd_overheads(cfg: &LoopConfig) -> DynResult {
+fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
     use kml_collect::RingBuffer;
     use kml_core::loss::{CrossEntropyLoss, Loss, TargetRef};
     use kml_core::matrix::Matrix;
@@ -437,7 +480,7 @@ fn cmd_overheads(cfg: &LoopConfig) -> DynResult {
     for _ in 0..reps {
         sink = sink.wrapping_add(network.predict(&features)?);
     }
-    let infer_us = t0.elapsed().as_micros() as f64 / reps as f64;
+    let infer_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
 
     // Training iteration: one batch forward+backward+SGD step (f64, as the
     // paper trains in user space).
@@ -452,9 +495,14 @@ fn cmd_overheads(cfg: &LoopConfig) -> DynResult {
     let reps = 5_000;
     let t0 = Instant::now();
     for _ in 0..reps {
-        train_model.train_batch(&input, TargetRef::Classes(&labels), &CrossEntropyLoss, &mut sgd)?;
+        train_model.train_batch(
+            &input,
+            TargetRef::Classes(&labels),
+            &CrossEntropyLoss,
+            &mut sgd,
+        )?;
     }
-    let train_us = t0.elapsed().as_micros() as f64 / reps as f64;
+    let train_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
     let _ = CrossEntropyLoss.tag(); // keep the import honest
     std::hint::black_box(sink);
 
@@ -466,23 +514,23 @@ fn cmd_overheads(cfg: &LoopConfig) -> DynResult {
         ],
         vec![
             "inference".into(),
-            format!("{infer_us:.1} us"),
-            "21 us".into(),
+            format!("{infer_ns:.0} ns"),
+            "21000 ns".into(),
         ],
         vec![
             "training iteration (batch 16)".into(),
-            format!("{train_us:.1} us"),
-            "51 us".into(),
+            format!("{train_ns:.0} ns"),
+            "51000 ns".into(),
         ],
         vec![
             "model init memory".into(),
-            format!("{} B", network.init_memory_bytes()),
-            "3916 B".into(),
+            format!("{} bytes", network.init_memory_bytes()),
+            "3916 bytes".into(),
         ],
         vec![
             "inference scratch memory".into(),
-            format!("{} B", network.inference_scratch_bytes()),
-            "676 B".into(),
+            format!("{} bytes", network.inference_scratch_bytes()),
+            "676 bytes".into(),
         ],
     ];
     let table = bench::render_table(&["metric", "measured", "paper"], &rows);
@@ -494,6 +542,57 @@ fn cmd_overheads(cfg: &LoopConfig) -> DynResult {
     );
     let path = bench::write_results("e5_overheads.txt", &table)?;
     println!("written to {}\n", path.display());
+
+    // In-loop self-measurement: the offline numbers above time the
+    // primitives in isolation; the telemetry subsystem measures the same
+    // stages *inside* a live closed-loop run, per-stage span histograms and
+    // all. Both views should agree on the shape (collect ≪ infer ≪ train).
+    println!("### E5b: in-loop self-measurement (kml-telemetry spans)\n");
+    let run = closed_loop::run_kml_instrumented(
+        Workload::ReadRandom,
+        DeviceProfile::sata_ssd(),
+        trained,
+        cfg,
+    )?;
+    let snap = &run.telemetry;
+    println!("{}", snap.render_table());
+    if let Some(h) = snap.histogram("readahead.loop.infer_ns") {
+        println!(
+            "in-loop inference: median {} ns over {} decisions \
+             (offline micro-bench above: {:.0} ns)",
+            h.p50, h.count, infer_ns
+        );
+    }
+    println!("ring records dropped during run: {}\n", run.ring_dropped);
+
+    if json {
+        let mut json_lines = String::new();
+        for (metric, value, unit) in [
+            ("collect_per_event", collect_ns, "ns"),
+            ("inference", infer_ns, "ns"),
+            ("train_batch16", train_ns, "ns"),
+            (
+                "model_init_memory",
+                network.init_memory_bytes() as f64,
+                "bytes",
+            ),
+            (
+                "inference_scratch_memory",
+                network.inference_scratch_bytes() as f64,
+                "bytes",
+            ),
+        ] {
+            json_lines.push_str(&format!(
+                "{{\"experiment\":\"e5_overheads\",\"metric\":{},\"value\":{:.1},\"unit\":{}}}\n",
+                kml_telemetry::json_str(metric),
+                value,
+                kml_telemetry::json_str(unit),
+            ));
+        }
+        json_lines.push_str(&snap.to_json_lines("e5_inloop"));
+        let jp = bench::write_results("e5_overheads.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
     Ok(())
 }
 
@@ -537,15 +636,30 @@ fn cmd_ablate(cfg: &LoopConfig) -> DynResult {
     for (name, builder) in [
         (
             "sigmoid (paper)",
-            ModelBuilder::new(5).linear(15).sigmoid().linear(10).sigmoid().linear(4),
+            ModelBuilder::new(5)
+                .linear(15)
+                .sigmoid()
+                .linear(10)
+                .sigmoid()
+                .linear(4),
         ),
         (
             "relu",
-            ModelBuilder::new(5).linear(15).relu().linear(10).relu().linear(4),
+            ModelBuilder::new(5)
+                .linear(15)
+                .relu()
+                .linear(10)
+                .relu()
+                .linear(4),
         ),
         (
             "tanh",
-            ModelBuilder::new(5).linear(15).tanh().linear(10).tanh().linear(4),
+            ModelBuilder::new(5)
+                .linear(15)
+                .tanh()
+                .linear(10)
+                .tanh()
+                .linear(4),
         ),
     ] {
         let mut model = builder.seed(13).build::<f64>()?;
@@ -572,7 +686,8 @@ fn cmd_ablate(cfg: &LoopConfig) -> DynResult {
     let trained = trained_model(cfg)?;
     let mut rows = Vec::new();
     for workload in [Workload::ReadRandom, Workload::MixGraph] {
-        let vanilla = closed_loop::run_vanilla(workload, DeviceProfile::sata_ssd(), &trained_cfg(cfg));
+        let vanilla =
+            closed_loop::run_vanilla(workload, DeviceProfile::sata_ssd(), &trained_cfg(cfg));
         let (with, _) = closed_loop::run_kml(workload, DeviceProfile::sata_ssd(), trained, cfg)?;
         let (without, _) =
             closed_loop::run_kml_no_hysteresis(workload, DeviceProfile::sata_ssd(), trained, cfg)?;

@@ -8,6 +8,29 @@
 //! point; per-request latency is completion − arrival.
 
 use kernel_sim::{BlockDevice, DeviceProfile};
+use kml_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Telemetry handles for one scheduler (no-op until
+/// [`IoScheduler::attach_telemetry`] binds them): the staged queue depth,
+/// per-request latency distribution, and merge/dispatch counts.
+#[derive(Debug, Default)]
+struct SchedTelemetry {
+    queue_depth: Gauge,
+    request_latency_ns: Histogram,
+    merged_total: Counter,
+    dispatch_total: Counter,
+}
+
+impl SchedTelemetry {
+    fn bind(registry: &Registry) -> Self {
+        SchedTelemetry {
+            queue_depth: registry.gauge("iosched.device.queue_depth"),
+            request_latency_ns: registry.histogram("iosched.request_latency_ns"),
+            merged_total: registry.counter("iosched.merged_total"),
+            dispatch_total: registry.counter("iosched.dispatch_total"),
+        }
+    }
+}
 
 /// One block-layer request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +92,9 @@ pub struct SchedStats {
 impl SchedStats {
     /// Mean request latency, ns (0 before any completion).
     pub fn mean_latency_ns(&self) -> u64 {
-        self.total_latency_ns.checked_div(self.completed).unwrap_or(0)
+        self.total_latency_ns
+            .checked_div(self.completed)
+            .unwrap_or(0)
     }
 }
 
@@ -82,6 +107,7 @@ pub struct IoScheduler {
     /// The device is busy until this simulated time.
     busy_until_ns: u64,
     stats: SchedStats,
+    telemetry: SchedTelemetry,
 }
 
 impl IoScheduler {
@@ -93,7 +119,14 @@ impl IoScheduler {
             queue: Vec::new(),
             busy_until_ns: 0,
             stats: SchedStats::default(),
+            telemetry: SchedTelemetry::default(),
         }
+    }
+
+    /// Binds this scheduler's metrics (`iosched.*`) to a registry. Until
+    /// called, all recording is no-op.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = SchedTelemetry::bind(registry);
     }
 
     /// Current configuration.
@@ -109,6 +142,7 @@ impl IoScheduler {
     /// Stages a request. Dispatch happens on [`IoScheduler::drain`].
     pub fn submit(&mut self, request: IoRequest) {
         self.queue.push(request);
+        self.telemetry.queue_depth.set(self.queue.len() as u64);
     }
 
     /// Requests currently staged.
@@ -182,6 +216,7 @@ impl IoScheduler {
                     m.npages = end - m.page;
                     m.members.push(req);
                     self.stats.merged += 1;
+                    self.telemetry.merged_total.inc();
                 }
                 _ => merged.push(Merged {
                     inode: req.inode,
@@ -207,6 +242,7 @@ impl IoScheduler {
                 let latency_ns = start.saturating_sub(request.arrival_ns);
                 self.stats.completed += 1;
                 self.stats.total_latency_ns += latency_ns;
+                self.telemetry.request_latency_ns.record(latency_ns);
                 done.push(CompletedIo {
                     request,
                     completion_ns: start,
@@ -216,6 +252,8 @@ impl IoScheduler {
         }
         self.busy_until_ns = start;
         self.stats.dispatches += 1;
+        self.telemetry.dispatch_total.inc();
+        self.telemetry.queue_depth.set(0);
         done
     }
 }
@@ -386,5 +424,33 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.completed, 1);
         assert!(st.mean_latency_ns() > 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_sched_stats() {
+        let reg = Registry::new();
+        let mut s = IoScheduler::new(
+            DeviceProfile::sata_ssd(),
+            SchedulerConfig {
+                batch_wait_ns: 0,
+                max_batch: 64,
+            },
+        );
+        s.attach_telemetry(&reg);
+        for i in 0..8 {
+            s.submit(req(i * 4, 0));
+        }
+        s.drain(0);
+        let st = s.stats();
+        if reg.is_enabled() {
+            let snap = reg.snapshot();
+            let lat = snap.histogram("iosched.request_latency_ns").unwrap();
+            assert_eq!(lat.count, st.completed);
+            assert_eq!(lat.sum, st.total_latency_ns);
+            assert_eq!(snap.counter("iosched.merged_total"), Some(st.merged));
+            assert_eq!(snap.counter("iosched.dispatch_total"), Some(st.dispatches));
+            // Everything dispatched: depth back to zero.
+            assert_eq!(snap.gauge("iosched.device.queue_depth"), Some(0));
+        }
     }
 }

@@ -206,8 +206,7 @@ mod tests {
     #[test]
     fn features_separate_the_two_patterns() {
         let collect = |workload| {
-            let mut sched =
-                IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+            let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
             let mut fx = SchedFeatures::new();
             let mut windows: Vec<[f64; 4]> = Vec::new();
             run_sched_workload(&mut sched, workload, 1_024, 3, |s, req, _| {
@@ -233,8 +232,7 @@ mod tests {
     }
 
     fn tuned_run(workload: SchedWorkload) -> SchedWorkloadReport {
-        let mut sched =
-            IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+        let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
         let mut tuner = SchedTuner::train([0, 150_000], 5).expect("training succeeds");
         run_sched_workload(&mut sched, workload, 4_096, 11, |s, req, now| {
             tuner.on_request(s, req, now).expect("tuner survives");
@@ -254,7 +252,10 @@ mod tests {
 
     #[test]
     fn tuned_scheduler_tracks_the_best_static_config_per_pattern() {
-        for workload in [SchedWorkload::DependentRandom, SchedWorkload::MergeableBurst] {
+        for workload in [
+            SchedWorkload::DependentRandom,
+            SchedWorkload::MergeableBurst,
+        ] {
             let tuned = tuned_run(workload);
             let best_static = [0u64, 150_000]
                 .into_iter()

@@ -207,13 +207,19 @@ mod tests {
         let mut big = RaState::new(256);
         assert_eq!(
             big.on_access(5000, 4, false, FILE),
-            RaAction::Sync { start: 5000, len: 16 }
+            RaAction::Sync {
+                start: 5000,
+                len: 16
+            }
         );
         // ...but under a tight ra_pages only 4.
         let mut small = RaState::new(4);
         assert_eq!(
             small.on_access(5000, 4, false, FILE),
-            RaAction::Sync { start: 5000, len: 4 }
+            RaAction::Sync {
+                start: 5000,
+                len: 4
+            }
         );
     }
 
@@ -223,7 +229,10 @@ mod tests {
         // Block read of pages 100..104: sync fetch 16, marker at 104.
         assert_eq!(
             ra.on_access(100, 4, false, FILE),
-            RaAction::Sync { start: 100, len: 16 }
+            RaAction::Sync {
+                start: 100,
+                len: 16
+            }
         );
         for p in 101..104 {
             assert_eq!(ra.on_access(p, 4, true, FILE), RaAction::None);
@@ -235,7 +244,10 @@ mod tests {
         let mut ra = RaState::new(64);
         // First request [0,4): init window 8 (= 2×req under this cap),
         // marker at 4.
-        assert_eq!(ra.on_access(0, 4, false, FILE), RaAction::Sync { start: 0, len: 8 });
+        assert_eq!(
+            ra.on_access(0, 4, false, FILE),
+            RaAction::Sync { start: 0, len: 8 }
+        );
         for p in 1..4 {
             assert_eq!(ra.on_access(p, 4, true, FILE), RaAction::None);
         }
@@ -255,7 +267,10 @@ mod tests {
     #[test]
     fn fetches_clamp_at_eof() {
         let mut ra = RaState::new(32);
-        assert_eq!(ra.on_access(10, 1, false, 12), RaAction::Sync { start: 10, len: 2 });
+        assert_eq!(
+            ra.on_access(10, 1, false, 12),
+            RaAction::Sync { start: 10, len: 2 }
+        );
         assert_eq!(ra.on_access(12, 1, false, 12), RaAction::None);
     }
 

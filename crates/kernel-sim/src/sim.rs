@@ -13,10 +13,54 @@
 
 use crate::cache::{CacheStats, PageCache};
 use crate::device::{BlockDevice, DeviceProfile, DeviceStats};
+use crate::ra_kb_to_pages;
 use crate::readahead::{RaAction, RaState};
 use crate::trace::{TraceKind, TraceRecord, TraceSink};
-use crate::ra_kb_to_pages;
 use kml_collect::ringbuf::Producer;
+use kml_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Telemetry handles for one simulator instance. Each [`Sim`] owns its own
+/// set (default no-op) so parallel sims in tests never share counters;
+/// [`Sim::attach_telemetry`] binds them to a caller-provided registry.
+#[derive(Debug)]
+struct SimTelemetry {
+    registry: Registry,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    read_latency_ns: Histogram,
+    write_latency_ns: Histogram,
+    read_request_bytes: Histogram,
+    write_request_bytes: Histogram,
+    dirty_pages: Gauge,
+}
+
+impl SimTelemetry {
+    fn noop() -> Self {
+        SimTelemetry {
+            registry: Registry::noop(),
+            cache_hits: Counter::noop(),
+            cache_misses: Counter::noop(),
+            read_latency_ns: Histogram::noop(),
+            write_latency_ns: Histogram::noop(),
+            read_request_bytes: Histogram::noop(),
+            write_request_bytes: Histogram::noop(),
+            dirty_pages: Gauge::noop(),
+        }
+    }
+
+    fn bind(registry: &Registry) -> Self {
+        SimTelemetry {
+            registry: registry.clone(),
+            cache_hits: registry.counter("sim.cache.hit_total"),
+            cache_misses: registry.counter("sim.cache.miss_total"),
+            read_latency_ns: registry.histogram("sim.device.read_latency_ns"),
+            write_latency_ns: registry.histogram("sim.device.write_latency_ns"),
+            read_request_bytes: registry.histogram("sim.device.read_request_bytes"),
+            write_request_bytes: registry.histogram("sim.device.write_request_bytes"),
+            dirty_pages: registry.gauge("sim.cache.dirty_pages"),
+        }
+    }
+}
 
 /// Handle to a simulated file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +153,7 @@ pub struct Sim {
     next_inode: u64,
     logical_reads: u64,
     logical_writes: u64,
+    telemetry: SimTelemetry,
 }
 
 impl Sim {
@@ -124,6 +169,7 @@ impl Sim {
             next_inode: 1,
             logical_reads: 0,
             logical_writes: 0,
+            telemetry: SimTelemetry::noop(),
         }
     }
 
@@ -131,6 +177,19 @@ impl Sim {
     /// records (the paper's data-collection hooks).
     pub fn attach_trace(&mut self, producer: Producer<TraceRecord>) {
         self.trace = TraceSink::new(producer);
+    }
+
+    /// Binds this simulator's metrics (`sim.cache.*`, `sim.device.*`) to a
+    /// telemetry registry. Until called, all recording is no-op.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = SimTelemetry::bind(registry);
+    }
+
+    /// The registry this simulator records into (a no-op registry until
+    /// [`Sim::attach_telemetry`] is called). Components layered on top of
+    /// the sim register their own metrics here so one run shares one scope.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry.registry
     }
 
     /// Creates a file of `pages` 4 KiB pages; returns its handle.
@@ -266,6 +325,11 @@ impl Sim {
             let inode = self.files[f.0].inode;
             // touch() counts the hit/miss and promotes on hit.
             let cached = self.cache.touch((inode, p));
+            if cached {
+                self.telemetry.cache_hits.inc();
+            } else {
+                self.telemetry.cache_misses.inc();
+            }
             let action = self.files[f.0].ra.on_access(p, npages, cached, file_pages);
             match action {
                 RaAction::None => {}
@@ -330,6 +394,9 @@ impl Sim {
                 self.emit(TraceKind::WritebackDirtyPage, ino, p);
             }
         }
+        self.telemetry
+            .dirty_pages
+            .set(self.cache.dirty_count() as u64);
         self.clock_ns += cost;
         cost
     }
@@ -342,6 +409,7 @@ impl Sim {
         for &(ino, p) in &flushed {
             self.emit(TraceKind::WritebackDirtyPage, ino, p);
         }
+        self.telemetry.dirty_pages.set(0);
         self.clock_ns += cost;
     }
 
@@ -352,6 +420,7 @@ impl Sim {
         let cost = self.charge_runs(&flushed, false);
         self.clock_ns += cost;
         self.cache.clear();
+        self.telemetry.dirty_pages.set(0);
     }
 
     /// Aggregated statistics so far.
@@ -393,7 +462,12 @@ impl Sim {
                 }
                 run_len += 1;
             } else if let Some(rs) = run_start.take() {
-                cost += self.device.read(inode, rs, run_len);
+                let service_ns = self.device.read(inode, rs, run_len);
+                self.telemetry.read_latency_ns.record(service_ns);
+                self.telemetry
+                    .read_request_bytes
+                    .record(run_len * crate::PAGE_SIZE);
+                cost += service_ns;
                 for q in rs..rs + run_len {
                     let evicted = self.cache.insert((inode, q), q != demand);
                     cost += self.flush_victims(&evicted);
@@ -434,14 +508,24 @@ impl Sim {
             if ino == run_inode && p == run_start + run_len {
                 run_len += 1;
             } else {
-                cost += self.device.write(run_inode, run_start, run_len);
+                cost += self.charge_write(run_inode, run_start, run_len);
                 run_inode = ino;
                 run_start = p;
                 run_len = 1;
             }
         }
-        cost += self.device.write(run_inode, run_start, run_len);
+        cost += self.charge_write(run_inode, run_start, run_len);
         cost
+    }
+
+    /// One merged device write request, recorded in telemetry.
+    fn charge_write(&mut self, inode: u64, start: u64, npages: u64) -> u64 {
+        let service_ns = self.device.write(inode, start, npages);
+        self.telemetry.write_latency_ns.record(service_ns);
+        self.telemetry
+            .write_request_bytes
+            .record(npages * crate::PAGE_SIZE);
+        service_ns
     }
 
     fn emit(&mut self, kind: TraceKind, inode: u64, page_offset: u64) {
@@ -531,7 +615,9 @@ mod tests {
             let mut cost = 0;
             let mut x = 12345u64;
             for _ in 0..500 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let block = (x >> 20) % ((1 << 20) / 4);
                 cost += sim.read(f, block * 4, 4); // 16 KiB block read
             }
@@ -699,7 +785,13 @@ mod tests {
     fn fadvise_willneed_prefetches_range() {
         let mut sim = small_sim(DeviceProfile::sata_ssd());
         let f = sim.create_file(256);
-        let cost = sim.fadvise(f, Advice::WillNeed { page: 0, npages: 64 });
+        let cost = sim.fadvise(
+            f,
+            Advice::WillNeed {
+                page: 0,
+                npages: 64,
+            },
+        );
         assert!(cost > 0);
         // A subsequent read is all cache hits.
         let warm = sim.read(f, 0, 64);
@@ -718,13 +810,56 @@ mod tests {
         sim.read(f, 0, 16);
         sim.write(f, 0, 4); // dirty the head of the range
         let before_writes = sim.stats().device.pages_written;
-        let cost = sim.fadvise(f, Advice::DontNeed { page: 0, npages: 16 });
+        let cost = sim.fadvise(
+            f,
+            Advice::DontNeed {
+                page: 0,
+                npages: 16,
+            },
+        );
         assert!(cost > 0, "dirty flush must cost device time");
         assert!(sim.stats().device.pages_written > before_writes);
         // The range is cold again.
         let before_reads = sim.stats().device.pages_read;
         sim.read(f, 0, 4);
         assert!(sim.stats().device.pages_read > before_reads);
+    }
+
+    #[test]
+    fn telemetry_mirrors_sim_stats() {
+        let reg = Registry::new();
+        let mut sim = small_sim(DeviceProfile::sata_ssd());
+        sim.attach_telemetry(&reg);
+        let f = sim.create_file(512);
+        sim.read(f, 0, 64); // cold
+        sim.read(f, 0, 64); // warm: pure hits
+        sim.write(f, 100, 8);
+        sim.sync();
+        let stats = sim.stats();
+        if reg.is_enabled() {
+            let snap = reg.snapshot();
+            assert_eq!(snap.counter("sim.cache.hit_total"), Some(stats.cache.hits));
+            assert_eq!(
+                snap.counter("sim.cache.miss_total"),
+                Some(stats.cache.misses)
+            );
+            let rd = snap.histogram("sim.device.read_latency_ns").unwrap();
+            assert_eq!(rd.count, stats.device.read_requests);
+            let wr = snap.histogram("sim.device.write_latency_ns").unwrap();
+            assert_eq!(wr.count, stats.device.write_requests);
+            // sync() flushed everything.
+            assert_eq!(snap.gauge("sim.cache.dirty_pages"), Some(0));
+            let bytes = snap.histogram("sim.device.read_request_bytes").unwrap();
+            assert_eq!(bytes.sum, stats.device.pages_read * crate::PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn detached_sim_records_nothing() {
+        let mut sim = small_sim(DeviceProfile::nvme());
+        let f = sim.create_file(64);
+        sim.read(f, 0, 32);
+        assert!(sim.telemetry().snapshot().is_empty());
     }
 
     #[test]

@@ -133,10 +133,8 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceFileError> {
             }
         };
         let inode = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8 bytes"));
-        let page_offset =
-            u64::from_le_bytes(bytes[pos + 9..pos + 17].try_into().expect("8 bytes"));
-        let time_ns =
-            u64::from_le_bytes(bytes[pos + 17..pos + 25].try_into().expect("8 bytes"));
+        let page_offset = u64::from_le_bytes(bytes[pos + 9..pos + 17].try_into().expect("8 bytes"));
+        let time_ns = u64::from_le_bytes(bytes[pos + 17..pos + 25].try_into().expect("8 bytes"));
         records.push(TraceRecord {
             kind,
             inode,
@@ -153,7 +151,10 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceFileError> {
 /// # Errors
 ///
 /// Propagates platform I/O failures.
-pub fn save(records: &[TraceRecord], path: impl AsRef<std::path::Path>) -> Result<(), TraceFileError> {
+pub fn save(
+    records: &[TraceRecord],
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TraceFileError> {
     let mut f = KmlFile::create(path)?;
     f.write_all(&encode(records))?;
     f.sync()?;
@@ -189,11 +190,7 @@ pub enum ReplayEvent<'a> {
 ///
 /// Panics if `window_ns == 0` or timestamps go backwards (traces are
 /// captured with non-decreasing timestamps).
-pub fn replay(
-    records: &[TraceRecord],
-    window_ns: u64,
-    mut on_event: impl FnMut(ReplayEvent<'_>),
-) {
+pub fn replay(records: &[TraceRecord], window_ns: u64, mut on_event: impl FnMut(ReplayEvent<'_>)) {
     assert!(window_ns > 0, "window must be positive");
     let mut next_boundary = records.first().map_or(0, |r| r.time_ns) + window_ns;
     let mut prev = 0;

@@ -45,8 +45,7 @@ impl<T: Copy + Send> ShardedCollector<T> {
     /// Pushes a record to the shard selected by `key` (stable modulo
     /// hashing, so records with equal keys stay ordered). Wait-free.
     pub fn push(&self, key: u64, value: T) {
-        let shard = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
-            % self.producers.len();
+        let shard = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.producers.len();
         self.producers[shard].push(value);
     }
 
@@ -114,12 +113,18 @@ impl TrainerPool {
 
     /// Total records delivered to training functions across all shards.
     pub fn samples_processed(&self) -> u64 {
-        self.trainers.iter().map(AsyncTrainer::samples_processed).sum()
+        self.trainers
+            .iter()
+            .map(AsyncTrainer::samples_processed)
+            .sum()
     }
 
     /// Total records lost to ring overwrites across all shards.
     pub fn samples_dropped(&self) -> u64 {
-        self.trainers.iter().map(AsyncTrainer::samples_dropped).sum()
+        self.trainers
+            .iter()
+            .map(AsyncTrainer::samples_dropped)
+            .sum()
     }
 
     /// Drains remaining records, stops, and joins every thread.
@@ -155,10 +160,7 @@ mod tests {
         for _ in 0..10 {
             collector.push(42, 42);
         }
-        let counts: Vec<usize> = consumers
-            .iter_mut()
-            .map(|c| c.drain().count())
-            .collect();
+        let counts: Vec<usize> = consumers.iter_mut().map(|c| c.drain().count()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 10);
         assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 1);
     }
@@ -169,10 +171,7 @@ mod tests {
         for key in 0..1000u64 {
             collector.push(key, key);
         }
-        let counts: Vec<usize> = consumers
-            .iter_mut()
-            .map(|c| c.drain().count())
-            .collect();
+        let counts: Vec<usize> = consumers.iter_mut().map(|c| c.drain().count()).collect();
         assert_eq!(counts.iter().sum::<usize>(), 1000);
         // Every shard gets a meaningful share (hash spreading).
         assert!(
@@ -184,8 +183,7 @@ mod tests {
     #[test]
     fn pool_trains_all_shards_in_parallel() {
         let (collector, consumers) = ShardedCollector::<u64>::new(3, 1 << 12);
-        let totals: Arc<Vec<AtomicU64>> =
-            Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let totals: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
         let pool = TrainerPool::spawn(Persona::Kernel, consumers, |shard| {
             let totals = totals.clone();
             move |batch: &[u64]| {
@@ -203,7 +201,10 @@ mod tests {
         pool.stop().expect("pool stops");
         let per_shard: Vec<u64> = totals.iter().map(|t| t.load(Ordering::Relaxed)).collect();
         assert_eq!(per_shard.iter().sum::<u64>(), 3000);
-        assert!(per_shard.iter().all(|&c| c > 0), "idle shard: {per_shard:?}");
+        assert!(
+            per_shard.iter().all(|&c| c > 0),
+            "idle shard: {per_shard:?}"
+        );
     }
 
     /// Per-shard record log used by the ordering test.

@@ -186,8 +186,9 @@ impl Dataset {
         let n = self.len();
         (0..n).step_by(batch_size).map(move |start| {
             let end = (start + batch_size).min(n);
-            let rows: Vec<Vec<f64>> =
-                (start..end).map(|r| self.features.row(r).to_vec()).collect();
+            let rows: Vec<Vec<f64>> = (start..end)
+                .map(|r| self.features.row(r).to_vec())
+                .collect();
             (
                 Matrix::from_rows(&rows).expect("batch rows are rectangular"),
                 &self.labels[start..end],
@@ -449,8 +450,7 @@ mod tests {
     fn normalizer_round_trips_through_stats() {
         let d = toy();
         let norm = Normalizer::fit(d.features()).unwrap();
-        let rebuilt =
-            Normalizer::from_stats(norm.means().to_vec(), norm.stds().to_vec()).unwrap();
+        let rebuilt = Normalizer::from_stats(norm.means().to_vec(), norm.stds().to_vec()).unwrap();
         assert_eq!(norm, rebuilt);
     }
 

@@ -527,11 +527,7 @@ mod tests {
 
     #[test]
     fn max_depth_zero_gives_majority_leaf() {
-        let data = Dataset::from_rows(
-            &[vec![0.0], vec![1.0], vec![2.0]],
-            &[1, 1, 0],
-        )
-        .unwrap();
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]], &[1, 1, 0]).unwrap();
         let tree = DecisionTree::fit(
             &data,
             DecisionTreeConfig {
@@ -571,9 +567,8 @@ mod tests {
     #[test]
     fn identical_features_cannot_split() {
         // All feature values equal, labels mixed: must produce a single leaf.
-        let data =
-            Dataset::from_rows(&[vec![5.0], vec![5.0], vec![5.0], vec![5.0]], &[0, 1, 0, 1])
-                .unwrap();
+        let data = Dataset::from_rows(&[vec![5.0], vec![5.0], vec![5.0], vec![5.0]], &[0, 1, 0, 1])
+            .unwrap();
         let tree = DecisionTree::fit(&data, DecisionTreeConfig::default()).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&[5.0]).unwrap(), 0);

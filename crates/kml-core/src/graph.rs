@@ -156,8 +156,7 @@ impl<S: Scalar> Graph<S> {
             }
         }
         // Exactly one sink (the output) and no fan-out.
-        consumers.iter().filter(|&&c| c == 0).count() == 1
-            && consumers.iter().all(|&c| c <= 1)
+        consumers.iter().filter(|&&c| c == 0).count() == 1 && consumers.iter().all(|&c| c <= 1)
     }
 
     /// Forward propagation: feeds `input` to the source node and returns the
@@ -168,9 +167,9 @@ impl<S: Scalar> Graph<S> {
     /// Returns [`KmlError::InvalidConfig`] if the graph is empty or no output
     /// was declared, plus any shape error from the layers.
     pub fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
-        let output = self.output.ok_or_else(|| {
-            KmlError::InvalidConfig("graph has no output node declared".into())
-        })?;
+        let output = self
+            .output
+            .ok_or_else(|| KmlError::InvalidConfig("graph has no output node declared".into()))?;
         for i in 0..self.nodes.len() {
             let fed: Matrix<S> = match self.nodes[i].input {
                 None => input.clone(),
@@ -201,9 +200,9 @@ impl<S: Scalar> Graph<S> {
     ///
     /// Returns [`KmlError::InvalidConfig`] if called before [`Graph::forward`].
     pub fn backward(&mut self, grad_output: &Matrix<S>) -> Result<Matrix<S>> {
-        let output = self.output.ok_or_else(|| {
-            KmlError::InvalidConfig("graph has no output node declared".into())
-        })?;
+        let output = self
+            .output
+            .ok_or_else(|| KmlError::InvalidConfig("graph has no output node declared".into()))?;
         let mut grads: Vec<Option<Matrix<S>>> = vec![None; self.nodes.len()];
         grads[output.0] = Some(grad_output.clone());
         let mut input_grad: Option<Matrix<S>> = None;
@@ -227,9 +226,7 @@ impl<S: Scalar> Graph<S> {
                 }
             }
         }
-        input_grad.ok_or_else(|| {
-            KmlError::InvalidConfig("backward called before forward".into())
-        })
+        input_grad.ok_or_else(|| KmlError::InvalidConfig("backward called before forward".into()))
     }
 
     /// All parameter/gradient slots across the graph, in node order.
@@ -280,7 +277,9 @@ mod tests {
         let b = g
             .add_node(Box::new(ActivationLayer::new(Activation::Sigmoid)), a)
             .unwrap();
-        let c = g.add_node(Box::new(Linear::new(3, 2, &mut rng)), b).unwrap();
+        let c = g
+            .add_node(Box::new(Linear::new(3, 2, &mut rng)), b)
+            .unwrap();
         g.set_output(c).unwrap();
         g
     }
@@ -307,9 +306,7 @@ mod tests {
         let mut rng = rng();
         let mut g: Graph<f64> = Graph::new();
         g.add_source(Box::new(Linear::new(2, 2, &mut rng))).unwrap();
-        assert!(g
-            .add_source(Box::new(Linear::new(2, 2, &mut rng)))
-            .is_err());
+        assert!(g.add_source(Box::new(Linear::new(2, 2, &mut rng))).is_err());
     }
 
     #[test]
@@ -353,7 +350,9 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.3, -0.7]]).unwrap();
         let y = g.forward(&x).unwrap();
         assert_eq!(y.shape(), (1, 2));
-        let gin = g.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
+        let gin = g
+            .backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap())
+            .unwrap();
         assert_eq!(gin.shape(), (1, 2));
         assert!(gin.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -400,8 +399,10 @@ mod tests {
     #[test]
     fn param_grads_cover_all_linear_slots() {
         let mut g = chain_graph();
-        g.forward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
-        g.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap()).unwrap();
+        g.forward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap())
+            .unwrap();
+        g.backward(&Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap())
+            .unwrap();
         // Two linear layers × (weights, bias) = 4 slots.
         assert_eq!(g.param_grads().len(), 4);
     }

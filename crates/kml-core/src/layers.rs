@@ -50,11 +50,7 @@ impl LayerKind {
             3 => LayerKind::Relu,
             4 => LayerKind::Tanh,
             5 => LayerKind::Softmax,
-            other => {
-                return Err(KmlError::BadModelFile(format!(
-                    "unknown layer tag {other}"
-                )))
-            }
+            other => return Err(KmlError::BadModelFile(format!("unknown layer tag {other}"))),
         })
     }
 }
@@ -404,9 +400,10 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
     }
 
     fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
-        let s = self.cached_output.as_ref().ok_or_else(|| {
-            KmlError::InvalidConfig("backward before forward on softmax".into())
-        })?;
+        let s = self
+            .cached_output
+            .as_ref()
+            .ok_or_else(|| KmlError::InvalidConfig("backward before forward on softmax".into()))?;
         if s.shape() != grad_out.shape() {
             return Err(KmlError::ShapeMismatch {
                 op: "softmax backward",
@@ -454,7 +451,9 @@ mod tests {
         let coeff = Matrix::from_f64_vec(
             y.rows(),
             y.cols(),
-            &(0..y.len()).map(|i| 0.3 + 0.1 * i as f64).collect::<Vec<_>>(),
+            &(0..y.len())
+                .map(|i| 0.3 + 0.1 * i as f64)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let grad_in = layer.backward(&coeff).unwrap();

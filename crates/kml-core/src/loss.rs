@@ -69,11 +69,7 @@ fn classes_for<'a>(
     }
 }
 
-fn values_for<'a>(
-    pred_len: usize,
-    target: TargetRef<'a>,
-    loss_name: &str,
-) -> Result<&'a [f64]> {
+fn values_for<'a>(pred_len: usize, target: TargetRef<'a>, loss_name: &str) -> Result<&'a [f64]> {
     match target {
         TargetRef::Values(vs) => {
             if vs.len() != pred_len {
@@ -230,9 +226,8 @@ mod tests {
                 pp.set(r, c, pred.get(r, c) + eps);
                 let mut pm = pred.clone();
                 pm.set(r, c, pred.get(r, c) - eps);
-                let numeric =
-                    (loss.loss(&pp, target).unwrap() - loss.loss(&pm, target).unwrap())
-                        / (2.0 * eps);
+                let numeric = (loss.loss(&pp, target).unwrap() - loss.loss(&pm, target).unwrap())
+                    / (2.0 * eps);
                 let analytic = grad.get(r, c);
                 assert!(
                     (numeric - analytic).abs() < 1e-6,
@@ -244,8 +239,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_gradient_matches_finite_difference() {
-        let pred =
-            Matrix::from_rows(&[vec![0.2, -1.0, 2.0], vec![1.5, 1.4, -0.3]]).unwrap();
+        let pred = Matrix::from_rows(&[vec![0.2, -1.0, 2.0], vec![1.5, 1.4, -0.3]]).unwrap();
         finite_diff_check(&CrossEntropyLoss, &pred, TargetRef::Classes(&[2, 0]));
     }
 
@@ -280,10 +274,14 @@ mod tests {
     #[test]
     fn cross_entropy_stable_for_extreme_logits() {
         let pred = Matrix::<f64>::from_rows(&[vec![1000.0, -1000.0]]).unwrap();
-        let l = CrossEntropyLoss.loss(&pred, TargetRef::Classes(&[0])).unwrap();
+        let l = CrossEntropyLoss
+            .loss(&pred, TargetRef::Classes(&[0]))
+            .unwrap();
         assert!(l.is_finite());
         assert!(l < 1e-6);
-        let g = CrossEntropyLoss.grad(&pred, TargetRef::Classes(&[0])).unwrap();
+        let g = CrossEntropyLoss
+            .grad(&pred, TargetRef::Classes(&[0]))
+            .unwrap();
         assert!(g.as_slice().iter().all(|v| v.is_finite()));
     }
 

@@ -62,7 +62,11 @@ fn scale_by_pow2(x: f64, k: i32) -> f64 {
         return y;
     }
     if new_exp >= 0x7ff {
-        return if x > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY };
+        return if x > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     f64::from_bits((bits & !(0x7ffu64 << 52)) | ((new_exp as u64) << 52))
 }
@@ -242,7 +246,17 @@ mod tests {
 
     #[test]
     fn ln_matches_std_on_grid() {
-        for &x in &[1e-8, 1e-3, 0.5, 1.0, 2.0, std::f64::consts::E, 10.0, 12345.678, 1e12] {
+        for &x in &[
+            1e-8,
+            1e-3,
+            0.5,
+            1.0,
+            2.0,
+            std::f64::consts::E,
+            10.0,
+            12345.678,
+            1e12,
+        ] {
             let got = ln(x);
             let want = x.ln();
             assert!(
@@ -268,7 +282,10 @@ mod tests {
         for &x in &[-50.0, -5.0, -0.1, 0.0, 0.1, 5.0, 50.0] {
             let s = sigmoid(x);
             assert!((0.0..=1.0).contains(&s));
-            assert!((s + sigmoid(-x) - 1.0).abs() < 1e-12, "sigmoid symmetry at {x}");
+            assert!(
+                (s + sigmoid(-x) - 1.0).abs() < 1e-12,
+                "sigmoid symmetry at {x}"
+            );
         }
     }
 

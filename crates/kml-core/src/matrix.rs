@@ -152,7 +152,10 @@ impl<S: Scalar> Matrix<S> {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> S {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -163,7 +166,10 @@ impl<S: Scalar> Matrix<S> {
     /// Panics if `r >= rows` or `c >= cols`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: S) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 

@@ -509,11 +509,7 @@ mod tests {
 
     #[test]
     fn normalizer_is_applied_during_inference() {
-        let data = Dataset::from_rows(
-            &[vec![1000.0, 0.0], vec![1002.0, 0.0]],
-            &[0, 1],
-        )
-        .unwrap();
+        let data = Dataset::from_rows(&[vec![1000.0, 0.0], vec![1002.0, 0.0]], &[0, 1]).unwrap();
         let norm = Normalizer::fit(data.features()).unwrap();
         let mut model = ModelBuilder::new(2).linear(2).build::<f64>().unwrap();
         model.set_normalizer(norm);
@@ -556,7 +552,10 @@ mod tests {
         let mut fm = ModelBuilder::new(2).linear(2).build::<f64>().unwrap();
         let before = fpu::sections_entered();
         fm.infer(&[0.1, 0.2]).unwrap();
-        assert!(fpu::sections_entered() > before, "f64 inference must enter FPU section");
+        assert!(
+            fpu::sections_entered() > before,
+            "f64 inference must enter FPU section"
+        );
 
         let mut qm = ModelBuilder::new(2).linear(2).build::<Fix32>().unwrap();
         let before = fpu::sections_entered();

@@ -259,11 +259,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 }
 
@@ -355,8 +359,10 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         let err = decode::<f64>(&bytes).unwrap_err();
-        assert!(err.to_string().contains("checksum") || err.to_string().contains("bad"),
-            "unexpected error: {err}");
+        assert!(
+            err.to_string().contains("checksum") || err.to_string().contains("bad"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl Sgd {
     /// Panics if `learning_rate <= 0` or `momentum` is outside `[0, 1)`.
     pub fn new(learning_rate: f64, momentum: f64) -> Self {
         assert!(learning_rate > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Sgd {
             learning_rate,
             momentum,
@@ -93,11 +90,7 @@ impl Sgd {
                 *v = self.momentum * *v - self.learning_rate * g.to_f64();
                 update.push(*v);
             }
-            let delta = Matrix::<S>::from_f64_vec(
-                slot.param.rows(),
-                slot.param.cols(),
-                &update,
-            )?;
+            let delta = Matrix::<S>::from_f64_vec(slot.param.rows(), slot.param.cols(), &update)?;
             slot.param.axpy_in_place(&delta, S::ONE)?;
         }
         Ok(())

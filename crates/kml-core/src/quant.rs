@@ -184,9 +184,7 @@ impl QuantizedModel {
         self.layers
             .iter()
             .map(|l| match l {
-                QLayer::Linear { weights, bias } => {
-                    weights.storage_bytes() + bias.len() * 4
-                }
+                QLayer::Linear { weights, bias } => weights.storage_bytes() + bias.len() * 4,
                 QLayer::Activation(_) => 0,
             })
             .sum()
@@ -278,7 +276,11 @@ mod tests {
         let range: f32 = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs())) * 2.0;
         let step = range / 255.0;
         for (a, b) in m.as_slice().iter().zip(d.as_slice()) {
-            assert!((a - b).abs() <= step, "error {} > step {step}", (a - b).abs());
+            assert!(
+                (a - b).abs() <= step,
+                "error {} > step {step}",
+                (a - b).abs()
+            );
         }
         assert_eq!(q.storage_bytes(), 100); // 1 byte per entry
     }

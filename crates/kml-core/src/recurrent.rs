@@ -130,9 +130,10 @@ impl<S: Scalar> Rnn<S> {
     ///
     /// Returns [`KmlError::InvalidConfig`] if called before `forward`.
     pub fn backward(&mut self, grad_logits: &Matrix<S>) -> Result<()> {
-        let cache = self.cache.as_ref().ok_or_else(|| {
-            KmlError::InvalidConfig("rnn backward before forward".into())
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| KmlError::InvalidConfig("rnn backward before forward".into()))?;
         let t_steps = cache.inputs.len();
         let h_last = &cache.hiddens[t_steps];
 
@@ -159,11 +160,26 @@ impl<S: Scalar> Rnn<S> {
     /// Parameter/gradient slots for the optimizer.
     pub fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
         vec![
-            ParamGrad { param: &mut self.wx, grad: &self.grad_wx },
-            ParamGrad { param: &mut self.wh, grad: &self.grad_wh },
-            ParamGrad { param: &mut self.b, grad: &self.grad_b },
-            ParamGrad { param: &mut self.wo, grad: &self.grad_wo },
-            ParamGrad { param: &mut self.bo, grad: &self.grad_bo },
+            ParamGrad {
+                param: &mut self.wx,
+                grad: &self.grad_wx,
+            },
+            ParamGrad {
+                param: &mut self.wh,
+                grad: &self.grad_wh,
+            },
+            ParamGrad {
+                param: &mut self.b,
+                grad: &self.grad_b,
+            },
+            ParamGrad {
+                param: &mut self.wo,
+                grad: &self.grad_wo,
+            },
+            ParamGrad {
+                param: &mut self.bo,
+                grad: &self.grad_bo,
+            },
         ]
     }
 
@@ -262,9 +278,7 @@ impl<S: Scalar> Lstm<S> {
     pub fn param_bytes(&self) -> usize {
         let gates: usize = (0..4)
             .map(|k| {
-                self.wx[k].storage_bytes()
-                    + self.wh[k].storage_bytes()
-                    + self.b[k].storage_bytes()
+                self.wx[k].storage_bytes() + self.wh[k].storage_bytes() + self.b[k].storage_bytes()
             })
             .sum();
         gates + self.head_w.storage_bytes() + self.head_b.storage_bytes()
@@ -310,7 +324,9 @@ impl<S: Scalar> Lstm<S> {
                     z.map(Scalar::sigmoid)
                 };
             }
-            let c = gates[F].hadamard(&c_prev)?.add(&gates[I].hadamard(&gates[G])?)?;
+            let c = gates[F]
+                .hadamard(&c_prev)?
+                .add(&gates[I].hadamard(&gates[G])?)?;
             let tanh_c = c.map(Scalar::tanh);
             let h = gates[O].hadamard(&tanh_c)?;
             cache.inputs.push(x);
@@ -335,9 +351,10 @@ impl<S: Scalar> Lstm<S> {
     ///
     /// Returns [`KmlError::InvalidConfig`] if called before `forward`.
     pub fn backward(&mut self, grad_logits: &Matrix<S>) -> Result<()> {
-        let cache = self.cache.as_ref().ok_or_else(|| {
-            KmlError::InvalidConfig("lstm backward before forward".into())
-        })?;
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| KmlError::InvalidConfig("lstm backward before forward".into()))?;
         let t_steps = cache.inputs.len();
         let hidden = self.hidden_dim();
 
@@ -378,7 +395,8 @@ impl<S: Scalar> Lstm<S> {
             let mut dh_next = Matrix::zeros(1, hidden);
             #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
             for k in 0..4 {
-                self.grad_wx[k] = self.grad_wx[k].add(&cache.inputs[t].transpose_matmul(&dz[k])?)?;
+                self.grad_wx[k] =
+                    self.grad_wx[k].add(&cache.inputs[t].transpose_matmul(&dz[k])?)?;
                 self.grad_wh[k] = self.grad_wh[k].add(&h_prev.transpose_matmul(&dz[k])?)?;
                 self.grad_b[k] = self.grad_b[k].add(&dz[k].sum_rows())?;
                 dh_next = dh_next.add(&dz[k].matmul_transpose(&self.wh[k])?)?;
@@ -555,9 +573,7 @@ mod tests {
                 let start: f64 = rng.gen_range(-0.5..0.5);
                 let step = if class == 0 { 0.12 } else { -0.12 };
                 let rows: Vec<Vec<f64>> = (0..len)
-                    .map(|t| {
-                        vec![start + step * t as f64 + rng.gen_range(-0.03..0.03)]
-                    })
+                    .map(|t| vec![start + step * t as f64 + rng.gen_range(-0.03..0.03)])
                     .collect();
                 (Matrix::from_rows(&rows).expect("builds"), class)
             })
@@ -582,9 +598,7 @@ mod tests {
         let test = temporal_task(60, 8, 6);
         let correct = test
             .iter()
-            .filter(|(seq, label)| {
-                rnn.predict(&seq.clone()).expect("predict") == *label
-            })
+            .filter(|(seq, label)| rnn.predict(&seq.clone()).expect("predict") == *label)
             .count();
         let acc = correct as f64 / test.len() as f64;
         assert!(acc > 0.9, "rnn accuracy {acc}");
@@ -608,9 +622,7 @@ mod tests {
         let test = temporal_task(60, 8, 8);
         let correct = test
             .iter()
-            .filter(|(seq, label)| {
-                lstm.predict(&seq.clone()).expect("predict") == *label
-            })
+            .filter(|(seq, label)| lstm.predict(&seq.clone()).expect("predict") == *label)
             .count();
         let acc = correct as f64 / test.len() as f64;
         assert!(acc > 0.9, "lstm accuracy {acc}");

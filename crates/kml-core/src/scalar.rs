@@ -285,7 +285,10 @@ mod tests {
         while x <= 3.0 {
             let want = crate::math::tanh(x);
             let got = Scalar::tanh(Fix32::from_f64(x)).to_f64();
-            assert!((got - want).abs() < 0.05, "piecewise tanh({x}): {got} vs {want}");
+            assert!(
+                (got - want).abs() < 0.05,
+                "piecewise tanh({x}): {got} vs {want}"
+            );
             x += 0.11;
         }
     }

@@ -53,7 +53,9 @@ impl ConfusionMatrix {
         classes: usize,
     ) -> Result<Self> {
         if predictions.len() != truth.len() {
-            return Err(KmlError::BadDataset("prediction/label count mismatch".into()));
+            return Err(KmlError::BadDataset(
+                "prediction/label count mismatch".into(),
+            ));
         }
         let mut counts = vec![vec![0usize; classes]; classes];
         for (&p, &t) in predictions.iter().zip(truth) {

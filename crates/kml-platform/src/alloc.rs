@@ -87,7 +87,9 @@ impl KmlAllocator {
         if self.inner.reservation_active.swap(true, Ordering::AcqRel) {
             return Err(PlatformError::ReservationActive);
         }
-        self.inner.reserved_remaining.store(bytes, Ordering::Release);
+        self.inner
+            .reserved_remaining
+            .store(bytes, Ordering::Release);
         Ok(())
     }
 
@@ -96,7 +98,9 @@ impl KmlAllocator {
         self.inner
             .reserved_remaining
             .store(NO_RESERVATION, Ordering::Release);
-        self.inner.reservation_active.store(false, Ordering::Release);
+        self.inner
+            .reservation_active
+            .store(false, Ordering::Release);
     }
 
     /// Bytes still available in the active reservation, or `None` if no
@@ -164,9 +168,7 @@ impl KmlAllocator {
     /// Resets the peak-usage high-water mark to the current live usage,
     /// so a subsequent phase (e.g. one inference pass) can be measured alone.
     pub fn reset_peak(&self) {
-        self.inner
-            .peak
-            .store(self.live_bytes(), Ordering::Release);
+        self.inner.peak.store(self.live_bytes(), Ordering::Release);
     }
 
     fn charge(&self, bytes: usize) -> Result<()> {

@@ -5,8 +5,7 @@
 //! additionally supports an in-memory sink so tests can assert on messages
 //! and benchmark runs can stay silent.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Severity of a log record, mirroring the kernel's printk levels KML uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,7 +98,10 @@ impl Logger {
         }
         match &self.sink {
             Sink::Stderr => eprintln!("[kml {level}] {}", msg.as_ref()),
-            Sink::Memory(buf) => buf.lock().push((level, msg.as_ref().to_owned())),
+            Sink::Memory(buf) => buf
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((level, msg.as_ref().to_owned())),
             Sink::Null => {}
         }
     }
@@ -107,7 +109,7 @@ impl Logger {
     /// Records captured so far (empty unless the sink is [`Sink::Memory`]).
     pub fn records(&self) -> Vec<(Level, String)> {
         match &self.sink {
-            Sink::Memory(buf) => buf.lock().clone(),
+            Sink::Memory(buf) => buf.lock().unwrap_or_else(|e| e.into_inner()).clone(),
             _ => Vec::new(),
         }
     }

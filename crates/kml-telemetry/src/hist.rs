@@ -1,0 +1,276 @@
+//! Log2-bucketed histogram with percentile extraction.
+//!
+//! 65 buckets: bucket 0 holds exact zeros, bucket `b` (1..=64) holds values
+//! in `[2^(b-1), 2^b)`. Recording is two relaxed `fetch_add`s (bucket +
+//! sum); reading walks 65 cells. Percentiles are bucket-resolution
+//! estimates — within a factor of 2, which is exactly the precision the
+//! paper's overhead discussion needs (collection ≪ inference ≪ training
+//! spans four orders of magnitude).
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::Arc;
+
+#[cfg(feature = "enabled")]
+const BUCKETS: usize = 65;
+
+#[cfg(feature = "enabled")]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+#[cfg(feature = "enabled")]
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free log2 histogram handle. Cloning shares the buckets.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<HistogramCore>>,
+}
+
+#[cfg(feature = "enabled")]
+impl std::fmt::Debug for HistogramCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramCore").finish_non_exhaustive()
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Upper bound (exclusive) of bucket `b`; `1` for the zero bucket.
+#[cfg(feature = "enabled")]
+fn bucket_hi(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+/// Lower bound (inclusive) of bucket `b`.
+#[cfg(feature = "enabled")]
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Histogram {
+    /// Handle that records nothing (what disabled builds always get).
+    pub fn noop() -> Self {
+        Histogram::default()
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn new_live() -> Self {
+        Histogram {
+            inner: Some(Arc::new(HistogramCore::default())),
+        }
+    }
+
+    /// Whether this handle has live storage behind it.
+    #[inline]
+    pub(crate) fn live(&self) -> bool {
+        #[cfg(feature = "enabled")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            false
+        }
+    }
+
+    /// Records one observation. Two relaxed `fetch_add`s.
+    #[inline(always)]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(core) = &self.inner {
+            core.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            core.sum.fetch_add(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = value;
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        #[cfg(feature = "enabled")]
+        if let Some(core) = &self.inner {
+            let buckets: Vec<u64> = core
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let count: u64 = buckets.iter().sum();
+            let sum = core.sum.load(Ordering::Relaxed);
+            return HistSnapshot {
+                count,
+                sum,
+                p50: percentile_from(&buckets, count, 0.50),
+                p95: percentile_from(&buckets, count, 0.95),
+                p99: percentile_from(&buckets, count, 0.99),
+                max: max_from(&buckets),
+            };
+        }
+        HistSnapshot::default()
+    }
+
+    pub(crate) fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        if let Some(core) = &self.inner {
+            for b in &core.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            core.sum.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Immutable summary of a [`Histogram`] at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Bucket-resolution estimates (midpoint of the containing bucket).
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    /// Upper edge of the highest occupied bucket (0 when empty).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Arithmetic mean (exact: true sum over true count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn percentile_from(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the q-th percentile, 1-based.
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (b, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            // Midpoint of the bucket's value range.
+            let lo = bucket_lo(b);
+            let hi = bucket_hi(b);
+            return lo + (hi - lo) / 2;
+        }
+    }
+    bucket_hi(buckets.len() - 1)
+}
+
+#[cfg(feature = "enabled")]
+fn max_from(buckets: &[u64]) -> u64 {
+    buckets
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, &n)| n > 0)
+        .map(|(b, _)| bucket_hi(b))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn percentiles_order_and_bound() {
+        let h = Histogram::new_live();
+        // 90 fast ops (~100 ns), 9 medium (~10 µs), 1 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 100 + 9 * 10_000 + 1_000_000);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        // p50 lands in the bucket containing 100 = [64, 128).
+        assert!((64..128).contains(&s.p50), "p50 {}", s.p50);
+        // p95 and p99 (ranks 95 and 99 of 100) land in the bucket
+        // containing 10_000 = [8192, 16384); only rank 100 is the slow op.
+        assert!((8_192..16_384).contains(&s.p95), "p95 {}", s.p95);
+        assert!((8_192..16_384).contains(&s.p99), "p99 {}", s.p99);
+        assert!(s.max >= 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::noop();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn mean_is_exact() {
+        let h = Histogram::new_live();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().mean(), 2.5);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn zero_values_counted_in_zero_bucket() {
+        let h = Histogram::new_live();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 0);
+    }
+}

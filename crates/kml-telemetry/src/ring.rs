@@ -1,0 +1,241 @@
+//! Lock-free event stream for discrete telemetry events.
+//!
+//! Adapted from `kml_collect::ringbuf` — the same single-producer seqlock
+//! ring the paper's §3.2 uses for tracepoint collection (this crate cannot
+//! depend on `kml-collect`, which itself depends on this crate for
+//! instrumentation, so the idiom is re-instantiated here for a fixed POD
+//! event type rather than a generic `T`).
+//!
+//! The closed loop pushes one [`TelemetryEvent`] per actuation or class
+//! decision; the exporter drains them into the JSON-lines trail. Overflow
+//! overwrites the oldest events and the loss is observable via
+//! [`EventConsumer::dropped`], exactly like the collection ring.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One discrete loop event: what happened, when (sim ns), and a value
+/// (class index, readahead KiB as bytes, etc. — the `kind` defines it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Simulated or wall timestamp, nanoseconds.
+    pub t_ns: u64,
+    /// Event discriminator (component-defined, e.g. 0 = class decision,
+    /// 1 = actuation).
+    pub kind: u32,
+    /// Event payload (component-defined units; sizes in bytes).
+    pub value: u64,
+}
+
+struct Slot {
+    version: AtomicU64,
+    data: UnsafeCell<TelemetryEvent>,
+}
+
+// Safety: identical protocol to kml_collect::ringbuf — the consumer only
+// trusts a slot whose version proves the producer is not mid-write, and
+// TelemetryEvent is Copy so torn reads are discarded without side effects.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+struct Shared {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+/// Bounded lock-free SPSC ring of [`TelemetryEvent`]s.
+pub struct EventRing {
+    shared: Arc<Shared>,
+}
+
+/// Write endpoint: wait-free push from the loop.
+pub struct EventProducer {
+    shared: Arc<Shared>,
+}
+
+/// Read endpoint: drain + loss accounting, held by the exporter.
+pub struct EventConsumer {
+    shared: Arc<Shared>,
+    tail: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "event ring capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                data: UnsafeCell::new(TelemetryEvent::default()),
+            })
+            .collect();
+        EventRing {
+            shared: Arc::new(Shared {
+                slots,
+                head: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn split(self) -> (EventProducer, EventConsumer) {
+        (
+            EventProducer {
+                shared: self.shared.clone(),
+            },
+            EventConsumer {
+                shared: self.shared,
+                tail: 0,
+                dropped: 0,
+            },
+        )
+    }
+}
+
+impl EventProducer {
+    /// Appends an event, overwriting the oldest if full. Never blocks.
+    pub fn push(&self, event: TelemetryEvent) {
+        let cap = self.shared.slots.len() as u64;
+        let h = self.shared.head.load(Ordering::Relaxed);
+        let slot = &self.shared.slots[(h % cap) as usize];
+        let lap_base = (h / cap) * 2;
+        slot.version.store(lap_base + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        // Safety: single producer; odd version makes concurrent readers
+        // discard whatever they see.
+        unsafe {
+            *slot.data.get() = event;
+        }
+        slot.version.store(lap_base + 2, Ordering::Release);
+        self.shared.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Total events pushed since creation.
+    pub fn pushed(&self) -> u64 {
+        self.shared.head.load(Ordering::Acquire)
+    }
+}
+
+impl EventConsumer {
+    /// Oldest available event, or `None` when drained.
+    pub fn pop(&mut self) -> Option<TelemetryEvent> {
+        let cap = self.shared.slots.len() as u64;
+        loop {
+            let h = self.shared.head.load(Ordering::Acquire);
+            if self.tail >= h {
+                return None;
+            }
+            if h - self.tail > cap {
+                let lost = h - self.tail - cap;
+                self.dropped += lost;
+                self.tail = h - cap;
+            }
+            let slot = &self.shared.slots[(self.tail % cap) as usize];
+            let expected = (self.tail / cap) * 2 + 2;
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 != expected {
+                self.dropped += 1;
+                self.tail += 1;
+                continue;
+            }
+            // Safety: seqlock read — version re-check below discards torn
+            // copies, and the event is Copy.
+            let value = unsafe { std::ptr::read_volatile(slot.data.get()) };
+            fence(Ordering::Acquire);
+            let v2 = slot.version.load(Ordering::Acquire);
+            if v2 != expected {
+                self.dropped += 1;
+                self.tail += 1;
+                continue;
+            }
+            self.tail += 1;
+            return Some(value);
+        }
+    }
+
+    /// Drains everything currently available.
+    pub fn drain(&mut self) -> impl Iterator<Item = TelemetryEvent> + '_ {
+        std::iter::from_fn(move || self.pop())
+    }
+
+    /// Events lost to overwriting so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: u32, value: u64) -> TelemetryEvent {
+        TelemetryEvent {
+            t_ns: t,
+            kind,
+            value,
+        }
+    }
+
+    #[test]
+    fn fifo_and_loss_accounting() {
+        let (p, mut c) = EventRing::with_capacity(3).split();
+        for i in 0..7u64 {
+            p.push(ev(i, 0, i * 10));
+        }
+        let got: Vec<_> = c.drain().collect();
+        assert_eq!(got, vec![ev(4, 0, 40), ev(5, 0, 50), ev(6, 0, 60)]);
+        assert_eq!(c.dropped(), 4);
+        assert_eq!(p.pushed(), 7);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let (_p, mut c) = EventRing::with_capacity(2).split();
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = EventRing::with_capacity(0);
+    }
+
+    #[test]
+    fn concurrent_every_event_delivered_or_counted() {
+        const N: u64 = 50_000;
+        let (p, mut c) = EventRing::with_capacity(128).split();
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                p.push(ev(i, 1, i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+        });
+        let mut seen = 0u64;
+        loop {
+            match c.pop() {
+                Some(e) => {
+                    assert_eq!(
+                        e.value,
+                        e.t_ns.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        "torn read"
+                    );
+                    seen += 1;
+                }
+                None => {
+                    if producer.is_finished() {
+                        // One final drain after the producer stops.
+                        while c.pop().is_some() {
+                            seen += 1;
+                        }
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(seen + c.dropped(), N);
+    }
+}

@@ -208,7 +208,12 @@ impl Db {
         let mut sources: Vec<Source<'_>> = Vec::new();
         // Memtable: copy at most `limit` keys (bounded, unlike the tables).
         let mem: Vec<u64> = if reverse {
-            self.memtable.range(..=from).rev().take(limit).copied().collect()
+            self.memtable
+                .range(..=from)
+                .rev()
+                .take(limit)
+                .copied()
+                .collect()
         } else {
             self.memtable.range(from..).take(limit).copied().collect()
         };
@@ -436,8 +441,8 @@ mod tests {
         let mut db = Db::create(
             &mut s,
             DbConfig {
-                memtable_keys: 1 << 20,       // manual flushes only
-                l0_compaction_trigger: 100,   // no auto-compaction
+                memtable_keys: 1 << 20,     // manual flushes only
+                l0_compaction_trigger: 100, // no auto-compaction
                 ..DbConfig::default()
             },
         );

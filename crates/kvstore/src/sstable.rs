@@ -67,10 +67,7 @@ impl BloomFilter {
         h ^= h >> 33;
         h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
         h ^= h >> 33;
-        let h2 = key
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .rotate_left(31)
-            | 1; // odd increment ⇒ full-period probing
+        let h2 = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31) | 1; // odd increment ⇒ full-period probing
         (h, h2)
     }
 }

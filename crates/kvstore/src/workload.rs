@@ -162,6 +162,12 @@ pub fn run_workload(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let start_ns = sim.now_ns();
     let mut ops = 0u64;
+    // Per-op latency in *simulated* ns, labeled by workload — deterministic,
+    // and a no-op handle unless the sim has a telemetry registry attached.
+    let op_latency_ns = sim
+        .telemetry()
+        .histogram(&format!("kvstore.{}.op_latency_ns", cfg.workload.name()));
+    let mut last_op_start = start_ns;
     let zipf = Zipf::new(cfg.num_keys, cfg.zipf_exponent)
         .expect("num_keys >= 1 and exponent > 0 hold by construction");
     // Spread Zipf ranks over the keyspace so popularity is not co-located
@@ -183,7 +189,11 @@ pub fn run_workload(
             }
             Workload::ReadReverse => {
                 let burst = 40.min(cfg.ops - ops) as usize;
-                let from = if cursor == 0 { cfg.num_keys - 1 } else { cursor };
+                let from = if cursor == 0 {
+                    cfg.num_keys - 1
+                } else {
+                    cursor
+                };
                 let visited = db.scan_reverse(sim, from, burst);
                 if visited == 0 || from < visited as u64 {
                     cursor = cfg.num_keys - 1;
@@ -227,6 +237,11 @@ pub fn run_workload(
                 ops += 1;
             }
         }
+        // One loop iteration = one logical operation (scan bursts count as
+        // one multi-key op here; `ops` still counts keys visited).
+        let now = sim.now_ns();
+        op_latency_ns.record(now - last_op_start);
+        last_op_start = now;
         on_op(sim);
     }
     let sim_ns = sim.now_ns() - start_ns;
@@ -360,6 +375,26 @@ mod tests {
             zipf > uniform + 0.01,
             "mixgraph hit ratio {zipf:.3} vs uniform {uniform:.3}"
         );
+    }
+
+    #[test]
+    fn op_latency_recorded_per_workload_in_simulated_ns() {
+        use kml_telemetry::Registry;
+        let reg = Registry::new();
+        let mut s = sim(DeviceProfile::nvme());
+        s.attach_telemetry(&reg);
+        let cfg = quick_cfg(Workload::ReadRandom);
+        let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
+        s.drop_caches();
+        let report = run_workload(&mut s, &mut db, &cfg, |_| {});
+        if reg.is_enabled() {
+            let snap = reg.snapshot();
+            let h = snap.histogram("kvstore.readrandom.op_latency_ns").unwrap();
+            assert_eq!(h.count, cfg.ops);
+            // Latencies sum to the whole run's simulated time.
+            assert_eq!(h.sum, report.sim_ns);
+            assert!(h.p50 > 0);
+        }
     }
 
     #[test]

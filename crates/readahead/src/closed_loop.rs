@@ -7,10 +7,11 @@
 //! throughput and readahead series of the KML run is Figure 2.
 
 use crate::model::{LoopConfig, TrainedReadahead};
-use crate::tuner::{KmlTuner, RaPolicy, TunerModel};
+use crate::tuner::{KmlTuner, RaPolicy, TunerModel, LOOP_METRIC_PREFIX};
 use kernel_sim::{DeviceProfile, Sim, SimConfig};
 use kml_collect::RingBuffer;
 use kml_core::Result;
+use kml_telemetry::{Registry, Snapshot};
 use kvstore::{fill_db, run_workload, FillMode, Workload, WorkloadConfig, WorkloadReport};
 
 /// Linux's shipped readahead default, KiB — the vanilla baseline.
@@ -25,6 +26,24 @@ pub struct TimelinePoint {
     pub ops_per_sec: f64,
     /// Readahead in force at the window end, KiB.
     pub ra_kb: u32,
+    /// Mean wall-clock inference latency within the window, ns (0 when the
+    /// window held no inference, or for untelemetered tuners).
+    pub infer_ns_mean: f64,
+}
+
+/// A KML run with its in-loop telemetry: the report and timeline of
+/// [`run_kml`], plus a final registry snapshot (loop-stage spans, cache and
+/// device metrics, ring occupancy) and the ring-buffer loss count.
+#[derive(Debug, Clone)]
+pub struct InstrumentedRun {
+    /// Workload-level result (same as the `run_kml` report).
+    pub report: WorkloadReport,
+    /// Per-window series (same as the `run_kml` timeline).
+    pub timeline: Vec<TimelinePoint>,
+    /// End-of-run snapshot of every metric the loop recorded.
+    pub telemetry: Snapshot,
+    /// Tracepoint records lost to ring-buffer overwrites.
+    pub ring_dropped: u64,
 }
 
 /// Result of a vanilla-vs-KML comparison for one (workload, device) cell.
@@ -63,11 +82,7 @@ fn workload_config(workload: Workload, cfg: &LoopConfig) -> WorkloadConfig {
 }
 
 /// Runs the vanilla baseline: fixed 128 KiB readahead, cold caches.
-pub fn run_vanilla(
-    workload: Workload,
-    device: DeviceProfile,
-    cfg: &LoopConfig,
-) -> WorkloadReport {
+pub fn run_vanilla(workload: Workload, device: DeviceProfile, cfg: &LoopConfig) -> WorkloadReport {
     let mut sim = make_sim(device, cfg);
     let wcfg = workload_config(workload, cfg);
     let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
@@ -88,13 +103,35 @@ pub fn run_kml(
     trained: &TrainedReadahead,
     cfg: &LoopConfig,
 ) -> Result<(WorkloadReport, Vec<TimelinePoint>)> {
+    run_kml_instrumented(workload, device, trained, cfg).map(|r| (r.report, r.timeline))
+}
+
+/// Like [`run_kml`], but returns the full in-loop telemetry alongside the
+/// report (`repro -- overheads` uses this for its self-measurement section).
+///
+/// # Errors
+///
+/// Propagates tuner/model failures.
+pub fn run_kml_instrumented(
+    workload: Workload,
+    device: DeviceProfile,
+    trained: &TrainedReadahead,
+    cfg: &LoopConfig,
+) -> Result<InstrumentedRun> {
     let model = {
         // Re-deploy a fresh copy of the network for this run (models carry
         // forward state; runs must not share it).
         let bytes = kml_core::modelfile::encode(&trained.network)?;
         TunerModel::NeuralNet(kml_core::modelfile::decode::<f32>(&bytes)?)
     };
-    run_tuned(workload, device, model, trained.policy_for(&device).clone(), cfg)
+    run_tuned_opts(
+        workload,
+        device,
+        model,
+        trained.policy_for(&device).clone(),
+        cfg,
+        true,
+    )
 }
 
 /// Runs the decision-tree-tuned configuration (the paper's §4 comparison).
@@ -108,13 +145,15 @@ pub fn run_kml_tree(
     trained: &TrainedReadahead,
     cfg: &LoopConfig,
 ) -> Result<(WorkloadReport, Vec<TimelinePoint>)> {
-    run_tuned(
+    run_tuned_opts(
         workload,
         device,
         TunerModel::Tree(trained.tree.clone()),
         trained.policy_for(&device).clone(),
         cfg,
+        true,
     )
+    .map(|r| (r.report, r.timeline))
 }
 
 /// Like [`run_kml`] but with the two-window actuation hysteresis disabled
@@ -131,17 +170,15 @@ pub fn run_kml_no_hysteresis(
 ) -> Result<(WorkloadReport, Vec<TimelinePoint>)> {
     let bytes = kml_core::modelfile::encode(&trained.network)?;
     let model = TunerModel::NeuralNet(kml_core::modelfile::decode::<f32>(&bytes)?);
-    run_tuned_opts(workload, device, model, trained.policy_for(&device).clone(), cfg, false)
-}
-
-fn run_tuned(
-    workload: Workload,
-    device: DeviceProfile,
-    model: TunerModel,
-    policy: RaPolicy,
-    cfg: &LoopConfig,
-) -> Result<(WorkloadReport, Vec<TimelinePoint>)> {
-    run_tuned_opts(workload, device, model, policy, cfg, true)
+    run_tuned_opts(
+        workload,
+        device,
+        model,
+        trained.policy_for(&device).clone(),
+        cfg,
+        false,
+    )
+    .map(|r| (r.report, r.timeline))
 }
 
 fn run_tuned_opts(
@@ -151,17 +188,21 @@ fn run_tuned_opts(
     policy: RaPolicy,
     cfg: &LoopConfig,
     hysteresis: bool,
-) -> Result<(WorkloadReport, Vec<TimelinePoint>)> {
+) -> Result<InstrumentedRun> {
     let mut sim = make_sim(device, cfg);
+    let telemetry = Registry::new();
+    sim.attach_telemetry(&telemetry);
     let (producer, mut consumer) = RingBuffer::with_capacity(cfg.datagen.ring_capacity).split();
     sim.attach_trace(producer);
+    consumer.attach_telemetry(&telemetry, "kml_collect.ring");
     let wcfg = workload_config(workload, cfg);
     let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
     sim.drop_caches();
     sim.set_ra_kb(VANILLA_RA_KB); // KML starts from the default, then adapts
     sim.reset_stats();
-    // Discard fill-phase tracepoints: the tuner must only ever see the
-    // workload (stale records would poison the cumulative features).
+    telemetry.reset(); // fill-phase metrics are not the workload's
+                       // Discard fill-phase tracepoints: the tuner must only ever see the
+                       // workload (stale records would poison the cumulative features).
     while consumer.pop().is_some() {}
 
     let mut tuner = KmlTuner::new(
@@ -172,10 +213,14 @@ fn run_tuned_opts(
         VANILLA_RA_KB,
     );
     tuner.set_hysteresis(hysteresis);
+    // Per-window inference latency = delta of the loop's infer histogram
+    // (same handle the tuner binds lazily via `sim.telemetry()`).
+    let infer_hist = telemetry.histogram(&format!("{LOOP_METRIC_PREFIX}.infer_ns"));
     let start_ns = sim.now_ns();
     let mut timeline = Vec::new();
     let mut window_ops = 0u64;
     let mut window_start = start_ns;
+    let (mut infer_count0, mut infer_sum0) = (0u64, 0u64);
     let mut tuner_err = None;
     let report = run_workload(&mut sim, &mut db, &wcfg, |sim| {
         window_ops += 1;
@@ -185,10 +230,14 @@ fn run_tuned_opts(
         let now = sim.now_ns();
         if now - window_start >= cfg.datagen.window_ns {
             let secs = (now - window_start) as f64 / 1e9;
+            let infer = infer_hist.snapshot();
+            let (dc, ds) = (infer.count - infer_count0, infer.sum - infer_sum0);
+            (infer_count0, infer_sum0) = (infer.count, infer.sum);
             timeline.push(TimelinePoint {
                 t_ms: (now - start_ns) / 1_000_000,
                 ops_per_sec: window_ops as f64 / secs,
                 ra_kb: tuner.current_ra_kb(),
+                infer_ns_mean: if dc == 0 { 0.0 } else { ds as f64 / dc as f64 },
             });
             window_ops = 0;
             window_start = now;
@@ -196,7 +245,12 @@ fn run_tuned_opts(
     });
     match tuner_err {
         Some(e) => Err(e),
-        None => Ok((report, timeline)),
+        None => Ok(InstrumentedRun {
+            report,
+            timeline,
+            ring_dropped: tuner.records_dropped(),
+            telemetry: telemetry.snapshot(),
+        }),
     }
 }
 
@@ -229,6 +283,7 @@ pub fn run_bandit(
                 t_ms: (now - start_ns) / 1_000_000,
                 ops_per_sec: window_ops as f64 / secs,
                 ra_kb: bandit.current_ra_kb(),
+                infer_ns_mean: 0.0, // the bandit consults no model
             });
             window_ops = 0;
             window_start = now;
@@ -293,13 +348,7 @@ mod tests {
     #[test]
     fn kml_does_not_tank_sequential_reads() {
         let cfg = LoopConfig::quick();
-        let outcome = compare(
-            Workload::ReadSeq,
-            DeviceProfile::nvme(),
-            trained(),
-            &cfg,
-        )
-        .unwrap();
+        let outcome = compare(Workload::ReadSeq, DeviceProfile::nvme(), trained(), &cfg).unwrap();
         // The paper itself reports 0.96× here; demand "no disaster".
         assert!(
             outcome.speedup > 0.85,
@@ -341,6 +390,33 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_reports_loop_telemetry() {
+        let cfg = LoopConfig::quick();
+        let run = run_kml_instrumented(
+            Workload::ReadRandom,
+            DeviceProfile::sata_ssd(),
+            trained(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(!run.timeline.is_empty());
+        let snap = &run.telemetry;
+        if !snap.is_empty() {
+            // Every decision ran one inference; spans recorded real time.
+            let infer = snap.histogram("readahead.loop.infer_ns").unwrap();
+            let decisions = snap.counter("readahead.loop.decision_total").unwrap();
+            assert_eq!(infer.count, decisions);
+            assert!(decisions > 0, "no decisions in instrumented run");
+            assert!(infer.sum > 0, "inference spans recorded zero time");
+            // The sim-level metrics share the registry.
+            assert!(snap.counter("sim.cache.hit_total").unwrap_or(0) > 0);
+            assert!(snap.counter("kml_collect.ring.consumed_total").unwrap_or(0) > 0);
+            // Some window saw a live mean inference latency.
+            assert!(run.timeline.iter().any(|p| p.infer_ns_mean > 0.0));
+        }
+    }
+
+    #[test]
     fn tree_variant_also_runs() {
         let cfg = LoopConfig::quick();
         let vanilla = run_vanilla(Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
@@ -361,8 +437,7 @@ mod tests {
         // Give the bandit enough windows to get past pure exploration.
         cfg.eval_ops = 12_000;
         let vanilla = run_vanilla(Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
-        let (bandit, timeline) =
-            run_bandit(Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
+        let (bandit, timeline) = run_bandit(Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
         let speedup = bandit.ops_per_sec / vanilla.ops_per_sec;
         // Exploration costs something, but the learned policy must not be a
         // disaster — and on random reads it usually beats the default.

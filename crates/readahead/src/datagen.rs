@@ -252,13 +252,7 @@ mod tests {
     #[test]
     fn collection_produces_windows_with_sane_features() {
         let cfg = DatagenConfig::quick();
-        let windows = collect_windows(
-            DeviceProfile::nvme(),
-            Workload::ReadRandom,
-            128,
-            1,
-            &cfg,
-        );
+        let windows = collect_windows(DeviceProfile::nvme(), Workload::ReadRandom, 128, 1, &cfg);
         assert!(!windows.is_empty(), "no windows collected");
         for w in &windows {
             assert!(w[0] > 0.0, "window with zero tracepoints leaked");

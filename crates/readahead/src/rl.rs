@@ -147,8 +147,7 @@ impl BanditTuner {
         let mut best = 0;
         let mut best_score = f64::MIN;
         for (i, arm) in self.arms.iter().enumerate() {
-            let bonus =
-                self.exploration * kml_core::math::sqrt(ln_total / arm.pulls as f64);
+            let bonus = self.exploration * kml_core::math::sqrt(ln_total / arm.pulls as f64);
             let score = arm.mean_reward / max_mean + bonus;
             if score > best_score {
                 best_score = score;

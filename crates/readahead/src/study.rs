@@ -190,8 +190,7 @@ mod tests {
     #[test]
     fn sequential_curve_rises_with_readahead() {
         let cfg = StudyConfig::quick();
-        let study =
-            ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadSeq], &cfg);
+        let study = ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadSeq], &cfg);
         let lo = study.throughput(Workload::ReadSeq, 8).unwrap();
         let hi = study.throughput(Workload::ReadSeq, 1024).unwrap();
         assert!(hi > lo * 1.3, "seq: ra=1024 {hi:.0} vs ra=8 {lo:.0}");
@@ -200,8 +199,7 @@ mod tests {
     #[test]
     fn random_curve_falls_beyond_block_size() {
         let cfg = StudyConfig::quick();
-        let study =
-            ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadRandom], &cfg);
+        let study = ReadaheadStudy::run(DeviceProfile::sata_ssd(), &[Workload::ReadRandom], &cfg);
         let at_32 = study.throughput(Workload::ReadRandom, 32).unwrap();
         let at_1024 = study.throughput(Workload::ReadRandom, 1024).unwrap();
         assert!(
@@ -213,11 +211,7 @@ mod tests {
     #[test]
     fn policy_covers_all_training_classes() {
         let cfg = StudyConfig::quick();
-        let study = ReadaheadStudy::run(
-            DeviceProfile::nvme(),
-            &Workload::training_set(),
-            &cfg,
-        );
+        let study = ReadaheadStudy::run(DeviceProfile::nvme(), &Workload::training_set(), &cfg);
         let policy = study.training_class_policy();
         assert_eq!(policy.len(), 4);
         assert!(policy.iter().all(|&kb| cfg.sweep_kb.contains(&kb)));
@@ -226,8 +220,7 @@ mod tests {
     #[test]
     fn unknown_cell_returns_none() {
         let cfg = StudyConfig::quick();
-        let study =
-            ReadaheadStudy::run(DeviceProfile::nvme(), &[Workload::ReadRandom], &cfg);
+        let study = ReadaheadStudy::run(DeviceProfile::nvme(), &[Workload::ReadRandom], &cfg);
         assert!(study.throughput(Workload::ReadSeq, 8).is_none());
         assert!(study.throughput(Workload::ReadRandom, 7).is_none());
     }

@@ -19,6 +19,53 @@ use kml_collect::ringbuf::Consumer;
 use kml_core::dtree::DecisionTree;
 use kml_core::model::Model;
 use kml_core::Result;
+use kml_telemetry::{Counter, Gauge, Registry, Span, StageSet};
+
+/// Metric name prefix for the tuner's loop-stage and decision metrics.
+pub const LOOP_METRIC_PREFIX: &str = "readahead.loop";
+
+/// Telemetry for the closed loop itself: wall-clock span per stage
+/// (collect/featurize/infer/actuate — the in-loop counterpart of the
+/// paper's Table 3 overhead numbers) plus decision accounting.
+#[derive(Debug)]
+struct TunerTelemetry {
+    stages: StageSet,
+    decision_total: Counter,
+    actuation_total: Counter,
+    class_total: Vec<Counter>,
+    ra_bytes: Gauge,
+    ring_dropped: Gauge,
+}
+
+impl TunerTelemetry {
+    fn noop() -> Self {
+        TunerTelemetry {
+            stages: StageSet::noop(),
+            decision_total: Counter::noop(),
+            actuation_total: Counter::noop(),
+            class_total: Vec::new(),
+            ra_bytes: Gauge::noop(),
+            ring_dropped: Gauge::noop(),
+        }
+    }
+
+    fn bind(registry: &Registry, classes: usize) -> Self {
+        let p = LOOP_METRIC_PREFIX;
+        TunerTelemetry {
+            stages: StageSet::register(registry, p),
+            decision_total: registry.counter(&format!("{p}.decision_total")),
+            actuation_total: registry.counter(&format!("{p}.actuation_total")),
+            class_total: (0..classes)
+                .map(|c| {
+                    let name = workload_of_class(c.min(3)).name();
+                    registry.counter(&format!("{p}.class.{name}_total"))
+                })
+                .collect(),
+            ra_bytes: registry.gauge(&format!("{p}.ra_bytes")),
+            ring_dropped: registry.gauge(&format!("{p}.ring_dropped_total")),
+        }
+    }
+}
 
 /// Class → readahead-KiB mapping, built from a [`crate::ReadaheadStudy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +145,8 @@ pub struct KmlTuner {
     /// Whether actuation waits for two agreeing windows (default true).
     hysteresis: bool,
     decisions: Vec<TunerDecision>,
+    telemetry: TunerTelemetry,
+    telemetry_bound: bool,
 }
 
 impl KmlTuner {
@@ -126,6 +175,8 @@ impl KmlTuner {
             last_class: None,
             hysteresis: true,
             decisions: Vec::new(),
+            telemetry: TunerTelemetry::noop(),
+            telemetry_bound: false,
         }
     }
 
@@ -143,8 +194,19 @@ impl KmlTuner {
     /// Propagates model prediction failures (dimension mismatch — a
     /// deployment bug, not a runtime condition).
     pub fn on_op(&mut self, sim: &mut Sim) -> Result<()> {
-        while let Some(record) = self.consumer.pop() {
-            self.extractor.push(&record);
+        if !self.telemetry_bound {
+            // Bind once to whatever registry the sim carries (a no-op
+            // registry yields no-op handles, so unattached runs cost
+            // nothing beyond this one-time setup).
+            self.telemetry = TunerTelemetry::bind(sim.telemetry(), self.policy.classes());
+            self.telemetry_bound = true;
+        }
+        {
+            let span = Span::start(&self.telemetry.stages.collect_ns);
+            while let Some(record) = self.consumer.pop() {
+                self.extractor.push(&record);
+            }
+            span.finish();
         }
         let now = sim.now_ns();
         let end = *self.next_window_end.get_or_insert(now + self.window_ns);
@@ -156,20 +218,40 @@ impl KmlTuner {
         // single misclassified window (the Figure 2 fluctuations) cannot
         // whipsaw the readahead setting.
         if self.extractor.window_count() > 0 {
-            let features = self.extractor.roll_window(self.current_ra_kb as f64);
-            let class = self.model.predict(&features)?;
+            let features = {
+                let featurize = &self.telemetry.stages.featurize_ns;
+                let (extractor, ra) = (&mut self.extractor, self.current_ra_kb as f64);
+                featurize.time(|| extractor.roll_window(ra))
+            };
+            let class = {
+                // The span owns a cloned handle, so timing holds no borrow
+                // of self across the model call.
+                let span = Span::start(&self.telemetry.stages.infer_ns);
+                let class = self.model.predict(&features)?;
+                span.finish();
+                class
+            };
             let confirmed = !self.hysteresis || self.last_class == Some(class);
             self.last_class = Some(class);
             let ra_kb = if confirmed {
                 let target = self.policy.ra_kb_for(class);
                 if target != self.current_ra_kb {
+                    let span = Span::start(&self.telemetry.stages.actuate_ns);
                     sim.set_ra_kb(target);
+                    span.finish();
                     self.current_ra_kb = target;
+                    self.telemetry.actuation_total.inc();
                 }
                 target
             } else {
                 self.current_ra_kb
             };
+            self.telemetry.decision_total.inc();
+            if let Some(c) = self.telemetry.class_total.get(class) {
+                c.inc();
+            }
+            self.telemetry.ra_bytes.set(u64::from(ra_kb) * 1024);
+            self.telemetry.ring_dropped.set(self.consumer.dropped());
             self.decisions.push(TunerDecision {
                 time_ns: now,
                 class,

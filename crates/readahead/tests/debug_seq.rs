@@ -12,7 +12,9 @@ fn debug_seq() {
     let data = sequence_dataset(&cfg, 16, 60).unwrap();
     println!("sequences: {}", data.len());
     let mut counts = [0; 4];
-    for &l in &data.labels { counts[l] += 1; }
+    for &l in &data.labels {
+        counts[l] += 1;
+    }
     println!("class counts: {counts:?}");
     for epochs in [30, 80] {
         let (mut rnn, acc) = train_rnn(&data, 12, epochs, 3).unwrap();

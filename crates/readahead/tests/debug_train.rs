@@ -2,8 +2,8 @@
 //! prints dataset composition, loss curve, and training accuracy.
 //! Run with: `cargo test -p readahead --test debug_train -- --ignored --nocapture`
 
-use kml_core::prelude::*;
 use kml_core::dataset::Normalizer;
+use kml_core::prelude::*;
 use readahead::datagen::{self, DatagenConfig};
 
 #[test]
@@ -11,12 +11,16 @@ use readahead::datagen::{self, DatagenConfig};
 fn debug_training() {
     let cfg = DatagenConfig::quick();
     let data = datagen::training_dataset(&cfg).unwrap();
-    println!("dataset: {} samples, {} classes", data.len(), data.num_classes());
+    println!(
+        "dataset: {} samples, {} classes",
+        data.len(),
+        data.num_classes()
+    );
     for c in 0..4 {
         let n = data.labels().iter().filter(|&&l| l == c).count();
         println!("class {c}: {n} windows");
     }
-    for i in (0..data.len()).step_by(data.len()/12+1) {
+    for i in (0..data.len()).step_by(data.len() / 12 + 1) {
         let (f, y) = data.sample(i);
         println!("y={y} f={f:?}");
     }
@@ -25,8 +29,12 @@ fn debug_training() {
     let mut sgd = Sgd::paper_defaults();
     let mut rng = KmlRng::seed_from_u64(2);
     for e in 0..300 {
-        let loss = model.train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng).unwrap();
-        if e % 50 == 0 { println!("epoch {e}: loss {loss}"); }
+        let loss = model
+            .train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)
+            .unwrap();
+        if e % 50 == 0 {
+            println!("epoch {e}: loss {loss}");
+        }
     }
     println!("train acc: {}", model.accuracy(&data).unwrap());
     // confusion
@@ -34,7 +42,8 @@ fn debug_training() {
     for i in 0..data.len() {
         preds.push(model.predict(data.sample(i).0).unwrap());
     }
-    let cm = kml_core::validate::ConfusionMatrix::from_predictions(&preds, data.labels(), 4).unwrap();
+    let cm =
+        kml_core::validate::ConfusionMatrix::from_predictions(&preds, data.labels(), 4).unwrap();
     for t in 0..4 {
         let row: Vec<usize> = (0..4).map(|p| cm.count(t, p)).collect();
         println!("true {t}: {row:?}");

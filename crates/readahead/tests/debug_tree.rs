@@ -12,19 +12,36 @@ use readahead::model::{train_paper_model, LoopConfig};
 fn debug_tree_decisions() {
     let cfg = LoopConfig::default();
     let trained = train_paper_model(&cfg).unwrap();
-    println!("tree train acc {:.3}, nn cv {:.3}", trained.tree_training_accuracy,
-        trained.cross_validation.mean_accuracy());
-    println!("policy ssd: {:?}", (0..4).map(|c| trained.policy_ssd.ra_kb_for(c)).collect::<Vec<_>>());
+    println!(
+        "tree train acc {:.3}, nn cv {:.3}",
+        trained.tree_training_accuracy,
+        trained.cross_validation.mean_accuracy()
+    );
+    println!(
+        "policy ssd: {:?}",
+        (0..4)
+            .map(|c| trained.policy_ssd.ra_kb_for(c))
+            .collect::<Vec<_>>()
+    );
     for w in [Workload::ReadRandom, Workload::ReadSeq, Workload::MixGraph] {
         let vanilla = closed_loop::run_vanilla(w, DeviceProfile::sata_ssd(), &cfg);
         let (nn, nt) = closed_loop::run_kml(w, DeviceProfile::sata_ssd(), &trained, &cfg).unwrap();
-        let (dt, tt) = closed_loop::run_kml_tree(w, DeviceProfile::sata_ssd(), &trained, &cfg).unwrap();
+        let (dt, tt) =
+            closed_loop::run_kml_tree(w, DeviceProfile::sata_ssd(), &trained, &cfg).unwrap();
         let ra_hist = |tl: &[closed_loop::TimelinePoint]| {
             let mut m = std::collections::BTreeMap::new();
-            for p in tl { *m.entry(p.ra_kb).or_insert(0) += 1; }
+            for p in tl {
+                *m.entry(p.ra_kb).or_insert(0) += 1;
+            }
             m
         };
-        println!("{w}: vanilla {:.0} nn {:.0} ({:?}) dt {:.0} ({:?})",
-            vanilla.ops_per_sec, nn.ops_per_sec, ra_hist(&nt), dt.ops_per_sec, ra_hist(&tt));
+        println!(
+            "{w}: vanilla {:.0} nn {:.0} ({:?}) dt {:.0} ({:?})",
+            vanilla.ops_per_sec,
+            nn.ops_per_sec,
+            ra_hist(&nt),
+            dt.ops_per_sec,
+            ra_hist(&tt)
+        );
     }
 }

@@ -12,17 +12,30 @@ fn debug_tree_features() {
     // Deployment-like windows: readrandom on SSD at various ra values.
     for ra in [128u32, 16, 1024] {
         let windows = datagen::collect_windows(
-            DeviceProfile::sata_ssd(), Workload::ReadRandom, ra, 99, &cfg.datagen);
+            DeviceProfile::sata_ssd(),
+            Workload::ReadRandom,
+            ra,
+            99,
+            &cfg.datagen,
+        );
         let mut preds = [0usize; 4];
         for w in windows.iter().take(50) {
             preds[trained.tree.predict(w).unwrap()] += 1;
         }
-        println!("ssd readrandom@{ra}: {} windows, tree preds {preds:?}, first {:?}",
-            windows.len(), windows.first());
+        println!(
+            "ssd readrandom@{ra}: {} windows, tree preds {preds:?}, first {:?}",
+            windows.len(),
+            windows.first()
+        );
     }
     // Same on NVMe (training device).
     let windows = datagen::collect_windows(
-        DeviceProfile::nvme(), Workload::ReadRandom, 128, 99, &cfg.datagen);
+        DeviceProfile::nvme(),
+        Workload::ReadRandom,
+        128,
+        99,
+        &cfg.datagen,
+    );
     let mut preds = [0usize; 4];
     for w in windows.iter().take(50) {
         preds[trained.tree.predict(w).unwrap()] += 1;

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "workload/device", "vanilla", "NN tuner", "tree tuner"
     );
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
-        for workload in [Workload::ReadRandom, Workload::MixGraph, Workload::UpdateRandom] {
+        for workload in [
+            Workload::ReadRandom,
+            Workload::MixGraph,
+            Workload::UpdateRandom,
+        ] {
             let vanilla = closed_loop::run_vanilla(workload, device, &cfg);
             let (nn, _) = closed_loop::run_kml(workload, device, &trained, &cfg)?;
             let (dt, _) = closed_loop::run_kml_tree(workload, device, &trained, &cfg)?;

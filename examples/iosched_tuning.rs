@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let eager = static_run(workload, 0);
         let patient = static_run(workload, PATIENT_NS);
-        let mut sched =
-            IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+        let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
         let mut tuner = SchedTuner::train([0, PATIENT_NS], 5)?;
         let tuned = run_sched_workload(&mut sched, workload, REQUESTS, 11, |s, req, now| {
             tuner

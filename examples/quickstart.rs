@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let data = Dataset::from_rows(&rows, &labels)?;
     let (train, test) = data.shuffled(&mut rng).split(0.8)?;
-    println!("dataset: {} train / {} test samples", train.len(), test.len());
+    println!(
+        "dataset: {} train / {} test samples",
+        train.len(),
+        test.len()
+    );
 
     // --- 2. Build the network (builder API, Xavier init). ---------------
     let mut model = ModelBuilder::new(2)

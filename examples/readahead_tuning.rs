@@ -19,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
-        let outcome =
-            closed_loop::compare(Workload::MixGraph, device, &trained, &cfg)?;
+        let outcome = closed_loop::compare(Workload::MixGraph, device, &trained, &cfg)?;
         println!("=== mixgraph on {} ===", device.name);
         println!(
             "vanilla: {:>9.0} ops/s   (fixed {} KiB readahead)",

@@ -4,10 +4,10 @@
 //! Run with: `cargo run --release --example trace_offline`
 
 use kernel_sim::DeviceProfile;
+use kml_core::dataset::Dataset;
 use kvstore::Workload;
 use readahead::datagen::{self, DatagenConfig};
 use readahead::model;
-use kml_core::dataset::Dataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = DatagenConfig::quick();

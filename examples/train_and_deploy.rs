@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[user space] collecting tracepoint windows on NVMe...");
     let dcfg = DatagenConfig::quick();
     let data = datagen::training_dataset(&dcfg)?;
-    println!("[user space] {} labeled windows, {} classes", data.len(), data.num_classes());
+    println!(
+        "[user space] {} labeled windows, {} classes",
+        data.len(),
+        data.num_classes()
+    );
 
     println!("[user space] training the f64 network (lr=0.01, momentum=0.99)...");
     let trained = model::train_network(&data, 300, 7)?;
@@ -63,9 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // predict() on the f32 model enters FPU sections; the Fix32 model's
     // matrix math does not (only the shared f64 feature normalization does).
-    println!(
-        "[kernel, FPU-free] Q16.16 deployment agrees with f32 on {agree}/{n} samples"
-    );
+    println!("[kernel, FPU-free] Q16.16 deployment agrees with f32 on {agree}/{n} samples");
     let _ = sections_before;
 
     std::fs::remove_file(path)?;

@@ -13,7 +13,11 @@ fn main() {
         sweep_kb: vec![8, 16, 32, 64, 128, 256, 512, 1024],
         ..StudyConfig::quick()
     };
-    let workloads = [Workload::ReadSeq, Workload::ReadRandom, Workload::ReadReverse];
+    let workloads = [
+        Workload::ReadSeq,
+        Workload::ReadRandom,
+        Workload::ReadReverse,
+    ];
 
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
         println!("=== device: {} ===", device.name);

@@ -94,7 +94,10 @@ fn dev_api_memory_threading_logging_atomics_files() {
 
     // (v) file operations — the model save/load path.
     let path = std::env::temp_dir().join(format!("kml-api-{}.kml", std::process::id()));
-    let model = ModelBuilder::new(3).linear(2).build::<f64>().expect("builds");
+    let model = ModelBuilder::new(3)
+        .linear(2)
+        .build::<f64>()
+        .expect("builds");
     kml_core::modelfile::save(&model, &path).expect("save succeeds");
     let loaded = kml_core::modelfile::load::<f64>(&path).expect("load succeeds");
     assert_eq!(loaded.input_dim(), 3);
@@ -119,7 +122,11 @@ fn training_and_inference_run_in_both_personas() {
     .expect("dataset builds");
 
     // "User space" training (f64) ...
-    let mut user_model = ModelBuilder::new(2).linear(4).sigmoid().linear(2).build::<f64>()
+    let mut user_model = ModelBuilder::new(2)
+        .linear(4)
+        .sigmoid()
+        .linear(2)
+        .build::<f64>()
         .expect("builds");
     let mut sgd = Sgd::new(0.3, 0.5);
     for _ in 0..100 {

@@ -66,8 +66,7 @@ fn quantized_deployment_of_the_trained_readahead_network() {
     let trained = readahead::model::train_network(&data, 300, 7).expect("training succeeds");
     let bytes = kml_core::modelfile::encode(&trained).expect("encode");
     let mut f32_model = kml_core::modelfile::decode::<f32>(&bytes).expect("decode");
-    let qmodel =
-        kml_core::quant::QuantizedModel::from_model(&f32_model).expect("quantizes");
+    let qmodel = kml_core::quant::QuantizedModel::from_model(&f32_model).expect("quantizes");
 
     let mut agree = 0;
     for i in 0..data.len() {
@@ -111,10 +110,16 @@ fn bandit_and_supervised_tuners_coexist_in_one_binary() {
     use readahead::model::LoopConfig;
     let mut cfg = LoopConfig::quick();
     cfg.eval_ops = 6_000;
-    let vanilla =
-        closed_loop::run_vanilla(kvstore::Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
-    let (bandit, timeline) =
-        closed_loop::run_bandit(kvstore::Workload::ReadRandom, DeviceProfile::sata_ssd(), &cfg);
+    let vanilla = closed_loop::run_vanilla(
+        kvstore::Workload::ReadRandom,
+        DeviceProfile::sata_ssd(),
+        &cfg,
+    );
+    let (bandit, timeline) = closed_loop::run_bandit(
+        kvstore::Workload::ReadRandom,
+        DeviceProfile::sata_ssd(),
+        &cfg,
+    );
     assert!(bandit.ops_per_sec > vanilla.ops_per_sec * 0.8);
     assert!(!timeline.is_empty());
 }

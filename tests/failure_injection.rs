@@ -11,10 +11,14 @@ use kml_platform::{Persona, PlatformError};
 fn allocation_failure_surfaces_as_error_not_panic() {
     let alloc = KmlAllocator::new(Persona::Kernel);
     alloc.inject_failures(1);
-    let err = alloc.alloc_bytes(64).expect_err("injected failure must surface");
+    let err = alloc
+        .alloc_bytes(64)
+        .expect_err("injected failure must surface");
     assert!(matches!(err, PlatformError::OutOfMemory { .. }));
     // The allocator keeps working afterwards.
-    let ok = alloc.alloc_bytes(64).expect("subsequent allocation succeeds");
+    let ok = alloc
+        .alloc_bytes(64)
+        .expect("subsequent allocation succeeds");
     assert_eq!(ok.len(), 64);
 }
 
@@ -29,7 +33,9 @@ fn memory_pressure_with_reservation_keeps_model_memory_available() {
     // ...a small model's worth still fits...
     let model_mem = alloc.alloc_bytes(2000).expect("model memory guaranteed");
     // ...but exceeding the reservation fails loudly, not silently.
-    let err = alloc.alloc_bytes(1000).expect_err("over-reservation must fail");
+    let err = alloc
+        .alloc_bytes(1000)
+        .expect_err("over-reservation must fail");
     assert!(matches!(err, PlatformError::OutOfMemory { .. }));
     drop(model_mem);
     // Freed bytes return to the pool.
@@ -112,7 +118,10 @@ fn tuner_survives_trace_overflow() {
         sim.read(f, (x >> 14) % ((1 << 18) - 4), 4);
         tuner.on_op(&mut sim).expect("tuner survives overflow");
     }
-    assert!(tuner.records_dropped() > 0, "overflow expected with a 4-slot ring");
+    assert!(
+        tuner.records_dropped() > 0,
+        "overflow expected with a 4-slot ring"
+    );
     assert!(
         !tuner.decisions().is_empty(),
         "tuner still made decisions from the surviving records"

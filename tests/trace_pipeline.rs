@@ -94,5 +94,8 @@ fn undersized_ring_loses_data_observably_not_silently() {
     }
     let dropped = trainer.samples_dropped();
     trainer.stop().expect("trainer stops");
-    assert!(dropped >= produced - 8, "loss accounting: {dropped} of {produced}");
+    assert!(
+        dropped >= produced - 8,
+        "loss accounting: {dropped} of {produced}"
+    );
 }

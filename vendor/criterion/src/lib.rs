@@ -1,0 +1,413 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The container has no crates.io access, so this crate provides a real —
+//! if much simpler — wall-clock benchmarking harness behind the criterion
+//! API surface the workspace's benches use: `Criterion::default()`,
+//! `sample_size`, `bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after an auto-calibrated warmup, each sample times a
+//! batch of iterations sized so one sample lasts roughly 2 ms, and reports
+//! per-iteration wall time. Output is median / mean / min / max per
+//! benchmark id, one line each — no plots, no statistical regression
+//! analysis. Median per-iteration nanoseconds is also exported via
+//! [`summaries`] so harness code (e.g. the telemetry overhead gate) can
+//! assert on results programmatically.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. All variants behave identically
+/// here (setup always runs outside the timed section).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let f = function_name.into();
+        BenchmarkId {
+            id: format!("{f}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One completed measurement, exposed through [`summaries`].
+#[derive(Clone, Debug)]
+pub struct Summary {
+    pub id: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub samples: usize,
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Bencher {
+    /// Benchmark `routine` by timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fit in ~target_sample_time?
+        let mut n: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target_sample_time / 4 || n >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / n as f64;
+                n = ((self.target_sample_time.as_nanos() as f64 / per_iter) as u64)
+                    .clamp(1, 1 << 30);
+                break;
+            }
+            n *= 8;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    /// Benchmark `routine` over inputs created by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate batch size against routine cost alone.
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target_sample_time / 4 || n >= 1 << 20 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / n as f64;
+                n = ((self.target_sample_time.as_nanos() as f64 / per_iter) as u64)
+                    .clamp(1, 1 << 20);
+                break;
+            }
+            n *= 8;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+}
+
+thread_local! {
+    static SUMMARIES: std::cell::RefCell<Vec<Summary>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// All summaries recorded on this thread so far, in execution order.
+pub fn summaries() -> Vec<Summary> {
+    SUMMARIES.with(|s| s.borrow().clone())
+}
+
+fn record(id: &str, samples_ns: &mut [f64], quiet: bool) {
+    if samples_ns.is_empty() {
+        return;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let summary = Summary {
+        id: id.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: samples_ns[0],
+        max_ns: samples_ns[samples_ns.len() - 1],
+        samples: samples_ns.len(),
+    };
+    if !quiet {
+        println!(
+            "{:<48} time: [median {} | mean {} | min {} | max {}] ({} samples)",
+            summary.id,
+            fmt_ns(summary.median_ns),
+            fmt_ns(summary.mean_ns),
+            fmt_ns(summary.min_ns),
+            fmt_ns(summary.max_ns),
+            summary.samples,
+        );
+    }
+    SUMMARIES.with(|s| s.borrow_mut().push(summary));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+    filter: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            target_sample_time: Duration::from_millis(2),
+            filter: None,
+            quiet: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Accepted for API compatibility; the simplified harness sizes samples
+    /// by `target_sample_time` rather than a total measurement budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.runs(&id.id) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_count: self.sample_size,
+            target_sample_time: self.target_sample_time,
+        };
+        f(&mut b);
+        let mut samples = b.samples_ns;
+        record(&id.id, &mut samples, self.quiet);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// Named group of related benchmarks; ids print as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(3));
+        self
+    }
+
+    /// Accepted for API compatibility; see [`Criterion::measurement_time`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.runs(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_count: self.sample_size.unwrap_or(self.criterion.sample_size),
+            target_sample_time: self.criterion.target_sample_time,
+        };
+        f(&mut b);
+        let mut samples = b.samples_ns;
+        record(&full, &mut samples, self.criterion.quiet);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id: BenchmarkId = id.id.as_str().into();
+        self.bench_function(full_id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Expands to a function running each target against a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(filter: Option<&str>) {
+            $(
+                let mut c: $crate::Criterion = $config;
+                if let Some(f) = filter {
+                    c = c.with_filter(f);
+                }
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Expands to `main`, accepting (and mostly ignoring) cargo-bench CLI flags;
+/// a bare non-flag argument becomes a substring filter on benchmark ids.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut filter: Option<String> = None;
+            for arg in std::env::args().skip(1) {
+                if !arg.starts_with('-') {
+                    filter = Some(arg);
+                }
+            }
+            $( $group(filter.as_deref()); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_op_sanely() {
+        let mut c = Criterion {
+            quiet: true,
+            ..Criterion::default()
+        }
+        .sample_size(10);
+        let mut acc = 0u64;
+        c.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(std::hint::black_box(3));
+                acc
+            })
+        });
+        let s = summaries();
+        let add = s.iter().rev().find(|s| s.id == "add").expect("summary");
+        // A wrapping add plus black_box overhead is in the ns range,
+        // certainly under 1 µs even on a loaded CI machine.
+        assert!(
+            add.median_ns > 0.0 && add.median_ns < 1_000.0,
+            "median {}",
+            add.median_ns
+        );
+    }
+
+    #[test]
+    fn groups_and_batched_inputs_work() {
+        let mut c = Criterion {
+            quiet: true,
+            ..Criterion::default()
+        }
+        .sample_size(5);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert!(summaries().iter().any(|s| s.id == "g/64"));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            quiet: true,
+            ..Criterion::default()
+        }
+        .with_filter("only_this");
+        c.bench_function("something_else", |b| b.iter(|| 1 + 1));
+        assert!(!summaries().iter().any(|s| s.id == "something_else"));
+    }
+}

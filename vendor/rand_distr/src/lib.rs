@@ -1,0 +1,117 @@
+//! Offline vendored stand-in for the `rand_distr` crate.
+//!
+//! Provides exactly what the workspace consumes: the [`Distribution`] trait
+//! (re-exported from the vendored `rand`) and a [`Zipf`] distribution with
+//! the `rand_distr` 0.4 constructor signature `Zipf::new(n: u64, s: f64)`.
+//!
+//! Sampling uses an exact inverse-CDF table (`O(n)` build, `O(log n)` per
+//! sample) instead of `rand_distr`'s rejection-inversion. For the keyspaces
+//! this repo uses (≤ a few million keys) the table costs a few MB and one
+//! `powf` pass at construction, and the resulting distribution is exact
+//! rather than approximate.
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error from [`Zipf::new`] on a degenerate parameterization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` must be at least 1.
+    NTooSmall,
+    /// The exponent must be finite and non-negative.
+    STooSmall,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "Zipf: n must be >= 1"),
+            ZipfError::STooSmall => write!(f, "Zipf: s must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(X = k) ∝ k^(-s)`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Normalized cumulative probabilities; `cdf[k-1] = P(X <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n < 1 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError::STooSmall);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against rounding leaving the last entry below 1.0.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -0.5).is_err());
+    }
+
+    #[test]
+    fn samples_stay_in_rank_range() {
+        let z = Zipf::new(1000, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&v), "rank {v} out of range");
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(10_000, 0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) <= 100.0).count() as f64 / n as f64;
+        // For s = 0.99, the top-100 ranks of 10k carry roughly half the mass.
+        assert!(hot > 0.35, "hot-rank mass {hot} too small for Zipf(0.99)");
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(100, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let mean = (0..n).map(|_| z.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 50.5).abs() < 1.0, "mean {mean}");
+    }
+}
