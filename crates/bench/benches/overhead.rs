@@ -6,7 +6,7 @@
 //! on the host CPU; the *ordering* (collection ≪ inference < training) and
 //! orders of magnitude are what must reproduce.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use kml_collect::RingBuffer;
 use kml_core::loss::{CrossEntropyLoss, TargetRef};
 use kml_core::matrix::Matrix;
@@ -108,7 +108,39 @@ fn bench_model_file(c: &mut Criterion) {
 
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(30);
+    // KML_BENCH_SAMPLES trims the per-benchmark sample count for CI smoke
+    // runs (default 30 matches the committed BENCH_baseline.json medians).
+    config = Criterion::default().sample_size(
+        std::env::var("KML_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30),
+    );
     targets = bench_collection, bench_inference, bench_training_iteration, bench_model_file
 }
-criterion_main!(benches);
+
+/// `criterion_main!` replacement that can also export the run for trend
+/// tracking: when `KML_BENCH_SNAPSHOT=<path>` is set, the medians are
+/// written there as JSON in the same `id → ns` shape `BENCH_baseline.json`
+/// uses, so a run is diffable against the committed pre-optimization
+/// baseline.
+fn main() {
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if !arg.starts_with('-') {
+            filter = Some(arg);
+        }
+    }
+    benches(filter.as_deref());
+    if let Ok(path) = std::env::var("KML_BENCH_SNAPSHOT") {
+        let mut json = String::from("{\n");
+        let all = criterion::summaries();
+        for (i, s) in all.iter().enumerate() {
+            let sep = if i + 1 == all.len() { "" } else { "," };
+            json.push_str(&format!("  \"{}\": {:.1}{}\n", s.id, s.median_ns, sep));
+        }
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("writing bench snapshot");
+        println!("bench snapshot written to {path}");
+    }
+}

@@ -21,9 +21,18 @@
 //! additionally writes machine-readable JSON-lines for table2, overheads,
 //! and dtree under `results/`.
 //!
+//! `--threads=N` (or the `KML_REPRO_THREADS` environment variable) sets the
+//! worker count for the embarrassingly-parallel sweeps (study cells, table2
+//! workload×device grid, dtree grid, figure2 repeats, rl, iosched). Every
+//! task builds its own simulator from a deterministic per-task seed and
+//! results are collected in task-index order, so emitted tables, CSV, and
+//! JSON-lines are byte-identical at any worker count (modulo wall-clock
+//! lines). Default: the machine's available parallelism.
+//!
 //! Unit conventions: durations are reported in ns, sizes in bytes.
 
 use kernel_sim::DeviceProfile;
+use kml_platform::threading;
 use kvstore::Workload;
 use readahead::closed_loop::{self, VANILLA_RA_KB};
 use readahead::model::{train_paper_model, LoopConfig, TrainedReadahead};
@@ -34,11 +43,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    if let Some(n) = parse_threads(&args) {
+        // Single knob: route the flag through the env var so library-level
+        // sweeps (ReadaheadStudy::run) see the same worker count.
+        std::env::set_var(threading::WORKERS_ENV, n.to_string());
+    }
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let _ = it.next(); // consume the flag's value
+            continue;
+        }
+        if !a.starts_with("--") {
+            positional.push(a.as_str());
+        }
+    }
+    let cmd = positional.first().copied().unwrap_or("all");
     let cfg = if quick {
         LoopConfig::quick()
     } else {
@@ -75,6 +96,19 @@ fn main() {
 }
 
 type DynResult = Result<(), Box<dyn std::error::Error>>;
+
+/// `--threads=N` or `--threads N` → `Some(N)` (N ≥ 1).
+fn parse_threads(args: &[String]) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+        if a == "--threads" {
+            return args.get(i + 1)?.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
 
 /// Trains once per process: `repro all` runs several experiments that all
 /// deploy the same (deterministic) models, so the result is shared.
@@ -113,39 +147,46 @@ fn cmd_iosched() -> DynResult {
     println!("## I/O-scheduler use case (§6 future work)\n");
     const REQUESTS: u64 = 4_096;
     const PATIENT_NS: u64 = 150_000;
-    let mut rows = Vec::new();
-    for workload in [
+    let workloads = [
         SchedWorkload::DependentRandom,
         SchedWorkload::MergeableBurst,
         SchedWorkload::Phased,
-    ] {
-        let run_static = |wait| {
-            let mut sched = IoScheduler::new(
-                DeviceProfile::sata_ssd(),
-                SchedulerConfig {
-                    batch_wait_ns: wait,
-                    max_batch: 256,
-                },
-            );
-            run_sched_workload(&mut sched, workload, REQUESTS, 11, |_, _, _| {})
-        };
-        let eager = run_static(0);
-        let patient = run_static(PATIENT_NS);
-        let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
-        let mut tuner = SchedTuner::train([0, PATIENT_NS], 5)?;
-        let tuned = run_sched_workload(&mut sched, workload, REQUESTS, 11, |s, req, now| {
-            tuner
-                .on_request(s, req, now)
-                .expect("tuner inference succeeds");
-        });
-        rows.push(vec![
-            workload.name().into(),
-            format!("{:.0}", eager.requests_per_sec),
-            format!("{:.0}", patient.requests_per_sec),
-            format!("{:.0}", tuned.requests_per_sec),
-            format!("{:.0} ns", tuned.mean_latency_ns),
-        ]);
-    }
+    ];
+    // Each traffic pattern trains and evaluates its own tuner — independent
+    // tasks, deterministic seeds, row order fixed by the workload list.
+    let results = threading::parallel_map(
+        &workloads,
+        threading::default_workers(),
+        |_, &workload| -> kml_core::Result<Vec<String>> {
+            let run_static = |wait| {
+                let mut sched = IoScheduler::new(
+                    DeviceProfile::sata_ssd(),
+                    SchedulerConfig {
+                        batch_wait_ns: wait,
+                        max_batch: 256,
+                    },
+                );
+                run_sched_workload(&mut sched, workload, REQUESTS, 11, |_, _, _| {})
+            };
+            let eager = run_static(0);
+            let patient = run_static(PATIENT_NS);
+            let mut sched = IoScheduler::new(DeviceProfile::sata_ssd(), SchedulerConfig::default());
+            let mut tuner = SchedTuner::train([0, PATIENT_NS], 5)?;
+            let tuned = run_sched_workload(&mut sched, workload, REQUESTS, 11, |s, req, now| {
+                tuner
+                    .on_request(s, req, now)
+                    .expect("tuner inference succeeds");
+            });
+            Ok(vec![
+                workload.name().into(),
+                format!("{:.0}", eager.requests_per_sec),
+                format!("{:.0}", patient.requests_per_sec),
+                format!("{:.0}", tuned.requests_per_sec),
+                format!("{:.0} ns", tuned.mean_latency_ns),
+            ])
+        },
+    );
+    let rows = results.into_iter().collect::<kml_core::Result<Vec<_>>>()?;
     println!(
         "{}",
         bench::render_table(
@@ -175,19 +216,27 @@ fn cmd_rl(cfg: &LoopConfig) -> DynResult {
     // The bandit needs windows to explore; give it a longer run.
     let mut rl_cfg = cfg.clone();
     rl_cfg.eval_ops = cfg.eval_ops * 3;
-    let mut rows = Vec::new();
+    let mut tasks = Vec::new();
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
         for workload in [Workload::ReadRandom, Workload::MixGraph] {
+            tasks.push((device, workload));
+        }
+    }
+    let results = threading::parallel_map(
+        &tasks,
+        threading::default_workers(),
+        |_, &(device, workload)| -> kml_core::Result<Vec<String>> {
             let vanilla = closed_loop::run_vanilla(workload, device, &rl_cfg);
             let (nn, _) = closed_loop::run_kml(workload, device, trained, &rl_cfg)?;
             let (bandit, _) = closed_loop::run_bandit(workload, device, &rl_cfg);
-            rows.push(vec![
+            Ok(vec![
                 format!("{}/{}", workload.name(), device.name),
                 format!("{:.2}x", nn.ops_per_sec / vanilla.ops_per_sec),
                 format!("{:.2}x", bandit.ops_per_sec / vanilla.ops_per_sec),
-            ]);
-        }
-    }
+            ])
+        },
+    );
+    let rows = results.into_iter().collect::<kml_core::Result<Vec<_>>>()?;
     println!(
         "{}",
         bench::render_table(&["workload/device", "supervised NN", "RL bandit"], &rows)
@@ -284,15 +333,30 @@ fn cmd_accuracy(cfg: &LoopConfig) -> DynResult {
 fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
     println!("## E3: Table 2 — KML readahead NN speedups\n");
     let trained = trained_model(cfg)?;
+    // One independent closed-loop comparison per (workload, device) cell,
+    // fanned out across the worker pool; results come back in grid order so
+    // the table and JSON-lines match a sequential run byte for byte.
+    let mut tasks = Vec::new();
+    for workload in Workload::all() {
+        for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
+            tasks.push((workload, device));
+        }
+    }
+    let outcomes = threading::parallel_map(
+        &tasks,
+        threading::default_workers(),
+        |_, &(workload, device)| closed_loop::compare(workload, device, trained, cfg),
+    );
     let mut rows = Vec::new();
     let mut nvme_speedups = Vec::new();
     let mut ssd_speedups = Vec::new();
     let mut json_lines = String::new();
+    let mut grid = outcomes.into_iter();
     for workload in Workload::all() {
         let mut row = vec![workload.name().to_string()];
         let mut cells = Vec::new();
         for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
-            let outcome = closed_loop::compare(workload, device, trained, cfg)?;
+            let outcome = grid.next().expect("one outcome per grid cell")?;
             row.push(format!("{:.2}x", outcome.speedup));
             cells.push(outcome.speedup);
             if device.name == "nvme" {
@@ -343,13 +407,18 @@ fn cmd_figure2(cfg: &LoopConfig) -> DynResult {
     // The paper runs the benchmark 15 times and averages; we run a smaller
     // ensemble at quick scale.
     let repeats = if cfg.eval_ops <= 10_000 { 3 } else { 5 };
-    let mut all_rows = Vec::new();
-    let mut speedups = Vec::new();
-    for rep in 0..repeats {
+    // Ensemble members are independent runs seeded by repeat index; run them
+    // concurrently and keep CSV rows grouped by repeat, as sequentially.
+    let reps: Vec<usize> = (0..repeats).collect();
+    let outcomes = threading::parallel_map(&reps, threading::default_workers(), |_, &rep| {
         let mut run_cfg = cfg.clone();
         run_cfg.seed = cfg.seed + rep as u64;
-        let outcome =
-            closed_loop::compare(Workload::MixGraph, DeviceProfile::nvme(), trained, &run_cfg)?;
+        closed_loop::compare(Workload::MixGraph, DeviceProfile::nvme(), trained, &run_cfg)
+    });
+    let mut all_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (rep, outcome) in outcomes.into_iter().enumerate() {
+        let outcome = outcome?;
         speedups.push(outcome.speedup);
         for p in &outcome.timeline {
             all_rows.push(vec![
@@ -389,14 +458,27 @@ fn cmd_dtree(cfg: &LoopConfig, json: bool) -> DynResult {
     let mut dt_means = Vec::new();
     let mut json_lines = String::new();
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
+        // vanilla / NN / tree triples per workload are independent cells.
+        let workloads = Workload::all();
+        let triples = threading::parallel_map(
+            &workloads,
+            threading::default_workers(),
+            |_, &workload| -> kml_core::Result<(f64, f64)> {
+                let vanilla = closed_loop::run_vanilla(workload, device, cfg);
+                let (nn, _) = closed_loop::run_kml(workload, device, trained, cfg)?;
+                let (dt, _) = closed_loop::run_kml_tree(workload, device, trained, cfg)?;
+                Ok((
+                    nn.ops_per_sec / vanilla.ops_per_sec,
+                    dt.ops_per_sec / vanilla.ops_per_sec,
+                ))
+            },
+        );
         let mut nn_speedups = Vec::new();
         let mut dt_speedups = Vec::new();
-        for workload in Workload::all() {
-            let vanilla = closed_loop::run_vanilla(workload, device, cfg);
-            let (nn, _) = closed_loop::run_kml(workload, device, trained, cfg)?;
-            let (dt, _) = closed_loop::run_kml_tree(workload, device, trained, cfg)?;
-            nn_speedups.push(nn.ops_per_sec / vanilla.ops_per_sec);
-            dt_speedups.push(dt.ops_per_sec / vanilla.ops_per_sec);
+        for triple in triples {
+            let (nn, dt) = triple?;
+            nn_speedups.push(nn);
+            dt_speedups.push(dt);
         }
         let nn_mean = bench::geometric_mean(&nn_speedups);
         let dt_mean = bench::geometric_mean(&dt_speedups);
@@ -528,8 +610,13 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             "3916 bytes".into(),
         ],
         vec![
-            "inference scratch memory".into(),
+            "inference scratch memory (analytic)".into(),
             format!("{} bytes", network.inference_scratch_bytes()),
+            "676 bytes".into(),
+        ],
+        vec![
+            "inference scratch memory (measured arena high-water)".into(),
+            format!("{} bytes", network.measured_scratch_bytes()),
             "676 bytes".into(),
         ],
     ];
@@ -579,6 +666,11 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             (
                 "inference_scratch_memory",
                 network.inference_scratch_bytes() as f64,
+                "bytes",
+            ),
+            (
+                "measured_scratch_high_water",
+                network.measured_scratch_bytes() as f64,
                 "bytes",
             ),
         ] {

@@ -7,7 +7,7 @@
 //! readahead that get evicted untouched are counted as **wasted prefetch**
 //! — the quantity bad readahead tuning inflates.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 /// Key of a cached page: (inode number, page index within the file).
 pub type PageKey = (u64, u64);
@@ -59,7 +59,10 @@ pub struct CacheStats {
 #[derive(Debug)]
 pub struct PageCache {
     capacity: usize,
-    map: HashMap<PageKey, usize>,
+    /// Resident-page index. FxHash instead of the default SipHash: the key
+    /// is hashed once per simulated I/O, keys are internal (no HashDoS
+    /// surface), and Fx is seedless, keeping runs bit-reproducible.
+    map: FxHashMap<PageKey, usize>,
     entries: Vec<Entry>,
     free: Vec<usize>,
     /// Most recently used entry.
@@ -80,7 +83,7 @@ impl PageCache {
         assert!(capacity > 0, "page cache capacity must be positive");
         PageCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             entries: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,

@@ -49,6 +49,7 @@
 
 pub mod cache;
 pub mod device;
+pub mod fxhash;
 pub mod readahead;
 pub mod sim;
 pub mod trace;

@@ -12,6 +12,7 @@
 use crate::layers::{Layer, ParamGrad};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
+use crate::scratch::ScratchArena;
 use crate::{KmlError, Result};
 
 /// Identifier of a node within a [`Graph`].
@@ -60,8 +61,14 @@ impl<S: Scalar> std::fmt::Debug for Node<S> {
 pub struct Graph<S: Scalar> {
     nodes: Vec<Node<S>>,
     output: Option<NodeId>,
-    /// Cached per-node gradient accumulators from the last backward pass.
-    last_outputs: Vec<Option<Matrix<S>>>,
+    /// Per-node activation buffers (slot `i` holds node `i`'s output),
+    /// sized on the first forward pass and reused allocation-free after.
+    acts: ScratchArena<S>,
+    /// Per-node gradient buffers: slots `0..n` mirror the nodes, slot `n`
+    /// holds the graph-input gradient, slot `n+1` stages fan-out sums.
+    grads: ScratchArena<S>,
+    /// Which gradient slots were produced during the current backward scan.
+    grad_set: Vec<bool>,
 }
 
 impl<S: Scalar> std::fmt::Debug for Graph<S> {
@@ -79,7 +86,9 @@ impl<S: Scalar> Graph<S> {
         Graph {
             nodes: Vec::new(),
             output: None,
-            last_outputs: Vec::new(),
+            acts: ScratchArena::new(),
+            grads: ScratchArena::new(),
+            grad_set: Vec::new(),
         }
     }
 
@@ -96,7 +105,6 @@ impl<S: Scalar> Graph<S> {
             ));
         }
         self.nodes.push(Node { layer, input: None });
-        self.last_outputs.push(None);
         Ok(NodeId(self.nodes.len() - 1))
     }
 
@@ -116,7 +124,6 @@ impl<S: Scalar> Graph<S> {
             layer,
             input: Some(input),
         });
-        self.last_outputs.push(None);
         Ok(NodeId(self.nodes.len() - 1))
     }
 
@@ -160,36 +167,45 @@ impl<S: Scalar> Graph<S> {
     }
 
     /// Forward propagation: feeds `input` to the source node and returns the
-    /// output node's activation.
+    /// output node's activation (cloned out of the internal scratch arena).
     ///
     /// # Errors
     ///
     /// Returns [`KmlError::InvalidConfig`] if the graph is empty or no output
     /// was declared, plus any shape error from the layers.
     pub fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
+        Ok(self.forward_in_place(input)?.clone())
+    }
+
+    /// Forward propagation through arena-backed activation buffers. After a
+    /// warm-up pass with a given batch shape, subsequent calls perform
+    /// **zero heap allocations**; the returned reference points into the
+    /// arena slot of the output node.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::forward`].
+    pub fn forward_in_place(&mut self, input: &Matrix<S>) -> Result<&Matrix<S>> {
         let output = self
             .output
             .ok_or_else(|| KmlError::InvalidConfig("graph has no output node declared".into()))?;
+        self.acts.ensure_slots(self.nodes.len());
+        // Nodes are appended in topological order, so a plain scan visits
+        // every producer before its consumers (src slot index < node index).
         for i in 0..self.nodes.len() {
-            let fed: Matrix<S> = match self.nodes[i].input {
-                None => input.clone(),
-                Some(src) => self.last_outputs[src.0]
-                    .as_ref()
-                    .ok_or_else(|| {
-                        KmlError::InvalidConfig(format!(
-                            "node {} consumed before production",
-                            src.0
-                        ))
-                    })?
-                    .clone(),
-            };
-            let out = self.nodes[i].layer.forward(&fed)?;
-            self.last_outputs[i] = Some(out);
+            match self.nodes[i].input {
+                None => {
+                    let out = self.acts.slot_mut(i);
+                    self.nodes[i].layer.forward_into(input, out)?;
+                }
+                Some(src) => {
+                    let (fed, out) = self.acts.read_write_pair(src.0, i);
+                    self.nodes[i].layer.forward_into(fed, out)?;
+                }
+            }
         }
-        Ok(self.last_outputs[output.0]
-            .as_ref()
-            .expect("output node was computed in the scan")
-            .clone())
+        self.acts.refresh_high_water();
+        Ok(self.acts.slot(output.0))
     }
 
     /// Backward propagation from `grad_output` (∂L/∂output of the graph);
@@ -200,33 +216,74 @@ impl<S: Scalar> Graph<S> {
     ///
     /// Returns [`KmlError::InvalidConfig`] if called before [`Graph::forward`].
     pub fn backward(&mut self, grad_output: &Matrix<S>) -> Result<Matrix<S>> {
+        Ok(self.backward_in_place(grad_output)?.clone())
+    }
+
+    /// Backward propagation through arena-backed gradient buffers —
+    /// allocation-free in steady state, like [`Graph::forward_in_place`].
+    /// The returned reference points into the arena slot holding ∂L/∂input.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Graph::backward`].
+    pub fn backward_in_place(&mut self, grad_output: &Matrix<S>) -> Result<&Matrix<S>> {
         let output = self
             .output
             .ok_or_else(|| KmlError::InvalidConfig("graph has no output node declared".into()))?;
-        let mut grads: Vec<Option<Matrix<S>>> = vec![None; self.nodes.len()];
-        grads[output.0] = Some(grad_output.clone());
-        let mut input_grad: Option<Matrix<S>> = None;
+        let n = self.nodes.len();
+        self.grads.ensure_slots(n + 2);
+        self.grad_set.clear();
+        self.grad_set.resize(n + 1, false);
+        self.grads.slot_mut(output.0).copy_from(grad_output);
+        self.grad_set[output.0] = true;
 
-        for i in (0..self.nodes.len()).rev() {
-            let Some(gout) = grads[i].take() else {
+        for i in (0..n).rev() {
+            if !self.grad_set[i] {
                 continue; // node not on a path to the output
-            };
-            let gin = self.nodes[i].layer.backward(&gout)?;
+            }
             match self.nodes[i].input {
-                Some(src) => match &mut grads[src.0] {
-                    // Fan-out point: sum gradients from all consumers.
-                    Some(acc) => *acc = acc.add(&gin)?,
-                    slot @ None => *slot = Some(gin),
-                },
+                // Fan-out point: a consumer already wrote this producer's
+                // slot, so stage into the spare slot and accumulate.
+                Some(src) if self.grad_set[src.0] => {
+                    let (gout, staged) = self.grads.read_write_pair(i, n + 1);
+                    self.nodes[i].layer.backward_into(gout, staged)?;
+                    let (acc, staged) = self.grads.write_read_pair(src.0, n + 1);
+                    acc.axpy_in_place(staged, S::ONE)?;
+                }
+                Some(src) => {
+                    let (gin, gout) = self.grads.write_read_pair(src.0, i);
+                    self.nodes[i].layer.backward_into(gout, gin)?;
+                    self.grad_set[src.0] = true;
+                }
+                // The single source node writes the graph-input gradient.
                 None => {
-                    input_grad = Some(match input_grad.take() {
-                        Some(acc) => acc.add(&gin)?,
-                        None => gin,
-                    })
+                    let (gout, gin) = self.grads.read_write_pair(i, n);
+                    self.nodes[i].layer.backward_into(gout, gin)?;
+                    self.grad_set[n] = true;
                 }
             }
         }
-        input_grad.ok_or_else(|| KmlError::InvalidConfig("backward called before forward".into()))
+        self.grads.refresh_high_water();
+        if !self.grad_set[n] {
+            return Err(KmlError::InvalidConfig(
+                "backward called before forward".into(),
+            ));
+        }
+        Ok(self.grads.slot(n))
+    }
+
+    /// High-water mark of the forward/backward scratch arenas in bytes —
+    /// the measured analogue of the paper's 676 B inference-scratch claim
+    /// (compare [`crate::model::Model::inference_scratch_bytes`], which is
+    /// derived analytically from the topology).
+    pub fn scratch_high_water_bytes(&self) -> usize {
+        self.acts.high_water_bytes() + self.grads.high_water_bytes()
+    }
+
+    /// Bytes of forward-state scratch held inside the layers themselves
+    /// (cached activations and derivative staging buffers).
+    pub fn layer_scratch_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.layer.scratch_bytes()).sum()
     }
 
     /// All parameter/gradient slots across the graph, in node order.

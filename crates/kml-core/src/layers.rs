@@ -105,6 +105,40 @@ pub trait Layer<S: Scalar>: std::fmt::Debug + Send + Sync {
     /// [`KmlError::ShapeMismatch`] if `grad_out` has the wrong shape.
     fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>>;
 
+    /// Forward propagation into a caller-provided scratch buffer (`out` is
+    /// reshaped as needed). The default falls back to the allocating
+    /// [`Layer::forward`]; the built-in layers override this with a
+    /// zero-allocation implementation, which is the path
+    /// [`crate::graph::Graph::forward_in_place`] drives.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::forward`].
+    fn forward_into(&mut self, input: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        let y = self.forward(input)?;
+        out.copy_from(&y);
+        Ok(())
+    }
+
+    /// Backward propagation into a caller-provided scratch buffer for
+    /// `∂L/∂input`. Default falls back to the allocating [`Layer::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::backward`].
+    fn backward_into(&mut self, grad_out: &Matrix<S>, grad_in: &mut Matrix<S>) -> Result<()> {
+        let g = self.backward(grad_out)?;
+        grad_in.copy_from(&g);
+        Ok(())
+    }
+
+    /// Bytes of forward-state scratch this layer keeps resident between
+    /// passes (cached activations, derivative staging) — counted into the
+    /// measured scratch footprint alongside the graph's arena.
+    fn scratch_bytes(&self) -> usize {
+        0
+    }
+
     /// Parameter/gradient slots for the optimizer (empty for activations).
     fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
         Vec::new()
@@ -142,13 +176,17 @@ pub trait Layer<S: Scalar>: std::fmt::Debug + Send + Sync {
 }
 
 /// Fully connected layer: `y = x·W + b` with `W: in×out`, `b: 1×out`.
+///
+/// The forward input is cached in a persistent buffer (not a fresh clone per
+/// call), so steady-state forward/backward passes allocate nothing.
 #[derive(Debug, Clone)]
 pub struct Linear<S: Scalar> {
     weights: Matrix<S>,
     bias: Matrix<S>,
     grad_w: Matrix<S>,
     grad_b: Matrix<S>,
-    cached_input: Option<Matrix<S>>,
+    cached_input: Matrix<S>,
+    has_input: bool,
 }
 
 impl<S: Scalar> Linear<S> {
@@ -159,7 +197,8 @@ impl<S: Scalar> Linear<S> {
             bias: Matrix::zeros(1, out_dim),
             grad_w: Matrix::zeros(in_dim, out_dim),
             grad_b: Matrix::zeros(1, out_dim),
-            cached_input: None,
+            cached_input: Matrix::zeros(0, 0),
+            has_input: false,
         }
     }
 
@@ -184,7 +223,8 @@ impl<S: Scalar> Linear<S> {
             bias,
             grad_w: Matrix::zeros(in_dim, out_dim),
             grad_b: Matrix::zeros(1, out_dim),
-            cached_input: None,
+            cached_input: Matrix::zeros(0, 0),
+            has_input: false,
         })
     }
 
@@ -215,19 +255,40 @@ impl<S: Scalar> Layer<S> for Linear<S> {
     }
 
     fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
-        let out = input.matmul(&self.weights)?.add_row_broadcast(&self.bias)?;
-        self.cached_input = Some(input.clone());
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
-        let input = self.cached_input.as_ref().ok_or_else(|| {
-            KmlError::InvalidConfig("backward called before forward on linear layer".into())
-        })?;
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in)?;
+        Ok(grad_in)
+    }
+
+    fn forward_into(&mut self, input: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        input.matmul_into(&self.weights, out)?;
+        out.add_row_broadcast_in_place(&self.bias)?;
+        self.cached_input.copy_from(input);
+        self.has_input = true;
+        Ok(())
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix<S>, grad_in: &mut Matrix<S>) -> Result<()> {
+        if !self.has_input {
+            return Err(KmlError::InvalidConfig(
+                "backward called before forward on linear layer".into(),
+            ));
+        }
         // dW = xᵀ · dy ; db = column sums of dy ; dx = dy · Wᵀ
-        self.grad_w = input.transpose_matmul(grad_out)?;
-        self.grad_b = grad_out.sum_rows();
-        grad_out.matmul_transpose(&self.weights)
+        self.cached_input
+            .transpose_matmul_into(grad_out, &mut self.grad_w)?;
+        grad_out.sum_rows_into(&mut self.grad_b);
+        grad_out.matmul_transpose_into(&self.weights, grad_in)
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.cached_input.storage_bytes()
     }
 
     fn param_grads(&mut self) -> Vec<ParamGrad<'_, S>> {
@@ -281,11 +342,16 @@ pub enum Activation {
 }
 
 /// Element-wise activation layer (sigmoid / ReLU / tanh).
+///
+/// The backward-pass operand (output for sigmoid/tanh, input for ReLU) is
+/// kept in a persistent buffer reused across passes, plus a staging buffer
+/// for the derivative — no allocation in steady state.
 #[derive(Debug, Clone)]
 pub struct ActivationLayer<S: Scalar> {
     activation: Activation,
-    cached_output: Option<Matrix<S>>,
-    cached_input: Option<Matrix<S>>,
+    cache: Matrix<S>,
+    deriv: Matrix<S>,
+    has_cache: bool,
 }
 
 impl<S: Scalar> ActivationLayer<S> {
@@ -293,8 +359,9 @@ impl<S: Scalar> ActivationLayer<S> {
     pub fn new(activation: Activation) -> Self {
         ActivationLayer {
             activation,
-            cached_output: None,
-            cached_input: None,
+            cache: Matrix::zeros(0, 0),
+            deriv: Matrix::zeros(0, 0),
+            has_cache: false,
         }
     }
 
@@ -314,46 +381,66 @@ impl<S: Scalar> Layer<S> for ActivationLayer<S> {
     }
 
     fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
-        let out = match self.activation {
-            Activation::Sigmoid => input.map(Scalar::sigmoid),
-            Activation::Relu => input.map(Scalar::relu),
-            Activation::Tanh => input.map(Scalar::tanh),
-        };
-        if self.activation == Activation::Relu {
-            self.cached_input = Some(input.clone());
-        } else {
-            self.cached_output = Some(out.clone());
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in)?;
+        Ok(grad_in)
+    }
+
+    fn forward_into(&mut self, input: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         match self.activation {
-            // σ' = σ(1-σ), computed from the cached output.
-            Activation::Sigmoid => {
-                let s = self.cached_output.as_ref().ok_or_else(|| {
-                    KmlError::InvalidConfig("backward before forward on sigmoid".into())
-                })?;
-                let deriv = s.map(|v| v.mul(S::ONE.sub(v)));
-                grad_out.hadamard(&deriv)
-            }
+            Activation::Sigmoid => input.map_into(out, Scalar::sigmoid),
+            Activation::Relu => input.map_into(out, Scalar::relu),
+            Activation::Tanh => input.map_into(out, Scalar::tanh),
+        }
+        // ReLU differentiates from its input, sigmoid/tanh from their output.
+        if self.activation == Activation::Relu {
+            self.cache.copy_from(input);
+        } else {
+            self.cache.copy_from(out);
+        }
+        self.has_cache = true;
+        Ok(())
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix<S>, grad_in: &mut Matrix<S>) -> Result<()> {
+        if !self.has_cache {
+            let name = match self.activation {
+                Activation::Sigmoid => "sigmoid",
+                Activation::Relu => "relu",
+                Activation::Tanh => "tanh",
+            };
+            return Err(KmlError::InvalidConfig(format!(
+                "backward before forward on {name}"
+            )));
+        }
+        match self.activation {
+            // σ' = σ(1-σ), from the cached output.
+            Activation::Sigmoid => self
+                .cache
+                .map_into(&mut self.deriv, |v| v.mul(S::ONE.sub(v))),
             // tanh' = 1 - tanh², from the cached output.
-            Activation::Tanh => {
-                let t = self.cached_output.as_ref().ok_or_else(|| {
-                    KmlError::InvalidConfig("backward before forward on tanh".into())
-                })?;
-                let deriv = t.map(|v| S::ONE.sub(v.mul(v)));
-                grad_out.hadamard(&deriv)
-            }
+            Activation::Tanh => self
+                .cache
+                .map_into(&mut self.deriv, |v| S::ONE.sub(v.mul(v))),
             // relu' = 1 for x > 0 else 0, from the cached input.
             Activation::Relu => {
-                let x = self.cached_input.as_ref().ok_or_else(|| {
-                    KmlError::InvalidConfig("backward before forward on relu".into())
-                })?;
-                let deriv = x.map(|v| if v > S::ZERO { S::ONE } else { S::ZERO });
-                grad_out.hadamard(&deriv)
+                self.cache.map_into(
+                    &mut self.deriv,
+                    |v| if v > S::ZERO { S::ONE } else { S::ZERO },
+                )
             }
         }
+        grad_out.hadamard_into(&self.deriv, grad_in)
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.cache.storage_bytes() + self.deriv.storage_bytes()
     }
 
     fn output_dim(&self, input_dim: usize) -> Option<usize> {
@@ -366,16 +453,26 @@ impl<S: Scalar> Layer<S> for ActivationLayer<S> {
 /// Usually the final [`crate::loss::CrossEntropyLoss`] fuses softmax with the
 /// loss for numerical stability; this standalone layer exists for inference
 /// pipelines that want calibrated probabilities out of the graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SoftmaxLayer<S: Scalar> {
-    cached_output: Option<Matrix<S>>,
+    cached_output: Matrix<S>,
+    has_output: bool,
+    row_buf: Vec<f64>,
+}
+
+impl<S: Scalar> Default for SoftmaxLayer<S> {
+    fn default() -> Self {
+        SoftmaxLayer::new()
+    }
 }
 
 impl<S: Scalar> SoftmaxLayer<S> {
     /// Creates a softmax layer.
     pub fn new() -> Self {
         SoftmaxLayer {
-            cached_output: None,
+            cached_output: Matrix::zeros(0, 0),
+            has_output: false,
+            row_buf: Vec::new(),
         }
     }
 }
@@ -386,24 +483,40 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
     }
 
     fn forward(&mut self, input: &Matrix<S>) -> Result<Matrix<S>> {
-        let mut out = input.clone();
-        let cols = out.cols();
-        for r in 0..out.rows() {
-            let mut row: Vec<f64> = out.row(r).iter().map(|v| v.to_f64()).collect();
-            crate::math::softmax_in_place(&mut row);
-            for (c, v) in row.iter().enumerate().take(cols) {
-                out.set(r, c, S::from_f64(*v));
-            }
-        }
-        self.cached_output = Some(out.clone());
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(input, &mut out)?;
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Matrix<S>) -> Result<Matrix<S>> {
-        let s = self
-            .cached_output
-            .as_ref()
-            .ok_or_else(|| KmlError::InvalidConfig("backward before forward on softmax".into()))?;
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in)?;
+        Ok(grad_in)
+    }
+
+    fn forward_into(&mut self, input: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        let (rows, cols) = input.shape();
+        out.ensure_shape(rows, cols);
+        for r in 0..rows {
+            self.row_buf.clear();
+            self.row_buf.extend(input.row(r).iter().map(|v| v.to_f64()));
+            crate::math::softmax_in_place(&mut self.row_buf);
+            for (c, v) in self.row_buf.iter().enumerate() {
+                out.set(r, c, S::from_f64(*v));
+            }
+        }
+        self.cached_output.copy_from(out);
+        self.has_output = true;
+        Ok(())
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix<S>, grad_in: &mut Matrix<S>) -> Result<()> {
+        if !self.has_output {
+            return Err(KmlError::InvalidConfig(
+                "backward before forward on softmax".into(),
+            ));
+        }
+        let s = &self.cached_output;
         if s.shape() != grad_out.shape() {
             return Err(KmlError::ShapeMismatch {
                 op: "softmax backward",
@@ -412,7 +525,7 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
             });
         }
         // Jacobian-vector product per row: dx = s ⊙ (dy − (dy·s)·1)
-        let mut out = Matrix::zeros(s.rows(), s.cols());
+        grad_in.ensure_shape(s.rows(), s.cols());
         for r in 0..s.rows() {
             let srow = s.row(r);
             let gyrow = grad_out.row(r);
@@ -423,10 +536,14 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
                 .sum();
             for c in 0..s.cols() {
                 let v = srow[c].to_f64() * (gyrow[c].to_f64() - dot);
-                out.set(r, c, S::from_f64(v));
+                grad_in.set(r, c, S::from_f64(v));
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.cached_output.storage_bytes() + self.row_buf.capacity() * std::mem::size_of::<f64>()
     }
 
     fn output_dim(&self, input_dim: usize) -> Option<usize> {

@@ -21,6 +21,8 @@
 //!   loss functions with gradients.
 //! - [`graph`] — the computation DAG traversed for inference and reverse-mode
 //!   automatic differentiation (back-propagation).
+//! - [`scratch`] — the [`scratch::ScratchArena`] of reusable buffers behind
+//!   the allocation-free steady-state inference/training hot path.
 //! - [`optimizer`] — stochastic gradient descent with momentum.
 //! - [`model`] — the high-level sequential model: build, train, infer,
 //!   save/load in the KML binary model-file format ([`modelfile`]).
@@ -77,6 +79,7 @@ pub mod optimizer;
 pub mod quant;
 pub mod recurrent;
 pub mod scalar;
+pub mod scratch;
 pub mod validate;
 
 /// Convenient re-exports of the most commonly used items.

@@ -39,6 +39,25 @@ pub trait Loss: std::fmt::Debug {
     ///
     /// Same conditions as [`Loss::loss`].
     fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>>;
+
+    /// Writes the gradient of the mean loss into `out` (reshaped to match
+    /// `pred`), reusing `out`'s buffer when its capacity already suffices.
+    /// The built-in losses override this to fill `out` directly so the
+    /// training hot path stays allocation-free in steady state; the default
+    /// delegates to [`Loss::grad`] for external implementations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::loss`].
+    fn grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        out.copy_from(&self.grad(pred, target)?);
+        Ok(())
+    }
 }
 
 fn classes_for<'a>(
@@ -123,18 +142,31 @@ impl Loss for CrossEntropyLoss {
     }
 
     fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(0, 0);
+        self.grad_into(pred, target, &mut out)?;
+        Ok(out)
+    }
+
+    fn grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
         let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
         let n = pred.rows() as f64;
-        let mut out = Matrix::zeros(pred.rows(), pred.cols());
+        out.ensure_shape(pred.rows(), pred.cols());
+        let mut row: Vec<f64> = Vec::with_capacity(pred.cols());
         for (r, &c) in classes.iter().enumerate() {
-            let mut row: Vec<f64> = pred.row(r).iter().map(|v| v.to_f64()).collect();
+            row.clear();
+            row.extend(pred.row(r).iter().map(|v| v.to_f64()));
             crate::math::softmax_in_place(&mut row);
             for (j, &s) in row.iter().enumerate() {
                 let g = (s - if j == c { 1.0 } else { 0.0 }) / n;
                 out.set(r, j, S::from_f64(g));
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -162,15 +194,28 @@ impl Loss for MseLoss {
     }
 
     fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(0, 0);
+        self.grad_into(pred, target, &mut out)?;
+        Ok(out)
+    }
+
+    fn grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
         let vs = values_for(pred.len(), target, "mse")?;
         let n = pred.len() as f64;
-        let data: Vec<f64> = pred
-            .as_slice()
-            .iter()
-            .zip(vs)
-            .map(|(&p, &t)| 2.0 * (p.to_f64() - t) / n)
-            .collect();
-        Matrix::from_f64_vec(pred.rows(), pred.cols(), &data)
+        out.ensure_shape(pred.rows(), pred.cols());
+        for (o, (&p, &t)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice().iter().zip(vs))
+        {
+            *o = S::from_f64(2.0 * (p.to_f64() - t) / n);
+        }
+        Ok(())
     }
 }
 
@@ -201,15 +246,28 @@ impl Loss for BceLoss {
     }
 
     fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(0, 0);
+        self.grad_into(pred, target, &mut out)?;
+        Ok(out)
+    }
+
+    fn grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
         let vs = values_for(pred.len(), target, "bce")?;
         let n = pred.len() as f64;
-        let data: Vec<f64> = pred
-            .as_slice()
-            .iter()
-            .zip(vs)
-            .map(|(&p, &y)| (crate::math::sigmoid(p.to_f64()) - y) / n)
-            .collect();
-        Matrix::from_f64_vec(pred.rows(), pred.cols(), &data)
+        out.ensure_shape(pred.rows(), pred.cols());
+        for (o, (&p, &y)) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(pred.as_slice().iter().zip(vs))
+        {
+            *o = S::from_f64((crate::math::sigmoid(p.to_f64()) - y) / n);
+        }
+        Ok(())
     }
 }
 

@@ -193,12 +193,73 @@ impl<S: Scalar> Matrix<S> {
         &mut self.data
     }
 
+    /// Reshapes to `rows × cols`, reusing the existing element buffer.
+    ///
+    /// Grows the buffer only if its capacity is insufficient; in steady
+    /// state (same shape, or any shape seen before on this buffer) this
+    /// performs **no heap allocation**. New elements are zeroed; old
+    /// contents are not preserved in any meaningful layout.
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        if self.data.len() != need {
+            self.data.clear();
+            self.data.resize(need, S::ZERO);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Copies `src` into `self`, reshaping as needed (allocation-free once
+    /// `self`'s buffer capacity covers `src.len()`).
+    pub fn copy_from(&mut self, src: &Matrix<S>) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: S) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+
+    /// `orow[j] += a * rrow[j]`, 4-way unrolled for the row-major hot loop.
+    #[inline]
+    fn axpy_row(orow: &mut [S], rrow: &[S], a: S) {
+        let mut oc = orow.chunks_exact_mut(4);
+        let mut rc = rrow.chunks_exact(4);
+        for (o4, b4) in (&mut oc).zip(&mut rc) {
+            o4[0] = o4[0].mul_acc(a, b4[0]);
+            o4[1] = o4[1].mul_acc(a, b4[1]);
+            o4[2] = o4[2].mul_acc(a, b4[2]);
+            o4[3] = o4[3].mul_acc(a, b4[3]);
+        }
+        for (o, &b) in oc.into_remainder().iter_mut().zip(rc.remainder()) {
+            *o = o.mul_acc(a, b);
+        }
+    }
+
     /// Matrix product `self · rhs`.
     ///
     /// # Errors
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut out: Matrix<S> = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self · rhs` written into `out` (reshaped as needed).
+    ///
+    /// Allocation-free once `out`'s buffer has capacity for the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(KmlError::ShapeMismatch {
                 op: "matmul",
@@ -206,7 +267,8 @@ impl<S: Scalar> Matrix<S> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out: Matrix<S> = Matrix::zeros(self.rows, rhs.cols);
+        out.ensure_shape(self.rows, rhs.cols);
+        out.fill(S::ZERO);
         // i-k-j loop order: streams through rhs rows, cache-friendly for
         // row-major layout (the kernels the paper hand-optimizes).
         for i in 0..self.rows {
@@ -217,12 +279,10 @@ impl<S: Scalar> Matrix<S> {
                 }
                 let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(rrow) {
-                    *o = o.mul_acc(a, b);
-                }
+                Self::axpy_row(orow, rrow, a);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self · rhsᵀ` without materializing the transpose (back-prop kernel).
@@ -231,6 +291,17 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.cols`.
     pub fn matmul_transpose(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `self · rhsᵀ` written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.cols`.
+    pub fn matmul_transpose_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         if self.cols != rhs.cols {
             return Err(KmlError::ShapeMismatch {
                 op: "matmul_transpose",
@@ -238,19 +309,36 @@ impl<S: Scalar> Matrix<S> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        out.ensure_shape(self.rows, rhs.rows);
         for i in 0..self.rows {
             let arow = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
                 let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = S::ZERO;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc = acc.mul_acc(a, b);
-                }
-                out.data[i * rhs.rows + j] = acc;
+                out.data[i * rhs.rows + j] = Self::dot(arow, brow);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Dot product with four independent accumulators (keeps the FPU/fixed
+    /// pipeline busy; integer adds are associative, float drift is within
+    /// the tolerances every consumer of these kernels already uses).
+    #[inline]
+    fn dot(arow: &[S], brow: &[S]) -> S {
+        let mut acc = [S::ZERO; 4];
+        let mut ac = arow.chunks_exact(4);
+        let mut bc = brow.chunks_exact(4);
+        for (a4, b4) in (&mut ac).zip(&mut bc) {
+            acc[0] = acc[0].mul_acc(a4[0], b4[0]);
+            acc[1] = acc[1].mul_acc(a4[1], b4[1]);
+            acc[2] = acc[2].mul_acc(a4[2], b4[2]);
+            acc[3] = acc[3].mul_acc(a4[3], b4[3]);
+        }
+        let mut tail = S::ZERO;
+        for (&a, &b) in ac.remainder().iter().zip(bc.remainder()) {
+            tail = tail.mul_acc(a, b);
+        }
+        acc[0].add(acc[1]).add(acc[2].add(acc[3])).add(tail)
     }
 
     /// `selfᵀ · rhs` without materializing the transpose (gradient kernel).
@@ -259,6 +347,17 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `self.rows == rhs.rows`.
     pub fn transpose_matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut out: Matrix<S> = Matrix::zeros(self.cols, rhs.cols);
+        self.transpose_matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ · rhs` written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.rows == rhs.rows`.
+    pub fn transpose_matmul_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         if self.rows != rhs.rows {
             return Err(KmlError::ShapeMismatch {
                 op: "transpose_matmul",
@@ -266,7 +365,8 @@ impl<S: Scalar> Matrix<S> {
                 rhs: rhs.shape(),
             });
         }
-        let mut out: Matrix<S> = Matrix::zeros(self.cols, rhs.cols);
+        out.ensure_shape(self.cols, rhs.cols);
+        out.fill(S::ZERO);
         for k in 0..self.rows {
             let arow = &self.data[k * self.cols..(k + 1) * self.cols];
             let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
@@ -275,12 +375,10 @@ impl<S: Scalar> Matrix<S> {
                     continue;
                 }
                 let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o = o.mul_acc(a, b);
-                }
+                Self::axpy_row(orow, brow, a);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Explicit transpose.
@@ -303,6 +401,15 @@ impl<S: Scalar> Matrix<S> {
         self.zip_with(rhs, "add", S::add)
     }
 
+    /// Element-wise sum written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn add_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        self.zip_with_into(rhs, out, "add", S::add)
+    }
+
     /// Element-wise difference.
     ///
     /// # Errors
@@ -310,6 +417,15 @@ impl<S: Scalar> Matrix<S> {
     /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
     pub fn sub(&self, rhs: &Matrix<S>) -> Result<Matrix<S>> {
         self.zip_with(rhs, "sub", S::sub)
+    }
+
+    /// Element-wise difference written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn sub_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        self.zip_with_into(rhs, out, "sub", S::sub)
     }
 
     /// Element-wise (Hadamard) product.
@@ -321,12 +437,32 @@ impl<S: Scalar> Matrix<S> {
         self.zip_with(rhs, "hadamard", S::mul)
     }
 
+    /// Element-wise (Hadamard) product written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless shapes match.
+    pub fn hadamard_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        self.zip_with_into(rhs, out, "hadamard", S::mul)
+    }
+
     /// Adds a 1×cols row vector to every row (bias broadcast).
     ///
     /// # Errors
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `bias` is `1 × self.cols`.
     pub fn add_row_broadcast(&self, bias: &Matrix<S>) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.add_row_broadcast_into(bias, &mut out)?;
+        Ok(out)
+    }
+
+    /// Bias broadcast written into `out` (reshaped as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `bias` is `1 × self.cols`.
+    pub fn add_row_broadcast_into(&self, bias: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         if bias.rows != 1 || bias.cols != self.cols {
             return Err(KmlError::ShapeMismatch {
                 op: "add_row_broadcast",
@@ -334,25 +470,56 @@ impl<S: Scalar> Matrix<S> {
                 rhs: bias.shape(),
             });
         }
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+        out.ensure_shape(self.rows, self.cols);
+        for r in 0..self.rows {
+            let srow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let orow = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            for ((o, &s), &b) in orow.iter_mut().zip(srow).zip(&bias.data) {
+                *o = s.add(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a 1×cols row vector to every row of `self`, in place (the fused
+    /// `x·W + b` tail of the linear-layer hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `bias` is `1 × self.cols`.
+    pub fn add_row_broadcast_in_place(&mut self, bias: &Matrix<S>) -> Result<()> {
+        if bias.rows != 1 || bias.cols != self.cols {
+            return Err(KmlError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: self.shape(),
+                rhs: bias.shape(),
+            });
+        }
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (o, &b) in row.iter_mut().zip(&bias.data) {
                 *o = o.add(b);
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Sums each column into a 1×cols row vector (bias-gradient reduction).
     pub fn sum_rows(&self) -> Matrix<S> {
         let mut out: Matrix<S> = Matrix::zeros(1, self.cols);
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Column-sum reduction written into `out` (reshaped as needed).
+    pub fn sum_rows_into(&self, out: &mut Matrix<S>) {
+        out.ensure_shape(1, self.cols);
+        out.fill(S::ZERO);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c] = out.data[c].add(self.data[r * self.cols + c]);
             }
         }
-        out
     }
 
     /// Multiplies every element by `k`.
@@ -454,6 +621,18 @@ impl<S: Scalar> Matrix<S> {
         op: &'static str,
         f: impl Fn(S, S) -> S,
     ) -> Result<Matrix<S>> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        self.zip_with_into(rhs, &mut out, op, f)?;
+        Ok(out)
+    }
+
+    fn zip_with_into(
+        &self,
+        rhs: &Matrix<S>,
+        out: &mut Matrix<S>,
+        op: &'static str,
+        f: impl Fn(S, S) -> S,
+    ) -> Result<()> {
         if self.shape() != rhs.shape() {
             return Err(KmlError::ShapeMismatch {
                 op,
@@ -461,16 +640,19 @@ impl<S: Scalar> Matrix<S> {
                 rhs: rhs.shape(),
             });
         }
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-        })
+        out.ensure_shape(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+        Ok(())
+    }
+
+    /// Applies `f` element-wise, writing into `out` (reshaped as needed).
+    pub fn map_into(&self, out: &mut Matrix<S>, f: impl Fn(S) -> S) {
+        out.ensure_shape(self.rows, self.cols);
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
     }
 }
 
@@ -617,6 +799,54 @@ mod tests {
         assert!(w.as_slice().iter().all(|&v| v.abs() <= limit));
         // Not all zero (i.e. it actually randomized).
         assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn into_kernels_reuse_buffers_across_shapes() {
+        let mut rng = KmlRng::seed_from_u64(11);
+        let a = Matrix::<f64>::xavier_uniform(3, 5, &mut rng);
+        let b = Matrix::<f64>::xavier_uniform(5, 4, &mut rng);
+        let c = Matrix::<f64>::xavier_uniform(3, 4, &mut rng);
+        let d = Matrix::<f64>::xavier_uniform(4, 5, &mut rng);
+        let mut out = Matrix::<f64>::zeros(1, 1);
+        // Same scratch matrix services differently-shaped kernels in sequence.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        a.matmul_transpose_into(&d, &mut out).unwrap();
+        assert_eq!(out, a.matmul_transpose(&d).unwrap());
+        a.transpose_matmul_into(&c, &mut out).unwrap();
+        assert_eq!(out, a.transpose_matmul(&c).unwrap());
+        a.hadamard_into(&a, &mut out).unwrap();
+        assert_eq!(out, a.hadamard(&a).unwrap());
+    }
+
+    #[test]
+    fn into_kernels_report_the_same_shape_errors() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let mut out = Matrix::<f64>::zeros(1, 1);
+        assert!(matches!(
+            a.matmul_into(&b, &mut out),
+            Err(KmlError::ShapeMismatch { op: "matmul", .. })
+        ));
+        assert!(matches!(
+            a.add_row_broadcast_into(&b, &mut out),
+            Err(KmlError::ShapeMismatch {
+                op: "add_row_broadcast",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn copy_from_and_ensure_shape_track_shape() {
+        let src = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut dst = Matrix::<f64>::zeros(5, 7);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.ensure_shape(1, 5);
+        assert_eq!(dst.shape(), (1, 5));
+        assert_eq!(dst.as_slice(), &[0.0; 5]);
     }
 
     #[test]

@@ -160,6 +160,9 @@ impl ModelBuilder {
             input_dim: self.input_dim,
             output_dim: dim,
             normalizer: None,
+            row_buf: Vec::new(),
+            input_scratch: Matrix::zeros(0, 0),
+            loss_grad: Matrix::zeros(0, 0),
         })
     }
 }
@@ -175,6 +178,12 @@ pub struct Model<S: Scalar> {
     input_dim: usize,
     output_dim: usize,
     normalizer: Option<Normalizer>,
+    /// Reused staging row for normalization; sized once on first inference.
+    row_buf: Vec<f64>,
+    /// Reused input matrix fed to the graph (1×input_dim for inference).
+    input_scratch: Matrix<S>,
+    /// Reused ∂L/∂pred buffer for training.
+    loss_grad: Matrix<S>,
 }
 
 impl<S: Scalar> Model<S> {
@@ -197,6 +206,9 @@ impl<S: Scalar> Model<S> {
             input_dim,
             output_dim,
             normalizer,
+            row_buf: Vec::new(),
+            input_scratch: Matrix::zeros(0, 0),
+            loss_grad: Matrix::zeros(0, 0),
         })
     }
 
@@ -265,6 +277,15 @@ impl<S: Scalar> Model<S> {
         total
     }
 
+    /// *Measured* scratch footprint: high-water mark of the graph's
+    /// activation/gradient arenas plus the forward-state buffers inside the
+    /// layers, observed over every pass since construction. Zero until the
+    /// first forward; after single-row inference only, this is the empirical
+    /// counterpart of [`Model::inference_scratch_bytes`].
+    pub fn measured_scratch_bytes(&self) -> usize {
+        self.graph.scratch_high_water_bytes() + self.graph.layer_scratch_bytes()
+    }
+
     /// Raw forward pass on (already normalized) rows.
     ///
     /// # Errors
@@ -279,13 +300,11 @@ impl<S: Scalar> Model<S> {
         }
     }
 
-    /// Full inference pipeline for one feature vector: normalize (if a
-    /// normalizer is attached), forward, return the raw output row.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`KmlError::ShapeMismatch`] if `features.len() != input_dim`.
-    pub fn infer(&mut self, features: &[f64]) -> Result<Vec<f64>> {
+    /// Shared inference core: normalize into the reused staging row, convert
+    /// into the reused input matrix, forward through the graph's scratch
+    /// arena. Returns a reference into the arena's output slot. After the
+    /// first call, this path performs **zero heap allocations**.
+    fn infer_in_place(&mut self, features: &[f64]) -> Result<&Matrix<S>> {
         if features.len() != self.input_dim {
             return Err(KmlError::ShapeMismatch {
                 op: "infer",
@@ -293,25 +312,66 @@ impl<S: Scalar> Model<S> {
                 rhs: (1, self.input_dim),
             });
         }
-        let mut row = features.to_vec();
+        self.row_buf.clear();
+        self.row_buf.extend_from_slice(features);
         if let Some(n) = &self.normalizer {
-            n.apply_row(&mut row)?;
+            n.apply_row(&mut self.row_buf)?;
         }
-        let input = Matrix::<S>::from_f64_vec(1, row.len(), &row)?;
-        let out = self.forward(&input)?;
-        Ok(out.to_f64_vec())
+        self.input_scratch.ensure_shape(1, self.input_dim);
+        for (dst, src) in self
+            .input_scratch
+            .as_mut_slice()
+            .iter_mut()
+            .zip(&self.row_buf)
+        {
+            *dst = S::from_f64(*src);
+        }
+        if S::USES_FPU {
+            let _guard = fpu::FpuGuard::enter();
+            self.graph.forward_in_place(&self.input_scratch)
+        } else {
+            self.graph.forward_in_place(&self.input_scratch)
+        }
+    }
+
+    /// Full inference pipeline for one feature vector: normalize (if a
+    /// normalizer is attached), forward, return the raw output row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] if `features.len() != input_dim`.
+    pub fn infer(&mut self, features: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.infer_in_place(features)?.to_f64_vec())
+    }
+
+    /// [`Model::infer`] into a caller-provided buffer. Zero heap allocations
+    /// in steady state: once `out` has capacity for `output_dim` values (one
+    /// warm-up call), repeated calls never touch the allocator — this is the
+    /// form the kernel-resident closed loop uses per I/O event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::infer`].
+    pub fn infer_into(&mut self, features: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        let pred = self.infer_in_place(features)?;
+        out.clear();
+        out.extend(pred.as_slice().iter().map(|v| v.to_f64()));
+        Ok(())
     }
 
     /// Predicted class for one feature vector (argmax of [`Model::infer`]).
+    ///
+    /// Allocation-free in steady state: the output row is read straight out
+    /// of the graph's scratch arena.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Model::infer`].
     pub fn predict(&mut self, features: &[f64]) -> Result<usize> {
-        let out = self.infer(features)?;
+        let out = self.infer_in_place(features)?.as_slice();
         let mut best = 0;
         for (i, v) in out.iter().enumerate() {
-            if *v > out[best] {
+            if v.to_f64() > out[best].to_f64() {
                 best = i;
             }
         }
@@ -331,19 +391,21 @@ impl<S: Scalar> Model<S> {
         loss: &impl Loss,
         sgd: &mut Sgd,
     ) -> Result<f64> {
-        let mut run = |graph: &mut Graph<S>| -> Result<f64> {
-            let pred = graph.forward(input)?;
-            let l = loss.loss(&pred, target)?;
-            let grad = loss.grad(&pred, target)?;
-            graph.backward(&grad)?;
+        let graph = &mut self.graph;
+        let loss_grad = &mut self.loss_grad;
+        let mut run = || -> Result<f64> {
+            let pred = graph.forward_in_place(input)?;
+            let l = loss.loss(pred, target)?;
+            loss.grad_into(pred, target, loss_grad)?;
+            graph.backward_in_place(loss_grad)?;
             sgd.step(&mut graph.param_grads())?;
             Ok(l)
         };
         if S::USES_FPU {
             let _guard = fpu::FpuGuard::enter();
-            run(&mut self.graph)
+            run()
         } else {
-            run(&mut self.graph)
+            run()
         }
     }
 

@@ -6,9 +6,8 @@
 //! configuration.
 
 use crate::layers::ParamGrad;
-use crate::matrix::Matrix;
 use crate::scalar::Scalar;
-use crate::Result;
+use crate::{KmlError, Result};
 
 /// SGD with classical (heavy-ball) momentum:
 ///
@@ -83,15 +82,20 @@ impl Sgd {
             self.velocities.push(vec![0.0; slots[idx].grad.len()]);
         }
         for (slot, vel) in slots.iter_mut().zip(&mut self.velocities) {
-            debug_assert_eq!(slot.param.shape(), slot.grad.shape());
-            let grad = slot.grad.as_slice();
-            let mut update = Vec::with_capacity(grad.len());
-            for (v, g) in vel.iter_mut().zip(grad) {
-                *v = self.momentum * *v - self.learning_rate * g.to_f64();
-                update.push(*v);
+            if slot.param.shape() != slot.grad.shape() {
+                return Err(KmlError::ShapeMismatch {
+                    op: "axpy",
+                    lhs: slot.param.shape(),
+                    rhs: slot.grad.shape(),
+                });
             }
-            let delta = Matrix::<S>::from_f64_vec(slot.param.rows(), slot.param.cols(), &update)?;
-            slot.param.axpy_in_place(&delta, S::ONE)?;
+            // In-place fused update: no temporary update vector or delta
+            // matrix, so steady-state training performs zero allocations here.
+            let grad = slot.grad.as_slice();
+            for ((p, &g), v) in slot.param.as_mut_slice().iter_mut().zip(grad).zip(vel) {
+                *v = self.momentum * *v - self.learning_rate * g.to_f64();
+                *p = p.add(S::from_f64(*v));
+            }
         }
         Ok(())
     }
@@ -102,6 +106,7 @@ mod tests {
     use super::*;
     use crate::layers::{Layer, Linear};
     use crate::loss::{Loss, MseLoss, TargetRef};
+    use crate::matrix::Matrix;
     use crate::KmlRng;
     use rand::SeedableRng;
 

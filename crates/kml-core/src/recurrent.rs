@@ -33,14 +33,47 @@ pub struct Rnn<S: Scalar> {
     grad_b: Matrix<S>,
     grad_wo: Matrix<S>,
     grad_bo: Matrix<S>,
-    /// Cached per-step values from the last forward pass (for BPTT).
-    cache: Option<RnnCache<S>>,
+    /// Cached per-step values from the last forward pass (for BPTT). The
+    /// per-timestep buffers are grown once to the longest sequence seen and
+    /// then reused, so steady-state training allocates nothing here.
+    cache: RnnCache<S>,
+    scratch: RnnScratch<S>,
 }
 
 #[derive(Debug, Clone)]
 struct RnnCache<S: Scalar> {
     inputs: Vec<Matrix<S>>,
     hiddens: Vec<Matrix<S>>, // h_0 (zeros) .. h_T
+    /// Timesteps valid from the last forward pass (0 = no forward yet).
+    steps: usize,
+}
+
+/// Reusable intermediates for [`Rnn::forward`] / [`Rnn::backward`].
+#[derive(Debug, Clone)]
+struct RnnScratch<S: Scalar> {
+    z: Matrix<S>,
+    zh: Matrix<S>,
+    dh: Matrix<S>,
+    dz: Matrix<S>,
+    tanh_deriv: Matrix<S>,
+    tmp_wx: Matrix<S>,
+    tmp_wh: Matrix<S>,
+    tmp_b: Matrix<S>,
+}
+
+impl<S: Scalar> RnnScratch<S> {
+    fn new() -> Self {
+        RnnScratch {
+            z: Matrix::zeros(0, 0),
+            zh: Matrix::zeros(0, 0),
+            dh: Matrix::zeros(0, 0),
+            dz: Matrix::zeros(0, 0),
+            tanh_deriv: Matrix::zeros(0, 0),
+            tmp_wx: Matrix::zeros(0, 0),
+            tmp_wh: Matrix::zeros(0, 0),
+            tmp_b: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 impl<S: Scalar> Rnn<S> {
@@ -57,7 +90,12 @@ impl<S: Scalar> Rnn<S> {
             grad_b: Matrix::zeros(1, hidden),
             grad_wo: Matrix::zeros(hidden, classes),
             grad_bo: Matrix::zeros(1, classes),
-            cache: None,
+            cache: RnnCache {
+                inputs: Vec::new(),
+                hiddens: Vec::new(),
+                steps: 0,
+            },
+            scratch: RnnScratch::new(),
         }
     }
 
@@ -102,24 +140,32 @@ impl<S: Scalar> Rnn<S> {
         if seq.rows() == 0 {
             return Err(KmlError::BadDataset("empty sequence".into()));
         }
-        let mut inputs = Vec::with_capacity(seq.rows());
-        let mut hiddens = Vec::with_capacity(seq.rows() + 1);
-        hiddens.push(Matrix::zeros(1, self.hidden_dim()));
-        for t in 0..seq.rows() {
-            let x = Matrix::row_vector(seq.row(t));
-            let z = x
-                .matmul(&self.wx)?
-                .add(&hiddens[t].matmul(&self.wh)?)?
-                .add_row_broadcast(&self.b)?;
-            hiddens.push(z.map(Scalar::tanh));
-            inputs.push(x);
+        let t_steps = seq.rows();
+        let hidden = self.hidden_dim();
+        // Grow the per-timestep buffers to this sequence length; once the
+        // longest sequence has been seen they are reused verbatim.
+        while self.cache.inputs.len() < t_steps {
+            self.cache.inputs.push(Matrix::zeros(0, 0));
         }
-        let logits = hiddens
-            .last()
-            .expect("at least h_0")
-            .matmul(&self.wo)?
-            .add_row_broadcast(&self.bo)?;
-        self.cache = Some(RnnCache { inputs, hiddens });
+        while self.cache.hiddens.len() < t_steps + 1 {
+            self.cache.hiddens.push(Matrix::zeros(0, 0));
+        }
+        self.cache.hiddens[0].ensure_shape(1, hidden);
+        self.cache.hiddens[0].fill(S::ZERO);
+        for t in 0..t_steps {
+            let x = &mut self.cache.inputs[t];
+            x.ensure_shape(1, seq.cols());
+            x.as_mut_slice().copy_from_slice(seq.row(t));
+            x.matmul_into(&self.wx, &mut self.scratch.z)?;
+            let (prev, next) = self.cache.hiddens.split_at_mut(t + 1);
+            prev[t].matmul_into(&self.wh, &mut self.scratch.zh)?;
+            self.scratch.z.axpy_in_place(&self.scratch.zh, S::ONE)?;
+            self.scratch.z.add_row_broadcast_in_place(&self.b)?;
+            self.scratch.z.map_into(&mut next[0], Scalar::tanh);
+        }
+        self.cache.steps = t_steps;
+        let mut logits = self.cache.hiddens[t_steps].matmul(&self.wo)?;
+        logits.add_row_broadcast_in_place(&self.bo)?;
         Ok(logits)
     }
 
@@ -130,29 +176,39 @@ impl<S: Scalar> Rnn<S> {
     ///
     /// Returns [`KmlError::InvalidConfig`] if called before `forward`.
     pub fn backward(&mut self, grad_logits: &Matrix<S>) -> Result<()> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or_else(|| KmlError::InvalidConfig("rnn backward before forward".into()))?;
-        let t_steps = cache.inputs.len();
-        let h_last = &cache.hiddens[t_steps];
+        if self.cache.steps == 0 {
+            return Err(KmlError::InvalidConfig(
+                "rnn backward before forward".into(),
+            ));
+        }
+        let t_steps = self.cache.steps;
+        let h_last = &self.cache.hiddens[t_steps];
 
-        self.grad_wo = h_last.transpose_matmul(grad_logits)?;
-        self.grad_bo = grad_logits.sum_rows();
-        let mut dh = grad_logits.matmul_transpose(&self.wo)?;
+        h_last.transpose_matmul_into(grad_logits, &mut self.grad_wo)?;
+        grad_logits.sum_rows_into(&mut self.grad_bo);
+        grad_logits.matmul_transpose_into(&self.wo, &mut self.scratch.dh)?;
 
-        self.grad_wx = Matrix::zeros(self.wx.rows(), self.wx.cols());
-        self.grad_wh = Matrix::zeros(self.wh.rows(), self.wh.cols());
-        self.grad_b = Matrix::zeros(1, self.b.cols());
+        self.grad_wx.fill(S::ZERO);
+        self.grad_wh.fill(S::ZERO);
+        self.grad_b.fill(S::ZERO);
 
         for t in (0..t_steps).rev() {
-            let h_t = &cache.hiddens[t + 1];
+            let h_t = &self.cache.hiddens[t + 1];
             // dz = dh ⊙ (1 − h²)   (tanh')
-            let dz = dh.hadamard(&h_t.map(|v| S::ONE.sub(v.mul(v))))?;
-            self.grad_wx = self.grad_wx.add(&cache.inputs[t].transpose_matmul(&dz)?)?;
-            self.grad_wh = self.grad_wh.add(&cache.hiddens[t].transpose_matmul(&dz)?)?;
-            self.grad_b = self.grad_b.add(&dz.sum_rows())?;
-            dh = dz.matmul_transpose(&self.wh)?;
+            h_t.map_into(&mut self.scratch.tanh_deriv, |v| S::ONE.sub(v.mul(v)));
+            self.scratch
+                .dh
+                .hadamard_into(&self.scratch.tanh_deriv, &mut self.scratch.dz)?;
+            let dz = &self.scratch.dz;
+            self.cache.inputs[t].transpose_matmul_into(dz, &mut self.scratch.tmp_wx)?;
+            self.grad_wx.axpy_in_place(&self.scratch.tmp_wx, S::ONE)?;
+            self.cache.hiddens[t].transpose_matmul_into(dz, &mut self.scratch.tmp_wh)?;
+            self.grad_wh.axpy_in_place(&self.scratch.tmp_wh, S::ONE)?;
+            dz.sum_rows_into(&mut self.scratch.tmp_b);
+            self.grad_b.axpy_in_place(&self.scratch.tmp_b, S::ONE)?;
+            self.scratch
+                .dz
+                .matmul_transpose_into(&self.wh, &mut self.scratch.dh)?;
         }
         Ok(())
     }

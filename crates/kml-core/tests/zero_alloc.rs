@@ -1,0 +1,94 @@
+//! Allocation-count regression test for the inference hot path.
+//!
+//! KML's pitch is a kernel-resident ML runtime, and a kernel hot path cannot
+//! afford heap traffic per event (the paper budgets 676 B of *reused* scratch
+//! for inference, §4). This test installs [`CountingSystemAlloc`] as the
+//! global allocator of its own test binary and proves that after one warm-up
+//! call, steady-state `Model::predict` / `Model::infer_into` perform **zero**
+//! heap allocations.
+//!
+//! Lives in its own integration-test binary because `#[global_allocator]` is
+//! process-wide; per-thread counters keep parallel libtest threads from
+//! perturbing each other.
+
+use kml_core::dataset::Normalizer;
+use kml_core::fixed::Fix32;
+use kml_core::matrix::Matrix;
+use kml_core::model::ModelBuilder;
+use kml_core::scalar::Scalar;
+use kml_platform::alloc::CountingSystemAlloc;
+
+#[global_allocator]
+static ALLOC: CountingSystemAlloc = CountingSystemAlloc;
+
+const FEATURES: [f64; 5] = [5_000.0, 3_000.0, 1_800.0, 500.0, 128.0];
+
+fn fitted_normalizer() -> Normalizer {
+    let rows: Vec<Vec<f64>> = (0..8)
+        .map(|r| (0..5).map(|c| (r * 5 + c) as f64).collect())
+        .collect();
+    let m = Matrix::from_rows(&rows).unwrap();
+    Normalizer::fit(&m).unwrap()
+}
+
+fn assert_steady_state_zero_allocs<S: Scalar>(label: &str) {
+    let mut model = ModelBuilder::readahead_paper_topology(5, 4)
+        .seed(0x2a)
+        .build::<S>()
+        .unwrap();
+    model.set_normalizer(fitted_normalizer());
+    let mut out = Vec::new();
+
+    // Warm-up: sizes every scratch buffer (graph arena, staging row, output).
+    for _ in 0..3 {
+        model.predict(&FEATURES).unwrap();
+        model.infer_into(&FEATURES, &mut out).unwrap();
+    }
+
+    let allocs_before = CountingSystemAlloc::thread_allocations();
+    let frees_before = CountingSystemAlloc::thread_frees();
+    for _ in 0..1_000 {
+        let class = model.predict(&FEATURES).unwrap();
+        assert!(class < 4);
+        model.infer_into(&FEATURES, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+    let allocs = CountingSystemAlloc::thread_allocations() - allocs_before;
+    let frees = CountingSystemAlloc::thread_frees() - frees_before;
+    assert_eq!(
+        allocs, 0,
+        "{label}: steady-state inference performed {allocs} heap allocations"
+    );
+    assert_eq!(
+        frees, 0,
+        "{label}: steady-state inference performed {frees} heap frees"
+    );
+}
+
+#[test]
+fn steady_state_inference_is_allocation_free_f32() {
+    assert_steady_state_zero_allocs::<f32>("f32");
+}
+
+#[test]
+fn steady_state_inference_is_allocation_free_f64() {
+    assert_steady_state_zero_allocs::<f64>("f64");
+}
+
+#[test]
+fn steady_state_inference_is_allocation_free_fix32() {
+    assert_steady_state_zero_allocs::<Fix32>("Fix32 (Q16.16)");
+}
+
+#[test]
+fn counting_allocator_observes_heap_traffic() {
+    // Sanity check that the counter actually counts: a Vec push from empty
+    // must allocate, so a zero reading above is meaningful.
+    let before = CountingSystemAlloc::thread_allocations();
+    let v: Vec<u64> = Vec::with_capacity(32);
+    assert!(
+        CountingSystemAlloc::thread_allocations() > before,
+        "allocator hook did not observe Vec::with_capacity"
+    );
+    drop(v);
+}

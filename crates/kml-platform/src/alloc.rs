@@ -11,10 +11,79 @@
 //! - an optional reservation pool that allocations are charged against;
 //! - deterministic allocation-failure injection for fault testing.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::{Persona, PlatformError, Result};
+
+thread_local! {
+    // const-initialized so reading/updating the counters never allocates —
+    // the counting hooks run *inside* the allocator.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_FREES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`GlobalAlloc`] wrapper around the system allocator that counts every
+/// heap allocation per thread. Install it as the `#[global_allocator]` of a
+/// dedicated test binary to *prove* a code path is allocation-free — the
+/// mechanism behind the zero-allocation steady-state inference regression
+/// test (the paper's runtime is garbage-free in steady state, §3.1/§4):
+///
+/// ```ignore
+/// use kml_platform::alloc::CountingSystemAlloc;
+///
+/// #[global_allocator]
+/// static ALLOC: CountingSystemAlloc = CountingSystemAlloc;
+///
+/// let before = CountingSystemAlloc::thread_allocations();
+/// hot_path();
+/// assert_eq!(CountingSystemAlloc::thread_allocations(), before);
+/// ```
+///
+/// Counters are per-thread, so concurrent test threads (the default libtest
+/// harness) do not perturb each other's measurements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSystemAlloc;
+
+impl CountingSystemAlloc {
+    /// Heap allocations performed by the current thread (including
+    /// reallocations) since it started.
+    pub fn thread_allocations() -> u64 {
+        THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Heap frees performed by the current thread since it started.
+    pub fn thread_frees() -> u64 {
+        THREAD_FREES.try_with(Cell::get).unwrap_or(0)
+    }
+}
+
+// `try_with` everywhere: during thread teardown the TLS slot may already be
+// destroyed, and the allocator must keep working (uncounted) rather than
+// panic.
+unsafe impl GlobalAlloc for CountingSystemAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let _ = THREAD_FREES.try_with(|c| c.set(c.get() + 1));
+        System.dealloc(ptr, layout)
+    }
+}
 
 /// Accounting allocator used by every KML component.
 ///

@@ -6,8 +6,8 @@
 //! flag the worker polls (`kthread_should_stop`), an explicit `stop()` that
 //! joins, and named threads for debuggability.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::{Persona, PlatformError, Result};
@@ -120,6 +120,69 @@ impl Drop for KmlThread {
     }
 }
 
+/// Environment variable that overrides the worker count used by
+/// [`default_workers`] (and therefore by the experiment sweeps).
+pub const WORKERS_ENV: &str = "KML_REPRO_THREADS";
+
+/// Worker count for embarrassingly-parallel sweeps: the `KML_REPRO_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `work(i, &items[i])` for every item on a pool of `workers` scoped
+/// threads and returns the results **in item order**, regardless of which
+/// worker ran which task or in what order tasks finished. Work is handed
+/// out through an atomic cursor, so the schedule is dynamic but the output
+/// is deterministic: callers that seed per-task RNGs from the task index
+/// get byte-identical results at any worker count (including 1).
+///
+/// With `workers <= 1` or fewer than two items, everything runs inline on
+/// the caller's thread — same code path the sequential experiments used.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads are joined.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = work(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was visited")
+        })
+        .collect()
+}
+
 /// Yields the current thread (`kml_yield` analogue; `cond_resched` in-kernel).
 pub fn kml_yield() {
     std::thread::yield_now();
@@ -166,6 +229,40 @@ mod tests {
         // Give it a moment to panic, then join through stop().
         let err = t.stop().unwrap_err();
         assert!(matches!(err, PlatformError::Thread(_)));
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let seq = parallel_map(&items, 1, |i, &x| (i, x * x));
+        let par = parallel_map(&items, 8, |i, &x| (i, x * x));
+        assert_eq!(seq, par);
+        assert_eq!(par[10], (10, 100));
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_runs_on_many_threads() {
+        use std::collections::HashSet;
+        let items: Vec<usize> = (0..256).collect();
+        let ids = parallel_map(&items, 4, |_, _| {
+            // Slight stall so the pool actually interleaves.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            std::thread::current().id()
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work spread across workers");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
     }
 
     #[test]

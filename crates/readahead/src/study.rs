@@ -11,6 +11,7 @@
 //! class → readahead [`crate::tuner::RaPolicy`].
 
 use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kml_platform::threading;
 use kvstore::{fill_db, run_workload, FillMode, Workload, WorkloadConfig};
 
 /// The paper's sweep: 20 readahead sizes from 8 KiB to 1024 KiB.
@@ -79,19 +80,34 @@ pub struct ReadaheadStudy {
 }
 
 impl ReadaheadStudy {
-    /// Runs the sweep for the given workloads on `device`.
+    /// Runs the sweep for the given workloads on `device`, spreading the
+    /// independent cells across [`kml_platform::threading::default_workers`]
+    /// worker threads (override with the `KML_REPRO_THREADS` environment
+    /// variable). Cell order and values are identical to a sequential run.
     pub fn run(device: DeviceProfile, workloads: &[Workload], cfg: &StudyConfig) -> Self {
-        let mut cells = Vec::with_capacity(workloads.len() * cfg.sweep_kb.len());
+        Self::run_with_workers(device, workloads, cfg, threading::default_workers())
+    }
+
+    /// [`ReadaheadStudy::run`] with an explicit worker count (1 = inline
+    /// sequential execution). Every cell builds its own simulator seeded
+    /// from `cfg.seed`, so results are byte-identical at any worker count.
+    pub fn run_with_workers(
+        device: DeviceProfile,
+        workloads: &[Workload],
+        cfg: &StudyConfig,
+        workers: usize,
+    ) -> Self {
+        let mut tasks = Vec::with_capacity(workloads.len() * cfg.sweep_kb.len());
         for &workload in workloads {
             for &ra_kb in &cfg.sweep_kb {
-                let ops_per_sec = measure(device, workload, ra_kb, cfg);
-                cells.push(StudyCell {
-                    workload,
-                    ra_kb,
-                    ops_per_sec,
-                });
+                tasks.push((workload, ra_kb));
             }
         }
+        let cells = threading::parallel_map(&tasks, workers, |_, &(workload, ra_kb)| StudyCell {
+            workload,
+            ra_kb,
+            ops_per_sec: measure(device, workload, ra_kb, cfg),
+        });
         ReadaheadStudy { device, cells }
     }
 

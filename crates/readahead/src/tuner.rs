@@ -100,7 +100,7 @@ impl RaPolicy {
 #[derive(Debug)]
 pub enum TunerModel {
     /// The readahead neural network (f32, as deployed in-kernel).
-    NeuralNet(Model<f32>),
+    NeuralNet(Box<Model<f32>>),
     /// The comparison decision tree.
     Tree(DecisionTree),
 }
