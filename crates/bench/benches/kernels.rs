@@ -67,7 +67,7 @@ fn bench_sim_read_paths(c: &mut Criterion) {
             });
             let f = sim.create_file(1 << 16);
             for p in 0..4096u64 {
-                sim.read(f, p, 1);
+                sim.read(f, p, 1).unwrap();
             }
             black_box(sim.now_ns())
         });
@@ -83,7 +83,7 @@ fn bench_sim_read_paths(c: &mut Criterion) {
             let mut x = 3u64;
             for _ in 0..512 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                sim.read(f, (x >> 12) % ((1 << 20) - 4), 4);
+                sim.read(f, (x >> 12) % ((1 << 20) - 4), 4).unwrap();
             }
             black_box(sim.now_ns())
         });

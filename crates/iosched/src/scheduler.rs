@@ -7,7 +7,7 @@
 //! [`kernel_sim::BlockDevice`]. Completion time is the device's busy-until
 //! point; per-request latency is completion − arrival.
 
-use kernel_sim::{BlockDevice, DeviceProfile};
+use kernel_sim::{BlockDevice, DeviceProfile, FaultPlan, FaultStats};
 use kml_telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// Telemetry handles for one scheduler (no-op until
@@ -87,6 +87,11 @@ pub struct SchedStats {
     pub dispatches: u64,
     /// Sum of all request latencies, ns.
     pub total_latency_ns: u64,
+    /// Merged commands that failed at the device (injected faults). The
+    /// member requests still complete — with an error, as the block layer
+    /// completes bios with `BLK_STS_IOERR` — and the time the failed
+    /// attempt consumed still occupies the device.
+    pub io_errors: u64,
 }
 
 impl SchedStats {
@@ -189,6 +194,17 @@ impl IoScheduler {
         self.stats
     }
 
+    /// Attaches (or clears) a deterministic fault plan on the underlying
+    /// device. See [`kernel_sim::FaultConfig`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.device.set_fault_plan(plan);
+    }
+
+    /// Injected-fault counts from the underlying device's plan.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.device.fault_stats()
+    }
+
     /// One elevator sweep: sort, merge adjacent same-direction requests,
     /// issue merged commands, assign completions.
     fn dispatch_round(&mut self, dispatch_ns: u64) -> Vec<CompletedIo> {
@@ -232,10 +248,19 @@ impl IoScheduler {
         let mut start = self.busy_until_ns.max(dispatch_ns);
         let mut done = Vec::new();
         for m in merged {
-            let service = if m.write {
+            let issued = if m.write {
                 self.device.write(m.inode, m.page, m.npages)
             } else {
                 self.device.read(m.inode, m.page, m.npages)
+            };
+            let service = match issued {
+                Ok(ns) => ns,
+                Err(e) => {
+                    // The failed attempt still held the device for `e.ns`;
+                    // members complete (errored) when it gives up.
+                    self.stats.io_errors += 1;
+                    e.ns
+                }
             };
             start += service;
             for request in m.members {

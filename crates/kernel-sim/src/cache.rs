@@ -214,6 +214,26 @@ impl PageCache {
         flushed
     }
 
+    /// Changes the capacity (the fault layer's cache-pressure squeeze).
+    /// Shrinking evicts LRU pages until the cache fits; the victims (with
+    /// their dirty flags) are returned for the caller to write back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(PageKey, bool)> {
+        assert!(capacity > 0, "page cache capacity must be positive");
+        self.capacity = capacity;
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            match self.evict_lru() {
+                Some(victim) => evicted.push(victim),
+                None => break,
+            }
+        }
+        evicted
+    }
+
     /// Removes one specific page (the `DontNeed` path); returns whether the
     /// page was dirty (the caller must write it back). No-op when absent.
     pub fn forget(&mut self, key: PageKey) -> bool {
@@ -427,6 +447,25 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = PageCache::new(0);
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_lru_and_grow_restores() {
+        let mut c = PageCache::new(4);
+        for i in 0..4 {
+            c.insert((1, i), false);
+        }
+        c.mark_dirty((1, 0));
+        let ev = c.set_capacity(2);
+        assert_eq!(ev, vec![((1, 0), true), ((1, 1), false)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.dirty_count(), 0);
+        // Growing back evicts nothing and admits new pages again.
+        assert!(c.set_capacity(4).is_empty());
+        c.insert((1, 7), false);
+        c.insert((1, 8), false);
+        assert_eq!(c.len(), 4);
     }
 
     proptest! {

@@ -11,6 +11,13 @@
 //! *wasted* prefetch), and the penalty applies when a request does not
 //! continue where the previous one ended. Absolute values are calibrated to
 //! datasheet orders of magnitude, not to the authors' testbed (DESIGN.md §1).
+//!
+//! A device may carry a [`FaultPlan`]: requests then consult the seeded
+//! schedule and can fail ([`IoError`]), tear, spike, or stall. Without a
+//! plan the device is infallible and timing is identical to the
+//! pre-fault-layer model.
+
+use crate::fault::{Fault, FaultPlan, FaultStats, IoError, IoErrorKind, IoResult};
 
 /// Timing parameters for one storage medium.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +100,8 @@ pub struct BlockDevice {
     /// `(inode, next_page)` the head is positioned after, for contiguity.
     last_end: Option<(u64, u64)>,
     stats: DeviceStats,
+    /// Seeded fault schedule; `None` means an infallible device.
+    faults: Option<FaultPlan>,
 }
 
 impl BlockDevice {
@@ -102,6 +111,7 @@ impl BlockDevice {
             profile,
             last_end: None,
             stats: DeviceStats::default(),
+            faults: None,
         }
     }
 
@@ -110,34 +120,124 @@ impl BlockDevice {
         &self.profile
     }
 
-    /// Serves a read of `npages` starting at `page` of `inode`; returns the
-    /// service time in ns.
-    pub fn read(&mut self, inode: u64, page: u64, npages: u64) -> u64 {
-        let contiguous = self.last_end == Some((inode, page));
-        let mut cost = self.profile.read_base_ns + npages * self.profile.read_per_page_ns;
-        if !contiguous {
+    /// Attaches (or with `None`, detaches) a fault schedule.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Mutable access to the attached fault schedule, if any.
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
+    }
+
+    /// Counters of faults injected so far (zero if no plan is attached).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Nominal service time of the request (before fault adjustments).
+    fn base_cost(&self, inode: u64, page: u64, npages: u64, base: u64, per_page: u64) -> u64 {
+        let mut cost = base + npages * per_page;
+        if self.last_end != Some((inode, page)) {
             cost += self.profile.discontiguity_ns;
+        }
+        cost
+    }
+
+    /// Serves a read of `npages` starting at `page` of `inode`; returns the
+    /// service time in ns, or an [`IoError`] if the fault schedule fails
+    /// the request (the failed attempt still consumes `IoError::ns` of
+    /// device time, counted in `busy_ns`).
+    pub fn read(&mut self, inode: u64, page: u64, npages: u64) -> IoResult<u64> {
+        let mut cost = self.base_cost(
+            inode,
+            page,
+            npages,
+            self.profile.read_base_ns,
+            self.profile.read_per_page_ns,
+        );
+        match self.faults.as_mut().and_then(|p| p.on_read()) {
+            Some(Fault::Error) => {
+                // The failed attempt occupies the device and loses head
+                // position, but transfers nothing.
+                self.stats.busy_ns += cost;
+                self.last_end = None;
+                return Err(IoError {
+                    kind: IoErrorKind::Read,
+                    inode,
+                    page,
+                    npages,
+                    completed: 0,
+                    ns: cost,
+                });
+            }
+            Some(Fault::Spike { mult }) => cost *= mult,
+            Some(Fault::Stall { ns }) => cost += ns,
+            Some(Fault::Torn { .. }) | None => {}
         }
         self.last_end = Some((inode, page + npages));
         self.stats.read_requests += 1;
         self.stats.pages_read += npages;
         self.stats.busy_ns += cost;
-        cost
+        Ok(cost)
     }
 
     /// Serves a write of `npages` starting at `page` of `inode`; returns the
-    /// service time in ns.
-    pub fn write(&mut self, inode: u64, page: u64, npages: u64) -> u64 {
-        let contiguous = self.last_end == Some((inode, page));
-        let mut cost = self.profile.write_base_ns + npages * self.profile.write_per_page_ns;
-        if !contiguous {
-            cost += self.profile.discontiguity_ns;
+    /// service time in ns. Under an attached fault schedule the write may
+    /// fail cleanly (nothing transferred) or tear (`IoError::completed`
+    /// pages of the prefix reached the medium before the failure).
+    pub fn write(&mut self, inode: u64, page: u64, npages: u64) -> IoResult<u64> {
+        let mut cost = self.base_cost(
+            inode,
+            page,
+            npages,
+            self.profile.write_base_ns,
+            self.profile.write_per_page_ns,
+        );
+        match self.faults.as_mut().and_then(|p| p.on_write(npages)) {
+            Some(Fault::Error) => {
+                self.stats.busy_ns += cost;
+                self.last_end = None;
+                return Err(IoError {
+                    kind: IoErrorKind::Write,
+                    inode,
+                    page,
+                    npages,
+                    completed: 0,
+                    ns: cost,
+                });
+            }
+            Some(Fault::Torn { completed }) => {
+                // The prefix reached the medium: charge and account for it,
+                // then fail the request.
+                let done_cost = self.base_cost(
+                    inode,
+                    page,
+                    completed,
+                    self.profile.write_base_ns,
+                    self.profile.write_per_page_ns,
+                );
+                self.stats.pages_written += completed;
+                self.stats.busy_ns += done_cost;
+                self.last_end = None;
+                return Err(IoError {
+                    kind: IoErrorKind::Write,
+                    inode,
+                    page,
+                    npages,
+                    completed,
+                    ns: done_cost,
+                });
+            }
+            Some(Fault::Spike { mult }) => cost *= mult,
+            Some(Fault::Stall { ns }) => cost += ns,
+            None => {}
         }
         self.last_end = Some((inode, page + npages));
         self.stats.write_requests += 1;
         self.stats.pages_written += npages;
         self.stats.busy_ns += cost;
-        cost
+        Ok(cost)
     }
 
     /// Cumulative statistics.
@@ -145,7 +245,9 @@ impl BlockDevice {
         self.stats
     }
 
-    /// Clears statistics and positioning (a fresh benchmark run).
+    /// Clears statistics and positioning (a fresh benchmark run). The
+    /// attached fault schedule, if any, is left in place and keeps its
+    /// position in the decision stream.
     pub fn reset(&mut self) {
         self.last_end = None;
         self.stats = DeviceStats::default();
@@ -155,17 +257,18 @@ impl BlockDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
 
     #[test]
     fn batching_amortizes_base_cost() {
         let mut d = BlockDevice::new(DeviceProfile::sata_ssd());
         // 256 pages in one request...
-        let one_big = d.read(1, 0, 256);
+        let one_big = d.read(1, 0, 256).unwrap();
         d.reset();
         // ...vs 8 requests of 32 pages (contiguous).
         let mut many = 0;
         for i in 0..8 {
-            many += d.read(1, i * 32, 32);
+            many += d.read(1, i * 32, 32).unwrap();
         }
         assert!(one_big < many, "batched {one_big} !< split {many}");
     }
@@ -173,9 +276,9 @@ mod tests {
     #[test]
     fn contiguous_requests_skip_penalty() {
         let mut d = BlockDevice::new(DeviceProfile::sata_ssd());
-        let first = d.read(1, 0, 8); // cold: discontiguous
-        let second = d.read(1, 8, 8); // continues exactly
-        let third = d.read(1, 100, 8); // jumps
+        let first = d.read(1, 0, 8).unwrap(); // cold: discontiguous
+        let second = d.read(1, 8, 8).unwrap(); // continues exactly
+        let third = d.read(1, 100, 8).unwrap(); // jumps
         assert_eq!(first - second, DeviceProfile::sata_ssd().discontiguity_ns);
         assert_eq!(third, first);
     }
@@ -183,11 +286,11 @@ mod tests {
     #[test]
     fn different_inodes_break_contiguity() {
         let mut d = BlockDevice::new(DeviceProfile::nvme());
-        d.read(1, 0, 8);
-        let same = d.read(1, 8, 8);
+        d.read(1, 0, 8).unwrap();
+        let same = d.read(1, 8, 8).unwrap();
         d.reset();
-        d.read(1, 0, 8);
-        let other = d.read(2, 8, 8);
+        d.read(1, 0, 8).unwrap();
+        let other = d.read(2, 8, 8).unwrap();
         assert!(other > same);
     }
 
@@ -203,8 +306,8 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut d = BlockDevice::new(DeviceProfile::nvme());
-        d.read(1, 0, 10);
-        d.write(1, 10, 5);
+        d.read(1, 0, 10).unwrap();
+        d.write(1, 10, 5).unwrap();
         let s = d.stats();
         assert_eq!(s.read_requests, 1);
         assert_eq!(s.pages_read, 10);
@@ -213,5 +316,81 @@ mod tests {
         assert!(s.busy_ns > 0);
         d.reset();
         assert_eq!(d.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn read_error_consumes_time_but_transfers_nothing() {
+        let mut d = BlockDevice::new(DeviceProfile::nvme());
+        d.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 1,
+            read_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        let err = d.read(3, 0, 16).unwrap_err();
+        assert_eq!(err.kind, IoErrorKind::Read);
+        assert_eq!(err.completed, 0);
+        assert!(err.ns > 0);
+        let s = d.stats();
+        assert_eq!(s.read_requests, 0);
+        assert_eq!(s.pages_read, 0);
+        assert_eq!(s.busy_ns, err.ns);
+    }
+
+    #[test]
+    fn torn_write_accounts_partial_transfer() {
+        let mut d = BlockDevice::new(DeviceProfile::nvme());
+        d.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 5,
+            torn_write: 1.0,
+            ..FaultConfig::off()
+        })));
+        let err = d.write(7, 0, 32).unwrap_err();
+        assert_eq!(err.kind, IoErrorKind::Write);
+        assert!(err.completed >= 1 && err.completed < 32);
+        assert_eq!(d.stats().pages_written, err.completed);
+        assert_eq!(d.stats().write_requests, 0);
+    }
+
+    #[test]
+    fn spike_multiplies_service_time() {
+        let cost_of = |cfg: Option<FaultConfig>| {
+            let mut d = BlockDevice::new(DeviceProfile::nvme());
+            d.set_fault_plan(cfg.map(FaultPlan::new));
+            d.read(1, 0, 8).unwrap()
+        };
+        let clean = cost_of(None);
+        let spiked = cost_of(Some(FaultConfig {
+            seed: 1,
+            latency_spike: 1.0,
+            spike_mult: 10,
+            ..FaultConfig::off()
+        }));
+        assert_eq!(spiked, clean * 10);
+        let stalled = cost_of(Some(FaultConfig {
+            seed: 1,
+            stall: 1.0,
+            stall_ns: 1_000_000,
+            ..FaultConfig::off()
+        }));
+        assert_eq!(stalled, clean + 1_000_000);
+    }
+
+    #[test]
+    fn attached_off_plan_is_behaviorally_inert() {
+        let mut clean = BlockDevice::new(DeviceProfile::sata_ssd());
+        let mut off = BlockDevice::new(DeviceProfile::sata_ssd());
+        off.set_fault_plan(Some(FaultPlan::new(FaultConfig::off())));
+        for i in 0..50 {
+            assert_eq!(
+                clean.read(1, i * 8, 8).unwrap(),
+                off.read(1, i * 8, 8).unwrap()
+            );
+            assert_eq!(
+                clean.write(2, i * 4, 4).unwrap(),
+                off.write(2, i * 4, 4).unwrap()
+            );
+        }
+        assert_eq!(clean.stats(), off.stats());
+        assert_eq!(off.fault_stats().total(), 0);
     }
 }

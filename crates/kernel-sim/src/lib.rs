@@ -39,16 +39,21 @@
 //! });
 //! let f = sim.create_file(4096);
 //! let before = sim.now_ns();
-//! sim.read(f, 0, 64); // cold: charged device time
+//! sim.read(f, 0, 64).unwrap(); // cold: charged device time
 //! let cold = sim.now_ns() - before;
 //! let before = sim.now_ns();
-//! sim.read(f, 0, 64); // warm: page-cache hits
+//! sim.read(f, 0, 64).unwrap(); // warm: page-cache hits
 //! let warm = sim.now_ns() - before;
 //! assert!(warm * 2 < cold);
 //! ```
+//!
+//! I/O is fallible: with a [`fault::FaultPlan`] attached (see
+//! [`sim::Sim::set_fault_plan`]) reads and writes may return
+//! [`fault::IoError`]; without one they always succeed.
 
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod fxhash;
 pub mod readahead;
 pub mod sim;
@@ -57,6 +62,7 @@ pub mod tracefile;
 
 pub use cache::PageCache;
 pub use device::{BlockDevice, DeviceProfile};
+pub use fault::{Fault, FaultConfig, FaultPlan, FaultStats, IoError, IoErrorKind, IoResult};
 pub use readahead::RaState;
 pub use sim::{FileId, Sim, SimConfig, SimStats};
 pub use trace::{TraceKind, TraceRecord};

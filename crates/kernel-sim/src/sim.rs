@@ -13,6 +13,7 @@
 
 use crate::cache::{CacheStats, PageCache};
 use crate::device::{BlockDevice, DeviceProfile, DeviceStats};
+use crate::fault::{FaultPlan, FaultStats, IoResult};
 use crate::ra_kb_to_pages;
 use crate::readahead::{RaAction, RaState};
 use crate::trace::{TraceKind, TraceRecord, TraceSink};
@@ -154,6 +155,9 @@ pub struct Sim {
     logical_reads: u64,
     logical_writes: u64,
     telemetry: SimTelemetry,
+    /// Logical operations left before a cache-pressure squeeze lifts
+    /// (0 = not squeezed).
+    squeeze_remaining: u64,
 }
 
 impl Sim {
@@ -170,13 +174,53 @@ impl Sim {
             logical_reads: 0,
             logical_writes: 0,
             telemetry: SimTelemetry::noop(),
+            squeeze_remaining: 0,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a seeded fault schedule. Device
+    /// requests then may fail, tear, spike, or stall, and logical operations
+    /// may squeeze the page cache. Detaching also lifts any active squeeze.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        if plan.is_none() && self.squeeze_remaining > 0 {
+            self.squeeze_remaining = 0;
+            self.cache.set_capacity(self.cfg.cache_pages);
+        }
+        self.device.set_fault_plan(plan);
+    }
+
+    /// Counters of faults injected so far (zero without a plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.device.fault_stats()
+    }
+
+    /// Pages currently resident in the cache (DST invariant checks).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Dirty pages currently resident (DST invariant checks).
+    pub fn cache_dirty(&self) -> usize {
+        self.cache.dirty_count()
+    }
+
+    /// Current cache capacity — the configured size, or less during a
+    /// fault-injected squeeze (DST invariant checks).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
     }
 
     /// Attaches a KML ring-buffer producer that will receive tracepoint
     /// records (the paper's data-collection hooks).
     pub fn attach_trace(&mut self, producer: Producer<TraceRecord>) {
         self.trace = TraceSink::new(producer);
+    }
+
+    /// Tracepoint records emitted into the attached ring so far (0 when no
+    /// ring is attached). With a drained consumer this must reconcile
+    /// exactly: emitted = consumed + dropped.
+    pub fn trace_emitted(&self) -> u64 {
+        self.trace.emitted()
     }
 
     /// Binds this simulator's metrics (`sim.cache.*`, `sim.device.*`) to a
@@ -269,14 +313,22 @@ impl Sim {
     /// - [`Advice::WillNeed`] prefetches the given range immediately.
     /// - [`Advice::DontNeed`] drops the range's clean pages from the cache.
     ///
-    /// Returns the cost in ns (nonzero only for `WillNeed`/`DontNeed`).
+    /// Returns the cost in ns (nonzero only for `WillNeed`/`DontNeed`), or
+    /// the [`crate::IoError`] if an injected fault failed the prefetch or
+    /// the dirty flush (the clock still advances by the time consumed).
     ///
     /// # Panics
     ///
     /// Panics if `f` is not a handle from this simulator.
-    pub fn fadvise(&mut self, f: FileId, advice: Advice) -> u64 {
-        let default_pages = ra_kb_to_pages(self.cfg.default_ra_kb);
+    pub fn fadvise(&mut self, f: FileId, advice: Advice) -> IoResult<u64> {
         let mut cost = 0;
+        let res = self.fadvise_inner(f, advice, &mut cost);
+        self.clock_ns += cost;
+        res.map(|()| cost)
+    }
+
+    fn fadvise_inner(&mut self, f: FileId, advice: Advice, cost: &mut u64) -> IoResult<()> {
+        let default_pages = ra_kb_to_pages(self.cfg.default_ra_kb);
         match advice {
             Advice::Sequential => {
                 let cur = self.files[f.0].ra.ra_pages();
@@ -287,7 +339,7 @@ impl Sim {
             Advice::WillNeed { page, npages } => {
                 let end = (page + npages).min(self.files[f.0].pages);
                 if end > page {
-                    cost = self.fetch(f, page, end - page, u64::MAX);
+                    self.fetch(f, page, end - page, u64::MAX, cost)?;
                 }
             }
             Advice::DontNeed { page, npages } => {
@@ -300,27 +352,38 @@ impl Sim {
                         dirty_in_range.push((inode, p));
                     }
                 }
-                cost = self.charge_runs(&dirty_in_range, false);
+                self.charge_runs(&dirty_in_range, cost)?;
                 for &(ino, p) in &dirty_in_range {
                     self.emit(TraceKind::WritebackDirtyPage, ino, p);
                 }
             }
         }
-        self.clock_ns += cost;
-        cost
+        Ok(())
     }
 
     /// Reads `npages` starting at `page`; returns the operation's cost in ns
     /// (the clock advances by the same amount). Reads past EOF are clamped.
     ///
+    /// With a fault plan attached the read may fail with [`crate::IoError`];
+    /// the clock still advances by the time the failed attempt consumed, and
+    /// pages fetched before the failure stay cached. Without a plan the call
+    /// never fails.
+    ///
     /// # Panics
     ///
     /// Panics if `f` is not a handle from this simulator.
-    pub fn read(&mut self, f: FileId, page: u64, npages: u64) -> u64 {
+    pub fn read(&mut self, f: FileId, page: u64, npages: u64) -> IoResult<u64> {
+        let mut cost = 0;
+        let res = self.read_inner(f, page, npages, &mut cost);
+        self.clock_ns += cost;
+        res.map(|()| cost)
+    }
+
+    fn read_inner(&mut self, f: FileId, page: u64, npages: u64, cost: &mut u64) -> IoResult<()> {
+        self.logical_reads += 1;
+        self.apply_pressure(cost)?;
         let file_pages = self.files[f.0].pages;
         let end = (page + npages).min(file_pages);
-        let mut cost = 0;
-        self.logical_reads += 1;
         for p in page..end {
             let inode = self.files[f.0].inode;
             // touch() counts the hit/miss and promotes on hit.
@@ -334,30 +397,29 @@ impl Sim {
             match action {
                 RaAction::None => {}
                 RaAction::Sync { start, len } | RaAction::Async { start, len } => {
-                    cost += self.fetch(f, start, len, p);
+                    self.fetch(f, start, len, p, cost)?;
                 }
             }
             // Safety net: if readahead declined (EOF edge) the page still
             // needs a single-page demand fetch.
             if !cached && !self.cache.contains((inode, p)) {
-                cost += self.fetch(f, p, 1, p);
+                self.fetch(f, p, 1, p, cost)?;
             }
-            cost += self.cfg.cache_hit_ns;
+            *cost += self.cfg.cache_hit_ns;
         }
-        self.clock_ns += cost;
-        cost
+        Ok(())
     }
 
     /// A page-fault-driven access, as an `mmap`ed file generates (paper §5:
     /// KML "also intercepts mmap-based file accesses"): the fault touches
     /// exactly one page, so the readahead heuristic sees `req_len == 1`
     /// regardless of how much the application will eventually read.
-    /// Returns the fault's cost in ns.
+    /// Returns the fault's cost in ns (or the injected I/O error).
     ///
     /// # Panics
     ///
     /// Panics if `f` is not a handle from this simulator.
-    pub fn mmap_read(&mut self, f: FileId, page: u64) -> u64 {
+    pub fn mmap_read(&mut self, f: FileId, page: u64) -> IoResult<u64> {
         self.read(f, page, 1)
     }
 
@@ -365,62 +427,118 @@ impl Sim {
     /// no read-modify-write); returns the cost in ns. May trigger
     /// threshold writeback.
     ///
+    /// With a fault plan attached the operation may fail with
+    /// [`crate::IoError`] when an eviction or threshold writeback hits an
+    /// injected device error. Written pages stay dirty in the cache; pages
+    /// whose threshold writeback failed are re-marked dirty, so no resident
+    /// data is silently lost (the analogue of `AS_EIO` + redirty in Linux).
+    ///
     /// # Panics
     ///
     /// Panics if `f` is not a handle from this simulator.
-    pub fn write(&mut self, f: FileId, page: u64, npages: u64) -> u64 {
+    pub fn write(&mut self, f: FileId, page: u64, npages: u64) -> IoResult<u64> {
+        let mut cost = 0;
+        let res = self.write_inner(f, page, npages, &mut cost);
+        self.telemetry
+            .dirty_pages
+            .set(self.cache.dirty_count() as u64);
+        self.clock_ns += cost;
+        res.map(|()| cost)
+    }
+
+    fn write_inner(&mut self, f: FileId, page: u64, npages: u64, cost: &mut u64) -> IoResult<()> {
+        self.logical_writes += 1;
+        self.apply_pressure(cost)?;
         let inode = self.files[f.0].inode;
         let file_pages = self.files[f.0].pages;
         let end = (page + npages).min(file_pages);
-        let mut cost = 0;
-        self.logical_writes += 1;
         for p in page..end {
             let was_cached = self.cache.contains((inode, p));
             // insert() promotes existing pages and evicts for new ones.
             let evicted = self.cache.insert((inode, p), false);
-            cost += self.flush_victims(&evicted);
             if !was_cached {
                 self.emit(TraceKind::AddToPageCache, inode, p);
             }
+            // The logical write itself always lands in the cache; only the
+            // eviction flush can fail, after the new page is accounted for.
             self.cache.mark_dirty((inode, p));
-            cost += self.cfg.cache_hit_ns;
+            self.flush_victims(&evicted, cost)?;
+            *cost += self.cfg.cache_hit_ns;
         }
         // Threshold writeback, like the flusher threads kicking in.
         let threshold = (self.cfg.dirty_threshold * self.cfg.cache_pages as f64) as usize;
         if self.cache.dirty_count() > threshold {
             let flushed = self.cache.writeback(self.cfg.writeback_batch);
-            cost += self.charge_runs(&flushed, false);
+            if let Err(e) = self.charge_runs(&flushed, cost) {
+                // Failed flush: conservatively re-dirty the whole batch so
+                // nothing resident is silently dropped; it will be retried.
+                for &k in &flushed {
+                    self.cache.mark_dirty(k);
+                }
+                return Err(e);
+            }
             for &(ino, p) in &flushed {
                 self.emit(TraceKind::WritebackDirtyPage, ino, p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page to the device (`fsync`-ish; SSTable builds
+    /// call this so table data reaches the device before being read back).
+    ///
+    /// On an injected write error the un-flushed pages are re-marked dirty
+    /// and the error is returned — like `fsync` reporting `EIO` with the
+    /// data still pending.
+    pub fn sync(&mut self) -> IoResult<()> {
+        let mut cost = 0;
+        let flushed = self.cache.writeback(usize::MAX);
+        let res = self.charge_runs(&flushed, &mut cost);
+        match res {
+            Ok(()) => {
+                for &(ino, p) in &flushed {
+                    self.emit(TraceKind::WritebackDirtyPage, ino, p);
+                }
+            }
+            Err(_) => {
+                for &k in &flushed {
+                    self.cache.mark_dirty(k);
+                }
             }
         }
         self.telemetry
             .dirty_pages
             .set(self.cache.dirty_count() as u64);
         self.clock_ns += cost;
-        cost
-    }
-
-    /// Flushes every dirty page to the device (`fsync`-ish; SSTable builds
-    /// call this so table data reaches the device before being read back).
-    pub fn sync(&mut self) {
-        let flushed = self.cache.writeback(usize::MAX);
-        let cost = self.charge_runs(&flushed, false);
-        for &(ino, p) in &flushed {
-            self.emit(TraceKind::WritebackDirtyPage, ino, p);
-        }
-        self.telemetry.dirty_pages.set(0);
-        self.clock_ns += cost;
+        res
     }
 
     /// Drops the whole page cache (the paper clears caches between runs).
     /// Dirty pages are flushed first (`sync; echo 3 > drop_caches`).
-    pub fn drop_caches(&mut self) {
+    ///
+    /// If the flush hits an injected write error the cache is NOT cleared
+    /// (the dirty pages are re-marked and kept) and the error is returned.
+    pub fn drop_caches(&mut self) -> IoResult<()> {
+        let mut cost = 0;
         let flushed = self.cache.writeback(usize::MAX);
-        let cost = self.charge_runs(&flushed, false);
+        let res = self.charge_runs(&flushed, &mut cost);
         self.clock_ns += cost;
-        self.cache.clear();
-        self.telemetry.dirty_pages.set(0);
+        match res {
+            Ok(()) => {
+                self.cache.clear();
+                self.telemetry.dirty_pages.set(0);
+                Ok(())
+            }
+            Err(e) => {
+                for &k in &flushed {
+                    self.cache.mark_dirty(k);
+                }
+                self.telemetry
+                    .dirty_pages
+                    .set(self.cache.dirty_count() as u64);
+                Err(e)
+            }
+        }
     }
 
     /// Aggregated statistics so far.
@@ -441,14 +559,42 @@ impl Sim {
         self.logical_writes = 0;
     }
 
+    /// Consults the fault schedule for cache-pressure squeezes; called once
+    /// per logical operation. No-op without an attached plan.
+    fn apply_pressure(&mut self, cost: &mut u64) -> IoResult<()> {
+        if self.squeeze_remaining > 0 {
+            self.squeeze_remaining -= 1;
+            if self.squeeze_remaining == 0 {
+                // Pressure lifted: the cache may fill back up.
+                self.cache.set_capacity(self.cfg.cache_pages);
+            }
+            return Ok(());
+        }
+        let Some(sq) = self.device.fault_plan_mut().and_then(|p| p.on_logical_op()) else {
+            return Ok(());
+        };
+        let cap = ((self.cfg.cache_pages as f64 * sq.frac) as usize).max(1);
+        let evicted = self.cache.set_capacity(cap);
+        self.squeeze_remaining = sq.ops;
+        self.flush_victims(&evicted, cost)
+    }
+
     /// Fetches the uncached pages of `[start, start+len)` from the device,
     /// inserting them into the cache. `demand` is the page the application
-    /// actually asked for (inserted non-speculative).
-    fn fetch(&mut self, f: FileId, start: u64, len: u64, demand: u64) -> u64 {
+    /// actually asked for (inserted non-speculative). On an injected fault
+    /// the pages of already-completed runs stay cached and `cost` holds the
+    /// time consumed so far (including the failed attempt).
+    fn fetch(
+        &mut self,
+        f: FileId,
+        start: u64,
+        len: u64,
+        demand: u64,
+        cost: &mut u64,
+    ) -> IoResult<()> {
         let inode = self.files[f.0].inode;
         let file_pages = self.files[f.0].pages;
         let end = (start + len).min(file_pages);
-        let mut cost = 0;
         // Group uncached pages into contiguous runs: each run is one
         // device request (bigger readahead ⇒ fewer, larger requests).
         let mut run_start: Option<u64> = None;
@@ -462,70 +608,92 @@ impl Sim {
                 }
                 run_len += 1;
             } else if let Some(rs) = run_start.take() {
-                let service_ns = self.device.read(inode, rs, run_len);
+                let service_ns = match self.device.read(inode, rs, run_len) {
+                    Ok(ns) => ns,
+                    Err(e) => {
+                        *cost += e.ns;
+                        return Err(e);
+                    }
+                };
                 self.telemetry.read_latency_ns.record(service_ns);
                 self.telemetry
                     .read_request_bytes
                     .record(run_len * crate::PAGE_SIZE);
-                cost += service_ns;
+                *cost += service_ns;
                 for q in rs..rs + run_len {
                     let evicted = self.cache.insert((inode, q), q != demand);
-                    cost += self.flush_victims(&evicted);
+                    self.flush_victims(&evicted, cost)?;
                     self.emit(TraceKind::AddToPageCache, inode, q);
                 }
                 run_len = 0;
             }
         }
-        cost
+        Ok(())
     }
 
-    /// Writes dirty eviction victims back to the device.
-    fn flush_victims(&mut self, victims: &[((u64, u64), bool)]) -> u64 {
+    /// Writes dirty eviction victims back to the device. On an injected
+    /// write error the victims are already evicted — the loss is *reported*
+    /// through the error, never silent.
+    fn flush_victims(&mut self, victims: &[((u64, u64), bool)], cost: &mut u64) -> IoResult<()> {
         let dirty: Vec<(u64, u64)> = victims
             .iter()
             .filter(|(_, dirty)| *dirty)
             .map(|(k, _)| *k)
             .collect();
-        let cost = self.charge_runs(&dirty, true);
+        self.charge_runs(&dirty, cost)?;
         for &(ino, p) in &dirty {
             self.emit(TraceKind::WritebackDirtyPage, ino, p);
         }
-        cost
+        Ok(())
     }
 
     /// Charges device write time for a set of pages, merging contiguous
-    /// same-inode pages into single requests.
-    fn charge_runs(&mut self, pages: &[(u64, u64)], _eviction: bool) -> u64 {
+    /// same-inode pages into single requests. Stops at the first failed
+    /// request; `cost` accumulates time consumed by completed requests and
+    /// the failed attempt.
+    fn charge_runs(&mut self, pages: &[(u64, u64)], cost: &mut u64) -> IoResult<()> {
         if pages.is_empty() {
-            return 0;
+            return Ok(());
         }
         let mut sorted = pages.to_vec();
         sorted.sort_unstable();
-        let mut cost = 0;
         let (mut run_inode, mut run_start) = sorted[0];
         let mut run_len = 1;
         for &(ino, p) in &sorted[1..] {
             if ino == run_inode && p == run_start + run_len {
                 run_len += 1;
             } else {
-                cost += self.charge_write(run_inode, run_start, run_len);
+                self.charge_write(run_inode, run_start, run_len, cost)?;
                 run_inode = ino;
                 run_start = p;
                 run_len = 1;
             }
         }
-        cost += self.charge_write(run_inode, run_start, run_len);
-        cost
+        self.charge_write(run_inode, run_start, run_len, cost)
     }
 
     /// One merged device write request, recorded in telemetry.
-    fn charge_write(&mut self, inode: u64, start: u64, npages: u64) -> u64 {
-        let service_ns = self.device.write(inode, start, npages);
-        self.telemetry.write_latency_ns.record(service_ns);
-        self.telemetry
-            .write_request_bytes
-            .record(npages * crate::PAGE_SIZE);
-        service_ns
+    fn charge_write(
+        &mut self,
+        inode: u64,
+        start: u64,
+        npages: u64,
+        cost: &mut u64,
+    ) -> IoResult<()> {
+        match self.device.write(inode, start, npages) {
+            Ok(service_ns) => {
+                self.telemetry.write_latency_ns.record(service_ns);
+                self.telemetry
+                    .write_request_bytes
+                    .record(npages * crate::PAGE_SIZE);
+                *cost += service_ns;
+                Ok(())
+            }
+            Err(e) => {
+                *cost += e.ns;
+                Err(e)
+            }
+        }
     }
 
     fn emit(&mut self, kind: TraceKind, inode: u64, page_offset: u64) {
@@ -556,8 +724,8 @@ mod tests {
     fn warm_reads_cost_cache_hits_only() {
         let mut sim = small_sim(DeviceProfile::nvme());
         let f = sim.create_file(128);
-        sim.read(f, 0, 64);
-        let warm = sim.read(f, 0, 64);
+        sim.read(f, 0, 64).unwrap();
+        let warm = sim.read(f, 0, 64).unwrap();
         assert_eq!(warm, 64 * sim.cfg.cache_hit_ns);
     }
 
@@ -566,7 +734,7 @@ mod tests {
         let mut sim = small_sim(DeviceProfile::sata_ssd());
         let f = sim.create_file(4096);
         for chunk in 0..32 {
-            sim.read(f, chunk * 8, 8); // a 32 KiB-block sequential scan
+            sim.read(f, chunk * 8, 8).unwrap(); // a 32 KiB-block sequential scan
         }
         let stats = sim.stats();
         // 256 pages read but far fewer device requests thanks to readahead.
@@ -591,7 +759,7 @@ mod tests {
             let f = sim.create_file(4096);
             let mut cost = 0;
             for page in 0..4096 {
-                cost += sim.read(f, page, 1);
+                cost += sim.read(f, page, 1).unwrap();
             }
             costs.push(cost);
         }
@@ -619,7 +787,7 @@ mod tests {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let block = (x >> 20) % ((1 << 20) / 4);
-                cost += sim.read(f, block * 4, 4); // 16 KiB block read
+                cost += sim.read(f, block * 4, 4).unwrap(); // 16 KiB block read
             }
             costs.push(cost);
         }
@@ -641,7 +809,7 @@ mod tests {
         let mut x = 7u64;
         for _ in 0..2000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            sim.read(f, (x >> 16) % (1 << 18), 1);
+            sim.read(f, (x >> 16) % (1 << 18), 1).unwrap();
         }
         assert!(
             sim.stats().cache.wasted_prefetch > 1000,
@@ -661,7 +829,7 @@ mod tests {
         });
         let f = sim.create_file(4096);
         for p in 0..40 {
-            sim.write(f, p, 1);
+            sim.write(f, p, 1).unwrap();
         }
         let stats = sim.stats();
         assert!(stats.cache.writebacks > 0, "no writeback happened");
@@ -678,10 +846,10 @@ mod tests {
         });
         let f = sim.create_file(4096);
         for p in 0..16 {
-            sim.write(f, p, 1);
+            sim.write(f, p, 1).unwrap();
         }
         // Reading far away evicts the dirty pages.
-        sim.read(f, 2000, 16);
+        sim.read(f, 2000, 16).unwrap();
         assert!(sim.stats().device.pages_written > 0);
     }
 
@@ -689,10 +857,10 @@ mod tests {
     fn drop_caches_forces_cold_reads() {
         let mut sim = small_sim(DeviceProfile::nvme());
         let f = sim.create_file(64);
-        sim.read(f, 0, 32);
-        sim.drop_caches();
+        sim.read(f, 0, 32).unwrap();
+        sim.drop_caches().unwrap();
         let before = sim.stats().device.pages_read;
-        sim.read(f, 0, 32);
+        sim.read(f, 0, 32).unwrap();
         assert!(sim.stats().device.pages_read > before);
     }
 
@@ -703,8 +871,8 @@ mod tests {
         sim.attach_trace(p);
         let f = sim.create_file(128);
         let inode = sim.file_inode(f);
-        sim.read(f, 0, 8);
-        sim.write(f, 100, 1);
+        sim.read(f, 0, 8).unwrap();
+        sim.write(f, 100, 1).unwrap();
         let records: Vec<TraceRecord> = c.drain().collect();
         assert!(!records.is_empty());
         assert!(records.iter().all(|r| r.inode == inode));
@@ -730,7 +898,7 @@ mod tests {
     fn reads_past_eof_are_clamped() {
         let mut sim = small_sim(DeviceProfile::nvme());
         let f = sim.create_file(10);
-        let cost = sim.read(f, 8, 10); // only pages 8, 9 exist
+        let cost = sim.read(f, 8, 10).unwrap(); // only pages 8, 9 exist
         assert!(cost > 0);
         let stats = sim.stats();
         assert!(stats.device.pages_read <= 10);
@@ -741,7 +909,7 @@ mod tests {
         let mut sim = small_sim(DeviceProfile::sata_ssd());
         let f = sim.create_file(128);
         let t0 = sim.now_ns();
-        sim.read(f, 0, 8);
+        sim.read(f, 0, 8).unwrap();
         let t1 = sim.now_ns();
         assert!(t1 > t0);
         sim.advance(1_000_000);
@@ -755,7 +923,7 @@ mod tests {
         // Sequential faulting builds a readahead stream: far fewer device
         // requests than pages touched.
         for p in 0..512 {
-            sim.mmap_read(f, p);
+            sim.mmap_read(f, p).unwrap();
         }
         let stats = sim.stats();
         assert!(stats.device.pages_read >= 512);
@@ -773,11 +941,11 @@ mod tests {
         let mut sim = small_sim(DeviceProfile::nvme());
         let f = sim.create_file(1 << 16);
         assert_eq!(sim.file_ra_kb(f), 128);
-        sim.fadvise(f, Advice::Sequential);
+        sim.fadvise(f, Advice::Sequential).unwrap();
         assert_eq!(sim.file_ra_kb(f), 256);
-        sim.fadvise(f, Advice::Random);
+        sim.fadvise(f, Advice::Random).unwrap();
         assert_eq!(sim.file_ra_kb(f), 4); // one page
-        sim.fadvise(f, Advice::Normal);
+        sim.fadvise(f, Advice::Normal).unwrap();
         assert_eq!(sim.file_ra_kb(f), 128);
     }
 
@@ -785,16 +953,18 @@ mod tests {
     fn fadvise_willneed_prefetches_range() {
         let mut sim = small_sim(DeviceProfile::sata_ssd());
         let f = sim.create_file(256);
-        let cost = sim.fadvise(
-            f,
-            Advice::WillNeed {
-                page: 0,
-                npages: 64,
-            },
-        );
+        let cost = sim
+            .fadvise(
+                f,
+                Advice::WillNeed {
+                    page: 0,
+                    npages: 64,
+                },
+            )
+            .unwrap();
         assert!(cost > 0);
         // A subsequent read is all cache hits.
-        let warm = sim.read(f, 0, 64);
+        let warm = sim.read(f, 0, 64).unwrap();
         assert_eq!(warm, 64 * sim.cfg.cache_hit_ns);
     }
 
@@ -807,21 +977,23 @@ mod tests {
             ..SimConfig::default()
         });
         let f = sim.create_file(256);
-        sim.read(f, 0, 16);
-        sim.write(f, 0, 4); // dirty the head of the range
+        sim.read(f, 0, 16).unwrap();
+        sim.write(f, 0, 4).unwrap(); // dirty the head of the range
         let before_writes = sim.stats().device.pages_written;
-        let cost = sim.fadvise(
-            f,
-            Advice::DontNeed {
-                page: 0,
-                npages: 16,
-            },
-        );
+        let cost = sim
+            .fadvise(
+                f,
+                Advice::DontNeed {
+                    page: 0,
+                    npages: 16,
+                },
+            )
+            .unwrap();
         assert!(cost > 0, "dirty flush must cost device time");
         assert!(sim.stats().device.pages_written > before_writes);
         // The range is cold again.
         let before_reads = sim.stats().device.pages_read;
-        sim.read(f, 0, 4);
+        sim.read(f, 0, 4).unwrap();
         assert!(sim.stats().device.pages_read > before_reads);
     }
 
@@ -831,10 +1003,10 @@ mod tests {
         let mut sim = small_sim(DeviceProfile::sata_ssd());
         sim.attach_telemetry(&reg);
         let f = sim.create_file(512);
-        sim.read(f, 0, 64); // cold
-        sim.read(f, 0, 64); // warm: pure hits
-        sim.write(f, 100, 8);
-        sim.sync();
+        sim.read(f, 0, 64).unwrap(); // cold
+        sim.read(f, 0, 64).unwrap(); // warm: pure hits
+        sim.write(f, 100, 8).unwrap();
+        sim.sync().unwrap();
         let stats = sim.stats();
         if reg.is_enabled() {
             let snap = reg.snapshot();
@@ -858,7 +1030,7 @@ mod tests {
     fn detached_sim_records_nothing() {
         let mut sim = small_sim(DeviceProfile::nvme());
         let f = sim.create_file(64);
-        sim.read(f, 0, 32);
+        sim.read(f, 0, 32).unwrap();
         assert!(sim.telemetry().snapshot().is_empty());
     }
 
@@ -875,13 +1047,13 @@ mod tests {
             });
             let f = sim.create_file(1 << 20);
             if hint {
-                sim.fadvise(f, Advice::Random);
+                sim.fadvise(f, Advice::Random).unwrap();
             }
             let t0 = sim.now_ns();
             let mut x = 12345u64;
             for _ in 0..400 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                sim.read(f, ((x >> 20) % ((1 << 20) / 4)) * 4, 4);
+                sim.read(f, ((x >> 20) % ((1 << 20) / 4)) * 4, 4).unwrap();
             }
             sim.now_ns() - t0
         };
@@ -891,5 +1063,104 @@ mod tests {
             hinted < unhinted,
             "fadvise(RANDOM) {hinted} should beat default {unhinted}"
         );
+    }
+
+    #[test]
+    fn injected_read_error_surfaces_and_clock_still_advances() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = small_sim(DeviceProfile::nvme());
+        sim.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 2,
+            read_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        let f = sim.create_file(128);
+        let t0 = sim.now_ns();
+        let err = sim.read(f, 0, 8).unwrap_err();
+        assert!(sim.now_ns() > t0, "failed attempt must consume time");
+        assert_eq!(err.completed, 0);
+        assert!(sim.fault_stats().read_errors >= 1);
+        // Detach the plan: the same read now succeeds.
+        sim.set_fault_plan(None);
+        sim.read(f, 0, 8).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_keeps_pages_dirty_for_retry() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 256,
+            dirty_threshold: 0.99,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(256);
+        sim.write(f, 0, 8).unwrap();
+        assert_eq!(sim.cache_dirty(), 8);
+        sim.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 9,
+            write_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        sim.sync().unwrap_err();
+        // Nothing silently lost: the batch is dirty again.
+        assert_eq!(sim.cache_dirty(), 8);
+        sim.set_fault_plan(None);
+        sim.sync().unwrap();
+        assert_eq!(sim.cache_dirty(), 0);
+        assert_eq!(sim.stats().device.pages_written, 8);
+    }
+
+    #[test]
+    fn cache_squeeze_shrinks_then_lifts() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 128,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(4096);
+        sim.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 1,
+            cache_squeeze: 1.0, // squeeze on the first logical op
+            squeeze_frac: 0.25,
+            squeeze_ops: 3,
+            ..FaultConfig::off()
+        })));
+        sim.read(f, 0, 1).unwrap();
+        assert_eq!(sim.cache_capacity(), 32);
+        assert!(sim.cache_len() <= 32);
+        // After squeeze_ops more operations the pressure lifts. Detach the
+        // plan first so no *new* squeeze starts.
+        sim.set_fault_plan(None);
+        assert_eq!(sim.cache_capacity(), 128);
+    }
+
+    #[test]
+    fn squeeze_lifts_by_itself_after_configured_ops() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 128,
+            ..SimConfig::default()
+        });
+        let f = sim.create_file(4096);
+        let mut plan = FaultPlan::new(FaultConfig {
+            seed: 1,
+            cache_squeeze: 1.0,
+            squeeze_frac: 0.5,
+            squeeze_ops: 2,
+            ..FaultConfig::off()
+        });
+        // Neuter further squeezes after the first by draining the trigger:
+        // install, trigger once, then set a plan that cannot squeeze.
+        sim.set_fault_plan(Some(plan.clone()));
+        sim.read(f, 0, 1).unwrap();
+        assert_eq!(sim.cache_capacity(), 64);
+        plan = FaultPlan::new(FaultConfig::off());
+        sim.device.set_fault_plan(Some(plan));
+        sim.read(f, 1, 1).unwrap(); // squeeze_remaining 2 -> 1
+        sim.read(f, 2, 1).unwrap(); // 1 -> 0: capacity restored
+        assert_eq!(sim.cache_capacity(), 128);
     }
 }

@@ -1,0 +1,618 @@
+//! The DST harness: runs one seeded scenario end to end through the full
+//! closed loop and checks every cross-layer invariant after every step.
+//!
+//! The stack under test is exactly the production wiring of
+//! `readahead::closed_loop`: a [`Sim`] with telemetry and a tracepoint
+//! ring attached, an LSM [`Db`] on top, and a [`KmlTuner`] draining the
+//! ring and re-tuning readahead once per window — except the device
+//! carries a seeded [`FaultPlan`] and the store is shadowed by a
+//! `BTreeSet` reference model.
+
+use crate::scenario::{Scenario, SeedStream};
+use kernel_sim::sim::Advice;
+use kernel_sim::{FaultPlan, FaultStats, FileId, Sim, SimConfig};
+use kml_collect::RingBuffer;
+use kml_core::dataset::Dataset;
+use kml_core::dtree::{DecisionTree, DecisionTreeConfig};
+use kml_telemetry::Registry;
+use kvstore::{Db, DbConfig};
+use readahead::tuner::{KmlTuner, RaPolicy, TunerModel};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Readahead in force before the tuner's first decision, KiB.
+const INITIAL_RA_KB: u32 = 128;
+/// The two readahead settings the harness policy can actuate, KiB.
+const POLICY_RA_KB: [u32; 2] = [16, 1024];
+/// Events kept in a failure report (the tail of the run).
+const TRACE_TAIL: usize = 16;
+
+/// One step of the event trace: enough to diff two replays and to read a
+/// failure's last moments, small enough to hash byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Step index.
+    pub step: u64,
+    /// Op discriminant (see `OP_NAMES`).
+    pub op: u8,
+    /// Key / page argument of the op.
+    pub key: u64,
+    /// Simulated clock after the op, ns.
+    pub clock_ns: u64,
+    /// 0 = ok/absent, 1 = ok/present, 2 = io error.
+    pub code: u8,
+}
+
+/// Names for `Event::op`, index-aligned with the dispatch in `run_inner`.
+pub const OP_NAMES: [&str; 12] = [
+    "put",
+    "get",
+    "scan",
+    "scan_reverse",
+    "seq_read",
+    "rand_read",
+    "flush",
+    "compact",
+    "sync",
+    "drop_caches",
+    "fadvise",
+    "mmap_read",
+];
+
+/// Everything a passing run proves, plus the fingerprint replays must
+/// reproduce bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// FNV-1a over every event field, in order.
+    pub trace_hash: u64,
+    /// Steps executed (the scenario's `ops`).
+    pub steps: u64,
+    /// Ops that surfaced an injected I/O error (gracefully).
+    pub io_errors: u64,
+    /// What the fault layer actually injected.
+    pub injected: FaultStats,
+    /// Tuner decisions taken.
+    pub decisions: u64,
+    /// Tracepoint records lost to ring overwrites.
+    pub ring_dropped: u64,
+}
+
+/// A caught invariant violation, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The scenario that failed.
+    pub scenario: Scenario,
+    /// Step at which the invariant broke (`scenario.ops` = final sweep).
+    pub step: u64,
+    /// Which invariant ("I1.lsm-vs-reference", "I2.cache-accounting", …).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// The last [`TRACE_TAIL`] events before the violation.
+    pub trace_tail: Vec<Event>,
+}
+
+impl FailureReport {
+    /// The shell line that replays this failure deterministically.
+    pub fn reproducer(&self) -> String {
+        let mut line = format!(
+            "KML_DST_SEED=0x{:016x} KML_DST_OPS={}",
+            self.scenario.seed, self.scenario.ops
+        );
+        let disabled = self.scenario.disabled.to_env();
+        if !disabled.is_empty() {
+            line.push_str(&format!(" KML_DST_DISABLE={disabled}"));
+        }
+        if self.scenario.lsm_bug {
+            line.push_str(" KML_DST_LSM_BUG=1");
+        }
+        line.push_str(" cargo test -p kml-dst replays_reproducer_from_env");
+        line
+    }
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "DST invariant {} violated at step {} (seed 0x{:016x})",
+            self.invariant, self.step, self.scenario.seed
+        )?;
+        writeln!(f, "  {}", self.detail)?;
+        for e in &self.trace_tail {
+            writeln!(
+                f,
+                "  step {:>6}  {:<12} key={:<6} code={} t={}ns",
+                e.step, OP_NAMES[e.op as usize], e.key, e.code, e.clock_ns
+            )?;
+        }
+        write!(f, "  reproduce: {}", self.reproducer())
+    }
+}
+
+/// Result of one scenario run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// All invariants held for every step.
+    Pass(RunSummary),
+    /// An invariant broke (boxed: the report carries the trace tail).
+    Fail(Box<FailureReport>),
+}
+
+impl Outcome {
+    /// Whether the run passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+}
+
+fn fnv1a(hash: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// The tiniest model that exercises the real inference path: a two-leaf
+/// tree fit on two hand-rows (class 0 = sequential-looking windows →
+/// large readahead, class 1 = random-looking → small). The DST harness
+/// validates the *loop*, not the model's accuracy, so fitting the paper
+/// network here would only add minutes per scenario.
+fn harness_model() -> TunerModel {
+    let dataset = Dataset::from_rows(
+        &[
+            vec![1.0, 0.0, 0.0, 1000.0, 128.0],
+            vec![1.0, 0.0, 0.0, 1.0, 128.0],
+        ],
+        &[0, 1],
+    )
+    .expect("two fixed rows always form a dataset");
+    let tree = DecisionTree::fit(&dataset, DecisionTreeConfig::default())
+        .expect("two-row dataset always fits");
+    TunerModel::Tree(tree)
+}
+
+/// Runs `scenario`, converting any panic into an `I5.no-panic` failure.
+/// All state is built fresh from the seed inside the call, so replays are
+/// byte-identical regardless of what other tests (or threads) are doing.
+pub fn run(scenario: &Scenario) -> Outcome {
+    let scenario = *scenario;
+    match catch_unwind(AssertUnwindSafe(move || run_inner(&scenario))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Fail(Box::new(FailureReport {
+                scenario,
+                step: 0,
+                invariant: "I5.no-panic",
+                detail: format!("panicked: {msg}"),
+                trace_tail: Vec::new(),
+            }))
+        }
+    }
+}
+
+struct Harness {
+    sim: Sim,
+    db: Db,
+    reference: BTreeSet<u64>,
+    tuner: KmlTuner,
+    consumed_total: kml_telemetry::Counter,
+    aux: FileId,
+    aux_pages: u64,
+    key_space: u64,
+    events: Vec<Event>,
+    trace_hash: u64,
+    io_errors: u64,
+    prev_clock: u64,
+    seq_cursor: u64,
+}
+
+impl Harness {
+    fn record(&mut self, step: u64, op: u8, key: u64, code: u8) {
+        let e = Event {
+            step,
+            op,
+            key,
+            clock_ns: self.sim.now_ns(),
+            code,
+        };
+        fnv1a(&mut self.trace_hash, e.step);
+        fnv1a(&mut self.trace_hash, u64::from(e.op));
+        fnv1a(&mut self.trace_hash, e.key);
+        fnv1a(&mut self.trace_hash, e.clock_ns);
+        fnv1a(&mut self.trace_hash, u64::from(e.code));
+        if e.code == 2 {
+            self.io_errors += 1;
+        }
+        self.events.push(e);
+    }
+
+    fn fail(
+        &self,
+        scenario: &Scenario,
+        step: u64,
+        invariant: &'static str,
+        detail: String,
+    ) -> Outcome {
+        let tail_from = self.events.len().saturating_sub(TRACE_TAIL);
+        Outcome::Fail(Box::new(FailureReport {
+            scenario: *scenario,
+            step,
+            invariant,
+            detail,
+            trace_tail: self.events[tail_from..].to_vec(),
+        }))
+    }
+
+    /// Checks I1 (probe), I2, I3, I4, I5 after one step. `Ok(())` means
+    /// all held.
+    fn check_invariants(&mut self, scenario: &Scenario, step: u64) -> Result<(), Outcome> {
+        // I4 first: the ring reconciles exactly while the tuner has it
+        // drained (the probe below emits fresh records, which the *next*
+        // step's drain will pick up).
+        let emitted = self.sim.trace_emitted();
+        let consumed = self.consumed_total.get();
+        let dropped = self.tuner.records_dropped();
+        if emitted != consumed + dropped {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I4.ring-reconciles",
+                format!("emitted={emitted} != consumed={consumed} + dropped={dropped}"),
+            ));
+        }
+        // I1: a rotating probe key read back through the full stack must
+        // agree with the reference model (errored probes are inconclusive —
+        // the device refused, nothing was *wrong*).
+        let probe = (step.wrapping_mul(7919) ^ scenario.seed) % self.key_space;
+        if let Ok(found) = self.db.get(&mut self.sim, probe) {
+            let expected = self.reference.contains(&probe);
+            if found != expected {
+                return Err(self.fail(
+                    scenario,
+                    step,
+                    "I1.lsm-vs-reference",
+                    format!("probe key {probe}: store says {found}, reference says {expected}"),
+                ));
+            }
+        }
+        // I2: cache accounting under squeezes and failed writebacks.
+        let (len, dirty, cap) = (
+            self.sim.cache_len(),
+            self.sim.cache_dirty(),
+            self.sim.cache_capacity(),
+        );
+        if len > cap || dirty > len {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I2.cache-accounting",
+                format!("cache len={len} dirty={dirty} capacity={cap}"),
+            ));
+        }
+        // I3: the actuated readahead is always one the policy can produce.
+        let ra = self.tuner.current_ra_kb();
+        if ra != INITIAL_RA_KB && !POLICY_RA_KB.contains(&ra) {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I3.ra-clamped",
+                format!("tuner holds {ra} KiB, policy allows {POLICY_RA_KB:?} or {INITIAL_RA_KB}"),
+            ));
+        }
+        // I5: the clock never runs backwards (even when an op fails, the
+        // time its attempt consumed must stand).
+        let now = self.sim.now_ns();
+        if now < self.prev_clock {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I5.clock-monotone",
+                format!("clock went from {} to {now}", self.prev_clock),
+            ));
+        }
+        self.prev_clock = now;
+        Ok(())
+    }
+}
+
+fn run_inner(scenario: &Scenario) -> Outcome {
+    let p = scenario.params();
+    let mut sim = Sim::new(SimConfig {
+        device: p.device,
+        cache_pages: p.cache_pages,
+        default_ra_kb: INITIAL_RA_KB,
+        ..SimConfig::default()
+    });
+    let registry = Registry::new();
+    sim.attach_telemetry(&registry);
+    let (producer, mut consumer) = RingBuffer::with_capacity(p.ring_capacity).split();
+    sim.attach_trace(producer);
+    consumer.attach_telemetry(&registry, "kml_collect.ring");
+    let consumed_total = registry.counter("kml_collect.ring.consumed_total");
+
+    // Fault-free fill: even keys present, odd keys absent.
+    let mut db = Db::create(
+        &mut sim,
+        DbConfig {
+            memtable_keys: p.memtable_keys,
+            l0_compaction_trigger: p.l0_trigger,
+            ..DbConfig::default()
+        },
+    );
+    let fill: Vec<u64> = (0..p.key_space).step_by(2).collect();
+    let reference: BTreeSet<u64> = fill.iter().copied().collect();
+    db.bulk_load(&mut sim, fill).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
+    let aux_pages = 1 << 16;
+    let aux = sim.create_file(aux_pages);
+
+    let tuner = KmlTuner::new(
+        harness_model(),
+        RaPolicy::new(POLICY_RA_KB.to_vec()),
+        consumer,
+        p.window_ns,
+        INITIAL_RA_KB,
+    );
+
+    // Everything after this line runs under fire.
+    sim.set_fault_plan(Some(FaultPlan::new(p.faults)));
+    if scenario.lsm_bug {
+        db.set_dst_bug_lose_failed_flush(true);
+    }
+
+    let mut h = Harness {
+        prev_clock: sim.now_ns(),
+        sim,
+        db,
+        reference,
+        tuner,
+        consumed_total,
+        aux,
+        aux_pages,
+        key_space: p.key_space,
+        events: Vec::with_capacity(scenario.ops as usize + 1),
+        trace_hash: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+        io_errors: 0,
+        seq_cursor: 0,
+    };
+    let mut ops = SeedStream::new(scenario.seed, 0x0B5);
+
+    for step in 0..scenario.ops {
+        let roll = ops.range(0, 100);
+        let key = ops.range(0, h.key_space);
+        let (op, code) = match roll {
+            0..=29 => {
+                // Put: accepted ⇒ the reference learns it, rejected ⇒ it
+                // must be as if it never happened.
+                match h.db.put(&mut h.sim, key) {
+                    Ok(()) => {
+                        h.reference.insert(key);
+                        (0, 1)
+                    }
+                    Err(_) => (0, 2),
+                }
+            }
+            30..=54 => match h.db.get(&mut h.sim, key) {
+                Ok(found) => {
+                    let expected = h.reference.contains(&key);
+                    if found != expected {
+                        h.record(step, 1, key, u8::from(found));
+                        return h.fail(
+                            scenario,
+                            step,
+                            "I1.lsm-vs-reference",
+                            format!("get({key}) = {found}, reference says {expected}"),
+                        );
+                    }
+                    (1, u8::from(found))
+                }
+                Err(_) => (1, 2),
+            },
+            55..=62 => {
+                let limit = 1 + (ops.range(0, 32) as usize);
+                match h.db.scan(&mut h.sim, key, limit) {
+                    Ok(visited) => {
+                        let expected = h.reference.range(key..).take(limit).count();
+                        if visited != expected {
+                            h.record(step, 2, key, 0);
+                            return h.fail(
+                                scenario,
+                                step,
+                                "I1.lsm-vs-reference",
+                                format!(
+                                    "scan({key}, {limit}) visited {visited}, reference has {expected}"
+                                ),
+                            );
+                        }
+                        (2, 0)
+                    }
+                    Err(_) => (2, 2),
+                }
+            }
+            63..=67 => {
+                let limit = 1 + (ops.range(0, 32) as usize);
+                match h.db.scan_reverse(&mut h.sim, key, limit) {
+                    Ok(visited) => {
+                        let expected = h.reference.range(..=key).rev().take(limit).count();
+                        if visited != expected {
+                            h.record(step, 3, key, 0);
+                            return h.fail(
+                                scenario,
+                                step,
+                                "I1.lsm-vs-reference",
+                                format!(
+                                    "scan_reverse({key}, {limit}) visited {visited}, reference has {expected}"
+                                ),
+                            );
+                        }
+                        (3, 0)
+                    }
+                    Err(_) => (3, 2),
+                }
+            }
+            68..=77 => {
+                let n = 4 + ops.range(0, 4);
+                let page = h.seq_cursor;
+                h.seq_cursor = (h.seq_cursor + n) % (h.aux_pages - 8);
+                match h.sim.read(h.aux, page, n) {
+                    Ok(_) => (4, 0),
+                    Err(_) => (4, 2),
+                }
+            }
+            78..=83 => {
+                let page = ops.range(0, h.aux_pages - 4);
+                match h.sim.read(h.aux, page, 1 + ops.range(0, 3)) {
+                    Ok(_) => (5, 0),
+                    Err(_) => (5, 2),
+                }
+            }
+            84..=87 => match h.db.flush(&mut h.sim) {
+                Ok(()) => (6, 0),
+                Err(_) => (6, 2),
+            },
+            88..=90 => match h.db.compact(&mut h.sim) {
+                Ok(()) => (7, 0),
+                Err(_) => (7, 2),
+            },
+            91..=92 => match h.sim.sync() {
+                Ok(()) => (8, 0),
+                Err(_) => (8, 2),
+            },
+            93..=94 => match h.sim.drop_caches() {
+                Ok(()) => (9, 0),
+                Err(_) => (9, 2),
+            },
+            95..=96 => {
+                let advice = match ops.range(0, 3) {
+                    0 => Advice::Sequential,
+                    1 => Advice::Random,
+                    _ => Advice::Normal,
+                };
+                match h.sim.fadvise(h.aux, advice) {
+                    Ok(_) => (10, 0),
+                    Err(_) => (10, 2),
+                }
+            }
+            _ => {
+                let page = ops.range(0, h.aux_pages);
+                match h.sim.mmap_read(h.aux, page) {
+                    Ok(_) => (11, 0),
+                    Err(_) => (11, 2),
+                }
+            }
+        };
+        h.record(step, op, key, code);
+
+        // The closed loop's per-op hook: drain tracepoints, maybe retune.
+        if let Err(e) = h.tuner.on_op(&mut h.sim) {
+            return h.fail(
+                scenario,
+                step,
+                "I5.no-panic",
+                format!("tuner failed: {e:?}"),
+            );
+        }
+        if let Err(outcome) = h.check_invariants(scenario, step) {
+            return outcome;
+        }
+    }
+
+    // Lift the faults and sweep: every key the reference holds must be
+    // readable, every key it lacks must stay absent (this is what catches
+    // loss that probes happened to miss). Stats go with the plan, so read
+    // them first.
+    let injected = h.sim.fault_stats();
+    h.sim.set_fault_plan(None);
+    if h.db.flush(&mut h.sim).is_err() || h.db.compact(&mut h.sim).is_err() {
+        return h.fail(
+            scenario,
+            scenario.ops,
+            "I5.no-panic",
+            "flush/compact failed after faults were lifted".to_string(),
+        );
+    }
+    for key in 0..h.key_space {
+        let found =
+            h.db.get(&mut h.sim, key)
+                .expect("fault-free get after plan removal");
+        let expected = h.reference.contains(&key);
+        if found != expected {
+            return h.fail(
+                scenario,
+                scenario.ops,
+                "I1.lsm-vs-reference",
+                format!("final sweep: get({key}) = {found}, reference says {expected}"),
+            );
+        }
+    }
+
+    Outcome::Pass(RunSummary {
+        trace_hash: h.trace_hash,
+        steps: scenario.ops,
+        io_errors: h.io_errors,
+        injected,
+        decisions: h.tuner.decisions().len() as u64,
+        ring_dropped: h.tuner.records_dropped(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quiet_scenario_passes_and_reports_zero_injections() {
+        // Disable every fault kind: the run must pass and inject nothing.
+        let mut scenario = Scenario::from_seed(11, 120);
+        scenario.disabled = crate::FaultMask(0x3F);
+        match run(&scenario) {
+            Outcome::Pass(s) => {
+                assert_eq!(s.steps, 120);
+                assert_eq!(s.injected.total(), 0);
+                assert_eq!(s.io_errors, 0);
+            }
+            Outcome::Fail(r) => panic!("quiet scenario failed:\n{r}"),
+        }
+    }
+
+    #[test]
+    fn reproducer_line_carries_the_whole_scenario() {
+        let report = FailureReport {
+            scenario: Scenario {
+                seed: 0xBEEF,
+                ops: 37,
+                disabled: crate::FaultMask::STALL,
+                lsm_bug: true,
+            },
+            step: 12,
+            invariant: "I1.lsm-vs-reference",
+            detail: "test".to_string(),
+            trace_tail: Vec::new(),
+        };
+        let line = report.reproducer();
+        assert!(line.contains("KML_DST_SEED=0x000000000000beef"), "{line}");
+        assert!(line.contains("KML_DST_OPS=37"), "{line}");
+        assert!(line.contains("KML_DST_DISABLE=stall"), "{line}");
+        assert!(line.contains("KML_DST_LSM_BUG=1"), "{line}");
+        assert!(line.contains("cargo test -p kml-dst"), "{line}");
+    }
+
+    #[test]
+    fn event_trace_hash_distinguishes_different_seeds() {
+        let a = match run(&Scenario::from_seed(21, 60)) {
+            Outcome::Pass(s) => s.trace_hash,
+            Outcome::Fail(r) => panic!("{r}"),
+        };
+        let b = match run(&Scenario::from_seed(22, 60)) {
+            Outcome::Pass(s) => s.trace_hash,
+            Outcome::Fail(r) => panic!("{r}"),
+        };
+        assert_ne!(a, b, "different seeds produced identical traces");
+    }
+}

@@ -1,0 +1,40 @@
+//! # kml-dst — deterministic simulation testing for the KML closed loop
+//!
+//! The simulated stack is already deterministic: one thread, one virtual
+//! clock, no host I/O. This crate turns that into a FoundationDB-style
+//! test harness: a single 64-bit seed derives an entire *scenario* —
+//! device profile, LSM geometry, op mix, and a device-level fault
+//! schedule (I/O errors, torn writes, latency spikes, stalls, cache
+//! squeezes) — and the harness runs the full closed loop (kvstore →
+//! page cache → tracepoint ring → KML tuner → readahead actuation)
+//! under it, checking cross-layer invariants after every step:
+//!
+//! - **I1 lsm-vs-reference** — the store never silently diverges from a
+//!   `BTreeSet` model: rejected puts stay absent, accepted puts survive
+//!   failed flushes and compactions, scans visit exactly the model's
+//!   range.
+//! - **I2 cache-accounting** — page-cache occupancy never exceeds its
+//!   (possibly squeezed) capacity and dirty pages never exceed
+//!   occupancy.
+//! - **I3 ra-clamped** — the readahead the tuner holds is always one the
+//!   policy can produce (or the untouched default).
+//! - **I4 ring-reconciles** — tracepoints emitted = consumed + dropped,
+//!   exactly, every time the tuner drains the ring.
+//! - **I5 clock-monotone / no-panic** — simulated time never runs
+//!   backwards, and no injected fault escapes as a panic.
+//!
+//! A violation is reported as a [`FailureReport`] carrying the trace
+//! tail and a shell-ready reproducer; [`shrink`] then searches for the
+//! smallest op count and fewest fault kinds that still fail and prints
+//! a minimal `KML_DST_SEED=… KML_DST_OPS=… cargo test -p kml-dst`
+//! line. Replays are byte-identical at any test-thread count because a
+//! scenario shares nothing: each run builds its own sim, ring, tuner,
+//! and store from the seed alone.
+
+pub mod harness;
+pub mod scenario;
+pub mod shrink;
+
+pub use harness::{run, Event, FailureReport, Outcome, RunSummary};
+pub use scenario::{FaultMask, Scenario};
+pub use shrink::{shrink, Shrunk};

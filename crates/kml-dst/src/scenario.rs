@@ -1,0 +1,271 @@
+//! Seed-derived scenarios.
+//!
+//! Every parameter of a DST run — device profile, store geometry, ring
+//! capacity, tuner cadence, op mix, and the fault schedule — is a pure
+//! function of one 64-bit seed, so a failing run is *a number*, not a
+//! state dump. The scenario draws from its own splitmix64 stream
+//! (domain-separated from the fault layer's schedule stream) in a fixed
+//! order; adding parameters must only ever append draws, or old seeds
+//! stop reproducing.
+
+use kernel_sim::{DeviceProfile, FaultConfig};
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(GOLDEN);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic draw stream: `n`-th value depends only on (seed,
+/// domain, n).
+pub(crate) struct SeedStream {
+    state: u64,
+    draws: u64,
+}
+
+impl SeedStream {
+    pub(crate) fn new(seed: u64, domain: u64) -> Self {
+        SeedStream {
+            state: splitmix(seed ^ domain.wrapping_mul(GOLDEN)),
+            draws: 0,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.state = splitmix(self.state.wrapping_add(self.draws.wrapping_mul(GOLDEN)));
+        self.state
+    }
+
+    /// Uniform in `[0, 1)` (53 high bits, like the fault layer).
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub(crate) fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Bitmask of fault kinds the shrinker has switched off. A disabled kind
+/// has its rate zeroed in [`Scenario::fault_config`]; everything else in
+/// the scenario (op mix, geometry, surviving fault draws) is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultMask(pub u8);
+
+impl FaultMask {
+    /// Device read errors.
+    pub const READ_ERROR: FaultMask = FaultMask(1 << 0);
+    /// Device write errors.
+    pub const WRITE_ERROR: FaultMask = FaultMask(1 << 1);
+    /// Torn multi-page writes.
+    pub const TORN_WRITE: FaultMask = FaultMask(1 << 2);
+    /// Service-time multipliers.
+    pub const LATENCY_SPIKE: FaultMask = FaultMask(1 << 3);
+    /// Fixed-length device stalls.
+    pub const STALL: FaultMask = FaultMask(1 << 4);
+    /// Page-cache capacity squeezes.
+    pub const CACHE_SQUEEZE: FaultMask = FaultMask(1 << 5);
+
+    /// All six kinds, in shrink order.
+    pub const KINDS: [(FaultMask, &'static str); 6] = [
+        (Self::READ_ERROR, "read_error"),
+        (Self::WRITE_ERROR, "write_error"),
+        (Self::TORN_WRITE, "torn_write"),
+        (Self::LATENCY_SPIKE, "latency_spike"),
+        (Self::STALL, "stall"),
+        (Self::CACHE_SQUEEZE, "cache_squeeze"),
+    ];
+
+    /// Whether `kind` is set in this mask.
+    pub fn contains(self, kind: FaultMask) -> bool {
+        self.0 & kind.0 != 0
+    }
+
+    /// This mask with `kind` added.
+    pub fn with(self, kind: FaultMask) -> FaultMask {
+        FaultMask(self.0 | kind.0)
+    }
+
+    /// Renders as the `KML_DST_DISABLE` comma list (empty for none).
+    pub fn to_env(self) -> String {
+        Self::KINDS
+            .iter()
+            .filter(|(k, _)| self.contains(*k))
+            .map(|(_, name)| *name)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses the `KML_DST_DISABLE` comma list; unknown names are ignored
+    /// (a reproducer from a newer build should not hard-fail an older one).
+    pub fn from_env(s: &str) -> FaultMask {
+        let mut mask = FaultMask::default();
+        for part in s.split(',') {
+            if let Some((k, _)) = Self::KINDS.iter().find(|(_, n)| *n == part.trim()) {
+                mask = mask.with(*k);
+            }
+        }
+        mask
+    }
+}
+
+/// One fully-specified DST run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// Steps of the main op loop (the shrinker minimises this).
+    pub ops: u64,
+    /// Fault kinds the shrinker switched off.
+    pub disabled: FaultMask,
+    /// Arms the deliberate lose-keys-on-failed-flush bug in the store —
+    /// the harness's own end-to-end validation (it must catch this).
+    pub lsm_bug: bool,
+}
+
+/// Parameters derived from the seed (fixed draw order — append only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Params {
+    pub device: DeviceProfile,
+    pub key_space: u64,
+    pub memtable_keys: usize,
+    pub l0_trigger: usize,
+    pub cache_pages: usize,
+    pub ring_capacity: usize,
+    pub window_ns: u64,
+    pub faults: FaultConfig,
+}
+
+impl Scenario {
+    /// A scenario with every fault kind live and no deliberate bug.
+    pub fn from_seed(seed: u64, ops: u64) -> Scenario {
+        Scenario {
+            seed,
+            ops,
+            disabled: FaultMask::default(),
+            lsm_bug: false,
+        }
+    }
+
+    /// Same scenario with the deliberate LSM bug armed.
+    pub fn with_lsm_bug(mut self) -> Scenario {
+        self.lsm_bug = true;
+        self
+    }
+
+    pub(crate) fn params(&self) -> Params {
+        let mut s = SeedStream::new(self.seed, 0xD57);
+        let device = if s.next_u64() & 1 == 0 {
+            DeviceProfile::nvme()
+        } else {
+            DeviceProfile::sata_ssd()
+        };
+        let key_space = s.range(256, 1024);
+        let memtable_keys = s.range(16, 64) as usize;
+        let l0_trigger = s.range(2, 5) as usize;
+        let cache_pages = s.range(128, 1024) as usize;
+        // Rings from 8 (overflow guaranteed) to 4096 (overflow rare).
+        let ring_capacity = 1usize << s.range(3, 13);
+        let window_ns = s.range(200_000, 2_000_000);
+        let mut faults = FaultConfig {
+            seed: splitmix(self.seed ^ 0xFA17),
+            read_error: s.next_f64() * 0.08,
+            write_error: s.next_f64() * 0.08,
+            torn_write: s.next_f64() * 0.10,
+            latency_spike: s.next_f64() * 0.10,
+            stall: s.next_f64() * 0.02,
+            cache_squeeze: s.next_f64() * 0.01,
+            ..FaultConfig::off()
+        };
+        faults.spike_mult = s.range(10, 40);
+        faults.stall_ns = s.range(1, 5) * 1_000_000;
+        faults.squeeze_frac = 0.1 + s.next_f64() * 0.4;
+        faults.squeeze_ops = s.range(16, 128);
+        if self.disabled.contains(FaultMask::READ_ERROR) {
+            faults.read_error = 0.0;
+        }
+        if self.disabled.contains(FaultMask::WRITE_ERROR) {
+            faults.write_error = 0.0;
+        }
+        if self.disabled.contains(FaultMask::TORN_WRITE) {
+            faults.torn_write = 0.0;
+        }
+        if self.disabled.contains(FaultMask::LATENCY_SPIKE) {
+            faults.latency_spike = 0.0;
+        }
+        if self.disabled.contains(FaultMask::STALL) {
+            faults.stall = 0.0;
+        }
+        if self.disabled.contains(FaultMask::CACHE_SQUEEZE) {
+            faults.cache_squeeze = 0.0;
+        }
+        Params {
+            device,
+            key_space,
+            memtable_keys,
+            l0_trigger,
+            cache_pages,
+            ring_capacity,
+            window_ns,
+            faults,
+        }
+    }
+
+    /// The fault schedule this scenario installs (disabled kinds zeroed).
+    pub fn fault_config(&self) -> FaultConfig {
+        self.params().faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_a_pure_function_of_the_seed() {
+        let a = Scenario::from_seed(0xABCD, 100).params();
+        let b = Scenario::from_seed(0xABCD, 100).params();
+        assert_eq!(a.key_space, b.key_space);
+        assert_eq!(a.ring_capacity, b.ring_capacity);
+        assert_eq!(a.faults.seed, b.faults.seed);
+        assert_eq!(a.faults.read_error, b.faults.read_error);
+        let c = Scenario::from_seed(0xABCE, 100).params();
+        assert_ne!(
+            (a.key_space, a.faults.seed),
+            (c.key_space, c.faults.seed),
+            "adjacent seeds must not collide"
+        );
+    }
+
+    #[test]
+    fn disabled_kinds_zero_only_their_rate() {
+        let base = Scenario::from_seed(7, 100);
+        let masked = Scenario {
+            disabled: FaultMask::default().with(FaultMask::READ_ERROR),
+            ..base
+        };
+        let (a, b) = (base.fault_config(), masked.fault_config());
+        assert_eq!(b.read_error, 0.0);
+        assert_eq!(a.write_error, b.write_error);
+        assert_eq!(a.torn_write, b.torn_write);
+        assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn fault_mask_env_round_trips() {
+        let mask = FaultMask::default()
+            .with(FaultMask::TORN_WRITE)
+            .with(FaultMask::STALL);
+        assert_eq!(mask.to_env(), "torn_write,stall");
+        assert_eq!(FaultMask::from_env(&mask.to_env()), mask);
+        assert_eq!(FaultMask::from_env(""), FaultMask::default());
+        assert_eq!(FaultMask::from_env("bogus,stall"), FaultMask::STALL);
+    }
+}

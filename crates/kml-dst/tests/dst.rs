@@ -1,0 +1,160 @@
+//! The DST entry points.
+//!
+//! - A fixed-seed smoke sweep (CI's `dst-smoke` job).
+//! - A wider sweep whose size scales with `KML_DST_CASES` (CI's nightly
+//!   sweep sets it; unset, a handful of seeds run).
+//! - Determinism: the same seed replays byte-identically, alone and
+//!   under `parallel_map` at any worker count.
+//! - Validation: the deliberately-buggy store (lose-memtable-on-failed-
+//!   flush) must be *caught*, shrunk to a minimal scenario, and that
+//!   minimal reproducer must replay to the same invariant violation.
+//! - `replays_reproducer_from_env`: paste a printed
+//!   `KML_DST_SEED=… KML_DST_OPS=…` line in front of `cargo test -p
+//!   kml-dst` and this test re-runs exactly that scenario, failing with
+//!   the full report if the bug is still there.
+
+use kml_dst::{run, shrink, FaultMask, Outcome, Scenario};
+use kml_platform::threading::parallel_map;
+
+/// Ops per scenario in the sweeps — enough for several tuner windows,
+/// flushes, and compactions on every seed-derived geometry.
+const SWEEP_OPS: u64 = 400;
+
+fn run_or_report(scenario: &Scenario) -> u64 {
+    match run(scenario) {
+        Outcome::Pass(s) => s.trace_hash,
+        Outcome::Fail(r) => {
+            let minimal = shrink(&r);
+            panic!(
+                "{}\nshrunk ({} attempts) to:\n{}",
+                r, minimal.attempts, minimal.report
+            );
+        }
+    }
+}
+
+#[test]
+fn smoke_seeds_uphold_all_invariants() {
+    for seed in [1u64, 7, 42, 0xC0FFEE, 0xDEAD_BEEF, 0x5EED_0001] {
+        run_or_report(&Scenario::from_seed(seed, SWEEP_OPS));
+    }
+}
+
+#[test]
+fn sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
+    let cases: u64 = std::env::var("KML_DST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seeds: Vec<u64> = (0..cases).map(|i| 0x1000 + i).collect();
+    // The whole sweep, at three different worker counts: every scenario
+    // builds its own world from the seed, so placement must not matter.
+    let hashes_1 = parallel_map(&seeds, 1, |_, &seed| {
+        run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
+    });
+    let hashes_3 = parallel_map(&seeds, 3, |_, &seed| {
+        run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
+    });
+    let hashes_8 = parallel_map(&seeds, 8, |_, &seed| {
+        run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
+    });
+    assert_eq!(hashes_1, hashes_3, "sweep diverged between 1 and 3 workers");
+    assert_eq!(hashes_1, hashes_8, "sweep diverged between 1 and 8 workers");
+}
+
+#[test]
+fn same_seed_replays_byte_identically() {
+    let scenario = Scenario::from_seed(0x0DD5_EED5, SWEEP_OPS);
+    let (a, b) = (run(&scenario), run(&scenario));
+    match (a, b) {
+        (Outcome::Pass(x), Outcome::Pass(y)) => {
+            assert_eq!(x, y, "two runs of one seed disagreed");
+            assert!(x.injected.total() > 0, "scenario injected nothing");
+            assert!(x.io_errors > 0, "no op ever saw an injected error");
+        }
+        (Outcome::Fail(r), _) | (_, Outcome::Fail(r)) => panic!("{r}"),
+    }
+}
+
+#[test]
+fn deliberate_lsm_bug_is_caught_shrunk_and_replayed() {
+    // The harness's own end-to-end validation: arm the store's deliberate
+    // lose-memtable-on-failed-flush bug and demand the invariants catch
+    // it, the shrinker minimise it, and the minimal reproducer replay to
+    // the same violation.
+    for seed in 0u64..32 {
+        let scenario = Scenario::from_seed(seed, SWEEP_OPS).with_lsm_bug();
+        let report = match run(&scenario) {
+            Outcome::Pass(_) => continue, // this seed never failed a flush
+            Outcome::Fail(r) => r,
+        };
+        assert_eq!(
+            report.invariant, "I1.lsm-vs-reference",
+            "lost keys must surface as a store-vs-reference divergence, got: {report}"
+        );
+        let minimal = shrink(&report);
+        assert!(
+            minimal.scenario.ops <= report.scenario.ops,
+            "shrinking must never grow the scenario"
+        );
+        // Write-path faults trigger the bug; the read-only kinds should
+        // have been shrunk away.
+        assert!(
+            !minimal.scenario.disabled.contains(FaultMask::WRITE_ERROR)
+                || !minimal.scenario.disabled.contains(FaultMask::TORN_WRITE),
+            "shrinker disabled every write fault yet the bug still fired: {}",
+            minimal.report
+        );
+        // The printed line is the contract: replaying the minimal scenario
+        // must hit the same invariant at the same step.
+        println!("minimal reproducer: {}", minimal.reproducer());
+        match run(&minimal.scenario) {
+            Outcome::Fail(replayed) => {
+                assert_eq!(replayed.invariant, minimal.report.invariant);
+                assert_eq!(replayed.step, minimal.report.step);
+                assert_eq!(replayed.detail, minimal.report.detail);
+            }
+            Outcome::Pass(_) => panic!(
+                "minimal reproducer did not reproduce: {}",
+                minimal.reproducer()
+            ),
+        }
+        return;
+    }
+    panic!(
+        "no seed in 0..32 ever tripped the armed LSM bug — faults too weak to validate the harness"
+    );
+}
+
+#[test]
+fn replays_reproducer_from_env() {
+    let Ok(seed_str) = std::env::var("KML_DST_SEED") else {
+        return; // no reproducer requested
+    };
+    let seed = seed_str
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|| seed_str.parse())
+        .expect("KML_DST_SEED must be decimal or 0x-hex");
+    let ops = std::env::var("KML_DST_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SWEEP_OPS);
+    let mut scenario = Scenario::from_seed(seed, ops);
+    if let Ok(disable) = std::env::var("KML_DST_DISABLE") {
+        scenario.disabled = FaultMask::from_env(&disable);
+    }
+    if std::env::var("KML_DST_LSM_BUG").is_ok_and(|v| v == "1") {
+        scenario = scenario.with_lsm_bug();
+    }
+    match run(&scenario) {
+        Outcome::Pass(s) => println!(
+            "scenario passed: {} steps, {} injected faults, {} op errors, trace 0x{:016x}",
+            s.steps,
+            s.injected.total(),
+            s.io_errors,
+            s.trace_hash
+        ),
+        Outcome::Fail(r) => panic!("{r}"),
+    }
+}

@@ -7,7 +7,7 @@
 //! compactions streaming sequentially while reads continue.
 
 use crate::sstable::SsTable;
-use kernel_sim::{FileId, Sim};
+use kernel_sim::{FileId, IoResult, Sim};
 use std::collections::BTreeSet;
 
 /// Tuning knobs of the store.
@@ -45,6 +45,9 @@ pub struct DbStats {
     pub memtable_hits: u64,
     /// Gets that had to consult at least one table.
     pub table_reads: u64,
+    /// Background work (threshold flushes, compactions) that failed on an
+    /// injected device error and will be retried at the next trigger.
+    pub background_errors: u64,
 }
 
 /// The LSM store. Keys are `u64`; values are implied (the simulation
@@ -59,6 +62,10 @@ pub struct Db {
     wal_page: u64,
     wal_entries_in_page: usize,
     stats: DbStats,
+    /// DST harness-validation knob: when set, a failed flush *drops* the
+    /// memtable instead of keeping it — the deliberate invariant violation
+    /// the simulation harness must catch. Never enabled in production paths.
+    dst_bug_lose_failed_flush: bool,
 }
 
 impl Db {
@@ -77,7 +84,16 @@ impl Db {
             wal_page: 0,
             wal_entries_in_page: 0,
             stats: DbStats::default(),
+            dst_bug_lose_failed_flush: false,
         }
+    }
+
+    /// Enables the deliberate lose-data-on-failed-flush bug used to validate
+    /// that the DST harness catches real invariant violations. Hidden from
+    /// docs; do not use outside the harness's self-test.
+    #[doc(hidden)]
+    pub fn set_dst_bug_lose_failed_flush(&mut self, on: bool) {
+        self.dst_bug_lose_failed_flush = on;
     }
 
     /// Bulk-loads a sorted, deduplicated key set directly into L1 (the
@@ -87,100 +103,147 @@ impl Db {
     /// # Panics
     ///
     /// Panics if `keys` is empty or unsorted, or the store is non-empty.
-    pub fn bulk_load(&mut self, sim: &mut Sim, keys: Vec<u64>) {
+    pub fn bulk_load(&mut self, sim: &mut Sim, keys: Vec<u64>) -> IoResult<()> {
         assert!(
             self.memtable.is_empty() && self.l0.is_empty() && self.l1.is_none(),
             "bulk_load requires an empty store"
         );
-        self.l1 = Some(SsTable::build(sim, keys, self.cfg.entries_per_block));
+        self.l1 = Some(SsTable::build(sim, keys, self.cfg.entries_per_block)?);
+        Ok(())
     }
 
     /// Inserts (or overwrites) a key: WAL append + memtable insert, flushing
     /// and compacting when thresholds trip.
-    pub fn put(&mut self, sim: &mut Sim, key: u64) {
+    ///
+    /// Under an injected fault plan the WAL append may fail: the key is
+    /// then NOT inserted (it was never durably logged) and the error is
+    /// returned — callers may retry the put. A *threshold* flush that fails
+    /// is counted in [`DbStats::background_errors`] and retried at the next
+    /// threshold; the put itself still succeeds (the key is safely in the
+    /// memtable + WAL), which is the graceful-degradation shape the paper
+    /// requires of an in-kernel loop.
+    pub fn put(&mut self, sim: &mut Sim, key: u64) -> IoResult<()> {
         // WAL append: a page gets dirtied once per `wal_entries_per_page`.
         self.wal_entries_in_page += 1;
         if self.wal_entries_in_page >= self.cfg.wal_entries_per_page {
-            sim.write(self.wal, self.wal_page % Self::WAL_PAGES, 1);
+            if let Err(e) = sim.write(self.wal, self.wal_page % Self::WAL_PAGES, 1) {
+                // The entry was never logged: undo the accounting and
+                // reject the put without touching the memtable.
+                self.wal_entries_in_page -= 1;
+                return Err(e);
+            }
             self.wal_page += 1;
             self.wal_entries_in_page = 0;
         }
         self.memtable.insert(key);
-        if self.memtable.len() >= self.cfg.memtable_keys {
-            self.flush(sim);
+        if self.memtable.len() >= self.cfg.memtable_keys && self.flush(sim).is_err() {
+            self.stats.background_errors += 1;
         }
+        Ok(())
     }
 
     /// Flushes the memtable into a new L0 table (no-op when empty).
-    pub fn flush(&mut self, sim: &mut Sim) {
+    ///
+    /// On an injected device error the memtable is left intact (abort, not
+    /// lose) and the error returned; the caller may retry. A compaction
+    /// failure triggered by this flush does not fail the flush — it is
+    /// counted in [`DbStats::background_errors`] and retried later.
+    pub fn flush(&mut self, sim: &mut Sim) -> IoResult<()> {
         if self.memtable.is_empty() {
-            return;
+            return Ok(());
         }
-        let keys: Vec<u64> = std::mem::take(&mut self.memtable).into_iter().collect();
-        self.l0
-            .push(SsTable::build(sim, keys, self.cfg.entries_per_block));
+        let keys: Vec<u64> = self.memtable.iter().copied().collect();
+        match SsTable::build(sim, keys, self.cfg.entries_per_block) {
+            Ok(table) => {
+                self.memtable.clear();
+                self.l0.push(table);
+            }
+            Err(e) => {
+                if self.dst_bug_lose_failed_flush {
+                    // Deliberate bug (harness validation): drop the keys.
+                    self.memtable.clear();
+                }
+                return Err(e);
+            }
+        }
         self.stats.flushes += 1;
-        if self.l0.len() >= self.cfg.l0_compaction_trigger {
-            self.compact(sim);
+        if self.l0.len() >= self.cfg.l0_compaction_trigger && self.compact(sim).is_err() {
+            self.stats.background_errors += 1;
         }
+        Ok(())
     }
 
     /// Merges all of L0 with L1 into a new L1, charging sequential reads of
     /// every input and a sequential write of the output.
-    pub fn compact(&mut self, sim: &mut Sim) {
+    ///
+    /// All-or-nothing under faults: the merged table is built *before* L0
+    /// and L1 are replaced, so a failed compaction leaves the store exactly
+    /// as it was.
+    pub fn compact(&mut self, sim: &mut Sim) -> IoResult<()> {
         if self.l0.is_empty() {
-            return;
+            return Ok(());
         }
         let mut merged: BTreeSet<u64> = BTreeSet::new();
         for t in &self.l0 {
-            t.read_all(sim);
+            t.read_all(sim)?;
             merged.extend(t.keys().iter().copied());
         }
         if let Some(l1) = &self.l1 {
-            l1.read_all(sim);
+            l1.read_all(sim)?;
             merged.extend(l1.keys().iter().copied());
         }
-        self.l0.clear();
-        self.l1 = Some(SsTable::build(
+        let new_l1 = SsTable::build(
             sim,
             merged.into_iter().collect(),
             self.cfg.entries_per_block,
-        ));
+        )?;
+        self.l0.clear();
+        self.l1 = Some(new_l1);
         self.stats.compactions += 1;
+        Ok(())
     }
 
     /// Point lookup. Searches memtable, then L0 newest→oldest, then L1,
     /// charging block reads along the way (RocksDB's read amplification).
-    pub fn get(&mut self, sim: &mut Sim, key: u64) -> bool {
+    /// A block read may fail under an injected fault plan; the store itself
+    /// is unchanged by a failed get.
+    pub fn get(&mut self, sim: &mut Sim, key: u64) -> IoResult<bool> {
         if self.memtable.contains(&key) {
             self.stats.memtable_hits += 1;
-            return true;
+            return Ok(true);
         }
         self.stats.table_reads += 1;
         for t in self.l0.iter().rev() {
-            if t.get(sim, key) {
-                return true;
+            if t.get(sim, key)? {
+                return Ok(true);
             }
         }
         if let Some(l1) = &self.l1 {
             return l1.get(sim, key);
         }
-        false
+        Ok(false)
     }
 
     /// Forward scan: visits `limit` keys starting at the first key ≥ `from`,
-    /// charging sequential block reads. Returns the number of keys visited.
-    pub fn scan(&mut self, sim: &mut Sim, from: u64, limit: usize) -> usize {
+    /// charging sequential block reads. Returns the number of keys visited,
+    /// or the error of the block read that failed mid-scan.
+    pub fn scan(&mut self, sim: &mut Sim, from: u64, limit: usize) -> IoResult<usize> {
         self.scan_impl(sim, from, limit, false)
     }
 
     /// Backward scan: visits `limit` keys descending from the last key ≤
     /// `from`. Returns the number of keys visited.
-    pub fn scan_reverse(&mut self, sim: &mut Sim, from: u64, limit: usize) -> usize {
+    pub fn scan_reverse(&mut self, sim: &mut Sim, from: u64, limit: usize) -> IoResult<usize> {
         self.scan_impl(sim, from, limit, true)
     }
 
-    fn scan_impl(&mut self, sim: &mut Sim, from: u64, limit: usize, reverse: bool) -> usize {
+    fn scan_impl(
+        &mut self,
+        sim: &mut Sim,
+        from: u64,
+        limit: usize,
+        reverse: bool,
+    ) -> IoResult<usize> {
         // A real LSM iterator merges every sorted source: the memtable (no
         // I/O), each L0 run, and L1. Sources are walked by cursor over the
         // tables' resident key slices — nothing is copied (a scan must not
@@ -281,13 +344,13 @@ impl Db {
                 // Charge the block read lazily, once per block per table.
                 let block = key_idx / entries_per_block;
                 if block != sources[i].last_block {
-                    table.read_block_of(sim, key_idx);
+                    table.read_block_of(sim, key_idx)?;
                     sources[i].last_block = block;
                 }
             }
             visited += 1;
         }
-        visited
+        Ok(visited)
     }
 
     /// Total keys across memtable and tables (upper bound: counts
@@ -336,10 +399,10 @@ mod tests {
             },
         );
         for k in 0..n {
-            db.put(sim, k);
+            db.put(sim, k).unwrap();
         }
-        db.flush(sim);
-        db.compact(sim);
+        db.flush(sim).unwrap();
+        db.compact(sim).unwrap();
         db
     }
 
@@ -347,19 +410,19 @@ mod tests {
     fn put_get_round_trip() {
         let mut s = sim();
         let mut db = filled_db(&mut s, 10_000);
-        assert!(db.get(&mut s, 0));
-        assert!(db.get(&mut s, 9_999));
-        assert!(db.get(&mut s, 5_000));
-        assert!(!db.get(&mut s, 10_000));
+        assert!(db.get(&mut s, 0).unwrap());
+        assert!(db.get(&mut s, 9_999).unwrap());
+        assert!(db.get(&mut s, 5_000).unwrap());
+        assert!(!db.get(&mut s, 10_000).unwrap());
     }
 
     #[test]
     fn memtable_hits_do_no_io() {
         let mut s = sim();
         let mut db = Db::create(&mut s, DbConfig::default());
-        db.put(&mut s, 42);
+        db.put(&mut s, 42).unwrap();
         s.reset_stats();
-        assert!(db.get(&mut s, 42));
+        assert!(db.get(&mut s, 42).unwrap());
         assert_eq!(s.stats().device.read_requests, 0);
         assert_eq!(db.stats().memtable_hits, 1);
     }
@@ -376,7 +439,7 @@ mod tests {
             },
         );
         for k in 0..1000 {
-            db.put(&mut s, k);
+            db.put(&mut s, k).unwrap();
         }
         let stats = db.stats();
         assert!(stats.flushes >= 9, "flushes: {}", stats.flushes);
@@ -396,11 +459,11 @@ mod tests {
         );
         for _ in 0..4 {
             for k in 0..100 {
-                db.put(&mut s, k);
+                db.put(&mut s, k).unwrap();
             }
-            db.flush(&mut s);
+            db.flush(&mut s).unwrap();
         }
-        db.compact(&mut s);
+        db.compact(&mut s).unwrap();
         assert_eq!(db.approximate_len(), 100);
     }
 
@@ -408,9 +471,9 @@ mod tests {
     fn forward_scan_visits_in_order_with_block_batching() {
         let mut s = sim();
         let mut db = filled_db(&mut s, 10_000);
-        s.drop_caches();
+        s.drop_caches().unwrap();
         s.reset_stats();
-        let visited = db.scan(&mut s, 0, 4000);
+        let visited = db.scan(&mut s, 0, 4000).unwrap();
         assert_eq!(visited, 4000);
         // 4000 keys / 40 per block = 100 block reads.
         let reads = s.stats().logical_reads;
@@ -421,18 +484,18 @@ mod tests {
     fn reverse_scan_visits_descending() {
         let mut s = sim();
         let mut db = filled_db(&mut s, 1_000);
-        let visited = db.scan_reverse(&mut s, 999, 500);
+        let visited = db.scan_reverse(&mut s, 999, 500).unwrap();
         assert_eq!(visited, 500);
         // From the very beginning there is nothing below.
-        assert_eq!(db.scan_reverse(&mut s, 0, 10), 1);
+        assert_eq!(db.scan_reverse(&mut s, 0, 10).unwrap(), 1);
     }
 
     #[test]
     fn scan_from_middle_respects_bound() {
         let mut s = sim();
         let mut db = filled_db(&mut s, 1_000);
-        assert_eq!(db.scan(&mut s, 990, 100), 10);
-        assert_eq!(db.scan(&mut s, 2_000, 100), 0);
+        assert_eq!(db.scan(&mut s, 990, 100).unwrap(), 10);
+        assert_eq!(db.scan(&mut s, 2_000, 100).unwrap(), 0);
     }
 
     #[test]
@@ -447,28 +510,29 @@ mod tests {
             },
         );
         // L1: even keys 0..100.
-        db.bulk_load(&mut s, (0..100).filter(|k| k % 2 == 0).collect());
+        db.bulk_load(&mut s, (0..100).filter(|k| k % 2 == 0).collect())
+            .unwrap();
         // L0: multiples of 3 (flushed).
         for k in (0..100).filter(|k| k % 3 == 0) {
-            db.put(&mut s, k);
+            db.put(&mut s, k).unwrap();
         }
-        db.flush(&mut s);
+        db.flush(&mut s).unwrap();
         // Memtable: multiples of 5 (unflushed).
         for k in (0..100).filter(|k| k % 5 == 0) {
-            db.put(&mut s, k);
+            db.put(&mut s, k).unwrap();
         }
         let expected = (0..100u64)
             .filter(|k| k % 2 == 0 || k % 3 == 0 || k % 5 == 0)
             .count();
-        assert_eq!(db.scan(&mut s, 0, 1000), expected);
-        assert_eq!(db.scan_reverse(&mut s, 99, 1000), expected);
+        assert_eq!(db.scan(&mut s, 0, 1000).unwrap(), expected);
+        assert_eq!(db.scan_reverse(&mut s, 99, 1000).unwrap(), expected);
         // Duplicates across runs (e.g. 30 = 2·3·5) are visited once: a
         // bounded scan starting mid-range also agrees with the reference.
         let expected_mid = (40..100u64)
             .filter(|k| k % 2 == 0 || k % 3 == 0 || k % 5 == 0)
             .take(10)
             .count();
-        assert_eq!(db.scan(&mut s, 40, 10), expected_mid);
+        assert_eq!(db.scan(&mut s, 40, 10).unwrap(), expected_mid);
     }
 
     #[test]
@@ -477,7 +541,7 @@ mod tests {
         let mut db = Db::create(&mut s, DbConfig::default());
         s.reset_stats();
         for k in 0..100 {
-            db.put(&mut s, k);
+            db.put(&mut s, k).unwrap();
         }
         // 100 puts / 10 per page = 10 WAL page writes.
         assert!(s.stats().logical_writes >= 10);
@@ -496,19 +560,128 @@ mod tests {
             },
         );
         for k in (0..1000).map(|k| k * 2) {
-            db.put(&mut s, k);
+            db.put(&mut s, k).unwrap();
         }
-        db.flush(&mut s);
-        db.compact(&mut s);
-        s.drop_caches();
+        db.flush(&mut s).unwrap();
+        db.compact(&mut s).unwrap();
+        s.drop_caches().unwrap();
         s.reset_stats();
         for k in (0..1000u64).map(|k| k * 2 + 1) {
-            assert!(!db.get(&mut s, k));
+            assert!(!db.get(&mut s, k).unwrap());
         }
         assert!(
             s.stats().logical_reads < 50,
             "absent-key gets paid I/O {} times",
             s.stats().logical_reads
         );
+    }
+
+    #[test]
+    fn failed_flush_keeps_memtable_for_retry() {
+        use kernel_sim::{FaultConfig, FaultPlan};
+        let mut s = sim();
+        let mut db = Db::create(&mut s, DbConfig::default());
+        for k in 0..500 {
+            db.put(&mut s, k).unwrap();
+        }
+        s.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 4,
+            write_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        db.flush(&mut s).unwrap_err();
+        // Abort, not lose: all 500 keys still in the memtable, no L0 run.
+        assert_eq!(db.approximate_len(), 500);
+        assert_eq!(db.stats().flushes, 0);
+        s.set_fault_plan(None);
+        db.flush(&mut s).unwrap();
+        assert_eq!(db.stats().flushes, 1);
+        assert!(db.get(&mut s, 250).unwrap());
+    }
+
+    #[test]
+    fn failed_compaction_leaves_store_unchanged() {
+        use kernel_sim::{FaultConfig, FaultPlan};
+        let mut s = sim();
+        let mut db = Db::create(
+            &mut s,
+            DbConfig {
+                memtable_keys: 1 << 20,
+                l0_compaction_trigger: 100,
+                ..DbConfig::default()
+            },
+        );
+        for round in 0..3 {
+            for k in 0..100 {
+                db.put(&mut s, round * 1000 + k).unwrap();
+            }
+            db.flush(&mut s).unwrap();
+        }
+        let len_before = db.approximate_len();
+        // Cold-start the tables so compaction must actually hit the device.
+        s.drop_caches().unwrap();
+        s.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 8,
+            read_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        db.compact(&mut s).unwrap_err();
+        assert_eq!(db.approximate_len(), len_before);
+        assert_eq!(db.stats().compactions, 0);
+        s.set_fault_plan(None);
+        db.compact(&mut s).unwrap();
+        assert_eq!(db.stats().compactions, 1);
+        assert!(db.get(&mut s, 2050).unwrap());
+    }
+
+    #[test]
+    fn failed_wal_append_rejects_the_put() {
+        use kernel_sim::{DeviceProfile, FaultConfig, FaultPlan, SimConfig};
+        // WAL writes are buffered; a zero-ish dirty threshold forces the
+        // flusher to hit the (failing) device inside the logical write.
+        let mut s = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 64,
+            dirty_threshold: 0.0,
+            ..SimConfig::default()
+        });
+        // Every put hits the WAL so the error path is deterministic.
+        let mut db = Db::create(
+            &mut s,
+            DbConfig {
+                wal_entries_per_page: 1,
+                ..DbConfig::default()
+            },
+        );
+        s.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 6,
+            write_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        db.put(&mut s, 42).unwrap_err();
+        assert_eq!(db.approximate_len(), 0, "unlogged key must not be stored");
+        // The put can be retried once the device recovers.
+        s.set_fault_plan(None);
+        db.put(&mut s, 42).unwrap();
+        assert!(db.get(&mut s, 42).unwrap());
+    }
+
+    #[test]
+    fn dst_bug_knob_loses_keys_on_failed_flush() {
+        use kernel_sim::{FaultConfig, FaultPlan};
+        let mut s = sim();
+        let mut db = Db::create(&mut s, DbConfig::default());
+        db.set_dst_bug_lose_failed_flush(true);
+        for k in 0..100 {
+            db.put(&mut s, k).unwrap();
+        }
+        s.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed: 4,
+            write_error: 1.0,
+            ..FaultConfig::off()
+        })));
+        db.flush(&mut s).unwrap_err();
+        // The deliberate bug: the failed flush dropped the memtable.
+        assert_eq!(db.approximate_len(), 0);
     }
 }

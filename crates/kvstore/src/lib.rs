@@ -27,12 +27,16 @@
 //! let mut sim = Sim::new(SimConfig { device: DeviceProfile::nvme(), ..SimConfig::default() });
 //! let mut db = Db::create(&mut sim, DbConfig::default());
 //! for k in 0..10_000u64 {
-//!     db.put(&mut sim, k);
+//!     db.put(&mut sim, k).unwrap();
 //! }
-//! db.flush(&mut sim);
-//! assert!(db.get(&mut sim, 1234));
-//! assert!(!db.get(&mut sim, 999_999));
+//! db.flush(&mut sim).unwrap();
+//! assert!(db.get(&mut sim, 1234).unwrap());
+//! assert!(!db.get(&mut sim, 999_999).unwrap());
 //! ```
+//!
+//! Store operations return [`kernel_sim::IoResult`]: infallible without a
+//! fault plan (the `.unwrap()`s above), fallible with graceful degradation
+//! under the deterministic-simulation fault layer.
 
 pub mod db;
 pub mod sstable;

@@ -6,7 +6,7 @@
 //! The block *index* is resident (as RocksDB pins index blocks), so a point
 //! read costs exactly one block read; scans walk blocks in order.
 
-use kernel_sim::{FileId, Sim};
+use kernel_sim::{FileId, IoResult, Sim};
 
 /// Pages per data block.
 pub const BLOCK_PAGES: u64 = 4;
@@ -89,12 +89,15 @@ pub struct SsTable {
 
 impl SsTable {
     /// Builds a table from a sorted, deduplicated run of keys, charging the
-    /// simulator for writing every page sequentially.
+    /// simulator for writing every page sequentially. On an injected device
+    /// error the build fails *before* the table exists: the caller keeps
+    /// its in-memory data and may retry (the partially-written file is
+    /// abandoned, like an aborted `.sst` creation).
     ///
     /// # Panics
     ///
     /// Panics if `keys` is empty or not strictly ascending.
-    pub fn build(sim: &mut Sim, keys: Vec<u64>, entries_per_block: usize) -> SsTable {
+    pub fn build(sim: &mut Sim, keys: Vec<u64>, entries_per_block: usize) -> IoResult<SsTable> {
         assert!(!keys.is_empty(), "sstable must hold at least one key");
         assert!(
             keys.windows(2).all(|w| w[0] < w[1]),
@@ -107,18 +110,18 @@ impl SsTable {
         let mut page = 0;
         while page < pages {
             let chunk = (pages - page).min(32);
-            sim.write(file, page, chunk);
+            sim.write(file, page, chunk)?;
             page += chunk;
         }
-        sim.sync(); // flush: table data must be durable before serving reads
+        sim.sync()?; // flush: table data must be durable before serving reads
         let bloom = BloomFilter::build(&keys);
-        SsTable {
+        Ok(SsTable {
             file,
             keys,
             entries_per_block,
             pages,
             bloom,
-        }
+        })
     }
 
     /// Number of keys.
@@ -152,13 +155,14 @@ impl SsTable {
     }
 
     /// Point lookup: returns whether the key exists, charging one block
-    /// read if the key is within range and passes the Bloom filter.
-    pub fn get(&self, sim: &mut Sim, key: u64) -> bool {
+    /// read if the key is within range and passes the Bloom filter. The
+    /// block read may fail under an injected fault plan.
+    pub fn get(&self, sim: &mut Sim, key: u64) -> IoResult<bool> {
         if key < self.min_key() || key > self.max_key() {
-            return false; // index says "not here": no I/O
+            return Ok(false); // index says "not here": no I/O
         }
         if !self.bloom.may_contain(key) {
-            return false; // filter says "definitely not here": no I/O
+            return Ok(false); // filter says "definitely not here": no I/O
         }
         let idx = match self.keys.binary_search(&key) {
             Ok(i) => i,
@@ -166,13 +170,13 @@ impl SsTable {
                 // Bloom false positive (~1%): the block read is still paid
                 // before absence is known, exactly like RocksDB.
                 let block = (i.min(self.keys.len() - 1) / self.entries_per_block) as u64;
-                sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES);
-                return false;
+                sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES)?;
+                return Ok(false);
             }
         };
         let block = (idx / self.entries_per_block) as u64;
-        sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES);
-        true
+        sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES)?;
+        Ok(true)
     }
 
     /// Resident filter memory in bytes.
@@ -182,19 +186,21 @@ impl SsTable {
 
     /// Charges the I/O of scanning keys `[from_idx, to_idx)` in order
     /// (forward if `from_idx < to_idx` block-wise, used by iterators).
-    pub fn read_block_of(&self, sim: &mut Sim, key_idx: usize) {
+    pub fn read_block_of(&self, sim: &mut Sim, key_idx: usize) -> IoResult<()> {
         let block = (key_idx / self.entries_per_block) as u64;
-        sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES);
+        sim.read(self.file, block * BLOCK_PAGES, BLOCK_PAGES)?;
+        Ok(())
     }
 
     /// Charges a full sequential read of the table (compaction input).
-    pub fn read_all(&self, sim: &mut Sim) {
+    pub fn read_all(&self, sim: &mut Sim) -> IoResult<()> {
         let mut page = 0;
         while page < self.pages {
             let chunk = (self.pages - page).min(BLOCK_PAGES);
-            sim.read(self.file, page, chunk);
+            sim.read(self.file, page, chunk)?;
             page += chunk;
         }
+        Ok(())
     }
 
     /// Index of the first key ≥ `key`.
@@ -217,7 +223,7 @@ mod tests {
     }
 
     fn table(sim: &mut Sim, keys: Vec<u64>) -> SsTable {
-        SsTable::build(sim, keys, 40)
+        SsTable::build(sim, keys, 40).unwrap()
     }
 
     #[test]
@@ -234,9 +240,9 @@ mod tests {
     fn get_finds_present_and_rejects_absent() {
         let mut s = sim();
         let t = table(&mut s, (0..1000).map(|k| k * 2).collect());
-        assert!(t.get(&mut s, 500)); // even: present
-        assert!(!t.get(&mut s, 501)); // odd: absent
-        assert!(!t.get(&mut s, 5000)); // out of range: no I/O needed
+        assert!(t.get(&mut s, 500).unwrap()); // even: present
+        assert!(!t.get(&mut s, 501).unwrap()); // odd: absent
+        assert!(!t.get(&mut s, 5000).unwrap()); // out of range: no I/O needed
     }
 
     #[test]
@@ -264,7 +270,7 @@ mod tests {
         let mut io_paid = 0;
         for k in (0..2_000u64).map(|k| k * 2 + 1) {
             let before = s.stats().logical_reads;
-            assert!(!t.get(&mut s, k));
+            assert!(!t.get(&mut s, k).unwrap());
             if s.stats().logical_reads > before {
                 io_paid += 1;
             }
@@ -278,8 +284,8 @@ mod tests {
         let mut s = sim();
         let t = table(&mut s, vec![10, 20, 30]);
         let before = s.stats().device.read_requests;
-        assert!(!t.get(&mut s, 5));
-        assert!(!t.get(&mut s, 100));
+        assert!(!t.get(&mut s, 5).unwrap());
+        assert!(!t.get(&mut s, 100).unwrap());
         assert_eq!(s.stats().device.read_requests, before);
     }
 
@@ -287,9 +293,9 @@ mod tests {
     fn point_read_touches_one_block() {
         let mut s = sim();
         let t = table(&mut s, (0..10_000).collect());
-        s.drop_caches();
+        s.drop_caches().unwrap();
         s.reset_stats();
-        t.get(&mut s, 5_000);
+        t.get(&mut s, 5_000).unwrap();
         let stats = s.stats();
         // One block = 4 pages demanded (readahead may add more).
         assert!(stats.cache.misses >= 1);

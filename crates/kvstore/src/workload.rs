@@ -11,7 +11,7 @@
 //! inference and retuning against the advancing simulated clock.
 
 use crate::db::{Db, DbConfig};
-use kernel_sim::Sim;
+use kernel_sim::{IoResult, Sim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Zipf};
@@ -130,29 +130,38 @@ pub struct WorkloadReport {
     pub sim_ns: u64,
     /// Throughput in operations per simulated second.
     pub ops_per_sec: f64,
+    /// Operations that hit an injected I/O error (always 0 without a fault
+    /// plan). Failed operations still count toward `ops`.
+    pub io_errors: u64,
 }
 
-/// Creates and populates a database with keys `0..num_keys`.
-pub fn fill_db(sim: &mut Sim, cfg: &WorkloadConfig, mode: FillMode) -> Db {
+/// Creates and populates a database with keys `0..num_keys`. Fails only
+/// under an injected fault plan (fill is usually run fault-free).
+pub fn fill_db(sim: &mut Sim, cfg: &WorkloadConfig, mode: FillMode) -> IoResult<Db> {
     let mut db = Db::create(sim, DbConfig::default());
     match mode {
         FillMode::Bulk => {
-            db.bulk_load(sim, (0..cfg.num_keys).collect());
+            db.bulk_load(sim, (0..cfg.num_keys).collect())?;
         }
         FillMode::WritePath => {
             for k in 0..cfg.num_keys {
-                db.put(sim, k);
+                db.put(sim, k)?;
             }
-            db.flush(sim);
-            db.compact(sim);
+            db.flush(sim)?;
+            db.compact(sim)?;
         }
     }
-    db
+    Ok(db)
 }
 
 /// Runs a workload to completion, invoking `on_op` (with the simulator,
 /// for clock inspection and readahead retuning) after every operation.
 /// Returns the throughput report.
+///
+/// Operations that hit an injected I/O error do not abort the run: the
+/// error is counted in [`WorkloadReport::io_errors`], the operation counts
+/// as executed, and the workload continues — the graceful-degradation
+/// behavior a benchmark driver needs under device faults.
 pub fn run_workload(
     sim: &mut Sim,
     db: &mut Db,
@@ -162,6 +171,7 @@ pub fn run_workload(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let start_ns = sim.now_ns();
     let mut ops = 0u64;
+    let mut io_errors = 0u64;
     // Per-op latency in *simulated* ns, labeled by workload — deterministic,
     // and a no-op handle unless the sim has a telemetry registry attached.
     let op_latency_ns = sim
@@ -179,9 +189,22 @@ pub fn run_workload(
         match cfg.workload {
             Workload::ReadSeq => {
                 let burst = 40.min(cfg.ops - ops) as usize;
-                let visited = db.scan(sim, cursor, burst);
+                let visited = match db.scan(sim, cursor, burst) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        // Count the failed burst as one op and advance the
+                        // cursor so an always-failing scan cannot loop
+                        // forever on the same position.
+                        io_errors += 1;
+                        cursor += 1;
+                        ops += 1;
+                        0
+                    }
+                };
                 if visited == 0 {
-                    cursor = 0; // wrapped past the end: restart the scan
+                    if cursor >= cfg.num_keys {
+                        cursor = 0; // wrapped past the end: restart the scan
+                    }
                     continue;
                 }
                 cursor += visited as u64;
@@ -194,7 +217,13 @@ pub fn run_workload(
                 } else {
                     cursor
                 };
-                let visited = db.scan_reverse(sim, from, burst);
+                let visited = match db.scan_reverse(sim, from, burst) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        io_errors += 1;
+                        0
+                    }
+                };
                 if visited == 0 || from < visited as u64 {
                     cursor = cfg.num_keys - 1;
                 } else {
@@ -204,35 +233,48 @@ pub fn run_workload(
             }
             Workload::ReadRandom => {
                 let k = rng.gen_range(0..cfg.num_keys);
-                db.get(sim, k);
+                if db.get(sim, k).is_err() {
+                    io_errors += 1;
+                }
                 ops += 1;
             }
             Workload::ReadRandomWriteRandom => {
                 if rng.gen_range(0..100) < 90 {
                     let k = rng.gen_range(0..cfg.num_keys);
-                    db.get(sim, k);
+                    if db.get(sim, k).is_err() {
+                        io_errors += 1;
+                    }
                 } else {
                     let k = rng.gen_range(0..cfg.num_keys);
-                    db.put(sim, k);
+                    if db.put(sim, k).is_err() {
+                        io_errors += 1;
+                    }
                 }
                 ops += 1;
             }
             Workload::UpdateRandom => {
                 let k = rng.gen_range(0..cfg.num_keys);
-                db.get(sim, k);
-                db.put(sim, k);
+                if db.get(sim, k).is_err() {
+                    io_errors += 1;
+                }
+                if db.put(sim, k).is_err() {
+                    io_errors += 1;
+                }
                 ops += 1;
             }
             Workload::MixGraph => {
                 let rank = zipf.sample(&mut rng) as u64;
                 let k = spread(rank.saturating_sub(1), cfg.num_keys);
                 let dice = rng.gen_range(0..100);
-                if dice < 85 {
-                    db.get(sim, k);
+                let failed = if dice < 85 {
+                    db.get(sim, k).is_err()
                 } else if dice < 99 {
-                    db.put(sim, k);
+                    db.put(sim, k).is_err()
                 } else {
-                    db.scan(sim, k, cfg.scan_burst);
+                    db.scan(sim, k, cfg.scan_burst).is_err()
+                };
+                if failed {
+                    io_errors += 1;
                 }
                 ops += 1;
             }
@@ -253,6 +295,7 @@ pub fn run_workload(
         } else {
             ops as f64 * 1e9 / sim_ns as f64
         },
+        io_errors,
     }
 }
 
@@ -300,8 +343,8 @@ mod tests {
         for w in Workload::all() {
             let mut s = sim(DeviceProfile::nvme());
             let cfg = quick_cfg(w);
-            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
-            s.drop_caches();
+            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
+            s.drop_caches().unwrap();
             let report = run_workload(&mut s, &mut db, &cfg, |_| {});
             assert!(report.ops >= cfg.ops, "{w}: only {} ops", report.ops);
             assert!(report.ops_per_sec > 0.0, "{w}: zero throughput");
@@ -313,8 +356,8 @@ mod tests {
         let run = || {
             let mut s = sim(DeviceProfile::sata_ssd());
             let cfg = quick_cfg(Workload::MixGraph);
-            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
-            s.drop_caches();
+            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
+            s.drop_caches().unwrap();
             run_workload(&mut s, &mut db, &cfg, |_| {})
         };
         let a = run();
@@ -327,8 +370,8 @@ mod tests {
         let throughput = |w| {
             let mut s = sim(DeviceProfile::sata_ssd());
             let cfg = quick_cfg(w);
-            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
-            s.drop_caches();
+            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
+            s.drop_caches().unwrap();
             run_workload(&mut s, &mut db, &cfg, |_| {}).ops_per_sec
         };
         let seq = throughput(Workload::ReadSeq);
@@ -343,7 +386,7 @@ mod tests {
     fn on_op_hook_fires_per_operation() {
         let mut s = sim(DeviceProfile::nvme());
         let cfg = quick_cfg(Workload::ReadRandom);
-        let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
+        let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
         let mut calls = 0u64;
         run_workload(&mut s, &mut db, &cfg, |_| calls += 1);
         assert_eq!(calls, cfg.ops);
@@ -360,8 +403,8 @@ mod tests {
                 ops: 12_000,
                 ..WorkloadConfig::new(w)
             };
-            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
-            s.drop_caches();
+            let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
+            s.drop_caches().unwrap();
             s.reset_stats();
             run_workload(&mut s, &mut db, &cfg, |_| {});
             let st = s.stats().cache;
@@ -384,8 +427,8 @@ mod tests {
         let mut s = sim(DeviceProfile::nvme());
         s.attach_telemetry(&reg);
         let cfg = quick_cfg(Workload::ReadRandom);
-        let mut db = fill_db(&mut s, &cfg, FillMode::Bulk);
-        s.drop_caches();
+        let mut db = fill_db(&mut s, &cfg, FillMode::Bulk).unwrap();
+        s.drop_caches().unwrap();
         let report = run_workload(&mut s, &mut db, &cfg, |_| {});
         if reg.is_enabled() {
             let snap = reg.snapshot();
@@ -404,7 +447,7 @@ mod tests {
             num_keys: 40_000,
             ..WorkloadConfig::new(Workload::ReadRandom)
         };
-        let db = fill_db(&mut s, &cfg, FillMode::WritePath);
+        let db = fill_db(&mut s, &cfg, FillMode::WritePath).unwrap();
         assert!(db.stats().flushes > 0);
         assert!(db.stats().compactions > 0);
         assert_eq!(db.approximate_len(), 40_000);

@@ -85,8 +85,8 @@ fn workload_config(workload: Workload, cfg: &LoopConfig) -> WorkloadConfig {
 pub fn run_vanilla(workload: Workload, device: DeviceProfile, cfg: &LoopConfig) -> WorkloadReport {
     let mut sim = make_sim(device, cfg);
     let wcfg = workload_config(workload, cfg);
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches();
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
     sim.set_ra_kb(VANILLA_RA_KB);
     sim.reset_stats();
     run_workload(&mut sim, &mut db, &wcfg, |_| {})
@@ -196,8 +196,8 @@ fn run_tuned_opts(
     sim.attach_trace(producer);
     consumer.attach_telemetry(&telemetry, "kml_collect.ring");
     let wcfg = workload_config(workload, cfg);
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches();
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
     sim.set_ra_kb(VANILLA_RA_KB); // KML starts from the default, then adapts
     sim.reset_stats();
     telemetry.reset(); // fill-phase metrics are not the workload's
@@ -263,8 +263,8 @@ pub fn run_bandit(
 ) -> (WorkloadReport, Vec<TimelinePoint>) {
     let mut sim = make_sim(device, cfg);
     let wcfg = workload_config(workload, cfg);
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches();
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
     sim.set_ra_kb(VANILLA_RA_KB);
     sim.reset_stats();
 

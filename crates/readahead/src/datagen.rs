@@ -114,8 +114,8 @@ pub fn collect_windows(
         seed,
         ..WorkloadConfig::new(workload)
     };
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches(); // the paper clears caches before every run
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches"); // the paper clears caches before every run
     sim.set_ra_kb(ra_kb);
     // Discard fill-phase tracepoints: training must only see the workload.
     while consumer.pop().is_some() {}
@@ -174,8 +174,8 @@ pub fn capture_trace(
         seed,
         ..WorkloadConfig::new(workload)
     };
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches();
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
     sim.set_ra_kb(ra_kb);
     while consumer.pop().is_some() {} // discard fill-phase records
     let mut trace = Vec::new();

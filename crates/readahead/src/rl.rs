@@ -210,7 +210,7 @@ mod tests {
             let mut x = 1u64;
             for _ in 0..3_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                sim.read(f, (x >> 14) % ((1 << 18) - 4), 4);
+                sim.read(f, (x >> 14) % ((1 << 18) - 4), 4).unwrap();
                 tick(sim);
             }
         });
@@ -231,7 +231,7 @@ mod tests {
             let mut x = 3u64;
             for _ in 0..40_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                sim.read(f, (x >> 14) % ((1 << 20) - 4), 4);
+                sim.read(f, (x >> 14) % ((1 << 20) - 4), 4).unwrap();
                 tick(sim);
             }
         });

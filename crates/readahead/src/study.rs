@@ -174,8 +174,8 @@ pub fn measure(device: DeviceProfile, workload: Workload, ra_kb: u32, cfg: &Stud
         seed: cfg.seed,
         ..WorkloadConfig::new(workload)
     };
-    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk);
-    sim.drop_caches();
+    let mut db = fill_db(&mut sim, &wcfg, FillMode::Bulk).expect("fault-free fill");
+    sim.drop_caches().expect("fault-free drop_caches");
     sim.set_ra_kb(ra_kb); // files created during fill pick up the tuned value
     sim.reset_stats();
     run_workload(&mut sim, &mut db, &wcfg, |_| {}).ops_per_sec

@@ -359,7 +359,7 @@ mod tests {
         let mut x = 5u64;
         for _ in 0..400 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            sim.read(f, (x >> 16) % ((1 << 20) - 8), 4);
+            sim.read(f, (x >> 16) % ((1 << 20) - 8), 4).unwrap();
             tuner.on_op(&mut sim).unwrap();
         }
         assert_eq!(tuner.current_ra_kb(), 16, "random phase mis-tuned");
@@ -367,7 +367,7 @@ mod tests {
 
         // Phase 2: sequential scan → the tuner should move to 1024 KiB.
         for p in 0..20_000u64 {
-            sim.read(f, p, 1);
+            sim.read(f, p, 1).unwrap();
             tuner.on_op(&mut sim).unwrap();
         }
         assert_eq!(tuner.current_ra_kb(), 1024, "sequential phase mis-tuned");

@@ -27,7 +27,7 @@ fn paper_flow_steps_one_through_five() {
     sim.attach_trace(producer);
     let file = sim.create_file(1 << 16);
     for p in 0..512u64 {
-        sim.read(file, p * 8, 4);
+        sim.read(file, p * 8, 4).unwrap();
     }
 
     // "(2) the collected data is processed and normalized" — features.

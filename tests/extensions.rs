@@ -35,7 +35,7 @@ fn trainer_pool_consumes_sharded_simulator_tracepoints() {
     for _ in 0..2_000 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
         let f = files[(x % 8) as usize];
-        sim.read(f, (x >> 16) % ((1 << 14) - 4), 2);
+        sim.read(f, (x >> 16) % ((1 << 14) - 4), 2).unwrap();
         // Re-shard from the sim's single trace stream by inode.
         for record in drainer.drain() {
             collector.push(record.inode, record);

@@ -115,7 +115,7 @@ fn tuner_survives_trace_overflow() {
     let mut x = 9u64;
     for _ in 0..2_000 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-        sim.read(f, (x >> 14) % ((1 << 18) - 4), 4);
+        sim.read(f, (x >> 14) % ((1 << 18) - 4), 4).unwrap();
         tuner.on_op(&mut sim).expect("tuner survives overflow");
     }
     assert!(

@@ -4,7 +4,7 @@
 //! access patterns.
 
 use kernel_sim::readahead::{RaAction, RaState};
-use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kernel_sim::{DeviceProfile, FaultConfig, FaultPlan, Sim, SimConfig};
 use kvstore::{Db, DbConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -32,21 +32,89 @@ proptest! {
         for (op, key) in ops {
             match op {
                 0 | 1 => {
-                    db.put(&mut sim, key);
+                    db.put(&mut sim, key).unwrap();
                     reference.insert(key);
                 }
                 2 => {
-                    prop_assert_eq!(db.get(&mut sim, key), reference.contains(&key));
+                    prop_assert_eq!(db.get(&mut sim, key).unwrap(), reference.contains(&key));
                 }
-                3 => db.flush(&mut sim),
-                _ => db.compact(&mut sim),
+                3 => db.flush(&mut sim).unwrap(),
+                _ => db.compact(&mut sim).unwrap(),
             }
         }
         // Full sweep at the end.
-        db.flush(&mut sim);
-        db.compact(&mut sim);
+        db.flush(&mut sim).unwrap();
+        db.compact(&mut sim).unwrap();
         for key in (0..500).step_by(7) {
-            prop_assert_eq!(db.get(&mut sim, key), reference.contains(&key));
+            prop_assert_eq!(db.get(&mut sim, key).unwrap(), reference.contains(&key));
+        }
+    }
+
+    /// Under an *arbitrary* fault plan — device errors, torn writes,
+    /// latency spikes, stalls, cache squeezes at any rate — the LSM store
+    /// never panics and never silently diverges from the reference model:
+    /// a rejected put leaves the key absent, an accepted put keeps it
+    /// durable across failed flushes/compactions, and once the faults are
+    /// lifted every surviving key is readable.
+    #[test]
+    fn lsm_store_survives_arbitrary_fault_plans(
+        seed in any::<u64>(),
+        read_error in 0.0f64..0.3,
+        write_error in 0.0f64..0.3,
+        torn_write in 0.0f64..0.3,
+        latency_spike in 0.0f64..0.2,
+        stall in 0.0f64..0.1,
+        cache_squeeze in 0.0f64..0.05,
+        ops in proptest::collection::vec((0u8..5, 0u64..500), 1..150)
+    ) {
+        let mut sim = Sim::new(SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: 512,
+            ..SimConfig::default()
+        });
+        let mut db = Db::create(&mut sim, DbConfig {
+            memtable_keys: 32,
+            l0_compaction_trigger: 3,
+            ..DbConfig::default()
+        });
+        sim.set_fault_plan(Some(FaultPlan::new(FaultConfig {
+            seed,
+            read_error,
+            write_error,
+            torn_write,
+            latency_spike,
+            stall,
+            cache_squeeze,
+            squeeze_frac: 0.25,
+            squeeze_ops: 32,
+            ..FaultConfig::off()
+        })));
+        let mut reference = BTreeSet::new();
+        for (op, key) in ops {
+            match op {
+                0 | 1 => {
+                    // A rejected put must leave the store as if it never
+                    // happened; an accepted one must stick.
+                    if db.put(&mut sim, key).is_ok() {
+                        reference.insert(key);
+                    }
+                }
+                2 => {
+                    if let Ok(found) = db.get(&mut sim, key) {
+                        prop_assert_eq!(found, reference.contains(&key));
+                    }
+                }
+                3 => { let _ = db.flush(&mut sim); }
+                _ => { let _ = db.compact(&mut sim); }
+            }
+        }
+        // Lift the faults: every accepted key must still be there, every
+        // rejected one still absent.
+        sim.set_fault_plan(None);
+        db.flush(&mut sim).unwrap();
+        db.compact(&mut sim).unwrap();
+        for key in 0..500 {
+            prop_assert_eq!(db.get(&mut sim, key).unwrap(), reference.contains(&key));
         }
     }
 
@@ -59,11 +127,11 @@ proptest! {
     ) {
         let mut sim = Sim::new(SimConfig::default());
         let mut db = Db::create(&mut sim, DbConfig::default());
-        db.bulk_load(&mut sim, keys.iter().copied().collect());
+        db.bulk_load(&mut sim, keys.iter().copied().collect()).unwrap();
         let expected = keys.range(from..).take(limit).count();
-        prop_assert_eq!(db.scan(&mut sim, from, limit), expected);
+        prop_assert_eq!(db.scan(&mut sim, from, limit).unwrap(), expected);
         let expected_rev = keys.range(..=from).rev().take(limit).count();
-        prop_assert_eq!(db.scan_reverse(&mut sim, from, limit), expected_rev);
+        prop_assert_eq!(db.scan_reverse(&mut sim, from, limit).unwrap(), expected_rev);
     }
 
     /// Model files: arbitrary byte soup never panics the decoder and a
@@ -132,7 +200,7 @@ proptest! {
         let f = sim.create_file(4_096);
         let mut last_clock = sim.now_ns();
         for (page, n) in reads {
-            sim.read(f, page, n);
+            sim.read(f, page, n).unwrap();
             let now = sim.now_ns();
             prop_assert!(now > last_clock, "read did not advance the clock");
             last_clock = now;

@@ -40,7 +40,7 @@ fn async_trainer_consumes_live_simulator_tracepoints() {
     let mut expected = 0u64;
     for i in 0..2_000u64 {
         let page = (i * 37) % ((1 << 16) - 4);
-        sim.read(f, page, 1);
+        sim.read(f, page, 1).unwrap();
         expected = sim.stats().cache.insertions;
     }
 
@@ -80,7 +80,7 @@ fn undersized_ring_loses_data_observably_not_silently() {
     let f = sim.create_file(1 << 16);
     // Burst first (nothing draining), then start the trainer.
     for i in 0..500u64 {
-        sim.read(f, (i * 97) % ((1 << 16) - 4), 1);
+        sim.read(f, (i * 97) % ((1 << 16) - 4), 1).unwrap();
     }
     let produced = sim.stats().cache.insertions;
     let seen = Arc::new(AtomicU64::new(0));
