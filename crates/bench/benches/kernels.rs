@@ -1,14 +1,22 @@
 //! Micro-benchmarks of the storage-stack kernels the experiments lean on:
-//! page-cache operations, the readahead state machine, and simulated
-//! device request streams. These bound how much simulator overhead could
-//! distort the experiment clock (it cannot — the clock is simulated — but
-//! wall-clock cost caps experiment scale).
+//! page-cache operations, the readahead state machine, simulated device
+//! request streams, and the blocked GEMM micro-kernels (reported as
+//! GFLOP/s, with a committed floor mirrored in `BENCH_baseline.json`).
+//! These bound how much simulator overhead could distort the experiment
+//! clock (it cannot — the clock is simulated — but wall-clock cost caps
+//! experiment scale).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use kernel_sim::cache::PageCache;
 use kernel_sim::readahead::RaState;
 use kernel_sim::{DeviceProfile, Sim, SimConfig};
+use kml_core::matrix::Matrix;
+use kml_core::scratch::ScratchArena;
 use std::hint::black_box;
+
+/// Square GEMM size for the GFLOP/s entries: big enough that the panel
+/// packing and KC-blocking paths all engage, small enough for smoke runs.
+const GEMM_DIM: usize = 128;
 
 fn bench_page_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_cache");
@@ -91,9 +99,89 @@ fn bench_sim_read_paths(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    fn square<S: kml_core::scalar::Scalar>(seed: u64) -> Matrix<S> {
+        let vals: Vec<f64> = (0..GEMM_DIM * GEMM_DIM)
+            .map(|i| ((i as u64).wrapping_mul(seed) % 97) as f64 * 0.02 - 0.97)
+            .collect();
+        Matrix::from_f64_vec(GEMM_DIM, GEMM_DIM, &vals).unwrap()
+    }
+    let mut group = c.benchmark_group("gemm");
+    group.bench_function("gemm_f32_128", |b| {
+        let (x, y) = (square::<f32>(37), square::<f32>(53));
+        let mut out = Matrix::zeros(GEMM_DIM, GEMM_DIM);
+        let mut pack = ScratchArena::new();
+        b.iter(|| {
+            x.matmul_into_packed(black_box(&y), &mut out, &mut pack)
+                .unwrap();
+            black_box(out.get(0, 0))
+        });
+    });
+    group.bench_function("gemm_f64_128", |b| {
+        let (x, y) = (square::<f64>(37), square::<f64>(53));
+        let mut out = Matrix::zeros(GEMM_DIM, GEMM_DIM);
+        let mut pack = ScratchArena::new();
+        b.iter(|| {
+            x.matmul_into_packed(black_box(&y), &mut out, &mut pack)
+                .unwrap();
+            black_box(out.get(0, 0))
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_page_cache, bench_readahead_machine, bench_sim_read_paths
+    config = Criterion::default().sample_size(
+        std::env::var("KML_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30),
+    );
+    targets = bench_page_cache, bench_readahead_machine, bench_sim_read_paths, bench_gemm
 }
-criterion_main!(benches);
+
+/// GFLOP/s floor for the f32 GEMM entry, mirrored in `BENCH_baseline.json`.
+/// Set at roughly half the CI-class container's measured throughput so the
+/// gate trips on a real kernel regression (a fallback to the naive loop
+/// lands well below it) but not on runner noise.
+const GEMM_F32_FLOOR_GFLOPS: f64 = 6.0;
+
+fn main() {
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if !arg.starts_with('-') {
+            filter = Some(arg);
+        }
+    }
+    benches(filter.as_deref());
+
+    // Report the GEMM entries in GFLOP/s (2·m·n·k floating-point ops per
+    // product) and enforce the committed floor on the f32 kernel.
+    let flops = 2.0 * (GEMM_DIM as f64).powi(3);
+    let summaries = criterion::summaries();
+    let mut failed = false;
+    // Group benches report as `gemm/gemm_*`.
+    for s in summaries.iter().filter(|s| s.id.contains("gemm_")) {
+        let gflops = flops / s.median_ns;
+        let gated = s.id.ends_with("gemm_f32_128");
+        let pass = !gated || gflops >= GEMM_F32_FLOOR_GFLOPS;
+        println!(
+            "{}: {} {:.2} GFLOP/s (median {:.0} ns{})",
+            if pass { "PASS" } else { "FAIL" },
+            s.id,
+            gflops,
+            s.median_ns,
+            if gated {
+                format!(", floor {GEMM_F32_FLOOR_GFLOPS:.1} GFLOP/s")
+            } else {
+                String::new()
+            }
+        );
+        failed |= !pass;
+    }
+    if failed && std::env::var("KML_BENCH_ENFORCE").as_deref() != Ok("0") {
+        eprintln!("GEMM throughput under floor (KML_BENCH_ENFORCE=0 skips on noisy runners)");
+        std::process::exit(1);
+    }
+}

@@ -588,6 +588,28 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
     let _ = CrossEntropyLoss.tag(); // keep the import honest
     std::hint::black_box(sink);
 
+    // Blocked-GEMM throughput: the 128³ packed f32 kernel in GFLOP/s, the
+    // same shape the `kernels` bench gates against its committed floor.
+    let gemm_dim = 128usize;
+    let square = |seed: u64| -> Result<Matrix<f32>, Box<dyn std::error::Error>> {
+        let vals: Vec<f64> = (0..gemm_dim * gemm_dim)
+            .map(|i| ((i as u64).wrapping_mul(seed) % 97) as f64 * 0.02 - 0.97)
+            .collect();
+        Ok(Matrix::from_f64_vec(gemm_dim, gemm_dim, &vals)?)
+    };
+    let (ga, gb) = (square(37)?, square(53)?);
+    let mut gout = Matrix::zeros(gemm_dim, gemm_dim);
+    let mut gpack = kml_core::scratch::ScratchArena::new();
+    ga.matmul_into_packed(&gb, &mut gout, &mut gpack)?; // warm the arena
+    let reps = 50;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        ga.matmul_into_packed(&gb, &mut gout, &mut gpack)?;
+    }
+    let gemm_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+    let matmul_gflops = 2.0 * (gemm_dim as f64).powi(3) / gemm_ns;
+    std::hint::black_box(gout.get(0, 0));
+
     let rows = vec![
         vec![
             "data collection + normalization".into(),
@@ -603,6 +625,11 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             "training iteration (batch 16)".into(),
             format!("{train_ns:.0} ns"),
             "51000 ns".into(),
+        ],
+        vec![
+            "blocked matmul 128³ (f32)".into(),
+            format!("{matmul_gflops:.2} GFLOP/s"),
+            "—".into(),
         ],
         vec![
             "model init memory".into(),
@@ -658,6 +685,8 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             ("collect_per_event", collect_ns, "ns"),
             ("inference", infer_ns, "ns"),
             ("train_batch16", train_ns, "ns"),
+            ("train_ns_mean", train_ns, "ns"),
+            ("matmul_gflops", matmul_gflops, "gflops"),
             (
                 "model_init_memory",
                 network.init_memory_bytes() as f64,

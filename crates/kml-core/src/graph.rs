@@ -294,6 +294,104 @@ impl<S: Scalar> Graph<S> {
             .collect()
     }
 
+    /// Visits every parameter/gradient slot in [`Graph::param_grads`] order
+    /// without building a `Vec` — the allocation-free optimizer path the
+    /// training loop drives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`.
+    pub fn visit_param_grads(
+        &mut self,
+        f: &mut dyn FnMut(ParamGrad<'_, S>) -> Result<()>,
+    ) -> Result<()> {
+        for n in &mut self.nodes {
+            n.layer.visit_param_grads(f)?;
+        }
+        Ok(())
+    }
+
+    /// Deep-copies topology and layer parameters for a data-parallel
+    /// training worker (fresh arenas, no gradient state), or `None` if any
+    /// layer cannot be row-sharded (see [`Layer::clone_box`]).
+    pub fn clone_for_workers(&self) -> Option<Graph<S>> {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            nodes.push(Node {
+                layer: n.layer.clone_box()?,
+                input: n.input,
+            });
+        }
+        Some(Graph {
+            nodes,
+            output: self.output,
+            acts: ScratchArena::new(),
+            grads: ScratchArena::new(),
+            grad_set: Vec::new(),
+        })
+    }
+
+    /// Zeroes every layer's parameter-gradient accumulators ahead of
+    /// [`Graph::accumulate_param_grads_from`] calls.
+    pub fn reset_param_grads(&mut self) {
+        for n in &mut self.nodes {
+            n.layer.reset_param_grads();
+        }
+    }
+
+    /// Accumulates parameter gradients from a worker `replica` that ran
+    /// `forward_in_place(replica_input)` + `backward_in_place` on one row
+    /// shard. Shards must be fed in ascending row order; each layer's
+    /// accumulator chains then reproduce the full-batch gradient
+    /// bit-for-bit (see [`Layer::accumulate_param_grads`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if `replica` has a different
+    /// node count, plus any shape error from the layers.
+    pub fn accumulate_param_grads_from(
+        &mut self,
+        replica: &Graph<S>,
+        replica_input: &Matrix<S>,
+    ) -> Result<()> {
+        if replica.nodes.len() != self.nodes.len() {
+            return Err(KmlError::InvalidConfig(
+                "gradient replica does not match graph topology".into(),
+            ));
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !replica.grad_set.get(i).copied().unwrap_or(false) {
+                continue; // node not on a path to the output
+            }
+            let input = match replica.nodes[i].input {
+                None => replica_input,
+                Some(src) => replica.acts.slot(src.0),
+            };
+            node.layer
+                .accumulate_param_grads(input, replica.grads.slot(i))?;
+        }
+        Ok(())
+    }
+
+    /// The output node's activation from the latest
+    /// [`Graph::forward_in_place`] pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if no output is declared or no
+    /// forward pass has run yet.
+    pub fn output_activation(&self) -> Result<&Matrix<S>> {
+        let output = self
+            .output
+            .ok_or_else(|| KmlError::InvalidConfig("graph has no output node declared".into()))?;
+        if output.0 >= self.acts.len() {
+            return Err(KmlError::InvalidConfig(
+                "output activation requested before any forward pass".into(),
+            ));
+        }
+        Ok(self.acts.slot(output.0))
+    }
+
     /// Immutable access to the layers in topological order.
     pub fn layers(&self) -> impl Iterator<Item = &dyn Layer<S>> {
         self.nodes.iter().map(|n| n.layer.as_ref())

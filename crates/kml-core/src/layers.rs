@@ -144,6 +144,51 @@ pub trait Layer<S: Scalar>: std::fmt::Debug + Send + Sync {
         Vec::new()
     }
 
+    /// Visits each parameter/gradient slot in [`Layer::param_grads`] order
+    /// without building a `Vec` — the allocation-free path the training
+    /// loop drives. The default delegates to `param_grads()` (allocating
+    /// but correct) so external layer implementations keep updating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`.
+    fn visit_param_grads(
+        &mut self,
+        f: &mut dyn FnMut(ParamGrad<'_, S>) -> Result<()>,
+    ) -> Result<()> {
+        for pg in self.param_grads() {
+            f(pg)?;
+        }
+        Ok(())
+    }
+
+    /// Deep-copies this layer for a data-parallel training worker, or
+    /// `None` if the layer cannot be row-sharded (the recurrent layers
+    /// carry cross-row sequence state). Any `None` in a graph makes
+    /// `Model::train_batch` keep the serial path.
+    fn clone_box(&self) -> Option<Box<dyn Layer<S>>> {
+        None
+    }
+
+    /// Zeroes the parameter-gradient accumulators so that subsequent
+    /// [`Layer::accumulate_param_grads`] calls start fresh chains.
+    fn reset_param_grads(&mut self) {}
+
+    /// Accumulates parameter gradients from a worker replica's forward
+    /// input and output gradient, **continuing** the accumulator chains
+    /// already in the gradient buffers. Feeding row shards in ascending
+    /// order reproduces the full-batch gradient bit-for-bit (the kernels
+    /// walk rows in ascending order with exact partial store/reload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] if the shard shapes do not
+    /// match the layer's gradient buffers.
+    fn accumulate_param_grads(&mut self, input: &Matrix<S>, grad_out: &Matrix<S>) -> Result<()> {
+        let _ = (input, grad_out);
+        Ok(())
+    }
+
     /// Read-only views of the parameters, in slot order (for serialization).
     fn params(&self) -> Vec<&Matrix<S>> {
         Vec::new()
@@ -304,6 +349,34 @@ impl<S: Scalar> Layer<S> for Linear<S> {
         ]
     }
 
+    fn visit_param_grads(
+        &mut self,
+        f: &mut dyn FnMut(ParamGrad<'_, S>) -> Result<()>,
+    ) -> Result<()> {
+        f(ParamGrad {
+            param: &mut self.weights,
+            grad: &self.grad_w,
+        })?;
+        f(ParamGrad {
+            param: &mut self.bias,
+            grad: &self.grad_b,
+        })
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Layer<S>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn reset_param_grads(&mut self) {
+        self.grad_w.fill(S::ZERO);
+        self.grad_b.fill(S::ZERO);
+    }
+
+    fn accumulate_param_grads(&mut self, input: &Matrix<S>, grad_out: &Matrix<S>) -> Result<()> {
+        input.transpose_matmul_acc_into(grad_out, &mut self.grad_w)?;
+        grad_out.sum_rows_acc_into(&mut self.grad_b)
+    }
+
     fn params(&self) -> Vec<&Matrix<S>> {
         vec![&self.weights, &self.bias]
     }
@@ -394,7 +467,7 @@ impl<S: Scalar> Layer<S> for ActivationLayer<S> {
 
     fn forward_into(&mut self, input: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
         match self.activation {
-            Activation::Sigmoid => input.map_into(out, Scalar::sigmoid),
+            Activation::Sigmoid => input.sigmoid_into(out),
             Activation::Relu => input.map_into(out, Scalar::relu),
             Activation::Tanh => input.map_into(out, Scalar::tanh),
         }
@@ -441,6 +514,10 @@ impl<S: Scalar> Layer<S> for ActivationLayer<S> {
 
     fn scratch_bytes(&self) -> usize {
         self.cache.storage_bytes() + self.deriv.storage_bytes()
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Layer<S>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn output_dim(&self, input_dim: usize) -> Option<usize> {
@@ -501,8 +578,8 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
             self.row_buf.clear();
             self.row_buf.extend(input.row(r).iter().map(|v| v.to_f64()));
             crate::math::softmax_in_place(&mut self.row_buf);
-            for (c, v) in self.row_buf.iter().enumerate() {
-                out.set(r, c, S::from_f64(*v));
+            for (o, v) in out.row_mut(r).iter_mut().zip(&self.row_buf) {
+                *o = S::from_f64(*v);
             }
         }
         self.cached_output.copy_from(out);
@@ -534,9 +611,8 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
                 .zip(gyrow)
                 .map(|(&a, &b)| a.to_f64() * b.to_f64())
                 .sum();
-            for c in 0..s.cols() {
-                let v = srow[c].to_f64() * (gyrow[c].to_f64() - dot);
-                grad_in.set(r, c, S::from_f64(v));
+            for ((g, &sv), &gy) in grad_in.row_mut(r).iter_mut().zip(srow).zip(gyrow) {
+                *g = S::from_f64(sv.to_f64() * (gy.to_f64() - dot));
             }
         }
         Ok(())
@@ -544,6 +620,10 @@ impl<S: Scalar> Layer<S> for SoftmaxLayer<S> {
 
     fn scratch_bytes(&self) -> usize {
         self.cached_output.storage_bytes() + self.row_buf.capacity() * std::mem::size_of::<f64>()
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Layer<S>>> {
+        Some(Box::new(self.clone()))
     }
 
     fn output_dim(&self, input_dim: usize) -> Option<usize> {

@@ -21,7 +21,9 @@ pub enum TargetRef<'a> {
 /// A differentiable training objective.
 ///
 /// `pred` is the raw network output (logits for the classification losses).
-pub trait Loss: std::fmt::Debug {
+/// Losses are `Sync` so the data-parallel training path can evaluate shard
+/// gradients from worker threads.
+pub trait Loss: std::fmt::Debug + Sync {
     /// Stable numeric tag for model files.
     fn tag(&self) -> u8;
 
@@ -57,6 +59,79 @@ pub trait Loss: std::fmt::Debug {
     ) -> Result<()> {
         out.copy_from(&self.grad(pred, target)?);
         Ok(())
+    }
+
+    /// Fused mean loss + gradient in one pass. The default computes the two
+    /// separately; `CrossEntropyLoss` overrides it to share the softmax
+    /// pass between the loss and the gradient (halving the `exp` work on
+    /// the training hot path) while producing bit-identical values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::loss`].
+    fn loss_and_grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<f64> {
+        let l = self.loss(pred, target)?;
+        self.grad_into(pred, target, out)?;
+        Ok(l)
+    }
+
+    /// Gradient of the **batch-mean** loss where the mean is taken over
+    /// `total_rows` rows even though `pred` holds only a row shard of the
+    /// batch. Because all three built-in losses are means of per-row (or
+    /// per-element) terms, a shard's gradient rows computed with the full
+    /// batch's divisor are bit-identical to the corresponding rows of the
+    /// full-batch gradient — which is what makes the data-parallel training
+    /// reduction deterministic.
+    ///
+    /// The default only supports the degenerate `total_rows == pred.rows()`
+    /// case (delegating to [`Loss::grad_into`]); implementations that can
+    /// shard must also override [`Loss::supports_sharded_grad`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Loss::loss`], plus [`KmlError::BadDataset`] if
+    /// the implementation cannot shard and `total_rows != pred.rows()`.
+    fn grad_scaled_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        total_rows: usize,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        if total_rows != pred.rows() {
+            return Err(KmlError::BadDataset(
+                "loss does not support sharded gradients".into(),
+            ));
+        }
+        self.grad_into(pred, target, out)
+    }
+
+    /// Whether [`Loss::grad_scaled_into`] accepts row shards
+    /// (`total_rows != pred.rows()`). Gates the data-parallel training path.
+    fn supports_sharded_grad(&self) -> bool {
+        false
+    }
+}
+
+/// Classification rows wider than this fall back to a heap buffer; every
+/// model in the repo (the readahead classifier has 4 outputs) stays on the
+/// stack, keeping the steady-state training path allocation-free.
+const ROW_STACK: usize = 32;
+
+/// Runs `f` with a zeroed `cols`-wide `f64` scratch row: stack-allocated for
+/// `cols <= ROW_STACK`, heap otherwise.
+fn with_row_buf<R>(cols: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    if cols <= ROW_STACK {
+        let mut buf = [0.0f64; ROW_STACK];
+        f(&mut buf[..cols])
+    } else {
+        let mut buf = vec![0.0f64; cols];
+        f(&mut buf)
     }
 }
 
@@ -133,12 +208,16 @@ impl Loss for CrossEntropyLoss {
 
     fn loss<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<f64> {
         let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
-        let mut total = 0.0;
-        for (r, &c) in classes.iter().enumerate() {
-            let row: Vec<f64> = pred.row(r).iter().map(|v| v.to_f64()).collect();
-            total -= crate::math::log_softmax_at(&row, c);
-        }
-        Ok(total / pred.rows() as f64)
+        Ok(with_row_buf(pred.cols(), |row| {
+            let mut total = 0.0;
+            for (r, &c) in classes.iter().enumerate() {
+                for (b, v) in row.iter_mut().zip(pred.row(r)) {
+                    *b = v.to_f64();
+                }
+                total -= crate::math::log_softmax_at(row, c);
+            }
+            total / pred.rows() as f64
+        }))
     }
 
     fn grad<S: Scalar>(&self, pred: &Matrix<S>, target: TargetRef<'_>) -> Result<Matrix<S>> {
@@ -153,20 +232,75 @@ impl Loss for CrossEntropyLoss {
         target: TargetRef<'_>,
         out: &mut Matrix<S>,
     ) -> Result<()> {
+        self.grad_scaled_into(pred, target, pred.rows(), out)
+    }
+
+    fn loss_and_grad_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        out: &mut Matrix<S>,
+    ) -> Result<f64> {
         let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
         let n = pred.rows() as f64;
         out.ensure_shape(pred.rows(), pred.cols());
-        let mut row: Vec<f64> = Vec::with_capacity(pred.cols());
-        for (r, &c) in classes.iter().enumerate() {
-            row.clear();
-            row.extend(pred.row(r).iter().map(|v| v.to_f64()));
-            crate::math::softmax_in_place(&mut row);
-            for (j, &s) in row.iter().enumerate() {
-                let g = (s - if j == c { 1.0 } else { 0.0 }) / n;
-                out.set(r, j, S::from_f64(g));
+        // One softmax pass serves both the loss and the gradient. The max
+        // fold and the exp-sum order below replicate `log_softmax_at` and
+        // `softmax_in_place` exactly, so the fused values are bit-identical
+        // to the separate loss() + grad_into() calls.
+        Ok(with_row_buf(pred.cols(), |row| {
+            let mut total = 0.0;
+            for (r, &c) in classes.iter().enumerate() {
+                for (b, v) in row.iter_mut().zip(pred.row(r)) {
+                    *b = v.to_f64();
+                }
+                let v_c = row[c];
+                let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for x in row.iter_mut() {
+                    *x = crate::math::exp(*x - max);
+                    sum += *x;
+                }
+                total -= (v_c - max) - crate::math::ln(sum);
+                if sum > 0.0 {
+                    for x in row.iter_mut() {
+                        *x /= sum;
+                    }
+                }
+                for (j, (o, &s)) in out.row_mut(r).iter_mut().zip(row.iter()).enumerate() {
+                    *o = S::from_f64((s - if j == c { 1.0 } else { 0.0 }) / n);
+                }
             }
-        }
+            total / pred.rows() as f64
+        }))
+    }
+
+    fn grad_scaled_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        total_rows: usize,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        let classes = classes_for(pred.rows(), pred.cols(), target, "cross-entropy")?;
+        let n = total_rows as f64;
+        out.ensure_shape(pred.rows(), pred.cols());
+        with_row_buf(pred.cols(), |row| {
+            for (r, &c) in classes.iter().enumerate() {
+                for (b, v) in row.iter_mut().zip(pred.row(r)) {
+                    *b = v.to_f64();
+                }
+                crate::math::softmax_in_place(row);
+                for (j, (o, &s)) in out.row_mut(r).iter_mut().zip(row.iter()).enumerate() {
+                    *o = S::from_f64((s - if j == c { 1.0 } else { 0.0 }) / n);
+                }
+            }
+        });
         Ok(())
+    }
+
+    fn supports_sharded_grad(&self) -> bool {
+        true
     }
 }
 
@@ -205,8 +339,18 @@ impl Loss for MseLoss {
         target: TargetRef<'_>,
         out: &mut Matrix<S>,
     ) -> Result<()> {
+        self.grad_scaled_into(pred, target, pred.rows(), out)
+    }
+
+    fn grad_scaled_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        total_rows: usize,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
         let vs = values_for(pred.len(), target, "mse")?;
-        let n = pred.len() as f64;
+        let n = (total_rows * pred.cols()) as f64;
         out.ensure_shape(pred.rows(), pred.cols());
         for (o, (&p, &t)) in out
             .as_mut_slice()
@@ -216,6 +360,10 @@ impl Loss for MseLoss {
             *o = S::from_f64(2.0 * (p.to_f64() - t) / n);
         }
         Ok(())
+    }
+
+    fn supports_sharded_grad(&self) -> bool {
+        true
     }
 }
 
@@ -257,8 +405,18 @@ impl Loss for BceLoss {
         target: TargetRef<'_>,
         out: &mut Matrix<S>,
     ) -> Result<()> {
+        self.grad_scaled_into(pred, target, pred.rows(), out)
+    }
+
+    fn grad_scaled_into<S: Scalar>(
+        &self,
+        pred: &Matrix<S>,
+        target: TargetRef<'_>,
+        total_rows: usize,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
         let vs = values_for(pred.len(), target, "bce")?;
-        let n = pred.len() as f64;
+        let n = (total_rows * pred.cols()) as f64;
         out.ensure_shape(pred.rows(), pred.cols());
         for (o, (&p, &y)) in out
             .as_mut_slice()
@@ -268,6 +426,10 @@ impl Loss for BceLoss {
             *o = S::from_f64((crate::math::sigmoid(p.to_f64()) - y) / n);
         }
         Ok(())
+    }
+
+    fn supports_sharded_grad(&self) -> bool {
+        true
     }
 }
 

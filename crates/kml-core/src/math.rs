@@ -20,6 +20,7 @@
 /// let y = kml_core::math::exp(1.0);
 /// assert!((y - std::f64::consts::E).abs() < 1e-12);
 /// ```
+#[inline]
 pub fn exp(x: f64) -> f64 {
     if x.is_nan() {
         return f64::NAN;
@@ -32,16 +33,51 @@ pub fn exp(x: f64) -> f64 {
         return 0.0;
     }
     const LN2: f64 = std::f64::consts::LN_2;
-    // x = k*ln2 + r
+    // x = k*ln2 + r. The k computation must stay a division: multiplying
+    // by a precomputed 1/ln2 can flip k near half-integer quotients.
     let k = (x / LN2 + if x >= 0.0 { 0.5 } else { -0.5 }) as i64;
     let r = x - (k as f64) * LN2;
-    // Taylor series e^r = sum r^n / n!  for |r| <= ln2/2 ≈ 0.347
-    let mut term = 1.0f64;
-    let mut sum = 1.0f64;
-    for n in 1..=13 {
-        term *= r / (n as f64);
-        sum += term;
-    }
+    // Taylor series e^r = sum r^n / n! for |r| <= ln2/2 ≈ 0.347, evaluated
+    // with term_n = term_{n-1} · (r/n) exactly like the original loop — but
+    // only six of the thirteen r/n quotients need a real division. The rest
+    // are exact power-of-two scalings of those (r/2 = r·½, r/6 = (r/3)·½,
+    // r/12 = (r/3)·¼, …): |r/n| stays far from subnormals, so scaling by
+    // ½/¼/⅛ commutes with rounding and each product is bit-identical to the
+    // divided form. r/9 keeps its own division — (r/3)/3 would round twice.
+    // The six divisions are independent, so they pipeline instead of
+    // serializing on the divider the way the loop-carried r/n chain did.
+    let r3 = r / 3.0;
+    let r5 = r / 5.0;
+    let r7 = r / 7.0;
+    let r9 = r / 9.0;
+    let r11 = r / 11.0;
+    let r13 = r / 13.0;
+    let mut term = r;
+    let mut sum = 1.0 + term;
+    term *= r * 0.5;
+    sum += term;
+    term *= r3;
+    sum += term;
+    term *= r * 0.25;
+    sum += term;
+    term *= r5;
+    sum += term;
+    term *= r3 * 0.5;
+    sum += term;
+    term *= r7;
+    sum += term;
+    term *= r * 0.125;
+    sum += term;
+    term *= r9;
+    sum += term;
+    term *= r5 * 0.5;
+    sum += term;
+    term *= r11;
+    sum += term;
+    term *= r3 * 0.25;
+    sum += term;
+    term *= r13;
+    sum += term;
     scale_by_pow2(sum, k as i32)
 }
 
@@ -127,14 +163,144 @@ pub fn ln(x: f64) -> f64 {
 /// assert_eq!(kml_core::math::sigmoid(0.0), 0.5);
 /// assert!(kml_core::math::sigmoid(40.0) > 0.999999);
 /// ```
+#[inline]
 pub fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        let e = exp(-x);
-        1.0 / (1.0 + e)
-    } else {
-        let e = exp(x);
-        e / (1.0 + e)
+    // One exp of -|x| replaces the classic two-sided branch: for x ≥ 0 the
+    // argument is -x and for x < 0 it is x, exactly the operand each branch
+    // used, so the result is bit-identical. The payoff is predictability —
+    // exp's internal sign test always sees a non-positive argument, so in a
+    // loop over mixed-sign activations every branch is static and several
+    // elements' Taylor chains stay in flight at once.
+    let e = exp(-x.abs());
+    let num = if x >= 0.0 { 1.0 } else { e };
+    num / (1.0 + e)
+}
+
+/// Four-lane sigmoid, bit-identical to [`sigmoid`] per lane.
+///
+/// The straight-line core repeats [`exp`]'s arithmetic op-for-op across four
+/// independent lanes, which the SLP vectorizer turns into packed SSE2
+/// arithmetic — crucially one packed divide per `r/n` quotient instead of
+/// four serialized scalar divides (the divider, not the multiply chain, is
+/// what bounds the scalar path). Any lane outside `(-700, 700)` — the
+/// clamps, NaN, the subnormal band — sends the whole quad down the scalar
+/// function, so every special case keeps its exact scalar bits.
+#[inline]
+pub fn sigmoid4(x: [f64; 4]) -> [f64; 4] {
+    let mut easy = true;
+    for &xi in &x {
+        // Comparison is false for NaN, so NaN lanes also fall back.
+        easy &= xi.abs() < 700.0;
     }
+    if !easy {
+        return [sigmoid(x[0]), sigmoid(x[1]), sigmoid(x[2]), sigmoid(x[3])];
+    }
+    // σ(x) = num / (1 + e) with e = exp(-|x|), exactly as in [`sigmoid`].
+    let e = exp4_core([-x[0].abs(), -x[1].abs(), -x[2].abs(), -x[3].abs()]);
+    let mut out = [0.0f64; 4];
+    for i in 0..4 {
+        let num = if x[i] >= 0.0 { 1.0 } else { e[i] };
+        out[i] = num / (1.0 + e[i]);
+    }
+    out
+}
+
+/// Element-wise [`sigmoid`] of `xs` into `out`, four lanes at a time.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sigmoid_slice(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "sigmoid_slice length mismatch");
+    let mut oc = out.chunks_exact_mut(4);
+    let mut ic = xs.chunks_exact(4);
+    for (o4, i4) in (&mut oc).zip(&mut ic) {
+        o4.copy_from_slice(&sigmoid4([i4[0], i4[1], i4[2], i4[3]]));
+    }
+    for (o, &v) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
+        *o = sigmoid(v);
+    }
+}
+
+/// Four-lane [`exp`] core. Caller guarantees every lane is in `(-700, 700)`
+/// so none of the scalar function's clamp or subnormal branches can fire;
+/// on that range each lane reproduces `exp` bit-for-bit.
+#[inline]
+fn exp4_core(x: [f64; 4]) -> [f64; 4] {
+    type V = [f64; 4];
+    #[inline(always)]
+    fn vdiv(a: V, d: f64) -> V {
+        [a[0] / d, a[1] / d, a[2] / d, a[3] / d]
+    }
+    #[inline(always)]
+    fn vmuls(a: V, s: f64) -> V {
+        [a[0] * s, a[1] * s, a[2] * s, a[3] * s]
+    }
+    #[inline(always)]
+    fn vmul(a: V, b: V) -> V {
+        [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
+    }
+    #[inline(always)]
+    fn vadd(a: V, b: V) -> V {
+        [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+    }
+    const LN2: f64 = std::f64::consts::LN_2;
+    // Same reduction as [`exp`]: the quotient stays a division, the ±0.5
+    // rounding bias a select. (`x - kf·LN2` equals `x + kf·(-LN2)` exactly —
+    // IEEE sign flips are exact — so the fused form below keeps `r`'s bits.)
+    let q = vdiv(x, LN2);
+    let mut k = [0i64; 4];
+    let mut kf = [0.0f64; 4];
+    for i in 0..4 {
+        let half = if x[i] >= 0.0 { 0.5 } else { -0.5 };
+        k[i] = (q[i] + half) as i64;
+        kf[i] = k[i] as f64;
+    }
+    let r = vadd(x, vmuls(kf, -LN2));
+    // The [`exp`] Taylor chain, lane-parallel: identical term/sum updates in
+    // identical order, so each lane's rounding matches the scalar walk.
+    let r3 = vdiv(r, 3.0);
+    let r5 = vdiv(r, 5.0);
+    let r7 = vdiv(r, 7.0);
+    let r9 = vdiv(r, 9.0);
+    let r11 = vdiv(r, 11.0);
+    let r13 = vdiv(r, 13.0);
+    let mut term = r;
+    let mut sum = vadd([1.0; 4], term);
+    term = vmul(term, vmuls(r, 0.5));
+    sum = vadd(sum, term);
+    term = vmul(term, r3);
+    sum = vadd(sum, term);
+    term = vmul(term, vmuls(r, 0.25));
+    sum = vadd(sum, term);
+    term = vmul(term, r5);
+    sum = vadd(sum, term);
+    term = vmul(term, vmuls(r3, 0.5));
+    sum = vadd(sum, term);
+    term = vmul(term, r7);
+    sum = vadd(sum, term);
+    term = vmul(term, vmuls(r, 0.125));
+    sum = vadd(sum, term);
+    term = vmul(term, r9);
+    sum = vadd(sum, term);
+    term = vmul(term, vmuls(r5, 0.5));
+    sum = vadd(sum, term);
+    term = vmul(term, r11);
+    sum = vadd(sum, term);
+    term = vmul(term, vmuls(r3, 0.25));
+    sum = vadd(sum, term);
+    term = vmul(term, r13);
+    sum = vadd(sum, term);
+    // In-range scale_by_pow2: `sum` is never zero and the shifted exponent
+    // stays inside (0, 0x7ff), so the bit splice needs no branches.
+    let mut out = [0.0f64; 4];
+    for i in 0..4 {
+        let bits = sum[i].to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let new_exp = (exp_bits + k[i]) as u64;
+        out[i] = f64::from_bits((bits & !(0x7ffu64 << 52)) | (new_exp << 52));
+    }
+    out
 }
 
 /// Hyperbolic tangent via the stable identity `tanh(x) = 2σ(2x) − 1`.
@@ -144,6 +310,7 @@ pub fn sigmoid(x: f64) -> f64 {
 /// ```
 /// assert!((kml_core::math::tanh(0.5) - 0.5_f64.tanh()).abs() < 1e-12);
 /// ```
+#[inline]
 pub fn tanh(x: f64) -> f64 {
     2.0 * sigmoid(2.0 * x) - 1.0
 }
@@ -286,6 +453,56 @@ mod tests {
                 (s + sigmoid(-x) - 1.0).abs() < 1e-12,
                 "sigmoid symmetry at {x}"
             );
+        }
+    }
+
+    #[test]
+    fn sigmoid4_bit_identical_to_scalar_everywhere() {
+        // Dense sweep across the vector range plus every special band:
+        // clamps, the subnormal window (-745, -708), NaN, signed zero.
+        let mut xs = vec![
+            -750.0,
+            -745.1,
+            -710.0,
+            -708.5,
+            -700.0001,
+            -699.9,
+            0.0,
+            -0.0,
+            699.9,
+            700.1,
+            709.9,
+            750.0,
+            f64::NAN,
+            1e-300,
+            -1e-300,
+        ];
+        for i in 0..4000 {
+            xs.push((i as f64) * 0.37 - 740.0);
+        }
+        while !xs.len().is_multiple_of(4) {
+            xs.push(0.1);
+        }
+        let mut out = vec![0.0f64; xs.len()];
+        sigmoid_slice(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            let want = sigmoid(x);
+            assert!(
+                got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                "sigmoid4({x}): got {got:?}, want {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_slice_handles_remainder_lanes() {
+        for len in 0..9 {
+            let xs: Vec<f64> = (0..len).map(|i| i as f64 * 0.7 - 2.0).collect();
+            let mut out = vec![0.0f64; len];
+            sigmoid_slice(&xs, &mut out);
+            for (&x, &got) in xs.iter().zip(&out) {
+                assert_eq!(got.to_bits(), sigmoid(x).to_bits());
+            }
         }
     }
 

@@ -183,6 +183,17 @@ impl<S: Scalar> Matrix<S> {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice (the bounds check happens once here, not
+    /// per element as with repeated [`Matrix::set`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Flat row-major view of all elements.
     pub fn as_slice(&self) -> &[S] {
         &self.data
@@ -225,22 +236,6 @@ impl<S: Scalar> Matrix<S> {
         }
     }
 
-    /// `orow[j] += a * rrow[j]`, 4-way unrolled for the row-major hot loop.
-    #[inline]
-    fn axpy_row(orow: &mut [S], rrow: &[S], a: S) {
-        let mut oc = orow.chunks_exact_mut(4);
-        let mut rc = rrow.chunks_exact(4);
-        for (o4, b4) in (&mut oc).zip(&mut rc) {
-            o4[0] = o4[0].mul_acc(a, b4[0]);
-            o4[1] = o4[1].mul_acc(a, b4[1]);
-            o4[2] = o4[2].mul_acc(a, b4[2]);
-            o4[3] = o4[3].mul_acc(a, b4[3]);
-        }
-        for (o, &b) in oc.into_remainder().iter_mut().zip(rc.remainder()) {
-            *o = o.mul_acc(a, b);
-        }
-    }
-
     /// Matrix product `self · rhs`.
     ///
     /// # Errors
@@ -255,6 +250,10 @@ impl<S: Scalar> Matrix<S> {
     /// Matrix product `self · rhs` written into `out` (reshaped as needed).
     ///
     /// Allocation-free once `out`'s buffer has capacity for the result.
+    /// Runs the register-tiled kernel (see [`kernel_matmul`]); every output
+    /// element is a single accumulator chain over the shared dimension in
+    /// ascending order, bit-identical to the naive triple loop kept in
+    /// [`naive`].
     ///
     /// # Errors
     ///
@@ -268,19 +267,137 @@ impl<S: Scalar> Matrix<S> {
             });
         }
         out.ensure_shape(self.rows, rhs.cols);
-        out.fill(S::ZERO);
-        // i-k-j loop order: streams through rhs rows, cache-friendly for
-        // row-major layout (the kernels the paper hand-optimizes).
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == S::ZERO {
-                    continue;
+        // SAFETY: the shape guard establishes `self.data.len() == rows·cols`
+        // and `rhs.data.len() == cols·rhs.cols`; `ensure_shape` sized
+        // `out.data` to `rows·rhs.cols` — exactly the bounds the kernel
+        // requires.
+        unsafe {
+            kernel_matmul(
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                self.rows,
+                self.cols,
+                rhs.cols,
+            );
+        }
+        Ok(())
+    }
+
+    /// Panel-packed `self · rhs` for large products (the `kernels` bench
+    /// path; the model hot path uses [`Matrix::matmul_into`] directly since
+    /// its operands fit in L1).
+    ///
+    /// Packs `MR`-row panels of `self` and `NR`-column panels of `rhs` into
+    /// two [`ScratchArena`] slots so the micro-kernel streams contiguous
+    /// memory, and blocks the shared dimension at [`KC`] so one panel pair
+    /// stays cache-resident. Accumulator chains still walk the shared
+    /// dimension in ascending order — later `KC` blocks continue from the
+    /// stored partial, and a scalar store/reload is exact — so the result
+    /// is bit-identical to [`Matrix::matmul_into`]. Steady-state calls with
+    /// a fixed shape perform no heap allocation (the arena slots are sized
+    /// on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.rows`.
+    #[allow(clippy::needless_range_loop)]
+    pub fn matmul_into_packed(
+        &self,
+        rhs: &Matrix<S>,
+        out: &mut Matrix<S>,
+        pack: &mut crate::scratch::ScratchArena<S>,
+    ) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.ensure_shape(self.rows, rhs.cols);
+        let (m, kd, n) = (self.rows, self.cols, rhs.cols);
+        if kd == 0 {
+            out.fill(S::ZERO);
+            return Ok(());
+        }
+        let (mt, nt) = (m / MR, n / NR); // full register tiles
+        let kc_cap = KC.min(kd);
+        pack.ensure_slots(2);
+        pack.slot_mut(0).ensure_shape(1, (mt * MR * kc_cap).max(1));
+        pack.slot_mut(1).ensure_shape(1, (nt * NR * kc_cap).max(1));
+        let mut p0 = 0;
+        while p0 < kd {
+            let kc = KC.min(kd - p0);
+            let first = p0 == 0;
+            {
+                // Pack A panels: apack[t·MR·kc + p·MR + mi] = A[t·MR+mi, p0+p],
+                // so the micro-kernel reads MR contiguous values per k step.
+                let apack = pack.slot_mut(0).as_mut_slice();
+                for t in 0..mt {
+                    let panel = &mut apack[t * MR * kc..(t + 1) * MR * kc];
+                    for p in 0..kc {
+                        for mi in 0..MR {
+                            panel[p * MR + mi] = self.data[(t * MR + mi) * kd + p0 + p];
+                        }
+                    }
                 }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                Self::axpy_row(orow, rrow, a);
             }
+            {
+                // Pack B panels: bpack[u·NR·kc + p·NR + jj] = B[p0+p, u·NR+jj].
+                let bpack = pack.slot_mut(1).as_mut_slice();
+                for u in 0..nt {
+                    let panel = &mut bpack[u * NR * kc..(u + 1) * NR * kc];
+                    for p in 0..kc {
+                        for jj in 0..NR {
+                            panel[p * NR + jj] = rhs.data[(p0 + p) * n + u * NR + jj];
+                        }
+                    }
+                }
+            }
+            let apack = pack.slot(0).as_slice();
+            let bpack = pack.slot(1).as_slice();
+            for t in 0..mt {
+                let apan = &apack[t * MR * kc..(t + 1) * MR * kc];
+                for u in 0..nt {
+                    let bpan = &bpack[u * NR * kc..(u + 1) * NR * kc];
+                    // SAFETY: t < mt and u < nt keep the MR×NR tile at
+                    // offset (t·MR)·n + u·NR inside the m×n output; the
+                    // panel slices hold exactly MR·kc / NR·kc elements.
+                    unsafe {
+                        kernel_packed_tile(
+                            apan,
+                            bpan,
+                            &mut out.data,
+                            n,
+                            kc,
+                            (t * MR) * n + u * NR,
+                            !first,
+                        );
+                    }
+                }
+            }
+            // Edge rows (m % MR) and edge columns (n % NR): thin strips,
+            // direct strided chains with checked indexing.
+            for i in (mt * MR)..m {
+                for j in 0..n {
+                    let mut s = if first { S::ZERO } else { out.data[i * n + j] };
+                    for p in p0..p0 + kc {
+                        s = s.mul_acc(self.data[i * kd + p], rhs.data[p * n + j]);
+                    }
+                    out.data[i * n + j] = s;
+                }
+            }
+            for i in 0..mt * MR {
+                for j in (nt * NR)..n {
+                    let mut s = if first { S::ZERO } else { out.data[i * n + j] };
+                    for p in p0..p0 + kc {
+                        s = s.mul_acc(self.data[i * kd + p], rhs.data[p * n + j]);
+                    }
+                    out.data[i * n + j] = s;
+                }
+            }
+            p0 += kc;
         }
         Ok(())
     }
@@ -298,6 +415,12 @@ impl<S: Scalar> Matrix<S> {
 
     /// `self · rhsᵀ` written into `out` (reshaped as needed).
     ///
+    /// Blocked 2×2 over the output so each loaded pair of rows serves four
+    /// dot products; every element still runs the exact four-lane [`dot`]
+    /// schedule, so results are bit-identical to the naive double loop.
+    ///
+    /// [`dot`]: Matrix::dot
+    ///
     /// # Errors
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `self.cols == rhs.cols`.
@@ -310,11 +433,35 @@ impl<S: Scalar> Matrix<S> {
             });
         }
         out.ensure_shape(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                out.data[i * rhs.rows + j] = Self::dot(arow, brow);
+        let (m, n, kd) = (self.rows, rhs.rows, self.cols);
+        let ad = &self.data;
+        let bd = &rhs.data;
+        let mut i = 0;
+        while i + 2 <= m {
+            let a0 = &ad[i * kd..(i + 1) * kd];
+            let a1 = &ad[(i + 1) * kd..(i + 2) * kd];
+            let mut j = 0;
+            while j + 2 <= n {
+                let b0 = &bd[j * kd..(j + 1) * kd];
+                let b1 = &bd[(j + 1) * kd..(j + 2) * kd];
+                out.data[i * n + j] = Self::dot(a0, b0);
+                out.data[i * n + j + 1] = Self::dot(a0, b1);
+                out.data[(i + 1) * n + j] = Self::dot(a1, b0);
+                out.data[(i + 1) * n + j + 1] = Self::dot(a1, b1);
+                j += 2;
+            }
+            if j < n {
+                let b0 = &bd[j * kd..(j + 1) * kd];
+                out.data[i * n + j] = Self::dot(a0, b0);
+                out.data[(i + 1) * n + j] = Self::dot(a1, b0);
+            }
+            i += 2;
+        }
+        if i < m {
+            let a0 = &ad[i * kd..(i + 1) * kd];
+            for j in 0..n {
+                let b0 = &bd[j * kd..(j + 1) * kd];
+                out.data[i * n + j] = Self::dot(a0, b0);
             }
         }
         Ok(())
@@ -354,6 +501,10 @@ impl<S: Scalar> Matrix<S> {
 
     /// `selfᵀ · rhs` written into `out` (reshaped as needed).
     ///
+    /// Register-tiled like [`Matrix::matmul_into`] (A is read with a column
+    /// stride instead of materializing the transpose); chains ascend the
+    /// shared dimension, bit-identical to the naive loop in [`naive`].
+    ///
     /// # Errors
     ///
     /// Returns [`KmlError::ShapeMismatch`] unless `self.rows == rhs.rows`.
@@ -366,17 +517,60 @@ impl<S: Scalar> Matrix<S> {
             });
         }
         out.ensure_shape(self.cols, rhs.cols);
-        out.fill(S::ZERO);
-        for k in 0..self.rows {
-            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
-            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == S::ZERO {
-                    continue;
-                }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                Self::axpy_row(orow, brow, a);
-            }
+        // SAFETY: shape guard + ensure_shape establish the kernel bounds
+        // (`self` is kd×mm, `rhs` is kd×n, `out` is mm×n).
+        unsafe {
+            kernel_transpose_matmul(
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                self.cols,
+                self.rows,
+                rhs.cols,
+                false,
+            );
+        }
+        Ok(())
+    }
+
+    /// `out += selfᵀ · rhs` — continues each output element's accumulator
+    /// chain from its current value instead of restarting at zero.
+    ///
+    /// Accumulating row-shard partials in ascending shard order through
+    /// this kernel is bit-identical to a single full-batch
+    /// [`Matrix::transpose_matmul_into`]; the deterministic data-parallel
+    /// reduction in `Model::train_batch` depends on exactly that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `self.rows == rhs.rows`
+    /// and `out` is already `self.cols × rhs.cols`.
+    pub fn transpose_matmul_acc_into(&self, rhs: &Matrix<S>, out: &mut Matrix<S>) -> Result<()> {
+        if self.rows != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.cols, rhs.cols) {
+            return Err(KmlError::ShapeMismatch {
+                op: "transpose_matmul_acc",
+                lhs: self.shape(),
+                rhs: out.shape(),
+            });
+        }
+        // SAFETY: both guards above establish the kernel bounds.
+        unsafe {
+            kernel_transpose_matmul(
+                &self.data,
+                &rhs.data,
+                &mut out.data,
+                self.cols,
+                self.rows,
+                rhs.cols,
+                true,
+            );
         }
         Ok(())
     }
@@ -522,6 +716,31 @@ impl<S: Scalar> Matrix<S> {
         }
     }
 
+    /// Column-sum reduction **accumulated** into `out` (which must already
+    /// be `1 × self.cols`). Continuing the per-column add chain across
+    /// ascending row shards is bit-identical to one full
+    /// [`Matrix::sum_rows_into`] — the bias-gradient half of the
+    /// deterministic sharded reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] unless `out` is `1 × self.cols`.
+    pub fn sum_rows_acc_into(&self, out: &mut Matrix<S>) -> Result<()> {
+        if out.rows != 1 || out.cols != self.cols {
+            return Err(KmlError::ShapeMismatch {
+                op: "sum_rows_acc",
+                lhs: self.shape(),
+                rhs: out.shape(),
+            });
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] = out.data[c].add(self.data[r * self.cols + c]);
+            }
+        }
+        Ok(())
+    }
+
     /// Multiplies every element by `k`.
     pub fn scale(&self, k: S) -> Matrix<S> {
         self.map(|v| v.mul(k))
@@ -648,11 +867,403 @@ impl<S: Scalar> Matrix<S> {
     }
 
     /// Applies `f` element-wise, writing into `out` (reshaped as needed).
+    /// Element-wise sigmoid into `out` through the scalar type's slice hook
+    /// ([`Scalar::sigmoid_map`]): floats take the four-lane SLP `exp` path,
+    /// `Fix32` its piecewise-linear table. Bit-identical to
+    /// `self.map_into(out, Scalar::sigmoid)`.
+    pub fn sigmoid_into(&self, out: &mut Matrix<S>) {
+        out.ensure_shape(self.rows, self.cols);
+        S::sigmoid_map(&self.data, &mut out.data);
+    }
+
     pub fn map_into(&self, out: &mut Matrix<S>, f: impl Fn(S) -> S) {
         out.ensure_shape(self.rows, self.cols);
-        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+        // Four elements per step: for latency-bound maps (sigmoid/tanh run
+        // a serial Taylor chain per element) this keeps four independent
+        // chains in flight instead of one.
+        let mut oc = out.data.chunks_exact_mut(4);
+        let mut ic = self.data.chunks_exact(4);
+        for (o4, i4) in (&mut oc).zip(&mut ic) {
+            let (a, b, c, d) = (f(i4[0]), f(i4[1]), f(i4[2]), f(i4[3]));
+            o4[0] = a;
+            o4[1] = b;
+            o4[2] = c;
+            o4[3] = d;
+        }
+        for (o, &v) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
             *o = f(v);
         }
+    }
+}
+
+/// Register-tile height of the blocked kernels: MR×NR = 4×4 gives 16
+/// independent accumulator chains, matching the 16 xmm registers of the
+/// x86-64 SSE2 baseline so LLVM keeps the whole tile in registers.
+const MR: usize = 4;
+/// Register-tile width (see [`MR`]).
+const NR: usize = 4;
+/// Shared-dimension block for [`Matrix::matmul_into_packed`]: one A panel
+/// (`MR·KC` elements) plus one B panel (`NR·KC`) stays well inside L1/L2
+/// at every supported scalar width.
+const KC: usize = 256;
+
+/// `c = a · b` for row-major `a` (`m×kd`), `b` (`kd×n`), `c` (`m×n`).
+///
+/// Every `c[i·n+j]` is a single accumulator chain over ascending `p` using
+/// `mul_acc` (= `add(mul)`, never an FMA contraction), the same evaluation
+/// order as the naive i-k-j loop — so the result is bit-identical for every
+/// scalar, including `Fix32`'s widening multiplies. The MR×NR tile body and
+/// both edge paths all follow that one chain shape.
+///
+/// SAFETY: caller must guarantee `a.len() >= m·kd`, `b.len() >= kd·n` and
+/// `c.len() >= m·n`.
+unsafe fn kernel_matmul<S: Scalar>(a: &[S], b: &[S], c: &mut [S], m: usize, kd: usize, n: usize) {
+    debug_assert!(a.len() >= m * kd && b.len() >= kd * n && c.len() >= m * n);
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[S::ZERO; NR]; MR];
+            for p in 0..kd {
+                let bp = p * n + j;
+                let bv = [
+                    *b.get_unchecked(bp),
+                    *b.get_unchecked(bp + 1),
+                    *b.get_unchecked(bp + 2),
+                    *b.get_unchecked(bp + 3),
+                ];
+                for (mi, lane) in acc.iter_mut().enumerate() {
+                    let av = *a.get_unchecked((i + mi) * kd + p);
+                    for (s, &bj) in lane.iter_mut().zip(&bv) {
+                        *s = s.mul_acc(av, bj);
+                    }
+                }
+            }
+            for (mi, lane) in acc.iter().enumerate() {
+                let cp = (i + mi) * n + j;
+                for (jj, &s) in lane.iter().enumerate() {
+                    *c.get_unchecked_mut(cp + jj) = s;
+                }
+            }
+            j += NR;
+        }
+        while j < n {
+            let mut acc = [S::ZERO; MR];
+            for p in 0..kd {
+                let bv = *b.get_unchecked(p * n + j);
+                for (mi, s) in acc.iter_mut().enumerate() {
+                    *s = s.mul_acc(*a.get_unchecked((i + mi) * kd + p), bv);
+                }
+            }
+            for (mi, &s) in acc.iter().enumerate() {
+                *c.get_unchecked_mut((i + mi) * n + j) = s;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < m {
+        let arow = a.get_unchecked(i * kd..(i + 1) * kd);
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [S::ZERO; NR];
+            for (p, &av) in arow.iter().enumerate() {
+                let bp = p * n + j;
+                for (jj, s) in acc.iter_mut().enumerate() {
+                    *s = s.mul_acc(av, *b.get_unchecked(bp + jj));
+                }
+            }
+            let cp = i * n + j;
+            for (jj, &s) in acc.iter().enumerate() {
+                *c.get_unchecked_mut(cp + jj) = s;
+            }
+            j += NR;
+        }
+        while j < n {
+            let mut s = S::ZERO;
+            for (p, &av) in arow.iter().enumerate() {
+                s = s.mul_acc(av, *b.get_unchecked(p * n + j));
+            }
+            *c.get_unchecked_mut(i * n + j) = s;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// `c (+)= aᵀ · b` for row-major `a` (`kd×mm`), `b` (`kd×n`), `c` (`mm×n`).
+///
+/// A is read with a column stride (`a[p·mm + i]`) instead of materializing
+/// the transpose. When `cont` is set, each tile's accumulators start from
+/// the value already stored in `c`, continuing the chain — the sharded
+/// gradient reduction path. Chain shape and order match [`kernel_matmul`].
+///
+/// SAFETY: caller must guarantee `a.len() >= kd·mm`, `b.len() >= kd·n` and
+/// `c.len() >= mm·n`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn kernel_transpose_matmul<S: Scalar>(
+    a: &[S],
+    b: &[S],
+    c: &mut [S],
+    mm: usize,
+    kd: usize,
+    n: usize,
+    cont: bool,
+) {
+    debug_assert!(a.len() >= kd * mm && b.len() >= kd * n && c.len() >= mm * n);
+    let mut i = 0;
+    while i + MR <= mm {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[S::ZERO; NR]; MR];
+            if cont {
+                for (mi, lane) in acc.iter_mut().enumerate() {
+                    let cp = (i + mi) * n + j;
+                    for (jj, s) in lane.iter_mut().enumerate() {
+                        *s = *c.get_unchecked(cp + jj);
+                    }
+                }
+            }
+            for p in 0..kd {
+                let ap = p * mm + i;
+                let bp = p * n + j;
+                let bv = [
+                    *b.get_unchecked(bp),
+                    *b.get_unchecked(bp + 1),
+                    *b.get_unchecked(bp + 2),
+                    *b.get_unchecked(bp + 3),
+                ];
+                for (mi, lane) in acc.iter_mut().enumerate() {
+                    let av = *a.get_unchecked(ap + mi);
+                    for (s, &bj) in lane.iter_mut().zip(&bv) {
+                        *s = s.mul_acc(av, bj);
+                    }
+                }
+            }
+            for (mi, lane) in acc.iter().enumerate() {
+                let cp = (i + mi) * n + j;
+                for (jj, &s) in lane.iter().enumerate() {
+                    *c.get_unchecked_mut(cp + jj) = s;
+                }
+            }
+            j += NR;
+        }
+        while j < n {
+            let mut acc = [S::ZERO; MR];
+            if cont {
+                for (mi, s) in acc.iter_mut().enumerate() {
+                    *s = *c.get_unchecked((i + mi) * n + j);
+                }
+            }
+            for p in 0..kd {
+                let ap = p * mm + i;
+                let bv = *b.get_unchecked(p * n + j);
+                for (mi, s) in acc.iter_mut().enumerate() {
+                    *s = s.mul_acc(*a.get_unchecked(ap + mi), bv);
+                }
+            }
+            for (mi, &s) in acc.iter().enumerate() {
+                *c.get_unchecked_mut((i + mi) * n + j) = s;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    while i < mm {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [S::ZERO; NR];
+            if cont {
+                let cp = i * n + j;
+                for (jj, s) in acc.iter_mut().enumerate() {
+                    *s = *c.get_unchecked(cp + jj);
+                }
+            }
+            for p in 0..kd {
+                let av = *a.get_unchecked(p * mm + i);
+                let bp = p * n + j;
+                for (jj, s) in acc.iter_mut().enumerate() {
+                    *s = s.mul_acc(av, *b.get_unchecked(bp + jj));
+                }
+            }
+            let cp = i * n + j;
+            for (jj, &s) in acc.iter().enumerate() {
+                *c.get_unchecked_mut(cp + jj) = s;
+            }
+            j += NR;
+        }
+        while j < n {
+            let mut s = if cont {
+                *c.get_unchecked(i * n + j)
+            } else {
+                S::ZERO
+            };
+            for p in 0..kd {
+                s = s.mul_acc(*a.get_unchecked(p * mm + i), *b.get_unchecked(p * n + j));
+            }
+            *c.get_unchecked_mut(i * n + j) = s;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// One MR×NR register tile from packed panels: `apan[p·MR + mi]`,
+/// `bpan[p·NR + jj]`, output at `c[coff + mi·n + jj]`. When `cont` is set
+/// the accumulators continue from the stored partial of the previous `KC`
+/// block (exact scalar store/reload keeps the chain bit-identical).
+///
+/// SAFETY: caller must guarantee `apan.len() >= kc·MR`,
+/// `bpan.len() >= kc·NR` and `coff + (MR-1)·n + NR <= c.len()`.
+unsafe fn kernel_packed_tile<S: Scalar>(
+    apan: &[S],
+    bpan: &[S],
+    c: &mut [S],
+    n: usize,
+    kc: usize,
+    coff: usize,
+    cont: bool,
+) {
+    debug_assert!(apan.len() >= kc * MR && bpan.len() >= kc * NR);
+    let mut acc = [[S::ZERO; NR]; MR];
+    if cont {
+        for (mi, lane) in acc.iter_mut().enumerate() {
+            let cp = coff + mi * n;
+            for (jj, s) in lane.iter_mut().enumerate() {
+                *s = *c.get_unchecked(cp + jj);
+            }
+        }
+    }
+    for p in 0..kc {
+        let bp = p * NR;
+        let bv = [
+            *bpan.get_unchecked(bp),
+            *bpan.get_unchecked(bp + 1),
+            *bpan.get_unchecked(bp + 2),
+            *bpan.get_unchecked(bp + 3),
+        ];
+        let ap = p * MR;
+        for (mi, lane) in acc.iter_mut().enumerate() {
+            let av = *apan.get_unchecked(ap + mi);
+            for (s, &bj) in lane.iter_mut().zip(&bv) {
+                *s = s.mul_acc(av, bj);
+            }
+        }
+    }
+    for (mi, lane) in acc.iter().enumerate() {
+        let cp = coff + mi * n;
+        for (jj, &s) in lane.iter().enumerate() {
+            *c.get_unchecked_mut(cp + jj) = s;
+        }
+    }
+}
+
+/// Naive triple-loop reference kernels, kept verbatim from the
+/// pre-blocking implementation.
+///
+/// These are the ground truth for `tests/kernel_parity.rs`: the blocked
+/// kernels above must match them bit-for-bit on finite inputs, for every
+/// scalar. Not part of the supported public API.
+#[doc(hidden)]
+pub mod naive {
+    use super::{KmlError, Matrix, Result, Scalar};
+
+    /// `orow[j] += a * rrow[j]`, 4-way unrolled (the pre-blocking hot loop).
+    #[inline]
+    fn axpy_row<S: Scalar>(orow: &mut [S], rrow: &[S], a: S) {
+        let mut oc = orow.chunks_exact_mut(4);
+        let mut rc = rrow.chunks_exact(4);
+        for (o4, b4) in (&mut oc).zip(&mut rc) {
+            o4[0] = o4[0].mul_acc(a, b4[0]);
+            o4[1] = o4[1].mul_acc(a, b4[1]);
+            o4[2] = o4[2].mul_acc(a, b4[2]);
+            o4[3] = o4[3].mul_acc(a, b4[3]);
+        }
+        for (o, &b) in oc.into_remainder().iter_mut().zip(rc.remainder()) {
+            *o = o.mul_acc(a, b);
+        }
+    }
+
+    /// Pre-blocking `matmul_into`: i-k-j loop order with zero-skip.
+    pub fn matmul_into<S: Scalar>(
+        lhs: &Matrix<S>,
+        rhs: &Matrix<S>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        if lhs.cols != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "matmul",
+                lhs: lhs.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.ensure_shape(lhs.rows, rhs.cols);
+        out.fill(S::ZERO);
+        for i in 0..lhs.rows {
+            for k in 0..lhs.cols {
+                let a = lhs.data[i * lhs.cols + k];
+                if a == S::ZERO {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                axpy_row(orow, rrow, a);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-blocking `matmul_transpose_into`: per-element [`Matrix::dot`].
+    pub fn matmul_transpose_into<S: Scalar>(
+        lhs: &Matrix<S>,
+        rhs: &Matrix<S>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        if lhs.cols != rhs.cols {
+            return Err(KmlError::ShapeMismatch {
+                op: "matmul_transpose",
+                lhs: lhs.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.ensure_shape(lhs.rows, rhs.rows);
+        for i in 0..lhs.rows {
+            let arow = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
+            for j in 0..rhs.rows {
+                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                out.data[i * rhs.rows + j] = Matrix::dot(arow, brow);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pre-blocking `transpose_matmul_into`: k-outer with zero-skip.
+    pub fn transpose_matmul_into<S: Scalar>(
+        lhs: &Matrix<S>,
+        rhs: &Matrix<S>,
+        out: &mut Matrix<S>,
+    ) -> Result<()> {
+        if lhs.rows != rhs.rows {
+            return Err(KmlError::ShapeMismatch {
+                op: "transpose_matmul",
+                lhs: lhs.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.ensure_shape(lhs.cols, rhs.cols);
+        out.fill(S::ZERO);
+        for k in 0..lhs.rows {
+            let arow = &lhs.data[k * lhs.cols..(k + 1) * lhs.cols];
+            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == S::ZERO {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                axpy_row(orow, brow, a);
+            }
+        }
+        Ok(())
     }
 }
 

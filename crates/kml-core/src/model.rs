@@ -19,6 +19,13 @@ use crate::optimizer::Sgd;
 use crate::scalar::Scalar;
 use crate::{KmlError, KmlRng, Result};
 use kml_platform::fpu;
+use kml_platform::threading::parallel_map;
+
+/// Row count of one data-parallel training shard. Fixed (independent of the
+/// worker count) so shard boundaries — and therefore the gradient reduction
+/// order — depend only on the batch, making trained weights byte-identical
+/// for any `train_workers` setting.
+const SHARD_ROWS: usize = 32;
 
 /// Builder for sequential (chain) models.
 ///
@@ -163,6 +170,7 @@ impl ModelBuilder {
             row_buf: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
+            train_workers: 1,
         })
     }
 }
@@ -184,6 +192,8 @@ pub struct Model<S: Scalar> {
     input_scratch: Matrix<S>,
     /// Reused ∂L/∂pred buffer for training.
     loss_grad: Matrix<S>,
+    /// Worker threads [`Model::train_batch`] may split row shards across.
+    train_workers: usize,
 }
 
 impl<S: Scalar> Model<S> {
@@ -209,6 +219,7 @@ impl<S: Scalar> Model<S> {
             row_buf: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
+            train_workers: 1,
         })
     }
 
@@ -235,6 +246,20 @@ impl<S: Scalar> Model<S> {
     /// Attaches a fitted normalizer applied before every forward pass.
     pub fn set_normalizer(&mut self, n: Normalizer) {
         self.normalizer = Some(n);
+    }
+
+    /// Sets how many worker threads [`Model::train_batch`] may split row
+    /// shards across (clamped to at least 1). Training results are
+    /// **byte-identical for every worker count**: shards are a fixed 32 rows
+    /// and their gradients reduce serially in ascending row order, so the
+    /// worker count only changes scheduling, never arithmetic.
+    pub fn set_train_workers(&mut self, workers: usize) {
+        self.train_workers = workers.max(1);
+    }
+
+    /// The configured data-parallel training worker count.
+    pub fn train_workers(&self) -> usize {
+        self.train_workers
     }
 
     /// The attached normalizer, if any.
@@ -381,6 +406,12 @@ impl<S: Scalar> Model<S> {
     /// One SGD step on a mini-batch of (already normalized) rows.
     /// Returns the batch loss.
     ///
+    /// With `train_workers > 1` and a batch of at least two shards (64
+    /// rows), the forward/backward passes run data-parallel across worker
+    /// threads; the resulting weights are bit-for-bit identical to the
+    /// serial path at any worker count (see [`Model::set_train_workers`]).
+    /// The serial path performs **zero heap allocations** in steady state.
+    ///
     /// # Errors
     ///
     /// Propagates shape/target errors.
@@ -391,14 +422,129 @@ impl<S: Scalar> Model<S> {
         loss: &impl Loss,
         sgd: &mut Sgd,
     ) -> Result<f64> {
+        if self.shardable(input, target, loss) {
+            if let Some(proto) = self.graph.clone_for_workers() {
+                return self.train_batch_sharded(input, target, loss, sgd, &proto);
+            }
+        }
         let graph = &mut self.graph;
         let loss_grad = &mut self.loss_grad;
         let mut run = || -> Result<f64> {
             let pred = graph.forward_in_place(input)?;
-            let l = loss.loss(pred, target)?;
-            loss.grad_into(pred, target, loss_grad)?;
+            let l = loss.loss_and_grad_into(pred, target, loss_grad)?;
             graph.backward_in_place(loss_grad)?;
-            sgd.step(&mut graph.param_grads())?;
+            let mut slot = 0usize;
+            graph.visit_param_grads(&mut |mut pg| {
+                let res = sgd.apply(slot, &mut pg);
+                slot += 1;
+                res
+            })?;
+            Ok(l)
+        };
+        if S::USES_FPU {
+            let _guard = fpu::FpuGuard::enter();
+            run()
+        } else {
+            run()
+        }
+    }
+
+    /// Whether this batch can take the data-parallel path: multiple workers
+    /// configured, at least two shards of rows, a loss that can scale shard
+    /// gradients by the full batch size, and a well-formed target (malformed
+    /// targets fall through to the serial path for its exact error).
+    fn shardable(&self, input: &Matrix<S>, target: TargetRef<'_>, loss: &impl Loss) -> bool {
+        self.train_workers > 1
+            && input.rows() >= 2 * SHARD_ROWS
+            && loss.supports_sharded_grad()
+            && match target {
+                TargetRef::Classes(c) => c.len() == input.rows(),
+                TargetRef::Values(v) => v.len() == input.rows() * self.output_dim,
+            }
+    }
+
+    /// Data-parallel [`Model::train_batch`]: fixed 32-row shards run
+    /// forward/backward on private graph replicas across worker threads,
+    /// then gradients reduce serially in ascending row order. Because each
+    /// layer accumulator *continues* the exact multiply-accumulate chains
+    /// the full-batch kernels run (ascending the batch dimension), the
+    /// update — and therefore every trained weight — is bit-identical to
+    /// the serial path regardless of worker count.
+    fn train_batch_sharded(
+        &mut self,
+        input: &Matrix<S>,
+        target: TargetRef<'_>,
+        loss: &impl Loss,
+        sgd: &mut Sgd,
+        proto: &Graph<S>,
+    ) -> Result<f64> {
+        let rows = input.rows();
+        let cols = input.cols();
+        let out_cols = self.output_dim;
+
+        let mut shards: Vec<(Matrix<S>, TargetRef<'_>)> =
+            Vec::with_capacity(rows.div_ceil(SHARD_ROWS));
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + SHARD_ROWS).min(rows);
+            let mut m = Matrix::zeros(r1 - r0, cols);
+            m.as_mut_slice()
+                .copy_from_slice(&input.as_slice()[r0 * cols..r1 * cols]);
+            let t = match target {
+                TargetRef::Classes(c) => TargetRef::Classes(&c[r0..r1]),
+                TargetRef::Values(v) => TargetRef::Values(&v[r0 * out_cols..r1 * out_cols]),
+            };
+            shards.push((m, t));
+            r0 = r1;
+        }
+
+        // Worker phase: every shard backpropagates against its own replica;
+        // shard gradients stay in the replica until the serial reduction.
+        let results = parallel_map(
+            &shards,
+            self.train_workers,
+            |_, (shard_in, shard_t): &(Matrix<S>, TargetRef<'_>)| -> Result<Graph<S>> {
+                let _guard = S::USES_FPU.then(fpu::FpuGuard::enter);
+                let mut replica = proto
+                    .clone_for_workers()
+                    .expect("prototype graph is worker-cloneable");
+                let mut grad = Matrix::zeros(0, 0);
+                {
+                    let pred = replica.forward_in_place(shard_in)?;
+                    loss.grad_scaled_into(pred, *shard_t, rows, &mut grad)?;
+                }
+                replica.backward_in_place(&grad)?;
+                Ok(replica)
+            },
+        );
+        let mut replicas = Vec::with_capacity(results.len());
+        for r in results {
+            replicas.push(r?);
+        }
+
+        let graph = &mut self.graph;
+        let mut run = || -> Result<f64> {
+            // Reassemble the full prediction so the reported batch loss is
+            // the same sequential fold the serial path computes.
+            let mut pred = Matrix::zeros(rows, out_cols);
+            let mut r0 = 0;
+            for replica in &replicas {
+                let out = replica.output_activation()?;
+                let r1 = r0 + out.rows();
+                pred.as_mut_slice()[r0 * out_cols..r1 * out_cols].copy_from_slice(out.as_slice());
+                r0 = r1;
+            }
+            let l = loss.loss(&pred, target)?;
+            graph.reset_param_grads();
+            for (replica, (shard_in, _)) in replicas.iter().zip(&shards) {
+                graph.accumulate_param_grads_from(replica, shard_in)?;
+            }
+            let mut slot = 0usize;
+            graph.visit_param_grads(&mut |mut pg| {
+                let res = sgd.apply(slot, &mut pg);
+                slot += 1;
+                res
+            })?;
             Ok(l)
         };
         if S::USES_FPU {
@@ -606,6 +752,102 @@ mod tests {
         }
         let acc = model.accuracy(&data).unwrap();
         assert!(acc > 0.9, "fixed-point accuracy {acc}");
+    }
+
+    /// Trains one model five full-batch steps at the given worker count and
+    /// returns every parameter (as f64 bits) plus the last batch loss.
+    fn train_weights<S: Scalar>(workers: usize) -> (Vec<u64>, u64) {
+        let mut model = ModelBuilder::new(2)
+            .linear(8)
+            .sigmoid()
+            .linear(2)
+            .seed(11)
+            .build::<S>()
+            .unwrap();
+        model.set_train_workers(workers);
+        let mut sgd = Sgd::new(0.1, 0.9);
+        let mut feats = Vec::new();
+        for i in 0..96 {
+            feats.push((i as f64) * 0.01 - 0.5);
+            feats.push(((i * 7) % 13) as f64 * 0.05);
+        }
+        let input = Matrix::<S>::from_f64_vec(96, 2, &feats).unwrap();
+        let labels: Vec<usize> = (0..96).map(|i| i % 2).collect();
+        let mut last = 0.0;
+        for _ in 0..5 {
+            last = model
+                .train_batch(
+                    &input,
+                    TargetRef::Classes(&labels),
+                    &CrossEntropyLoss,
+                    &mut sgd,
+                )
+                .unwrap();
+        }
+        let bits = model
+            .graph_mut()
+            .param_grads()
+            .iter()
+            .flat_map(|pg| pg.param.as_slice().iter().map(|v| v.to_f64().to_bits()))
+            .collect();
+        (bits, last.to_bits())
+    }
+
+    #[test]
+    fn sharded_training_is_bit_identical_across_worker_counts() {
+        fn check<S: Scalar>() {
+            let (w1, l1) = train_weights::<S>(1); // serial reference path
+            let (w3, l3) = train_weights::<S>(3);
+            let (w8, l8) = train_weights::<S>(8);
+            assert_eq!(w1, w3, "weights diverged at 3 workers");
+            assert_eq!(w1, w8, "weights diverged at 8 workers");
+            assert_eq!(l1, l3, "loss diverged at 3 workers");
+            assert_eq!(l1, l8, "loss diverged at 8 workers");
+        }
+        check::<f64>();
+        check::<f32>();
+        check::<crate::fixed::Fix32>();
+    }
+
+    #[test]
+    fn sharded_training_matches_serial_for_value_targets() {
+        use crate::loss::MseLoss;
+        let run = |workers: usize| -> (Vec<u64>, u64) {
+            let mut model = ModelBuilder::new(3)
+                .linear(6)
+                .tanh()
+                .linear(2)
+                .seed(5)
+                .build::<f64>()
+                .unwrap();
+            model.set_train_workers(workers);
+            let mut sgd = Sgd::new(0.05, 0.8);
+            let mut feats = Vec::new();
+            let mut targets = Vec::new();
+            for i in 0..80 {
+                for j in 0..3 {
+                    feats.push(((i * 3 + j) % 17) as f64 * 0.1 - 0.8);
+                }
+                targets.push((i % 5) as f64 * 0.25);
+                targets.push(1.0 - (i % 3) as f64 * 0.5);
+            }
+            let input = Matrix::<f64>::from_f64_vec(80, 3, &feats).unwrap();
+            let mut last = 0.0;
+            for _ in 0..4 {
+                last = model
+                    .train_batch(&input, TargetRef::Values(&targets), &MseLoss, &mut sgd)
+                    .unwrap();
+            }
+            let bits = model
+                .graph_mut()
+                .param_grads()
+                .iter()
+                .flat_map(|pg| pg.param.as_slice().iter().map(|v| v.to_bits()))
+                .collect();
+            (bits, last.to_bits())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "MSE sharded training diverged from serial");
     }
 
     #[test]

@@ -76,26 +76,39 @@ impl Sgd {
     /// Propagates shape errors if a gradient's shape stopped matching its
     /// parameter (which indicates a corrupted training loop).
     pub fn step<S: Scalar>(&mut self, slots: &mut [ParamGrad<'_, S>]) -> Result<()> {
-        // Grow velocity storage on first sight of each slot.
-        while self.velocities.len() < slots.len() {
-            let idx = self.velocities.len();
-            self.velocities.push(vec![0.0; slots[idx].grad.len()]);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            self.apply(i, slot)?;
         }
-        for (slot, vel) in slots.iter_mut().zip(&mut self.velocities) {
-            if slot.param.shape() != slot.grad.shape() {
-                return Err(KmlError::ShapeMismatch {
-                    op: "axpy",
-                    lhs: slot.param.shape(),
-                    rhs: slot.grad.shape(),
-                });
-            }
-            // In-place fused update: no temporary update vector or delta
-            // matrix, so steady-state training performs zero allocations here.
-            let grad = slot.grad.as_slice();
-            for ((p, &g), v) in slot.param.as_mut_slice().iter_mut().zip(grad).zip(vel) {
-                *v = self.momentum * *v - self.learning_rate * g.to_f64();
-                *p = p.add(S::from_f64(*v));
-            }
+        Ok(())
+    }
+
+    /// Applies one update to a single parameter slot, identified by its
+    /// stable position in the model's slot order. Used by the visitor-based
+    /// training path, which never materializes a slot `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors if the gradient's shape stopped matching its
+    /// parameter (which indicates a corrupted training loop).
+    pub fn apply<S: Scalar>(&mut self, slot: usize, pg: &mut ParamGrad<'_, S>) -> Result<()> {
+        // Grow velocity storage on first sight of each slot.
+        if slot == self.velocities.len() {
+            self.velocities.push(vec![0.0; pg.grad.len()]);
+        }
+        if pg.param.shape() != pg.grad.shape() {
+            return Err(KmlError::ShapeMismatch {
+                op: "axpy",
+                lhs: pg.param.shape(),
+                rhs: pg.grad.shape(),
+            });
+        }
+        let vel = &mut self.velocities[slot];
+        // In-place fused update: no temporary update vector or delta
+        // matrix, so steady-state training performs zero allocations here.
+        let grad = pg.grad.as_slice();
+        for ((p, &g), v) in pg.param.as_mut_slice().iter_mut().zip(grad).zip(vel) {
+            *v = self.momentum * *v - self.learning_rate * g.to_f64();
+            *p = p.add(S::from_f64(*v));
         }
         Ok(())
     }

@@ -239,6 +239,38 @@ impl<S: Scalar> Rnn<S> {
         ]
     }
 
+    /// Visits every parameter/gradient slot in [`Rnn::param_grads`] order
+    /// without allocating the slot `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`.
+    pub fn visit_param_grads(
+        &mut self,
+        f: &mut dyn FnMut(ParamGrad<'_, S>) -> Result<()>,
+    ) -> Result<()> {
+        f(ParamGrad {
+            param: &mut self.wx,
+            grad: &self.grad_wx,
+        })?;
+        f(ParamGrad {
+            param: &mut self.wh,
+            grad: &self.grad_wh,
+        })?;
+        f(ParamGrad {
+            param: &mut self.b,
+            grad: &self.grad_b,
+        })?;
+        f(ParamGrad {
+            param: &mut self.wo,
+            grad: &self.grad_wo,
+        })?;
+        f(ParamGrad {
+            param: &mut self.bo,
+            grad: &self.grad_bo,
+        })
+    }
+
     /// Predicted class for a sequence (argmax of the logits).
     ///
     /// # Errors
@@ -485,6 +517,35 @@ impl<S: Scalar> Lstm<S> {
             grad: &self.grad_head_b,
         });
         slots
+    }
+
+    /// Visits every parameter/gradient slot in [`Lstm::param_grads`] order
+    /// without allocating the slot `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by `f`.
+    pub fn visit_param_grads(
+        &mut self,
+        f: &mut dyn FnMut(ParamGrad<'_, S>) -> Result<()>,
+    ) -> Result<()> {
+        for (p, g) in self.wx.iter_mut().zip(&self.grad_wx) {
+            f(ParamGrad { param: p, grad: g })?;
+        }
+        for (p, g) in self.wh.iter_mut().zip(&self.grad_wh) {
+            f(ParamGrad { param: p, grad: g })?;
+        }
+        for (p, g) in self.b.iter_mut().zip(&self.grad_b) {
+            f(ParamGrad { param: p, grad: g })?;
+        }
+        f(ParamGrad {
+            param: &mut self.head_w,
+            grad: &self.grad_head_w,
+        })?;
+        f(ParamGrad {
+            param: &mut self.head_b,
+            grad: &self.grad_head_b,
+        })
     }
 
     /// Predicted class for a sequence.

@@ -71,6 +71,22 @@ pub trait Scalar:
         Self::from_f64(crate::math::sigmoid(self.to_f64()))
     }
 
+    /// Element-wise sigmoid over a slice, bit-identical to mapping
+    /// [`Scalar::sigmoid`] per element. The default is that loop; the float
+    /// impls override it with the four-lane SLP path
+    /// ([`crate::math::sigmoid4`]), whose packed divides are what make the
+    /// activation layers cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    fn sigmoid_map(input: &[Self], out: &mut [Self]) {
+        assert_eq!(input.len(), out.len(), "sigmoid_map length mismatch");
+        for (o, &x) in out.iter_mut().zip(input) {
+            *o = x.sigmoid();
+        }
+    }
+
     /// Hyperbolic tangent, same routing policy as [`Scalar::sigmoid`].
     fn tanh(self) -> Self {
         Self::from_f64(crate::math::tanh(self.to_f64()))
@@ -116,6 +132,24 @@ impl Scalar for f32 {
     fn div(self, rhs: Self) -> Self {
         self / rhs
     }
+
+    fn sigmoid_map(input: &[Self], out: &mut [Self]) {
+        assert_eq!(input.len(), out.len(), "sigmoid_map length mismatch");
+        // Widen each quad to f64 lanes; `sigmoid4` then narrows back exactly
+        // like the scalar `from_f64(sigmoid(to_f64(x)))` route.
+        let mut oc = out.chunks_exact_mut(4);
+        let mut ic = input.chunks_exact(4);
+        for (o4, i4) in (&mut oc).zip(&mut ic) {
+            let y = crate::math::sigmoid4([i4[0] as f64, i4[1] as f64, i4[2] as f64, i4[3] as f64]);
+            o4[0] = y[0] as f32;
+            o4[1] = y[1] as f32;
+            o4[2] = y[2] as f32;
+            o4[3] = y[3] as f32;
+        }
+        for (o, &x) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
+            *o = x.sigmoid();
+        }
+    }
 }
 
 impl Scalar for f64 {
@@ -147,6 +181,10 @@ impl Scalar for f64 {
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self / rhs
+    }
+
+    fn sigmoid_map(input: &[Self], out: &mut [Self]) {
+        crate::math::sigmoid_slice(input, out);
     }
 }
 
@@ -299,6 +337,32 @@ mod tests {
         assert_eq!(Scalar::relu(2.0f64), 2.0);
         assert_eq!(Scalar::relu(Fix32::from_f64(-3.0)), Fix32::ZERO);
         assert_eq!(Scalar::relu(Fix32::from_f64(3.0)).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn sigmoid_map_matches_per_element_for_every_scalar() {
+        fn check<S: Scalar>() {
+            // Lengths straddling the quad boundary, mixed-sign values.
+            for len in [0usize, 1, 3, 4, 5, 8, 17] {
+                let input: Vec<S> = (0..len)
+                    .map(|i| S::from_f64(i as f64 * 0.63 - 3.1))
+                    .collect();
+                let mut out = vec![S::ZERO; len];
+                S::sigmoid_map(&input, &mut out);
+                for (&x, &got) in input.iter().zip(&out) {
+                    let want = x.sigmoid();
+                    assert!(
+                        got.to_f64().to_bits() == want.to_f64().to_bits(),
+                        "{}: sigmoid_map({:?}) = {got:?}, want {want:?}",
+                        S::DTYPE,
+                        x
+                    );
+                }
+            }
+        }
+        check::<f32>();
+        check::<f64>();
+        check::<Fix32>();
     }
 
     #[test]

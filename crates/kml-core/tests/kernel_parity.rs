@@ -1,0 +1,233 @@
+//! Property tests: the blocked/register-tiled GEMM kernels are bit-for-bit
+//! indistinguishable from the retained naive triple-loop references in
+//! [`kml_core::matrix::naive`] — same values, same shapes, same errors —
+//! across random shapes (including non-multiple-of-tile edges) and all three
+//! scalar types (f32, f64, Q16.16 fixed point).
+//!
+//! Bit-exactness is the contract the deterministic simulation tests and the
+//! data-parallel trainer stand on: every output element must be one
+//! multiply-accumulate chain walking the shared dimension in ascending
+//! order, no matter how the loops are tiled.
+
+use kml_core::fixed::Fix32;
+use kml_core::matrix::{naive, Matrix};
+use kml_core::scalar::Scalar;
+use kml_core::scratch::ScratchArena;
+use proptest::prelude::*;
+
+/// Out-buffer pre-dirtied with a wrong shape and garbage values so every
+/// property also exercises `ensure_shape` reuse.
+fn dirty_out<S: Scalar>() -> Matrix<S> {
+    let mut m = Matrix::zeros(2, 3);
+    m.fill(S::from_f64(-77.25));
+    m
+}
+
+fn to_matrix<S: Scalar>(rows: usize, cols: usize, data: &[f64]) -> Matrix<S> {
+    let need = rows * cols;
+    let vals: Vec<f64> = data.iter().copied().cycle().take(need).collect();
+    Matrix::from_f64_vec(rows, cols, &vals).unwrap()
+}
+
+fn assert_bits_equal<S: Scalar>(op: &str, reference: &Matrix<S>, blocked: &Matrix<S>) {
+    assert_eq!(reference.shape(), blocked.shape(), "{op}: shape diverged");
+    assert_eq!(
+        reference.as_slice(),
+        blocked.as_slice(),
+        "{op}: blocked kernel diverged from naive reference"
+    );
+}
+
+/// Blocked vs naive on `a (m×k) · b (k×n)`, plus the transpose forms and the
+/// packed large-product path, all on the same operands.
+fn check_kernels<S: Scalar>(m: usize, k: usize, n: usize, data: &[f64]) {
+    let a: Matrix<S> = to_matrix(m, k, data);
+    let b: Matrix<S> = to_matrix(k, n, &data[7..]);
+
+    let mut want = dirty_out();
+    let mut got = dirty_out();
+
+    naive::matmul_into(&a, &b, &mut want).unwrap();
+    a.matmul_into(&b, &mut got).unwrap();
+    assert_bits_equal("matmul", &want, &got);
+
+    let mut pack = ScratchArena::new();
+    a.matmul_into_packed(&b, &mut got, &mut pack).unwrap();
+    assert_bits_equal("matmul_packed", &want, &got);
+
+    // matmul_transpose computes self · rhsᵀ, so rhs is (n × k).
+    let bt: Matrix<S> = to_matrix(n, k, &data[13..]);
+    naive::matmul_transpose_into(&a, &bt, &mut want).unwrap();
+    a.matmul_transpose_into(&bt, &mut got).unwrap();
+    assert_bits_equal("matmul_transpose", &want, &got);
+
+    // transpose_matmul computes selfᵀ · rhs, so rhs shares self's row count.
+    let c: Matrix<S> = to_matrix(m, n, &data[19..]);
+    naive::transpose_matmul_into(&a, &c, &mut want).unwrap();
+    a.transpose_matmul_into(&c, &mut got).unwrap();
+    assert_bits_equal("transpose_matmul", &want, &got);
+}
+
+/// The accumulating kernels used by the sharded-gradient reduction: feeding
+/// row blocks in ascending order must continue the full-batch chains exactly.
+fn check_acc_kernels<S: Scalar>(m: usize, k: usize, n: usize, data: &[f64]) {
+    let a: Matrix<S> = to_matrix(m, k, data);
+    let c: Matrix<S> = to_matrix(m, n, &data[19..]);
+
+    let mut want = dirty_out();
+    a.transpose_matmul_into(&c, &mut want).unwrap();
+
+    // Split the shared (row) dimension at every possible point.
+    for split in 0..=m {
+        let top_a: Matrix<S> = to_matrix(split, k, data);
+        let bot_a = {
+            let vals: Vec<f64> = a.as_slice()[split * k..]
+                .iter()
+                .map(|v| v.to_f64())
+                .collect();
+            Matrix::<S>::from_f64_vec(m - split, k, &vals).unwrap()
+        };
+        let top_c = {
+            let vals: Vec<f64> = c.as_slice()[..split * n]
+                .iter()
+                .map(|v| v.to_f64())
+                .collect();
+            Matrix::<S>::from_f64_vec(split, n, &vals).unwrap()
+        };
+        let bot_c = {
+            let vals: Vec<f64> = c.as_slice()[split * n..]
+                .iter()
+                .map(|v| v.to_f64())
+                .collect();
+            Matrix::<S>::from_f64_vec(m - split, n, &vals).unwrap()
+        };
+
+        let mut got = dirty_out();
+        got.ensure_shape(k, n);
+        got.fill(S::ZERO);
+        top_a.transpose_matmul_acc_into(&top_c, &mut got).unwrap();
+        bot_a.transpose_matmul_acc_into(&bot_c, &mut got).unwrap();
+        assert_bits_equal("transpose_matmul_acc split", &want, &got);
+
+        // sum_rows over ascending row blocks == one-shot sum_rows.
+        let mut rows_want = dirty_out();
+        c.sum_rows_into(&mut rows_want);
+        let mut rows_got = Matrix::zeros(1, n);
+        top_c.sum_rows_acc_into(&mut rows_got).unwrap();
+        bot_c.sum_rows_acc_into(&mut rows_got).unwrap();
+        assert_bits_equal("sum_rows_acc split", &rows_want, &rows_got);
+    }
+}
+
+/// Blocked and naive kernels must reject the same mismatched shapes with the
+/// same error value.
+fn check_error_parity<S: Scalar>(m: usize, k: usize, n: usize, data: &[f64]) {
+    let a: Matrix<S> = to_matrix(m, k, data);
+    let bad_inner: Matrix<S> = to_matrix(k + 1, n, &data[7..]); // matmul: rows ≠ k
+    let bad_mt: Matrix<S> = to_matrix(n, k + 1, &data[7..]); // matmul_transpose: cols ≠ k
+    let bad_tm: Matrix<S> = to_matrix(m + 1, n, &data[7..]); // transpose_matmul: rows ≠ m
+    let mut out = dirty_out();
+    let mut pack = ScratchArena::new();
+
+    let e_naive = naive::matmul_into(&a, &bad_inner, &mut out).expect_err("matmul");
+    let e_blocked = a.matmul_into(&bad_inner, &mut out).expect_err("matmul");
+    let e_packed = a
+        .matmul_into_packed(&bad_inner, &mut out, &mut pack)
+        .expect_err("matmul_packed");
+    assert_eq!(e_naive, e_blocked, "matmul error diverged");
+    assert_eq!(e_naive, e_packed, "packed matmul error diverged");
+
+    let e_naive = naive::matmul_transpose_into(&a, &bad_mt, &mut out).expect_err("mt");
+    let e_blocked = a.matmul_transpose_into(&bad_mt, &mut out).expect_err("mt");
+    assert_eq!(e_naive, e_blocked, "matmul_transpose error diverged");
+
+    let e_naive = naive::transpose_matmul_into(&a, &bad_tm, &mut out).expect_err("tm");
+    let e_blocked = a.transpose_matmul_into(&bad_tm, &mut out).expect_err("tm");
+    assert_eq!(e_naive, e_blocked, "transpose_matmul error diverged");
+}
+
+// Dims span 1..13 so every property crosses the MR=4/NR=4 register-tile
+// boundary both ways (full tiles plus 1–3-wide edges); values stay in ±8 so
+// Q16.16 products are exactly representable without saturation.
+const DIMS: (
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+    std::ops::Range<usize>,
+) = (1..13, 1..13, 1..13);
+
+fn values() -> proptest::collection::VecStrategy<std::ops::Range<f64>> {
+    proptest::collection::vec(-8.0f64..8.0, 64..65)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_kernels_match_naive_f32((m, k, n) in DIMS, data in values()) {
+        check_kernels::<f32>(m, k, n, &data);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_f64((m, k, n) in DIMS, data in values()) {
+        check_kernels::<f64>(m, k, n, &data);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_fix32((m, k, n) in DIMS, data in values()) {
+        check_kernels::<Fix32>(m, k, n, &data);
+    }
+
+    #[test]
+    fn acc_kernels_continue_chains_f32((m, k, n) in DIMS, data in values()) {
+        check_acc_kernels::<f32>(m, k, n, &data);
+    }
+
+    #[test]
+    fn acc_kernels_continue_chains_f64((m, k, n) in DIMS, data in values()) {
+        check_acc_kernels::<f64>(m, k, n, &data);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_errors_f32((m, k, n) in DIMS, data in values()) {
+        check_error_parity::<f32>(m, k, n, &data);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_errors_f64((m, k, n) in DIMS, data in values()) {
+        check_error_parity::<f64>(m, k, n, &data);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_errors_fix32((m, k, n) in DIMS, data in values()) {
+        check_error_parity::<Fix32>(m, k, n, &data);
+    }
+}
+
+/// One deterministic large case whose shared dimension crosses the KC=256
+/// cache-block boundary, so the packed path's store/reload of partial sums
+/// is exercised (proptest dims stay small for speed).
+#[test]
+fn packed_matmul_crosses_kc_boundary_bit_exact() {
+    let k = 300; // > KC = 256
+    let (m, n) = (9, 11); // non-multiples of the 4×4 tile
+    let a_vals: Vec<f64> = (0..m * k)
+        .map(|i| ((i * 37) % 64) as f64 * 0.11 - 3.3)
+        .collect();
+    let b_vals: Vec<f64> = (0..k * n)
+        .map(|i| ((i * 53) % 64) as f64 * 0.13 - 4.1)
+        .collect();
+    let a = Matrix::<f64>::from_f64_vec(m, k, &a_vals).unwrap();
+    let b = Matrix::<f64>::from_f64_vec(k, n, &b_vals).unwrap();
+
+    let mut want = Matrix::zeros(0, 0);
+    naive::matmul_into(&a, &b, &mut want).unwrap();
+
+    let mut got = Matrix::zeros(0, 0);
+    a.matmul_into(&b, &mut got).unwrap();
+    assert_eq!(want.as_slice(), got.as_slice(), "blocked kernel diverged");
+
+    let mut pack = ScratchArena::new();
+    let mut packed = Matrix::zeros(0, 0);
+    a.matmul_into_packed(&b, &mut packed, &mut pack).unwrap();
+    assert_eq!(want.as_slice(), packed.as_slice(), "packed kernel diverged");
+}

@@ -13,8 +13,10 @@
 
 use kml_core::dataset::Normalizer;
 use kml_core::fixed::Fix32;
+use kml_core::loss::{CrossEntropyLoss, TargetRef};
 use kml_core::matrix::Matrix;
 use kml_core::model::ModelBuilder;
+use kml_core::optimizer::Sgd;
 use kml_core::scalar::Scalar;
 use kml_platform::alloc::CountingSystemAlloc;
 
@@ -78,6 +80,61 @@ fn steady_state_inference_is_allocation_free_f64() {
 #[test]
 fn steady_state_inference_is_allocation_free_fix32() {
     assert_steady_state_zero_allocs::<Fix32>("Fix32 (Q16.16)");
+}
+
+/// Steady-state serial `train_batch` — forward, fused loss+gradient,
+/// backward, visitor-driven SGD — must also be allocation-free once every
+/// scratch buffer (graph arenas, loss-grad matrix, SGD velocities) has been
+/// sized by a warm-up step.
+fn assert_steady_state_training_zero_allocs<S: Scalar>(label: &str) {
+    let mut model = ModelBuilder::readahead_paper_topology(5, 4)
+        .seed(0x2a)
+        .build::<S>()
+        .unwrap();
+    let mut sgd = Sgd::paper_defaults();
+    let vals: Vec<f64> = (0..16 * 5).map(|i| ((i * 11) % 23) as f64 * 0.1).collect();
+    let input = Matrix::<S>::from_f64_vec(16, 5, &vals).unwrap();
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let target = TargetRef::Classes(&labels);
+
+    for _ in 0..3 {
+        model
+            .train_batch(&input, target, &CrossEntropyLoss, &mut sgd)
+            .unwrap();
+    }
+
+    let allocs_before = CountingSystemAlloc::thread_allocations();
+    let frees_before = CountingSystemAlloc::thread_frees();
+    for _ in 0..1_000 {
+        model
+            .train_batch(&input, target, &CrossEntropyLoss, &mut sgd)
+            .unwrap();
+    }
+    let allocs = CountingSystemAlloc::thread_allocations() - allocs_before;
+    let frees = CountingSystemAlloc::thread_frees() - frees_before;
+    assert_eq!(
+        allocs, 0,
+        "{label}: steady-state training performed {allocs} heap allocations"
+    );
+    assert_eq!(
+        frees, 0,
+        "{label}: steady-state training performed {frees} heap frees"
+    );
+}
+
+#[test]
+fn steady_state_training_is_allocation_free_f32() {
+    assert_steady_state_training_zero_allocs::<f32>("f32");
+}
+
+#[test]
+fn steady_state_training_is_allocation_free_f64() {
+    assert_steady_state_training_zero_allocs::<f64>("f64");
+}
+
+#[test]
+fn steady_state_training_is_allocation_free_fix32() {
+    assert_steady_state_training_zero_allocs::<Fix32>("Fix32 (Q16.16)");
 }
 
 #[test]

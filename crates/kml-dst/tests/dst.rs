@@ -40,6 +40,30 @@ fn smoke_seeds_uphold_all_invariants() {
     }
 }
 
+/// Pinned trace hashes for the smoke seeds. Any arithmetic change anywhere
+/// in the simulated stack — kernels, activation math, training order —
+/// shifts these; a refactor that claims bit-exactness (like the blocked
+/// GEMM kernels) must leave every one unchanged.
+#[test]
+fn smoke_seed_trace_hashes_are_pinned() {
+    const PINNED: [(u64, u64); 6] = [
+        (0x1, 0xb2fae01ba0b891cc),
+        (0x7, 0xc9c60934ea50b183),
+        (0x2a, 0xbdfb480c188117e8),
+        (0xC0FFEE, 0x78f3a72ddaf667a9),
+        (0xDEAD_BEEF, 0xbb95304ba9aa4d9c),
+        (0x5EED_0001, 0x9779714a9eb0538f),
+    ];
+    for (seed, want) in PINNED {
+        let got = run_or_report(&Scenario::from_seed(seed, SWEEP_OPS));
+        assert_eq!(
+            got, want,
+            "seed 0x{seed:x}: trace hash 0x{got:016x} != pinned 0x{want:016x} — \
+             the simulated stack's arithmetic changed"
+        );
+    }
+}
+
 #[test]
 fn sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
     let cases: u64 = std::env::var("KML_DST_CASES")
