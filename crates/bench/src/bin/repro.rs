@@ -12,6 +12,8 @@
 //!   dtree      E6  decision-tree tuner comparison (§4)
 //!   rl         —   reinforcement-learning bandit tuner (§6 future work)
 //!   iosched    —   second use case: I/O-scheduler batching tuner (§6)
+//!   netfs      E9  third use case: NFS rsize tuning over simulated
+//!                  networks (DESIGN.md §8)
 //!   ablate     —   window-length and activation ablations (DESIGN.md §5)
 //!   all        everything above
 //! ```
@@ -79,12 +81,13 @@ fn main() {
         "dtree" => cmd_dtree(&cfg, json),
         "rl" => cmd_rl(&cfg),
         "iosched" => cmd_iosched(),
+        "netfs" => cmd_netfs(quick, json),
         "ablate" => cmd_ablate(&cfg),
-        "all" => cmd_all(&cfg, json),
+        "all" => cmd_all(&cfg, quick, json),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "experiments: study accuracy table2 figure2 overheads dtree rl iosched ablate all"
+                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs ablate all"
             );
             std::process::exit(2);
         }
@@ -127,7 +130,7 @@ fn trained_model(
     Ok(CELL.get().expect("set above"))
 }
 
-fn cmd_all(cfg: &LoopConfig, json: bool) -> DynResult {
+fn cmd_all(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
     cmd_study(cfg)?;
     cmd_accuracy(cfg)?;
     cmd_table2(cfg, json)?;
@@ -136,7 +139,90 @@ fn cmd_all(cfg: &LoopConfig, json: bool) -> DynResult {
     cmd_overheads(cfg, json)?;
     cmd_rl(cfg)?;
     cmd_iosched()?;
+    cmd_netfs(quick, json)?;
     cmd_ablate(cfg)
+}
+
+/// E9 — third use case: the same framework tuning an NFS-like mount's
+/// `rsize` over simulated network links (DESIGN.md §8).
+fn cmd_netfs(quick: bool, json: bool) -> DynResult {
+    use netfs::{NetProfile, NetRunConfig, FIXED_RSIZES_KB};
+
+    println!("## E9: NFS rsize tuning over simulated networks (DESIGN.md §8)\n");
+    let cfg = if quick {
+        NetRunConfig::quick()
+    } else {
+        NetRunConfig::paper()
+    };
+    let t0 = Instant::now();
+    eprintln!("[training the rsize link classifier]");
+    let model_bytes = netfs::train_rsize_model(7)?;
+    eprintln!("[trained in {:.1?}]", t0.elapsed());
+    // One profile per task: each comparison builds its own transport, server,
+    // and tuner from the profile seed, so fan-out is deterministic and the
+    // rows come back in profile order.
+    let profiles = NetProfile::experiment_profiles(7);
+    let outcomes =
+        threading::parallel_map(&profiles, threading::default_workers(), |_, &profile| {
+            netfs::compare(profile, &model_bytes, &cfg)
+        });
+    let mut rows = Vec::new();
+    let mut json_lines = String::new();
+    let mut speedups = Vec::new();
+    for outcome in outcomes {
+        let outcome = outcome?;
+        let mut row = vec![outcome.profile.to_string()];
+        for (_, report) in &outcome.fixed {
+            row.push(format!("{:.1}", report.mb_per_sec));
+        }
+        row.push(format!("{:.1}", outcome.kml.mb_per_sec));
+        row.push(format!("{:.2}x", outcome.speedup_vs_best_fixed));
+        row.push(outcome.decisions.len().to_string());
+        speedups.push(outcome.speedup_vs_best_fixed);
+        if json {
+            let fixed: Vec<String> = outcome
+                .fixed
+                .iter()
+                .map(|(kb, r)| format!("\"fixed_{kb}k_mb_s\":{:.4}", r.mb_per_sec))
+                .collect();
+            json_lines.push_str(&format!(
+                "{{\"experiment\":\"e9_netfs\",\"profile\":{},{},\"kml_mb_s\":{:.4},\"speedup_vs_best_fixed\":{:.4},\"decisions\":{},\"retransmits\":{},\"timeouts\":{}}}\n",
+                kml_telemetry::json_str(outcome.profile),
+                fixed.join(","),
+                outcome.kml.mb_per_sec,
+                outcome.speedup_vs_best_fixed,
+                outcome.decisions.len(),
+                outcome.kml.stats.retransmits,
+                outcome.kml.stats.timeouts,
+            ));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("profile".to_string())
+        .chain(FIXED_RSIZES_KB.iter().map(|kb| format!("{kb}K MB/s")))
+        .chain([
+            "KML MB/s".into(),
+            "vs best fixed".into(),
+            "decisions".into(),
+        ])
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let table = bench::render_table(&header_refs, &rows);
+    println!("{table}");
+    println!(
+        "geomean vs best fixed rsize: {:.2}x\n\
+         Shape: on the clean datacenter link every large rsize ties and KML\n\
+         matches the best fixed choice; on lossy/phased links no fixed rsize\n\
+         wins everywhere and the tuner's per-window switching pulls ahead.\n",
+        bench::geometric_mean(&speedups)
+    );
+    let path = bench::write_results("e9_netfs.txt", &table)?;
+    println!("written to {}\n", path.display());
+    if json {
+        let jp = bench::write_results("e9_netfs.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
+    Ok(())
 }
 
 /// §6 future work — the second use case: the same framework tuning the

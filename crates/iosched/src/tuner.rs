@@ -12,6 +12,7 @@
 //! 4. mean queue depth at submission (burstiness).
 
 use crate::scheduler::{IoRequest, IoScheduler};
+use kml_collect::featurize::{Channel, WindowedFeatures};
 use kml_core::dataset::{Dataset, Normalizer};
 use kml_core::loss::CrossEntropyLoss;
 use kml_core::model::{Model, ModelBuilder};
@@ -23,14 +24,35 @@ use rand::SeedableRng;
 pub const NUM_SCHED_FEATURES: usize = 4;
 
 /// Streaming feature extractor over the request-arrival stream.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SchedFeatures {
-    count: u64,
-    last_arrival: Option<u64>,
-    gap_sum: u64,
+    /// Shared window engine: channel 0 is the inter-arrival gap (last
+    /// arrival persists across windows), channel 1 the adjacency count,
+    /// channel 2 the queue-depth sum.
+    windows: WindowedFeatures,
+    /// Sector-locality state for the adjacency signal; persists across
+    /// windows like the last arrival does.
     last_end: Option<(u64, u64)>,
-    adjacent: u64,
-    depth_sum: u64,
+}
+
+/// Channel index of the inter-arrival gap accumulator.
+const CH_GAP: usize = 0;
+/// Channel index of the adjacency count.
+const CH_ADJACENT: usize = 1;
+/// Channel index of the queue-depth sum.
+const CH_DEPTH: usize = 2;
+
+impl Default for SchedFeatures {
+    fn default() -> Self {
+        SchedFeatures {
+            windows: WindowedFeatures::new(vec![
+                Channel::persistent_gap(),
+                Channel::window_sum(),
+                Channel::window_sum(),
+            ]),
+            last_end: None,
+        }
+    }
 }
 
 impl SchedFeatures {
@@ -41,42 +63,34 @@ impl SchedFeatures {
 
     /// Folds one submitted request (with the queue depth at submission).
     pub fn push(&mut self, req: &IoRequest, queue_depth: usize) {
-        if let Some(last) = self.last_arrival {
-            self.gap_sum += req.arrival_ns.saturating_sub(last);
-        }
-        self.last_arrival = Some(req.arrival_ns);
+        self.windows.push_u64(CH_GAP, req.arrival_ns);
         if let Some((inode, end)) = self.last_end {
             // Local in either direction counts: the elevator will sort and
             // merge anything within one burst span.
             const LOCALITY_PAGES: u64 = 256;
             if inode == req.inode && req.page.abs_diff(end) <= LOCALITY_PAGES {
-                self.adjacent += 1;
+                self.windows.push_u64(CH_ADJACENT, 1);
             }
         }
         self.last_end = Some((req.inode, req.page + req.npages));
-        self.depth_sum += queue_depth as u64;
-        self.count += 1;
+        self.windows.push_u64(CH_DEPTH, queue_depth as u64);
+        self.windows.record();
     }
 
     /// Requests folded into the current window.
     pub fn count(&self) -> u64 {
-        self.count
+        self.windows.window_count()
     }
 
     /// Closes the window and returns `[count, mean_gap, adjacency, depth]`.
     pub fn roll_window(&mut self) -> [f64; NUM_SCHED_FEATURES] {
-        let n = self.count.max(1) as f64;
         let features = [
-            self.count as f64,
-            self.gap_sum as f64 / (self.count.saturating_sub(1).max(1)) as f64,
-            self.adjacent as f64 / n,
-            self.depth_sum as f64 / n,
+            self.windows.window_count() as f64,
+            self.windows.mean(CH_GAP),
+            self.windows.mean(CH_ADJACENT),
+            self.windows.mean(CH_DEPTH),
         ];
-        *self = SchedFeatures {
-            last_arrival: self.last_arrival,
-            last_end: self.last_end,
-            ..SchedFeatures::default()
-        };
+        self.windows.roll();
         features
     }
 }
@@ -250,6 +264,89 @@ mod tests {
             },
         );
         run_sched_workload(&mut sched, workload, 4_096, 11, |_, _, _| {})
+    }
+
+    /// The inline featurization this module used before the shared
+    /// `kml_collect::featurize` engine existed, kept verbatim as the parity
+    /// reference for the refactor.
+    #[derive(Default)]
+    struct LegacySchedFeatures {
+        count: u64,
+        last_arrival: Option<u64>,
+        gap_sum: u64,
+        last_end: Option<(u64, u64)>,
+        adjacent: u64,
+        depth_sum: u64,
+    }
+
+    impl LegacySchedFeatures {
+        fn push(&mut self, req: &IoRequest, queue_depth: usize) {
+            if let Some(last) = self.last_arrival {
+                self.gap_sum += req.arrival_ns.saturating_sub(last);
+            }
+            self.last_arrival = Some(req.arrival_ns);
+            if let Some((inode, end)) = self.last_end {
+                const LOCALITY_PAGES: u64 = 256;
+                if inode == req.inode && req.page.abs_diff(end) <= LOCALITY_PAGES {
+                    self.adjacent += 1;
+                }
+            }
+            self.last_end = Some((req.inode, req.page + req.npages));
+            self.depth_sum += queue_depth as u64;
+            self.count += 1;
+        }
+
+        fn roll_window(&mut self) -> [f64; NUM_SCHED_FEATURES] {
+            let n = self.count.max(1) as f64;
+            let features = [
+                self.count as f64,
+                self.gap_sum as f64 / (self.count.saturating_sub(1).max(1)) as f64,
+                self.adjacent as f64 / n,
+                self.depth_sum as f64 / n,
+            ];
+            *self = LegacySchedFeatures {
+                last_arrival: self.last_arrival,
+                last_end: self.last_end,
+                ..LegacySchedFeatures::default()
+            };
+            features
+        }
+    }
+
+    #[test]
+    fn shared_engine_is_bit_identical_to_the_legacy_inline_featurization() {
+        let mut new = SchedFeatures::new();
+        let mut old = LegacySchedFeatures::default();
+        let mut x = 0x5EEDu64;
+        let mut now = 0u64;
+        for window in 0..40u64 {
+            let n = (window * 11) % 17; // includes empty windows
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                now += x % 50_000;
+                let req = IoRequest {
+                    inode: 1 + x % 3,
+                    page: (x >> 8) % 100_000,
+                    npages: 1 + x % 8,
+                    write: x & 1 == 0,
+                    arrival_ns: now,
+                };
+                let depth = (x >> 16) as usize % 64;
+                new.push(&req, depth);
+                old.push(&req, depth);
+            }
+            let f_new = new.roll_window();
+            let f_old = old.roll_window();
+            for k in 0..NUM_SCHED_FEATURES {
+                assert_eq!(
+                    f_new[k].to_bits(),
+                    f_old[k].to_bits(),
+                    "feature {k} diverged in window {window}: {} vs {}",
+                    f_new[k],
+                    f_old[k]
+                );
+            }
+        }
     }
 
     #[test]

@@ -114,6 +114,21 @@ pub struct FaultConfig {
     pub squeeze_frac: f64,
     /// Squeeze duration, in logical operations.
     pub squeeze_ops: u64,
+    /// Probability a network packet (one RPC leg) is dropped in flight.
+    /// Consulted only by the netfs transport via [`FaultPlan::on_packet`];
+    /// pure device runs never draw for it.
+    pub net_loss: f64,
+    /// Probability a packet is duplicated in flight (the receiver sees it
+    /// twice; NFS-style duplicate-request caches absorb the second copy).
+    pub net_dup: f64,
+    /// Probability a packet is delivered out of order relative to the next
+    /// one — modeled as swapping its delay with the following packet's.
+    pub net_reorder: f64,
+    /// Probability a packet's propagation delay is stretched by an extra
+    /// jitter term of up to `net_jitter_ns`.
+    pub net_jitter: f64,
+    /// Maximum extra delay a jitter event adds, ns.
+    pub net_jitter_ns: u64,
 }
 
 impl FaultConfig {
@@ -132,6 +147,11 @@ impl FaultConfig {
             cache_squeeze: 0.0,
             squeeze_frac: 1.0,
             squeeze_ops: 0,
+            net_loss: 0.0,
+            net_dup: 0.0,
+            net_reorder: 0.0,
+            net_jitter: 0.0,
+            net_jitter_ns: 0,
         }
     }
 
@@ -150,6 +170,22 @@ impl FaultConfig {
             cache_squeeze: 0.002,
             squeeze_frac: 0.125,
             squeeze_ops: 64,
+            ..FaultConfig::off()
+        }
+    }
+
+    /// A network-only profile: no device faults, moderate packet adversity.
+    /// The shape a netfs transport attaches to its own plan (device plans
+    /// stay separate so the two decision streams never interleave).
+    pub fn net_light(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            net_loss: 0.02,
+            net_dup: 0.01,
+            net_reorder: 0.02,
+            net_jitter: 0.10,
+            net_jitter_ns: 400_000,
+            ..FaultConfig::off()
         }
     }
 
@@ -161,6 +197,12 @@ impl FaultConfig {
             || self.latency_spike > 0.0
             || self.stall > 0.0
             || self.cache_squeeze > 0.0
+            || self.net_is_active()
+    }
+
+    /// Whether any *network* fault can ever fire under this configuration.
+    pub fn net_is_active(&self) -> bool {
+        self.net_loss > 0.0 || self.net_dup > 0.0 || self.net_reorder > 0.0 || self.net_jitter > 0.0
     }
 }
 
@@ -182,6 +224,25 @@ pub enum Fault {
     /// Add a fixed hiccup to the request's service time.
     Stall {
         /// Extra nanoseconds.
+        ns: u64,
+    },
+}
+
+/// A fault decision for one network packet (one RPC leg). Drawn by the
+/// netfs transport via [`FaultPlan::on_packet`] — device I/O never draws
+/// for these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The packet is dropped in flight; the receiver never sees it.
+    Drop,
+    /// The packet is delivered twice.
+    Duplicate,
+    /// The packet is delivered out of order relative to the next packet
+    /// (the transport swaps their delays).
+    Reorder,
+    /// The packet's propagation delay is stretched.
+    Jitter {
+        /// Extra nanoseconds of delay.
         ns: u64,
     },
 }
@@ -211,6 +272,14 @@ pub struct FaultStats {
     pub stalls: u64,
     /// Cache squeezes begun.
     pub cache_squeezes: u64,
+    /// Network packets dropped.
+    pub packets_lost: u64,
+    /// Network packets duplicated.
+    pub packets_duplicated: u64,
+    /// Network packets reordered.
+    pub packets_reordered: u64,
+    /// Network packets jittered.
+    pub packet_jitters: u64,
 }
 
 impl FaultStats {
@@ -222,6 +291,10 @@ impl FaultStats {
             + self.latency_spikes
             + self.stalls
             + self.cache_squeezes
+            + self.packets_lost
+            + self.packets_duplicated
+            + self.packets_reordered
+            + self.packet_jitters
     }
 }
 
@@ -340,6 +413,61 @@ impl FaultPlan {
         None
     }
 
+    /// Fault decision for one network packet (one RPC leg), if any.
+    ///
+    /// Like the device hooks this consumes exactly one draw per consulted
+    /// packet (plus one for the jitter magnitude when a jitter fires), so
+    /// a transport schedule is a pure function of `(seed, packet index)`.
+    pub fn on_packet(&mut self) -> Option<NetFault> {
+        self.on_packet_sized(1, true)
+    }
+
+    /// Size- and phase-aware packet decision. A leg spanning `frags` wire
+    /// fragments is lost if *any* fragment is, so the effective loss rate
+    /// is `1 - (1 - net_loss)^frags` — big payloads drop more, the physics
+    /// that makes small rsize values worth paying for on lossy links. When
+    /// `faults_gated` is false (a calm phase of a bursty profile) loss,
+    /// duplication and reordering are suppressed but background jitter
+    /// still applies; exactly one draw is consumed either way, so the
+    /// schedule stays a pure function of the packet index.
+    pub fn on_packet_sized(&mut self, frags: u64, faults_gated: bool) -> Option<NetFault> {
+        if !self.cfg.net_is_active() {
+            return None;
+        }
+        let r = self.roll();
+        if faults_gated {
+            let survive = (1.0 - self.cfg.net_loss).powi(frags.min(i32::MAX as u64) as i32);
+            let mut edge = 1.0 - survive;
+            if r < edge {
+                self.stats.packets_lost += 1;
+                return Some(NetFault::Drop);
+            }
+            edge += self.cfg.net_dup;
+            if r < edge {
+                self.stats.packets_duplicated += 1;
+                return Some(NetFault::Duplicate);
+            }
+            edge += self.cfg.net_reorder;
+            if r < edge {
+                self.stats.packets_reordered += 1;
+                return Some(NetFault::Reorder);
+            }
+            edge += self.cfg.net_jitter;
+            if r < edge {
+                self.stats.packet_jitters += 1;
+                let ns = (self.roll() * self.cfg.net_jitter_ns as f64) as u64;
+                return Some(NetFault::Jitter { ns });
+            }
+            return None;
+        }
+        if r < self.cfg.net_jitter {
+            self.stats.packet_jitters += 1;
+            let ns = (self.roll() * self.cfg.net_jitter_ns as f64) as u64;
+            return Some(NetFault::Jitter { ns });
+        }
+        None
+    }
+
     /// Squeeze decision for one logical `Sim` operation, if any.
     pub fn on_logical_op(&mut self) -> Option<Squeeze> {
         if self.cfg.cache_squeeze <= 0.0 {
@@ -448,6 +576,51 @@ mod tests {
         }
         let e = plan.stats().read_errors;
         assert!((700..1300).contains(&e), "10% of 10k draws gave {e}");
+    }
+
+    #[test]
+    fn packet_schedule_replays_and_respects_rates() {
+        let run = || {
+            let mut plan = FaultPlan::new(FaultConfig::net_light(99));
+            let faults: Vec<_> = (0..10_000).map(|_| plan.on_packet()).collect();
+            (faults, plan.stats())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert!(
+            (100..400).contains(&sa.packets_lost),
+            "2% of 10k packets gave {} drops",
+            sa.packets_lost
+        );
+        assert!(sa.packets_duplicated > 0 && sa.packets_reordered > 0 && sa.packet_jitters > 0);
+        // A net-only profile never produces device faults...
+        assert_eq!(sa.read_errors + sa.write_errors + sa.torn_writes, 0);
+        let mut plan = FaultPlan::new(FaultConfig::net_light(99));
+        // ...and device-only profiles never draw for packets.
+        assert!(plan.on_logical_op().is_none());
+        let mut dev = FaultPlan::new(FaultConfig::light(5));
+        for _ in 0..1000 {
+            assert_eq!(dev.on_packet(), None);
+        }
+        assert_eq!(dev.stats().packets_lost, 0);
+    }
+
+    #[test]
+    fn jitter_magnitudes_stay_bounded() {
+        let mut plan = FaultPlan::new(FaultConfig {
+            seed: 17,
+            net_jitter: 1.0,
+            net_jitter_ns: 250_000,
+            ..FaultConfig::off()
+        });
+        for _ in 0..1000 {
+            match plan.on_packet() {
+                Some(NetFault::Jitter { ns }) => assert!(ns < 250_000),
+                other => panic!("expected jitter, got {other:?}"),
+            }
+        }
     }
 
     #[test]

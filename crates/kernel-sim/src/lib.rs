@@ -62,7 +62,9 @@ pub mod tracefile;
 
 pub use cache::PageCache;
 pub use device::{BlockDevice, DeviceProfile};
-pub use fault::{Fault, FaultConfig, FaultPlan, FaultStats, IoError, IoErrorKind, IoResult};
+pub use fault::{
+    Fault, FaultConfig, FaultPlan, FaultStats, IoError, IoErrorKind, IoResult, NetFault,
+};
 pub use readahead::RaState;
 pub use sim::{FileId, Sim, SimConfig, SimStats};
 pub use trace::{TraceKind, TraceRecord};

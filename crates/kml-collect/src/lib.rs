@@ -17,17 +17,26 @@
 //! - [`stats`] — the paper's data-normalization toolkit: cumulative moving
 //!   average, cumulative moving standard deviation (Welford), windowed
 //!   moving average, and running Z-score.
+//! - [`featurize`] — the shared window engine: channelized streaming
+//!   accumulators + the per-window roll discipline every tuner (readahead,
+//!   iosched, netfs rsize) builds its feature vectors on.
+//! - [`event`] — fixed-size `Copy` event records for the ring; currently
+//!   the RPC lifecycle events of the network storage path.
 //! - [`trainer::AsyncTrainer`] — the training-thread harness: give it a
 //!   buffer and a train callback; it owns the KML training kthread.
 //! - [`pool`] — the §6 extension: sharded collection feeding a pool of
 //!   parallel training threads (lifting the single-thread limitation the
 //!   paper notes in §3.2).
 
+pub mod event;
+pub mod featurize;
 pub mod pool;
 pub mod ringbuf;
 pub mod stats;
 pub mod trainer;
 
+pub use event::{RpcEvent, RpcEventKind};
+pub use featurize::{Channel, WindowedFeatures};
 pub use pool::{ShardedCollector, TrainerPool};
 pub use ringbuf::RingBuffer;
 pub use stats::{CumulativeStats, MovingAverage, ZScore};

@@ -10,12 +10,13 @@
 
 use crate::scenario::{Scenario, SeedStream};
 use kernel_sim::sim::Advice;
-use kernel_sim::{FaultPlan, FaultStats, FileId, Sim, SimConfig};
+use kernel_sim::{DeviceProfile, FaultPlan, FaultStats, FileId, Sim, SimConfig};
 use kml_collect::RingBuffer;
 use kml_core::dataset::Dataset;
 use kml_core::dtree::{DecisionTree, DecisionTreeConfig};
 use kml_telemetry::Registry;
 use kvstore::{Db, DbConfig};
+use netfs::{NetProfile, NfsMount, RsizePolicy, RsizeTuner, RsizeTunerModel};
 use readahead::tuner::{KmlTuner, RaPolicy, TunerModel};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -24,6 +25,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 const INITIAL_RA_KB: u32 = 128;
 /// The two readahead settings the harness policy can actuate, KiB.
 const POLICY_RA_KB: [u32; 2] = [16, 1024];
+/// The two rsize settings the netfs harness policy can actuate, KiB.
+const POLICY_RSIZE_KB: [u32; 2] = [1024, 64];
 /// Events kept in a failure report (the tail of the run).
 const TRACE_TAIL: usize = 16;
 
@@ -43,8 +46,9 @@ pub struct Event {
     pub code: u8,
 }
 
-/// Names for `Event::op`, index-aligned with the dispatch in `run_inner`.
-pub const OP_NAMES: [&str; 12] = [
+/// Names for `Event::op`, index-aligned with the dispatch in `run_inner`
+/// (the last two belong to `run_netfs_inner`).
+pub const OP_NAMES: [&str; 14] = [
     "put",
     "get",
     "scan",
@@ -57,6 +61,8 @@ pub const OP_NAMES: [&str; 12] = [
     "drop_caches",
     "fadvise",
     "mmap_read",
+    "net_read",
+    "net_write",
 ];
 
 /// Everything a passing run proves, plus the fingerprint replays must
@@ -105,6 +111,9 @@ impl FailureReport {
         }
         if self.scenario.lsm_bug {
             line.push_str(" KML_DST_LSM_BUG=1");
+        }
+        if self.scenario.netfs {
+            line.push_str(" KML_DST_NETFS=1");
         }
         line.push_str(" cargo test -p kml-dst replays_reproducer_from_env");
         line
@@ -177,7 +186,14 @@ fn harness_model() -> TunerModel {
 /// byte-identical regardless of what other tests (or threads) are doing.
 pub fn run(scenario: &Scenario) -> Outcome {
     let scenario = *scenario;
-    match catch_unwind(AssertUnwindSafe(move || run_inner(&scenario))) {
+    let inner = move || {
+        if scenario.netfs {
+            run_netfs_inner(&scenario)
+        } else {
+            run_inner(&scenario)
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(inner)) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload
@@ -562,6 +578,257 @@ fn run_inner(scenario: &Scenario) -> Outcome {
     })
 }
 
+/// The netfs analogue of [`harness_model`]: a stub tree thresholding the
+/// retransmit fraction (feature 2). Low fraction → calm (class 0, large
+/// rsize), high → congested (class 1, small rsize). The harness validates
+/// the loop's plumbing and the RPC ledger, not classifier accuracy.
+fn netfs_model() -> RsizeTunerModel {
+    let dataset = Dataset::from_rows(
+        &[
+            vec![50.0, 1e7, 0.02, 1e6, 256.0],
+            vec![50.0, 1e7, 0.01, 1e6, 256.0],
+            vec![50.0, 4e7, 0.60, 1e6, 256.0],
+            vec![50.0, 4e7, 0.80, 1e6, 256.0],
+        ],
+        &[0, 0, 1, 1],
+    )
+    .expect("four fixed rows always form a dataset");
+    let tree = DecisionTree::fit(&dataset, DecisionTreeConfig::default())
+        .expect("four-row dataset always fits");
+    RsizeTunerModel::Tree(tree)
+}
+
+struct NetHarness {
+    mount: NfsMount,
+    tuner: RsizeTuner,
+    file: FileId,
+    file_pages: u64,
+    events: Vec<Event>,
+    trace_hash: u64,
+    io_errors: u64,
+    prev_clock: u64,
+    prev_lost: u64,
+    seq_cursor: u64,
+}
+
+impl NetHarness {
+    fn record(&mut self, step: u64, op: u8, key: u64, code: u8) {
+        let e = Event {
+            step,
+            op,
+            key,
+            clock_ns: self.mount.now_ns(),
+            code,
+        };
+        fnv1a(&mut self.trace_hash, e.step);
+        fnv1a(&mut self.trace_hash, u64::from(e.op));
+        fnv1a(&mut self.trace_hash, e.key);
+        fnv1a(&mut self.trace_hash, e.clock_ns);
+        fnv1a(&mut self.trace_hash, u64::from(e.code));
+        if e.code == 2 {
+            self.io_errors += 1;
+        }
+        self.events.push(e);
+    }
+
+    fn fail(
+        &self,
+        scenario: &Scenario,
+        step: u64,
+        invariant: &'static str,
+        detail: String,
+    ) -> Outcome {
+        let tail_from = self.events.len().saturating_sub(TRACE_TAIL);
+        Outcome::Fail(Box::new(FailureReport {
+            scenario: *scenario,
+            step,
+            invariant,
+            detail,
+            trace_tail: self.events[tail_from..].to_vec(),
+        }))
+    }
+
+    /// Checks the RPC-layer invariants I6–I10 after one step.
+    fn check_invariants(&mut self, scenario: &Scenario, step: u64) -> Result<(), Outcome> {
+        let s = self.mount.stats();
+        // I6: the client is synchronous, so between ops every issued RPC
+        // must have returned to the caller exactly once — success, server
+        // error, or give-up, but never zero times and never twice.
+        if s.rpcs_completed != s.rpcs_issued {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I6.rpc-exactly-once",
+                format!(
+                    "{} RPCs issued but {} completed at quiescence",
+                    s.rpcs_issued, s.rpcs_completed
+                ),
+            ));
+        }
+        // I7: the double-entry packet ledger balances — every transmission
+        // is accounted as lost, seen by the server, or duplicated, and
+        // every server response as lost, completing, or dropped-duplicate.
+        if let Err(detail) = s.reconcile() {
+            return Err(self.fail(scenario, step, "I7.retransmit-reconciles", detail));
+        }
+        // I8: the actuated rsize stays inside the mount's clamp range and
+        // is either the untouched default or a policy value.
+        let rsize = self.mount.rsize_kb();
+        if !(netfs::RSIZE_MIN_KB..=netfs::RSIZE_MAX_KB).contains(&rsize)
+            || (rsize != netfs::DEFAULT_RSIZE_KB && !POLICY_RSIZE_KB.contains(&rsize))
+        {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I8.rsize-clamped",
+                format!(
+                    "mount holds {rsize} KiB, policy allows {POLICY_RSIZE_KB:?} or {}",
+                    netfs::DEFAULT_RSIZE_KB
+                ),
+            ));
+        }
+        // I9: time is never free — the clock is monotone, and any step
+        // that lost packets must have burned time on their timeouts.
+        let now = self.mount.now_ns();
+        let lost = s.packets_lost();
+        if now < self.prev_clock {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I9.loss-costs-time",
+                format!("clock went from {} to {now}", self.prev_clock),
+            ));
+        }
+        if lost > self.prev_lost && now == self.prev_clock {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I9.loss-costs-time",
+                format!(
+                    "{} packets lost this step with no clock movement at {now}",
+                    lost - self.prev_lost
+                ),
+            ));
+        }
+        self.prev_clock = now;
+        self.prev_lost = lost;
+        // I10: the RPC tracepoint ring reconciles exactly while drained.
+        let emitted = self.mount.rpc_events_emitted();
+        let consumed = self.tuner.events_consumed();
+        let dropped = self.tuner.events_dropped();
+        if emitted != consumed + dropped {
+            return Err(self.fail(
+                scenario,
+                step,
+                "I10.rpc-ring-reconciles",
+                format!("emitted={emitted} != consumed={consumed} + dropped={dropped}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn run_netfs_inner(scenario: &Scenario) -> Outcome {
+    let np = scenario.net_params();
+    let profile = NetProfile {
+        name: "dst",
+        rtt_ns: np.rtt_ns,
+        ns_per_page: np.ns_per_page,
+        per_rpc_ns: np.per_rpc_ns,
+        base_rto_ns: np.base_rto_ns,
+        frag_pages: 8,
+        faults: np.faults,
+        burst_period_ns: np.burst_period_ns,
+        burst_frac: np.burst_frac,
+    };
+    let mut mount = NfsMount::new(
+        profile,
+        SimConfig {
+            device: DeviceProfile::nvme(),
+            cache_pages: np.cache_pages,
+            ..SimConfig::default()
+        },
+    );
+    let file_pages: u64 = 1 << 14;
+    let file = mount.create_file(file_pages);
+    let (producer, consumer) = RingBuffer::with_capacity(np.ring_capacity).split();
+    mount.attach_rpc_trace(producer);
+    let tuner = RsizeTuner::new(
+        netfs_model(),
+        RsizePolicy::new(POLICY_RSIZE_KB.to_vec()),
+        consumer,
+        np.window_ns,
+    );
+
+    let mut h = NetHarness {
+        prev_clock: mount.now_ns(),
+        mount,
+        tuner,
+        file,
+        file_pages,
+        events: Vec::with_capacity(scenario.ops as usize + 1),
+        trace_hash: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
+        io_errors: 0,
+        prev_lost: 0,
+        seq_cursor: 0,
+    };
+    let mut ops = SeedStream::new(scenario.seed, 0x0E7);
+
+    for step in 0..scenario.ops {
+        let roll = ops.range(0, 100);
+        let npages = 1 + ops.range(0, 128);
+        let span = h.file_pages - npages;
+        let (op, page, code) = match roll {
+            0..=54 => {
+                // Sequential reads: the common streaming client.
+                let page = h.seq_cursor.min(span);
+                h.seq_cursor = (h.seq_cursor + npages) % span;
+                match h.mount.read(h.file, page, npages) {
+                    Ok(_) => (12, page, 0),
+                    Err(_) => (12, page, 2),
+                }
+            }
+            55..=79 => {
+                let page = ops.range(0, span);
+                match h.mount.read(h.file, page, npages) {
+                    Ok(_) => (12, page, 0),
+                    Err(_) => (12, page, 2),
+                }
+            }
+            _ => {
+                let page = ops.range(0, span);
+                match h.mount.write(h.file, page, npages) {
+                    Ok(_) => (13, page, 0),
+                    Err(_) => (13, page, 2),
+                }
+            }
+        };
+        h.record(step, op, page, code);
+
+        // The closed loop's per-op hook: drain RPC events, maybe retune.
+        if let Err(e) = h.tuner.on_op(&mut h.mount) {
+            return h.fail(
+                scenario,
+                step,
+                "I5.no-panic",
+                format!("rsize tuner failed: {e:?}"),
+            );
+        }
+        if let Err(outcome) = h.check_invariants(scenario, step) {
+            return outcome;
+        }
+    }
+
+    Outcome::Pass(RunSummary {
+        trace_hash: h.trace_hash,
+        steps: scenario.ops,
+        io_errors: h.io_errors,
+        injected: h.mount.transport_fault_stats(),
+        decisions: h.tuner.decisions().len() as u64,
+        ring_dropped: h.tuner.events_dropped(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +856,7 @@ mod tests {
                 ops: 37,
                 disabled: crate::FaultMask::STALL,
                 lsm_bug: true,
+                netfs: false,
             },
             step: 12,
             invariant: "I1.lsm-vs-reference",
@@ -601,6 +869,32 @@ mod tests {
         assert!(line.contains("KML_DST_DISABLE=stall"), "{line}");
         assert!(line.contains("KML_DST_LSM_BUG=1"), "{line}");
         assert!(line.contains("cargo test -p kml-dst"), "{line}");
+    }
+
+    #[test]
+    fn a_quiet_netfs_scenario_passes_and_injects_nothing() {
+        let mut scenario = Scenario::netfs_from_seed(5, 80);
+        scenario.disabled = crate::FaultMask(0x3FF);
+        match run(&scenario) {
+            Outcome::Pass(s) => {
+                assert_eq!(s.steps, 80);
+                assert_eq!(s.injected.total(), 0);
+                assert_eq!(s.io_errors, 0);
+            }
+            Outcome::Fail(r) => panic!("quiet netfs scenario failed:\n{r}"),
+        }
+    }
+
+    #[test]
+    fn netfs_reproducer_line_carries_the_netfs_flag() {
+        let report = FailureReport {
+            scenario: Scenario::netfs_from_seed(0xF00D, 50),
+            step: 3,
+            invariant: "I7.retransmit-reconciles",
+            detail: "test".to_string(),
+            trace_tail: Vec::new(),
+        };
+        assert!(report.reproducer().contains("KML_DST_NETFS=1"));
     }
 
     #[test]

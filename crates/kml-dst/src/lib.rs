@@ -23,6 +23,22 @@
 //! - **I5 clock-monotone / no-panic** — simulated time never runs
 //!   backwards, and no injected fault escapes as a panic.
 //!
+//! Netfs scenarios ([`Scenario::netfs_from_seed`]) run the network
+//! stack instead — an NFS-like mount with its rsize tuner, under a
+//! seeded packet-fault schedule (loss, duplication, reordering, jitter,
+//! optionally phased into bursts) — and check the RPC-layer invariants:
+//!
+//! - **I6 rpc-exactly-once** — between ops, every issued RPC has
+//!   returned to the caller exactly once (success, error, or give-up).
+//! - **I7 retransmit-reconciles** — the double-entry packet ledger
+//!   balances ([`netfs::NetStats::reconcile`]) after every step.
+//! - **I8 rsize-clamped** — the actuated transfer size is always inside
+//!   the mount's clamp range and one the policy can produce.
+//! - **I9 loss-costs-time** — the clock is monotone and a step that
+//!   lost packets always burned virtual time on their timeouts.
+//! - **I10 rpc-ring-reconciles** — RPC tracepoints emitted = consumed +
+//!   dropped, exactly, every drain.
+//!
 //! A violation is reported as a [`FailureReport`] carrying the trace
 //! tail and a shell-ready reproducer; [`shrink`] then searches for the
 //! smallest op count and fewest fault kinds that still fail and prints

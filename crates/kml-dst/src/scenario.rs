@@ -54,10 +54,11 @@ impl SeedStream {
 }
 
 /// Bitmask of fault kinds the shrinker has switched off. A disabled kind
-/// has its rate zeroed in [`Scenario::fault_config`]; everything else in
-/// the scenario (op mix, geometry, surviving fault draws) is unchanged.
+/// has its rate zeroed in [`Scenario::fault_config`] (or the network
+/// equivalent in [`Scenario::net_params`]); everything else in the
+/// scenario (op mix, geometry, surviving fault draws) is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct FaultMask(pub u8);
+pub struct FaultMask(pub u16);
 
 impl FaultMask {
     /// Device read errors.
@@ -72,15 +73,28 @@ impl FaultMask {
     pub const STALL: FaultMask = FaultMask(1 << 4);
     /// Page-cache capacity squeezes.
     pub const CACHE_SQUEEZE: FaultMask = FaultMask(1 << 5);
+    /// Network packet loss (netfs scenarios).
+    pub const NET_LOSS: FaultMask = FaultMask(1 << 6);
+    /// Network packet duplication (netfs scenarios).
+    pub const NET_DUP: FaultMask = FaultMask(1 << 7);
+    /// Network packet reordering (netfs scenarios).
+    pub const NET_REORDER: FaultMask = FaultMask(1 << 8);
+    /// Network jitter (netfs scenarios).
+    pub const NET_JITTER: FaultMask = FaultMask(1 << 9);
 
-    /// All six kinds, in shrink order.
-    pub const KINDS: [(FaultMask, &'static str); 6] = [
+    /// All ten kinds, in shrink order (device first, then network; the
+    /// shrinker tries them in this order and keeps whatever still fails).
+    pub const KINDS: [(FaultMask, &'static str); 10] = [
         (Self::READ_ERROR, "read_error"),
         (Self::WRITE_ERROR, "write_error"),
         (Self::TORN_WRITE, "torn_write"),
         (Self::LATENCY_SPIKE, "latency_spike"),
         (Self::STALL, "stall"),
         (Self::CACHE_SQUEEZE, "cache_squeeze"),
+        (Self::NET_LOSS, "net_loss"),
+        (Self::NET_DUP, "net_dup"),
+        (Self::NET_REORDER, "net_reorder"),
+        (Self::NET_JITTER, "net_jitter"),
     ];
 
     /// Whether `kind` is set in this mask.
@@ -128,6 +142,9 @@ pub struct Scenario {
     /// Arms the deliberate lose-keys-on-failed-flush bug in the store —
     /// the harness's own end-to-end validation (it must catch this).
     pub lsm_bug: bool,
+    /// Runs the netfs harness (RPC mount + rsize tuner under a seeded
+    /// packet-fault schedule) instead of the LSM/readahead stack.
+    pub netfs: bool,
 }
 
 /// Parameters derived from the seed (fixed draw order — append only).
@@ -151,6 +168,16 @@ impl Scenario {
             ops,
             disabled: FaultMask::default(),
             lsm_bug: false,
+            netfs: false,
+        }
+    }
+
+    /// A netfs scenario: the RPC mount + rsize-tuner stack under a seeded
+    /// packet-fault schedule, with every network fault kind live.
+    pub fn netfs_from_seed(seed: u64, ops: u64) -> Scenario {
+        Scenario {
+            netfs: true,
+            ..Scenario::from_seed(seed, ops)
         }
     }
 
@@ -222,6 +249,82 @@ impl Scenario {
     pub fn fault_config(&self) -> FaultConfig {
         self.params().faults
     }
+
+    /// Network-path parameters for netfs scenarios. Drawn from their own
+    /// domain (`0x7E7`) so the device-side [`Scenario::params`] draw order
+    /// — and with it every pinned LSM-stack trace hash — is untouched.
+    pub(crate) fn net_params(&self) -> NetParams {
+        let mut s = SeedStream::new(self.seed, 0x7E7);
+        let rtt_ns = s.range(500_000, 10_000_000);
+        let ns_per_page = s.range(5_000, 80_000);
+        let per_rpc_ns = s.range(10_000, 60_000);
+        let base_rto_ns = rtt_ns * s.range(3, 6);
+        let mut net_loss = s.next_f64() * 0.12;
+        let mut net_dup = s.next_f64() * 0.04;
+        let mut net_reorder = s.next_f64() * 0.04;
+        let mut net_jitter = s.next_f64() * 0.30;
+        let net_jitter_ns = s.range(100_000, 2_000_000);
+        // Half the scenarios get a steady link, half a phased one.
+        let burst_period_ns = if s.next_u64() & 1 == 0 {
+            0
+        } else {
+            s.range(500_000_000, 4_000_000_000)
+        };
+        let burst_frac = 0.3 + s.next_f64() * 0.5;
+        // Rings from 8 (overflow guaranteed) to 4096 (overflow rare) —
+        // I10 must reconcile exactly in both regimes.
+        let ring_capacity = 1usize << s.range(3, 13);
+        let window_ns = s.range(20_000_000, 200_000_000);
+        let cache_pages = s.range(1024, 8192) as usize;
+        if self.disabled.contains(FaultMask::NET_LOSS) {
+            net_loss = 0.0;
+        }
+        if self.disabled.contains(FaultMask::NET_DUP) {
+            net_dup = 0.0;
+        }
+        if self.disabled.contains(FaultMask::NET_REORDER) {
+            net_reorder = 0.0;
+        }
+        if self.disabled.contains(FaultMask::NET_JITTER) {
+            net_jitter = 0.0;
+        }
+        NetParams {
+            rtt_ns,
+            ns_per_page,
+            per_rpc_ns,
+            base_rto_ns,
+            faults: FaultConfig {
+                seed: splitmix(self.seed ^ 0x7FA1),
+                net_loss,
+                net_dup,
+                net_reorder,
+                net_jitter,
+                net_jitter_ns,
+                ..FaultConfig::off()
+            },
+            burst_period_ns,
+            burst_frac,
+            ring_capacity,
+            window_ns,
+            cache_pages,
+        }
+    }
+}
+
+/// Network-path parameters derived from the seed (netfs scenarios only;
+/// fixed draw order — append only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NetParams {
+    pub rtt_ns: u64,
+    pub ns_per_page: u64,
+    pub per_rpc_ns: u64,
+    pub base_rto_ns: u64,
+    pub faults: FaultConfig,
+    pub burst_period_ns: u64,
+    pub burst_frac: f64,
+    pub ring_capacity: usize,
+    pub window_ns: u64,
+    pub cache_pages: usize,
 }
 
 #[cfg(test)]
@@ -256,6 +359,24 @@ mod tests {
         assert_eq!(a.write_error, b.write_error);
         assert_eq!(a.torn_write, b.torn_write);
         assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn net_params_are_pure_and_disabled_kinds_zero_only_their_rate() {
+        let base = Scenario::netfs_from_seed(0x515, 100);
+        let (a, b) = (base.net_params(), base.net_params());
+        assert_eq!(a.faults.seed, b.faults.seed);
+        assert_eq!(a.rtt_ns, b.rtt_ns);
+        assert_eq!(a.ring_capacity, b.ring_capacity);
+        let masked = Scenario {
+            disabled: FaultMask::default().with(FaultMask::NET_LOSS),
+            ..base
+        }
+        .net_params();
+        assert_eq!(masked.faults.net_loss, 0.0);
+        assert_eq!(a.faults.net_dup, masked.faults.net_dup);
+        assert_eq!(a.faults.net_jitter, masked.faults.net_jitter);
+        assert_eq!(a.window_ns, masked.window_ns);
     }
 
     #[test]

@@ -65,6 +65,54 @@ fn smoke_seed_trace_hashes_are_pinned() {
 }
 
 #[test]
+fn netfs_smoke_seeds_uphold_rpc_invariants() {
+    for seed in [1u64, 7, 42, 0xC0FFEE, 0x5EED_0002] {
+        run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS));
+    }
+}
+
+/// Pinned trace hash for one netfs smoke seed: the network path's
+/// arithmetic — transport draws, backoff ladders, DRC behaviour, tuner
+/// windows — is part of the bit-exactness contract too.
+#[test]
+fn netfs_smoke_seed_trace_hash_is_pinned() {
+    const SEED: u64 = 0x5EED_0002;
+    const PINNED: u64 = 0x1dca_e8fc_2624_1a7f;
+    let got = run_or_report(&Scenario::netfs_from_seed(SEED, SWEEP_OPS));
+    assert_eq!(
+        got, PINNED,
+        "netfs seed 0x{SEED:x}: trace hash 0x{got:016x} != pinned 0x{PINNED:016x} — \
+         the network stack's arithmetic changed"
+    );
+}
+
+#[test]
+fn netfs_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
+    let cases: u64 = std::env::var("KML_DST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seeds: Vec<u64> = (0..cases).map(|i| 0x2000 + i).collect();
+    let hashes_1 = parallel_map(&seeds, 1, |_, &seed| {
+        run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
+    });
+    let hashes_3 = parallel_map(&seeds, 3, |_, &seed| {
+        run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
+    });
+    let hashes_8 = parallel_map(&seeds, 8, |_, &seed| {
+        run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
+    });
+    assert_eq!(
+        hashes_1, hashes_3,
+        "netfs sweep diverged between 1 and 3 workers"
+    );
+    assert_eq!(
+        hashes_1, hashes_8,
+        "netfs sweep diverged between 1 and 8 workers"
+    );
+}
+
+#[test]
 fn sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
     let cases: u64 = std::env::var("KML_DST_CASES")
         .ok()
@@ -164,7 +212,11 @@ fn replays_reproducer_from_env() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(SWEEP_OPS);
-    let mut scenario = Scenario::from_seed(seed, ops);
+    let mut scenario = if std::env::var("KML_DST_NETFS").is_ok_and(|v| v == "1") {
+        Scenario::netfs_from_seed(seed, ops)
+    } else {
+        Scenario::from_seed(seed, ops)
+    };
     if let Ok(disable) = std::env::var("KML_DST_DISABLE") {
         scenario.disabled = FaultMask::from_env(&disable);
     }

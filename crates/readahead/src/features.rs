@@ -16,7 +16,7 @@
 //! normalizer, fitted on training data.
 
 use kernel_sim::TraceRecord;
-use kml_collect::stats::{AbsDiffMean, CumulativeStats};
+use kml_collect::featurize::{Channel, WindowedFeatures};
 
 /// Number of features the readahead models consume.
 pub const NUM_FEATURES: usize = 5;
@@ -51,16 +51,25 @@ pub type FeatureVector = [f64; NUM_FEATURES];
 /// assert!((f[3] - 1.0).abs() < 1e-9); // mean |Δoffset| = 1 (sequential)
 /// assert_eq!(f[4], 128.0);          // current readahead
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FeatureExtractor {
-    /// Cumulative over the whole run (paper features ii and iii).
-    cumulative: CumulativeStats,
-    /// Per-window tracepoint count (feature i).
-    window_count: u64,
-    /// Per-window mean absolute consecutive-offset difference (feature iv).
-    window_absdiff: AbsDiffMean,
-    /// Total records ever pushed.
-    total: u64,
+    /// The shared window engine: channel 0 is the cumulative offset
+    /// statistics (paper features ii–iii), channel 1 the per-window mean
+    /// absolute consecutive-offset difference (feature iv).
+    windows: WindowedFeatures,
+}
+
+/// Channel index of the cumulative offset statistics.
+const CH_OFFSET: usize = 0;
+/// Channel index of the per-window |Δoffset| accumulator.
+const CH_ABSDIFF: usize = 1;
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor {
+            windows: WindowedFeatures::new(vec![Channel::cumulative(), Channel::window_abs_diff()]),
+        }
+    }
 }
 
 impl FeatureExtractor {
@@ -72,10 +81,9 @@ impl FeatureExtractor {
     /// Folds one tracepoint record into the current window.
     pub fn push(&mut self, record: &TraceRecord) {
         let offset = record.page_offset as f64;
-        self.cumulative.push(offset);
-        self.window_absdiff.push(offset);
-        self.window_count += 1;
-        self.total += 1;
+        self.windows.push_f64(CH_OFFSET, offset);
+        self.windows.push_f64(CH_ABSDIFF, offset);
+        self.windows.record();
     }
 
     /// Closes the current window and returns its feature vector.
@@ -84,30 +92,29 @@ impl FeatureExtractor {
     /// Per-window accumulators reset; cumulative statistics persist.
     pub fn roll_window(&mut self, current_ra_kb: f64) -> FeatureVector {
         let features = [
-            self.window_count as f64,
-            self.cumulative.mean(),
-            self.cumulative.std(),
-            self.window_absdiff.mean(),
+            self.windows.window_count() as f64,
+            self.windows.mean(CH_OFFSET),
+            self.windows.std(CH_OFFSET),
+            self.windows.mean(CH_ABSDIFF),
             current_ra_kb,
         ];
-        self.window_count = 0;
-        self.window_absdiff.reset();
+        self.windows.roll();
         features
     }
 
     /// Records pushed into the current (open) window.
     pub fn window_count(&self) -> u64 {
-        self.window_count
+        self.windows.window_count()
     }
 
     /// Records pushed since creation.
     pub fn total(&self) -> u64 {
-        self.total
+        self.windows.total()
     }
 
     /// Resets everything, including the cumulative statistics (a fresh run).
     pub fn reset(&mut self) {
-        *self = FeatureExtractor::default();
+        self.windows.reset();
     }
 }
 
@@ -204,6 +211,75 @@ mod tests {
         assert_eq!(f[0], 1.0);
         assert_eq!(f[1], 5.0);
         assert_eq!(f[2], 0.0);
+    }
+
+    /// The inline featurization this module used before the shared
+    /// `kml_collect::featurize` engine existed, kept verbatim as the parity
+    /// reference: the refactored extractor must reproduce it bit-for-bit
+    /// (the kml-dst pinned trace hashes depend on it).
+    #[derive(Default)]
+    struct LegacyExtractor {
+        cumulative: kml_collect::stats::CumulativeStats,
+        window_count: u64,
+        window_absdiff: kml_collect::stats::AbsDiffMean,
+        total: u64,
+    }
+
+    impl LegacyExtractor {
+        fn push(&mut self, record: &TraceRecord) {
+            let offset = record.page_offset as f64;
+            self.cumulative.push(offset);
+            self.window_absdiff.push(offset);
+            self.window_count += 1;
+            self.total += 1;
+        }
+
+        fn roll_window(&mut self, current_ra_kb: f64) -> FeatureVector {
+            let features = [
+                self.window_count as f64,
+                self.cumulative.mean(),
+                self.cumulative.std(),
+                self.window_absdiff.mean(),
+                current_ra_kb,
+            ];
+            self.window_count = 0;
+            self.window_absdiff.reset();
+            features
+        }
+    }
+
+    #[test]
+    fn shared_engine_is_bit_identical_to_the_legacy_inline_featurization() {
+        let mut new = FeatureExtractor::new();
+        let mut old = LegacyExtractor::default();
+        let mut x = 0xDEAD_BEEFu64;
+        for window in 0..50u64 {
+            // Vary window sizes and access patterns (empty windows included).
+            let n = (window * 7) % 13;
+            for i in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let offset = if window % 3 == 0 {
+                    window * 100 + i
+                } else {
+                    x % 1_000_000
+                };
+                new.push(&rec(offset));
+                old.push(&rec(offset));
+            }
+            let ra = [16.0, 128.0, 1024.0][(window % 3) as usize];
+            let f_new = new.roll_window(ra);
+            let f_old = old.roll_window(ra);
+            for k in 0..NUM_FEATURES {
+                assert_eq!(
+                    f_new[k].to_bits(),
+                    f_old[k].to_bits(),
+                    "feature {k} diverged in window {window}: {} vs {}",
+                    f_new[k],
+                    f_old[k]
+                );
+            }
+        }
+        assert_eq!(new.total(), old.total);
     }
 
     #[test]

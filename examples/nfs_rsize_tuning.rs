@@ -1,0 +1,49 @@
+//! The network-storage closed loop: train the rsize link classifier,
+//! mount a simulated NFS-like filesystem over three network profiles, and
+//! watch the tuner re-size transfers as link conditions change.
+//!
+//! Run with: `cargo run --release --example nfs_rsize_tuning`
+
+use netfs::{compare, train_rsize_model, NetProfile, NetRunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NetRunConfig::quick();
+
+    println!("training the rsize link classifier (labelled sweep windows)...");
+    let model_bytes = train_rsize_model(7)?;
+    println!("model: {} bytes\n", model_bytes.len());
+
+    for profile in NetProfile::experiment_profiles(7) {
+        let outcome = compare(profile, &model_bytes, &cfg)?;
+        println!("=== {} ===", outcome.profile);
+        for (kb, report) in &outcome.fixed {
+            println!(
+                "fixed rsize {:>4} KiB: {:>7.1} MB/s   (retransmits {}, failed ops {})",
+                kb, report.mb_per_sec, report.stats.retransmits, report.failed_ops
+            );
+        }
+        println!(
+            "KML-tuned:            {:>7.1} MB/s   {:.2}x vs best fixed",
+            outcome.kml.mb_per_sec, outcome.speedup_vs_best_fixed
+        );
+        println!("decision timeline (simulated time, inferred class, rsize):");
+        for d in outcome.decisions.iter().take(8) {
+            println!(
+                "  t={:>5} ms  class={}  rsize={:>4} KiB",
+                d.time_ns / 1_000_000,
+                d.class,
+                d.rsize_kb
+            );
+        }
+        if outcome.decisions.len() > 8 {
+            println!("  ... {} more windows", outcome.decisions.len() - 8);
+        }
+        println!();
+    }
+    println!(
+        "On the clean datacenter link the tuner holds the largest transfer\n\
+         size; on the phased profiles it shrinks into congestion bursts and\n\
+         grows back out — no fixed rsize matches that on both phases."
+    );
+    Ok(())
+}

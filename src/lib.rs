@@ -14,6 +14,9 @@
 //!   the closed-loop KML application.
 //! - [`iosched`] — the §6 future-work second use case: KML tuning the block
 //!   layer's request-batching window.
+//! - [`netfs`] — the network-storage use case: a simulated NFS-like mount
+//!   (RPC transport, retransmission, duplicate-request cache) with a KML
+//!   loop tuning the `rsize` transfer size per link condition.
 
 pub use iosched;
 pub use kernel_sim;
@@ -21,4 +24,5 @@ pub use kml_collect;
 pub use kml_core;
 pub use kml_platform;
 pub use kvstore;
+pub use netfs;
 pub use readahead;
