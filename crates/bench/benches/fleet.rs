@@ -1,0 +1,205 @@
+//! Micro-benchmarks of the fleet's shared inference server: host
+//! wall-clock cost of serving one tick of pending tenant windows, three
+//! ways.
+//!
+//! - **batched** — the production path: windows grouped per model,
+//!   chunked to ≤256-row batches, one blocked-GEMM forward pass per batch.
+//! - **serial** — the same shared models answering one single-row pass
+//!   per window. This is the bit-identity twin (`kml-core`'s
+//!   batch-parity proptests prove batched == serial bit for bit), so the
+//!   gap is pure GEMM amortization; the elementwise sigmoid work is
+//!   identical in both and caps the ratio.
+//! - **per-tenant** — the deployment counterfactual the fleet replaces:
+//!   no shared server, every tenant owning its own model replica (the
+//!   paper's one-model-per-machine shape, and exactly what the
+//!   per-subsystem tuners do today). Identical weights, identical
+//!   answers, but each window walks a different replica's weights and
+//!   scratch, so the working set scales with the tenant count instead of
+//!   the model count.
+//!
+//! Gates (mirrored in `BENCH_baseline.json`): a median ceiling on the
+//! batched tick, a ≥2× decisions/sec floor over the per-tenant baseline,
+//! and a ≥1.1× floor over shared-model serial serving.
+
+use criterion::{criterion_group, Criterion};
+use kml_fleet::{FleetModels, InferRequest, InferenceServer, ModelKind, ServeOptions};
+use std::hint::black_box;
+
+/// Pending windows per serving tick —
+/// one window per tenant of the quick-scale fleet (2,048 tenants).
+const WINDOWS: u64 = 2_048;
+
+/// A deterministic mixed-kind request stream, the shape a fleet round
+/// produces: all three models interleaved, features in the tuners' range.
+/// The stream is Fisher–Yates shuffled (fixed xorshift seed) because fleet
+/// windows do not arrive sorted by tenant — shards interleave — and the
+/// per-tenant baseline's replica-table walk must pay that access pattern,
+/// not an artificially prefetch-friendly sequential one. The shared server
+/// regroups by model kind either way, so batched serving is order-blind.
+fn pending_windows(n: u64) -> Vec<InferRequest> {
+    let mut requests: Vec<InferRequest> = (0..n)
+        .map(|t| {
+            let kind = ModelKind::ALL[(t % 3) as usize];
+            let dim = match kind {
+                ModelKind::Iosched => 4,
+                _ => 5,
+            };
+            let mut features = [0.0; kml_fleet::server::MAX_FEATURES];
+            let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for f in features.iter_mut().take(dim) {
+                x ^= x >> 31;
+                x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                *f = (x % 4_096) as f64 / 16.0;
+            }
+            InferRequest {
+                tenant_id: t,
+                kind,
+                features,
+                dim,
+            }
+        })
+        .collect();
+    let mut state = 0x5EED_F1EEu64;
+    for i in (1..requests.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        requests.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    requests
+}
+
+fn bench_serve_tick(c: &mut Criterion) {
+    let requests = pending_windows(WINDOWS);
+    let mut group = c.benchmark_group("fleet_serve");
+    // The production path: windows grouped per model, chunked to 256-row
+    // batches, one forward pass per batch.
+    group.bench_function("batched_tick_2048", |b| {
+        let mut server = InferenceServer::new(
+            FleetModels::untrained(7).expect("deterministic model build"),
+            ServeOptions::default(),
+        );
+        b.iter(|| black_box(server.serve(&requests).expect("serving succeeds").len()));
+    });
+    // Same shared models, one single-row forward pass per window.
+    group.bench_function("serial_tick_2048", |b| {
+        let mut server = InferenceServer::new(
+            FleetModels::untrained(7).expect("deterministic model build"),
+            ServeOptions {
+                serial_inference: true,
+                ..ServeOptions::default()
+            },
+        );
+        b.iter(|| black_box(server.serve(&requests).expect("serving succeeds").len()));
+    });
+    // No server at all: a replica table indexed by tenant, each window a
+    // single-row pass through its own tenant's replica, in arrival order.
+    group.bench_function("per_tenant_tick_2048", |b| {
+        let mut replicas: Vec<kml_core::model::Model<f32>> = (0..WINDOWS)
+            .map(|t| {
+                let models = FleetModels::untrained(7).expect("deterministic model build");
+                match ModelKind::ALL[(t % 3) as usize] {
+                    ModelKind::Readahead => models.readahead,
+                    ModelKind::Iosched => models.iosched,
+                    ModelKind::Netfs => models.netfs,
+                }
+            })
+            .collect();
+        b.iter(|| {
+            let mut sink = 0usize;
+            for req in &requests {
+                let model = &mut replicas[req.tenant_id as usize];
+                sink =
+                    sink.wrapping_add(model.predict(req.features()).expect("inference succeeds"));
+            }
+            black_box(sink)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(
+        std::env::var("KML_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30),
+    );
+    targets = bench_serve_tick
+}
+
+/// Median ceiling for the batched tick, mirrored in `BENCH_baseline.json`.
+/// Set at roughly 3× the CI-class container's measured median so the gate
+/// trips on an algorithmic regression (a per-window allocation, a lost
+/// batch path) but not on runner noise.
+const BATCHED_TICK_CEILING_NS: f64 = 1_700_000.0;
+
+/// The shared batched server must deliver at least this many times the
+/// decisions/sec of the per-tenant-replica deployment it replaces.
+const MIN_SPEEDUP_VS_PER_TENANT: f64 = 2.0;
+
+/// Coalescing must also beat single-row serving through the *same* shared
+/// models. The elementwise activation work is identical in both paths, so
+/// this ratio is structurally modest — the floor guards the GEMM
+/// amortization from regressing to nothing, not a 2× claim.
+const MIN_SPEEDUP_VS_SERIAL: f64 = 1.1;
+
+fn main() {
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        if !arg.starts_with('-') {
+            filter = Some(arg);
+        }
+    }
+    benches(filter.as_deref());
+
+    let gates = [("fleet_serve/batched_tick_2048", BATCHED_TICK_CEILING_NS)];
+    let summaries = criterion::summaries();
+    let mut failed = false;
+    for s in &summaries {
+        let ceiling = gates.iter().find(|(id, _)| s.id == *id).map(|&(_, c)| c);
+        let pass = ceiling.is_none_or(|c| s.median_ns <= c);
+        println!(
+            "{}: {} median {:.0} ns{}",
+            if pass { "PASS" } else { "FAIL" },
+            s.id,
+            s.median_ns,
+            ceiling
+                .map(|c| format!(", ceiling {c:.0} ns"))
+                .unwrap_or_default()
+        );
+        failed |= !pass;
+    }
+    let median = |id: &str| {
+        summaries
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let batched = median("fleet_serve/batched_tick_2048");
+    for (baseline_id, floor) in [
+        (
+            "fleet_serve/per_tenant_tick_2048",
+            MIN_SPEEDUP_VS_PER_TENANT,
+        ),
+        ("fleet_serve/serial_tick_2048", MIN_SPEEDUP_VS_SERIAL),
+    ] {
+        let baseline = median(baseline_id);
+        if !batched.is_finite() || !baseline.is_finite() {
+            continue;
+        }
+        let speedup = baseline / batched;
+        let pass = speedup >= floor;
+        println!(
+            "{}: batched vs {baseline_id} speedup {speedup:.2}x (floor {floor:.1}x)",
+            if pass { "PASS" } else { "FAIL" },
+        );
+        failed |= !pass;
+    }
+    if failed && std::env::var("KML_BENCH_ENFORCE").as_deref() != Ok("0") {
+        eprintln!("fleet serving regressed (KML_BENCH_ENFORCE=0 skips on noisy runners)");
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,8 @@
 //!   iosched    —   second use case: I/O-scheduler batching tuner (§6)
 //!   netfs      E9  third use case: NFS rsize tuning over simulated
 //!                  networks (DESIGN.md §8)
+//!   fleet      E10 multi-tenant fleet serving with a shared
+//!                  batched-inference model server (DESIGN.md §9)
 //!   ablate     —   window-length and activation ablations (DESIGN.md §5)
 //!   all        everything above
 //! ```
@@ -21,7 +23,8 @@
 //! `--quick` uses the reduced test-scale configuration (seconds instead of
 //! minutes); EXPERIMENTS.md records full-scale output. `--json`
 //! additionally writes machine-readable JSON-lines for table2, overheads,
-//! and dtree under `results/`.
+//! dtree, netfs, and fleet under `results/`; every line carries a
+//! `schema` field naming its experiment family.
 //!
 //! `--threads=N` (or the `KML_REPRO_THREADS` environment variable) sets the
 //! worker count for the embarrassingly-parallel sweeps (study cells, table2
@@ -82,12 +85,13 @@ fn main() {
         "rl" => cmd_rl(&cfg),
         "iosched" => cmd_iosched(),
         "netfs" => cmd_netfs(quick, json),
+        "fleet" => cmd_fleet(&cfg, quick, json),
         "ablate" => cmd_ablate(&cfg),
         "all" => cmd_all(&cfg, quick, json),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs ablate all"
+                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs fleet ablate all"
             );
             std::process::exit(2);
         }
@@ -140,7 +144,200 @@ fn cmd_all(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
     cmd_rl(cfg)?;
     cmd_iosched()?;
     cmd_netfs(quick, json)?;
+    cmd_fleet(cfg, quick, json)?;
     cmd_ablate(cfg)
+}
+
+/// Prefixes every JSON-lines object produced elsewhere (e.g. telemetry
+/// snapshots) with a `schema` field so downstream consumers can route
+/// lines without guessing from the filename.
+fn with_schema(json_lines: &str, schema: &str) -> String {
+    let mut out = String::with_capacity(json_lines.len());
+    for line in json_lines.lines() {
+        if let Some(rest) = line.strip_prefix('{') {
+            out.push_str(&format!(
+                "{{\"schema\":{},{rest}\n",
+                kml_telemetry::json_str(schema)
+            ));
+        } else if !line.is_empty() {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// E10 — fleet-scale serving: thousands of seed-derived tenants sharing
+/// one batched-inference model server (DESIGN.md §9).
+fn cmd_fleet(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
+    use kml_fleet::fleet::{kind_name, workload_name};
+    use kml_fleet::{run_fleet, FleetConfig};
+
+    println!("## E10: multi-tenant fleet serving (DESIGN.md §9)\n");
+    let fleet_cfg = if quick {
+        FleetConfig {
+            tenants: 2_048,
+            rounds: 4,
+            ..FleetConfig::default()
+        }
+    } else {
+        FleetConfig {
+            tenants: 8_192,
+            rounds: 6,
+            ..FleetConfig::default()
+        }
+    };
+
+    // Train the three shared classifiers the server deploys — the same
+    // recipes the per-subsystem experiments use, f32-deployed like the
+    // paper's kernel modules.
+    let t0 = Instant::now();
+    eprintln!("[training the three fleet classifiers]");
+    let models = trained_fleet_models(cfg)?;
+    eprintln!("[trained in {:.1?}]", t0.elapsed());
+
+    let report = run_fleet(&fleet_cfg, models)?;
+    let s = &report.summary;
+
+    let mean_batch = if s.forward_passes == 0 {
+        0.0
+    } else {
+        s.decisions_returned as f64 / s.forward_passes as f64
+    };
+    let summary_rows = vec![
+        vec!["tenants".into(), s.tenants.to_string()],
+        vec!["serving rounds".into(), s.rounds.to_string()],
+        vec!["shards".into(), s.shards.to_string()],
+        vec!["windows submitted".into(), s.windows_submitted.to_string()],
+        vec![
+            "decisions returned".into(),
+            s.decisions_returned.to_string(),
+        ],
+        vec!["model forward passes".into(), s.forward_passes.to_string()],
+        vec!["mean batch size".into(), format!("{mean_batch:.1}")],
+        vec!["tenant ops recorded".into(), s.latency.count.to_string()],
+        vec!["op latency p50".into(), format!("{} ns", s.latency.p50)],
+        vec!["op latency p99".into(), format!("{} ns", s.latency.p99)],
+        vec!["op latency max".into(), format!("{} ns", s.latency.max)],
+    ];
+    let mut table = bench::render_table(&["metric", "value"], &summary_rows);
+    table.push('\n');
+
+    let kind_rows: Vec<Vec<String>> = (0..3)
+        .map(|i| {
+            vec![
+                kind_name(i).into(),
+                s.kind_counts[i].to_string(),
+                s.decisions_applied[i].to_string(),
+            ]
+        })
+        .collect();
+    table.push_str(&bench::render_table(
+        &["model", "tenants", "decisions applied"],
+        &kind_rows,
+    ));
+    table.push('\n');
+
+    let workload_rows: Vec<Vec<String>> = (0..7)
+        .map(|i| vec![workload_name(i).into(), s.workload_counts[i].to_string()])
+        .collect();
+    table.push_str(&bench::render_table(
+        &["workload (Zipf popularity order)", "tenants"],
+        &workload_rows,
+    ));
+    table.push('\n');
+
+    let batch_rows: Vec<Vec<String>> = s
+        .batch_sizes
+        .iter()
+        .map(|&(size, n)| vec![size.to_string(), n.to_string()])
+        .collect();
+    table.push_str(&bench::render_table(
+        &["batch size", "batches"],
+        &batch_rows,
+    ));
+
+    println!("{table}");
+    // Wall-clock throughput is machine-dependent by nature: stdout only,
+    // never in the byte-compared results files.
+    println!(
+        "tuner-decision throughput: {:.0} tenant-windows/sec (wall {:.2}s)",
+        report.tenant_windows_per_sec(),
+        report.wall_secs
+    );
+    println!(
+        "Shape: every submitted window is answered exactly once; batching\n\
+         collapses ~{}x forward passes into {} and changes nothing else.\n",
+        s.decisions_returned
+            .checked_div(s.forward_passes)
+            .unwrap_or(0),
+        s.forward_passes
+    );
+    let path = bench::write_results("e10_fleet.txt", &table)?;
+    println!("written to {}\n", path.display());
+
+    if json {
+        let mut json_lines = format!(
+            "{{\"schema\":\"fleet\",\"experiment\":\"e10_fleet\",\"tenants\":{},\"rounds\":{},\"shards\":{},\"windows_submitted\":{},\"decisions_returned\":{},\"forward_passes\":{},\"latency_count\":{},\"latency_p50_ns\":{},\"latency_p95_ns\":{},\"latency_p99_ns\":{},\"latency_max_ns\":{}}}\n",
+            s.tenants,
+            s.rounds,
+            s.shards,
+            s.windows_submitted,
+            s.decisions_returned,
+            s.forward_passes,
+            s.latency.count,
+            s.latency.p50,
+            s.latency.p95,
+            s.latency.p99,
+            s.latency.max,
+        );
+        for i in 0..3 {
+            json_lines.push_str(&format!(
+                "{{\"schema\":\"fleet\",\"experiment\":\"e10_fleet\",\"model\":{},\"tenants\":{},\"decisions_applied\":{}}}\n",
+                kml_telemetry::json_str(kind_name(i)),
+                s.kind_counts[i],
+                s.decisions_applied[i],
+            ));
+        }
+        for i in 0..7 {
+            json_lines.push_str(&format!(
+                "{{\"schema\":\"fleet\",\"experiment\":\"e10_fleet\",\"workload\":{},\"tenants\":{}}}\n",
+                kml_telemetry::json_str(workload_name(i)),
+                s.workload_counts[i],
+            ));
+        }
+        for &(size, n) in &s.batch_sizes {
+            json_lines.push_str(&format!(
+                "{{\"schema\":\"fleet\",\"experiment\":\"e10_fleet\",\"batch_size\":{size},\"batches\":{n}}}\n"
+            ));
+        }
+        let jp = bench::write_results("e10_fleet.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
+    Ok(())
+}
+
+/// The three f32-deployed classifiers `repro fleet` serves — trained with
+/// the same deterministic recipes the per-subsystem experiments use.
+fn trained_fleet_models(
+    cfg: &LoopConfig,
+) -> Result<kml_fleet::FleetModels, Box<dyn std::error::Error>> {
+    let data = readahead::datagen::training_dataset(&cfg.datagen)?;
+    let ra64 = readahead::model::train_network(&data, cfg.epochs, 7)?;
+    let readahead_f32 = {
+        let bytes = kml_core::modelfile::encode(&ra64)?;
+        kml_core::modelfile::decode::<f32>(&bytes)?
+    };
+    let iosched_f32 = iosched::SchedTuner::train_model(7)?;
+    let netfs_f32 = {
+        let bytes = netfs::train_rsize_model(7)?;
+        kml_core::modelfile::decode::<f32>(&bytes)?
+    };
+    Ok(kml_fleet::FleetModels {
+        readahead: readahead_f32,
+        iosched: iosched_f32,
+        netfs: netfs_f32,
+    })
 }
 
 /// E9 — third use case: the same framework tuning an NFS-like mount's
@@ -186,7 +383,7 @@ fn cmd_netfs(quick: bool, json: bool) -> DynResult {
                 .map(|(kb, r)| format!("\"fixed_{kb}k_mb_s\":{:.4}", r.mb_per_sec))
                 .collect();
             json_lines.push_str(&format!(
-                "{{\"experiment\":\"e9_netfs\",\"profile\":{},{},\"kml_mb_s\":{:.4},\"speedup_vs_best_fixed\":{:.4},\"decisions\":{},\"retransmits\":{},\"timeouts\":{}}}\n",
+                "{{\"schema\":\"netfs\",\"experiment\":\"e9_netfs\",\"profile\":{},{},\"kml_mb_s\":{:.4},\"speedup_vs_best_fixed\":{:.4},\"decisions\":{},\"retransmits\":{},\"timeouts\":{}}}\n",
                 kml_telemetry::json_str(outcome.profile),
                 fixed.join(","),
                 outcome.kml.mb_per_sec,
@@ -452,7 +649,7 @@ fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
             }
         }
         json_lines.push_str(&format!(
-            "{{\"experiment\":\"e3_table2\",\"workload\":{},\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
+            "{{\"schema\":\"table2\",\"experiment\":\"e3_table2\",\"workload\":{},\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
             kml_telemetry::json_str(workload.name()),
             cells[0],
             cells[1],
@@ -476,7 +673,7 @@ fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
     println!("written to {}\n", path.display());
     if json {
         json_lines.push_str(&format!(
-            "{{\"experiment\":\"e3_table2\",\"workload\":\"geomean\",\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
+            "{{\"schema\":\"table2\",\"experiment\":\"e3_table2\",\"workload\":\"geomean\",\"nvme_speedup\":{:.4},\"ssd_speedup\":{:.4}}}\n",
             bench::geometric_mean(&nvme_speedups),
             bench::geometric_mean(&ssd_speedups),
         ));
@@ -574,7 +771,7 @@ fn cmd_dtree(cfg: &LoopConfig, json: bool) -> DynResult {
             format!("{:.2}x", dt_mean),
         ]);
         json_lines.push_str(&format!(
-            "{{\"experiment\":\"e6_dtree\",\"device\":{},\"nn_geomean\":{:.4},\"dtree_geomean\":{:.4},\"tree_training_accuracy\":{:.4}}}\n",
+            "{{\"schema\":\"dtree\",\"experiment\":\"e6_dtree\",\"device\":{},\"nn_geomean\":{:.4},\"dtree_geomean\":{:.4},\"tree_training_accuracy\":{:.4}}}\n",
             kml_telemetry::json_str(device.name),
             nn_mean,
             dt_mean,
@@ -790,13 +987,13 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             ),
         ] {
             json_lines.push_str(&format!(
-                "{{\"experiment\":\"e5_overheads\",\"metric\":{},\"value\":{:.1},\"unit\":{}}}\n",
+                "{{\"schema\":\"overheads\",\"experiment\":\"e5_overheads\",\"metric\":{},\"value\":{:.1},\"unit\":{}}}\n",
                 kml_telemetry::json_str(metric),
                 value,
                 kml_telemetry::json_str(unit),
             ));
         }
-        json_lines.push_str(&snap.to_json_lines("e5_inloop"));
+        json_lines.push_str(&with_schema(&snap.to_json_lines("e5_inloop"), "overheads"));
         let jp = bench::write_results("e5_overheads.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }

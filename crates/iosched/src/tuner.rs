@@ -98,7 +98,9 @@ impl SchedFeatures {
 /// The trained scheduler tuner: classifier + class → batch-wait policy.
 #[derive(Debug)]
 pub struct SchedTuner {
-    model: Model<f32>,
+    /// `None` when inference is served remotely by the fleet's shared
+    /// batched model server (see [`Self::remote`]).
+    model: Option<Model<f32>>,
     /// Batch wait per class: 0 = latency-sensitive, 1 = mergeable.
     policy_ns: [u64; 2],
     features: SchedFeatures,
@@ -112,12 +114,13 @@ impl SchedTuner {
     pub const WINDOW_REQUESTS: u64 = 128;
 
     /// Trains the classifier from synthetic labeled windows of the two
-    /// traffic patterns and wraps it with the policy.
+    /// traffic patterns and returns the deployed f32 network (round-tripped
+    /// through the model file, like the readahead model).
     ///
     /// # Errors
     ///
     /// Propagates dataset/training errors.
-    pub fn train(policy_ns: [u64; 2], seed: u64) -> Result<SchedTuner> {
+    pub fn train_model(seed: u64) -> Result<Model<f32>> {
         let data = Self::training_windows(seed)?;
         let mut model = ModelBuilder::new(NUM_SCHED_FEATURES)
             .linear(10)
@@ -133,16 +136,42 @@ impl SchedTuner {
         for _ in 0..200 {
             model.train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)?;
         }
-        // Deploy at f32 through the model file, like the readahead model.
         let bytes = kml_core::modelfile::encode(&model)?;
-        let deployed = kml_core::modelfile::decode::<f32>(&bytes)?;
-        Ok(SchedTuner {
-            model: deployed,
+        kml_core::modelfile::decode::<f32>(&bytes)
+    }
+
+    /// Trains the classifier and wraps it with the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset/training errors.
+    pub fn train(policy_ns: [u64; 2], seed: u64) -> Result<SchedTuner> {
+        Ok(Self::with_model(Self::train_model(seed)?, policy_ns))
+    }
+
+    /// Wraps an already-trained classifier with the policy.
+    pub fn with_model(model: Model<f32>, policy_ns: [u64; 2]) -> SchedTuner {
+        SchedTuner {
+            model: Some(model),
             policy_ns,
             features: SchedFeatures::new(),
             window_requests: 0,
             decisions: Vec::new(),
-        })
+        }
+    }
+
+    /// A tuner with no local model: inference is served by the fleet's
+    /// shared model server, which drives [`Self::poll_request`] /
+    /// [`Self::apply_class`] directly. Calling [`Self::on_request`] on a
+    /// remote tuner is a deployment error.
+    pub fn remote(policy_ns: [u64; 2]) -> SchedTuner {
+        SchedTuner {
+            model: None,
+            policy_ns,
+            features: SchedFeatures::new(),
+            window_requests: 0,
+            decisions: Vec::new(),
+        }
     }
 
     /// Generates labeled feature windows by running both traffic patterns
@@ -185,25 +214,53 @@ impl SchedTuner {
     ///
     /// # Errors
     ///
-    /// Propagates model prediction failures.
+    /// Propagates model prediction failures, and rejects local inference
+    /// on a [`Self::remote`] tuner.
     pub fn on_request(
         &mut self,
         sched: &mut IoScheduler,
         req: &IoRequest,
         now_ns: u64,
     ) -> Result<()> {
+        if let Some(features) = self.poll_request(sched, req) {
+            let model = self.model.as_mut().ok_or_else(|| {
+                kml_core::KmlError::InvalidConfig("remote-served tuner has no local model".into())
+            })?;
+            let class = model.predict(&features)?;
+            self.apply_class(sched, now_ns, class);
+        }
+        Ok(())
+    }
+
+    /// Folds one request and, when the count-based window fills, rolls and
+    /// returns the window's feature vector.
+    ///
+    /// The inference-free half of [`Self::on_request`]: the fleet's shared
+    /// model server batches the returned vectors across tenants and routes
+    /// each prediction back through [`Self::apply_class`]. Nothing observes
+    /// the scheduler between the two calls, so the split loop is
+    /// bit-identical to the fused one.
+    pub fn poll_request(
+        &mut self,
+        sched: &IoScheduler,
+        req: &IoRequest,
+    ) -> Option<[f64; NUM_SCHED_FEATURES]> {
         self.features.push(req, sched.queued());
         self.window_requests += 1;
         if self.window_requests < Self::WINDOW_REQUESTS {
-            return Ok(());
+            return None;
         }
         self.window_requests = 0;
-        let features = self.features.roll_window();
-        let class = self.model.predict(&features)?;
+        Some(self.features.roll_window())
+    }
+
+    /// Applies a predicted class for the window most recently returned by
+    /// [`Self::poll_request`]: re-tunes the batching window and logs the
+    /// decision.
+    pub fn apply_class(&mut self, sched: &mut IoScheduler, now_ns: u64, class: usize) {
         let wait = self.policy_ns[class.min(1)];
         sched.set_batch_wait_ns(wait);
         self.decisions.push((now_ns, class, wait));
-        Ok(())
     }
 
     /// The decision log `(time_ns, class, batch_wait_ns)`.

@@ -205,6 +205,71 @@ impl WindowedFeatures {
     }
 }
 
+/// A row-stacked matrix of feature vectors, staged for batched inference.
+///
+/// The fleet's shared model server drains one feature vector per tenant
+/// window into a `FeatureBatch`, then hands the flat row-major buffer to
+/// `Model::infer_batch_into` — one `B × dim` forward pass instead of `B`
+/// single-row passes. The buffer is reused across batches (`clear` keeps
+/// capacity), so steady-state batching allocates nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBatch {
+    dim: usize,
+    rows: Vec<f64>,
+}
+
+impl FeatureBatch {
+    /// Creates an empty batch whose rows all have `dim` features.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be non-zero");
+        Self {
+            dim,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one feature vector as the next row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != dim`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.dim,
+            "feature row length must match the batch dimension"
+        );
+        self.rows.extend_from_slice(row);
+    }
+
+    /// Number of rows staged so far.
+    pub fn rows(&self) -> usize {
+        self.rows.len() / self.dim
+    }
+
+    /// Features per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The staged rows as one flat row-major slice (`rows() * dim()` long).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// True when no rows are staged.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drops all staged rows, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +364,28 @@ mod tests {
     fn type_confusion_panics() {
         let mut w = WindowedFeatures::new(vec![Channel::window_sum()]);
         w.push_f64(0, 1.0);
+    }
+
+    #[test]
+    fn feature_batch_stacks_rows_in_order_and_reuses_capacity() {
+        let mut b = FeatureBatch::new(3);
+        assert!(b.is_empty());
+        b.push_row(&[1.0, 2.0, 3.0]);
+        b.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.dim(), 3);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.rows(), 0);
+        b.push_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(b.as_slice(), &[7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the batch dimension")]
+    fn feature_batch_rejects_wrong_row_length() {
+        let mut b = FeatureBatch::new(2);
+        b.push_row(&[1.0]);
     }
 }

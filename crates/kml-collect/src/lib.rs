@@ -36,7 +36,7 @@ pub mod stats;
 pub mod trainer;
 
 pub use event::{RpcEvent, RpcEventKind};
-pub use featurize::{Channel, WindowedFeatures};
+pub use featurize::{Channel, FeatureBatch, WindowedFeatures};
 pub use pool::{ShardedCollector, TrainerPool};
 pub use ringbuf::RingBuffer;
 pub use stats::{CumulativeStats, MovingAverage, ZScore};

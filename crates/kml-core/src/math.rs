@@ -195,25 +195,69 @@ pub fn sigmoid4(x: [f64; 4]) -> [f64; 4] {
     if !easy {
         return [sigmoid(x[0]), sigmoid(x[1]), sigmoid(x[2]), sigmoid(x[3])];
     }
-    // σ(x) = num / (1 + e) with e = exp(-|x|), exactly as in [`sigmoid`].
-    let e = exp4_core([-x[0].abs(), -x[1].abs(), -x[2].abs(), -x[3].abs()]);
-    let mut out = [0.0f64; 4];
-    for i in 0..4 {
+    sigmoid_core(&x)
+}
+
+/// Sixteen-lane sigmoid, bit-identical to [`sigmoid`] per lane.
+///
+/// Four independent quad-chains in flight at once: the Taylor recurrence in
+/// [`exp_core`] is latency-bound at four lanes (each `term` update waits on
+/// the previous one), so widening to sixteen keeps the multiplier and
+/// divider pipelines full and roughly halves the per-element cost. Only
+/// long activation slices can use this width — a single-row inference over
+/// a 10- or 15-unit layer never reaches 16 contiguous elements, which is
+/// exactly why batched serving pulls ahead of per-row serving on the same
+/// arithmetic. Any hard lane (|x| ≥ 700, NaN) demotes the whole block to
+/// [`sigmoid4`], preserving scalar special-case bits.
+#[inline]
+pub fn sigmoid16(x: &[f64; 16]) -> [f64; 16] {
+    let mut easy = true;
+    for &xi in x {
+        easy &= xi.abs() < 700.0;
+    }
+    if !easy {
+        let mut out = [0.0f64; 16];
+        for (o4, i4) in out.chunks_exact_mut(4).zip(x.chunks_exact(4)) {
+            o4.copy_from_slice(&sigmoid4([i4[0], i4[1], i4[2], i4[3]]));
+        }
+        return out;
+    }
+    sigmoid_core(x)
+}
+
+/// Lane-generic easy-path core: σ(x) = num / (1 + e) with `e = exp(-|x|)`,
+/// exactly as in [`sigmoid`]. Caller guarantees every lane is in
+/// `(-700, 700)`.
+#[inline]
+fn sigmoid_core<const N: usize>(x: &[f64; N]) -> [f64; N] {
+    let mut neg = [0.0f64; N];
+    for i in 0..N {
+        neg[i] = -x[i].abs();
+    }
+    let e = exp_core(neg);
+    let mut out = [0.0f64; N];
+    for i in 0..N {
         let num = if x[i] >= 0.0 { 1.0 } else { e[i] };
         out[i] = num / (1.0 + e[i]);
     }
     out
 }
 
-/// Element-wise [`sigmoid`] of `xs` into `out`, four lanes at a time.
+/// Element-wise [`sigmoid`] of `xs` into `out`: sixteen lanes at a time
+/// while the slice lasts, then four, then scalar.
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
 pub fn sigmoid_slice(xs: &[f64], out: &mut [f64]) {
     assert_eq!(xs.len(), out.len(), "sigmoid_slice length mismatch");
-    let mut oc = out.chunks_exact_mut(4);
-    let mut ic = xs.chunks_exact(4);
+    let mut oc16 = out.chunks_exact_mut(16);
+    let mut ic16 = xs.chunks_exact(16);
+    for (o16, i16) in (&mut oc16).zip(&mut ic16) {
+        o16.copy_from_slice(&sigmoid16(i16.try_into().expect("exact chunk")));
+    }
+    let mut oc = oc16.into_remainder().chunks_exact_mut(4);
+    let mut ic = ic16.remainder().chunks_exact(4);
     for (o4, i4) in (&mut oc).zip(&mut ic) {
         o4.copy_from_slice(&sigmoid4([i4[0], i4[1], i4[2], i4[3]]));
     }
@@ -222,36 +266,54 @@ pub fn sigmoid_slice(xs: &[f64], out: &mut [f64]) {
     }
 }
 
-/// Four-lane [`exp`] core. Caller guarantees every lane is in `(-700, 700)`
-/// so none of the scalar function's clamp or subnormal branches can fire;
-/// on that range each lane reproduces `exp` bit-for-bit.
+/// Lane-generic [`exp`] core. Caller guarantees every lane is in
+/// `(-700, 700)` so none of the scalar function's clamp or subnormal
+/// branches can fire; on that range each lane reproduces `exp` bit-for-bit
+/// at any width (the per-lane op sequence never depends on `N`). Four
+/// lanes saturate SSE2 register width; sixteen keep four independent
+/// Taylor chains in flight so the multiplier pipeline stays full.
 #[inline]
-fn exp4_core(x: [f64; 4]) -> [f64; 4] {
-    type V = [f64; 4];
+fn exp_core<const N: usize>(x: [f64; N]) -> [f64; N] {
     #[inline(always)]
-    fn vdiv(a: V, d: f64) -> V {
-        [a[0] / d, a[1] / d, a[2] / d, a[3] / d]
+    fn vdiv<const N: usize>(a: [f64; N], d: f64) -> [f64; N] {
+        let mut o = [0.0f64; N];
+        for i in 0..N {
+            o[i] = a[i] / d;
+        }
+        o
     }
     #[inline(always)]
-    fn vmuls(a: V, s: f64) -> V {
-        [a[0] * s, a[1] * s, a[2] * s, a[3] * s]
+    fn vmuls<const N: usize>(a: [f64; N], s: f64) -> [f64; N] {
+        let mut o = [0.0f64; N];
+        for i in 0..N {
+            o[i] = a[i] * s;
+        }
+        o
     }
     #[inline(always)]
-    fn vmul(a: V, b: V) -> V {
-        [a[0] * b[0], a[1] * b[1], a[2] * b[2], a[3] * b[3]]
+    fn vmul<const N: usize>(a: [f64; N], b: [f64; N]) -> [f64; N] {
+        let mut o = [0.0f64; N];
+        for i in 0..N {
+            o[i] = a[i] * b[i];
+        }
+        o
     }
     #[inline(always)]
-    fn vadd(a: V, b: V) -> V {
-        [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]]
+    fn vadd<const N: usize>(a: [f64; N], b: [f64; N]) -> [f64; N] {
+        let mut o = [0.0f64; N];
+        for i in 0..N {
+            o[i] = a[i] + b[i];
+        }
+        o
     }
     const LN2: f64 = std::f64::consts::LN_2;
     // Same reduction as [`exp`]: the quotient stays a division, the ±0.5
     // rounding bias a select. (`x - kf·LN2` equals `x + kf·(-LN2)` exactly —
     // IEEE sign flips are exact — so the fused form below keeps `r`'s bits.)
     let q = vdiv(x, LN2);
-    let mut k = [0i64; 4];
-    let mut kf = [0.0f64; 4];
-    for i in 0..4 {
+    let mut k = [0i64; N];
+    let mut kf = [0.0f64; N];
+    for i in 0..N {
         let half = if x[i] >= 0.0 { 0.5 } else { -0.5 };
         k[i] = (q[i] + half) as i64;
         kf[i] = k[i] as f64;
@@ -266,7 +328,7 @@ fn exp4_core(x: [f64; 4]) -> [f64; 4] {
     let r11 = vdiv(r, 11.0);
     let r13 = vdiv(r, 13.0);
     let mut term = r;
-    let mut sum = vadd([1.0; 4], term);
+    let mut sum = vadd([1.0; N], term);
     term = vmul(term, vmuls(r, 0.5));
     sum = vadd(sum, term);
     term = vmul(term, r3);
@@ -293,8 +355,8 @@ fn exp4_core(x: [f64; 4]) -> [f64; 4] {
     sum = vadd(sum, term);
     // In-range scale_by_pow2: `sum` is never zero and the shifted exponent
     // stays inside (0, 0x7ff), so the bit splice needs no branches.
-    let mut out = [0.0f64; 4];
-    for i in 0..4 {
+    let mut out = [0.0f64; N];
+    for i in 0..N {
         let bits = sum[i].to_bits();
         let exp_bits = ((bits >> 52) & 0x7ff) as i64;
         let new_exp = (exp_bits + k[i]) as u64;
@@ -496,12 +558,47 @@ mod tests {
 
     #[test]
     fn sigmoid_slice_handles_remainder_lanes() {
-        for len in 0..9 {
+        // Lengths crossing both the 16-lane and 4-lane chunk boundaries.
+        for len in 0..40 {
             let xs: Vec<f64> = (0..len).map(|i| i as f64 * 0.7 - 2.0).collect();
             let mut out = vec![0.0f64; len];
             sigmoid_slice(&xs, &mut out);
             for (&x, &got) in xs.iter().zip(&out) {
                 assert_eq!(got.to_bits(), sigmoid(x).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid16_bit_identical_to_scalar_everywhere() {
+        // Same sweep policy as the sigmoid4 test, taken 16 lanes at a time,
+        // with hard lanes (clamps, NaN, subnormal band) planted at varying
+        // positions so the whole-block demotion path is exercised too.
+        let mut xs: Vec<f64> = (0..4000).map(|i| (i as f64) * 0.37 - 740.0).collect();
+        let specials = [
+            -750.0,
+            -745.1,
+            -710.0,
+            -700.0001,
+            0.0,
+            -0.0,
+            699.9,
+            700.1,
+            750.0,
+            f64::NAN,
+            1e-300,
+        ];
+        for (i, &s) in specials.iter().enumerate() {
+            xs[i * 17 + i] = s; // stride 17 ≠ 16 → every lane index hit
+        }
+        for block in xs.chunks_exact(16) {
+            let got = sigmoid16(block.try_into().unwrap());
+            for (&x, &g) in block.iter().zip(&got) {
+                let want = sigmoid(x);
+                assert!(
+                    g.to_bits() == want.to_bits() || (g.is_nan() && want.is_nan()),
+                    "sigmoid16({x}): got {g:?}, want {want:?}"
+                );
             }
         }
     }

@@ -169,6 +169,7 @@ impl ModelBuilder {
             normalizer: None,
             row_buf: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
+            batch_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
             train_workers: 1,
         })
@@ -190,6 +191,10 @@ pub struct Model<S: Scalar> {
     row_buf: Vec<f64>,
     /// Reused input matrix fed to the graph (1×input_dim for inference).
     input_scratch: Matrix<S>,
+    /// Reused row-stacked input matrix for batched inference. Kept
+    /// separate from `input_scratch` so the single-row path's zero-alloc
+    /// guarantee is untouched by interleaved batch calls.
+    batch_scratch: Matrix<S>,
     /// Reused ∂L/∂pred buffer for training.
     loss_grad: Matrix<S>,
     /// Worker threads [`Model::train_batch`] may split row shards across.
@@ -218,6 +223,7 @@ impl<S: Scalar> Model<S> {
             normalizer,
             row_buf: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
+            batch_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
             train_workers: 1,
         })
@@ -337,19 +343,25 @@ impl<S: Scalar> Model<S> {
                 rhs: (1, self.input_dim),
             });
         }
-        self.row_buf.clear();
-        self.row_buf.extend_from_slice(features);
-        if let Some(n) = &self.normalizer {
-            n.apply_row(&mut self.row_buf)?;
-        }
         self.input_scratch.ensure_shape(1, self.input_dim);
-        for (dst, src) in self
-            .input_scratch
-            .as_mut_slice()
-            .iter_mut()
-            .zip(&self.row_buf)
-        {
-            *dst = S::from_f64(*src);
+        if let Some(n) = &self.normalizer {
+            self.row_buf.clear();
+            self.row_buf.extend_from_slice(features);
+            n.apply_row(&mut self.row_buf)?;
+            for (dst, src) in self
+                .input_scratch
+                .as_mut_slice()
+                .iter_mut()
+                .zip(&self.row_buf)
+            {
+                *dst = S::from_f64(*src);
+            }
+        } else {
+            // No normalizer: convert straight from the caller's slice —
+            // the same `from_f64` per element, minus the staging copy.
+            for (dst, &src) in self.input_scratch.as_mut_slice().iter_mut().zip(features) {
+                *dst = S::from_f64(src);
+            }
         }
         if S::USES_FPU {
             let _guard = fpu::FpuGuard::enter();
@@ -401,6 +413,117 @@ impl<S: Scalar> Model<S> {
             }
         }
         Ok(best)
+    }
+
+    /// Batched inference core: normalize each of the `rows` row-stacked
+    /// feature vectors into the reused batch matrix and run **one**
+    /// forward pass over all of them (a `rows × input_dim` matmul per
+    /// linear layer — the blocked-GEMM path the per-row loop can't reach).
+    ///
+    /// Bit-identical to `rows` single [`Model::infer_in_place`] calls:
+    /// normalization is per-row `f64` arithmetic, every layer is row-wise
+    /// (linear layers accumulate over `k` in ascending order for each
+    /// output element regardless of the row count — the blocked kernel is
+    /// separately proven bit-identical to that reference — and
+    /// activations are pure per-element maps), so row `i` of the batch
+    /// output depends only on row `i` of the input, computed in the same
+    /// operation order as a 1-row pass. `tests/batch_parity.rs` holds the
+    /// property proof across scalar types and batch shapes.
+    fn infer_batch_in_place(&mut self, features: &[f64], rows: usize) -> Result<&Matrix<S>> {
+        if features.len() != rows * self.input_dim {
+            return Err(KmlError::ShapeMismatch {
+                op: "infer_batch",
+                lhs: (rows, features.len().checked_div(rows).unwrap_or(0)),
+                rhs: (rows, self.input_dim),
+            });
+        }
+        let dim = self.input_dim;
+        self.batch_scratch.ensure_shape(rows, dim);
+        if let Some(n) = &self.normalizer {
+            for r in 0..rows {
+                self.row_buf.clear();
+                self.row_buf
+                    .extend_from_slice(&features[r * dim..(r + 1) * dim]);
+                n.apply_row(&mut self.row_buf)?;
+                for (dst, src) in self.batch_scratch.as_mut_slice()[r * dim..(r + 1) * dim]
+                    .iter_mut()
+                    .zip(&self.row_buf)
+                {
+                    *dst = S::from_f64(*src);
+                }
+            }
+        } else {
+            // No normalizer: one straight conversion sweep over the whole
+            // row-stacked batch (same `from_f64` per element as the staged
+            // route).
+            for (dst, &src) in self.batch_scratch.as_mut_slice().iter_mut().zip(features) {
+                *dst = S::from_f64(src);
+            }
+        }
+        if S::USES_FPU {
+            let _guard = fpu::FpuGuard::enter();
+            self.graph.forward_in_place(&self.batch_scratch)
+        } else {
+            self.graph.forward_in_place(&self.batch_scratch)
+        }
+    }
+
+    /// Batched [`Model::infer_into`]: `features` holds `rows` feature
+    /// vectors row-stacked (`rows × input_dim` values); `out` receives the
+    /// `rows × output_dim` raw outputs, row-stacked. One forward pass for
+    /// the whole batch, bit-identical to `rows` serial `infer_into` calls
+    /// (see [`Model::infer_batch_in_place`] for the argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::ShapeMismatch`] if
+    /// `features.len() != rows * input_dim`.
+    pub fn infer_batch_into(
+        &mut self,
+        features: &[f64],
+        rows: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        if rows == 0 {
+            out.clear();
+            return Ok(());
+        }
+        let pred = self.infer_batch_in_place(features, rows)?;
+        out.clear();
+        out.extend(pred.as_slice().iter().map(|v| v.to_f64()));
+        Ok(())
+    }
+
+    /// Batched [`Model::predict`]: argmax per row of a batched forward
+    /// pass. `classes` receives one class per input row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Model::infer_batch_into`].
+    pub fn predict_batch_into(
+        &mut self,
+        features: &[f64],
+        rows: usize,
+        classes: &mut Vec<usize>,
+    ) -> Result<()> {
+        if rows == 0 {
+            classes.clear();
+            return Ok(());
+        }
+        let out_dim = self.output_dim;
+        let out = self.infer_batch_in_place(features, rows)?.as_slice();
+        classes.clear();
+        for r in 0..rows {
+            let row = &out[r * out_dim..(r + 1) * out_dim];
+            let mut best = 0;
+            for (i, v) in row.iter().enumerate() {
+                if v.to_f64() > row[best].to_f64() {
+                    best = i;
+                }
+            }
+            classes.push(best);
+        }
+        Ok(())
     }
 
     /// One SGD step on a mini-batch of (already normalized) rows.

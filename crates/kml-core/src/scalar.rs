@@ -135,10 +135,23 @@ impl Scalar for f32 {
 
     fn sigmoid_map(input: &[Self], out: &mut [Self]) {
         assert_eq!(input.len(), out.len(), "sigmoid_map length mismatch");
-        // Widen each quad to f64 lanes; `sigmoid4` then narrows back exactly
-        // like the scalar `from_f64(sigmoid(to_f64(x)))` route.
-        let mut oc = out.chunks_exact_mut(4);
-        let mut ic = input.chunks_exact(4);
+        // Widen to f64 lanes — sixteen at a time while the slice lasts,
+        // then four — narrowing back exactly like the scalar
+        // `from_f64(sigmoid(to_f64(x)))` route.
+        let mut oc16 = out.chunks_exact_mut(16);
+        let mut ic16 = input.chunks_exact(16);
+        for (o16, i16) in (&mut oc16).zip(&mut ic16) {
+            let mut wide = [0.0f64; 16];
+            for (w, &x) in wide.iter_mut().zip(i16) {
+                *w = x as f64;
+            }
+            let y = crate::math::sigmoid16(&wide);
+            for (o, &v) in o16.iter_mut().zip(&y) {
+                *o = v as f32;
+            }
+        }
+        let mut oc = oc16.into_remainder().chunks_exact_mut(4);
+        let mut ic = ic16.remainder().chunks_exact(4);
         for (o4, i4) in (&mut oc).zip(&mut ic) {
             let y = crate::math::sigmoid4([i4[0] as f64, i4[1] as f64, i4[2] as f64, i4[3] as f64]);
             o4[0] = y[0] as f32;

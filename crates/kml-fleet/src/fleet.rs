@@ -1,0 +1,339 @@
+//! Fleet orchestration: shards of tenants in lockstep serving rounds.
+//!
+//! A fleet run is a sequence of rounds, each in three phases:
+//!
+//! 1. **Run** — shards execute in parallel ([`parallel_map`]); every
+//!    tenant issues operations until its tuner harvests a feature window
+//!    (or the round's op cap), recording each tenant-visible latency into
+//!    the shard's [`Log2Hist`].
+//! 2. **Serve** — the harvested windows are collected in shard-major,
+//!    tenant-minor order and answered by the shared
+//!    [`InferenceServer`] in coalesced batches (one `B × features`
+//!    forward pass per batch instead of one pass per tenant window).
+//! 3. **Route** — responses are scattered back to their shards, which
+//!    apply each class to its tenant's tuner in parallel.
+//!
+//! Determinism: tenants are derived from `(seed, tenant_id)` alone and
+//! sharded by `tenant_id % shards` — a fixed shard count independent of
+//! the worker count — and `parallel_map` returns shard results in shard
+//! order regardless of scheduling. The worker count therefore never
+//! influences any state, and the whole report is byte-identical at any
+//! `--threads` value. The serving phase is bit-identical to per-tenant
+//! serial inference (kml-core's `batch_parity` proptests plus the
+//! server's `verify_parity` mode), so batching changes wall-clock
+//! throughput and nothing else.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use kml_core::Result;
+use kml_platform::threading::{self, parallel_map};
+use kml_telemetry::{HistSnapshot, Log2Hist};
+
+use crate::server::{
+    FleetModels, InferRequest, InferResponse, InferenceServer, ModelKind, ServeOptions,
+};
+use crate::tenant::{FleetSampler, Tenant, TenantWorkload};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Serving rounds to execute.
+    pub rounds: usize,
+    /// Fleet seed: tenants, traffic, and links all derive from it.
+    pub seed: u64,
+    /// Shard count — fixed and independent of the worker count, so
+    /// results do not depend on available parallelism.
+    pub shards: usize,
+    /// Serving-policy knobs (batch size, serial baseline, parity checks).
+    pub options: ServeOptions,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            tenants: 2_048,
+            rounds: 4,
+            seed: 0xF1EE7,
+            shards: 64,
+            options: ServeOptions::default(),
+        }
+    }
+}
+
+/// The deterministic outcome of a fleet run — everything here is
+/// byte-identical across worker counts and between batched and
+/// serial-inference serving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Tenants simulated.
+    pub tenants: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Shards used.
+    pub shards: usize,
+    /// Tenants per model kind (`ModelKind::index` order).
+    pub kind_counts: [u64; 3],
+    /// Tenants per workload category (`TenantWorkload::POPULARITY` order).
+    pub workload_counts: [u64; 7],
+    /// Feature windows submitted to the server.
+    pub windows_submitted: u64,
+    /// Decisions served back.
+    pub decisions_returned: u64,
+    /// Decisions applied, per model kind.
+    pub decisions_applied: [u64; 3],
+    /// Model forward passes executed.
+    pub forward_passes: u64,
+    /// Batch-size distribution: `(size, batches)` ascending by size.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Aggregate tenant-visible operation latency (merged from the
+    /// per-shard histograms).
+    pub latency: HistSnapshot,
+}
+
+/// Outcome of a fleet run: the deterministic summary plus wall-clock
+/// serving throughput (which is machine-dependent by nature and must stay
+/// out of byte-compared artifacts).
+#[derive(Debug)]
+pub struct FleetReport {
+    /// The deterministic part.
+    pub summary: FleetSummary,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_secs: f64,
+}
+
+impl FleetReport {
+    /// Tuner-decision throughput: tenant windows served per wall-clock
+    /// second.
+    pub fn tenant_windows_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.summary.decisions_returned as f64 / self.wall_secs
+        }
+    }
+}
+
+/// One shard: a disjoint slice of the tenant population plus its local
+/// telemetry. Shards never touch each other's state.
+#[derive(Debug)]
+struct Shard {
+    tenants: Vec<Tenant>,
+    hist: Log2Hist,
+    pending: Vec<InferRequest>,
+    inbound: Vec<InferResponse>,
+}
+
+impl Shard {
+    fn run_round(&mut self) {
+        for tenant in &mut self.tenants {
+            if let Some(request) = tenant.run_round(&mut self.hist) {
+                self.pending.push(request);
+            }
+        }
+    }
+
+    fn apply_inbound(&mut self) {
+        for i in 0..self.inbound.len() {
+            let response = self.inbound[i];
+            let tenant = self
+                .tenants
+                .iter_mut()
+                .find(|t| t.id == response.tenant_id)
+                .expect("response routed to a shard that owns its tenant");
+            tenant.apply(&response);
+        }
+        self.inbound.clear();
+    }
+}
+
+/// Runs a fleet to completion.
+///
+/// # Errors
+///
+/// Propagates model inference failures.
+///
+/// # Panics
+///
+/// Panics if any serving invariant breaks: a window answered zero or
+/// multiple times, a decision routed to the wrong tenant or model kind,
+/// or (with [`ServeOptions::verify_parity`]) a batched class diverging
+/// from its serial counterpart.
+pub fn run_fleet(cfg: &FleetConfig, models: FleetModels) -> Result<FleetReport> {
+    let start = Instant::now();
+    let workers = threading::default_workers();
+    let shard_count = cfg.shards.max(1);
+    let sampler = FleetSampler::new();
+
+    // Build tenants sharded by id: shard s owns ids ≡ s (mod shards).
+    // Construction is derivation-only, so it parallelizes cleanly too.
+    let shard_ids: Vec<usize> = (0..shard_count).collect();
+    let shards: Vec<Mutex<Shard>> = parallel_map(&shard_ids, workers, |_, &s| {
+        let tenants = (s as u64..cfg.tenants as u64)
+            .step_by(shard_count)
+            .map(|id| Tenant::derive(cfg.seed, id, &sampler))
+            .collect();
+        Mutex::new(Shard {
+            tenants,
+            hist: Log2Hist::new(),
+            pending: Vec::new(),
+            inbound: Vec::new(),
+        })
+    });
+
+    let mut server = InferenceServer::new(models, cfg.options);
+    let mut windows_submitted = 0u64;
+    let mut decisions_returned = 0u64;
+    for _round in 0..cfg.rounds {
+        // Phase 1: run tenant traffic, shard-parallel.
+        parallel_map(&shards, workers, |_, shard| {
+            shard.lock().expect("shard lock").run_round();
+        });
+        // Phase 2: collect in shard-major order and serve one tick.
+        let mut requests: Vec<InferRequest> = Vec::new();
+        for shard in &shards {
+            requests.append(&mut shard.lock().expect("shard lock").pending);
+        }
+        windows_submitted += requests.len() as u64;
+        let responses = server.serve(&requests)?;
+        decisions_returned += responses.len() as u64;
+        assert_eq!(
+            requests.len(),
+            responses.len(),
+            "serving tick dropped or duplicated windows"
+        );
+        // Phase 3: scatter decisions back and apply, shard-parallel.
+        for response in responses {
+            let s = (response.tenant_id as usize) % shard_count;
+            shards[s].lock().expect("shard lock").inbound.push(response);
+        }
+        parallel_map(&shards, workers, |_, shard| {
+            shard.lock().expect("shard lock").apply_inbound();
+        });
+    }
+
+    // Merge shard telemetry and check the end-of-run invariants.
+    let mut hist = Log2Hist::new();
+    let mut kind_counts = [0u64; 3];
+    let mut workload_counts = [0u64; 7];
+    let mut decisions_applied = [0u64; 3];
+    let mut applied_total = 0u64;
+    for shard in &shards {
+        let shard = shard.lock().expect("shard lock");
+        hist.merge(&shard.hist);
+        for tenant in &shard.tenants {
+            assert!(
+                !tenant.outstanding,
+                "tenant {} ended the run with an unanswered window",
+                tenant.id
+            );
+            assert_eq!(tenant.windows_submitted, tenant.decisions_applied);
+            kind_counts[tenant.model_kind().index()] += 1;
+            workload_counts[tenant.workload.index()] += 1;
+            decisions_applied[tenant.model_kind().index()] += tenant.decisions_applied;
+            applied_total += tenant.decisions_applied;
+        }
+    }
+    assert_eq!(windows_submitted, decisions_returned);
+    assert_eq!(windows_submitted, applied_total);
+
+    let stats = server.stats();
+    Ok(FleetReport {
+        summary: FleetSummary {
+            tenants: cfg.tenants,
+            rounds: cfg.rounds,
+            shards: shard_count,
+            kind_counts,
+            workload_counts,
+            windows_submitted,
+            decisions_returned,
+            decisions_applied,
+            forward_passes: stats.forward_passes,
+            batch_sizes: stats.batch_sizes.iter().map(|(&s, &n)| (s, n)).collect(),
+            latency: hist.snapshot(),
+        },
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Convenience label for per-kind tables.
+pub fn kind_name(index: usize) -> &'static str {
+    ModelKind::ALL[index].name()
+}
+
+/// Convenience label for per-workload tables.
+pub fn workload_name(index: usize) -> &'static str {
+    TenantWorkload::POPULARITY[index].name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            tenants: 96,
+            rounds: 2,
+            shards: 16,
+            seed: 0xABCD,
+            options: ServeOptions::default(),
+        }
+    }
+
+    #[test]
+    fn a_small_fleet_runs_and_accounts_every_window_exactly_once() {
+        let cfg = small_cfg();
+        let report = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+        let s = &report.summary;
+        assert_eq!(s.tenants, 96);
+        assert_eq!(s.windows_submitted, s.decisions_returned);
+        assert_eq!(s.windows_submitted, s.decisions_applied.iter().sum::<u64>());
+        assert!(s.windows_submitted > 0, "no tenant harvested a window");
+        assert!(s.latency.count > 0, "no latencies recorded");
+        assert_eq!(s.kind_counts.iter().sum::<u64>(), 96);
+        assert_eq!(s.workload_counts.iter().sum::<u64>(), 96);
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_summary() {
+        let cfg = small_cfg();
+        let run_with = |threads: &str| {
+            // parallel_map reads KML_REPRO_THREADS through default_workers.
+            std::env::set_var(threading::WORKERS_ENV, threads);
+            let r = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+            std::env::remove_var(threading::WORKERS_ENV);
+            r.summary
+        };
+        let one = run_with("1");
+        let three = run_with("3");
+        let eight = run_with("8");
+        assert_eq!(one, three);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn batched_and_serial_serving_produce_identical_fleets() {
+        let cfg = small_cfg();
+        let batched = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+        let serial_cfg = FleetConfig {
+            options: ServeOptions {
+                serial_inference: true,
+                ..ServeOptions::default()
+            },
+            ..cfg
+        };
+        let serial = run_fleet(&serial_cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+        // Everything but the serving mechanics (forward-pass count and
+        // batch-size distribution) must match bit for bit.
+        let mut b = batched.summary.clone();
+        let mut s = serial.summary.clone();
+        assert!(b.forward_passes < s.forward_passes, "batching coalesced");
+        b.forward_passes = 0;
+        s.forward_passes = 0;
+        b.batch_sizes.clear();
+        s.batch_sizes.clear();
+        assert_eq!(b, s);
+    }
+}

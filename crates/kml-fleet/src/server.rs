@@ -1,0 +1,426 @@
+//! The shared model-inference server.
+//!
+//! Every tenant's tuner runs the same §3.3 loop, but in a fleet the
+//! inference step is the part worth centralizing: one window's feature
+//! vector is a single row, and the blocked-GEMM forward pass amortizes
+//! beautifully over row-stacked batches (one `B × features` matmul per
+//! layer instead of `B` single-row passes). The server coalesces the
+//! pending windows of a whole serving tick into per-model batches, runs
+//! each batch through [`kml_core::model::Model::predict_batch_into`], and
+//! routes every class back to the tenant that submitted the window.
+//!
+//! Batching changes *when* arithmetic happens, never *what* it computes:
+//! `tests/batch_parity.rs` in `kml-core` proves the batched forward is
+//! bit-identical to serial single-row inference, and the server's
+//! [`ServeOptions::verify_parity`] mode re-derives every batched class
+//! with a serial `predict` call and panics on any divergence (the DST
+//! fleet scenario runs with it on).
+
+use std::collections::BTreeMap;
+
+use kml_collect::FeatureBatch;
+use kml_core::model::Model;
+use kml_core::Result;
+
+/// Which of the fleet's shared models a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModelKind {
+    /// The readahead workload classifier (5 features → 4 classes).
+    Readahead,
+    /// The I/O-scheduler traffic classifier (4 features → 2 classes).
+    Iosched,
+    /// The NFS rsize link classifier (5 features → 2 classes).
+    Netfs,
+}
+
+impl ModelKind {
+    /// All kinds, in the fixed batching order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Readahead, ModelKind::Iosched, ModelKind::Netfs];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Readahead => "readahead",
+            ModelKind::Iosched => "iosched",
+            ModelKind::Netfs => "netfs",
+        }
+    }
+
+    /// Stable index into per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ModelKind::Readahead => 0,
+            ModelKind::Iosched => 1,
+            ModelKind::Netfs => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Upper bound on per-window feature dimensionality across the fleet's
+/// tuners (readahead and netfs use 5, iosched 4) — lets a request hold its
+/// features inline instead of heap-allocating per window.
+pub const MAX_FEATURES: usize = 5;
+
+/// One pending tenant window awaiting a class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferRequest {
+    /// The submitting tenant (globally unique across the fleet).
+    pub tenant_id: u64,
+    /// Which shared model serves this tenant.
+    pub kind: ModelKind,
+    /// The window's feature vector, inline (first `dim` entries valid).
+    pub features: [f64; MAX_FEATURES],
+    /// Valid feature count.
+    pub dim: usize,
+}
+
+impl InferRequest {
+    /// The valid feature slice.
+    pub fn features(&self) -> &[f64] {
+        &self.features[..self.dim]
+    }
+}
+
+/// A served class, tagged with the tenant that asked for it so routing
+/// mistakes are detectable (the DST fleet invariant checks the tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferResponse {
+    /// The tenant the class belongs to.
+    pub tenant_id: u64,
+    /// The model that produced it.
+    pub kind: ModelKind,
+    /// Predicted class.
+    pub class: usize,
+}
+
+/// The fleet's three shared classifiers.
+#[derive(Debug)]
+pub struct FleetModels {
+    /// Readahead workload classifier.
+    pub readahead: Model<f32>,
+    /// I/O-scheduler traffic classifier.
+    pub iosched: Model<f32>,
+    /// NFS rsize link classifier.
+    pub netfs: Model<f32>,
+}
+
+impl FleetModels {
+    /// Cheap deterministic stand-ins with the deployed topologies but no
+    /// training — decisions are arbitrary yet reproducible, which is all
+    /// the serving-infrastructure tests (parity, routing, exactly-once)
+    /// need. `repro fleet` swaps in the actually-trained models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction failures.
+    pub fn untrained(seed: u64) -> Result<FleetModels> {
+        use kml_core::model::ModelBuilder;
+        Ok(FleetModels {
+            // 5 → 15 → σ → 10 → σ → 4, the paper topology readahead deploys.
+            readahead: ModelBuilder::new(readahead::NUM_FEATURES)
+                .linear(15)
+                .sigmoid()
+                .linear(10)
+                .sigmoid()
+                .linear(4)
+                .seed(seed ^ 0xF1EE7)
+                .build::<f32>()?,
+            // 4 → 10 → σ → 2, matching `SchedTuner::train_model`.
+            iosched: ModelBuilder::new(iosched::tuner::NUM_SCHED_FEATURES)
+                .linear(10)
+                .sigmoid()
+                .linear(2)
+                .seed(seed ^ 0x5C4ED)
+                .build::<f32>()?,
+            // 5 → 10 → σ → 2, matching `train_rsize_model`.
+            netfs: ModelBuilder::new(netfs::tuner::NUM_RSIZE_FEATURES)
+                .linear(10)
+                .sigmoid()
+                .linear(2)
+                .seed(seed ^ 0x4E7F5)
+                .build::<f32>()?,
+        })
+    }
+
+    fn model_mut(&mut self, kind: ModelKind) -> &mut Model<f32> {
+        match kind {
+            ModelKind::Readahead => &mut self.readahead,
+            ModelKind::Iosched => &mut self.iosched,
+            ModelKind::Netfs => &mut self.netfs,
+        }
+    }
+}
+
+/// Serving-policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Largest batch per forward pass; pending requests beyond this are
+    /// split into further batches within the same tick.
+    pub max_batch: usize,
+    /// Serve every window with a single-row `predict` instead of batching
+    /// — the baseline configuration the fleet bench compares against.
+    pub serial_inference: bool,
+    /// Re-derive every batched class with a serial `predict` and panic on
+    /// divergence (the DST harness runs with this on).
+    pub verify_parity: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_batch: 256,
+            serial_inference: false,
+            verify_parity: false,
+        }
+    }
+}
+
+/// Cumulative serving statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Windows served.
+    pub requests: u64,
+    /// Forward passes executed (batched or single-row).
+    pub forward_passes: u64,
+    /// Batch-size distribution: `size → number of batches of that size`.
+    pub batch_sizes: BTreeMap<usize, u64>,
+}
+
+/// The shared batched-inference server.
+#[derive(Debug)]
+pub struct InferenceServer {
+    models: FleetModels,
+    options: ServeOptions,
+    stats: ServerStats,
+    // Reused per-kind staging buffers so steady-state serving allocates
+    // nothing (indexed by `ModelKind::index`).
+    batches: [FeatureBatch; 3],
+    classes: Vec<usize>,
+}
+
+impl InferenceServer {
+    /// Creates a server over the shared models.
+    pub fn new(models: FleetModels, options: ServeOptions) -> Self {
+        InferenceServer {
+            models,
+            options,
+            stats: ServerStats::default(),
+            batches: [
+                FeatureBatch::new(readahead::NUM_FEATURES),
+                FeatureBatch::new(iosched::tuner::NUM_SCHED_FEATURES),
+                FeatureBatch::new(netfs::tuner::NUM_RSIZE_FEATURES),
+            ],
+            classes: Vec::new(),
+        }
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The serving options in force.
+    pub fn options(&self) -> ServeOptions {
+        self.options
+    }
+
+    /// Serves one tick: answers every pending request, in order, exactly
+    /// once. Requests are grouped per model kind (in [`ModelKind::ALL`]
+    /// order, stable within a kind) and each group is chunked to
+    /// `max_batch` rows per forward pass; the returned responses are in
+    /// the same grouped order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model inference failures (dimension mismatch — a
+    /// deployment bug).
+    ///
+    /// # Panics
+    ///
+    /// With [`ServeOptions::verify_parity`] on, panics if any batched
+    /// class differs from its serially-derived counterpart.
+    pub fn serve(&mut self, requests: &[InferRequest]) -> Result<Vec<InferResponse>> {
+        let mut responses = Vec::with_capacity(requests.len());
+        for kind in ModelKind::ALL {
+            // Index-based grouping keeps the per-kind order identical to
+            // the submission order (shard-major, tenant-minor) — the
+            // stability the exactly-once accounting and the `--threads`
+            // byte-identity guarantee both lean on.
+            let group: Vec<&InferRequest> = requests.iter().filter(|r| r.kind == kind).collect();
+            for chunk in group.chunks(self.options.max_batch.max(1)) {
+                self.serve_chunk(kind, chunk, &mut responses)?;
+            }
+        }
+        self.stats.requests += requests.len() as u64;
+        Ok(responses)
+    }
+
+    fn serve_chunk(
+        &mut self,
+        kind: ModelKind,
+        chunk: &[&InferRequest],
+        responses: &mut Vec<InferResponse>,
+    ) -> Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        if self.options.serial_inference {
+            // Baseline mode: one single-row forward pass per window.
+            for req in chunk {
+                let class = self.models.model_mut(kind).predict(req.features())?;
+                self.stats.forward_passes += 1;
+                *self.stats.batch_sizes.entry(1).or_insert(0) += 1;
+                responses.push(InferResponse {
+                    tenant_id: req.tenant_id,
+                    kind,
+                    class,
+                });
+            }
+            return Ok(());
+        }
+        let batch = &mut self.batches[kind.index()];
+        batch.clear();
+        for req in chunk {
+            batch.push_row(req.features());
+        }
+        let model = self.models.model_mut(kind);
+        model.predict_batch_into(batch.as_slice(), batch.rows(), &mut self.classes)?;
+        self.stats.forward_passes += 1;
+        *self.stats.batch_sizes.entry(chunk.len()).or_insert(0) += 1;
+        for (req, &class) in chunk.iter().zip(&self.classes) {
+            if self.options.verify_parity {
+                let serial = self.models.model_mut(kind).predict(req.features())?;
+                assert_eq!(
+                    serial, class,
+                    "batched class diverged from serial for tenant {} ({kind})",
+                    req.tenant_id
+                );
+            }
+            responses.push(InferResponse {
+                tenant_id: req.tenant_id,
+                kind,
+                class,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tenant_id: u64, kind: ModelKind, seed: u64) -> InferRequest {
+        let dim = match kind {
+            ModelKind::Iosched => 4,
+            _ => 5,
+        };
+        let mut features = [0.0; MAX_FEATURES];
+        for (i, f) in features.iter_mut().enumerate().take(dim) {
+            *f = ((seed.wrapping_mul(0x9E37_79B9) >> (i * 7)) & 0xFF) as f64 / 16.0;
+        }
+        InferRequest {
+            tenant_id,
+            kind,
+            features,
+            dim,
+        }
+    }
+
+    fn mixed_requests(n: u64) -> Vec<InferRequest> {
+        (0..n)
+            .map(|t| {
+                let kind = ModelKind::ALL[(t % 3) as usize];
+                req(t, kind, t * 31 + 7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_serving_matches_serial_serving_exactly() {
+        let requests = mixed_requests(97);
+        let mut batched = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                max_batch: 16,
+                ..ServeOptions::default()
+            },
+        );
+        let mut serial = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                serial_inference: true,
+                ..ServeOptions::default()
+            },
+        );
+        let a = batched.serve(&requests).unwrap();
+        let b = serial.serve(&requests).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), requests.len());
+        // Batched mode coalesced: far fewer forward passes than windows.
+        assert!(batched.stats().forward_passes < serial.stats().forward_passes);
+        assert_eq!(serial.stats().forward_passes, 97);
+    }
+
+    #[test]
+    fn every_request_is_answered_exactly_once_with_its_own_tag() {
+        let requests = mixed_requests(41);
+        let mut server =
+            InferenceServer::new(FleetModels::untrained(3).unwrap(), ServeOptions::default());
+        let responses = server.serve(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        let mut seen: Vec<u64> = responses.iter().map(|r| r.tenant_id).collect();
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = requests.iter().map(|r| r.tenant_id).collect();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+        for r in &responses {
+            let orig = requests
+                .iter()
+                .find(|q| q.tenant_id == r.tenant_id)
+                .unwrap();
+            assert_eq!(orig.kind, r.kind, "response routed to the wrong model");
+        }
+    }
+
+    #[test]
+    fn verify_parity_mode_serves_cleanly() {
+        let requests = mixed_requests(64);
+        let mut server = InferenceServer::new(
+            FleetModels::untrained(5).unwrap(),
+            ServeOptions {
+                verify_parity: true,
+                max_batch: 8,
+                ..ServeOptions::default()
+            },
+        );
+        let responses = server.serve(&requests).unwrap();
+        assert_eq!(responses.len(), 64);
+    }
+
+    #[test]
+    fn batch_size_distribution_reflects_chunking() {
+        // 10 readahead requests at max_batch 4 → batches of 4, 4, 2.
+        let requests: Vec<InferRequest> = (0..10)
+            .map(|t| req(t, ModelKind::Readahead, t + 1))
+            .collect();
+        let mut server = InferenceServer::new(
+            FleetModels::untrained(9).unwrap(),
+            ServeOptions {
+                max_batch: 4,
+                ..ServeOptions::default()
+            },
+        );
+        server.serve(&requests).unwrap();
+        let sizes = &server.stats().batch_sizes;
+        assert_eq!(sizes.get(&4), Some(&2));
+        assert_eq!(sizes.get(&2), Some(&1));
+        assert_eq!(server.stats().forward_passes, 3);
+    }
+}

@@ -38,6 +38,7 @@ pub mod atomics;
 pub mod fileops;
 pub mod fpu;
 pub mod logging;
+pub mod sampler;
 pub mod threading;
 
 /// Which environment the KML code believes it is running in.

@@ -12,7 +12,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[cfg(feature = "enabled")]
 use std::sync::Arc;
 
-#[cfg(feature = "enabled")]
 const BUCKETS: usize = 65;
 
 #[cfg(feature = "enabled")]
@@ -45,7 +44,6 @@ impl std::fmt::Debug for HistogramCore {
     }
 }
 
-#[cfg(feature = "enabled")]
 #[inline]
 fn bucket_of(value: u64) -> usize {
     if value == 0 {
@@ -56,7 +54,6 @@ fn bucket_of(value: u64) -> usize {
 }
 
 /// Upper bound (exclusive) of bucket `b`; `1` for the zero bucket.
-#[cfg(feature = "enabled")]
 fn bucket_hi(b: usize) -> u64 {
     if b >= 64 {
         u64::MAX
@@ -66,7 +63,6 @@ fn bucket_hi(b: usize) -> u64 {
 }
 
 /// Lower bound (inclusive) of bucket `b`.
-#[cfg(feature = "enabled")]
 fn bucket_lo(b: usize) -> u64 {
     if b == 0 {
         0
@@ -171,7 +167,6 @@ impl HistSnapshot {
     }
 }
 
-#[cfg(feature = "enabled")]
 fn percentile_from(buckets: &[u64], count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
@@ -191,7 +186,6 @@ fn percentile_from(buckets: &[u64], count: u64, q: f64) -> u64 {
     bucket_hi(buckets.len() - 1)
 }
 
-#[cfg(feature = "enabled")]
 fn max_from(buckets: &[u64]) -> u64 {
     buckets
         .iter()
@@ -200,6 +194,83 @@ fn max_from(buckets: &[u64]) -> u64 {
         .find(|(_, &n)| n > 0)
         .map(|(b, _)| bucket_hi(b))
         .unwrap_or(0)
+}
+
+/// Plain single-owner log2 histogram — same bucketing as [`Histogram`],
+/// but unconditionally available (no `enabled` feature, no atomics) and
+/// **mergeable**: shard-local histograms fold into an aggregate with
+/// [`Log2Hist::merge`], and the merge is *exact* — merging per-shard
+/// histograms yields bit-for-bit the histogram of the concatenated
+/// samples, so fleet-wide p50/p99 are independent of how tenants were
+/// sharded. This is what makes `repro fleet` byte-identical at any
+/// `--threads` count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Hist::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Folds `other` into `self` (exact: bucket-wise addition).
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Bucket-resolution percentile estimate (midpoint of the containing
+    /// bucket), `q` in `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_from(&self.buckets, self.count, q)
+    }
+
+    /// Point-in-time summary, same shape as [`Histogram::snapshot`].
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum: self.sum,
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: max_from(&self.buckets),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +332,59 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.snapshot().mean(), 2.5);
+    }
+
+    /// The satellite exactness contract: merging per-shard histograms is
+    /// bit-identical to recording the concatenated sample stream into one
+    /// histogram — buckets, count, sum, and therefore every percentile.
+    #[test]
+    fn merge_of_shard_histograms_equals_histogram_of_concatenated_samples() {
+        // Deterministic value stream spanning many buckets (incl. zeros).
+        let mut x = 0x5EED_1234u64;
+        let samples: Vec<u64> = (0..10_000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if i % 97 == 0 {
+                    0
+                } else {
+                    x >> (x % 50) as u32
+                }
+            })
+            .collect();
+        for shards in [1usize, 3, 8] {
+            let mut parts: Vec<Log2Hist> = vec![Log2Hist::new(); shards];
+            let mut whole = Log2Hist::new();
+            for (i, &v) in samples.iter().enumerate() {
+                parts[i % shards].record(v);
+                whole.record(v);
+            }
+            let mut merged = Log2Hist::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged, whole, "{shards} shards");
+            assert_eq!(merged.snapshot(), whole.snapshot());
+        }
+    }
+
+    #[test]
+    fn log2hist_percentiles_match_the_atomic_histogram() {
+        let mut plain = Log2Hist::new();
+        for _ in 0..90 {
+            plain.record(100);
+        }
+        for _ in 0..9 {
+            plain.record(10_000);
+        }
+        plain.record(1_000_000);
+        let s = plain.snapshot();
+        assert_eq!(s.count, 100);
+        assert!((64..128).contains(&s.p50), "p50 {}", s.p50);
+        assert!((8_192..16_384).contains(&s.p99), "p99 {}", s.p99);
+        assert!(s.max >= 1_000_000);
+        assert_eq!(plain.sum(), 90 * 100 + 9 * 10_000 + 1_000_000);
+        // Empty histogram degenerates cleanly.
+        assert_eq!(Log2Hist::new().snapshot(), HistSnapshot::default());
     }
 
     #[cfg(feature = "enabled")]

@@ -52,7 +52,7 @@ pub mod snapshot;
 pub mod span;
 
 pub use export::PeriodicExporter;
-pub use hist::Histogram;
+pub use hist::{HistSnapshot, Histogram, Log2Hist};
 pub use ring::{EventRing, TelemetryEvent};
 pub use snapshot::{json_str, Snapshot};
 pub use span::{Span, Stage, StageSet};

@@ -166,6 +166,11 @@ pub enum RsizeTunerModel {
     NeuralNet(Box<Model<f32>>),
     /// A decision tree (the DST harness uses a deterministic stub tree).
     Tree(DecisionTree),
+    /// Inference is served by a shared fleet model server: the tenant's
+    /// harness calls [`RsizeTuner::poll_window`]/[`RsizeTuner::apply_class`]
+    /// around a batched remote prediction, so local `predict` is a
+    /// deployment error.
+    Remote,
 }
 
 impl RsizeTunerModel {
@@ -186,11 +191,15 @@ impl RsizeTunerModel {
     ///
     /// # Errors
     ///
-    /// Propagates dimension mismatches from the underlying model.
+    /// Propagates dimension mismatches from the underlying model, and
+    /// rejects local prediction on [`RsizeTunerModel::Remote`].
     pub fn predict(&mut self, features: &[f64]) -> Result<usize> {
         match self {
             RsizeTunerModel::NeuralNet(m) => m.predict(features),
             RsizeTunerModel::Tree(t) => t.predict(features),
+            RsizeTunerModel::Remote => Err(kml_core::KmlError::InvalidConfig(
+                "remote-served tuner has no local model".into(),
+            )),
         }
     }
 }
@@ -301,9 +310,31 @@ impl RsizeTuner {
     ///
     /// # Errors
     ///
-    /// Propagates model prediction failures (a deployment bug, not a
-    /// runtime condition).
+    /// Propagates model prediction failures (dimension mismatch, or a
+    /// [`RsizeTunerModel::Remote`] tuner driven locally — deployment bugs,
+    /// not runtime conditions).
     pub fn on_op(&mut self, mount: &mut NfsMount) -> Result<()> {
+        if let Some(features) = self.poll_window(mount) {
+            let class = {
+                let span = Span::start(&self.telemetry.stages.infer_ns);
+                let class = self.model.predict(&features)?;
+                span.finish();
+                class
+            };
+            self.apply_class(mount, class);
+        }
+        Ok(())
+    }
+
+    /// Drains RPC events and, when a window has closed with traffic in it,
+    /// rolls and returns the window's feature vector.
+    ///
+    /// The inference-free half of [`Self::on_op`]: the fleet's shared model
+    /// server batches the returned vectors across tenants and routes each
+    /// prediction back through [`Self::apply_class`]. The simulated clock
+    /// does not advance between the two calls, so the split loop is
+    /// bit-identical to the fused one.
+    pub fn poll_window(&mut self, mount: &mut NfsMount) -> Option<[f64; NUM_RSIZE_FEATURES]> {
         if !self.telemetry_bound {
             self.telemetry = LoopTelemetry::bind(mount.server().sim().telemetry());
             self.telemetry_bound = true;
@@ -318,52 +349,52 @@ impl RsizeTuner {
         let now = mount.now_ns();
         let end = *self.next_window_end.get_or_insert(now + self.window_ns);
         if now < end {
-            return Ok(());
-        }
-        if self.features.window_count() > 0 {
-            let features = {
-                let featurize = &self.telemetry.stages.featurize_ns;
-                let (fx, rsize) = (&mut self.features, f64::from(mount.rsize_kb()));
-                featurize.time(|| fx.roll_window(rsize))
-            };
-            let class = {
-                let span = Span::start(&self.telemetry.stages.infer_ns);
-                let class = self.model.predict(&features)?;
-                span.finish();
-                class
-            };
-            let target = self.policy.rsize_kb_for(class);
-            // Shrinking is always safe to apply now; only growth waits
-            // for confirmation (see the hysteresis field note).
-            let confirmed =
-                target <= mount.rsize_kb() || !self.hysteresis || self.last_class == Some(class);
-            self.last_class = Some(class);
-            let rsize_kb = if confirmed {
-                if target != mount.rsize_kb() {
-                    let span = Span::start(&self.telemetry.stages.actuate_ns);
-                    mount.set_rsize_kb(target);
-                    span.finish();
-                    self.telemetry.actuation_total.inc();
-                }
-                target
-            } else {
-                mount.rsize_kb()
-            };
-            self.telemetry.decision_total.inc();
-            self.telemetry.ring_dropped.set(self.consumer.dropped());
-            self.decisions.push(RsizeDecision {
-                time_ns: now,
-                class,
-                rsize_kb,
-            });
+            return None;
         }
         // Skip windows with no traffic entirely.
+        let features = if self.features.window_count() > 0 {
+            let featurize = &self.telemetry.stages.featurize_ns;
+            let (fx, rsize) = (&mut self.features, f64::from(mount.rsize_kb()));
+            Some(featurize.time(|| fx.roll_window(rsize)))
+        } else {
+            None
+        };
         let mut next = end;
         while next <= now {
             next += self.window_ns;
         }
         self.next_window_end = Some(next);
-        Ok(())
+        features
+    }
+
+    /// Applies a predicted class for the window most recently returned by
+    /// [`Self::poll_window`]: asymmetric hysteresis, actuation, and
+    /// decision logging. Shrinking is always safe to apply now; only
+    /// growth waits for confirmation (see the hysteresis field note).
+    pub fn apply_class(&mut self, mount: &mut NfsMount, class: usize) {
+        let now = mount.now_ns();
+        let target = self.policy.rsize_kb_for(class);
+        let confirmed =
+            target <= mount.rsize_kb() || !self.hysteresis || self.last_class == Some(class);
+        self.last_class = Some(class);
+        let rsize_kb = if confirmed {
+            if target != mount.rsize_kb() {
+                let span = Span::start(&self.telemetry.stages.actuate_ns);
+                mount.set_rsize_kb(target);
+                span.finish();
+                self.telemetry.actuation_total.inc();
+            }
+            target
+        } else {
+            mount.rsize_kb()
+        };
+        self.telemetry.decision_total.inc();
+        self.telemetry.ring_dropped.set(self.consumer.dropped());
+        self.decisions.push(RsizeDecision {
+            time_ns: now,
+            class,
+            rsize_kb,
+        });
     }
 
     /// All decisions taken so far.

@@ -13,7 +13,7 @@
 //! class's best readahead value from the [`RaPolicy`].
 
 use crate::datagen::workload_of_class;
-use crate::features::FeatureExtractor;
+use crate::features::{FeatureExtractor, FeatureVector};
 use kernel_sim::{Sim, TraceRecord};
 use kml_collect::ringbuf::Consumer;
 use kml_core::dtree::DecisionTree;
@@ -103,6 +103,11 @@ pub enum TunerModel {
     NeuralNet(Box<Model<f32>>),
     /// The comparison decision tree.
     Tree(DecisionTree),
+    /// Inference is served by a shared fleet model server: the tenant's
+    /// harness calls [`KmlTuner::poll_window`]/[`KmlTuner::apply_class`]
+    /// around a batched remote prediction, so local `predict` is a
+    /// deployment error.
+    Remote,
 }
 
 impl TunerModel {
@@ -110,11 +115,15 @@ impl TunerModel {
     ///
     /// # Errors
     ///
-    /// Propagates dimension mismatches from the underlying model.
+    /// Propagates dimension mismatches from the underlying model, and
+    /// rejects local prediction on [`TunerModel::Remote`].
     pub fn predict(&mut self, features: &[f64]) -> Result<usize> {
         match self {
             TunerModel::NeuralNet(m) => m.predict(features),
             TunerModel::Tree(t) => t.predict(features),
+            TunerModel::Remote => Err(kml_core::KmlError::InvalidConfig(
+                "remote-served tuner has no local model".into(),
+            )),
         }
     }
 }
@@ -191,9 +200,35 @@ impl KmlTuner {
     ///
     /// # Errors
     ///
-    /// Propagates model prediction failures (dimension mismatch — a
-    /// deployment bug, not a runtime condition).
+    /// Propagates model prediction failures (dimension mismatch, or a
+    /// [`TunerModel::Remote`] tuner driven locally — deployment bugs, not
+    /// runtime conditions).
     pub fn on_op(&mut self, sim: &mut Sim) -> Result<()> {
+        if let Some(features) = self.poll_window(sim) {
+            let class = {
+                // The span owns a cloned handle, so timing holds no borrow
+                // of self across the model call.
+                let span = Span::start(&self.telemetry.stages.infer_ns);
+                let class = self.model.predict(&features)?;
+                span.finish();
+                class
+            };
+            self.apply_class(sim, class);
+        }
+        Ok(())
+    }
+
+    /// Drains tracepoints and, when a window has closed with traffic in it,
+    /// rolls and returns the window's feature vector.
+    ///
+    /// This is `on_op` with the inference step cut out: the caller owns
+    /// what happens between `poll_window` returning `Some(features)` and
+    /// the matching [`Self::apply_class`] call. The fleet's shared model
+    /// server uses exactly that seam to batch feature vectors from many
+    /// tenants into one forward pass; because the simulated clock does not
+    /// advance between the two calls, the split loop is bit-identical to
+    /// the fused `on_op` loop.
+    pub fn poll_window(&mut self, sim: &mut Sim) -> Option<FeatureVector> {
         if !self.telemetry_bound {
             // Bind once to whatever registry the sim carries (a no-op
             // registry yields no-op handles, so unattached runs cost
@@ -211,60 +246,60 @@ impl KmlTuner {
         let now = sim.now_ns();
         let end = *self.next_window_end.get_or_insert(now + self.window_ns);
         if now < end {
-            return Ok(());
+            return None;
         }
-        // Window closed: infer and actuate (step 2-5 of the §3.3 flow).
-        // Hysteresis: actuate only when two consecutive windows agree, so a
-        // single misclassified window (the Figure 2 fluctuations) cannot
-        // whipsaw the readahead setting.
-        if self.extractor.window_count() > 0 {
-            let features = {
-                let featurize = &self.telemetry.stages.featurize_ns;
-                let (extractor, ra) = (&mut self.extractor, self.current_ra_kb as f64);
-                featurize.time(|| extractor.roll_window(ra))
-            };
-            let class = {
-                // The span owns a cloned handle, so timing holds no borrow
-                // of self across the model call.
-                let span = Span::start(&self.telemetry.stages.infer_ns);
-                let class = self.model.predict(&features)?;
-                span.finish();
-                class
-            };
-            let confirmed = !self.hysteresis || self.last_class == Some(class);
-            self.last_class = Some(class);
-            let ra_kb = if confirmed {
-                let target = self.policy.ra_kb_for(class);
-                if target != self.current_ra_kb {
-                    let span = Span::start(&self.telemetry.stages.actuate_ns);
-                    sim.set_ra_kb(target);
-                    span.finish();
-                    self.current_ra_kb = target;
-                    self.telemetry.actuation_total.inc();
-                }
-                target
-            } else {
-                self.current_ra_kb
-            };
-            self.telemetry.decision_total.inc();
-            if let Some(c) = self.telemetry.class_total.get(class) {
-                c.inc();
-            }
-            self.telemetry.ra_bytes.set(u64::from(ra_kb) * 1024);
-            self.telemetry.ring_dropped.set(self.consumer.dropped());
-            self.decisions.push(TunerDecision {
-                time_ns: now,
-                class,
-                ra_kb,
-            });
-        }
-        // Skip windows with no traffic entirely (nothing to learn from).
+        // Window closed: roll features unless the window was idle (idle
+        // windows are skipped entirely — nothing to learn from).
+        let features = if self.extractor.window_count() > 0 {
+            let featurize = &self.telemetry.stages.featurize_ns;
+            let (extractor, ra) = (&mut self.extractor, self.current_ra_kb as f64);
+            Some(featurize.time(|| extractor.roll_window(ra)))
+        } else {
+            None
+        };
         let mut next = end;
         while next <= now {
             next += self.window_ns;
         }
         self.next_window_end = Some(next);
-        Ok(())
+        features
+    }
+
+    /// Applies a predicted class for the window most recently returned by
+    /// [`Self::poll_window`]: hysteresis, actuation, and decision logging
+    /// (steps 4-5 of the §3.3 flow).
+    ///
+    /// Hysteresis: actuate only when two consecutive windows agree, so a
+    /// single misclassified window (the Figure 2 fluctuations) cannot
+    /// whipsaw the readahead setting.
+    pub fn apply_class(&mut self, sim: &mut Sim, class: usize) {
+        let now = sim.now_ns();
+        let confirmed = !self.hysteresis || self.last_class == Some(class);
+        self.last_class = Some(class);
+        let ra_kb = if confirmed {
+            let target = self.policy.ra_kb_for(class);
+            if target != self.current_ra_kb {
+                let span = Span::start(&self.telemetry.stages.actuate_ns);
+                sim.set_ra_kb(target);
+                span.finish();
+                self.current_ra_kb = target;
+                self.telemetry.actuation_total.inc();
+            }
+            target
+        } else {
+            self.current_ra_kb
+        };
+        self.telemetry.decision_total.inc();
+        if let Some(c) = self.telemetry.class_total.get(class) {
+            c.inc();
+        }
+        self.telemetry.ra_bytes.set(u64::from(ra_kb) * 1024);
+        self.telemetry.ring_dropped.set(self.consumer.dropped());
+        self.decisions.push(TunerDecision {
+            time_ns: now,
+            class,
+            ra_kb,
+        });
     }
 
     /// The readahead currently in force, KiB.
