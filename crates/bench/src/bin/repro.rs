@@ -167,6 +167,27 @@ fn with_schema(json_lines: &str, schema: &str) -> String {
     out
 }
 
+/// Writes a `.jsonl` results file with every object stamped with the
+/// kernel backend that produced it: `"backend"` is the dispatched SIMD
+/// backend (`scalar` under `KML_FORCE_SCALAR=1`) and `"q8"` whether the
+/// int8 serving engine's vector fast path is live on it — so downstream
+/// consumers can segment result lines by code path without re-deriving
+/// host capabilities.
+fn write_json_results(name: &str, json_lines: &str) -> Result<std::path::PathBuf, std::io::Error> {
+    let backend = kml_telemetry::json_str(kml_core::simd::backend_name());
+    let q8 = kml_core::simd::q8_vector_active();
+    let mut out = String::with_capacity(json_lines.len());
+    for line in json_lines.lines() {
+        if let Some(rest) = line.strip_prefix('{') {
+            out.push_str(&format!("{{\"backend\":{backend},\"q8\":{q8},{rest}\n"));
+        } else if !line.is_empty() {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    bench::write_results(name, &out)
+}
+
 /// E10 — fleet-scale serving: thousands of seed-derived tenants sharing
 /// one batched-inference model server (DESIGN.md §9).
 fn cmd_fleet(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
@@ -311,7 +332,7 @@ fn cmd_fleet(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
                 "{{\"schema\":\"fleet\",\"experiment\":\"e10_fleet\",\"batch_size\":{size},\"batches\":{n}}}\n"
             ));
         }
-        let jp = bench::write_results("e10_fleet.jsonl", &json_lines)?;
+        let jp = write_json_results("e10_fleet.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }
     Ok(())
@@ -416,7 +437,7 @@ fn cmd_netfs(quick: bool, json: bool) -> DynResult {
     let path = bench::write_results("e9_netfs.txt", &table)?;
     println!("written to {}\n", path.display());
     if json {
-        let jp = bench::write_results("e9_netfs.jsonl", &json_lines)?;
+        let jp = write_json_results("e9_netfs.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }
     Ok(())
@@ -677,7 +698,7 @@ fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
             bench::geometric_mean(&nvme_speedups),
             bench::geometric_mean(&ssd_speedups),
         ));
-        let jp = bench::write_results("e3_table2.jsonl", &json_lines)?;
+        let jp = write_json_results("e3_table2.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }
     Ok(())
@@ -790,7 +811,7 @@ fn cmd_dtree(cfg: &LoopConfig, json: bool) -> DynResult {
         trained.tree_training_accuracy * 100.0
     );
     if json {
-        let jp = bench::write_results("e6_dtree.jsonl", &json_lines)?;
+        let jp = write_json_results("e6_dtree.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }
     Ok(())
@@ -994,7 +1015,7 @@ fn cmd_overheads(cfg: &LoopConfig, json: bool) -> DynResult {
             ));
         }
         json_lines.push_str(&with_schema(&snap.to_json_lines("e5_inloop"), "overheads"));
-        let jp = bench::write_results("e5_overheads.jsonl", &json_lines)?;
+        let jp = write_json_results("e5_overheads.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
     }
     Ok(())

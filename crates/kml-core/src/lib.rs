@@ -30,7 +30,11 @@
 //! - [`recurrent`] — Elman RNNs and LSTMs with full BPTT (the paper's §6
 //!   future work, implemented).
 //! - [`quant`] — post-training int8 quantization for inference (the §3.1
-//!   compact-representation option).
+//!   compact-representation option), including the bounded-error Q8
+//!   serving engine used by the fleet tier.
+//! - [`simd`] — runtime-dispatched AVX2/AVX-512/NEON kernel backends,
+//!   bit-identical to the scalar blocked kernels (`KML_FORCE_SCALAR=1`
+//!   pins the scalar reference).
 //! - [`dataset`] / [`validate`] — in-memory datasets, Z-score normalization,
 //!   k-fold cross-validation.
 //!
@@ -80,6 +84,7 @@ pub mod quant;
 pub mod recurrent;
 pub mod scalar;
 pub mod scratch;
+pub mod simd;
 pub mod validate;
 
 /// Convenient re-exports of the most commonly used items.

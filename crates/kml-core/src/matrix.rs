@@ -267,6 +267,16 @@ impl<S: Scalar> Matrix<S> {
             });
         }
         out.ensure_shape(self.rows, rhs.cols);
+        if S::simd_matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        ) {
+            return Ok(());
+        }
         // SAFETY: the shape guard establishes `self.data.len() == rows·cols`
         // and `rhs.data.len() == cols·rhs.cols`; `ensure_shape` sized
         // `out.data` to `rows·rhs.cols` — exactly the bounds the kernel
@@ -319,6 +329,12 @@ impl<S: Scalar> Matrix<S> {
         let (m, kd, n) = (self.rows, self.cols, rhs.cols);
         if kd == 0 {
             out.fill(S::ZERO);
+            return Ok(());
+        }
+        // A dispatched SIMD backend streams B rows directly — the panel
+        // packing below only pays for itself on the scalar path, and both
+        // run the same ascending-k chains, so the result is bit-identical.
+        if S::simd_matmul(&self.data, &rhs.data, &mut out.data, m, kd, n) {
             return Ok(());
         }
         let (mt, nt) = (m / MR, n / NR); // full register tiles
@@ -434,6 +450,9 @@ impl<S: Scalar> Matrix<S> {
         }
         out.ensure_shape(self.rows, rhs.rows);
         let (m, n, kd) = (self.rows, rhs.rows, self.cols);
+        if S::simd_matmul_transpose(&self.data, &rhs.data, &mut out.data, m, n, kd) {
+            return Ok(());
+        }
         let ad = &self.data;
         let bd = &rhs.data;
         let mut i = 0;
@@ -517,6 +536,17 @@ impl<S: Scalar> Matrix<S> {
             });
         }
         out.ensure_shape(self.cols, rhs.cols);
+        if S::simd_transpose_matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            rhs.cols,
+            false,
+        ) {
+            return Ok(());
+        }
         // SAFETY: shape guard + ensure_shape establish the kernel bounds
         // (`self` is kd×mm, `rhs` is kd×n, `out` is mm×n).
         unsafe {
@@ -559,6 +589,17 @@ impl<S: Scalar> Matrix<S> {
                 lhs: self.shape(),
                 rhs: out.shape(),
             });
+        }
+        if S::simd_transpose_matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            rhs.cols,
+            true,
+        ) {
+            return Ok(());
         }
         // SAFETY: both guards above establish the kernel bounds.
         unsafe {

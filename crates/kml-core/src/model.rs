@@ -168,10 +168,13 @@ impl ModelBuilder {
             output_dim: dim,
             normalizer: None,
             row_buf: Vec::new(),
+            row_buf2: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
             batch_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
             train_workers: 1,
+            q8: None,
+            q8_dirty: false,
         })
     }
 }
@@ -189,6 +192,8 @@ pub struct Model<S: Scalar> {
     normalizer: Option<Normalizer>,
     /// Reused staging row for normalization; sized once on first inference.
     row_buf: Vec<f64>,
+    /// Second staging row for the Q8 pair path (batched serving).
+    row_buf2: Vec<f64>,
     /// Reused input matrix fed to the graph (1×input_dim for inference).
     input_scratch: Matrix<S>,
     /// Reused row-stacked input matrix for batched inference. Kept
@@ -199,6 +204,13 @@ pub struct Model<S: Scalar> {
     loss_grad: Matrix<S>,
     /// Worker threads [`Model::train_batch`] may split row shards across.
     train_workers: usize,
+    /// The bounded-error int8 serving engine, when enabled
+    /// ([`Model::enable_q8`]). `None` keeps every inference call on the
+    /// bit-exact `S` path.
+    q8: Option<crate::quant::Q8Engine>,
+    /// Set when parameters may have changed since the engine was built;
+    /// the next Q8 inference re-quantizes lazily.
+    q8_dirty: bool,
 }
 
 impl<S: Scalar> Model<S> {
@@ -222,10 +234,13 @@ impl<S: Scalar> Model<S> {
             output_dim,
             normalizer,
             row_buf: Vec::new(),
+            row_buf2: Vec::new(),
             input_scratch: Matrix::zeros(0, 0),
             batch_scratch: Matrix::zeros(0, 0),
             loss_grad: Matrix::zeros(0, 0),
             train_workers: 1,
+            q8: None,
+            q8_dirty: false,
         })
     }
 
@@ -245,8 +260,103 @@ impl<S: Scalar> Model<S> {
     }
 
     /// Mutable access to the underlying graph (e.g. for parameter loading).
+    /// Marks any enabled Q8 engine stale: it re-quantizes on the next
+    /// inference, since the caller may mutate parameters through this.
     pub fn graph_mut(&mut self) -> &mut Graph<S> {
+        self.q8_dirty = true;
         &mut self.graph
+    }
+
+    /// Routes inference (`predict`, `infer`, and the batch variants)
+    /// through the bounded-error int8 serving engine
+    /// ([`crate::quant::Q8Engine`]) instead of the bit-exact `S` path.
+    /// Weights are quantized now; training through
+    /// [`Model::train_batch`] (or touching [`Model::graph_mut`]) marks the
+    /// engine stale and it re-quantizes lazily before the next Q8 call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KmlError::InvalidConfig`] if the graph is not a chain of
+    /// Q8-supported layers (linear / sigmoid / relu).
+    pub fn enable_q8(&mut self) -> Result<()> {
+        self.q8 = Some(crate::quant::Q8Engine::from_graph(
+            &self.graph,
+            self.input_dim,
+            self.output_dim,
+        )?);
+        self.q8_dirty = false;
+        Ok(())
+    }
+
+    /// Returns inference to the bit-exact `S` path.
+    pub fn disable_q8(&mut self) {
+        self.q8 = None;
+    }
+
+    /// Whether inference currently routes through the Q8 engine.
+    pub fn q8_enabled(&self) -> bool {
+        self.q8.is_some()
+    }
+
+    /// Rebuilds a stale Q8 engine (post-training lazy re-quantization).
+    fn q8_refresh(&mut self) -> Result<()> {
+        if self.q8_dirty && self.q8.is_some() {
+            self.q8 = Some(crate::quant::Q8Engine::from_graph(
+                &self.graph,
+                self.input_dim,
+                self.output_dim,
+            )?);
+        }
+        self.q8_dirty = false;
+        Ok(())
+    }
+
+    /// Q8 single-row core: normalize into the staging row, run the int8
+    /// engine, return its borrowed `f32` logits. Caller has checked that
+    /// the engine is enabled.
+    fn q8_infer_row(&mut self, features: &[f64]) -> Result<&[f32]> {
+        if features.len() != self.input_dim {
+            return Err(KmlError::ShapeMismatch {
+                op: "infer",
+                lhs: (1, features.len()),
+                rhs: (1, self.input_dim),
+            });
+        }
+        self.q8_refresh()?;
+        self.row_buf.clear();
+        self.row_buf.extend_from_slice(features);
+        if let Some(n) = &self.normalizer {
+            n.apply_row(&mut self.row_buf)?;
+        }
+        let engine = self.q8.as_mut().expect("q8 engine enabled");
+        let _guard = fpu::FpuGuard::enter();
+        engine.infer_row(&self.row_buf)
+    }
+
+    /// Q8 two-row core for the batched serving paths: normalizes both rows
+    /// and runs them through the engine's software-pipelined pair kernel
+    /// ([`crate::quant::Q8Engine::infer_row_pair`]). Caller has checked
+    /// shapes and that the engine is enabled.
+    fn q8_infer_pair(&mut self, f0: &[f64], f1: &[f64]) -> Result<(&[f32], &[f32])> {
+        self.q8_refresh()?;
+        if self.normalizer.is_none() {
+            // No normalization → the feature slices feed the engine
+            // directly, skipping the staging copies.
+            let engine = self.q8.as_mut().expect("q8 engine enabled");
+            let _guard = fpu::FpuGuard::enter();
+            return engine.infer_row_pair(f0, f1);
+        }
+        self.row_buf.clear();
+        self.row_buf.extend_from_slice(f0);
+        self.row_buf2.clear();
+        self.row_buf2.extend_from_slice(f1);
+        if let Some(n) = &self.normalizer {
+            n.apply_row(&mut self.row_buf)?;
+            n.apply_row(&mut self.row_buf2)?;
+        }
+        let engine = self.q8.as_mut().expect("q8 engine enabled");
+        let _guard = fpu::FpuGuard::enter();
+        engine.infer_row_pair(&self.row_buf, &self.row_buf2)
     }
 
     /// Attaches a fitted normalizer applied before every forward pass.
@@ -378,6 +488,13 @@ impl<S: Scalar> Model<S> {
     ///
     /// Returns [`KmlError::ShapeMismatch`] if `features.len() != input_dim`.
     pub fn infer(&mut self, features: &[f64]) -> Result<Vec<f64>> {
+        if self.q8.is_some() {
+            return Ok(self
+                .q8_infer_row(features)?
+                .iter()
+                .map(|&v| v as f64)
+                .collect());
+        }
         Ok(self.infer_in_place(features)?.to_f64_vec())
     }
 
@@ -390,6 +507,15 @@ impl<S: Scalar> Model<S> {
     ///
     /// Same conditions as [`Model::infer`].
     pub fn infer_into(&mut self, features: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        if self.q8.is_some() {
+            let logits = self.q8_infer_row(features)?;
+            // Borrow of `self` ends before `out` is written (out is not ours).
+            let n = logits.len();
+            out.clear();
+            out.extend(logits.iter().map(|&v| v as f64));
+            debug_assert_eq!(out.len(), n);
+            return Ok(());
+        }
         let pred = self.infer_in_place(features)?;
         out.clear();
         out.extend(pred.as_slice().iter().map(|v| v.to_f64()));
@@ -405,6 +531,16 @@ impl<S: Scalar> Model<S> {
     ///
     /// Same conditions as [`Model::infer`].
     pub fn predict(&mut self, features: &[f64]) -> Result<usize> {
+        if self.q8.is_some() {
+            let out = self.q8_infer_row(features)?;
+            let mut best = 0;
+            for (i, v) in out.iter().enumerate() {
+                if *v > out[best] {
+                    best = i;
+                }
+            }
+            return Ok(best);
+        }
         let out = self.infer_in_place(features)?.as_slice();
         let mut best = 0;
         for (i, v) in out.iter().enumerate() {
@@ -488,6 +624,35 @@ impl<S: Scalar> Model<S> {
             out.clear();
             return Ok(());
         }
+        if self.q8.is_some() {
+            if features.len() != rows * self.input_dim {
+                return Err(KmlError::ShapeMismatch {
+                    op: "infer_batch",
+                    lhs: (rows, features.len().checked_div(rows).unwrap_or(0)),
+                    rhs: (rows, self.input_dim),
+                });
+            }
+            let dim = self.input_dim;
+            out.clear();
+            out.reserve(rows * self.output_dim);
+            // Rows go through the engine two at a time so their latency
+            // chains overlap (see `Q8Engine::infer_row_pair`).
+            let mut r = 0;
+            while r + 2 <= rows {
+                let (l0, l1) = self.q8_infer_pair(
+                    &features[r * dim..(r + 1) * dim],
+                    &features[(r + 1) * dim..(r + 2) * dim],
+                )?;
+                out.extend(l0.iter().map(|&v| v as f64));
+                out.extend(l1.iter().map(|&v| v as f64));
+                r += 2;
+            }
+            if r < rows {
+                let logits = self.q8_infer_row(&features[r * dim..(r + 1) * dim])?;
+                out.extend(logits.iter().map(|&v| v as f64));
+            }
+            return Ok(());
+        }
         let pred = self.infer_batch_in_place(features, rows)?;
         out.clear();
         out.extend(pred.as_slice().iter().map(|v| v.to_f64()));
@@ -508,6 +673,44 @@ impl<S: Scalar> Model<S> {
     ) -> Result<()> {
         if rows == 0 {
             classes.clear();
+            return Ok(());
+        }
+        if self.q8.is_some() {
+            if features.len() != rows * self.input_dim {
+                return Err(KmlError::ShapeMismatch {
+                    op: "predict_batch",
+                    lhs: (rows, features.len().checked_div(rows).unwrap_or(0)),
+                    rhs: (rows, self.input_dim),
+                });
+            }
+            let dim = self.input_dim;
+            classes.clear();
+            classes.reserve(rows);
+            fn argmax(logits: &[f32]) -> usize {
+                let mut best = 0;
+                for (i, &v) in logits.iter().enumerate() {
+                    if v > logits[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            // Paired rows, same as `infer_batch_into`.
+            let mut r = 0;
+            while r + 2 <= rows {
+                let (l0, l1) = self.q8_infer_pair(
+                    &features[r * dim..(r + 1) * dim],
+                    &features[(r + 1) * dim..(r + 2) * dim],
+                )?;
+                let (c0, c1) = (argmax(l0), argmax(l1));
+                classes.push(c0);
+                classes.push(c1);
+                r += 2;
+            }
+            if r < rows {
+                let logits = self.q8_infer_row(&features[r * dim..(r + 1) * dim])?;
+                classes.push(argmax(logits));
+            }
             return Ok(());
         }
         let out_dim = self.output_dim;
@@ -545,6 +748,8 @@ impl<S: Scalar> Model<S> {
         loss: &impl Loss,
         sgd: &mut Sgd,
     ) -> Result<f64> {
+        // Weight updates invalidate any pre-quantized Q8 serving engine.
+        self.q8_dirty = true;
         if self.shardable(input, target, loss) {
             if let Some(proto) = self.graph.clone_for_workers() {
                 return self.train_batch_sharded(input, target, loss, sgd, &proto);

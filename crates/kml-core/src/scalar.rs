@@ -100,6 +100,54 @@ pub trait Scalar:
             Self::ZERO
         }
     }
+
+    // Whole-operation SIMD hooks, dispatched per process by
+    // [`crate::simd::kernel_backend`]. Each returns `true` when a
+    // bit-identical vector kernel handled the operation, `false` when the
+    // caller must run the scalar blocked kernel. The defaults (always
+    // `false`) cover [`Fix32`], whose widening integer arithmetic stays on
+    // the scalar path; f32/f64 override. Hidden: these are kernel plumbing,
+    // not part of the scalar algebra.
+
+    /// `c[m×n] = a[m×kd]·b[kd×n]` via the dispatched SIMD backend.
+    #[doc(hidden)]
+    fn simd_matmul(
+        _a: &[Self],
+        _b: &[Self],
+        _c: &mut [Self],
+        _m: usize,
+        _kd: usize,
+        _n: usize,
+    ) -> bool {
+        false
+    }
+
+    /// `c[m×n] = a[m×kd]·b[n×kd]ᵀ` via the dispatched SIMD backend.
+    #[doc(hidden)]
+    fn simd_matmul_transpose(
+        _a: &[Self],
+        _b: &[Self],
+        _c: &mut [Self],
+        _m: usize,
+        _n: usize,
+        _kd: usize,
+    ) -> bool {
+        false
+    }
+
+    /// `c[mm×n] {=, +=} a[kd×mm]ᵀ·b[kd×n]` via the dispatched SIMD backend.
+    #[doc(hidden)]
+    fn simd_transpose_matmul(
+        _a: &[Self],
+        _b: &[Self],
+        _c: &mut [Self],
+        _mm: usize,
+        _kd: usize,
+        _n: usize,
+        _cont: bool,
+    ) -> bool {
+        false
+    }
 }
 
 impl Scalar for f32 {
@@ -135,6 +183,9 @@ impl Scalar for f32 {
 
     fn sigmoid_map(input: &[Self], out: &mut [Self]) {
         assert_eq!(input.len(), out.len(), "sigmoid_map length mismatch");
+        if crate::simd::sigmoid_map_f32(input, out) {
+            return;
+        }
         // Widen to f64 lanes — sixteen at a time while the slice lasts,
         // then four — narrowing back exactly like the scalar
         // `from_f64(sigmoid(to_f64(x)))` route.
@@ -162,6 +213,36 @@ impl Scalar for f32 {
         for (o, &x) in oc.into_remainder().iter_mut().zip(ic.remainder()) {
             *o = x.sigmoid();
         }
+    }
+
+    #[doc(hidden)]
+    fn simd_matmul(a: &[Self], b: &[Self], c: &mut [Self], m: usize, kd: usize, n: usize) -> bool {
+        crate::simd::matmul_f32(a, b, c, m, kd, n)
+    }
+
+    #[doc(hidden)]
+    fn simd_matmul_transpose(
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        m: usize,
+        n: usize,
+        kd: usize,
+    ) -> bool {
+        crate::simd::matmul_transpose_f32(a, b, c, m, n, kd)
+    }
+
+    #[doc(hidden)]
+    fn simd_transpose_matmul(
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        mm: usize,
+        kd: usize,
+        n: usize,
+        cont: bool,
+    ) -> bool {
+        crate::simd::transpose_matmul_f32(a, b, c, mm, kd, n, cont)
     }
 }
 
@@ -197,7 +278,41 @@ impl Scalar for f64 {
     }
 
     fn sigmoid_map(input: &[Self], out: &mut [Self]) {
+        assert_eq!(input.len(), out.len(), "sigmoid_map length mismatch");
+        if crate::simd::sigmoid_map_f64(input, out) {
+            return;
+        }
         crate::math::sigmoid_slice(input, out);
+    }
+
+    #[doc(hidden)]
+    fn simd_matmul(a: &[Self], b: &[Self], c: &mut [Self], m: usize, kd: usize, n: usize) -> bool {
+        crate::simd::matmul_f64(a, b, c, m, kd, n)
+    }
+
+    #[doc(hidden)]
+    fn simd_matmul_transpose(
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        m: usize,
+        n: usize,
+        kd: usize,
+    ) -> bool {
+        crate::simd::matmul_transpose_f64(a, b, c, m, n, kd)
+    }
+
+    #[doc(hidden)]
+    fn simd_transpose_matmul(
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        mm: usize,
+        kd: usize,
+        n: usize,
+        cont: bool,
+    ) -> bool {
+        crate::simd::transpose_matmul_f64(a, b, c, mm, kd, n, cont)
     }
 }
 

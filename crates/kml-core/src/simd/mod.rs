@@ -1,0 +1,438 @@
+//! Runtime-dispatched explicit-SIMD kernel backends.
+//!
+//! The scalar blocked kernels in [`crate::matrix`] define the arithmetic
+//! contract: every GEMM output element is a single ascending-`k` chain of
+//! `add(mul(..))` steps (never an FMA contraction), `Matrix::dot` is exactly
+//! four stride-4 accumulator chains reduced in a fixed order, and the
+//! activation lanes reproduce [`crate::math::sigmoid`] bit-for-bit per lane.
+//! Any vectorization that keeps those chains intact — vectorizing across
+//! *output columns* while walking `k` in ascending order with separate
+//! multiply and add instructions — produces bit-identical results at any
+//! lane width, because each output element still sees the exact same
+//! sequence of IEEE operations. That is the invariant every kernel in this
+//! module maintains, and `tests/kernel_parity.rs` enforces it against the
+//! scalar reference for every arm the host CPU can run.
+//!
+//! Backends:
+//! - **scalar** — the existing blocked kernels; always available, and the
+//!   arithmetic ground truth. Forced with `KML_FORCE_SCALAR=1`.
+//! - **avx2** (x86_64, AVX2+FMA) — 8×f32 / 4×f64 lanes. FMA is used *only*
+//!   inside the Markstein constant-divisor division emulation of the
+//!   sigmoid kernel, which returns bits identical to a hardware `vdivpd`
+//!   (see [`x86`] module docs), never to contract a mul+add pair.
+//! - **avx512** (x86_64, AVX-512F) — 16×f32 / 8×f64 lanes, same contract.
+//! - **neon** (aarch64) — 4×f32 / 2×f64 lanes, same contract.
+//!
+//! Selection happens once per process (relaxed `OnceLock`), so the hot path
+//! pays one predictable load+branch. `Fix32` never dispatches: its widening
+//! integer arithmetic stays on the scalar path.
+//!
+//! The int8 (Q8) fleet-serving engine in [`crate::quant`] is *not* part of
+//! this bit-exact family: it is a bounded-error path gated by decision
+//! agreement, documented separately (DESIGN §10).
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+pub(crate) mod q8;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::sync::OnceLock;
+
+/// The kernel backend selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable scalar blocked kernels (the arithmetic reference).
+    Scalar,
+    /// x86_64 AVX2 + FMA.
+    Avx2,
+    /// x86_64 AVX-512F.
+    Avx512,
+    /// aarch64 NEON.
+    Neon,
+}
+
+impl KernelBackend {
+    /// Short name for logs, `repro --json` schema lines, and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
+            KernelBackend::Neon => "neon",
+        }
+    }
+
+    /// Stable small integer for telemetry gauges
+    /// (0 = scalar, 1 = avx2, 2 = avx512, 3 = neon).
+    pub fn gauge_value(self) -> u64 {
+        match self {
+            KernelBackend::Scalar => 0,
+            KernelBackend::Avx2 => 1,
+            KernelBackend::Avx512 => 2,
+            KernelBackend::Neon => 3,
+        }
+    }
+
+    fn is_simd(self) -> bool {
+        self != KernelBackend::Scalar
+    }
+}
+
+static BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+
+/// The backend every f32/f64 kernel dispatches to, detected once per
+/// process: `KML_FORCE_SCALAR=1` (or `true`) pins the scalar reference;
+/// otherwise the widest supported instruction set wins.
+pub fn kernel_backend() -> KernelBackend {
+    *BACKEND.get_or_init(detect)
+}
+
+/// [`KernelBackend::name`] of the selected backend.
+pub fn backend_name() -> &'static str {
+    kernel_backend().name()
+}
+
+/// Whether the bounded-error int8 serving engine ([`crate::quant`]) runs
+/// its vector fast path on the dispatched backend. `false` on scalar
+/// dispatch (including `KML_FORCE_SCALAR=1`) and on NEON hosts — those
+/// serve Q8 through the scalar reference engine instead.
+pub fn q8_vector_active() -> bool {
+    q8::active()
+}
+
+fn detect() -> KernelBackend {
+    if std::env::var("KML_FORCE_SCALAR")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+    {
+        return KernelBackend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::is_x86_feature_detected!("avx512f") {
+            return KernelBackend::Avx512;
+        }
+        if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+            return KernelBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return KernelBackend::Neon;
+        }
+    }
+    KernelBackend::Scalar
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch entry points (crate-internal; called from the `Scalar` hooks).
+// Each returns `false` when the scalar path should run instead.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($f32_512:path, $f32_256:path, $f32_neon:path, $args:tt) => {{
+        match kernel_backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the backend was selected by runtime feature detection.
+            KernelBackend::Avx512 => unsafe {
+                $f32_512 $args;
+                true
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            KernelBackend::Avx2 => unsafe {
+                $f32_256 $args;
+                true
+            },
+            #[cfg(target_arch = "aarch64")]
+            // SAFETY: as above.
+            KernelBackend::Neon => unsafe {
+                $f32_neon $args;
+                true
+            },
+            _ => false,
+        }
+    }};
+}
+
+pub(crate) fn matmul_f32(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    kd: usize,
+    n: usize,
+) -> bool {
+    dispatch!(
+        x86::matmul_f32_avx512,
+        x86::matmul_f32_avx2,
+        neon::matmul_f32,
+        (a, b, c, m, kd, n)
+    )
+}
+
+pub(crate) fn matmul_f64(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+) -> bool {
+    dispatch!(
+        x86::matmul_f64_avx512,
+        x86::matmul_f64_avx2,
+        neon::matmul_f64,
+        (a, b, c, m, kd, n)
+    )
+}
+
+pub(crate) fn transpose_matmul_f32(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    mm: usize,
+    kd: usize,
+    n: usize,
+    cont: bool,
+) -> bool {
+    dispatch!(
+        x86::transpose_matmul_f32_avx512,
+        x86::transpose_matmul_f32_avx2,
+        neon::transpose_matmul_f32,
+        (a, b, c, mm, kd, n, cont)
+    )
+}
+
+pub(crate) fn transpose_matmul_f64(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    mm: usize,
+    kd: usize,
+    n: usize,
+    cont: bool,
+) -> bool {
+    dispatch!(
+        x86::transpose_matmul_f64_avx512,
+        x86::transpose_matmul_f64_avx2,
+        neon::transpose_matmul_f64,
+        (a, b, c, mm, kd, n, cont)
+    )
+}
+
+pub(crate) fn matmul_transpose_f32(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    kd: usize,
+) -> bool {
+    if !kernel_backend().is_simd() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: every SIMD backend on x86_64 implies AVX2 (AVX-512 machines
+    // report AVX2 too); the dot kernels only use AVX/AVX2 encodings.
+    unsafe {
+        x86::matmul_transpose_f32(a, b, c, m, n, kd);
+        return true;
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: backend Neon was runtime-detected.
+    unsafe {
+        neon::matmul_transpose_f32(a, b, c, m, n, kd);
+        return true;
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+pub(crate) fn matmul_transpose_f64(
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    kd: usize,
+) -> bool {
+    if !kernel_backend().is_simd() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: see `matmul_transpose_f32`.
+    unsafe {
+        x86::matmul_transpose_f64(a, b, c, m, n, kd);
+        return true;
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: backend Neon was runtime-detected.
+    unsafe {
+        neon::matmul_transpose_f64(a, b, c, m, n, kd);
+        return true;
+    }
+    #[allow(unreachable_code)]
+    false
+}
+
+pub(crate) fn sigmoid_map_f32(input: &[f32], out: &mut [f32]) -> bool {
+    dispatch!(
+        x86::sigmoid_slice_f32_avx512,
+        x86::sigmoid_slice_f32_avx2,
+        neon::sigmoid_slice_f32,
+        (input, out)
+    )
+}
+
+pub(crate) fn sigmoid_map_f64(input: &[f64], out: &mut [f64]) -> bool {
+    dispatch!(
+        x86::sigmoid_slice_f64_avx512,
+        x86::sigmoid_slice_f64_avx2,
+        neon::sigmoid_slice_f64,
+        (input, out)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Per-arm entry points for the parity suite. Each runs one *specific* ISA
+// arm regardless of the dispatched backend, returning `false` when the host
+// CPU lacks the feature so tests can skip that arm. Not public API.
+// ---------------------------------------------------------------------------
+#[doc(hidden)]
+pub mod testing {
+    /// Which per-ISA arms the parity suite can exercise on this host.
+    pub fn available_arms() -> Vec<&'static str> {
+        let mut arms = Vec::new();
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+                arms.push("avx2");
+            }
+            if std::is_x86_feature_detected!("avx512f") {
+                arms.push("avx512");
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                arms.push("neon");
+            }
+        }
+        arms
+    }
+
+    macro_rules! arm_fn {
+        ($name:ident, $feat:expr, $inner:path,
+         ($($arg:ident: $ty:ty),*)) => {
+            pub fn $name($($arg: $ty),*) -> bool {
+                if !$feat {
+                    return false;
+                }
+                // SAFETY: guarded by the runtime feature check above.
+                unsafe { $inner($($arg),*) };
+                true
+            }
+        };
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod x86_arms {
+        use super::super::x86;
+        fn has_avx2() -> bool {
+            std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+        }
+        fn has_avx512() -> bool {
+            std::is_x86_feature_detected!("avx512f")
+        }
+
+        arm_fn!(avx2_matmul_f32, has_avx2(), x86::matmul_f32_avx2,
+            (a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize));
+        arm_fn!(avx2_matmul_f64, has_avx2(), x86::matmul_f64_avx2,
+            (a: &[f64], b: &[f64], c: &mut [f64], m: usize, kd: usize, n: usize));
+        arm_fn!(avx512_matmul_f32, has_avx512(), x86::matmul_f32_avx512,
+            (a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize));
+        arm_fn!(avx512_matmul_f64, has_avx512(), x86::matmul_f64_avx512,
+            (a: &[f64], b: &[f64], c: &mut [f64], m: usize, kd: usize, n: usize));
+        arm_fn!(avx2_transpose_matmul_f32, has_avx2(), x86::transpose_matmul_f32_avx2,
+            (a: &[f32], b: &[f32], c: &mut [f32], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(avx2_transpose_matmul_f64, has_avx2(), x86::transpose_matmul_f64_avx2,
+            (a: &[f64], b: &[f64], c: &mut [f64], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(avx512_transpose_matmul_f32, has_avx512(), x86::transpose_matmul_f32_avx512,
+            (a: &[f32], b: &[f32], c: &mut [f32], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(avx512_transpose_matmul_f64, has_avx512(), x86::transpose_matmul_f64_avx512,
+            (a: &[f64], b: &[f64], c: &mut [f64], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(simd_matmul_transpose_f32, has_avx2(), x86::matmul_transpose_f32,
+            (a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, kd: usize));
+        arm_fn!(simd_matmul_transpose_f64, has_avx2(), x86::matmul_transpose_f64,
+            (a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, kd: usize));
+        arm_fn!(avx2_sigmoid_f32, has_avx2(), x86::sigmoid_slice_f32_avx2,
+            (input: &[f32], out: &mut [f32]));
+        arm_fn!(avx2_sigmoid_f64, has_avx2(), x86::sigmoid_slice_f64_avx2,
+            (input: &[f64], out: &mut [f64]));
+        arm_fn!(avx512_sigmoid_f32, has_avx512(), x86::sigmoid_slice_f32_avx512,
+            (input: &[f32], out: &mut [f32]));
+        arm_fn!(avx512_sigmoid_f64, has_avx512(), x86::sigmoid_slice_f64_avx512,
+            (input: &[f64], out: &mut [f64]));
+    }
+    #[cfg(target_arch = "x86_64")]
+    pub use x86_arms::*;
+
+    #[cfg(target_arch = "aarch64")]
+    mod neon_arms {
+        use super::super::neon;
+        fn has_neon() -> bool {
+            std::arch::is_aarch64_feature_detected!("neon")
+        }
+
+        arm_fn!(neon_matmul_f32, has_neon(), neon::matmul_f32,
+            (a: &[f32], b: &[f32], c: &mut [f32], m: usize, kd: usize, n: usize));
+        arm_fn!(neon_matmul_f64, has_neon(), neon::matmul_f64,
+            (a: &[f64], b: &[f64], c: &mut [f64], m: usize, kd: usize, n: usize));
+        arm_fn!(neon_transpose_matmul_f32, has_neon(), neon::transpose_matmul_f32,
+            (a: &[f32], b: &[f32], c: &mut [f32], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(neon_transpose_matmul_f64, has_neon(), neon::transpose_matmul_f64,
+            (a: &[f64], b: &[f64], c: &mut [f64], mm: usize, kd: usize, n: usize, cont: bool));
+        arm_fn!(simd_matmul_transpose_f32, has_neon(), neon::matmul_transpose_f32,
+            (a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, kd: usize));
+        arm_fn!(simd_matmul_transpose_f64, has_neon(), neon::matmul_transpose_f64,
+            (a: &[f64], b: &[f64], c: &mut [f64], m: usize, n: usize, kd: usize));
+        arm_fn!(neon_sigmoid_f32, has_neon(), neon::sigmoid_slice_f32,
+            (input: &[f32], out: &mut [f32]));
+        arm_fn!(neon_sigmoid_f64, has_neon(), neon::sigmoid_slice_f64,
+            (input: &[f64], out: &mut [f64]));
+    }
+    #[cfg(target_arch = "aarch64")]
+    pub use neon_arms::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_stable_and_named() {
+        let b = kernel_backend();
+        assert_eq!(b, kernel_backend(), "dispatch must be one-time");
+        assert!(["scalar", "avx2", "avx512", "neon"].contains(&b.name()));
+        assert_eq!(backend_name(), b.name());
+    }
+
+    #[test]
+    fn gauge_values_are_distinct() {
+        let all = [
+            KernelBackend::Scalar,
+            KernelBackend::Avx2,
+            KernelBackend::Avx512,
+            KernelBackend::Neon,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.gauge_value(), b.gauge_value());
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! AVX2 fast path for the Q8 serving engine ([`crate::quant::Q8Engine`]).
+//!
+//! Unlike the f32/f64 kernels in this module's siblings, this makes **no
+//! bit-exactness claim** — the Q8 engine's contract is bounded error
+//! (≥99.5% decision agreement with the exact f32 model, gated in
+//! `kml-fleet`), so the vector path is free to reorder arithmetic and to
+//! substitute numerically-equivalent steps. It stays aligned with the
+//! scalar engine where it matters: the same round-to-nearest-even
+//! activation rounding (`vcvtps2dq` under the default MXCSR mode *is*
+//! `round_ties_even`), the same per-row symmetric scales for
+//! dynamic-range rows, and a sigmoid that stays inside the same absolute
+//! error budget ([`crate::quant::Q8_SIGMOID_MAX_ERR`]) as the scalar
+//! engine's piecewise-linear table (see [`sigmoid_scaled`]).
+//!
+//! The whole layer chain runs inside **one** `#[target_feature]` function
+//! — at ~2 GHz a 100 ns inference is ~200 cycles, so per-kernel call
+//! boundaries and redundant buffer passes are what kill the budget, not
+//! arithmetic. Two engine-specific fusions:
+//!
+//! - **Fixed-scale sigmoid quantization.** A sigmoid's range is statically
+//!   `[0, 1]`, so when the next layer is linear the activation scale is
+//!   pinned at `1/127` and the sigmoid evaluates `σ·127` directly,
+//!   rounding straight to `i16` — the separate amax scan + quantize pass
+//!   disappears. Dynamic amax quantization remains for the input row and
+//!   for `Relu` activations (unbounded range).
+//! - **Pair broadcasts are plain `i32` loads.** Quantized activations are
+//!   `i16`; the `(x₀, x₁)` pair a `vpmaddwd` step needs is exactly the
+//!   little-endian `i32` at byte offset `2·p`, so building the broadcast
+//!   costs one unaligned load + `vpbroadcastd`.
+//!
+//! Weight layout (prepared by [`crate::quant::Q8Linear`]): for input pair
+//! `p` and 8-output vector `v`, 16 `i16` lanes hold
+//! `[w[2p][8v+0], w[2p+1][8v+0], w[2p][8v+1], …]`, zero-padded, so one
+//! `madd` accumulates two inputs into eight `i32` outputs with no masking.
+//! Per-output scales/biases are zero-padded to the 8-lane boundary
+//! (padding lanes compute `0·acc + 0` and stay zero).
+//!
+//! Non-finite activations do not propagate the way the scalar engine's
+//! do (clamps land NaN lanes on a boundary knot) — acceptable under the
+//! bounded-error contract; the closed loops that care run the bit-exact
+//! f32 path.
+
+use crate::quant::Q8EngineLayer;
+
+/// Whether the Q8 vector path is usable on the dispatched backend (AVX2 or
+/// AVX-512 hosts; the kernels themselves only need avx2+fma).
+#[inline]
+pub(crate) fn active() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        matches!(
+            crate::simd::kernel_backend(),
+            crate::simd::KernelBackend::Avx2 | crate::simd::KernelBackend::Avx512
+        )
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runs the whole quantized layer chain over the engine's scratch buffers.
+/// On entry `a[..pad8(input_dim)]` holds the f32 input row, zero-padded;
+/// on success the final activations are in `a[..output_dim]`.
+///
+/// Returns `false` (computing nothing) unless [`active`].
+#[allow(unused_variables)]
+pub(crate) fn infer_chain(
+    layers: &[Q8EngineLayer],
+    a: &mut Vec<f32>,
+    b: &mut Vec<f32>,
+    xq: &mut [i16],
+    input_dim: usize,
+) -> bool {
+    if !active() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `active()` verified avx2+fma are dispatched on this CPU;
+        // buffer lengths are the engine's padded invariant (asserted below).
+        unsafe { infer_chain_avx2(layers, a, b, xq, input_dim) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[inline]
+fn pad8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn infer_chain_avx2(
+    layers: &[Q8EngineLayer],
+    a: &mut Vec<f32>,
+    b: &mut Vec<f32>,
+    xq: &mut [i16],
+    input_dim: usize,
+) {
+    // Narrow chains (every layer ≤ 16 wide — all the fleet serving
+    // topologies) run fully register-resident: activations live in two
+    // ymm registers and quantized codes in one, with no scratch-buffer
+    // round-trips between stages. The single row is latency-bound, so the
+    // ~6-cycle store-to-load forwarding per stage transition is a real
+    // fraction of the budget.
+    if layers.iter().all(|l| match l {
+        Q8EngineLayer::Linear(q) => q.in_dim <= 16 && q.out_dim <= 16,
+        _ => true,
+    }) {
+        infer_chain_reg(layers, a, input_dim);
+        return;
+    }
+    let mut width = input_dim;
+    // `quantized` tracks whether (`xq`, `sx`) or `a` holds the current
+    // activations; the chain always ends un-quantized (a linear layer or
+    // an unfused activation), leaving the result in `a`.
+    let mut sx = 0.0f32;
+    let mut quantized = false;
+    for (li, layer) in layers.iter().enumerate() {
+        match layer {
+            Q8EngineLayer::Linear(q) => {
+                debug_assert_eq!(width, q.in_dim);
+                debug_assert!(a.len() >= pad8(width) && b.len() >= q.outv8 * 8);
+                debug_assert!(xq.len() >= pad8(width) && xq.len() >= q.npairs * 2);
+                if !quantized {
+                    sx = quantize_dyn(&a[..pad8(width)], xq);
+                }
+                gemv(
+                    &q.wp,
+                    xq,
+                    q.npairs,
+                    q.outv8,
+                    sx,
+                    &q.swp,
+                    &q.biasp,
+                    &mut b[..q.outv8 * 8],
+                );
+                // Padding lanes computed `0·acc + 0`, so `b`'s zero
+                // invariant holds through `pad8(out_dim) == outv8·8`.
+                width = q.out_dim;
+                quantized = false;
+                std::mem::swap(a, b);
+            }
+            Q8EngineLayer::Sigmoid => {
+                debug_assert!(!quantized);
+                if matches!(layers.get(li + 1), Some(Q8EngineLayer::Linear(_))) {
+                    // Fused σ + fixed-scale quantization: range [0,1] pins
+                    // sx at 1/127. Padding lanes quantize σ(0)·127 → 64,
+                    // which is harmless: their weights are zero-padded.
+                    sigmoid_to_q(&a[..pad8(width)], xq);
+                    sx = 1.0 / 127.0;
+                    quantized = true;
+                } else {
+                    sigmoid_f32(&mut a[..pad8(width)]);
+                }
+            }
+            Q8EngineLayer::Relu => {
+                debug_assert!(!quantized);
+                relu_f32(&mut a[..pad8(width)]);
+            }
+        }
+    }
+}
+
+/// The register-resident variant of [`infer_chain_avx2`] for chains whose
+/// widths never exceed 16: activations stay in two `ymm` registers
+/// (`y0`/`y1`), quantized codes in one (16 `i16` lanes, so `i32` lane `p`
+/// *is* the `vpmaddwd` pair broadcast source — extracted with `vpermd`,
+/// never through memory). `a` supplies the padded input row and receives
+/// the final activations; nothing else touches the scratch buffers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn infer_chain_reg(layers: &[Q8EngineLayer], a: &mut [f32], input_dim: usize) {
+    use std::arch::x86_64::*;
+    let mut y0 = _mm256_loadu_ps(a.as_ptr());
+    // Lanes 8..16 of the scratch row may be stale from a previous call
+    // when the input itself is ≤ 8 wide; a hidden layer may still widen
+    // into them, so y1 starts explicitly zero in that case.
+    let mut y1 = if input_dim > 8 {
+        _mm256_loadu_ps(a.as_ptr().add(8))
+    } else {
+        _mm256_setzero_ps()
+    };
+    let mut codes = _mm256_setzero_si256();
+    let mut sx = 0.0f32;
+    let mut quantized = false;
+    for (li, layer) in layers.iter().enumerate() {
+        match layer {
+            Q8EngineLayer::Linear(q) => {
+                if !quantized {
+                    let (c, s) = quantize_reg(y0, y1);
+                    codes = c;
+                    sx = s;
+                }
+                let (a0, a1) = gemv_reg(q, codes, sx);
+                y0 = a0;
+                y1 = a1;
+                quantized = false;
+            }
+            Q8EngineLayer::Sigmoid => {
+                if matches!(layers.get(li + 1), Some(Q8EngineLayer::Linear(_))) {
+                    let q0 = _mm256_cvtps_epi32(sigmoid_scaled(y0, 127.0));
+                    let q1 = _mm256_cvtps_epi32(sigmoid_scaled(y1, 127.0));
+                    codes = pack_codes(q0, q1);
+                    sx = 1.0 / 127.0;
+                    quantized = true;
+                } else {
+                    y0 = sigmoid_scaled(y0, 1.0);
+                    y1 = sigmoid_scaled(y1, 1.0);
+                }
+            }
+            Q8EngineLayer::Relu => {
+                let zero = _mm256_setzero_ps();
+                y0 = _mm256_and_ps(y0, _mm256_cmp_ps::<_CMP_GT_OQ>(y0, zero));
+                y1 = _mm256_and_ps(y1, _mm256_cmp_ps::<_CMP_GT_OQ>(y1, zero));
+            }
+        }
+    }
+    _mm256_storeu_ps(a.as_mut_ptr(), y0);
+    if a.len() >= 16 {
+        _mm256_storeu_ps(a.as_mut_ptr().add(8), y1);
+    }
+}
+
+/// Runs **two** independent rows through a narrow quantized chain with
+/// their latency chains software-pipelined: the rows' instruction streams
+/// are interleaved (plain `[T; 2]` arrays, unrolled by the compiler), so
+/// while row 0's sigmoid waits on its FMA chain the out-of-order core
+/// retires row 1's — a single narrow row is pure latency (one ~250-µop
+/// call barely fills a quarter of the ROB), so pairing is where the
+/// serving tier's batched ticks win back real throughput.
+///
+/// `stage` holds row 0 at `[0..16]` and row 1 at `[16..32]` (both padded,
+/// pads zero through `pad8(input_dim)`); results are written back to the
+/// same slots. Returns `false` (computing nothing) unless the backend is
+/// active and the chain is register-narrow (`stride == 16`, every layer
+/// ≤ 16 wide) — the caller then falls back to two single-row passes.
+#[allow(unused_variables)]
+pub(crate) fn infer_chain2(
+    layers: &[Q8EngineLayer],
+    stage: &mut [f32],
+    input_dim: usize,
+    stride: usize,
+) -> bool {
+    if !active() || stride != 16 || input_dim > 16 || stage.len() < 32 {
+        return false;
+    }
+    if !layers.iter().all(|l| match l {
+        Q8EngineLayer::Linear(q) => q.in_dim <= 16 && q.out_dim <= 16,
+        _ => true,
+    }) {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `active()` verified avx2+fma; lengths checked above.
+        unsafe { infer_chain2_avx2(layers, stage, input_dim) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn infer_chain2_avx2(layers: &[Q8EngineLayer], stage: &mut [f32], input_dim: usize) {
+    use std::arch::x86_64::*;
+    let base = stage.as_mut_ptr();
+    let mut y0 = [_mm256_loadu_ps(base), _mm256_loadu_ps(base.add(16))];
+    // Same stale-lane rule as the single-row chain: lanes 8..16 of each
+    // row slot may hold a previous call's activations when the input is
+    // ≤ 8 wide.
+    let mut y1 = if input_dim > 8 {
+        [_mm256_loadu_ps(base.add(8)), _mm256_loadu_ps(base.add(24))]
+    } else {
+        [_mm256_setzero_ps(); 2]
+    };
+    let mut codes = [_mm256_setzero_si256(); 2];
+    let mut sx = [0.0f32; 2];
+    let mut quantized = false;
+    for (li, layer) in layers.iter().enumerate() {
+        match layer {
+            Q8EngineLayer::Linear(q) => {
+                if !quantized {
+                    for r in 0..2 {
+                        let (c, s) = quantize_reg(y0[r], y1[r]);
+                        codes[r] = c;
+                        sx[r] = s;
+                    }
+                }
+                for r in 0..2 {
+                    let (a0, a1) = gemv_reg(q, codes[r], sx[r]);
+                    y0[r] = a0;
+                    y1[r] = a1;
+                }
+                quantized = false;
+            }
+            Q8EngineLayer::Sigmoid => {
+                if matches!(layers.get(li + 1), Some(Q8EngineLayer::Linear(_))) {
+                    for r in 0..2 {
+                        let q0 = _mm256_cvtps_epi32(sigmoid_scaled(y0[r], 127.0));
+                        let q1 = _mm256_cvtps_epi32(sigmoid_scaled(y1[r], 127.0));
+                        codes[r] = pack_codes(q0, q1);
+                        sx[r] = 1.0 / 127.0;
+                    }
+                    quantized = true;
+                } else {
+                    for r in 0..2 {
+                        y0[r] = sigmoid_scaled(y0[r], 1.0);
+                        y1[r] = sigmoid_scaled(y1[r], 1.0);
+                    }
+                }
+            }
+            Q8EngineLayer::Relu => {
+                let zero = _mm256_setzero_ps();
+                for r in 0..2 {
+                    y0[r] = _mm256_and_ps(y0[r], _mm256_cmp_ps::<_CMP_GT_OQ>(y0[r], zero));
+                    y1[r] = _mm256_and_ps(y1[r], _mm256_cmp_ps::<_CMP_GT_OQ>(y1[r], zero));
+                }
+            }
+        }
+    }
+    for r in 0..2 {
+        _mm256_storeu_ps(base.add(r * 16), y0[r]);
+        _mm256_storeu_ps(base.add(r * 16 + 8), y1[r]);
+    }
+}
+
+/// One register-resident GEMV step shared by the single-row and paired
+/// chains: codes (16 `i16` lanes) × interleaved-pair weights → up to 16
+/// f32 outputs in two vectors. Padding outputs compute `0·acc + 0`, so
+/// the zero invariant survives in `y1` when the layer is ≤ 8 wide.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn gemv_reg(
+    q: &crate::quant::Q8Linear,
+    codes: std::arch::x86_64::__m256i,
+    sx: f32,
+) -> (std::arch::x86_64::__m256, std::arch::x86_64::__m256) {
+    use std::arch::x86_64::*;
+    debug_assert!(q.npairs <= 8 && q.outv8 <= 2);
+    let w = q.wp.as_ptr();
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    if q.outv8 == 1 {
+        for p in 0..q.npairs {
+            let xb = _mm256_permutevar8x32_epi32(codes, _mm256_set1_epi32(p as i32));
+            let wv = _mm256_loadu_si256(w.add(p * 16) as *const __m256i);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(wv, xb));
+        }
+    } else {
+        for p in 0..q.npairs {
+            let xb = _mm256_permutevar8x32_epi32(codes, _mm256_set1_epi32(p as i32));
+            let base = w.add(p * 32);
+            let wv0 = _mm256_loadu_si256(base as *const __m256i);
+            let wv1 = _mm256_loadu_si256(base.add(16) as *const __m256i);
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(wv0, xb));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(wv1, xb));
+        }
+    }
+    let sxv = _mm256_set1_ps(sx);
+    let y0 = _mm256_fmadd_ps(
+        _mm256_cvtepi32_ps(acc0),
+        _mm256_mul_ps(_mm256_loadu_ps(q.swp.as_ptr()), sxv),
+        _mm256_loadu_ps(q.biasp.as_ptr()),
+    );
+    let y1 = if q.outv8 == 2 {
+        _mm256_fmadd_ps(
+            _mm256_cvtepi32_ps(acc1),
+            _mm256_mul_ps(_mm256_loadu_ps(q.swp.as_ptr().add(8)), sxv),
+            _mm256_loadu_ps(q.biasp.as_ptr().add(8)),
+        )
+    } else {
+        _mm256_setzero_ps()
+    };
+    (y0, y1)
+}
+
+/// Narrows two `i32×8` code vectors into one ordered `i16×16` register:
+/// saturating pack, then a cross-lane quarter shuffle to restore
+/// `[q0[0..8], q1[0..8]]` order.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn pack_codes(
+    q0: std::arch::x86_64::__m256i,
+    q1: std::arch::x86_64::__m256i,
+) -> std::arch::x86_64::__m256i {
+    use std::arch::x86_64::*;
+    _mm256_permute4x64_epi64(_mm256_packs_epi32(q0, q1), 0b11_01_10_00)
+}
+
+/// Register form of [`quantize_dyn`] over 16 lanes held in two vectors.
+/// The reciprocal comes from `rcpss` (|rel err| ≤ 1.5·2⁻¹² — at most
+/// ~0.05 of a code, absorbed by the ±0.5 rounding bound and far inside
+/// the engine's error budget); the returned scale is the exact
+/// `amax/127`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn quantize_reg(
+    y0: std::arch::x86_64::__m256,
+    y1: std::arch::x86_64::__m256,
+) -> (std::arch::x86_64::__m256i, f32) {
+    use std::arch::x86_64::*;
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let m = _mm256_max_ps(_mm256_and_ps(y0, absmask), _mm256_and_ps(y1, absmask));
+    let hi = _mm256_extractf128_ps(m, 1);
+    let mut m4 = _mm_max_ps(_mm256_castps256_ps128(m), hi);
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+    let amax = _mm_cvtss_f32(m4);
+    let (sx, inv) = if amax == 0.0 {
+        (1.0, 1.0)
+    } else {
+        // Even with the reciprocal's overestimate, |y·inv| ≤ 127.047,
+        // which still rounds to code 127 — no overflow past ±127.
+        (amax * (1.0 / 127.0), _mm_cvtss_f32(_mm_rcp_ss(m4)) * 127.0)
+    };
+    let invv = _mm256_set1_ps(inv);
+    let q0 = _mm256_cvtps_epi32(_mm256_mul_ps(y0, invv));
+    let q1 = _mm256_cvtps_epi32(_mm256_mul_ps(y1, invv));
+    (pack_codes(q0, q1), sx)
+}
+
+/// Dynamic-range symmetric quantization: per-row `sx = amax/127` (1.0 for
+/// an all-zero row), round-to-nearest-even. `x.len()` is a multiple of 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn quantize_dyn(x: &[f32], xq: &mut [i16]) -> f32 {
+    use std::arch::x86_64::*;
+    let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let mut mx = _mm256_setzero_ps();
+    for c in 0..x.len() / 8 {
+        let v = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+        mx = _mm256_max_ps(mx, _mm256_and_ps(v, absmask));
+    }
+    let hi = _mm256_extractf128_ps(mx, 1);
+    let mut m4 = _mm_max_ps(_mm256_castps256_ps128(mx), hi);
+    m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    m4 = _mm_max_ss(m4, _mm_shuffle_ps(m4, m4, 1));
+    let amax = _mm_cvtss_f32(m4);
+    // One division on the critical path (`inv` gates every code); the
+    // returned scale is the cheap reciprocal-free product.
+    let (sx, invs) = if amax == 0.0 {
+        (1.0, 1.0)
+    } else {
+        (amax * (1.0 / 127.0), 127.0 / amax)
+    };
+    let inv = _mm256_set1_ps(invs);
+    for c in 0..x.len() / 8 {
+        let v = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(c * 8)), inv);
+        // vcvtps2dq rounds to nearest-even; |v| ≤ 127 by construction of
+        // sx, so the i32 → i16 saturation in packs never engages on
+        // finite inputs.
+        store_i32x8_as_i16(xq.as_mut_ptr().add(c * 8), _mm256_cvtps_epi32(v));
+    }
+    sx
+}
+
+/// `out[8v+l] = f32(Σ_p madd(wp, x)) · (sx·sw) + bias` — the vpmaddwd
+/// GEMV over the interleaved-pair weight layout.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemv(
+    wp: &[i16],
+    xq: &[i16],
+    npairs: usize,
+    outv8: usize,
+    sx: f32,
+    sw: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(wp.len() >= npairs * outv8 * 16);
+    debug_assert!(sw.len() >= outv8 * 8 && bias.len() >= outv8 * 8 && out.len() >= outv8 * 8);
+    let w = wp.as_ptr();
+    let xi = xq.as_ptr();
+    // Up to 4 output vectors per pass covers every fleet topology (≤32
+    // outputs); wider layers take further passes over the same xq.
+    let mut v0 = 0usize;
+    while v0 < outv8 {
+        let nv = (outv8 - v0).min(4);
+        let mut acc = [_mm256_setzero_si256(); 4];
+        for p in 0..npairs {
+            // The (x₀, x₁) i16 pair *is* the little-endian i32 at 2p.
+            let xb = _mm256_set1_epi32((xi.add(2 * p) as *const i32).read_unaligned());
+            let base = w.add((p * outv8 + v0) * 16);
+            for (v, a) in acc.iter_mut().enumerate().take(nv) {
+                let wv = _mm256_loadu_si256(base.add(v * 16) as *const __m256i);
+                *a = _mm256_add_epi32(*a, _mm256_madd_epi16(wv, xb));
+            }
+        }
+        let sxv = _mm256_set1_ps(sx);
+        for (v, a) in acc.iter().enumerate().take(nv) {
+            let o = (v0 + v) * 8;
+            let swv = _mm256_mul_ps(_mm256_loadu_ps(sw.as_ptr().add(o)), sxv);
+            let bv = _mm256_loadu_ps(bias.as_ptr().add(o));
+            let y = _mm256_fmadd_ps(_mm256_cvtepi32_ps(*a), swv, bv);
+            _mm256_storeu_ps(out.as_mut_ptr().add(o), y);
+        }
+        v0 += nv;
+    }
+}
+
+/// Gather-free vector sigmoid: `σ(x)·scale = scale / (1 + 2^(−x·log₂e))`,
+/// with `2^u` split as `2^⌊u⌉ · 2^f` — an exponent-field splice and a
+/// degree-3 Chebyshev polynomial for `2^f`, `f ∈ [−0.5, 0.5]`.
+///
+/// On the serving chain's tiny rows a single row is latency-bound, and a
+/// `vgatherdps`-based table interpolation keeps two ~20-cycle gathers on
+/// the critical path per 8 lanes; this straight-line version is pure
+/// FMA/convert latency. Error budget: the polynomial's relative error is
+/// < 1.0e-4 (the `1/(1+z)` map contracts it to < 2.5e-5 absolute) and the
+/// `rcpps` reciprocal adds ≤ 1.5·2⁻¹² ≈ 3.7e-4 relative, for a total
+/// absolute sigmoid error < 3.95e-4 — inside the same
+/// `Q8_SIGMOID_MAX_ERR` budget the scalar engine's piecewise-linear table
+/// documents (the two paths differ numerically, which is fine: the Q8
+/// contract is bounded error, not bit-exactness).
+///
+/// Inputs clamp to `[−8, 8]` first, mirroring the scalar table's
+/// saturation; the clamp's operand order sends NaN lanes to −8 (σ ≈ 0).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn sigmoid_scaled(v: std::arch::x86_64::__m256, scale: f32) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    // max(x, -8) yields its *second* operand on a NaN lane: NaN → −8.
+    let xc = _mm256_min_ps(_mm256_max_ps(v, _mm256_set1_ps(-8.0)), _mm256_set1_ps(8.0));
+    // u = −x·log₂e ∈ [−11.55, 11.55]; z = 2^u = e^(−x).
+    let u = _mm256_mul_ps(xc, _mm256_set1_ps(-std::f32::consts::LOG2_E));
+    let k = _mm256_cvtps_epi32(u); // round nearest-even: ⌊u⌉
+    let f = _mm256_sub_ps(u, _mm256_cvtepi32_ps(k));
+    // 2^f, f ∈ [−0.5, 0.5]: degree-3 Chebyshev fit, rel err < 1.0e-4.
+    let p = _mm256_fmadd_ps(
+        _mm256_fmadd_ps(
+            _mm256_fmadd_ps(
+                _mm256_set1_ps(5.583_828_3e-2),
+                f,
+                _mm256_set1_ps(2.426_394_8e-1),
+            ),
+            f,
+            _mm256_set1_ps(6.931_367_3e-1),
+        ),
+        f,
+        _mm256_set1_ps(9.999_245_6e-1),
+    );
+    // 2^k by exponent splice (k ∈ [−12, 12] keeps the biased field valid).
+    let e2k = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        k,
+        _mm256_set1_epi32(127),
+    )));
+    let z = _mm256_mul_ps(p, e2k);
+    // rcpps instead of a full divide: |rel err| ≤ 1.5·2⁻¹² ≈ 3.7e-4,
+    // which together with the polynomial keeps the total sigmoid error
+    // under `Q8_SIGMOID_MAX_ERR` while shaving the divider latency.
+    let r = _mm256_rcp_ps(_mm256_add_ps(z, _mm256_set1_ps(1.0)));
+    _mm256_mul_ps(r, _mm256_set1_ps(scale))
+}
+
+/// In-place f32 sigmoid (for a sigmoid that is the chain's last layer or
+/// feeds a non-linear successor).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn sigmoid_f32(x: &mut [f32]) {
+    use std::arch::x86_64::*;
+    for c in 0..x.len() / 8 {
+        let p = x.as_mut_ptr().add(c * 8);
+        let r = sigmoid_scaled(_mm256_loadu_ps(p), 1.0);
+        _mm256_storeu_ps(p, r);
+    }
+}
+
+/// Fused sigmoid + fixed-scale quantization: evaluates `σ·127` directly
+/// and rounds straight to `i16` codes (scale 1/127).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn sigmoid_to_q(x: &[f32], xq: &mut [i16]) {
+    use std::arch::x86_64::*;
+    for c in 0..x.len() / 8 {
+        let r = sigmoid_scaled(_mm256_loadu_ps(x.as_ptr().add(c * 8)), 127.0);
+        store_i32x8_as_i16(xq.as_mut_ptr().add(c * 8), _mm256_cvtps_epi32(r));
+    }
+}
+
+/// `if !(x > 0) { 0 }` over full lanes (padding zeros stay zero; NaN → 0,
+/// matching the scalar engine).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn relu_f32(x: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let zero = _mm256_setzero_ps();
+    for c in 0..x.len() / 8 {
+        let p = x.as_mut_ptr().add(c * 8);
+        let v = _mm256_loadu_ps(p);
+        let keep = _mm256_cmp_ps::<_CMP_GT_OQ>(v, zero);
+        _mm256_storeu_ps(p, _mm256_and_ps(v, keep));
+    }
+}
+
+/// Narrows 8 `i32` lanes to 8 contiguous `i16`s (saturating pack +
+/// cross-lane reorder).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+unsafe fn store_i32x8_as_i16(dst: *mut i16, q: std::arch::x86_64::__m256i) {
+    use std::arch::x86_64::*;
+    let packed = _mm256_packs_epi32(q, q);
+    let ordered = _mm256_permute4x64_epi64(packed, 0b00_00_10_00);
+    _mm_storeu_si128(dst as *mut __m128i, _mm256_castsi256_si128(ordered));
+}

@@ -1,0 +1,711 @@
+//! x86_64 kernel arms: AVX2(+FMA) and AVX-512F.
+//!
+//! Every GEMM arm vectorizes across *output columns* (the `j`/`n` axis) and
+//! walks the shared dimension `k` in ascending order with separate
+//! `vmulp*`/`vaddp*` instructions, so each output element sees exactly the
+//! scalar kernel's `add(mul(..))` chain — bit-identical at any lane width.
+//! `matmul_transpose` instead mirrors `Matrix::dot`'s four stride-4
+//! accumulator chains with one 4-lane vector (f64: ymm, f32: xmm) and the
+//! scalar reduction order.
+//!
+//! The sigmoid arms evaluate `crate::math::sigmoid`'s exact operation
+//! sequence lane-parallel. The seven constant-divisor divisions
+//! (`x/LN2`, `r/3 … r/13`) use Markstein's two-step emulation — with a
+//! correctly-rounded reciprocal `y = RN(1/c)`:
+//!
+//! ```text
+//! q0 = RN(a·y);  rr = RN(a − c·q0)  (FMA, residual is exact);
+//! q1 = RN(q0 + rr·y)
+//! ```
+//!
+//! which returns bits identical to hardware `vdivpd` for the normal-range
+//! inputs the easy path admits (validated exhaustively against `vdivpd`
+//! over millions of values at both lane widths before landing). The final
+//! `num/(1+e)` stays a real division. Blocks where any lane has
+//! `|x| ≥ 700`, or is NaN, fall back to per-lane `crate::math::sigmoid`
+//! (per-lane bits are identical on either path; the guard only picks the
+//! faster one).
+//!
+//! AVX-512 arms deliberately require only `avx512f`: bitwise ops on floats
+//! go through `_mm512_or_si512`/`_mm512_and_si512` with casts because the
+//! `_pd` forms are AVX-512DQ.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::arch::x86_64::*;
+
+const LN2: f64 = std::f64::consts::LN_2;
+
+// Sliding masks for AVX2 ragged edges: loading at offset `lanes - rem`
+// yields `rem` leading all-ones lanes. (AVX-512 uses mask registers.)
+static MASK_E32: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+static MASK_E64: [i64; 8] = [-1, -1, -1, -1, 0, 0, 0, 0];
+
+// ---------------------------------------------------------------------------
+// Masked load/store helpers (edge tiles with `rem ∈ 1..lanes` live columns).
+// Inactive lanes load as zero and are never stored; vmaskmov / maskz loads
+// do not fault on the masked-out tail.
+// ---------------------------------------------------------------------------
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mload_f32_avx2(p: *const f32, rem: usize) -> __m256 {
+    let mask = _mm256_loadu_si256(MASK_E32.as_ptr().add(8 - rem) as *const __m256i);
+    _mm256_maskload_ps(p, mask)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mstore_f32_avx2(p: *mut f32, rem: usize, v: __m256) {
+    let mask = _mm256_loadu_si256(MASK_E32.as_ptr().add(8 - rem) as *const __m256i);
+    _mm256_maskstore_ps(p, mask, v);
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mload_f64_avx2(p: *const f64, rem: usize) -> __m256d {
+    let mask = _mm256_loadu_si256(MASK_E64.as_ptr().add(4 - rem) as *const __m256i);
+    _mm256_maskload_pd(p, mask)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn mstore_f64_avx2(p: *mut f64, rem: usize, v: __m256d) {
+    let mask = _mm256_loadu_si256(MASK_E64.as_ptr().add(4 - rem) as *const __m256i);
+    _mm256_maskstore_pd(p, mask, v);
+}
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn mload_f32_avx512(p: *const f32, rem: usize) -> __m512 {
+    _mm512_maskz_loadu_ps(((1u32 << rem) - 1) as __mmask16, p)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn mstore_f32_avx512(p: *mut f32, rem: usize, v: __m512) {
+    _mm512_mask_storeu_ps(p, ((1u32 << rem) - 1) as __mmask16, v);
+}
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn mload_f64_avx512(p: *const f64, rem: usize) -> __m512d {
+    _mm512_maskz_loadu_pd(((1u32 << rem) - 1) as __mmask8, p)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn mstore_f64_avx512(p: *mut f64, rem: usize, v: __m512d) {
+    _mm512_mask_storeu_pd(p, ((1u32 << rem) - 1) as __mmask8, v);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM arms, stamped per ISA × element type.
+//
+// `matmul`:           C[m×n] = A[m×kd]·B[kd×n]    (chains start at zero)
+// `transpose_matmul`: C[mm×n] = Aᵀ·B with A kd×mm (cont: chains continue
+//                     from the existing C, the `_acc` variant's contract)
+//
+// Row blocks of 4 amortize each B-row vector load across four broadcast
+// multiplies; the j loop runs 2-wide tiles, then 1-wide, then one masked
+// edge tile. All of it lives inside a single `#[target_feature]` function
+// so nothing crosses a non-inlinable feature boundary.
+// ---------------------------------------------------------------------------
+
+macro_rules! gemm_arm {
+    (
+        feat: $feat:literal, ty: $ty:ty, lanes: $L:expr,
+        loadu: $loadu:ident, storeu: $storeu:ident, set1: $set1:ident,
+        setzero: $setzero:ident, add: $add:ident, mul: $mul:ident,
+        mload: $mload:ident, mstore: $mstore:ident,
+        matmul: $matmul:ident, rows: $rows:ident,
+        tmm: $tmm:ident, trows: $trows:ident,
+    ) => {
+        #[inline]
+        #[target_feature(enable = $feat)]
+        unsafe fn $rows<const R: usize>(
+            a: *const $ty,
+            b: *const $ty,
+            c: *mut $ty,
+            i: usize,
+            kd: usize,
+            n: usize,
+        ) {
+            const L: usize = $L;
+            let mut j = 0usize;
+            while j + 2 * L <= n {
+                let z = $setzero();
+                let mut acc = [[z; 2]; R];
+                for p in 0..kd {
+                    let b0 = $loadu(b.add(p * n + j));
+                    let b1 = $loadu(b.add(p * n + j + L));
+                    for r in 0..R {
+                        let av = $set1(*a.add((i + r) * kd + p));
+                        acc[r][0] = $add(acc[r][0], $mul(av, b0));
+                        acc[r][1] = $add(acc[r][1], $mul(av, b1));
+                    }
+                }
+                for r in 0..R {
+                    $storeu(c.add((i + r) * n + j), acc[r][0]);
+                    $storeu(c.add((i + r) * n + j + L), acc[r][1]);
+                }
+                j += 2 * L;
+            }
+            while j + L <= n {
+                let mut acc = [$setzero(); R];
+                for p in 0..kd {
+                    let b0 = $loadu(b.add(p * n + j));
+                    for r in 0..R {
+                        let av = $set1(*a.add((i + r) * kd + p));
+                        acc[r] = $add(acc[r], $mul(av, b0));
+                    }
+                }
+                for r in 0..R {
+                    $storeu(c.add((i + r) * n + j), acc[r]);
+                }
+                j += L;
+            }
+            if j < n {
+                let rem = n - j;
+                let mut acc = [$setzero(); R];
+                for p in 0..kd {
+                    let b0 = $mload(b.add(p * n + j), rem);
+                    for r in 0..R {
+                        let av = $set1(*a.add((i + r) * kd + p));
+                        acc[r] = $add(acc[r], $mul(av, b0));
+                    }
+                }
+                for r in 0..R {
+                    $mstore(c.add((i + r) * n + j), rem, acc[r]);
+                }
+            }
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(super) unsafe fn $matmul(
+            a: &[$ty],
+            b: &[$ty],
+            c: &mut [$ty],
+            m: usize,
+            kd: usize,
+            n: usize,
+        ) {
+            debug_assert!(a.len() >= m * kd && b.len() >= kd * n && c.len() >= m * n);
+            let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+            let mut i = 0usize;
+            while i + 4 <= m {
+                $rows::<4>(ap, bp, cp, i, kd, n);
+                i += 4;
+            }
+            while i < m {
+                $rows::<1>(ap, bp, cp, i, kd, n);
+                i += 1;
+            }
+        }
+
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        #[target_feature(enable = $feat)]
+        unsafe fn $trows<const R: usize>(
+            a: *const $ty,
+            b: *const $ty,
+            c: *mut $ty,
+            i: usize,
+            mm: usize,
+            kd: usize,
+            n: usize,
+            cont: bool,
+        ) {
+            const L: usize = $L;
+            let mut j = 0usize;
+            while j + 2 * L <= n {
+                let z = $setzero();
+                let mut acc = [[z; 2]; R];
+                if cont {
+                    for r in 0..R {
+                        acc[r][0] = $loadu(c.add((i + r) * n + j));
+                        acc[r][1] = $loadu(c.add((i + r) * n + j + L));
+                    }
+                }
+                for p in 0..kd {
+                    let b0 = $loadu(b.add(p * n + j));
+                    let b1 = $loadu(b.add(p * n + j + L));
+                    for r in 0..R {
+                        let av = $set1(*a.add(p * mm + i + r));
+                        acc[r][0] = $add(acc[r][0], $mul(av, b0));
+                        acc[r][1] = $add(acc[r][1], $mul(av, b1));
+                    }
+                }
+                for r in 0..R {
+                    $storeu(c.add((i + r) * n + j), acc[r][0]);
+                    $storeu(c.add((i + r) * n + j + L), acc[r][1]);
+                }
+                j += 2 * L;
+            }
+            while j + L <= n {
+                let mut acc = [$setzero(); R];
+                if cont {
+                    for r in 0..R {
+                        acc[r] = $loadu(c.add((i + r) * n + j));
+                    }
+                }
+                for p in 0..kd {
+                    let b0 = $loadu(b.add(p * n + j));
+                    for r in 0..R {
+                        let av = $set1(*a.add(p * mm + i + r));
+                        acc[r] = $add(acc[r], $mul(av, b0));
+                    }
+                }
+                for r in 0..R {
+                    $storeu(c.add((i + r) * n + j), acc[r]);
+                }
+                j += L;
+            }
+            if j < n {
+                let rem = n - j;
+                let mut acc = [$setzero(); R];
+                if cont {
+                    for r in 0..R {
+                        acc[r] = $mload(c.add((i + r) * n + j), rem);
+                    }
+                }
+                for p in 0..kd {
+                    let b0 = $mload(b.add(p * n + j), rem);
+                    for r in 0..R {
+                        let av = $set1(*a.add(p * mm + i + r));
+                        acc[r] = $add(acc[r], $mul(av, b0));
+                    }
+                }
+                for r in 0..R {
+                    $mstore(c.add((i + r) * n + j), rem, acc[r]);
+                }
+            }
+        }
+
+        #[target_feature(enable = $feat)]
+        pub(super) unsafe fn $tmm(
+            a: &[$ty],
+            b: &[$ty],
+            c: &mut [$ty],
+            mm: usize,
+            kd: usize,
+            n: usize,
+            cont: bool,
+        ) {
+            debug_assert!(a.len() >= kd * mm && b.len() >= kd * n && c.len() >= mm * n);
+            let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+            let mut i = 0usize;
+            while i + 4 <= mm {
+                $trows::<4>(ap, bp, cp, i, mm, kd, n, cont);
+                i += 4;
+            }
+            while i < mm {
+                $trows::<1>(ap, bp, cp, i, mm, kd, n, cont);
+                i += 1;
+            }
+        }
+    };
+}
+
+gemm_arm! {
+    feat: "avx2", ty: f32, lanes: 8,
+    loadu: _mm256_loadu_ps, storeu: _mm256_storeu_ps, set1: _mm256_set1_ps,
+    setzero: _mm256_setzero_ps, add: _mm256_add_ps, mul: _mm256_mul_ps,
+    mload: mload_f32_avx2, mstore: mstore_f32_avx2,
+    matmul: matmul_f32_avx2, rows: matmul_rows_f32_avx2,
+    tmm: transpose_matmul_f32_avx2, trows: tmm_rows_f32_avx2,
+}
+
+gemm_arm! {
+    feat: "avx2", ty: f64, lanes: 4,
+    loadu: _mm256_loadu_pd, storeu: _mm256_storeu_pd, set1: _mm256_set1_pd,
+    setzero: _mm256_setzero_pd, add: _mm256_add_pd, mul: _mm256_mul_pd,
+    mload: mload_f64_avx2, mstore: mstore_f64_avx2,
+    matmul: matmul_f64_avx2, rows: matmul_rows_f64_avx2,
+    tmm: transpose_matmul_f64_avx2, trows: tmm_rows_f64_avx2,
+}
+
+gemm_arm! {
+    feat: "avx512f", ty: f32, lanes: 16,
+    loadu: _mm512_loadu_ps, storeu: _mm512_storeu_ps, set1: _mm512_set1_ps,
+    setzero: _mm512_setzero_ps, add: _mm512_add_ps, mul: _mm512_mul_ps,
+    mload: mload_f32_avx512, mstore: mstore_f32_avx512,
+    matmul: matmul_f32_avx512, rows: matmul_rows_f32_avx512,
+    tmm: transpose_matmul_f32_avx512, trows: tmm_rows_f32_avx512,
+}
+
+gemm_arm! {
+    feat: "avx512f", ty: f64, lanes: 8,
+    loadu: _mm512_loadu_pd, storeu: _mm512_storeu_pd, set1: _mm512_set1_pd,
+    setzero: _mm512_setzero_pd, add: _mm512_add_pd, mul: _mm512_mul_pd,
+    mload: mload_f64_avx512, mstore: mstore_f64_avx512,
+    matmul: matmul_f64_avx512, rows: matmul_rows_f64_avx512,
+    tmm: transpose_matmul_f64_avx512, trows: tmm_rows_f64_avx512,
+}
+
+// ---------------------------------------------------------------------------
+// matmul_transpose: rows of A dotted with rows of B.
+//
+// `Matrix::dot` is four stride-4 accumulator chains (lane l takes indices
+// ≡ l mod 4) reduced as ((l0+l1)+(l2+l3))+tail with a sequential scalar
+// tail — exactly one 4-lane vector's worth, so a ymm (f64) / xmm (f32)
+// accumulator with a scalar lane reduction reproduces it bit-for-bit.
+// Wider vectors would change the chain assignment, so both the AVX2 and
+// AVX-512 backends share these AVX-encoded kernels.
+// ---------------------------------------------------------------------------
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_f64(a: *const f64, b: *const f64, kd: usize) -> f64 {
+    let kd4 = kd & !3;
+    let mut acc = _mm256_setzero_pd();
+    let mut p = 0usize;
+    while p < kd4 {
+        acc = _mm256_add_pd(
+            acc,
+            _mm256_mul_pd(_mm256_loadu_pd(a.add(p)), _mm256_loadu_pd(b.add(p))),
+        );
+        p += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0f64;
+    for idx in kd4..kd {
+        tail += *a.add(idx) * *b.add(idx);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_f32(a: *const f32, b: *const f32, kd: usize) -> f32 {
+    let kd4 = kd & !3;
+    let mut acc = _mm_setzero_ps();
+    let mut p = 0usize;
+    while p < kd4 {
+        acc = _mm_add_ps(
+            acc,
+            _mm_mul_ps(_mm_loadu_ps(a.add(p)), _mm_loadu_ps(b.add(p))),
+        );
+        p += 4;
+    }
+    let mut lanes = [0.0f32; 4];
+    _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut tail = 0.0f32;
+    for idx in kd4..kd {
+        tail += *a.add(idx) * *b.add(idx);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+macro_rules! matmul_transpose_arm {
+    ($name:ident, $ty:ty, $dot:ident) => {
+        #[target_feature(enable = "avx2")]
+        pub(super) unsafe fn $name(
+            a: &[$ty],
+            b: &[$ty],
+            c: &mut [$ty],
+            m: usize,
+            n: usize,
+            kd: usize,
+        ) {
+            debug_assert!(a.len() >= m * kd && b.len() >= n * kd && c.len() >= m * n);
+            let (ap, bp, cp) = (a.as_ptr(), b.as_ptr(), c.as_mut_ptr());
+            for i in 0..m {
+                let arow = ap.add(i * kd);
+                for j in 0..n {
+                    *cp.add(i * n + j) = $dot(arow, bp.add(j * kd), kd);
+                }
+            }
+        }
+    };
+}
+
+matmul_transpose_arm!(matmul_transpose_f32, f32, dot4_f32);
+matmul_transpose_arm!(matmul_transpose_f64, f64, dot4_f64);
+
+// ---------------------------------------------------------------------------
+// Sigmoid arms. See module docs for the Markstein division emulation.
+// ---------------------------------------------------------------------------
+
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn div_const4(a: __m256d, c: f64, y: f64) -> __m256d {
+    let yv = _mm256_set1_pd(y);
+    let q0 = _mm256_mul_pd(a, yv);
+    let rr = _mm256_fnmadd_pd(_mm256_set1_pd(c), q0, a);
+    _mm256_fmadd_pd(rr, yv, q0)
+}
+
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn div_const8(a: __m512d, c: f64, y: f64) -> __m512d {
+    let yv = _mm512_set1_pd(y);
+    let q0 = _mm512_mul_pd(a, yv);
+    let rr = _mm512_fnmadd_pd(_mm512_set1_pd(c), q0, a);
+    _mm512_fmadd_pd(rr, yv, q0)
+}
+
+/// 4-lane `crate::math::sigmoid`, easy path only (all lanes `|x| < 700`).
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sigmoid4_avx2(x: __m256d) -> __m256d {
+    let neg = _mm256_or_pd(x, _mm256_set1_pd(-0.0)); // -|x|
+    let q = div_const4(neg, LN2, 1.0 / LN2);
+    // neg is -|x|: only -0.0 compares >= 0, matching scalar's x >= 0 branch.
+    let ge0 = _mm256_cmp_pd(neg, _mm256_setzero_pd(), _CMP_GE_OQ);
+    let half = _mm256_blendv_pd(_mm256_set1_pd(-0.5), _mm256_set1_pd(0.5), ge0);
+    let k32 = _mm256_cvttpd_epi32(_mm256_add_pd(q, half)); // trunc == `as i64`
+    let kf = _mm256_cvtepi32_pd(k32);
+    // r = neg - kf·LN2 as separate mul+add (never fused).
+    let r = _mm256_add_pd(neg, _mm256_mul_pd(kf, _mm256_set1_pd(-LN2)));
+    macro_rules! dv {
+        ($a:expr, $c:expr) => {
+            div_const4($a, $c, 1.0 / $c)
+        };
+    }
+    let r3 = dv!(r, 3.0);
+    let r5 = dv!(r, 5.0);
+    let r7 = dv!(r, 7.0);
+    let r9 = dv!(r, 9.0);
+    let r11 = dv!(r, 11.0);
+    let r13 = dv!(r, 13.0);
+    let one = _mm256_set1_pd(1.0);
+    let mut term = r;
+    let mut sum = _mm256_add_pd(one, term);
+    macro_rules! step {
+        ($f:expr) => {
+            term = _mm256_mul_pd(term, $f);
+            sum = _mm256_add_pd(sum, term);
+        };
+    }
+    let half_c = _mm256_set1_pd(0.5);
+    let quarter = _mm256_set1_pd(0.25);
+    step!(_mm256_mul_pd(r, half_c));
+    step!(r3);
+    step!(_mm256_mul_pd(r, quarter));
+    step!(r5);
+    step!(_mm256_mul_pd(r3, half_c));
+    step!(r7);
+    step!(_mm256_mul_pd(r, _mm256_set1_pd(0.125)));
+    step!(r9);
+    step!(_mm256_mul_pd(r5, half_c));
+    step!(r11);
+    step!(_mm256_mul_pd(r3, quarter));
+    step!(r13);
+    // e = sum·2^k by exponent-field add (sum is a positive normal and k is
+    // in range on the easy path — same argument as scalar scale_by_pow2).
+    let k64 = _mm256_cvtepi32_epi64(k32);
+    let bits = _mm256_castpd_si256(sum);
+    let e = _mm256_castsi256_pd(_mm256_add_epi64(bits, _mm256_slli_epi64(k64, 52)));
+    let xge0 = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_GE_OQ);
+    let num = _mm256_blendv_pd(e, one, xge0);
+    _mm256_div_pd(num, _mm256_add_pd(one, e))
+}
+
+/// 8-lane `crate::math::sigmoid`, easy path only (all lanes `|x| < 700`).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn sigmoid8_avx512(x: __m512d) -> __m512d {
+    let sign = _mm512_set1_epi64(i64::MIN);
+    let neg = _mm512_castsi512_pd(_mm512_or_si512(_mm512_castpd_si512(x), sign)); // -|x|
+    let q = div_const8(neg, LN2, 1.0 / LN2);
+    let ge0 = _mm512_cmp_pd_mask(neg, _mm512_setzero_pd(), _CMP_GE_OQ);
+    let half = _mm512_mask_blend_pd(ge0, _mm512_set1_pd(-0.5), _mm512_set1_pd(0.5));
+    let k32 = _mm512_cvttpd_epi32(_mm512_add_pd(q, half));
+    let kf = _mm512_cvtepi32_pd(k32);
+    let r = _mm512_add_pd(neg, _mm512_mul_pd(kf, _mm512_set1_pd(-LN2)));
+    macro_rules! dv {
+        ($a:expr, $c:expr) => {
+            div_const8($a, $c, 1.0 / $c)
+        };
+    }
+    let r3 = dv!(r, 3.0);
+    let r5 = dv!(r, 5.0);
+    let r7 = dv!(r, 7.0);
+    let r9 = dv!(r, 9.0);
+    let r11 = dv!(r, 11.0);
+    let r13 = dv!(r, 13.0);
+    let one = _mm512_set1_pd(1.0);
+    let mut term = r;
+    let mut sum = _mm512_add_pd(one, term);
+    macro_rules! step {
+        ($f:expr) => {
+            term = _mm512_mul_pd(term, $f);
+            sum = _mm512_add_pd(sum, term);
+        };
+    }
+    let half_c = _mm512_set1_pd(0.5);
+    let quarter = _mm512_set1_pd(0.25);
+    step!(_mm512_mul_pd(r, half_c));
+    step!(r3);
+    step!(_mm512_mul_pd(r, quarter));
+    step!(r5);
+    step!(_mm512_mul_pd(r3, half_c));
+    step!(r7);
+    step!(_mm512_mul_pd(r, _mm512_set1_pd(0.125)));
+    step!(r9);
+    step!(_mm512_mul_pd(r5, half_c));
+    step!(r11);
+    step!(_mm512_mul_pd(r3, quarter));
+    step!(r13);
+    let k64 = _mm512_cvtepi32_epi64(k32);
+    let bits = _mm512_castpd_si512(sum);
+    let e = _mm512_castsi512_pd(_mm512_add_epi64(bits, _mm512_slli_epi64(k64, 52)));
+    let xge0 = _mm512_cmp_pd_mask(x, _mm512_setzero_pd(), _CMP_GE_OQ);
+    let num = _mm512_mask_blend_pd(xge0, e, one);
+    _mm512_div_pd(num, _mm512_add_pd(one, e))
+}
+
+/// All four lanes strictly inside the easy band (NaN lanes fail the compare).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn easy4(x: __m256d) -> bool {
+    let absx = _mm256_andnot_pd(_mm256_set1_pd(-0.0), x);
+    let lt = _mm256_cmp_pd(absx, _mm256_set1_pd(700.0), _CMP_LT_OQ);
+    _mm256_movemask_pd(lt) == 0xf
+}
+
+/// All eight lanes strictly inside the easy band (NaN lanes fail the compare).
+#[inline]
+#[target_feature(enable = "avx512f")]
+unsafe fn easy8(x: __m512d) -> bool {
+    let absmask = _mm512_set1_epi64(i64::MAX);
+    let absx = _mm512_castsi512_pd(_mm512_and_si512(_mm512_castpd_si512(x), absmask));
+    _mm512_cmp_pd_mask(absx, _mm512_set1_pd(700.0), _CMP_LT_OQ) == 0xff
+}
+
+#[target_feature(enable = "avx2,fma")]
+pub(super) unsafe fn sigmoid_slice_f64_avx2(input: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(input.len(), out.len());
+    let n = input.len();
+    let (ip, op) = (input.as_ptr(), out.as_mut_ptr());
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_loadu_pd(ip.add(i));
+        if easy4(x) {
+            _mm256_storeu_pd(op.add(i), sigmoid4_avx2(x));
+        } else {
+            for l in 0..4 {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l));
+            }
+        }
+        i += 4;
+    }
+    if i < n {
+        let rem = n - i;
+        let mut buf = [0.0f64; 4];
+        buf[..rem].copy_from_slice(&input[i..]);
+        let x = _mm256_loadu_pd(buf.as_ptr());
+        if easy4(x) {
+            _mm256_storeu_pd(buf.as_mut_ptr(), sigmoid4_avx2(x));
+            out[i..].copy_from_slice(&buf[..rem]);
+        } else {
+            for l in 0..rem {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l));
+            }
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub(super) unsafe fn sigmoid_slice_f64_avx512(input: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(input.len(), out.len());
+    let n = input.len();
+    let (ip, op) = (input.as_ptr(), out.as_mut_ptr());
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm512_loadu_pd(ip.add(i));
+        if easy8(x) {
+            _mm512_storeu_pd(op.add(i), sigmoid8_avx512(x));
+        } else {
+            for l in 0..8 {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l));
+            }
+        }
+        i += 8;
+    }
+    if i < n {
+        let rem = n - i;
+        let mut buf = [0.0f64; 8];
+        buf[..rem].copy_from_slice(&input[i..]);
+        let x = _mm512_loadu_pd(buf.as_ptr());
+        if easy8(x) {
+            _mm512_storeu_pd(buf.as_mut_ptr(), sigmoid8_avx512(x));
+            out[i..].copy_from_slice(&buf[..rem]);
+        } else {
+            for l in 0..rem {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l));
+            }
+        }
+    }
+}
+
+// The f32 activation contract is widen → f64 sigmoid → narrow-by-`as`;
+// `vcvtps2pd` is exact and `vcvtpd2ps` rounds to nearest like `as f32`.
+
+#[target_feature(enable = "avx2,fma")]
+pub(super) unsafe fn sigmoid_slice_f32_avx2(input: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(input.len(), out.len());
+    let n = input.len();
+    let (ip, op) = (input.as_ptr(), out.as_mut_ptr());
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(ip.add(i)));
+        if easy4(x) {
+            _mm_storeu_ps(op.add(i), _mm256_cvtpd_ps(sigmoid4_avx2(x)));
+        } else {
+            for l in 0..4 {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l) as f64) as f32;
+            }
+        }
+        i += 4;
+    }
+    if i < n {
+        let rem = n - i;
+        let mut buf = [0.0f32; 4];
+        buf[..rem].copy_from_slice(&input[i..]);
+        let x = _mm256_cvtps_pd(_mm_loadu_ps(buf.as_ptr()));
+        if easy4(x) {
+            _mm_storeu_ps(buf.as_mut_ptr(), _mm256_cvtpd_ps(sigmoid4_avx2(x)));
+            out[i..].copy_from_slice(&buf[..rem]);
+        } else {
+            for l in 0..rem {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l) as f64) as f32;
+            }
+        }
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+pub(super) unsafe fn sigmoid_slice_f32_avx512(input: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(input.len(), out.len());
+    let n = input.len();
+    let (ip, op) = (input.as_ptr(), out.as_mut_ptr());
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x = _mm512_cvtps_pd(_mm256_loadu_ps(ip.add(i)));
+        if easy8(x) {
+            _mm256_storeu_ps(op.add(i), _mm512_cvtpd_ps(sigmoid8_avx512(x)));
+        } else {
+            for l in 0..8 {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l) as f64) as f32;
+            }
+        }
+        i += 8;
+    }
+    if i < n {
+        let rem = n - i;
+        let mut buf = [0.0f32; 8];
+        buf[..rem].copy_from_slice(&input[i..]);
+        let x = _mm512_cvtps_pd(_mm256_loadu_ps(buf.as_ptr()));
+        if easy8(x) {
+            _mm256_storeu_ps(buf.as_mut_ptr(), _mm512_cvtpd_ps(sigmoid8_avx512(x)));
+            out[i..].copy_from_slice(&buf[..rem]);
+        } else {
+            for l in 0..rem {
+                *op.add(i + l) = crate::math::sigmoid(*ip.add(i + l) as f64) as f32;
+            }
+        }
+    }
+}

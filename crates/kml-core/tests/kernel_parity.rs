@@ -203,6 +203,330 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-ISA arm parity: drive each SIMD arm directly through
+// `kml_core::simd::testing` — bypassing backend dispatch, so the AVX2 arm is
+// exercised even on an AVX-512 host and every arm still runs under
+// `KML_FORCE_SCALAR=1` — and compare bit patterns against the scalar chain
+// contract. Dims reach 19 so shapes cross the 4/8/16-lane boundaries of every
+// arm both ways, and the value strategy mixes NaN, subnormals, ±0 and the
+// sigmoid clamp/saturation bands in with ordinary magnitudes. Arms return
+// `false` when the host CPU lacks the feature; those are skipped.
+// ---------------------------------------------------------------------------
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod arm_parity {
+    use super::*;
+    use kml_core::simd::testing as arms;
+    use proptest::prop_oneof;
+
+    type GemmFn<T> = fn(&[T], &[T], &mut [T], usize, usize, usize) -> bool;
+    type TmmFn<T> = fn(&[T], &[T], &mut [T], usize, usize, usize, bool) -> bool;
+    type MtFn<T> = fn(&[T], &[T], &mut [T], usize, usize, usize) -> bool;
+    type SigFn<T> = fn(&[T], &mut [T]) -> bool;
+
+    /// One labelled fn-pointer table per kernel family, listing every arm the
+    /// compilation target *could* have (runtime detection prunes the rest).
+    macro_rules! arm_table {
+        ($name:ident, $fnty:ty,
+         x86: [$($xl:literal => $xf:path),*],
+         neon: [$($nl:literal => $nf:path),*]) => {
+            fn $name() -> Vec<(&'static str, $fnty)> {
+                #[cfg(target_arch = "x86_64")]
+                return vec![$(($xl, $xf as $fnty)),*];
+                #[cfg(target_arch = "aarch64")]
+                return vec![$(($nl, $nf as $fnty)),*];
+            }
+        };
+    }
+
+    arm_table!(matmul_arms_f32, GemmFn<f32>,
+        x86: ["avx2" => arms::avx2_matmul_f32, "avx512" => arms::avx512_matmul_f32],
+        neon: ["neon" => arms::neon_matmul_f32]);
+    arm_table!(matmul_arms_f64, GemmFn<f64>,
+        x86: ["avx2" => arms::avx2_matmul_f64, "avx512" => arms::avx512_matmul_f64],
+        neon: ["neon" => arms::neon_matmul_f64]);
+    arm_table!(tmm_arms_f32, TmmFn<f32>,
+        x86: ["avx2" => arms::avx2_transpose_matmul_f32,
+              "avx512" => arms::avx512_transpose_matmul_f32],
+        neon: ["neon" => arms::neon_transpose_matmul_f32]);
+    arm_table!(tmm_arms_f64, TmmFn<f64>,
+        x86: ["avx2" => arms::avx2_transpose_matmul_f64,
+              "avx512" => arms::avx512_transpose_matmul_f64],
+        neon: ["neon" => arms::neon_transpose_matmul_f64]);
+    arm_table!(mt_arms_f32, MtFn<f32>,
+        x86: ["dot4" => arms::simd_matmul_transpose_f32],
+        neon: ["dot4" => arms::simd_matmul_transpose_f32]);
+    arm_table!(mt_arms_f64, MtFn<f64>,
+        x86: ["dot4" => arms::simd_matmul_transpose_f64],
+        neon: ["dot4" => arms::simd_matmul_transpose_f64]);
+    arm_table!(sig_arms_f32, SigFn<f32>,
+        x86: ["avx2" => arms::avx2_sigmoid_f32, "avx512" => arms::avx512_sigmoid_f32],
+        neon: ["neon" => arms::neon_sigmoid_f32]);
+    arm_table!(sig_arms_f64, SigFn<f64>,
+        x86: ["avx2" => arms::avx2_sigmoid_f64, "avx512" => arms::avx512_sigmoid_f64],
+        neon: ["neon" => arms::neon_sigmoid_f64]);
+
+    /// Bit-pattern access so the asserts distinguish NaN payloads and signed
+    /// zeros the way the determinism contract demands.
+    trait Bits: Scalar {
+        fn bits(self) -> u64;
+    }
+    impl Bits for f32 {
+        fn bits(self) -> u64 {
+            u64::from(self.to_bits())
+        }
+    }
+    impl Bits for f64 {
+        fn bits(self) -> u64 {
+            self.to_bits()
+        }
+    }
+
+    fn assert_arm_bits<S: Bits>(op: &str, arm: &str, want: &[S], got: &[S]) {
+        let wb: Vec<u64> = want.iter().map(|v| v.bits()).collect();
+        let gb: Vec<u64> = got.iter().map(|v| v.bits()).collect();
+        assert_eq!(wb, gb, "{op}: {arm} arm diverged from the scalar chain");
+    }
+
+    fn vals<S: Scalar>(count: usize, data: &[f64], offset: usize) -> Vec<S> {
+        data.iter()
+            .copied()
+            .cycle()
+            .skip(offset)
+            .take(count)
+            .map(S::from_f64)
+            .collect()
+    }
+
+    fn dirty<S: Scalar>(count: usize) -> Vec<S> {
+        vec![S::from_f64(-77.25); count]
+    }
+
+    /// `matmul` contract: `c[i·n+j]` is one ascending-k mul/add chain from
+    /// zero — `acc = acc + a·b`, never a fused contraction.
+    fn ref_matmul<S: Scalar>(a: &[S], b: &[S], m: usize, kd: usize, n: usize) -> Vec<S> {
+        let mut c = vec![S::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = S::ZERO;
+                for p in 0..kd {
+                    acc = acc.mul_acc(a[i * kd + p], b[p * n + j]);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    /// `transpose_matmul` contract (`a` is kd×mm): same ascending-k chains,
+    /// continuing from `init` when given (`cont = true`, the `_acc` path).
+    fn ref_transpose_matmul<S: Scalar>(
+        a: &[S],
+        b: &[S],
+        init: Option<&[S]>,
+        mm: usize,
+        kd: usize,
+        n: usize,
+    ) -> Vec<S> {
+        let mut c = init.map_or_else(|| vec![S::ZERO; mm * n], <[S]>::to_vec);
+        for i in 0..mm {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..kd {
+                    acc = acc.mul_acc(a[p * mm + i], b[p * n + j]);
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    /// `matmul_transpose` contract: every output is [`Matrix::dot`]'s four
+    /// stride-4 accumulator chains reduced `((l0+l1)+(l2+l3))+tail`.
+    fn ref_matmul_transpose<S: Scalar>(a: &[S], b: &[S], m: usize, n: usize, kd: usize) -> Vec<S> {
+        fn dot4<S: Scalar>(arow: &[S], brow: &[S]) -> S {
+            let mut acc = [S::ZERO; 4];
+            let mut ac = arow.chunks_exact(4);
+            let mut bc = brow.chunks_exact(4);
+            for (a4, b4) in (&mut ac).zip(&mut bc) {
+                acc[0] = acc[0].mul_acc(a4[0], b4[0]);
+                acc[1] = acc[1].mul_acc(a4[1], b4[1]);
+                acc[2] = acc[2].mul_acc(a4[2], b4[2]);
+                acc[3] = acc[3].mul_acc(a4[3], b4[3]);
+            }
+            let mut tail = S::ZERO;
+            for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+                tail = tail.mul_acc(x, y);
+            }
+            acc[0].add(acc[1]).add(acc[2].add(acc[3])).add(tail)
+        }
+        let mut c = vec![S::ZERO; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = dot4(&a[i * kd..(i + 1) * kd], &b[j * kd..(j + 1) * kd]);
+            }
+        }
+        c
+    }
+
+    fn check_matmul_arms<S: Bits>(
+        table: &[(&str, GemmFn<S>)],
+        m: usize,
+        kd: usize,
+        n: usize,
+        data: &[f64],
+    ) {
+        let a: Vec<S> = vals(m * kd, data, 0);
+        let b: Vec<S> = vals(kd * n, data, 7);
+        let want = ref_matmul(&a, &b, m, kd, n);
+        for &(name, f) in table {
+            let mut c = dirty::<S>(m * n); // arms overwrite, never read, C
+            if !f(&a, &b, &mut c, m, kd, n) {
+                continue;
+            }
+            assert_arm_bits("matmul", name, &want, &c);
+        }
+    }
+
+    fn check_tmm_arms<S: Bits>(
+        table: &[(&str, TmmFn<S>)],
+        mm: usize,
+        kd: usize,
+        n: usize,
+        data: &[f64],
+    ) {
+        let a: Vec<S> = vals(kd * mm, data, 0);
+        let b: Vec<S> = vals(kd * n, data, 7);
+        let init: Vec<S> = vals(mm * n, data, 19);
+        let fresh = ref_transpose_matmul(&a, &b, None, mm, kd, n);
+        let seeded = ref_transpose_matmul(&a, &b, Some(&init), mm, kd, n);
+        for &(name, f) in table {
+            let mut c = dirty::<S>(mm * n);
+            if !f(&a, &b, &mut c, mm, kd, n, false) {
+                continue;
+            }
+            assert_arm_bits("transpose_matmul", name, &fresh, &c);
+
+            // cont = true continues the chains from the existing C.
+            let mut c = init.clone();
+            assert!(f(&a, &b, &mut c, mm, kd, n, true));
+            assert_arm_bits("transpose_matmul cont", name, &seeded, &c);
+
+            // Ascending blocks along the shared dim, second with cont,
+            // must equal the one-shot product (the `_acc` reduction).
+            let s = kd / 2;
+            let mut c = dirty::<S>(mm * n);
+            assert!(f(&a[..s * mm], &b[..s * n], &mut c, mm, s, n, false));
+            assert!(f(&a[s * mm..], &b[s * n..], &mut c, mm, kd - s, n, true));
+            assert_arm_bits("transpose_matmul split", name, &fresh, &c);
+        }
+    }
+
+    fn check_mt_arms<S: Bits>(
+        table: &[(&str, MtFn<S>)],
+        m: usize,
+        n: usize,
+        kd: usize,
+        data: &[f64],
+    ) {
+        let a: Vec<S> = vals(m * kd, data, 0);
+        let b: Vec<S> = vals(n * kd, data, 13);
+        let want = ref_matmul_transpose(&a, &b, m, n, kd);
+        for &(name, f) in table {
+            let mut c = dirty::<S>(m * n);
+            if !f(&a, &b, &mut c, m, n, kd) {
+                continue;
+            }
+            assert_arm_bits("matmul_transpose", name, &want, &c);
+        }
+    }
+
+    fn check_sigmoid_arms<S: Bits>(table: &[(&str, SigFn<S>)], input: &[S]) {
+        let want: Vec<S> = input.iter().map(|&x| x.sigmoid()).collect();
+        for &(name, f) in table {
+            let mut out = dirty::<S>(input.len());
+            if !f(input, &mut out) {
+                continue;
+            }
+            assert_arm_bits("sigmoid", name, &want, &out);
+        }
+    }
+
+    // Dims reach 19: past two 8-lane f32 vectors, so every arm sees full
+    // 2×L blocks, single-L blocks, and masked remainders of 1..L-1 lanes.
+    const ARM_DIMS: (
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+    ) = (1..20, 1..20, 1..20);
+
+    /// Mostly ordinary magnitudes, salted with the values that break naive
+    /// vectorizations: NaN (propagation), subnormals (FTZ/DAZ mismatches),
+    /// signed zeros, and the sigmoid clamp (|x| ≥ 700 takes the scalar
+    /// fallback lane) and f32 saturation bands.
+    fn special_values() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(
+            prop_oneof![
+                10 => -8.0f64..8.0,
+                1 => Just(f64::NAN),
+                1 => Just(1.0e-41),   // subnormal once narrowed to f32
+                1 => Just(-1.0e-310), // f64 subnormal (underflows to -0.0 as f32)
+                1 => Just(0.0),
+                1 => Just(-0.0),
+                1 => Just(750.0),     // past the f64 sigmoid clamp
+                1 => Just(-750.0),
+                1 => Just(95.0),      // f32 sigmoid saturation band
+                1 => Just(-95.0),
+            ],
+            64..65,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn simd_arms_match_scalar_chains_f32((m, k, n) in ARM_DIMS, data in special_values()) {
+            check_matmul_arms(&matmul_arms_f32(), m, k, n, &data);
+            check_tmm_arms(&tmm_arms_f32(), m, k, n, &data);
+            check_mt_arms(&mt_arms_f32(), m, n, k, &data);
+        }
+
+        #[test]
+        fn simd_arms_match_scalar_chains_f64((m, k, n) in ARM_DIMS, data in special_values()) {
+            check_matmul_arms(&matmul_arms_f64(), m, k, n, &data);
+            check_tmm_arms(&tmm_arms_f64(), m, k, n, &data);
+            check_mt_arms(&mt_arms_f64(), m, n, k, &data);
+        }
+
+        #[test]
+        fn simd_sigmoid_arms_match_scalar_f32(data in special_values(), len in 0usize..40) {
+            let input: Vec<f32> = vals(len, &data, 0);
+            check_sigmoid_arms(&sig_arms_f32(), &input);
+        }
+
+        #[test]
+        fn simd_sigmoid_arms_match_scalar_f64(data in special_values(), len in 0usize..40) {
+            let input: Vec<f64> = vals(len, &data, 0);
+            check_sigmoid_arms(&sig_arms_f64(), &input);
+        }
+    }
+
+    /// The dispatch-facing sanity check: on an x86-64 or AArch64 host where
+    /// the runtime picked a SIMD backend, at least one per-ISA arm must be
+    /// reachable by the suite above (otherwise it silently tests nothing).
+    #[test]
+    fn arms_available_when_simd_backend_dispatched() {
+        if kml_core::simd::backend_name() != "scalar" {
+            assert!(
+                !arms::available_arms().is_empty(),
+                "SIMD backend {} dispatched but no testable arms",
+                kml_core::simd::backend_name()
+            );
+        }
+    }
+}
+
 /// One deterministic large case whose shared dimension crosses the KC=256
 /// cache-block boundary, so the packed path's store/reload of partial sums
 /// is exercised (proptest dims stay small for speed).

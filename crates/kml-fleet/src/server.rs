@@ -169,6 +169,14 @@ pub struct ServeOptions {
     /// Re-derive every batched class with a serial `predict` and panic on
     /// divergence (the DST harness runs with this on).
     pub verify_parity: bool,
+    /// Serve through the per-model int8 engines
+    /// ([`kml_core::model::Model::enable_q8`]) instead of the exact f32
+    /// forward pass. Decisions carry the engine's bounded error — the
+    /// agreement gate in this crate's tests holds them to ≥ 99.5%
+    /// agreement with f32 — in exchange for a much cheaper serving tick.
+    /// Off by default: the DST fleet scenario and E10 artifacts pin the
+    /// bit-exact f32 path.
+    pub q8_serving: bool,
 }
 
 impl Default for ServeOptions {
@@ -177,6 +185,7 @@ impl Default for ServeOptions {
             max_batch: 256,
             serial_inference: false,
             verify_parity: false,
+            q8_serving: false,
         }
     }
 }
@@ -206,7 +215,21 @@ pub struct InferenceServer {
 
 impl InferenceServer {
     /// Creates a server over the shared models.
-    pub fn new(models: FleetModels, options: ServeOptions) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// With [`ServeOptions::q8_serving`] on, panics if any fleet model is
+    /// not a quantizable linear/sigmoid/relu chain (the deployed
+    /// topologies all are — hitting this means a deployment bug).
+    pub fn new(mut models: FleetModels, options: ServeOptions) -> Self {
+        if options.q8_serving {
+            for kind in ModelKind::ALL {
+                models
+                    .model_mut(kind)
+                    .enable_q8()
+                    .expect("fleet models are q8-compatible chains");
+            }
+        }
         InferenceServer {
             models,
             options,
@@ -402,6 +425,65 @@ mod tests {
         );
         let responses = server.serve(&requests).unwrap();
         assert_eq!(responses.len(), 64);
+    }
+
+    #[test]
+    fn q8_serving_agrees_with_f32_on_995_per_mille() {
+        // The int8 serving tier carries a bounded quantization error; the
+        // fleet-level contract is that decisions still agree with the
+        // exact f32 path on at least 99.5% of windows (the E10 sweep
+        // shape: a large mixed request set across all three models).
+        let requests = mixed_requests(4096);
+        let mut exact =
+            InferenceServer::new(FleetModels::untrained(11).unwrap(), ServeOptions::default());
+        let mut q8 = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                q8_serving: true,
+                ..ServeOptions::default()
+            },
+        );
+        let a = exact.serve(&requests).unwrap();
+        let b = q8.serve(&requests).unwrap();
+        assert_eq!(a.len(), b.len());
+        let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        let ratio = agree as f64 / a.len() as f64;
+        assert!(
+            ratio >= 0.995,
+            "q8/f32 decision agreement {ratio:.4} < 0.995 ({agree}/{})",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn q8_serving_is_self_consistent_across_batching_modes() {
+        // Batched q8, serial q8, and parity-armed q8 must all produce the
+        // same decisions: the engine serves row-by-row either way.
+        let requests = mixed_requests(257);
+        let opts = [
+            ServeOptions {
+                q8_serving: true,
+                max_batch: 16,
+                ..ServeOptions::default()
+            },
+            ServeOptions {
+                q8_serving: true,
+                serial_inference: true,
+                ..ServeOptions::default()
+            },
+            ServeOptions {
+                q8_serving: true,
+                verify_parity: true,
+                ..ServeOptions::default()
+            },
+        ];
+        let mut outs = Vec::new();
+        for o in opts {
+            let mut server = InferenceServer::new(FleetModels::untrained(7).unwrap(), o);
+            outs.push(server.serve(&requests).unwrap());
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], outs[2]);
     }
 
     #[test]

@@ -168,7 +168,8 @@ enum TenantState {
     },
     Iosched {
         sched: Box<IoScheduler>,
-        tuner: SchedTuner,
+        // Boxed for the same reason: the tuner carries its model inline.
+        tuner: Box<SchedTuner>,
         now_ns: u64,
     },
     Netfs {
@@ -236,7 +237,7 @@ impl Tenant {
             }
             ModelKind::Iosched => TenantState::Iosched {
                 sched: Box::new(IoScheduler::new(device, SchedulerConfig::default())),
-                tuner: SchedTuner::remote(IO_POLICY_NS),
+                tuner: Box::new(SchedTuner::remote(IO_POLICY_NS)),
                 now_ns: 0,
             },
             ModelKind::Netfs => {

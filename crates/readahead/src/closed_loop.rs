@@ -204,6 +204,16 @@ fn run_tuned_opts(
                        // Discard fill-phase tracepoints: the tuner must only ever see the
                        // workload (stale records would poison the cumulative features).
     while consumer.pop().is_some() {}
+    // Which kernel backend this loop's math dispatched to (0 = scalar,
+    // 1 = avx2, 2 = avx512, 3 = neon — `KernelBackend::gauge_value`), and
+    // whether the int8 serving fast path is vectorized; exported with
+    // every snapshot so perf numbers are attributable to a code path.
+    telemetry
+        .gauge("kml.kernel_backend")
+        .set(kml_core::simd::kernel_backend().gauge_value());
+    telemetry
+        .gauge("kml.q8_vector")
+        .set(u64::from(kml_core::simd::q8_vector_active()));
 
     let mut tuner = KmlTuner::new(
         model,

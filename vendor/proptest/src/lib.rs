@@ -156,6 +156,50 @@ pub mod strategy {
             T::arbitrary(rng)
         }
     }
+
+    /// Constant strategy: every sample is a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union over strategies sharing a value type; each sample picks
+    /// one arm with probability proportional to its weight. Built by
+    /// [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// # Panics
+        ///
+        /// Panics if the weights sum to zero (no arm could ever be picked).
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, strat) in &self.arms {
+                if pick < *w {
+                    return strat.sample(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
 }
 
 /// `any::<T>()` — the canonical strategy for `T`.
@@ -226,9 +270,10 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
     };
 }
 
@@ -280,6 +325,23 @@ macro_rules! __proptest_items {
             });
         }
     )*};
+}
+
+/// Weighted choice between strategies with a common value type:
+/// `prop_oneof![3 => -1.0..1.0, 1 => Just(f64::NAN)]`. Unweighted arms
+/// (`prop_oneof![a, b]`) all get weight 1, matching real proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32,
+               ::std::boxed::Box::new($strat)
+                   as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 #[macro_export]
