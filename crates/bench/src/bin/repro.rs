@@ -16,6 +16,10 @@
 //!                  networks (DESIGN.md §8)
 //!   fleet      E10 multi-tenant fleet serving with a shared
 //!                  batched-inference model server (DESIGN.md §9)
+//!   lifecycle  E12 model lifecycle: `.kmlm` hot-swap, shadow evaluation,
+//!                  watchdog promotion + rollback (DESIGN.md §11);
+//!                  `--corrupt` instead proves a corrupted artifact is
+//!                  refused with a typed error (the command exits non-zero)
 //!   ablate     —   window-length and activation ablations (DESIGN.md §5)
 //!   all        everything above
 //! ```
@@ -23,8 +27,8 @@
 //! `--quick` uses the reduced test-scale configuration (seconds instead of
 //! minutes); EXPERIMENTS.md records full-scale output. `--json`
 //! additionally writes machine-readable JSON-lines for table2, overheads,
-//! dtree, netfs, and fleet under `results/`; every line carries a
-//! `schema` field naming its experiment family.
+//! dtree, netfs, fleet, and lifecycle under `results/`; every line
+//! carries a `schema` field naming its experiment family.
 //!
 //! `--threads=N` (or the `KML_REPRO_THREADS` environment variable) sets the
 //! worker count for the embarrassingly-parallel sweeps (study cells, table2
@@ -48,6 +52,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let corrupt = args.iter().any(|a| a == "--corrupt");
     if let Some(n) = parse_threads(&args) {
         // Single knob: route the flag through the env var so library-level
         // sweeps (ReadaheadStudy::run) see the same worker count.
@@ -86,12 +91,13 @@ fn main() {
         "iosched" => cmd_iosched(),
         "netfs" => cmd_netfs(quick, json),
         "fleet" => cmd_fleet(&cfg, quick, json),
+        "lifecycle" => cmd_lifecycle(quick, json, corrupt),
         "ablate" => cmd_ablate(&cfg),
         "all" => cmd_all(&cfg, quick, json),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs fleet ablate all"
+                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs fleet lifecycle ablate all"
             );
             std::process::exit(2);
         }
@@ -145,6 +151,7 @@ fn cmd_all(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
     cmd_iosched()?;
     cmd_netfs(quick, json)?;
     cmd_fleet(cfg, quick, json)?;
+    cmd_lifecycle(quick, json, false)?;
     cmd_ablate(cfg)
 }
 
@@ -359,6 +366,403 @@ fn trained_fleet_models(
         iosched: iosched_f32,
         netfs: netfs_f32,
     })
+}
+
+/// E12 — model lifecycle: versioned `.kmlm` artifacts hot-swapped into a
+/// live closed loop, with shadow evaluation, watchdog promotion, and
+/// automatic rollback of a regressed generation (DESIGN.md §11).
+///
+/// The arc is entirely virtual-clock-driven and therefore byte-identical
+/// at any `--threads` count: a sequential reader streams through a cold
+/// file while the readahead tuner serves generation 1 (trained to the
+/// 1024 KiB class); a behaviourally-equal candidate (same class, distinct
+/// seed, bitwise-different weights) rides shadow until the watchdog
+/// promotes it after K clean windows; then an operator install pushes a
+/// deliberately regressed build (trained to the 16 KiB class), whose
+/// actuation collapses streaming throughput until the watchdog rolls the
+/// loop back — and the post-rollback windows prove the loop is actuating
+/// on the restored generation's decisions.
+fn cmd_lifecycle(quick: bool, json: bool, corrupt: bool) -> DynResult {
+    use kernel_sim::{Sim, SimConfig, PAGE_SIZE};
+    use kml_collect::RingBuffer;
+    use kml_lifecycle::{
+        load_model_for, ArtifactKind, LifecycleController, LifecycleEvent, WatchdogConfig,
+    };
+    use readahead::tuner::{KmlTuner, RaPolicy, TunerModel};
+
+    // The two-point policy the DST lifecycle scenarios use: the model's
+    // class choice is the whole knob, so a regressed model is visible in
+    // throughput within a window or two.
+    const POLICY_KB: [u32; 2] = [16, 1024];
+    const INITIAL_RA_KB: u32 = 128;
+    const WINDOW_NS: u64 = 200_000;
+    const OPS_PER_WINDOW: u64 = 48;
+    const PAGES_PER_OP: u64 = 4;
+
+    println!("## E12: model lifecycle — hot-swap, shadow, rollback (DESIGN.md §11)\n");
+
+    let epochs = if quick { 60 } else { 160 };
+    let t0 = Instant::now();
+    eprintln!("[training active / candidate / regressed lifecycle artifacts]");
+    // class 1 = 1024 KiB (active and candidate, distinct seeds), class 0
+    // = 16 KiB (the regression). Trained in parallel; sharded SGD is
+    // byte-identical to serial and results are collected in spec order,
+    // so the artifacts don't depend on the worker count.
+    let specs: [(usize, u64); 3] = [(1, 11), (1, 23), (0, 37)];
+    let trained =
+        threading::parallel_map(&specs, threading::default_workers(), |_, &(class, seed)| {
+            lifecycle_artifact(class, POLICY_KB.len(), seed, epochs)
+        });
+    let mut it = trained.into_iter();
+    let active = it.next().expect("3 specs")?;
+    let candidate = it.next().expect("3 specs")?;
+    let regressed = it.next().expect("3 specs")?;
+    eprintln!("[trained in {:.1?}]", t0.elapsed());
+
+    if corrupt {
+        let mut bad = active.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xA5;
+        println!(
+            "deliberately flipping byte {mid} of the {}-byte active artifact\n",
+            active.len()
+        );
+        return match load_model_for::<f32>(&bad, ArtifactKind::Readahead) {
+            Ok(_) => Err("corrupted artifact was ACCEPTED — the integrity gate is broken".into()),
+            Err(e) => {
+                println!("load rejected with a typed error, nothing installed:\n  {e}\n");
+                Err(format!("corrupt artifact refused as designed: {e}").into())
+            }
+        };
+    }
+
+    // The serving loop: a cold sequential stream over a file much larger
+    // than the page cache, so the readahead in force is the throughput.
+    let mut sim = Sim::new(SimConfig {
+        device: DeviceProfile::nvme(),
+        cache_pages: 4_096,
+        default_ra_kb: INITIAL_RA_KB,
+        ..SimConfig::default()
+    });
+    let (producer, consumer) = RingBuffer::with_capacity(4_096).split();
+    sim.attach_trace(producer);
+    let file_pages: u64 = 1 << 16;
+    let file = sim.create_file(file_pages);
+    let gen1 = load_model_for::<f32>(&active, ArtifactKind::Readahead)?;
+    let mut tuner = KmlTuner::new(
+        TunerModel::NeuralNet(Box::new(gen1.model)),
+        RaPolicy::new(POLICY_KB.to_vec()),
+        consumer,
+        WINDOW_NS,
+        INITIAL_RA_KB,
+    );
+    let cfg = WatchdogConfig {
+        // One-window baseline: actuation lags an install by the tuner's
+        // two-window hysteresis, so the first post-install window still
+        // runs mostly under the outgoing readahead and baselines high —
+        // the regressed generation is judged against healthy throughput.
+        baseline_windows: 1,
+        promote_after: 3,
+        regress_windows: 2,
+        regress_ratio: 0.7,
+    };
+    let mut controller = LifecycleController::new(cfg, &mut tuner, active.clone())?;
+
+    let mut cursor: u64 = 0;
+    let run_window = |sim: &mut Sim, tuner: &mut KmlTuner, cursor: &mut u64| -> DynResult2<f64> {
+        let start = sim.now_ns();
+        for _ in 0..OPS_PER_WINDOW {
+            if *cursor + PAGES_PER_OP > file_pages {
+                *cursor = 0;
+            }
+            sim.read(file, *cursor, PAGES_PER_OP)?;
+            *cursor += PAGES_PER_OP;
+            tuner.on_op(sim)?;
+        }
+        let dt = (sim.now_ns() - start).max(1);
+        // bytes / ns → MB per virtual second.
+        Ok((OPS_PER_WINDOW * PAGES_PER_OP * PAGE_SIZE) as f64 * 1e3 / dt as f64)
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut w = 0u64;
+    let push_row = |rows: &mut Vec<Vec<String>>,
+                    w: u64,
+                    phase: &str,
+                    generation: u64,
+                    ra_kb: u32,
+                    mbps: f64,
+                    event: String| {
+        rows.push(vec![
+            w.to_string(),
+            phase.into(),
+            generation.to_string(),
+            ra_kb.to_string(),
+            format!("{mbps:.1}"),
+            event,
+        ]);
+    };
+
+    // Phase 1 — generation 1 serves and the loop settles on its class.
+    for _ in 0..3 {
+        w += 1;
+        let tp = run_window(&mut sim, &mut tuner, &mut cursor)?;
+        controller.observe_window(&mut tuner, tp)?;
+        push_row(
+            &mut rows,
+            w,
+            "serve",
+            tuner.model_generation(),
+            tuner.current_ra_kb(),
+            tp,
+            String::new(),
+        );
+    }
+
+    // Phase 2 — stage the candidate; the watchdog promotes it after K
+    // clean windows, freezing its shadow agreement at promotion time.
+    controller.stage_shadow(&mut tuner, candidate.clone())?;
+    let mut promoted: Option<(u64, u64, u64, f64)> = None;
+    for _ in 0..8 {
+        w += 1;
+        let tp = run_window(&mut sim, &mut tuner, &mut cursor)?;
+        let ev = controller.observe_window(&mut tuner, tp)?;
+        let note = match ev {
+            Some(LifecycleEvent::Promoted {
+                from,
+                to,
+                agreement_pct,
+            }) => {
+                promoted = Some((w, from, to, agreement_pct));
+                format!("promoted {from}→{to} (agreement {agreement_pct:.1}%)")
+            }
+            _ => String::new(),
+        };
+        push_row(
+            &mut rows,
+            w,
+            "shadow",
+            tuner.model_generation(),
+            tuner.current_ra_kb(),
+            tp,
+            note,
+        );
+        if promoted.is_some() {
+            break;
+        }
+    }
+    let (promote_window, promote_from, gen2, agreement_pct) =
+        promoted.ok_or("the watchdog never promoted the staged candidate")?;
+
+    // Phase 3 — the promoted generation serves (and re-baselines).
+    for _ in 0..2 {
+        w += 1;
+        let tp = run_window(&mut sim, &mut tuner, &mut cursor)?;
+        controller.observe_window(&mut tuner, tp)?;
+        push_row(
+            &mut rows,
+            w,
+            "serve",
+            tuner.model_generation(),
+            tuner.current_ra_kb(),
+            tp,
+            String::new(),
+        );
+    }
+
+    // Phase 4 — operator-push the regressed build; its 16 KiB actuation
+    // collapses the stream and the watchdog rolls the loop back.
+    let gen3 = controller.install(&mut tuner, regressed.clone())?;
+    let mut rolled: Option<(u64, u64, u64)> = None;
+    for _ in 0..10 {
+        w += 1;
+        let tp = run_window(&mut sim, &mut tuner, &mut cursor)?;
+        let ev = controller.observe_window(&mut tuner, tp)?;
+        let note = match ev {
+            Some(LifecycleEvent::RolledBack { from, to }) => {
+                rolled = Some((w, from, to));
+                format!("rolled back {from}→{to}")
+            }
+            _ => String::new(),
+        };
+        push_row(
+            &mut rows,
+            w,
+            "regressed",
+            tuner.model_generation(),
+            tuner.current_ra_kb(),
+            tp,
+            note,
+        );
+        if rolled.is_some() {
+            break;
+        }
+    }
+    let (rollback_window, rollback_from, rollback_to) =
+        rolled.ok_or("the watchdog never rolled back the regressed generation")?;
+    if rollback_from != gen3 || rollback_to != gen2 {
+        return Err(format!(
+            "rollback restored generation {rollback_to} from {rollback_from} \
+             (expected {gen3}→{gen2})"
+        )
+        .into());
+    }
+    if tuner.model_generation() != gen2 {
+        return Err(format!(
+            "after rollback the loop holds generation {} (expected {gen2})",
+            tuner.model_generation()
+        )
+        .into());
+    }
+
+    // Phase 5 — the proof windows: every decision the loop takes after
+    // the rollback is tagged with the restored generation, and the knob
+    // recovers to the healthy class.
+    let decisions_before = tuner.decisions().len();
+    for _ in 0..3 {
+        w += 1;
+        let tp = run_window(&mut sim, &mut tuner, &mut cursor)?;
+        controller.observe_window(&mut tuner, tp)?;
+        push_row(
+            &mut rows,
+            w,
+            "restored",
+            tuner.model_generation(),
+            tuner.current_ra_kb(),
+            tp,
+            String::new(),
+        );
+    }
+    let fresh = &tuner.decisions()[decisions_before..];
+    if fresh.is_empty() {
+        return Err("no tuner decisions in the post-rollback proof windows".into());
+    }
+    if let Some(d) = fresh.iter().find(|d| d.generation != gen2) {
+        return Err(format!(
+            "post-rollback decision tagged generation {} (expected {gen2})",
+            d.generation
+        )
+        .into());
+    }
+    let final_ra = tuner.current_ra_kb();
+    if final_ra != 1024 {
+        return Err(format!(
+            "loop did not re-actuate 1024 KiB after the rollback (holds {final_ra})"
+        )
+        .into());
+    }
+
+    let mut table = bench::render_table(
+        &[
+            "window",
+            "phase",
+            "gen",
+            "ra KiB",
+            "MB/s (virtual)",
+            "event",
+        ],
+        &rows,
+    );
+    table.push('\n');
+    table.push_str(&format!(
+        "promoted:    candidate {promote_from}→{gen2} at window {promote_window} \
+         after {} clean windows (shadow agreement {agreement_pct:.1}%)\n\
+         rolled back: {rollback_from}→{rollback_to} at window {rollback_window} \
+         after {} regressed windows\n\
+         restored:    {} post-rollback decisions all tagged generation {gen2}; \
+         readahead re-actuated to {final_ra} KiB\n",
+        cfg.promote_after,
+        cfg.regress_windows,
+        fresh.len(),
+    ));
+    println!("{table}");
+    let path = bench::write_results("e12_lifecycle.txt", &table)?;
+    println!("written to {}\n", path.display());
+
+    if json {
+        let mut json_lines = String::new();
+        for r in &rows {
+            json_lines.push_str(&format!(
+                "{{\"schema\":\"lifecycle\",\"experiment\":\"e12_lifecycle\",\"window\":{},\"phase\":{},\"generation\":{},\"ra_kb\":{},\"mbps\":{},\"event\":{}}}\n",
+                r[0],
+                kml_telemetry::json_str(&r[1]),
+                r[2],
+                r[3],
+                r[4],
+                kml_telemetry::json_str(&r[5]),
+            ));
+        }
+        json_lines.push_str(&format!(
+            "{{\"schema\":\"lifecycle\",\"experiment\":\"e12_lifecycle\",\"promoted_window\":{promote_window},\"agreement_pct\":{agreement_pct:.1},\"rollback_window\":{rollback_window},\"restored_generation\":{gen2},\"final_ra_kb\":{final_ra},\"post_rollback_decisions\":{}}}\n",
+            fresh.len(),
+        ));
+        let jp = write_json_results("e12_lifecycle.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
+    Ok(())
+}
+
+type DynResult2<T> = Result<T, Box<dyn std::error::Error>>;
+
+/// Trains one constant-class lifecycle artifact: the paper topology fit
+/// to a single-label dataset over seed-derived feature rows (the spread
+/// keeps the normalizer healthy; the constant label makes the model's
+/// class choice independent of the window it sees), f32-deployed through
+/// the model file and packaged as checksummed `.kmlm` bytes. String
+/// errors so the trainer can cross `parallel_map`'s `Send` boundary.
+fn lifecycle_artifact(
+    class: usize,
+    classes: usize,
+    seed: u64,
+    epochs: usize,
+) -> Result<Vec<u8>, String> {
+    use kml_core::dataset::{Dataset, Normalizer};
+    use kml_core::loss::CrossEntropyLoss;
+    use kml_core::model::ModelBuilder;
+    use kml_core::optimizer::Sgd;
+    use kml_core::KmlRng;
+    use rand::SeedableRng;
+
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    // Ranges bracket what the E12 stream actually produces: up to a few
+    // thousand tracepoints per window, offsets inside a 2^16-page file,
+    // small sequential deltas, and every readahead the policy can hold.
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|_| {
+            vec![
+                1.0 + next() * 2_000.0,  // tracepoints in window
+                next() * 65_536.0,       // mean page offset
+                next() * 20_000.0,       // offset stddev
+                1.0 + next() * 2_000.0,  // mean |Δoffset|
+                16.0 + next() * 1_008.0, // readahead in force (KiB)
+            ]
+        })
+        .collect();
+    let labels = vec![class; rows.len()];
+    let data = Dataset::from_rows(&rows, &labels).map_err(|e| e.to_string())?;
+
+    let mut model = ModelBuilder::readahead_paper_topology(readahead::NUM_FEATURES, classes)
+        .seed(seed)
+        .build::<f64>()
+        .map_err(|e| e.to_string())?;
+    model.set_normalizer(Normalizer::fit(data.features()).map_err(|e| e.to_string())?);
+    let mut sgd = Sgd::paper_defaults();
+    let mut rng = KmlRng::seed_from_u64(seed ^ 0xA5A5);
+    for _ in 0..epochs {
+        model
+            .train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)
+            .map_err(|e| e.to_string())?;
+    }
+    let bytes = kml_core::modelfile::encode(&model).map_err(|e| e.to_string())?;
+    let mut m32 = kml_core::modelfile::decode::<f32>(&bytes).map_err(|e| e.to_string())?;
+    kml_lifecycle::save_model(kml_lifecycle::ArtifactKind::Readahead, &mut m32)
+        .map_err(|e| e.to_string())
 }
 
 /// E9 — third use case: the same framework tuning an NFS-like mount's

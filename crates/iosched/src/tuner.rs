@@ -18,6 +18,7 @@ use kml_core::loss::CrossEntropyLoss;
 use kml_core::model::{Model, ModelBuilder};
 use kml_core::optimizer::Sgd;
 use kml_core::{KmlRng, Result};
+use kml_lifecycle::{ArtifactError, ArtifactKind, LifecycleTarget, ShadowStats};
 use rand::SeedableRng;
 
 /// Number of scheduler features.
@@ -105,7 +106,16 @@ pub struct SchedTuner {
     policy_ns: [u64; 2],
     features: SchedFeatures,
     window_requests: u64,
-    decisions: Vec<(u64, usize, u64)>,
+    decisions: Vec<(u64, usize, u64, u64)>,
+    /// Generation of the active model (1 until the first lifecycle swap).
+    model_generation: u64,
+    /// Staged shadow candidate: infers on every window, never actuates.
+    shadow: Option<Model<f32>>,
+    shadow_stats: ShadowStats,
+    /// The shadow's prediction for the window most recently returned by
+    /// [`SchedTuner::poll_request`], folded into the agreement stats by
+    /// the matching [`SchedTuner::apply_class`].
+    pending_shadow_class: Option<usize>,
 }
 
 impl SchedTuner {
@@ -157,6 +167,10 @@ impl SchedTuner {
             features: SchedFeatures::new(),
             window_requests: 0,
             decisions: Vec::new(),
+            model_generation: 1,
+            shadow: None,
+            shadow_stats: ShadowStats::default(),
+            pending_shadow_class: None,
         }
     }
 
@@ -171,6 +185,10 @@ impl SchedTuner {
             features: SchedFeatures::new(),
             window_requests: 0,
             decisions: Vec::new(),
+            model_generation: 1,
+            shadow: None,
+            shadow_stats: ShadowStats::default(),
+            pending_shadow_class: None,
         }
     }
 
@@ -251,21 +269,111 @@ impl SchedTuner {
             return None;
         }
         self.window_requests = 0;
-        Some(self.features.roll_window())
+        let features = self.features.roll_window();
+        if let Some(shadow) = &mut self.shadow {
+            // Shadow inference on the exact window the active model will
+            // see; the prediction is only recorded, never actuated.
+            match shadow.predict(&features) {
+                Ok(class) => self.pending_shadow_class = Some(class),
+                Err(_) => {
+                    self.shadow_stats.errors += 1;
+                    self.pending_shadow_class = None;
+                }
+            }
+        }
+        Some(features)
     }
 
     /// Applies a predicted class for the window most recently returned by
     /// [`Self::poll_request`]: re-tunes the batching window and logs the
     /// decision.
     pub fn apply_class(&mut self, sched: &mut IoScheduler, now_ns: u64, class: usize) {
+        if self.shadow.is_some() {
+            if let Some(shadow_class) = self.pending_shadow_class.take() {
+                self.shadow_stats.record(shadow_class == class);
+            }
+        }
         let wait = self.policy_ns[class.min(1)];
         sched.set_batch_wait_ns(wait);
-        self.decisions.push((now_ns, class, wait));
+        self.decisions
+            .push((now_ns, class, wait, self.model_generation));
     }
 
-    /// The decision log `(time_ns, class, batch_wait_ns)`.
-    pub fn decisions(&self) -> &[(u64, usize, u64)] {
+    /// The decision log `(time_ns, class, batch_wait_ns, generation)`.
+    pub fn decisions(&self) -> &[(u64, usize, u64, u64)] {
         &self.decisions
+    }
+
+    /// Replaces the active model under an explicit generation tag.
+    pub fn swap_model(&mut self, model: Model<f32>, generation: u64) {
+        self.model = Some(model);
+        self.model_generation = generation;
+    }
+
+    /// Stages a shadow candidate (replacing any previous one and resetting
+    /// its stats). The active model and the batching window are untouched.
+    pub fn stage_shadow_model(&mut self, model: Model<f32>) {
+        self.shadow = Some(model);
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    /// Whether a shadow candidate is staged.
+    pub fn shadow_staged(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The active model's generation tag.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// Decodes an iosched `.kmlm` artifact into a deployable model,
+    /// cross-checking its class count against this tuner's policy.
+    fn decode_artifact(&self, bytes: &[u8]) -> std::result::Result<Model<f32>, ArtifactError> {
+        let loaded = kml_lifecycle::load_model_for::<f32>(bytes, ArtifactKind::Iosched)?;
+        if loaded.model.output_dim() != self.policy_ns.len() {
+            return Err(ArtifactError::ClassMismatch {
+                artifact: loaded.model.output_dim(),
+                policy: self.policy_ns.len(),
+            });
+        }
+        Ok(loaded.model)
+    }
+}
+
+impl LifecycleTarget for SchedTuner {
+    /// Atomic by construction: the artifact is fully decoded and verified
+    /// before any tuner state changes; a failed load leaves the model, the
+    /// generation, and the batching window exactly as they were.
+    fn install_artifact(
+        &mut self,
+        bytes: &[u8],
+        generation: u64,
+    ) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.swap_model(model, generation);
+        Ok(())
+    }
+
+    fn stage_shadow_artifact(&mut self, bytes: &[u8]) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.stage_shadow_model(model);
+        Ok(())
+    }
+
+    fn clear_shadow(&mut self) {
+        self.shadow = None;
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    fn generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    fn shadow_stats(&self) -> ShadowStats {
+        self.shadow_stats
     }
 }
 

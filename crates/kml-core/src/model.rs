@@ -298,6 +298,18 @@ impl<S: Scalar> Model<S> {
         self.q8.is_some()
     }
 
+    /// The Q8 engine's per-linear-layer calibration tables (refreshing a
+    /// stale engine first), or `None` when Q8 serving is disabled. See
+    /// [`crate::quant::Q8Engine::row_scale_tables`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates a failed lazy re-quantization.
+    pub fn q8_calibration(&mut self) -> Result<Option<Vec<Vec<f32>>>> {
+        self.q8_refresh()?;
+        Ok(self.q8.as_ref().map(|e| e.row_scale_tables()))
+    }
+
     /// Rebuilds a stale Q8 engine (post-training lazy re-quantization).
     fn q8_refresh(&mut self) -> Result<()> {
         if self.q8_dirty && self.q8.is_some() {

@@ -595,6 +595,21 @@ impl Q8Engine {
             .sum()
     }
 
+    /// Per-linear-layer calibration tables: the per-output-row symmetric
+    /// scales `sw[o] = maxabs(W[:,o]) / 127`, one `Vec<f32>` per linear
+    /// layer in chain order. A deterministic function of the weights, so
+    /// artifact formats can embed them and verify on load that a rebuilt
+    /// engine reproduces the calibration the model shipped with.
+    pub fn row_scale_tables(&self) -> Vec<Vec<f32>> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                Q8EngineLayer::Linear(q) => Some(q.sw.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Runs the engine on one **already normalized** feature row and
     /// returns the `f32` logit row (borrowed from the engine's scratch).
     ///

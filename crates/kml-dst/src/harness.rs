@@ -8,12 +8,16 @@
 //! carries a seeded [`FaultPlan`] and the store is shadowed by a
 //! `BTreeSet` reference model.
 
-use crate::scenario::{Scenario, SeedStream};
+use crate::scenario::{FaultMask, Scenario, SeedStream};
 use kernel_sim::sim::Advice;
 use kernel_sim::{DeviceProfile, FaultPlan, FaultStats, FileId, Sim, SimConfig};
 use kml_collect::RingBuffer;
 use kml_core::dataset::Dataset;
 use kml_core::dtree::{DecisionTree, DecisionTreeConfig};
+use kml_core::model::ModelBuilder;
+use kml_lifecycle::{
+    save_model, ArtifactKind, LifecycleController, LifecycleEvent, LifecycleTarget, WatchdogConfig,
+};
 use kml_telemetry::Registry;
 use kvstore::{Db, DbConfig};
 use netfs::{NetProfile, NfsMount, RsizePolicy, RsizeTuner, RsizeTunerModel};
@@ -47,8 +51,10 @@ pub struct Event {
 }
 
 /// Names for `Event::op`, index-aligned with the dispatch in `run_inner`
-/// (the last two belong to `run_netfs_inner`).
-pub const OP_NAMES: [&str; 14] = [
+/// (`net_read`/`net_write` belong to `run_netfs_inner`; the `lc_*` codes
+/// are only ever emitted by lifecycle scenarios, so pre-lifecycle trace
+/// hashes are untouched).
+pub const OP_NAMES: [&str; 19] = [
     "put",
     "get",
     "scan",
@@ -63,7 +69,19 @@ pub const OP_NAMES: [&str; 14] = [
     "mmap_read",
     "net_read",
     "net_write",
+    "lc_stage",
+    "lc_install",
+    "lc_corrupt",
+    "lc_promote",
+    "lc_rollback",
 ];
+
+/// `Event::op` codes for the scripted lifecycle events.
+const OP_LC_STAGE: u8 = 14;
+const OP_LC_INSTALL: u8 = 15;
+const OP_LC_CORRUPT: u8 = 16;
+const OP_LC_PROMOTE: u8 = 17;
+const OP_LC_ROLLBACK: u8 = 18;
 
 /// Everything a passing run proves, plus the fingerprint replays must
 /// reproduce bit-for-bit.
@@ -81,6 +99,12 @@ pub struct RunSummary {
     pub decisions: u64,
     /// Tracepoint records lost to ring overwrites.
     pub ring_dropped: u64,
+    /// Shadow promotions the lifecycle watchdog executed (lifecycle
+    /// scenarios; 0 otherwise).
+    pub promotions: u64,
+    /// Rollbacks the lifecycle watchdog executed (lifecycle scenarios;
+    /// 0 otherwise).
+    pub rollbacks: u64,
 }
 
 /// A caught invariant violation, with everything needed to reproduce it.
@@ -114,6 +138,9 @@ impl FailureReport {
         }
         if self.scenario.netfs {
             line.push_str(" KML_DST_NETFS=1");
+        }
+        if self.scenario.lifecycle {
+            line.push_str(" KML_DST_LIFECYCLE=1");
         }
         line.push_str(" cargo test -p kml-dst replays_reproducer_from_env");
         line
@@ -179,6 +206,236 @@ fn harness_model() -> TunerModel {
     let tree = DecisionTree::fit(&dataset, DecisionTreeConfig::default())
         .expect("two-row dataset always fits");
     TunerModel::Tree(tree)
+}
+
+/// Watchdog tuning for the lifecycle script: small window counts so a
+/// 400-op scenario has room for a full stage → promote → regress →
+/// rollback arc at any seeded observation cadence.
+fn lifecycle_watchdog() -> WatchdogConfig {
+    WatchdogConfig {
+        baseline_windows: 2,
+        promote_after: 3,
+        regress_windows: 2,
+        regress_ratio: 0.85,
+    }
+}
+
+/// A seeded, untrained `.kmlm` artifact for `kind`. The DST harness
+/// validates the lifecycle *machinery* — staging, promotion, rollback
+/// atomicity — not model quality, so an arbitrary seeded network with the
+/// right feature schema and class count is exactly enough.
+fn lifecycle_artifact(kind: ArtifactKind, classes: usize, seed: u64) -> Vec<u8> {
+    let mut model = ModelBuilder::readahead_paper_topology(kind.feature_names().len(), classes)
+        .seed(seed)
+        .build::<f32>()
+        .expect("seeded untrained model always builds");
+    save_model(kind, &mut model).expect("fresh model always serialises")
+}
+
+/// The scripted lifecycle events of a lifecycle scenario, plus the state
+/// for invariants I11–I13. Generic over the swap target so the same
+/// script drives the readahead loop (device faults) and the netfs rsize
+/// loop (network faults).
+struct LifecycleScript {
+    controller: LifecycleController,
+    p: crate::scenario::LifecycleParams,
+    shadow_artifact: Vec<u8>,
+    regress_artifact: Vec<u8>,
+    corrupt_artifact: Vec<u8>,
+    do_shadow: bool,
+    do_regress: bool,
+    do_corrupt: bool,
+    staged: bool,
+    regressed: bool,
+    corrupted: bool,
+    regressed_gen: Option<u64>,
+    windows_on_regressed: u64,
+    /// Every generation ever installed into the target — a decision
+    /// tagged with anything else means the shadow (or a torn install)
+    /// actuated (I12).
+    installed_gens: Vec<u64>,
+    /// Decisions already checked against `installed_gens`.
+    decision_cursor: usize,
+    promotions: u64,
+    rollbacks: u64,
+}
+
+/// `(op, key, code)` trace triples emitted by a lifecycle step, or the
+/// invariant an event exposed plus its detail line.
+type LifecycleStepResult = Result<Vec<(u8, u64, u8)>, (&'static str, String)>;
+
+impl LifecycleScript {
+    fn new<T: LifecycleTarget>(
+        scenario: &Scenario,
+        target: &mut T,
+        kind: ArtifactKind,
+        classes: usize,
+    ) -> Result<Self, kml_lifecycle::ArtifactError> {
+        let p = scenario.lifecycle_params();
+        let controller = LifecycleController::new(
+            lifecycle_watchdog(),
+            target,
+            lifecycle_artifact(kind, classes, p.initial_seed),
+        )?;
+        let shadow_artifact = lifecycle_artifact(kind, classes, p.shadow_seed);
+        let mut corrupt_artifact = shadow_artifact.clone();
+        let flip = corrupt_artifact.len() / 2;
+        corrupt_artifact[flip] ^= 0xA5;
+        Ok(LifecycleScript {
+            controller,
+            p,
+            shadow_artifact,
+            regress_artifact: lifecycle_artifact(kind, classes, p.regress_seed),
+            corrupt_artifact,
+            do_shadow: !scenario.disabled.contains(FaultMask::LC_SHADOW),
+            do_regress: !scenario.disabled.contains(FaultMask::LC_REGRESS),
+            do_corrupt: !scenario.disabled.contains(FaultMask::LC_CORRUPT),
+            staged: false,
+            regressed: false,
+            corrupted: false,
+            regressed_gen: None,
+            windows_on_regressed: 0,
+            installed_gens: vec![1],
+            decision_cursor: 0,
+            promotions: 0,
+            rollbacks: 0,
+        })
+    }
+
+    /// Runs this step's scripted events against `target`. Returns the
+    /// events to record as `(op, key, code)` triples, or the invariant
+    /// violation they exposed.
+    fn on_step<T: LifecycleTarget>(&mut self, target: &mut T, step: u64) -> LifecycleStepResult {
+        let mut out = Vec::new();
+        if self.do_corrupt && !self.corrupted && step == self.p.corrupt_step {
+            self.corrupted = true;
+            let gen_before = target.generation();
+            if target
+                .install_artifact(&self.corrupt_artifact, gen_before + 1000)
+                .is_ok()
+            {
+                return Err((
+                    "I13.artifact-atomic",
+                    "a corrupted artifact was accepted".to_string(),
+                ));
+            }
+            if target.generation() != gen_before {
+                return Err((
+                    "I13.artifact-atomic",
+                    format!(
+                        "a failed install moved the generation {gen_before} -> {}",
+                        target.generation()
+                    ),
+                ));
+            }
+            out.push((OP_LC_CORRUPT, gen_before, 2));
+        }
+        if self.do_shadow && !self.staged && step == self.p.stage_step {
+            self.staged = true;
+            let gen_before = target.generation();
+            self.controller
+                .stage_shadow(target, self.shadow_artifact.clone())
+                .map_err(|e| {
+                    (
+                        "I13.artifact-atomic",
+                        format!("staging a valid shadow failed: {e:?}"),
+                    )
+                })?;
+            if target.generation() != gen_before {
+                return Err((
+                    "I12.shadow-never-actuates",
+                    "staging a shadow changed the active generation".to_string(),
+                ));
+            }
+            out.push((OP_LC_STAGE, 0, 0));
+        }
+        if self.do_regress && !self.regressed && step == self.p.regress_step {
+            self.regressed = true;
+            let generation = self
+                .controller
+                .install(target, self.regress_artifact.clone())
+                .map_err(|e| {
+                    (
+                        "I13.artifact-atomic",
+                        format!("installing a valid artifact failed: {e:?}"),
+                    )
+                })?;
+            self.regressed_gen = Some(generation);
+            self.installed_gens.push(generation);
+            out.push((OP_LC_INSTALL, generation, 0));
+        }
+        if (step + 1).is_multiple_of(self.p.observe_every) {
+            // Stub models do not differ in real loop quality, so the
+            // regression signal is scripted: the regressed generation
+            // settles its own (lower) baseline over the warmup windows,
+            // then collapses below the watchdog's regress ratio.
+            let throughput = if self.regressed_gen == Some(self.controller.generation()) {
+                self.windows_on_regressed += 1;
+                if self.windows_on_regressed <= u64::from(lifecycle_watchdog().baseline_windows) {
+                    600.0
+                } else {
+                    300.0
+                }
+            } else {
+                1000.0
+            };
+            match self.controller.observe_window(target, throughput) {
+                Ok(None) => {}
+                Ok(Some(LifecycleEvent::Promoted { to, .. })) => {
+                    self.installed_gens.push(to);
+                    self.promotions += 1;
+                    out.push((OP_LC_PROMOTE, to, 0));
+                }
+                Ok(Some(LifecycleEvent::RolledBack { to, .. })) => {
+                    self.rollbacks += 1;
+                    if target.generation() != to {
+                        return Err((
+                            "I11.swap-atomic",
+                            format!(
+                                "rollback restored generation {to} but the loop holds {}",
+                                target.generation()
+                            ),
+                        ));
+                    }
+                    out.push((OP_LC_ROLLBACK, to, 0));
+                }
+                Err(e) => {
+                    return Err((
+                        "I13.artifact-atomic",
+                        format!("a watchdog-driven install failed: {e:?}"),
+                    ))
+                }
+            }
+        }
+        // I11: the loop is never left actuating a generation the
+        // controller does not consider active.
+        if target.generation() != self.controller.generation() {
+            return Err((
+                "I11.swap-atomic",
+                format!(
+                    "loop serves generation {} but the controller holds {}",
+                    target.generation(),
+                    self.controller.generation()
+                ),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// I12 bookkeeping: every decision generation in `new_decisions`
+    /// (this step's suffix of the tuner's decision log) must have been
+    /// installed — a shadow candidate has no generation, so a shadow that
+    /// actuated shows up here.
+    fn check_decisions(&mut self, generations: impl Iterator<Item = u64>) -> Result<(), String> {
+        for generation in generations {
+            if !self.installed_gens.contains(&generation) {
+                return Err(format!(
+                    "a decision is tagged with never-installed generation {generation}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs `scenario`, converting any panic into an `I5.no-panic` failure.
@@ -267,6 +524,9 @@ impl Harness {
 
     /// Checks I1 (probe), I2, I3, I4, I5 after one step. `Ok(())` means
     /// all held.
+    // The Err arm carries the full Outcome so the caller can return it
+    // verbatim; it is terminal (one per run), so its size doesn't matter.
+    #[allow(clippy::result_large_err)]
     fn check_invariants(&mut self, scenario: &Scenario, step: u64) -> Result<(), Outcome> {
         // I4 first: the ring reconciles exactly while the tuner has it
         // drained (the probe below emits fresh records, which the *next*
@@ -396,6 +656,26 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         trace_hash: 0xCBF2_9CE4_8422_2325, // FNV-1a offset basis
         io_errors: 0,
         seq_cursor: 0,
+    };
+    let mut lifecycle = if scenario.lifecycle {
+        match LifecycleScript::new(
+            scenario,
+            &mut h.tuner,
+            ArtifactKind::Readahead,
+            POLICY_RA_KB.len(),
+        ) {
+            Ok(script) => Some(script),
+            Err(e) => {
+                return h.fail(
+                    scenario,
+                    0,
+                    "I13.artifact-atomic",
+                    format!("the initial artifact install failed: {e:?}"),
+                )
+            }
+        }
+    } else {
+        None
     };
     let mut ops = SeedStream::new(scenario.seed, 0x0B5);
 
@@ -537,6 +817,36 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         if let Err(outcome) = h.check_invariants(scenario, step) {
             return outcome;
         }
+        if let Some(script) = lifecycle.as_mut() {
+            let knob_before = h.tuner.current_ra_kb();
+            let events = match script.on_step(&mut h.tuner, step) {
+                Ok(events) => events,
+                Err((invariant, detail)) => return h.fail(scenario, step, invariant, detail),
+            };
+            let staged_now = events.iter().any(|(op, _, _)| *op == OP_LC_STAGE);
+            for (op, key, code) in events {
+                h.record(step, op, key, code);
+            }
+            if staged_now && h.tuner.current_ra_kb() != knob_before {
+                return h.fail(
+                    scenario,
+                    step,
+                    "I12.shadow-never-actuates",
+                    format!(
+                        "staging a shadow moved readahead {knob_before} -> {} KiB",
+                        h.tuner.current_ra_kb()
+                    ),
+                );
+            }
+            let decisions = h.tuner.decisions();
+            let fresh = decisions[script.decision_cursor..]
+                .iter()
+                .map(|d| d.generation);
+            if let Err(detail) = script.check_decisions(fresh) {
+                return h.fail(scenario, step, "I12.shadow-never-actuates", detail);
+            }
+            script.decision_cursor = decisions.len();
+        }
     }
 
     // Lift the faults and sweep: every key the reference holds must be
@@ -568,6 +878,9 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         }
     }
 
+    let (promotions, rollbacks) = lifecycle
+        .as_ref()
+        .map_or((0, 0), |s| (s.promotions, s.rollbacks));
     Outcome::Pass(RunSummary {
         trace_hash: h.trace_hash,
         steps: scenario.ops,
@@ -575,6 +888,8 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         injected,
         decisions: h.tuner.decisions().len() as u64,
         ring_dropped: h.tuner.records_dropped(),
+        promotions,
+        rollbacks,
     })
 }
 
@@ -649,6 +964,9 @@ impl NetHarness {
     }
 
     /// Checks the RPC-layer invariants I6–I10 after one step.
+    // See the readahead harness's check_invariants: the Err arm is
+    // terminal, so its size doesn't matter.
+    #[allow(clippy::result_large_err)]
     fn check_invariants(&mut self, scenario: &Scenario, step: u64) -> Result<(), Outcome> {
         let s = self.mount.stats();
         // I6: the client is synchronous, so between ops every issued RPC
@@ -772,6 +1090,26 @@ fn run_netfs_inner(scenario: &Scenario) -> Outcome {
         prev_lost: 0,
         seq_cursor: 0,
     };
+    let mut lifecycle = if scenario.lifecycle {
+        match LifecycleScript::new(
+            scenario,
+            &mut h.tuner,
+            ArtifactKind::NetfsRsize,
+            POLICY_RSIZE_KB.len(),
+        ) {
+            Ok(script) => Some(script),
+            Err(e) => {
+                return h.fail(
+                    scenario,
+                    0,
+                    "I13.artifact-atomic",
+                    format!("the initial artifact install failed: {e:?}"),
+                )
+            }
+        }
+    } else {
+        None
+    };
     let mut ops = SeedStream::new(scenario.seed, 0x0E7);
 
     for step in 0..scenario.ops {
@@ -817,8 +1155,41 @@ fn run_netfs_inner(scenario: &Scenario) -> Outcome {
         if let Err(outcome) = h.check_invariants(scenario, step) {
             return outcome;
         }
+        if let Some(script) = lifecycle.as_mut() {
+            let knob_before = h.mount.rsize_kb();
+            let events = match script.on_step(&mut h.tuner, step) {
+                Ok(events) => events,
+                Err((invariant, detail)) => return h.fail(scenario, step, invariant, detail),
+            };
+            let staged_now = events.iter().any(|(op, _, _)| *op == OP_LC_STAGE);
+            for (op, key, code) in events {
+                h.record(step, op, key, code);
+            }
+            if staged_now && h.mount.rsize_kb() != knob_before {
+                return h.fail(
+                    scenario,
+                    step,
+                    "I12.shadow-never-actuates",
+                    format!(
+                        "staging a shadow moved rsize {knob_before} -> {} KiB",
+                        h.mount.rsize_kb()
+                    ),
+                );
+            }
+            let decisions = h.tuner.decisions();
+            let fresh = decisions[script.decision_cursor..]
+                .iter()
+                .map(|d| d.generation);
+            if let Err(detail) = script.check_decisions(fresh) {
+                return h.fail(scenario, step, "I12.shadow-never-actuates", detail);
+            }
+            script.decision_cursor = decisions.len();
+        }
     }
 
+    let (promotions, rollbacks) = lifecycle
+        .as_ref()
+        .map_or((0, 0), |s| (s.promotions, s.rollbacks));
     Outcome::Pass(RunSummary {
         trace_hash: h.trace_hash,
         steps: scenario.ops,
@@ -826,6 +1197,8 @@ fn run_netfs_inner(scenario: &Scenario) -> Outcome {
         injected: h.mount.transport_fault_stats(),
         decisions: h.tuner.decisions().len() as u64,
         ring_dropped: h.tuner.events_dropped(),
+        promotions,
+        rollbacks,
     })
 }
 
@@ -857,6 +1230,7 @@ mod tests {
                 disabled: crate::FaultMask::STALL,
                 lsm_bug: true,
                 netfs: false,
+                lifecycle: false,
             },
             step: 12,
             invariant: "I1.lsm-vs-reference",
@@ -882,6 +1256,49 @@ mod tests {
                 assert_eq!(s.io_errors, 0);
             }
             Outcome::Fail(r) => panic!("quiet netfs scenario failed:\n{r}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_reproducer_line_carries_the_lifecycle_flag() {
+        let report = FailureReport {
+            scenario: Scenario::lifecycle_from_seed(0xCAFE, 60),
+            step: 9,
+            invariant: "I11.swap-atomic",
+            detail: "test".to_string(),
+            trace_tail: Vec::new(),
+        };
+        assert!(report.reproducer().contains("KML_DST_LIFECYCLE=1"));
+    }
+
+    #[test]
+    fn a_quiet_lifecycle_scenario_passes_and_swaps_models() {
+        // Device faults off, lifecycle events on: the scripted arc must
+        // run its swaps without tripping any invariant.
+        let mut scenario = Scenario::lifecycle_from_seed(3, 400);
+        scenario.disabled = crate::FaultMask(0x3F);
+        match run(&scenario) {
+            Outcome::Pass(s) => {
+                assert_eq!(s.steps, 400);
+                assert_eq!(s.injected.total(), 0);
+            }
+            Outcome::Fail(r) => panic!("quiet lifecycle scenario failed:\n{r}"),
+        }
+    }
+
+    #[test]
+    fn disabling_every_lifecycle_event_still_passes() {
+        let mut scenario = Scenario::lifecycle_from_seed(3, 200);
+        scenario.disabled = crate::FaultMask(0x3F)
+            .with(crate::FaultMask::LC_SHADOW)
+            .with(crate::FaultMask::LC_REGRESS)
+            .with(crate::FaultMask::LC_CORRUPT);
+        match run(&scenario) {
+            Outcome::Pass(s) => {
+                assert_eq!(s.promotions, 0, "no shadow staged, nothing to promote");
+                assert_eq!(s.rollbacks, 0, "no regressed install, nothing to roll back");
+            }
+            Outcome::Fail(r) => panic!("event-free lifecycle scenario failed:\n{r}"),
         }
     }
 

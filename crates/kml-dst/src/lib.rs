@@ -39,6 +39,27 @@
 //! - **I10 rpc-ring-reconciles** — RPC tracepoints emitted = consumed +
 //!   dropped, exactly, every drain.
 //!
+//! Lifecycle scenarios ([`Scenario::lifecycle_from_seed`] and
+//! [`Scenario::netfs_lifecycle_from_seed`]) additionally weave scripted
+//! model-lifecycle events — shadow staging, an operator install of a
+//! deliberately regressed generation, a corrupted-artifact load — into
+//! the run at seed-derived steps, drive a `kml-lifecycle` watchdog at a
+//! seed-derived cadence, and check the lifecycle invariants:
+//!
+//! - **I11 swap-atomic** — the loop is never caught actuating a
+//!   generation the lifecycle controller does not consider active; after
+//!   a rollback the very next check sees the previous generation's
+//!   original tag.
+//! - **I12 shadow-never-actuates** — staging a candidate changes neither
+//!   the active generation nor the actuated knob, and every decision is
+//!   tagged with a generation that was actually installed.
+//! - **I13 artifact-atomic** — a corrupted artifact load fails with a
+//!   typed error and changes nothing; valid installs never half-apply.
+//!
+//! The three event kinds are first-class [`FaultMask`] members
+//! (`lc_shadow`, `lc_regress`, `lc_corrupt`), so the shrinker minimises
+//! lifecycle failures the same way it minimises fault kinds.
+//!
 //! A violation is reported as a [`FailureReport`] carrying the trace
 //! tail and a shell-ready reproducer; [`shrink`] then searches for the
 //! smallest op count and fewest fault kinds that still fail and prints

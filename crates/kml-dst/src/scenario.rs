@@ -81,10 +81,19 @@ impl FaultMask {
     pub const NET_REORDER: FaultMask = FaultMask(1 << 8);
     /// Network jitter (netfs scenarios).
     pub const NET_JITTER: FaultMask = FaultMask(1 << 9);
+    /// Lifecycle: stage a shadow candidate (lifecycle scenarios).
+    pub const LC_SHADOW: FaultMask = FaultMask(1 << 10);
+    /// Lifecycle: operator-install a deliberately regressed generation
+    /// (lifecycle scenarios; what the watchdog must roll back).
+    pub const LC_REGRESS: FaultMask = FaultMask(1 << 11);
+    /// Lifecycle: attempt to load a corrupted artifact (lifecycle
+    /// scenarios; the load must fail atomically).
+    pub const LC_CORRUPT: FaultMask = FaultMask(1 << 12);
 
-    /// All ten kinds, in shrink order (device first, then network; the
-    /// shrinker tries them in this order and keeps whatever still fails).
-    pub const KINDS: [(FaultMask, &'static str); 10] = [
+    /// All thirteen kinds, in shrink order (device, then network, then
+    /// lifecycle events; the shrinker tries them in this order and keeps
+    /// whatever still fails).
+    pub const KINDS: [(FaultMask, &'static str); 13] = [
         (Self::READ_ERROR, "read_error"),
         (Self::WRITE_ERROR, "write_error"),
         (Self::TORN_WRITE, "torn_write"),
@@ -95,6 +104,9 @@ impl FaultMask {
         (Self::NET_DUP, "net_dup"),
         (Self::NET_REORDER, "net_reorder"),
         (Self::NET_JITTER, "net_jitter"),
+        (Self::LC_SHADOW, "lc_shadow"),
+        (Self::LC_REGRESS, "lc_regress"),
+        (Self::LC_CORRUPT, "lc_corrupt"),
     ];
 
     /// Whether `kind` is set in this mask.
@@ -145,6 +157,10 @@ pub struct Scenario {
     /// Runs the netfs harness (RPC mount + rsize tuner under a seeded
     /// packet-fault schedule) instead of the LSM/readahead stack.
     pub netfs: bool,
+    /// Weaves scripted model-lifecycle events (shadow staging, a
+    /// regressed install the watchdog must roll back, a corrupted-artifact
+    /// load) into the run and checks the lifecycle invariants I11–I13.
+    pub lifecycle: bool,
 }
 
 /// Parameters derived from the seed (fixed draw order — append only).
@@ -169,6 +185,7 @@ impl Scenario {
             disabled: FaultMask::default(),
             lsm_bug: false,
             netfs: false,
+            lifecycle: false,
         }
     }
 
@@ -178,6 +195,24 @@ impl Scenario {
         Scenario {
             netfs: true,
             ..Scenario::from_seed(seed, ops)
+        }
+    }
+
+    /// A lifecycle scenario: the LSM/readahead stack with scripted
+    /// swap/shadow/rollback events interleaved with the device faults.
+    pub fn lifecycle_from_seed(seed: u64, ops: u64) -> Scenario {
+        Scenario {
+            lifecycle: true,
+            ..Scenario::from_seed(seed, ops)
+        }
+    }
+
+    /// The netfs analogue: lifecycle events on the rsize loop, under the
+    /// seeded packet-fault schedule.
+    pub fn netfs_lifecycle_from_seed(seed: u64, ops: u64) -> Scenario {
+        Scenario {
+            lifecycle: true,
+            ..Scenario::netfs_from_seed(seed, ops)
         }
     }
 
@@ -309,6 +344,47 @@ impl Scenario {
             cache_pages,
         }
     }
+
+    /// The scripted lifecycle schedule for lifecycle scenarios. Drawn from
+    /// its own domain (`0x11FC`) so neither [`Scenario::params`] nor
+    /// [`Scenario::net_params`] — and with them every pre-lifecycle pinned
+    /// trace hash — shifts by a single draw. Fixed draw order, append only.
+    pub(crate) fn lifecycle_params(&self) -> LifecycleParams {
+        let mut s = SeedStream::new(self.seed, 0x11FC);
+        let observe_every = s.range(6, 25);
+        let stage_step = s.range(12, 100);
+        let regress_step = stage_step + s.range(60, 180);
+        let corrupt_step = s.range(8, 360);
+        LifecycleParams {
+            observe_every,
+            stage_step,
+            regress_step,
+            corrupt_step,
+            initial_seed: s.next_u64(),
+            shadow_seed: s.next_u64(),
+            regress_seed: s.next_u64(),
+        }
+    }
+}
+
+/// Scripted lifecycle-event schedule derived from the seed (lifecycle
+/// scenarios only; fixed draw order — append only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LifecycleParams {
+    /// Steps between watchdog observation windows.
+    pub observe_every: u64,
+    /// Step at which the shadow candidate is staged.
+    pub stage_step: u64,
+    /// Step at which the regressed generation is operator-installed.
+    pub regress_step: u64,
+    /// Step at which the corrupted-artifact load is attempted.
+    pub corrupt_step: u64,
+    /// Model seed for the initial (generation 1) artifact.
+    pub initial_seed: u64,
+    /// Model seed for the shadow candidate artifact.
+    pub shadow_seed: u64,
+    /// Model seed for the deliberately regressed artifact.
+    pub regress_seed: u64,
 }
 
 /// Network-path parameters derived from the seed (netfs scenarios only;
@@ -377,6 +453,25 @@ mod tests {
         assert_eq!(a.faults.net_dup, masked.faults.net_dup);
         assert_eq!(a.faults.net_jitter, masked.faults.net_jitter);
         assert_eq!(a.window_ns, masked.window_ns);
+    }
+
+    #[test]
+    fn lifecycle_params_are_pure_and_leave_other_domains_untouched() {
+        let s = Scenario::lifecycle_from_seed(0x11FC, 100);
+        let (a, b) = (s.lifecycle_params(), s.lifecycle_params());
+        assert_eq!(a.stage_step, b.stage_step);
+        assert_eq!(a.observe_every, b.observe_every);
+        assert_eq!(a.shadow_seed, b.shadow_seed);
+        assert!(
+            a.regress_step > a.stage_step,
+            "the regressed install must come after the shadow is staged"
+        );
+        // The lifecycle stream is its own domain: turning lifecycle on
+        // must not move a single device-side or network-side draw.
+        let plain = Scenario::from_seed(0x11FC, 100);
+        assert_eq!(plain.params().key_space, s.params().key_space);
+        assert_eq!(plain.params().faults.seed, s.params().faults.seed);
+        assert_eq!(plain.net_params().rtt_ns, s.net_params().rtt_ns);
     }
 
     #[test]

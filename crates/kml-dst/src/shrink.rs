@@ -1,5 +1,5 @@
-//! Failure shrinking: from "seed X fails somewhere in 400 ops with six
-//! fault kinds live" to the smallest scenario that still fails.
+//! Failure shrinking: from "seed X fails somewhere in 400 ops with every
+//! fault kind live" to the smallest scenario that still fails.
 //!
 //! Two passes, both re-running the (cheap, deterministic) harness:
 //!
@@ -9,9 +9,11 @@
 //!    strictly monotone in ops (a later put can re-insert a lost key and
 //!    mask the loss), so the search result is verified and the largest
 //!    known-failing count kept as the fallback.
-//! 2. **Fault kinds**: greedily disable each of the six kinds; keep a
-//!    kind disabled only if the scenario still fails without it. What
-//!    remains is the set of faults actually implicated.
+//! 2. **Fault kinds**: greedily disable each kind in
+//!    [`FaultMask::KINDS`] (device faults, network faults, and the
+//!    scripted lifecycle events); keep a kind disabled only if the
+//!    scenario still fails without it. What remains is the set of faults
+//!    actually implicated.
 
 use crate::harness::{run, FailureReport, Outcome};
 use crate::scenario::{FaultMask, Scenario};

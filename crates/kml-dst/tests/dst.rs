@@ -87,6 +87,96 @@ fn netfs_smoke_seed_trace_hash_is_pinned() {
 }
 
 #[test]
+fn lifecycle_smoke_seeds_uphold_all_invariants() {
+    for seed in [1u64, 7, 42, 0x5EED_0004] {
+        run_or_report(&Scenario::lifecycle_from_seed(seed, SWEEP_OPS));
+        run_or_report(&Scenario::netfs_lifecycle_from_seed(seed, SWEEP_OPS));
+    }
+}
+
+/// Pinned trace hashes for the lifecycle smoke seed on both stacks, plus
+/// the demonstration the archetype demands: the scripted arc must
+/// actually promote a shadow after its clean windows *and* roll back the
+/// deliberately regressed install — deterministically, since the hash
+/// (which covers the `lc_*` events) is pinned.
+#[test]
+fn lifecycle_smoke_seed_trace_hashes_are_pinned() {
+    const SEED: u64 = 0x5EED_0004;
+    const PINNED_LSM: u64 = 0xc9a4_6ea7_5130_f586;
+    const PINNED_NETFS: u64 = 0x6d19_dc1e_5a7c_f6f5;
+    for (scenario, pinned, stack) in [
+        (
+            Scenario::lifecycle_from_seed(SEED, SWEEP_OPS),
+            PINNED_LSM,
+            "lsm",
+        ),
+        (
+            Scenario::netfs_lifecycle_from_seed(SEED, SWEEP_OPS),
+            PINNED_NETFS,
+            "netfs",
+        ),
+    ] {
+        match run(&scenario) {
+            Outcome::Pass(s) => {
+                assert!(
+                    s.promotions >= 1,
+                    "{stack}: the scripted shadow was never promoted"
+                );
+                assert!(
+                    s.rollbacks >= 1,
+                    "{stack}: the regressed install was never rolled back"
+                );
+                assert_eq!(
+                    s.trace_hash, pinned,
+                    "{stack} seed 0x{SEED:x}: trace hash 0x{:016x} != pinned 0x{pinned:016x} — \
+                     the lifecycle arc or the stack's arithmetic changed",
+                    s.trace_hash
+                );
+            }
+            Outcome::Fail(r) => panic!("{r}"),
+        }
+    }
+}
+
+/// The lifecycle sweep. A handful of seeds by default; CI's
+/// `lifecycle-smoke` job sets `KML_DST_LIFECYCLE=1` (plus
+/// `KML_DST_CASES`) to widen it. Even seeds run the LSM/readahead stack
+/// under device faults, odd seeds the netfs rsize stack under network
+/// faults — and the whole sweep must be byte-identical at any
+/// `parallel_map` worker count.
+#[test]
+fn lifecycle_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
+    let cases: u64 = if std::env::var("KML_DST_LIFECYCLE").is_ok_and(|v| v == "1") {
+        std::env::var("KML_DST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16)
+    } else {
+        4
+    };
+    let seeds: Vec<u64> = (0..cases).map(|i| 0x4000 + i).collect();
+    let run_one = |&seed: &u64| {
+        let scenario = if seed % 2 == 0 {
+            Scenario::lifecycle_from_seed(seed, SWEEP_OPS)
+        } else {
+            Scenario::netfs_lifecycle_from_seed(seed, SWEEP_OPS)
+        };
+        run_or_report(&scenario)
+    };
+    let hashes_1 = parallel_map(&seeds, 1, |_, seed| run_one(seed));
+    let hashes_3 = parallel_map(&seeds, 3, |_, seed| run_one(seed));
+    let hashes_8 = parallel_map(&seeds, 8, |_, seed| run_one(seed));
+    assert_eq!(
+        hashes_1, hashes_3,
+        "lifecycle sweep diverged between 1 and 3 workers"
+    );
+    assert_eq!(
+        hashes_1, hashes_8,
+        "lifecycle sweep diverged between 1 and 8 workers"
+    );
+}
+
+#[test]
 fn netfs_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
     let cases: u64 = std::env::var("KML_DST_CASES")
         .ok()
@@ -217,6 +307,9 @@ fn replays_reproducer_from_env() {
     } else {
         Scenario::from_seed(seed, ops)
     };
+    if std::env::var("KML_DST_LIFECYCLE").is_ok_and(|v| v == "1") {
+        scenario.lifecycle = true;
+    }
     if let Ok(disable) = std::env::var("KML_DST_DISABLE") {
         scenario.disabled = FaultMask::from_env(&disable);
     }

@@ -24,6 +24,7 @@ fn parity_cfg(seed: u64) -> FleetConfig {
             verify_parity: true,
             ..ServeOptions::default()
         },
+        swaps: kml_fleet::NO_SWAPS,
     }
 }
 

@@ -35,6 +35,29 @@ use crate::server::{
 };
 use crate::tenant::{FleetSampler, Tenant, TenantWorkload};
 
+/// A model hot-swap scheduled at a round boundary: after round
+/// `after_round` completes (responses applied), `kind`'s model is
+/// replaced by a fresh seed-derived model published as a new generation.
+/// Scheduled swaps keep lifecycle runs deterministic — the swap point is
+/// part of the configuration, not of the scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSwap {
+    /// 0-based round after which the swap is published.
+    pub after_round: usize,
+    /// The model kind to swap.
+    pub kind: ModelKind,
+    /// Seed of the replacement model (`FleetModels::untrained(seed)`).
+    pub seed: u64,
+}
+
+/// Most planned swaps a single run can carry (a fixed-size slot array
+/// keeps [`FleetConfig`] `Copy`).
+pub const MAX_PLANNED_SWAPS: usize = 4;
+
+/// No scheduled swaps — the default, and the value every pre-lifecycle
+/// call site uses.
+pub const NO_SWAPS: [Option<PlannedSwap>; MAX_PLANNED_SWAPS] = [None; MAX_PLANNED_SWAPS];
+
 /// Configuration of one fleet run.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
@@ -49,6 +72,9 @@ pub struct FleetConfig {
     pub shards: usize,
     /// Serving-policy knobs (batch size, serial baseline, parity checks).
     pub options: ServeOptions,
+    /// Model hot-swaps scheduled at round boundaries ([`NO_SWAPS`] for
+    /// none).
+    pub swaps: [Option<PlannedSwap>; MAX_PLANNED_SWAPS],
 }
 
 impl Default for FleetConfig {
@@ -59,6 +85,7 @@ impl Default for FleetConfig {
             seed: 0xF1EE7,
             shards: 64,
             options: ServeOptions::default(),
+            swaps: NO_SWAPS,
         }
     }
 }
@@ -186,7 +213,7 @@ pub fn run_fleet(cfg: &FleetConfig, models: FleetModels) -> Result<FleetReport> 
     let mut server = InferenceServer::new(models, cfg.options);
     let mut windows_submitted = 0u64;
     let mut decisions_returned = 0u64;
-    for _round in 0..cfg.rounds {
+    for round in 0..cfg.rounds {
         // Phase 1: run tenant traffic, shard-parallel.
         parallel_map(&shards, workers, |_, shard| {
             shard.lock().expect("shard lock").run_round();
@@ -212,6 +239,21 @@ pub fn run_fleet(cfg: &FleetConfig, models: FleetModels) -> Result<FleetReport> 
         parallel_map(&shards, workers, |_, shard| {
             shard.lock().expect("shard lock").apply_inbound();
         });
+        // Round boundary: publish any scheduled hot-swaps. The swap
+        // happens on the orchestration thread between ticks, so it is
+        // deterministic at any worker count; the next round's tick pins
+        // the new generation.
+        for swap in cfg.swaps.iter().flatten() {
+            if swap.after_round == round {
+                let replacement = FleetModels::untrained(swap.seed)?;
+                let model = match swap.kind {
+                    ModelKind::Readahead => replacement.readahead,
+                    ModelKind::Iosched => replacement.iosched,
+                    ModelKind::Netfs => replacement.netfs,
+                };
+                server.swap_model(swap.kind, model)?;
+            }
+        }
     }
 
     // Merge shard telemetry and check the end-of-run invariants.
@@ -279,6 +321,7 @@ mod tests {
             shards: 16,
             seed: 0xABCD,
             options: ServeOptions::default(),
+            swaps: NO_SWAPS,
         }
     }
 
@@ -311,6 +354,50 @@ mod tests {
         let eight = run_with("8");
         assert_eq!(one, three);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn mid_run_swap_is_deterministic_at_any_worker_count() {
+        let cfg = FleetConfig {
+            rounds: 3,
+            swaps: [
+                Some(PlannedSwap {
+                    after_round: 0,
+                    kind: ModelKind::Readahead,
+                    seed: 0x51AB,
+                }),
+                Some(PlannedSwap {
+                    after_round: 1,
+                    kind: ModelKind::Netfs,
+                    seed: 0x51AC,
+                }),
+                None,
+                None,
+            ],
+            ..small_cfg()
+        };
+        let run_with = |threads: &str| {
+            std::env::set_var(threading::WORKERS_ENV, threads);
+            let r = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+            std::env::remove_var(threading::WORKERS_ENV);
+            r.summary
+        };
+        let one = run_with("1");
+        let three = run_with("3");
+        let eight = run_with("8");
+        assert_eq!(one, three);
+        assert_eq!(one, eight);
+        // The swap is real: the same fleet without it decides differently
+        // (replacement models are seeded to differ from the originals).
+        let unswapped = run_fleet(
+            &FleetConfig {
+                swaps: NO_SWAPS,
+                ..cfg
+            },
+            FleetModels::untrained(cfg.seed).unwrap(),
+        )
+        .unwrap();
+        assert_ne!(one, unswapped.summary, "planned swaps had no effect");
     }
 
     #[test]

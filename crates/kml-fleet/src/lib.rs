@@ -31,7 +31,9 @@ pub mod fleet;
 pub mod server;
 pub mod tenant;
 
-pub use fleet::{run_fleet, FleetConfig, FleetReport, FleetSummary};
+pub use fleet::{
+    run_fleet, FleetConfig, FleetReport, FleetSummary, PlannedSwap, MAX_PLANNED_SWAPS, NO_SWAPS,
+};
 pub use server::{
     FleetModels, InferRequest, InferResponse, InferenceServer, ModelKind, ServeOptions,
 };

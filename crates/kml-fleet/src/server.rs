@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use kml_collect::FeatureBatch;
 use kml_core::model::Model;
 use kml_core::Result;
+use kml_lifecycle::{Generational, Pinned, ShadowStats};
 
 /// Which of the fleet's shared models a request targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -202,19 +203,35 @@ pub struct ServerStats {
 }
 
 /// The shared batched-inference server.
+///
+/// Each model kind lives in its own generation-tagged swap cell
+/// ([`Generational`]): a serving tick pins every kind once at entry, so
+/// all batches within the tick — including split `max_batch` chunks —
+/// are answered by one coherent generation even if a hot-swap lands
+/// mid-tick. [`InferenceServer::swap_model`] installs a new generation
+/// for *future* ticks without waiting for in-flight work, and an optional
+/// per-kind shadow lane evaluates a candidate on live batches without
+/// ever affecting responses.
 #[derive(Debug)]
 pub struct InferenceServer {
-    models: FleetModels,
+    /// Per-kind generational swap cells (indexed by `ModelKind::index`).
+    cells: [Generational<Model<f32>>; 3],
+    /// Per-kind shadow candidates: infer on every served batch, never
+    /// answer (indexed by `ModelKind::index`).
+    shadows: [Option<Model<f32>>; 3],
+    shadow_stats: [ShadowStats; 3],
     options: ServeOptions,
     stats: ServerStats,
     // Reused per-kind staging buffers so steady-state serving allocates
     // nothing (indexed by `ModelKind::index`).
     batches: [FeatureBatch; 3],
     classes: Vec<usize>,
+    shadow_classes: Vec<usize>,
 }
 
 impl InferenceServer {
-    /// Creates a server over the shared models.
+    /// Creates a server over the shared models (each installed as
+    /// generation 1 of its kind).
     ///
     /// # Panics
     ///
@@ -231,7 +248,13 @@ impl InferenceServer {
             }
         }
         InferenceServer {
-            models,
+            cells: [
+                Generational::new(models.readahead),
+                Generational::new(models.iosched),
+                Generational::new(models.netfs),
+            ],
+            shadows: [None, None, None],
+            shadow_stats: [ShadowStats::default(); 3],
             options,
             stats: ServerStats::default(),
             batches: [
@@ -240,6 +263,7 @@ impl InferenceServer {
                 FeatureBatch::new(netfs::tuner::NUM_RSIZE_FEATURES),
             ],
             classes: Vec::new(),
+            shadow_classes: Vec::new(),
         }
     }
 
@@ -251,6 +275,45 @@ impl InferenceServer {
     /// The serving options in force.
     pub fn options(&self) -> ServeOptions {
         self.options
+    }
+
+    /// The generation currently serving `kind`.
+    pub fn generation(&self, kind: ModelKind) -> u64 {
+        self.cells[kind.index()].generation()
+    }
+
+    /// Atomically installs `model` as `kind`'s next generation and returns
+    /// its tag. The swap takes effect at the next serving tick; a tick
+    /// already in flight finishes on the generation it pinned at entry.
+    ///
+    /// # Errors
+    ///
+    /// With [`ServeOptions::q8_serving`] on, propagates quantization
+    /// failures (the cell is untouched — the old generation keeps serving).
+    pub fn swap_model(&mut self, kind: ModelKind, mut model: Model<f32>) -> Result<u64> {
+        if self.options.q8_serving {
+            model.enable_q8()?;
+        }
+        Ok(self.cells[kind.index()].publish(model))
+    }
+
+    /// Stages `model` as `kind`'s shadow candidate (replacing any previous
+    /// one and resetting its stats). Shadows infer on every served batch
+    /// of their kind but never answer requests.
+    pub fn set_shadow(&mut self, kind: ModelKind, model: Model<f32>) {
+        self.shadows[kind.index()] = Some(model);
+        self.shadow_stats[kind.index()] = ShadowStats::default();
+    }
+
+    /// Discards `kind`'s shadow candidate and returns its final stats.
+    pub fn clear_shadow(&mut self, kind: ModelKind) -> ShadowStats {
+        self.shadows[kind.index()] = None;
+        std::mem::take(&mut self.shadow_stats[kind.index()])
+    }
+
+    /// Agreement stats for `kind`'s staged shadow (zeroed when none).
+    pub fn shadow_stats(&self, kind: ModelKind) -> ShadowStats {
+        self.shadow_stats[kind.index()]
     }
 
     /// Serves one tick: answers every pending request, in order, exactly
@@ -271,13 +334,17 @@ impl InferenceServer {
     pub fn serve(&mut self, requests: &[InferRequest]) -> Result<Vec<InferResponse>> {
         let mut responses = Vec::with_capacity(requests.len());
         for kind in ModelKind::ALL {
+            // Pin the kind's generation once per tick: every chunk of this
+            // group — and the tick's parity re-checks — runs on one
+            // coherent model even if a swap is published mid-tick.
+            let pin = self.cells[kind.index()].pin();
             // Index-based grouping keeps the per-kind order identical to
             // the submission order (shard-major, tenant-minor) — the
             // stability the exactly-once accounting and the `--threads`
             // byte-identity guarantee both lean on.
             let group: Vec<&InferRequest> = requests.iter().filter(|r| r.kind == kind).collect();
             for chunk in group.chunks(self.options.max_batch.max(1)) {
-                self.serve_chunk(kind, chunk, &mut responses)?;
+                self.serve_chunk(kind, &pin, chunk, &mut responses)?;
             }
         }
         self.stats.requests += requests.len() as u64;
@@ -287,6 +354,7 @@ impl InferenceServer {
     fn serve_chunk(
         &mut self,
         kind: ModelKind,
+        pin: &Pinned<Model<f32>>,
         chunk: &[&InferRequest],
         responses: &mut Vec<InferResponse>,
     ) -> Result<()> {
@@ -296,9 +364,10 @@ impl InferenceServer {
         if self.options.serial_inference {
             // Baseline mode: one single-row forward pass per window.
             for req in chunk {
-                let class = self.models.model_mut(kind).predict(req.features())?;
+                let class = pin.with(|model| model.predict(req.features()))?;
                 self.stats.forward_passes += 1;
                 *self.stats.batch_sizes.entry(1).or_insert(0) += 1;
+                self.observe_shadow_row(kind, req, class);
                 responses.push(InferResponse {
                     tenant_id: req.tenant_id,
                     kind,
@@ -312,18 +381,22 @@ impl InferenceServer {
         for req in chunk {
             batch.push_row(req.features());
         }
-        let model = self.models.model_mut(kind);
-        model.predict_batch_into(batch.as_slice(), batch.rows(), &mut self.classes)?;
+        let classes = &mut self.classes;
+        pin.with(|model| model.predict_batch_into(batch.as_slice(), batch.rows(), classes))?;
         self.stats.forward_passes += 1;
         *self.stats.batch_sizes.entry(chunk.len()).or_insert(0) += 1;
-        for (req, &class) in chunk.iter().zip(&self.classes) {
+        self.observe_shadow_batch(kind, chunk.len());
+        for (i, (req, &class)) in chunk.iter().zip(&self.classes).enumerate() {
             if self.options.verify_parity {
-                let serial = self.models.model_mut(kind).predict(req.features())?;
+                let serial = pin.with(|model| model.predict(req.features()))?;
                 assert_eq!(
                     serial, class,
                     "batched class diverged from serial for tenant {} ({kind})",
                     req.tenant_id
                 );
+            }
+            if let Some(&shadow_class) = self.shadow_classes.get(i) {
+                self.shadow_stats[kind.index()].record(shadow_class == class);
             }
             responses.push(InferResponse {
                 tenant_id: req.tenant_id,
@@ -331,7 +404,41 @@ impl InferenceServer {
                 class,
             });
         }
+        self.shadow_classes.clear();
         Ok(())
+    }
+
+    /// Runs `kind`'s shadow (if staged) over the batch already staged in
+    /// the kind's feature buffer, filling `shadow_classes` for the
+    /// per-row agreement fold. A shadow inference failure counts as an
+    /// error per row and never affects responses.
+    fn observe_shadow_batch(&mut self, kind: ModelKind, rows: usize) {
+        self.shadow_classes.clear();
+        let Some(shadow) = &mut self.shadows[kind.index()] else {
+            return;
+        };
+        let batch = &self.batches[kind.index()];
+        if shadow
+            .predict_batch_into(batch.as_slice(), batch.rows(), &mut self.shadow_classes)
+            .is_err()
+        {
+            self.shadow_classes.clear();
+            self.shadow_stats[kind.index()].errors += rows as u64;
+        }
+    }
+
+    /// Serial-mode counterpart of [`Self::observe_shadow_batch`]: one
+    /// shadow prediction per served row.
+    fn observe_shadow_row(&mut self, kind: ModelKind, req: &InferRequest, active_class: usize) {
+        let Some(shadow) = &mut self.shadows[kind.index()] else {
+            return;
+        };
+        match shadow.predict(req.features()) {
+            Ok(shadow_class) => {
+                self.shadow_stats[kind.index()].record(shadow_class == active_class);
+            }
+            Err(_) => self.shadow_stats[kind.index()].errors += 1,
+        }
     }
 }
 
@@ -484,6 +591,106 @@ mod tests {
         }
         assert_eq!(outs[0], outs[1]);
         assert_eq!(outs[0], outs[2]);
+    }
+
+    #[test]
+    fn post_swap_decisions_match_a_fresh_server_with_the_new_model() {
+        let requests = mixed_requests(97);
+        let mut server =
+            InferenceServer::new(FleetModels::untrained(11).unwrap(), ServeOptions::default());
+        assert_eq!(server.generation(ModelKind::Readahead), 1);
+        let before = server.serve(&requests).unwrap();
+
+        // Hot-swap the readahead model to a different seed's weights.
+        let new_gen = server
+            .swap_model(
+                ModelKind::Readahead,
+                FleetModels::untrained(77).unwrap().readahead,
+            )
+            .unwrap();
+        assert_eq!(new_gen, 2);
+        assert_eq!(server.generation(ModelKind::Readahead), 2);
+        assert_eq!(
+            server.generation(ModelKind::Iosched),
+            1,
+            "other kinds untouched"
+        );
+        let after = server.serve(&requests).unwrap();
+
+        // Post-swap decisions are exactly what a fresh server built with
+        // the swapped-in composition produces.
+        let fresh_models = FleetModels {
+            readahead: FleetModels::untrained(77).unwrap().readahead,
+            iosched: FleetModels::untrained(11).unwrap().iosched,
+            netfs: FleetModels::untrained(11).unwrap().netfs,
+        };
+        let mut fresh = InferenceServer::new(fresh_models, ServeOptions::default());
+        let expected = fresh.serve(&requests).unwrap();
+        assert_eq!(after, expected);
+        // And the swap was real: readahead decisions changed.
+        assert_ne!(before, after, "swap produced identical decisions");
+        // Non-swapped kinds are untouched.
+        for (b, a) in before.iter().zip(&after) {
+            if b.kind != ModelKind::Readahead {
+                assert_eq!(b, a);
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_lane_never_changes_responses_and_accumulates_stats() {
+        let requests = mixed_requests(120);
+        let mut plain =
+            InferenceServer::new(FleetModels::untrained(11).unwrap(), ServeOptions::default());
+        let mut shadowed =
+            InferenceServer::new(FleetModels::untrained(11).unwrap(), ServeOptions::default());
+        shadowed.set_shadow(
+            ModelKind::Readahead,
+            FleetModels::untrained(42).unwrap().readahead,
+        );
+        let a = plain.serve(&requests).unwrap();
+        let b = shadowed.serve(&requests).unwrap();
+        assert_eq!(a, b, "shadow affected served decisions");
+        let stats = shadowed.shadow_stats(ModelKind::Readahead);
+        assert_eq!(stats.windows, 40, "one comparison per readahead window");
+        assert_eq!(stats.errors, 0);
+        // Clearing returns the final stats and zeroes the lane.
+        let finished = shadowed.clear_shadow(ModelKind::Readahead);
+        assert_eq!(finished, stats);
+        assert_eq!(
+            shadowed.shadow_stats(ModelKind::Readahead),
+            ShadowStats::default()
+        );
+        let c = shadowed.serve(&requests).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(shadowed.shadow_stats(ModelKind::Readahead).windows, 0);
+    }
+
+    #[test]
+    fn shadow_agrees_with_itself_and_serial_mode_matches_batched() {
+        // A shadow identical to the active model agrees on every window,
+        // in both serving modes.
+        let requests = mixed_requests(90);
+        for serial in [false, true] {
+            let mut server = InferenceServer::new(
+                FleetModels::untrained(11).unwrap(),
+                ServeOptions {
+                    serial_inference: serial,
+                    ..ServeOptions::default()
+                },
+            );
+            server.set_shadow(
+                ModelKind::Iosched,
+                FleetModels::untrained(11).unwrap().iosched,
+            );
+            server.serve(&requests).unwrap();
+            let stats = server.shadow_stats(ModelKind::Iosched);
+            assert_eq!(stats.windows, 30);
+            assert_eq!(
+                stats.agreements, 30,
+                "identical shadow must agree (serial={serial})"
+            );
+        }
     }
 
     #[test]

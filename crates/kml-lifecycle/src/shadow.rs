@@ -1,0 +1,61 @@
+//! Shadow-mode bookkeeping.
+//!
+//! A shadow candidate infers on exactly the live windows the active model
+//! sees, but its predictions are never actuated — the loop's knob moves
+//! only on active decisions. What shadow mode produces is evidence:
+//! per-window decision agreement with the active model, accumulated here,
+//! plus the throughput the loop sustained while the candidate was staged
+//! (tracked by the controller against the active baseline). The watchdog
+//! promotes a candidate only after enough clean windows of that evidence.
+
+/// Decision-agreement counters for one staged shadow candidate. Reset
+/// when a candidate is staged, frozen into the promotion record when it
+/// is promoted or discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowStats {
+    /// Windows on which both active and shadow produced a decision.
+    pub windows: u64,
+    /// Windows on which the shadow's class matched the active class.
+    pub agreements: u64,
+    /// Shadow inference errors (shape mismatches — deployment bugs; the
+    /// active path is never affected).
+    pub errors: u64,
+}
+
+impl ShadowStats {
+    /// Folds one compared window.
+    pub fn record(&mut self, agreed: bool) {
+        self.windows += 1;
+        if agreed {
+            self.agreements += 1;
+        }
+    }
+
+    /// Agreement rate in percent (100.0 when no windows were compared —
+    /// an unchallenged candidate has no evidence of disagreement).
+    pub fn agreement_pct(&self) -> f64 {
+        if self.windows == 0 {
+            100.0
+        } else {
+            self.agreements as f64 * 100.0 / self.windows as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_accounting() {
+        let mut s = ShadowStats::default();
+        assert_eq!(s.agreement_pct(), 100.0);
+        s.record(true);
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        assert_eq!(s.windows, 4);
+        assert_eq!(s.agreements, 3);
+        assert_eq!(s.agreement_pct(), 75.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Generation-tagged atomic hot-swap.
+//!
+//! [`Generational<T>`] is the swap cell the fleet's batched server keeps
+//! one of per model kind: readers *pin* the current generation (an `Arc`
+//! clone taken under a short read lock) and keep using it for as long as
+//! they hold the pin, while [`Generational::publish`] installs a new
+//! generation for future pins without waiting for in-flight work. There
+//! is no torn state by construction — a pin observes exactly one
+//! `(generation, value)` pair, and a publish replaces the whole pair in
+//! one pointer swap.
+//!
+//! The cell is deliberately small: the *policy* of when to swap (shadow
+//! evaluation, watchdog rollback) lives in [`crate::controller`]; this
+//! module only guarantees that however a swap is decided, serving never
+//! observes half of one model and half of another.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One published generation: the tag plus the value behind its own lock
+/// (models need `&mut` for their scratch buffers even during inference).
+#[derive(Debug)]
+struct GenEntry<T> {
+    generation: u64,
+    value: Mutex<T>,
+}
+
+/// A handle pinning one generation. In-flight work holds a `Pinned` for
+/// its whole batch: publishes that happen meanwhile are invisible to it,
+/// so the batch finishes on the generation it started on.
+#[derive(Debug)]
+pub struct Pinned<T> {
+    entry: Arc<GenEntry<T>>,
+}
+
+impl<T> Pinned<T> {
+    /// The pinned generation tag.
+    pub fn generation(&self) -> u64 {
+        self.entry.generation
+    }
+
+    /// Runs `f` with exclusive access to the pinned value.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.entry.value.lock().expect("generation lock poisoned");
+        f(&mut guard)
+    }
+}
+
+impl<T> Clone for Pinned<T> {
+    fn clone(&self) -> Self {
+        Pinned {
+            entry: Arc::clone(&self.entry),
+        }
+    }
+}
+
+/// The generation-tagged swap cell.
+#[derive(Debug)]
+pub struct Generational<T> {
+    slot: RwLock<Arc<GenEntry<T>>>,
+    next_gen: AtomicU64,
+}
+
+impl<T> Generational<T> {
+    /// Wraps `value` as generation 1.
+    pub fn new(value: T) -> Self {
+        Generational {
+            slot: RwLock::new(Arc::new(GenEntry {
+                generation: 1,
+                value: Mutex::new(value),
+            })),
+            next_gen: AtomicU64::new(2),
+        }
+    }
+
+    /// Pins the current generation. The pin stays valid — same
+    /// generation, same value — across any number of publishes.
+    pub fn pin(&self) -> Pinned<T> {
+        Pinned {
+            entry: Arc::clone(&self.slot.read().expect("swap slot poisoned")),
+        }
+    }
+
+    /// The currently published generation tag.
+    pub fn generation(&self) -> u64 {
+        self.slot.read().expect("swap slot poisoned").generation
+    }
+
+    /// Atomically installs `value` as the next generation and returns its
+    /// tag. Existing pins are untouched; the swap itself is one pointer
+    /// store under the write lock, so the pause it imposes on new pins is
+    /// bounded by an `Arc` allocation, not by model size.
+    pub fn publish(&self, value: T) -> u64 {
+        let generation = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        self.publish_tagged(value, generation);
+        generation
+    }
+
+    /// Installs `value` under an explicit (typically previously issued)
+    /// generation tag — the rollback path, where restoring generation `g`
+    /// must be observable as generation `g`, not as a new one.
+    pub fn publish_tagged(&self, value: T, generation: u64) {
+        let entry = Arc::new(GenEntry {
+            generation,
+            value: Mutex::new(value),
+        });
+        // Keep future publish() tags ahead of any explicit tag.
+        self.next_gen.fetch_max(generation + 1, Ordering::Relaxed);
+        *self.slot.write().expect("swap slot poisoned") = entry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_survive_publishes() {
+        let cell = Generational::new(10u64);
+        let pinned = cell.pin();
+        assert_eq!(pinned.generation(), 1);
+        let g2 = cell.publish(20);
+        assert_eq!(g2, 2);
+        // The in-flight pin still sees generation 1's value.
+        assert_eq!(pinned.with(|v| *v), 10);
+        assert_eq!(pinned.generation(), 1);
+        // A fresh pin sees the new generation.
+        let fresh = cell.pin();
+        assert_eq!(fresh.generation(), 2);
+        assert_eq!(fresh.with(|v| *v), 20);
+    }
+
+    #[test]
+    fn rollback_restores_the_original_tag() {
+        let cell = Generational::new(1u64);
+        cell.publish(2);
+        cell.publish_tagged(1, 1); // roll back to generation 1
+        assert_eq!(cell.generation(), 1);
+        // The next forward publish does not collide with generation 2.
+        assert_eq!(cell.publish(3), 3);
+    }
+
+    #[test]
+    fn concurrent_publishes_never_tear() {
+        let cell = Arc::new(Generational::new((0u64, 0u64)));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for i in 1..=1000u64 {
+                    cell.publish((i, i.wrapping_mul(0x9E37_79B9)));
+                }
+            })
+        };
+        for _ in 0..1000 {
+            let pinned = cell.pin();
+            let (a, b) = pinned.with(|v| *v);
+            assert_eq!(b, a.wrapping_mul(0x9E37_79B9), "torn read");
+        }
+        publisher.join().expect("publisher thread");
+    }
+}

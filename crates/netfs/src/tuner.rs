@@ -34,6 +34,7 @@ use kml_core::loss::CrossEntropyLoss;
 use kml_core::model::{Model, ModelBuilder};
 use kml_core::optimizer::Sgd;
 use kml_core::{KmlRng, Result};
+use kml_lifecycle::{ArtifactError, ArtifactKind, LifecycleTarget, ShadowStats};
 use kml_telemetry::{Counter, Gauge, Registry, Span, StageSet};
 use rand::SeedableRng;
 
@@ -213,6 +214,9 @@ pub struct RsizeDecision {
     pub class: usize,
     /// rsize applied, KiB.
     pub rsize_kb: u32,
+    /// Generation of the model that took the decision (1 until the first
+    /// lifecycle swap).
+    pub generation: u64,
 }
 
 /// Loop telemetry: per-stage spans plus decision accounting, mirroring the
@@ -267,6 +271,15 @@ pub struct RsizeTuner {
     decisions: Vec<RsizeDecision>,
     telemetry: LoopTelemetry,
     telemetry_bound: bool,
+    /// Generation of the active model (1 until the first lifecycle swap).
+    model_generation: u64,
+    /// Staged shadow candidate: infers on every window, never actuates.
+    shadow: Option<RsizeTunerModel>,
+    shadow_stats: ShadowStats,
+    /// The shadow's prediction for the window most recently returned by
+    /// [`RsizeTuner::poll_window`], folded into the agreement stats by the
+    /// matching [`RsizeTuner::apply_class`].
+    pending_shadow_class: Option<usize>,
 }
 
 impl RsizeTuner {
@@ -295,6 +308,10 @@ impl RsizeTuner {
             decisions: Vec::new(),
             telemetry: LoopTelemetry::noop(),
             telemetry_bound: false,
+            model_generation: 1,
+            shadow: None,
+            shadow_stats: ShadowStats::default(),
+            pending_shadow_class: None,
         }
     }
 
@@ -364,6 +381,17 @@ impl RsizeTuner {
             next += self.window_ns;
         }
         self.next_window_end = Some(next);
+        if let (Some(f), Some(shadow)) = (&features, &mut self.shadow) {
+            // Shadow inference on the exact window the active model will
+            // see; the prediction is only recorded, never actuated.
+            match shadow.predict(f) {
+                Ok(class) => self.pending_shadow_class = Some(class),
+                Err(_) => {
+                    self.shadow_stats.errors += 1;
+                    self.pending_shadow_class = None;
+                }
+            }
+        }
         features
     }
 
@@ -373,6 +401,11 @@ impl RsizeTuner {
     /// growth waits for confirmation (see the hysteresis field note).
     pub fn apply_class(&mut self, mount: &mut NfsMount, class: usize) {
         let now = mount.now_ns();
+        if self.shadow.is_some() {
+            if let Some(shadow_class) = self.pending_shadow_class.take() {
+                self.shadow_stats.record(shadow_class == class);
+            }
+        }
         let target = self.policy.rsize_kb_for(class);
         let confirmed =
             target <= mount.rsize_kb() || !self.hysteresis || self.last_class == Some(class);
@@ -394,7 +427,47 @@ impl RsizeTuner {
             time_ns: now,
             class,
             rsize_kb,
+            generation: self.model_generation,
         });
+    }
+
+    /// Replaces the active model under an explicit generation tag,
+    /// resetting the hysteresis state.
+    pub fn swap_model(&mut self, model: RsizeTunerModel, generation: u64) {
+        self.model = model;
+        self.model_generation = generation;
+        self.last_class = None;
+    }
+
+    /// Stages a shadow candidate (replacing any previous one and resetting
+    /// its stats). The active model and the mount's rsize are untouched.
+    pub fn stage_shadow_model(&mut self, model: RsizeTunerModel) {
+        self.shadow = Some(model);
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    /// Whether a shadow candidate is staged.
+    pub fn shadow_staged(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The active model's generation tag.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// Decodes a netfs-rsize `.kmlm` artifact into a deployable model,
+    /// cross-checking its class count against this tuner's policy.
+    fn decode_artifact(&self, bytes: &[u8]) -> std::result::Result<RsizeTunerModel, ArtifactError> {
+        let loaded = kml_lifecycle::load_model_for::<f32>(bytes, ArtifactKind::NetfsRsize)?;
+        if loaded.model.output_dim() != self.policy.classes() {
+            return Err(ArtifactError::ClassMismatch {
+                artifact: loaded.model.output_dim(),
+                policy: self.policy.classes(),
+            });
+        }
+        Ok(RsizeTunerModel::NeuralNet(Box::new(loaded.model)))
     }
 
     /// All decisions taken so far.
@@ -410,6 +483,41 @@ impl RsizeTuner {
     /// RPC events consumed from the ring so far.
     pub fn events_consumed(&self) -> u64 {
         self.consumer.consumed()
+    }
+}
+
+impl LifecycleTarget for RsizeTuner {
+    /// Atomic by construction: the artifact is fully decoded and verified
+    /// before any tuner state changes; a failed load leaves the model, the
+    /// generation, and the mount's rsize exactly as they were.
+    fn install_artifact(
+        &mut self,
+        bytes: &[u8],
+        generation: u64,
+    ) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.swap_model(model, generation);
+        Ok(())
+    }
+
+    fn stage_shadow_artifact(&mut self, bytes: &[u8]) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.stage_shadow_model(model);
+        Ok(())
+    }
+
+    fn clear_shadow(&mut self) {
+        self.shadow = None;
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    fn generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    fn shadow_stats(&self) -> ShadowStats {
+        self.shadow_stats
     }
 }
 

@@ -19,6 +19,7 @@ use kml_collect::ringbuf::Consumer;
 use kml_core::dtree::DecisionTree;
 use kml_core::model::Model;
 use kml_core::Result;
+use kml_lifecycle::{ArtifactError, ArtifactKind, LifecycleTarget, ShadowStats};
 use kml_telemetry::{Counter, Gauge, Registry, Span, StageSet};
 
 /// Metric name prefix for the tuner's loop-stage and decision metrics.
@@ -137,6 +138,9 @@ pub struct TunerDecision {
     pub class: usize,
     /// Readahead applied, KiB.
     pub ra_kb: u32,
+    /// Generation of the model that took the decision (1 until the first
+    /// lifecycle swap) — the rollback proof reads this field.
+    pub generation: u64,
 }
 
 /// The closed-loop readahead tuner.
@@ -156,6 +160,16 @@ pub struct KmlTuner {
     decisions: Vec<TunerDecision>,
     telemetry: TunerTelemetry,
     telemetry_bound: bool,
+    /// Generation of the active model (1 until the first lifecycle swap).
+    model_generation: u64,
+    /// Staged shadow candidate: infers on every window the active model
+    /// sees, never actuates.
+    shadow: Option<TunerModel>,
+    shadow_stats: ShadowStats,
+    /// The shadow's prediction for the window most recently returned by
+    /// [`KmlTuner::poll_window`], folded into the agreement stats by the
+    /// matching [`KmlTuner::apply_class`].
+    pending_shadow_class: Option<usize>,
 }
 
 impl KmlTuner {
@@ -186,6 +200,10 @@ impl KmlTuner {
             decisions: Vec::new(),
             telemetry: TunerTelemetry::noop(),
             telemetry_bound: false,
+            model_generation: 1,
+            shadow: None,
+            shadow_stats: ShadowStats::default(),
+            pending_shadow_class: None,
         }
     }
 
@@ -262,6 +280,17 @@ impl KmlTuner {
             next += self.window_ns;
         }
         self.next_window_end = Some(next);
+        if let (Some(f), Some(shadow)) = (&features, &mut self.shadow) {
+            // Shadow inference on the exact window the active model will
+            // see; the prediction is only recorded, never actuated.
+            match shadow.predict(f) {
+                Ok(class) => self.pending_shadow_class = Some(class),
+                Err(_) => {
+                    self.shadow_stats.errors += 1;
+                    self.pending_shadow_class = None;
+                }
+            }
+        }
         features
     }
 
@@ -274,6 +303,11 @@ impl KmlTuner {
     /// whipsaw the readahead setting.
     pub fn apply_class(&mut self, sim: &mut Sim, class: usize) {
         let now = sim.now_ns();
+        if self.shadow.is_some() {
+            if let Some(shadow_class) = self.pending_shadow_class.take() {
+                self.shadow_stats.record(shadow_class == class);
+            }
+        }
         let confirmed = !self.hysteresis || self.last_class == Some(class);
         self.last_class = Some(class);
         let ra_kb = if confirmed {
@@ -299,7 +333,48 @@ impl KmlTuner {
             time_ns: now,
             class,
             ra_kb,
+            generation: self.model_generation,
         });
+    }
+
+    /// Replaces the active model under an explicit generation tag. The
+    /// hysteresis state resets — the new model's first window should not be
+    /// confirmed by its predecessor's last prediction.
+    pub fn swap_model(&mut self, model: TunerModel, generation: u64) {
+        self.model = model;
+        self.model_generation = generation;
+        self.last_class = None;
+    }
+
+    /// Stages a shadow candidate (replacing any previous one and resetting
+    /// its stats). The active model and the readahead knob are untouched.
+    pub fn stage_shadow_model(&mut self, model: TunerModel) {
+        self.shadow = Some(model);
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    /// Whether a shadow candidate is staged.
+    pub fn shadow_staged(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The active model's generation tag.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// Decodes a readahead `.kmlm` artifact into a deployable model,
+    /// cross-checking its class count against this tuner's policy.
+    fn decode_artifact(&self, bytes: &[u8]) -> std::result::Result<TunerModel, ArtifactError> {
+        let loaded = kml_lifecycle::load_model_for::<f32>(bytes, ArtifactKind::Readahead)?;
+        if loaded.model.output_dim() != self.policy.classes() {
+            return Err(ArtifactError::ClassMismatch {
+                artifact: loaded.model.output_dim(),
+                policy: self.policy.classes(),
+            });
+        }
+        Ok(TunerModel::NeuralNet(Box::new(loaded.model)))
     }
 
     /// The readahead currently in force, KiB.
@@ -328,6 +403,41 @@ impl KmlTuner {
                 d.ra_kb
             )
         })
+    }
+}
+
+impl LifecycleTarget for KmlTuner {
+    /// Atomic by construction: the artifact is fully decoded and verified
+    /// before any tuner state changes; a failed load leaves the model, the
+    /// generation, and the readahead knob exactly as they were.
+    fn install_artifact(
+        &mut self,
+        bytes: &[u8],
+        generation: u64,
+    ) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.swap_model(model, generation);
+        Ok(())
+    }
+
+    fn stage_shadow_artifact(&mut self, bytes: &[u8]) -> std::result::Result<(), ArtifactError> {
+        let model = self.decode_artifact(bytes)?;
+        self.stage_shadow_model(model);
+        Ok(())
+    }
+
+    fn clear_shadow(&mut self) {
+        self.shadow = None;
+        self.shadow_stats = ShadowStats::default();
+        self.pending_shadow_class = None;
+    }
+
+    fn generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    fn shadow_stats(&self) -> ShadowStats {
+        self.shadow_stats
     }
 }
 
@@ -409,6 +519,73 @@ mod tests {
         // Decisions recorded with monotone timestamps.
         let d = tuner.decisions();
         assert!(d.windows(2).all(|w| w[0].time_ns <= w[1].time_ns));
+    }
+
+    /// Trains nothing: an untrained f32 net with the right dims, saved as
+    /// a readahead artifact.
+    fn artifact(seed: u64, classes: usize) -> Vec<u8> {
+        let mut m = kml_core::model::ModelBuilder::readahead_paper_topology(5, classes)
+            .seed(seed)
+            .build::<f32>()
+            .unwrap();
+        kml_lifecycle::save_model(ArtifactKind::Readahead, &mut m).unwrap()
+    }
+
+    #[test]
+    fn lifecycle_swap_shadow_and_atomic_failure() {
+        let mut sim = Sim::new(SimConfig::default());
+        let (producer, consumer) = RingBuffer::with_capacity(1 << 14).split();
+        sim.attach_trace(producer);
+        let f = sim.create_file(1 << 20);
+        let mut tuner = KmlTuner::new(
+            TunerModel::Tree(stub_tree()),
+            RaPolicy::new(vec![16, 1024]),
+            consumer,
+            1_000_000,
+            128,
+        );
+        assert_eq!(tuner.model_generation(), 1);
+
+        // Install a real artifact as generation 2 and stage a shadow.
+        tuner.install_artifact(&artifact(7, 2), 2).unwrap();
+        assert_eq!(tuner.model_generation(), 2);
+        tuner.stage_shadow_artifact(&artifact(8, 2)).unwrap();
+        assert!(tuner.shadow_staged());
+
+        // Drive traffic: decisions carry the generation, the shadow
+        // accumulates agreement windows, and the knob only ever moves on
+        // active decisions.
+        for p in 0..4_000u64 {
+            sim.read(f, p % ((1 << 20) - 8), 4).unwrap();
+            tuner.on_op(&mut sim).unwrap();
+        }
+        assert!(!tuner.decisions().is_empty());
+        assert!(tuner.decisions().iter().all(|d| d.generation == 2));
+        let stats = LifecycleTarget::shadow_stats(&tuner);
+        assert!(stats.windows > 0, "shadow saw no windows");
+        assert_eq!(stats.errors, 0);
+
+        // A wrong-class artifact is rejected atomically: generation, knob,
+        // and staged shadow all untouched.
+        let ra_before = tuner.current_ra_kb();
+        let err = tuner.install_artifact(&artifact(9, 3), 3).unwrap_err();
+        assert!(matches!(
+            err,
+            ArtifactError::ClassMismatch {
+                artifact: 3,
+                policy: 2
+            }
+        ));
+        assert_eq!(tuner.model_generation(), 2);
+        assert_eq!(tuner.current_ra_kb(), ra_before);
+        assert!(tuner.shadow_staged());
+
+        // So is a corrupted artifact.
+        let mut corrupt = artifact(7, 2);
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(tuner.install_artifact(&corrupt, 3).is_err());
+        assert_eq!(tuner.model_generation(), 2);
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! - [`netfs`] — the network-storage use case: a simulated NFS-like mount
 //!   (RPC transport, retransmission, duplicate-request cache) with a KML
 //!   loop tuning the `rsize` transfer size per link condition.
+//! - [`kml_lifecycle`] — model lifecycle: versioned `.kmlm` deployment
+//!   artifacts, generation-tagged hot-swap, shadow evaluation, and
+//!   deterministic watchdog promote/rollback.
 
 pub use iosched;
 pub use kernel_sim;
 pub use kml_collect;
 pub use kml_core;
+pub use kml_lifecycle;
 pub use kml_platform;
 pub use kvstore;
 pub use netfs;
