@@ -293,6 +293,36 @@ fn cmd_fleet(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
         report.tenant_windows_per_sec(),
         report.wall_secs
     );
+    // Phase spans recorded by the fleet engine. These are wall-clock
+    // facts (and overlap by design in the pipelined engine), so they are
+    // stdout-only too. Only `run_fleet` records these histograms, so the
+    // global registry holds exactly this run's rounds.
+    let snap = kml_telemetry::Registry::global().snapshot();
+    let pool_workers = snap.gauge("kml.pool_workers").unwrap_or(0);
+    println!("phase breakdown ({} pool workers):", pool_workers);
+    for (label, name) in [
+        (
+            "run   (round start -> last shard simulated)",
+            "fleet.phase_run_ns",
+        ),
+        (
+            "serve (round start -> last chunk applied)  ",
+            "fleet.phase_serve_ns",
+        ),
+        (
+            "apply (summed in-worker scatter time)      ",
+            "fleet.phase_apply_ns",
+        ),
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            println!(
+                "  {label}: mean {:8.2} ms/round, p99 {:8.2} ms, max {:8.2} ms",
+                h.mean() / 1e6,
+                h.p99 as f64 / 1e6,
+                h.max as f64 / 1e6
+            );
+        }
+    }
     println!(
         "Shape: every submitted window is answered exactly once; batching\n\
          collapses ~{}x forward passes into {} and changes nothing else.\n",
@@ -341,6 +371,24 @@ fn cmd_fleet(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
         }
         let jp = write_json_results("e10_fleet.jsonl", &json_lines)?;
         println!("json-lines written to {}\n", jp.display());
+        // Phase breakdown: schema-tagged but printed to stdout ONLY —
+        // wall-clock timings must never reach the byte-compared results
+        // files (CI hashes e10_fleet.jsonl across worker counts).
+        for (phase, name) in [
+            ("run", "fleet.phase_run_ns"),
+            ("serve", "fleet.phase_serve_ns"),
+            ("apply", "fleet.phase_apply_ns"),
+        ] {
+            if let Some(h) = snap.histogram(name) {
+                println!(
+                    "{{\"schema\":\"fleet_phase\",\"experiment\":\"e10_fleet\",\"phase\":\"{phase}\",\"rounds\":{},\"mean_ns\":{:.0},\"p99_ns\":{},\"max_ns\":{},\"pool_workers\":{pool_workers}}}",
+                    h.count,
+                    h.mean(),
+                    h.p99,
+                    h.max,
+                );
+            }
+        }
     }
     Ok(())
 }
@@ -409,10 +457,9 @@ fn cmd_lifecycle(quick: bool, json: bool, corrupt: bool) -> DynResult {
     // byte-identical to serial and results are collected in spec order,
     // so the artifacts don't depend on the worker count.
     let specs: [(usize, u64); 3] = [(1, 11), (1, 23), (0, 37)];
-    let trained =
-        threading::parallel_map(&specs, threading::default_workers(), |_, &(class, seed)| {
-            lifecycle_artifact(class, POLICY_KB.len(), seed, epochs)
-        });
+    let trained = threading::pool_map(&specs, threading::default_workers(), |_, &(class, seed)| {
+        lifecycle_artifact(class, POLICY_KB.len(), seed, epochs)
+    });
     let mut it = trained.into_iter();
     let active = it.next().expect("3 specs")?;
     let candidate = it.next().expect("3 specs")?;
@@ -784,10 +831,9 @@ fn cmd_netfs(quick: bool, json: bool) -> DynResult {
     // and tuner from the profile seed, so fan-out is deterministic and the
     // rows come back in profile order.
     let profiles = NetProfile::experiment_profiles(7);
-    let outcomes =
-        threading::parallel_map(&profiles, threading::default_workers(), |_, &profile| {
-            netfs::compare(profile, &model_bytes, &cfg)
-        });
+    let outcomes = threading::pool_map(&profiles, threading::default_workers(), |_, &profile| {
+        netfs::compare(profile, &model_bytes, &cfg)
+    });
     let mut rows = Vec::new();
     let mut json_lines = String::new();
     let mut speedups = Vec::new();
@@ -862,7 +908,7 @@ fn cmd_iosched() -> DynResult {
     ];
     // Each traffic pattern trains and evaluates its own tuner — independent
     // tasks, deterministic seeds, row order fixed by the workload list.
-    let results = threading::parallel_map(
+    let results = threading::pool_map(
         &workloads,
         threading::default_workers(),
         |_, &workload| -> kml_core::Result<Vec<String>> {
@@ -930,7 +976,7 @@ fn cmd_rl(cfg: &LoopConfig) -> DynResult {
             tasks.push((device, workload));
         }
     }
-    let results = threading::parallel_map(
+    let results = threading::pool_map(
         &tasks,
         threading::default_workers(),
         |_, &(device, workload)| -> kml_core::Result<Vec<String>> {
@@ -1050,7 +1096,7 @@ fn cmd_table2(cfg: &LoopConfig, json: bool) -> DynResult {
             tasks.push((workload, device));
         }
     }
-    let outcomes = threading::parallel_map(
+    let outcomes = threading::pool_map(
         &tasks,
         threading::default_workers(),
         |_, &(workload, device)| closed_loop::compare(workload, device, trained, cfg),
@@ -1118,7 +1164,7 @@ fn cmd_figure2(cfg: &LoopConfig) -> DynResult {
     // Ensemble members are independent runs seeded by repeat index; run them
     // concurrently and keep CSV rows grouped by repeat, as sequentially.
     let reps: Vec<usize> = (0..repeats).collect();
-    let outcomes = threading::parallel_map(&reps, threading::default_workers(), |_, &rep| {
+    let outcomes = threading::pool_map(&reps, threading::default_workers(), |_, &rep| {
         let mut run_cfg = cfg.clone();
         run_cfg.seed = cfg.seed + rep as u64;
         closed_loop::compare(Workload::MixGraph, DeviceProfile::nvme(), trained, &run_cfg)
@@ -1168,7 +1214,7 @@ fn cmd_dtree(cfg: &LoopConfig, json: bool) -> DynResult {
     for device in [DeviceProfile::nvme(), DeviceProfile::sata_ssd()] {
         // vanilla / NN / tree triples per workload are independent cells.
         let workloads = Workload::all();
-        let triples = threading::parallel_map(
+        let triples = threading::pool_map(
             &workloads,
             threading::default_workers(),
             |_, &workload| -> kml_core::Result<(f64, f64)> {

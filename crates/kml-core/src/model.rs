@@ -19,7 +19,7 @@ use crate::optimizer::Sgd;
 use crate::scalar::Scalar;
 use crate::{KmlError, KmlRng, Result};
 use kml_platform::fpu;
-use kml_platform::threading::parallel_map;
+use kml_platform::threading::pool_map;
 
 /// Row count of one data-parallel training shard. Fixed (independent of the
 /// worker count) so shard boundaries — and therefore the gradient reduction
@@ -242,6 +242,40 @@ impl<S: Scalar> Model<S> {
             q8: None,
             q8_dirty: false,
         })
+    }
+
+    /// Builds an inference **replica**: same weights (via
+    /// [`Graph::clone_for_workers`]), same normalizer, same Q8
+    /// configuration — fresh scratch buffers and no optimizer state.
+    /// Returns `None` if any layer is not worker-cloneable.
+    ///
+    /// Replica predictions are bit-identical to the original's: weights
+    /// and normalizer are value-equal, the forward pass is deterministic
+    /// in both, and a Q8 replica re-derives its engine from the same
+    /// parameters through the same deterministic quantization the
+    /// original's lazy refresh uses. The fleet server leans on this to
+    /// fan row-chunks of one batch across pool workers without
+    /// serializing on the model's scratch mutex.
+    pub fn try_clone_replica(&self) -> Option<Model<S>> {
+        let graph = self.graph.clone_for_workers()?;
+        let mut replica = Model {
+            graph,
+            input_dim: self.input_dim,
+            output_dim: self.output_dim,
+            normalizer: self.normalizer.clone(),
+            row_buf: Vec::new(),
+            row_buf2: Vec::new(),
+            input_scratch: Matrix::zeros(0, 0),
+            batch_scratch: Matrix::zeros(0, 0),
+            loss_grad: Matrix::zeros(0, 0),
+            train_workers: 1,
+            q8: None,
+            q8_dirty: false,
+        };
+        if self.q8.is_some() {
+            replica.enable_q8().ok()?;
+        }
+        Some(replica)
     }
 
     /// Input feature count.
@@ -840,7 +874,7 @@ impl<S: Scalar> Model<S> {
 
         // Worker phase: every shard backpropagates against its own replica;
         // shard gradients stay in the replica until the serial reduction.
-        let results = parallel_map(
+        let results = pool_map(
             &shards,
             self.train_workers,
             |_, (shard_in, shard_t): &(Matrix<S>, TargetRef<'_>)| -> Result<Graph<S>> {
@@ -967,6 +1001,67 @@ mod tests {
             labels.push(class);
         }
         Dataset::from_rows(&rows, &labels).unwrap()
+    }
+
+    #[test]
+    fn replica_predictions_are_bit_identical() {
+        let data = blobs(200, 3);
+        let mut model = ModelBuilder::new(2)
+            .linear(8)
+            .sigmoid()
+            .linear(2)
+            .seed(11)
+            .build::<f32>()
+            .unwrap();
+        let mut sgd = Sgd::new(0.3, 0.9);
+        let mut rng = KmlRng::seed_from_u64(5);
+        for _ in 0..5 {
+            model
+                .train_epoch(&data, &CrossEntropyLoss, &mut sgd, &mut rng)
+                .unwrap();
+        }
+        let mut replica = model.try_clone_replica().expect("chain is cloneable");
+        let mut probe = Vec::new();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        for i in 0..64u64 {
+            let x = (i as f64 / 7.0) - 4.0;
+            let y = (i as f64 / 3.0) - 10.0;
+            probe.extend_from_slice(&[x, y]);
+            assert_eq!(
+                model.predict(&[x, y]).unwrap(),
+                replica.predict(&[x, y]).unwrap()
+            );
+            out_a.clear();
+            out_b.clear();
+            model.infer_into(&[x, y], &mut out_a).unwrap();
+            replica.infer_into(&[x, y], &mut out_b).unwrap();
+            assert_eq!(out_a, out_b, "raw outputs diverged at row {i}");
+        }
+        // Batched path too: one 64-row forward on each.
+        let mut ca = Vec::new();
+        let mut cb = Vec::new();
+        model.predict_batch_into(&probe, 64, &mut ca).unwrap();
+        replica.predict_batch_into(&probe, 64, &mut cb).unwrap();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn q8_replica_matches_original_q8_decisions() {
+        let mut model = ModelBuilder::new(2)
+            .linear(8)
+            .sigmoid()
+            .linear(2)
+            .seed(23)
+            .build::<f32>()
+            .unwrap();
+        model.enable_q8().unwrap();
+        let mut replica = model.try_clone_replica().expect("chain is cloneable");
+        assert!(replica.q8_enabled(), "replica must inherit q8 serving");
+        for i in 0..64u64 {
+            let row = [(i as f64).sin() * 3.0, (i as f64).cos() * 3.0];
+            assert_eq!(model.predict(&row).unwrap(), replica.predict(&row).unwrap());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! - A wider sweep whose size scales with `KML_DST_CASES` (CI's nightly
 //!   sweep sets it; unset, a handful of seeds run).
 //! - Determinism: the same seed replays byte-identically, alone and
-//!   under `parallel_map` at any worker count.
+//!   under the persistent `WorkerPool` at any worker count.
 //! - Validation: the deliberately-buggy store (lose-memtable-on-failed-
 //!   flush) must be *caught*, shrunk to a minimal scenario, and that
 //!   minimal reproducer must replay to the same invariant violation.
@@ -14,7 +14,7 @@
 //!   the full report if the bug is still there.
 
 use kml_dst::{run, shrink, FaultMask, Outcome, Scenario};
-use kml_platform::threading::parallel_map;
+use kml_platform::threading::pool_map;
 
 /// Ops per scenario in the sweeps — enough for several tuner windows,
 /// flushes, and compactions on every seed-derived geometry.
@@ -143,7 +143,7 @@ fn lifecycle_smoke_seed_trace_hashes_are_pinned() {
 /// `KML_DST_CASES`) to widen it. Even seeds run the LSM/readahead stack
 /// under device faults, odd seeds the netfs rsize stack under network
 /// faults — and the whole sweep must be byte-identical at any
-/// `parallel_map` worker count.
+/// pool worker count.
 #[test]
 fn lifecycle_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
     let cases: u64 = if std::env::var("KML_DST_LIFECYCLE").is_ok_and(|v| v == "1") {
@@ -163,9 +163,9 @@ fn lifecycle_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
         };
         run_or_report(&scenario)
     };
-    let hashes_1 = parallel_map(&seeds, 1, |_, seed| run_one(seed));
-    let hashes_3 = parallel_map(&seeds, 3, |_, seed| run_one(seed));
-    let hashes_8 = parallel_map(&seeds, 8, |_, seed| run_one(seed));
+    let hashes_1 = pool_map(&seeds, 1, |_, seed| run_one(seed));
+    let hashes_3 = pool_map(&seeds, 3, |_, seed| run_one(seed));
+    let hashes_8 = pool_map(&seeds, 8, |_, seed| run_one(seed));
     assert_eq!(
         hashes_1, hashes_3,
         "lifecycle sweep diverged between 1 and 3 workers"
@@ -183,13 +183,13 @@ fn netfs_sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
     let seeds: Vec<u64> = (0..cases).map(|i| 0x2000 + i).collect();
-    let hashes_1 = parallel_map(&seeds, 1, |_, &seed| {
+    let hashes_1 = pool_map(&seeds, 1, |_, &seed| {
         run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
     });
-    let hashes_3 = parallel_map(&seeds, 3, |_, &seed| {
+    let hashes_3 = pool_map(&seeds, 3, |_, &seed| {
         run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
     });
-    let hashes_8 = parallel_map(&seeds, 8, |_, &seed| {
+    let hashes_8 = pool_map(&seeds, 8, |_, &seed| {
         run_or_report(&Scenario::netfs_from_seed(seed, SWEEP_OPS))
     });
     assert_eq!(
@@ -211,13 +211,13 @@ fn sweep_scales_with_env_and_is_deterministic_at_any_worker_count() {
     let seeds: Vec<u64> = (0..cases).map(|i| 0x1000 + i).collect();
     // The whole sweep, at three different worker counts: every scenario
     // builds its own world from the seed, so placement must not matter.
-    let hashes_1 = parallel_map(&seeds, 1, |_, &seed| {
+    let hashes_1 = pool_map(&seeds, 1, |_, &seed| {
         run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
     });
-    let hashes_3 = parallel_map(&seeds, 3, |_, &seed| {
+    let hashes_3 = pool_map(&seeds, 3, |_, &seed| {
         run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
     });
-    let hashes_8 = parallel_map(&seeds, 8, |_, &seed| {
+    let hashes_8 = pool_map(&seeds, 8, |_, &seed| {
         run_or_report(&Scenario::from_seed(seed, SWEEP_OPS))
     });
     assert_eq!(hashes_1, hashes_3, "sweep diverged between 1 and 3 workers");

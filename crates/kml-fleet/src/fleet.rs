@@ -1,34 +1,43 @@
-//! Fleet orchestration: shards of tenants in lockstep serving rounds.
+//! Fleet orchestration: shards of tenants in pipelined serving rounds.
 //!
-//! A fleet run is a sequence of rounds, each in three phases:
+//! A fleet run is a sequence of rounds. Logically each round has three
+//! phases — **run** (every tenant issues operations until its tuner
+//! harvests a feature window), **serve** (harvested windows are answered
+//! by the shared [`InferenceServer`] in coalesced batches), and **apply**
+//! (decisions are routed back into their tenants' tuners). The engine
+//! executes them in one of two ways:
 //!
-//! 1. **Run** — shards execute in parallel ([`parallel_map`]); every
-//!    tenant issues operations until its tuner harvests a feature window
-//!    (or the round's op cap), recording each tenant-visible latency into
-//!    the shard's [`Log2Hist`].
-//! 2. **Serve** — the harvested windows are collected in shard-major,
-//!    tenant-minor order and answered by the shared
-//!    [`InferenceServer`] in coalesced batches (one `B × features`
-//!    forward pass per batch instead of one pass per tenant window).
-//! 3. **Route** — responses are scattered back to their shards, which
-//!    apply each class to its tenant's tuner in parallel.
+//! - **Pipelined** (the default at >1 worker): one dispatch on the
+//!   persistent [`threading::WorkerPool`] per round. Workers first drain
+//!   a shard-simulation cursor; as shards finish, a watermark batcher
+//!   stages their windows in shard-id order and emits `max_batch` chunks,
+//!   which idle workers serve on per-slot model replicas and scatter
+//!   straight back into the owning shards — inference for fast shards
+//!   overlaps simulation of slow ones, and the serial orchestrator
+//!   collect/scatter loops disappear.
+//! - **Barriered** (1 worker, or [`ServeOptions::serial_inference`]): the
+//!   classic three-phase lockstep, retained as the reference twin the
+//!   pipelined engine must match byte for byte.
 //!
 //! Determinism: tenants are derived from `(seed, tenant_id)` alone and
 //! sharded by `tenant_id % shards` — a fixed shard count independent of
-//! the worker count — and `parallel_map` returns shard results in shard
-//! order regardless of scheduling. The worker count therefore never
-//! influences any state, and the whole report is byte-identical at any
-//! `--threads` value. The serving phase is bit-identical to per-tenant
-//! serial inference (kml-core's `batch_parity` proptests plus the
-//! server's `verify_parity` mode), so batching changes wall-clock
-//! throughput and nothing else.
+//! the worker count. The watermark batcher stages windows strictly in
+//! shard-id order and cuts chunks purely by row count, so chunk contents
+//! and boundaries are identical to the barriered collect regardless of
+//! which worker serves what when; each chunk's classes depend only on
+//! (weights, rows) (kml-core's `batch_parity` proptests plus the
+//! server's `verify_parity` mode), and a round applies at most one
+//! decision per tenant, so apply order cannot matter. The whole report
+//! is therefore byte-identical at any `--threads` value, which CI
+//! enforces by hashing `repro fleet` artifacts across worker counts.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use kml_core::Result;
-use kml_platform::threading::{self, parallel_map};
-use kml_telemetry::{HistSnapshot, Log2Hist};
+use kml_core::{KmlError, Result};
+use kml_platform::threading;
+use kml_telemetry::{HistSnapshot, Histogram, Log2Hist, Registry};
 
 use crate::server::{
     FleetModels, InferRequest, InferResponse, InferenceServer, ModelKind, ServeOptions,
@@ -91,8 +100,8 @@ impl Default for FleetConfig {
 }
 
 /// The deterministic outcome of a fleet run — everything here is
-/// byte-identical across worker counts and between batched and
-/// serial-inference serving.
+/// byte-identical across worker counts, between the pipelined and
+/// barriered engines, and between batched and serial-inference serving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSummary {
     /// Tenants simulated.
@@ -176,6 +185,351 @@ impl Shard {
     }
 }
 
+/// One emitted forward pass of the streaming harvest: `len` rows of
+/// `kind` starting at `start` in the kind's staging buffer.
+#[derive(Clone, Copy)]
+struct Chunk {
+    kind: ModelKind,
+    start: u32,
+    len: u32,
+}
+
+/// The streaming harvest: per-kind staging buffers filled in shard-id
+/// (watermark) order plus the chunks emitted over them so far. All
+/// buffers are reused across rounds.
+struct RoundPipeline {
+    staged: [Vec<InferRequest>; 3],
+    emitted: [usize; 3],
+    chunks: Vec<Chunk>,
+    next_shard: usize,
+    next_chunk: usize,
+    final_flushed: bool,
+}
+
+impl RoundPipeline {
+    fn new() -> RoundPipeline {
+        RoundPipeline {
+            staged: [Vec::new(), Vec::new(), Vec::new()],
+            emitted: [0; 3],
+            chunks: Vec::new(),
+            next_shard: 0,
+            next_chunk: 0,
+            final_flushed: false,
+        }
+    }
+
+    /// Resets for a new round, keeping every buffer's capacity.
+    fn reset(&mut self) {
+        for staged in &mut self.staged {
+            staged.clear();
+        }
+        self.emitted = [0; 3];
+        self.chunks.clear();
+        self.next_shard = 0;
+        self.next_chunk = 0;
+        self.final_flushed = false;
+    }
+
+    /// Advances the harvest watermark: drains `pending` from every
+    /// finished shard strictly in shard-id order — so staging order is
+    /// exactly the shard-major, tenant-minor order of the barriered
+    /// collect — then emits every complete `max_batch` chunk, plus, once
+    /// all shards are staged, the final partial chunk per kind. Chunk
+    /// boundaries depend only on staged row counts, never on timing, so
+    /// the emitted batches equal the barriered tick's batches exactly.
+    fn advance(&mut self, shards: &[Mutex<Shard>], done: &[AtomicBool], max_batch: usize) {
+        while self.next_shard < shards.len() && done[self.next_shard].load(Ordering::Acquire) {
+            let mut shard = shards[self.next_shard].lock().expect("shard lock");
+            for request in shard.pending.drain(..) {
+                self.staged[request.kind.index()].push(request);
+            }
+            self.next_shard += 1;
+        }
+        for kind in ModelKind::ALL {
+            let k = kind.index();
+            while self.staged[k].len() - self.emitted[k] >= max_batch {
+                self.chunks.push(Chunk {
+                    kind,
+                    start: self.emitted[k] as u32,
+                    len: max_batch as u32,
+                });
+                self.emitted[k] += max_batch;
+            }
+        }
+        if self.next_shard == shards.len() && !self.final_flushed {
+            for kind in ModelKind::ALL {
+                let k = kind.index();
+                let rem = self.staged[k].len() - self.emitted[k];
+                if rem > 0 {
+                    self.chunks.push(Chunk {
+                        kind,
+                        start: self.emitted[k] as u32,
+                        len: rem as u32,
+                    });
+                    self.emitted[k] += rem;
+                }
+            }
+            self.final_flushed = true;
+        }
+    }
+}
+
+/// Per-slot working memory for the pipelined round, reused across chunks
+/// and rounds.
+#[derive(Default)]
+struct SlotScratch {
+    rows: Vec<InferRequest>,
+    responses: Vec<InferResponse>,
+}
+
+/// What a pipelined worker does next after failing to claim a
+/// simulation task.
+enum Step {
+    /// Serve the chunk just copied into the slot's scratch rows.
+    Serve(ModelKind),
+    /// The round is complete — exit the loop.
+    Done,
+    /// Chunks are still in flight on other workers — yield and re-poll.
+    Wait,
+}
+
+/// Sets its flag if dropped during a panic, so sibling workers spinning
+/// on round progress exit instead of waiting for a chunk that will never
+/// be served; the pool then resumes the panic on the dispatcher.
+struct BailGuard<'a>(&'a AtomicBool);
+
+impl Drop for BailGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Phase-span histograms, nanoseconds. In the pipelined engine the
+/// phases overlap by design: `run` is round start → last shard done
+/// simulating, `serve` is round start → last chunk applied (the round's
+/// full wall), and `apply` is the summed in-worker scatter time. In the
+/// barriered engine each phase is its own wall-clock segment, so
+/// `run + serve + apply ≈ serve`'s pipelined value is the overlap win.
+struct PhaseHists {
+    run: Histogram,
+    serve: Histogram,
+    apply: Histogram,
+}
+
+impl PhaseHists {
+    fn register() -> PhaseHists {
+        let reg = Registry::global();
+        PhaseHists {
+            run: reg.histogram("fleet.phase_run_ns"),
+            serve: reg.histogram("fleet.phase_serve_ns"),
+            apply: reg.histogram("fleet.phase_apply_ns"),
+        }
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Applies one chunk's responses directly to their owning shards,
+/// grouped into per-shard runs so each shard lock is taken once per run.
+/// Safe from any worker: a request only reaches a chunk after its shard
+/// finished simulating, a round carries at most one decision per tenant,
+/// and the shard mutex serializes concurrent chunks touching the same
+/// shard — so apply order cannot affect any state.
+fn apply_responses(shards: &[Mutex<Shard>], shard_count: usize, responses: &[InferResponse]) {
+    let mut i = 0;
+    while i < responses.len() {
+        let s = (responses[i].tenant_id as usize) % shard_count;
+        let mut j = i + 1;
+        while j < responses.len() && (responses[j].tenant_id as usize) % shard_count == s {
+            j += 1;
+        }
+        let mut shard = shards[s].lock().expect("shard lock");
+        for response in &responses[i..j] {
+            let tenant = shard
+                .tenants
+                .iter_mut()
+                .find(|t| t.id == response.tenant_id)
+                .expect("response routed to a shard that owns its tenant");
+            tenant.apply(response);
+        }
+        i = j;
+    }
+}
+
+/// One pipelined round: a single pool dispatch in which every
+/// participant alternates between draining the shard-simulation cursor
+/// and serving watermark-emitted chunks, scattering decisions straight
+/// back into the shards. Returns `(windows_submitted, decisions)`.
+#[allow(clippy::too_many_arguments)]
+fn run_round_pipelined(
+    server: &mut InferenceServer,
+    shards: &[Mutex<Shard>],
+    workers: usize,
+    max_batch: usize,
+    pipe: &Mutex<RoundPipeline>,
+    done: &[AtomicBool],
+    scratches: &[Mutex<SlotScratch>],
+    phases: &PhaseHists,
+) -> Result<(u64, u64)> {
+    let shard_count = shards.len();
+    pipe.lock().expect("pipeline lock").reset();
+    for flag in done {
+        flag.store(false, Ordering::Relaxed);
+    }
+    let sim_cursor = AtomicUsize::new(0);
+    let sims_left = AtomicUsize::new(shard_count);
+    let chunks_served = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let bailed = AtomicBool::new(false);
+    let failure: Mutex<Option<KmlError>> = Mutex::new(None);
+    let sim_done_ns = AtomicU64::new(0);
+    let apply_ns = AtomicU64::new(0);
+    let pins = server.pin_kinds();
+    let server_ref: &InferenceServer = server;
+    let round_start = Instant::now();
+
+    threading::global_pool().broadcast(workers - 1, |slot| {
+        let _bail = BailGuard(&bailed);
+        loop {
+            if failed.load(Ordering::Acquire) || bailed.load(Ordering::Acquire) {
+                break;
+            }
+            // Simulate first: finished shards are what feeds the batcher.
+            let s = sim_cursor.fetch_add(1, Ordering::Relaxed);
+            if s < shard_count {
+                shards[s].lock().expect("shard lock").run_round();
+                done[s].store(true, Ordering::Release);
+                if sims_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    sim_done_ns.store(elapsed_ns(round_start), Ordering::Relaxed);
+                }
+                continue;
+            }
+            let step = {
+                let mut p = pipe.lock().expect("pipeline lock");
+                p.advance(shards, done, max_batch);
+                if p.next_chunk < p.chunks.len() {
+                    let chunk = p.chunks[p.next_chunk];
+                    p.next_chunk += 1;
+                    // Copy the rows out under the lock: the staging buffer
+                    // may grow (and reallocate) while the chunk is served.
+                    let rows = &p.staged[chunk.kind.index()]
+                        [chunk.start as usize..(chunk.start as usize + chunk.len as usize)];
+                    let mut scratch = scratches[slot].lock().expect("scratch lock");
+                    scratch.rows.clear();
+                    scratch.rows.extend_from_slice(rows);
+                    Step::Serve(chunk.kind)
+                } else if p.final_flushed && chunks_served.load(Ordering::Acquire) == p.chunks.len()
+                {
+                    Step::Done
+                } else {
+                    Step::Wait
+                }
+            };
+            match step {
+                Step::Serve(kind) => {
+                    let mut guard = scratches[slot].lock().expect("scratch lock");
+                    let scratch = &mut *guard;
+                    scratch.responses.clear();
+                    let served = server_ref.serve_run_on_slot(
+                        slot,
+                        &pins,
+                        kind,
+                        &scratch.rows,
+                        &mut scratch.responses,
+                    );
+                    match served {
+                        Ok(()) => {
+                            let apply_start = Instant::now();
+                            apply_responses(shards, shard_count, &scratch.responses);
+                            apply_ns.fetch_add(elapsed_ns(apply_start), Ordering::Relaxed);
+                            chunks_served.fetch_add(1, Ordering::Release);
+                        }
+                        Err(e) => {
+                            let mut first = failure.lock().expect("failure lock");
+                            if first.is_none() {
+                                *first = Some(e);
+                            }
+                            failed.store(true, Ordering::Release);
+                        }
+                    }
+                }
+                Step::Done => break,
+                Step::Wait => std::thread::yield_now(),
+            }
+        }
+    });
+
+    let round_ns = elapsed_ns(round_start);
+    if let Some(e) = failure.into_inner().expect("failure lock") {
+        return Err(e);
+    }
+    let p = pipe.lock().expect("pipeline lock");
+    let windows: u64 = p.staged.iter().map(|v| v.len() as u64).sum();
+    let decisions: u64 = p.chunks.iter().map(|c| u64::from(c.len)).sum();
+    assert_eq!(
+        windows, decisions,
+        "serving tick dropped or duplicated windows"
+    );
+    server.note_batches(p.chunks.iter().map(|c| c.len as usize), windows);
+    phases.run.record(sim_done_ns.load(Ordering::Relaxed));
+    phases.serve.record(round_ns);
+    phases.apply.record(apply_ns.load(Ordering::Relaxed));
+    Ok((windows, decisions))
+}
+
+/// One barriered round: the classic three-phase lockstep, kept as the
+/// reference twin of the pipelined engine (and the only engine for
+/// serial-inference runs). Returns `(windows_submitted, decisions)`.
+fn run_round_barriered(
+    server: &mut InferenceServer,
+    shards: &[Mutex<Shard>],
+    workers: usize,
+    requests: &mut Vec<InferRequest>,
+    responses: &mut Vec<InferResponse>,
+    phases: &PhaseHists,
+) -> Result<(u64, u64)> {
+    let shard_count = shards.len();
+    let pool = threading::global_pool();
+    // Phase 1: run tenant traffic, shard-parallel.
+    let t = Instant::now();
+    pool.run(workers, shard_count, |_, s| {
+        shards[s].lock().expect("shard lock").run_round();
+    });
+    phases.run.record(elapsed_ns(t));
+    // Phase 2: collect in shard-major order and serve one tick.
+    requests.clear();
+    for shard in shards {
+        requests.append(&mut shard.lock().expect("shard lock").pending);
+    }
+    let t = Instant::now();
+    server.serve_into(requests, responses)?;
+    phases.serve.record(elapsed_ns(t));
+    assert_eq!(
+        requests.len(),
+        responses.len(),
+        "serving tick dropped or duplicated windows"
+    );
+    // Phase 3: scatter decisions back and apply, shard-parallel.
+    let t = Instant::now();
+    for response in responses.iter() {
+        let s = (response.tenant_id as usize) % shard_count;
+        shards[s]
+            .lock()
+            .expect("shard lock")
+            .inbound
+            .push(*response);
+    }
+    pool.run(workers, shard_count, |_, s| {
+        shards[s].lock().expect("shard lock").apply_inbound();
+    });
+    phases.apply.record(elapsed_ns(t));
+    Ok((requests.len() as u64, responses.len() as u64))
+}
+
 /// Runs a fleet to completion.
 ///
 /// # Errors
@@ -193,11 +547,16 @@ pub fn run_fleet(cfg: &FleetConfig, models: FleetModels) -> Result<FleetReport> 
     let workers = threading::default_workers();
     let shard_count = cfg.shards.max(1);
     let sampler = FleetSampler::new();
+    let pool = threading::global_pool();
+    let phases = PhaseHists::register();
+    Registry::global()
+        .gauge("kml.pool_workers")
+        .set(pool.threads() as u64);
 
     // Build tenants sharded by id: shard s owns ids ≡ s (mod shards).
     // Construction is derivation-only, so it parallelizes cleanly too.
     let shard_ids: Vec<usize> = (0..shard_count).collect();
-    let shards: Vec<Mutex<Shard>> = parallel_map(&shard_ids, workers, |_, &s| {
+    let shards: Vec<Mutex<Shard>> = threading::pool_map(&shard_ids, workers, |_, &s| {
         let tenants = (s as u64..cfg.tenants as u64)
             .step_by(shard_count)
             .map(|id| Tenant::derive(cfg.seed, id, &sampler))
@@ -210,35 +569,58 @@ pub fn run_fleet(cfg: &FleetConfig, models: FleetModels) -> Result<FleetReport> 
         })
     });
 
-    let mut server = InferenceServer::new(models, cfg.options);
+    // The fleet's worker count governs the server's fan-out too, so a
+    // standalone `serve` call (the barriered twin) splits batches across
+    // the same pool.
+    let mut options = cfg.options;
+    options.workers = workers;
+    let mut server = InferenceServer::new(models, options);
+    // The streaming engine does its own (serial, deterministic) stats
+    // bookkeeping but no shadow-lane bookkeeping, so a server with a
+    // staged shadow falls back to the barriered twin.
+    let pipelined =
+        workers > 1 && !options.serial_inference && !server.has_shadow() && pool.threads() > 0;
+
+    // Round state, allocated once and reused by every round.
+    let pipe = Mutex::new(RoundPipeline::new());
+    let done: Vec<AtomicBool> = (0..shard_count).map(|_| AtomicBool::new(false)).collect();
+    let scratches: Vec<Mutex<SlotScratch>> = if pipelined {
+        server.warm_replicas()?;
+        (0..=pool.max_slot())
+            .map(|_| Mutex::new(SlotScratch::default()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut requests: Vec<InferRequest> = Vec::new();
+    let mut responses: Vec<InferResponse> = Vec::new();
+
     let mut windows_submitted = 0u64;
     let mut decisions_returned = 0u64;
     for round in 0..cfg.rounds {
-        // Phase 1: run tenant traffic, shard-parallel.
-        parallel_map(&shards, workers, |_, shard| {
-            shard.lock().expect("shard lock").run_round();
-        });
-        // Phase 2: collect in shard-major order and serve one tick.
-        let mut requests: Vec<InferRequest> = Vec::new();
-        for shard in &shards {
-            requests.append(&mut shard.lock().expect("shard lock").pending);
-        }
-        windows_submitted += requests.len() as u64;
-        let responses = server.serve(&requests)?;
-        decisions_returned += responses.len() as u64;
-        assert_eq!(
-            requests.len(),
-            responses.len(),
-            "serving tick dropped or duplicated windows"
-        );
-        // Phase 3: scatter decisions back and apply, shard-parallel.
-        for response in responses {
-            let s = (response.tenant_id as usize) % shard_count;
-            shards[s].lock().expect("shard lock").inbound.push(response);
-        }
-        parallel_map(&shards, workers, |_, shard| {
-            shard.lock().expect("shard lock").apply_inbound();
-        });
+        let (windows, decisions) = if pipelined {
+            run_round_pipelined(
+                &mut server,
+                &shards,
+                workers,
+                options.max_batch.max(1),
+                &pipe,
+                &done,
+                &scratches,
+                &phases,
+            )?
+        } else {
+            run_round_barriered(
+                &mut server,
+                &shards,
+                workers,
+                &mut requests,
+                &mut responses,
+                &phases,
+            )?
+        };
+        windows_submitted += windows;
+        decisions_returned += decisions;
         // Round boundary: publish any scheduled hot-swaps. The swap
         // happens on the orchestration thread between ticks, so it is
         // deterministic at any worker count; the next round's tick pins
@@ -341,9 +723,10 @@ mod tests {
 
     #[test]
     fn worker_count_never_changes_the_summary() {
+        // 1 worker runs the barriered engine, >1 the pipelined one — so
+        // this is also the pipelined-vs-barriered byte-identity check.
         let cfg = small_cfg();
         let run_with = |threads: &str| {
-            // parallel_map reads KML_REPRO_THREADS through default_workers.
             std::env::set_var(threading::WORKERS_ENV, threads);
             let r = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
             std::env::remove_var(threading::WORKERS_ENV);
@@ -354,6 +737,32 @@ mod tests {
         let eight = run_with("8");
         assert_eq!(one, three);
         assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn pipelined_engine_matches_barriered_with_parity_armed() {
+        // Small max_batch forces many chunks per round (partial final
+        // chunks included), verify_parity re-derives every class against
+        // the pinned original, and the single-worker run is the barriered
+        // reference the pipelined runs must equal.
+        let cfg = FleetConfig {
+            options: ServeOptions {
+                max_batch: 4,
+                verify_parity: true,
+                ..ServeOptions::default()
+            },
+            rounds: 3,
+            ..small_cfg()
+        };
+        let run_with = |threads: &str| {
+            std::env::set_var(threading::WORKERS_ENV, threads);
+            let r = run_fleet(&cfg, FleetModels::untrained(cfg.seed).unwrap()).unwrap();
+            std::env::remove_var(threading::WORKERS_ENV);
+            r.summary
+        };
+        let barriered = run_with("1");
+        let pipelined = run_with("8");
+        assert_eq!(barriered, pipelined);
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //! fleet scenario runs with it on).
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use kml_collect::FeatureBatch;
 use kml_core::model::Model;
-use kml_core::Result;
+use kml_core::{KmlError, Result};
 use kml_lifecycle::{Generational, Pinned, ShadowStats};
+use kml_platform::threading;
 
 /// Which of the fleet's shared models a request targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -178,6 +180,12 @@ pub struct ServeOptions {
     /// Off by default: the DST fleet scenario and E10 artifacts pin the
     /// bit-exact f32 path.
     pub q8_serving: bool,
+    /// Fan same-kind row-chunks out across the persistent worker pool
+    /// (`0`/`1` serves on the calling thread). Chunk boundaries are the
+    /// exact `max_batch` chunks the serial batched path uses and each
+    /// chunk's classes depend only on its rows and the pinned weights, so
+    /// responses and stats are bit-identical at any setting.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -187,7 +195,71 @@ impl Default for ServeOptions {
             serial_inference: false,
             verify_parity: false,
             q8_serving: false,
+            workers: 1,
         }
+    }
+}
+
+/// Per-slot serving context for the pool fan-out. A slot is exclusive to
+/// one pool participant per dispatch, so the mutex is uncontended — it
+/// exists to make sharing `&InferenceServer` across workers sound.
+#[derive(Debug)]
+struct SlotCtx {
+    /// Per-kind staging batch (indexed by `ModelKind::index`).
+    batches: [FeatureBatch; 3],
+    /// Per-kind inference replica, cached and keyed by the generation it
+    /// was cloned from; refreshed lazily after a hot-swap.
+    replicas: [Option<(u64, Model<f32>)>; 3],
+    /// Class output scratch for one chunk.
+    classes: Vec<usize>,
+}
+
+impl SlotCtx {
+    fn new() -> Self {
+        SlotCtx {
+            batches: [
+                FeatureBatch::new(readahead::NUM_FEATURES),
+                FeatureBatch::new(iosched::tuner::NUM_SCHED_FEATURES),
+                FeatureBatch::new(netfs::tuner::NUM_RSIZE_FEATURES),
+            ],
+            replicas: [None, None, None],
+            classes: Vec::new(),
+        }
+    }
+}
+
+/// One planned forward pass of a serving tick: a `max_batch`-bounded run
+/// of same-kind requests, with its output range in the tick's class
+/// buffer. The plan depends only on the request stream, never on worker
+/// scheduling.
+#[derive(Debug, Clone, Copy)]
+struct ChunkPlan {
+    kind: ModelKind,
+    /// Start within the kind's group-index array.
+    gstart: u32,
+    /// Row count.
+    len: u32,
+    /// Start of this chunk's classes in the tick's class buffer.
+    ostart: u32,
+}
+
+/// Raw shared view of the tick's class buffer. Chunks write disjoint
+/// `[ostart, ostart + len)` ranges (the plan partitions the buffer), so
+/// concurrent writers never alias; the pool's epoch hand-off provides the
+/// happens-before edge back to the dispatcher.
+struct SharedClasses(*mut usize);
+
+// SAFETY: disjoint-range writes only; see type docs.
+unsafe impl Send for SharedClasses {}
+unsafe impl Sync for SharedClasses {}
+
+impl SharedClasses {
+    /// # Safety
+    ///
+    /// `start..start + classes.len()` must be in bounds and disjoint from
+    /// every concurrent writer's range.
+    unsafe fn write(&self, start: usize, classes: &[usize]) {
+        std::ptr::copy_nonoverlapping(classes.as_ptr(), self.0.add(start), classes.len());
     }
 }
 
@@ -227,6 +299,15 @@ pub struct InferenceServer {
     batches: [FeatureBatch; 3],
     classes: Vec<usize>,
     shadow_classes: Vec<usize>,
+    /// Reused per-kind request-index groups (indexed by `ModelKind::index`).
+    groups: [Vec<u32>; 3],
+    /// Reused chunk plan for the parallel fan-out.
+    chunk_plan: Vec<ChunkPlan>,
+    /// Reused tick-wide class buffer the parallel chunks scatter into.
+    class_buf: Vec<usize>,
+    /// Per-slot contexts for the pool fan-out (slot 0 = the caller); a
+    /// single slot when serving stays on the calling thread.
+    slots: Vec<Mutex<SlotCtx>>,
 }
 
 impl InferenceServer {
@@ -264,6 +345,20 @@ impl InferenceServer {
             ],
             classes: Vec::new(),
             shadow_classes: Vec::new(),
+            groups: [Vec::new(), Vec::new(), Vec::new()],
+            chunk_plan: Vec::new(),
+            class_buf: Vec::new(),
+            slots: {
+                // One context per pool slot when fanning out; just the
+                // caller's otherwise (keeps single-threaded servers from
+                // waking the global pool at all).
+                let n = if options.workers > 1 {
+                    threading::global_pool().max_slot() + 1
+                } else {
+                    1
+                };
+                (0..n).map(|_| Mutex::new(SlotCtx::new())).collect()
+            },
         }
     }
 
@@ -333,29 +428,71 @@ impl InferenceServer {
     /// class differs from its serially-derived counterpart.
     pub fn serve(&mut self, requests: &[InferRequest]) -> Result<Vec<InferResponse>> {
         let mut responses = Vec::with_capacity(requests.len());
-        for kind in ModelKind::ALL {
-            // Pin the kind's generation once per tick: every chunk of this
-            // group — and the tick's parity re-checks — runs on one
-            // coherent model even if a swap is published mid-tick.
-            let pin = self.cells[kind.index()].pin();
-            // Index-based grouping keeps the per-kind order identical to
-            // the submission order (shard-major, tenant-minor) — the
-            // stability the exactly-once accounting and the `--threads`
-            // byte-identity guarantee both lean on.
-            let group: Vec<&InferRequest> = requests.iter().filter(|r| r.kind == kind).collect();
-            for chunk in group.chunks(self.options.max_batch.max(1)) {
-                self.serve_chunk(kind, &pin, chunk, &mut responses)?;
+        self.serve_into(requests, &mut responses)?;
+        Ok(responses)
+    }
+
+    /// [`Self::serve`] into a caller-owned buffer (cleared first), so a
+    /// steady-state serving loop reuses one response allocation across
+    /// ticks. With [`ServeOptions::workers`] above 1, same-kind row-chunks
+    /// fan out across the persistent worker pool onto per-slot model
+    /// replicas — bit-identical to the on-thread path because the chunk
+    /// plan and each chunk's arithmetic are independent of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model inference failures (dimension mismatch — a
+    /// deployment bug).
+    ///
+    /// # Panics
+    ///
+    /// With [`ServeOptions::verify_parity`] on, panics if any batched
+    /// class differs from its serially-derived counterpart.
+    pub fn serve_into(
+        &mut self,
+        requests: &[InferRequest],
+        responses: &mut Vec<InferResponse>,
+    ) -> Result<()> {
+        responses.clear();
+        // Index-based grouping keeps the per-kind order identical to the
+        // submission order (shard-major, tenant-minor) — the stability the
+        // exactly-once accounting and the `--threads` byte-identity
+        // guarantee both lean on.
+        for g in &mut self.groups {
+            g.clear();
+        }
+        for (i, r) in requests.iter().enumerate() {
+            self.groups[r.kind.index()].push(i as u32);
+        }
+        let fan_out = !self.options.serial_inference
+            && self.options.workers > 1
+            && requests.len() > 1
+            && threading::global_pool().threads() > 0;
+        if fan_out {
+            self.serve_parallel_into(requests, responses)?;
+        } else {
+            for kind in ModelKind::ALL {
+                // Pin the kind's generation once per tick: every chunk of
+                // this group — and the tick's parity re-checks — runs on
+                // one coherent model even if a swap is published mid-tick.
+                let pin = self.cells[kind.index()].pin();
+                let group = std::mem::take(&mut self.groups[kind.index()]);
+                for chunk in group.chunks(self.options.max_batch.max(1)) {
+                    self.serve_chunk(kind, &pin, requests, chunk, responses)?;
+                }
+                self.groups[kind.index()] = group;
             }
         }
         self.stats.requests += requests.len() as u64;
-        Ok(responses)
+        Ok(())
     }
 
     fn serve_chunk(
         &mut self,
         kind: ModelKind,
         pin: &Pinned<Model<f32>>,
-        chunk: &[&InferRequest],
+        requests: &[InferRequest],
+        chunk: &[u32],
         responses: &mut Vec<InferResponse>,
     ) -> Result<()> {
         if chunk.is_empty() {
@@ -363,7 +500,8 @@ impl InferenceServer {
         }
         if self.options.serial_inference {
             // Baseline mode: one single-row forward pass per window.
-            for req in chunk {
+            for &gi in chunk {
+                let req = &requests[gi as usize];
                 let class = pin.with(|model| model.predict(req.features()))?;
                 self.stats.forward_passes += 1;
                 *self.stats.batch_sizes.entry(1).or_insert(0) += 1;
@@ -378,15 +516,17 @@ impl InferenceServer {
         }
         let batch = &mut self.batches[kind.index()];
         batch.clear();
-        for req in chunk {
-            batch.push_row(req.features());
+        for &gi in chunk {
+            batch.push_row(requests[gi as usize].features());
         }
         let classes = &mut self.classes;
         pin.with(|model| model.predict_batch_into(batch.as_slice(), batch.rows(), classes))?;
         self.stats.forward_passes += 1;
         *self.stats.batch_sizes.entry(chunk.len()).or_insert(0) += 1;
         self.observe_shadow_batch(kind, chunk.len());
-        for (i, (req, &class)) in chunk.iter().zip(&self.classes).enumerate() {
+        for (i, &gi) in chunk.iter().enumerate() {
+            let req = &requests[gi as usize];
+            let class = self.classes[i];
             if self.options.verify_parity {
                 let serial = pin.with(|model| model.predict(req.features()))?;
                 assert_eq!(
@@ -406,6 +546,258 @@ impl InferenceServer {
         }
         self.shadow_classes.clear();
         Ok(())
+    }
+
+    /// The parallel serve path: plan `max_batch` chunks over the per-kind
+    /// groups (identical boundaries to the serial batched path), fan the
+    /// chunks across the pool onto per-slot replicas writing disjoint
+    /// ranges of the tick's class buffer, then do the deterministic
+    /// bookkeeping (stats, shadow lane, parity re-checks, response
+    /// assembly) serially in plan order.
+    fn serve_parallel_into(
+        &mut self,
+        requests: &[InferRequest],
+        responses: &mut Vec<InferResponse>,
+    ) -> Result<()> {
+        let max_batch = self.options.max_batch.max(1);
+        let pins = self.pin_kinds();
+        self.chunk_plan.clear();
+        let mut ostart = 0u32;
+        for kind in ModelKind::ALL {
+            let glen = self.groups[kind.index()].len();
+            let mut s = 0usize;
+            while s < glen {
+                let len = (glen - s).min(max_batch);
+                self.chunk_plan.push(ChunkPlan {
+                    kind,
+                    gstart: s as u32,
+                    len: len as u32,
+                    ostart,
+                });
+                ostart += len as u32;
+                s += len;
+            }
+        }
+        self.class_buf.clear();
+        self.class_buf.resize(requests.len(), 0);
+        {
+            let chunks = &self.chunk_plan;
+            let groups = &self.groups;
+            let slots = &self.slots;
+            let pins_ref = &pins;
+            let out = SharedClasses(self.class_buf.as_mut_ptr());
+            let failure: Mutex<Option<KmlError>> = Mutex::new(None);
+            threading::global_pool().run(self.options.workers, chunks.len(), |slot, ci| {
+                let c = chunks[ci];
+                let idx = &groups[c.kind.index()][c.gstart as usize..(c.gstart + c.len) as usize];
+                let served = Self::serve_rows_on_slot(
+                    slots,
+                    slot,
+                    &pins_ref[c.kind.index()],
+                    c.kind,
+                    |batch| {
+                        for &gi in idx {
+                            batch.push_row(requests[gi as usize].features());
+                        }
+                    },
+                );
+                match served {
+                    // SAFETY: the plan partitions the class buffer; this
+                    // chunk's range is disjoint from every other writer's.
+                    Ok(ctx) => unsafe { out.write(c.ostart as usize, &ctx.classes) },
+                    Err(e) => {
+                        let mut f = failure.lock().expect("failure slot poisoned");
+                        if f.is_none() {
+                            *f = Some(e);
+                        }
+                    }
+                }
+            });
+            if let Some(e) = failure.into_inner().expect("failure slot poisoned") {
+                return Err(e);
+            }
+        }
+        // Deterministic post-pass in plan order — identical bookkeeping to
+        // the serial batched path, reading classes from the scatter buffer.
+        for ci in 0..self.chunk_plan.len() {
+            let c = self.chunk_plan[ci];
+            let kind = c.kind;
+            self.stats.forward_passes += 1;
+            *self.stats.batch_sizes.entry(c.len as usize).or_insert(0) += 1;
+            if self.shadows[kind.index()].is_some() {
+                // Re-stage the chunk for the (single) shadow model; the
+                // shadow lane is an evaluation tool, not a serving path,
+                // so it stays serial.
+                let batch = &mut self.batches[kind.index()];
+                batch.clear();
+                for j in 0..c.len as usize {
+                    let gi = self.groups[kind.index()][c.gstart as usize + j] as usize;
+                    batch.push_row(requests[gi].features());
+                }
+                self.observe_shadow_batch(kind, c.len as usize);
+            } else {
+                self.shadow_classes.clear();
+            }
+            for j in 0..c.len as usize {
+                let gi = self.groups[kind.index()][c.gstart as usize + j] as usize;
+                let req = &requests[gi];
+                let class = self.class_buf[c.ostart as usize + j];
+                if self.options.verify_parity {
+                    let serial = pins[kind.index()].with(|model| model.predict(req.features()))?;
+                    assert_eq!(
+                        serial, class,
+                        "batched class diverged from serial for tenant {} ({kind})",
+                        req.tenant_id
+                    );
+                }
+                if let Some(&shadow_class) = self.shadow_classes.get(j) {
+                    self.shadow_stats[kind.index()].record(shadow_class == class);
+                }
+                responses.push(InferResponse {
+                    tenant_id: req.tenant_id,
+                    kind,
+                    class,
+                });
+            }
+            self.shadow_classes.clear();
+        }
+        Ok(())
+    }
+
+    /// Pins every kind's generation for one tick. Shared across pool
+    /// workers (pin access is `&self`), so the whole tick — however its
+    /// chunks are scheduled — answers from one coherent generation per
+    /// kind.
+    pub(crate) fn pin_kinds(&self) -> [Pinned<Model<f32>>; 3] {
+        [
+            self.cells[0].pin(),
+            self.cells[1].pin(),
+            self.cells[2].pin(),
+        ]
+    }
+
+    /// Stages one chunk via `fill` into `slot`'s per-kind batch and runs
+    /// the slot's replica (cloned from `pin`'s generation on first use or
+    /// after a swap) over it. Returns the locked slot context whose
+    /// `classes` holds one class per staged row. `&self` on purpose: pool
+    /// workers share the server while the orchestrator owns the tick.
+    fn serve_rows_on_slot<'a>(
+        slots: &'a [Mutex<SlotCtx>],
+        slot: usize,
+        pin: &Pinned<Model<f32>>,
+        kind: ModelKind,
+        fill: impl FnOnce(&mut FeatureBatch),
+    ) -> Result<std::sync::MutexGuard<'a, SlotCtx>> {
+        let mut guard = slots[slot].lock().expect("slot ctx poisoned");
+        let ctx = &mut *guard;
+        let cached = &mut ctx.replicas[kind.index()];
+        if cached.as_ref().is_none_or(|(g, _)| *g != pin.generation()) {
+            let replica = pin.with(|m| m.try_clone_replica()).ok_or_else(|| {
+                KmlError::InvalidConfig("fleet model is not worker-cloneable".into())
+            })?;
+            *cached = Some((pin.generation(), replica));
+        }
+        let (_, model) = cached.as_mut().expect("replica just ensured");
+        let batch = &mut ctx.batches[kind.index()];
+        batch.clear();
+        fill(batch);
+        model.predict_batch_into(batch.as_slice(), batch.rows(), &mut ctx.classes)?;
+        Ok(guard)
+    }
+
+    /// Eagerly clones every slot's replica of every kind at the current
+    /// generations and runs one full-width (`max_batch` zero rows)
+    /// forward pass through each, so every slot's batch and scratch
+    /// buffers reach their steady-state size up front. After warming, a
+    /// tick of at most `max_batch`-row chunks allocates nothing on any
+    /// worker, whichever slots the scheduler happens to pick — the
+    /// property the fleet's steady-state allocation test pins.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any model is not worker-cloneable or a warming forward
+    /// pass fails.
+    pub fn warm_replicas(&mut self) -> Result<()> {
+        let pins = self.pin_kinds();
+        let max_batch = self.options.max_batch.max(1);
+        for slot in 0..self.slots.len() {
+            for kind in ModelKind::ALL {
+                let pin = &pins[kind.index()];
+                let zero = vec![0.0f64; pin.with(|m| m.input_dim())];
+                drop(Self::serve_rows_on_slot(
+                    &self.slots,
+                    slot,
+                    pin,
+                    kind,
+                    |batch| {
+                        for _ in 0..max_batch {
+                            batch.push_row(&zero);
+                        }
+                    },
+                )?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fleet-pipeline entry: serves one contiguous run of same-kind
+    /// `requests` on `slot`'s replica, appending one tagged response per
+    /// request. Does **no** stats/shadow bookkeeping — the orchestrator
+    /// accounts the tick deterministically via [`Self::note_batches`].
+    /// With [`ServeOptions::verify_parity`] on, every class is re-derived
+    /// serially against the pinned original and divergence panics.
+    pub(crate) fn serve_run_on_slot(
+        &self,
+        slot: usize,
+        pins: &[Pinned<Model<f32>>; 3],
+        kind: ModelKind,
+        run: &[InferRequest],
+        responses: &mut Vec<InferResponse>,
+    ) -> Result<()> {
+        if run.is_empty() {
+            return Ok(());
+        }
+        let pin = &pins[kind.index()];
+        let ctx = Self::serve_rows_on_slot(&self.slots, slot, pin, kind, |batch| {
+            for req in run {
+                batch.push_row(req.features());
+            }
+        })?;
+        for (req, &class) in run.iter().zip(&ctx.classes) {
+            if self.options.verify_parity {
+                let serial = pin.with(|model| model.predict(req.features()))?;
+                assert_eq!(
+                    serial, class,
+                    "batched class diverged from serial for tenant {} ({kind})",
+                    req.tenant_id
+                );
+            }
+            responses.push(InferResponse {
+                tenant_id: req.tenant_id,
+                kind,
+                class,
+            });
+        }
+        Ok(())
+    }
+
+    /// Deterministic tick accounting for the fleet pipeline: `sizes` holds
+    /// the row count of every forward pass the tick executed, in plan
+    /// order, and `requests` the windows served. Produces exactly the
+    /// stats the barriered `serve` path would have recorded.
+    pub(crate) fn note_batches(&mut self, sizes: impl IntoIterator<Item = usize>, requests: u64) {
+        for size in sizes {
+            self.stats.forward_passes += 1;
+            *self.stats.batch_sizes.entry(size).or_insert(0) += 1;
+        }
+        self.stats.requests += requests;
+    }
+
+    /// Whether any shadow candidate is staged (the fleet pipeline falls
+    /// back to the barriered path so the shadow lane's serial bookkeeping
+    /// stays exact).
+    pub(crate) fn has_shadow(&self) -> bool {
+        self.shadows.iter().any(Option::is_some)
     }
 
     /// Runs `kind`'s shadow (if staged) over the batch already staged in
@@ -691,6 +1083,149 @@ mod tests {
                 "identical shadow must agree (serial={serial})"
             );
         }
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_to_on_thread_serving() {
+        // Same models, same requests: the pooled fan-out must reproduce
+        // the on-thread batched responses AND stats exactly, at several
+        // worker counts and chunkings.
+        let requests = mixed_requests(1031);
+        for (max_batch, workers) in [(16, 4), (256, 2), (7, 8), (256, 9)] {
+            let mut on_thread = InferenceServer::new(
+                FleetModels::untrained(11).unwrap(),
+                ServeOptions {
+                    max_batch,
+                    ..ServeOptions::default()
+                },
+            );
+            let mut fanned = InferenceServer::new(
+                FleetModels::untrained(11).unwrap(),
+                ServeOptions {
+                    max_batch,
+                    workers,
+                    ..ServeOptions::default()
+                },
+            );
+            let a = on_thread.serve(&requests).unwrap();
+            let b = fanned.serve(&requests).unwrap();
+            assert_eq!(a, b, "max_batch={max_batch} workers={workers}");
+            assert_eq!(
+                on_thread.stats(),
+                fanned.stats(),
+                "stats diverged at max_batch={max_batch} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_matches_q8_and_parity_modes() {
+        let requests = mixed_requests(600);
+        for q8 in [false, true] {
+            let mut reference = InferenceServer::new(
+                FleetModels::untrained(7).unwrap(),
+                ServeOptions {
+                    q8_serving: q8,
+                    ..ServeOptions::default()
+                },
+            );
+            let mut fanned = InferenceServer::new(
+                FleetModels::untrained(7).unwrap(),
+                ServeOptions {
+                    q8_serving: q8,
+                    workers: 4,
+                    verify_parity: !q8,
+                    max_batch: 64,
+                    ..ServeOptions::default()
+                },
+            );
+            // max_batch differs → chunk stats differ, but per-row classes
+            // must still agree row-for-row (chunking never changes rows).
+            let a = reference.serve(&requests).unwrap();
+            let b = fanned.serve(&requests).unwrap();
+            assert_eq!(a, b, "q8={q8}");
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_survives_hot_swap_between_ticks() {
+        // Slot replicas are generation-keyed: after a swap they must
+        // refresh, and decisions must match a fresh server either side.
+        let requests = mixed_requests(300);
+        let mut fanned = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                workers: 4,
+                max_batch: 32,
+                ..ServeOptions::default()
+            },
+        );
+        let mut reference = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                max_batch: 32,
+                ..ServeOptions::default()
+            },
+        );
+        assert_eq!(
+            fanned.serve(&requests).unwrap(),
+            reference.serve(&requests).unwrap()
+        );
+        let swapped = FleetModels::untrained(99).unwrap().iosched;
+        let swapped_ref = FleetModels::untrained(99).unwrap().iosched;
+        fanned.swap_model(ModelKind::Iosched, swapped).unwrap();
+        reference
+            .swap_model(ModelKind::Iosched, swapped_ref)
+            .unwrap();
+        for _ in 0..3 {
+            assert_eq!(
+                fanned.serve(&requests).unwrap(),
+                reference.serve(&requests).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fanout_keeps_shadow_lane_exact() {
+        let requests = mixed_requests(240);
+        let mut on_thread =
+            InferenceServer::new(FleetModels::untrained(11).unwrap(), ServeOptions::default());
+        let mut fanned = InferenceServer::new(
+            FleetModels::untrained(11).unwrap(),
+            ServeOptions {
+                workers: 4,
+                max_batch: 32,
+                ..ServeOptions::default()
+            },
+        );
+        for server in [&mut on_thread, &mut fanned] {
+            server.set_shadow(
+                ModelKind::Readahead,
+                FleetModels::untrained(42).unwrap().readahead,
+            );
+        }
+        let a = on_thread.serve(&requests).unwrap();
+        let b = fanned.serve(&requests).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            on_thread.shadow_stats(ModelKind::Readahead),
+            fanned.shadow_stats(ModelKind::Readahead)
+        );
+        assert_eq!(fanned.shadow_stats(ModelKind::Readahead).windows, 80);
+    }
+
+    #[test]
+    fn serve_into_reuses_the_response_buffer() {
+        let requests = mixed_requests(64);
+        let mut server =
+            InferenceServer::new(FleetModels::untrained(3).unwrap(), ServeOptions::default());
+        let mut buf = Vec::new();
+        server.serve_into(&requests, &mut buf).unwrap();
+        let first: Vec<InferResponse> = buf.clone();
+        let cap = buf.capacity();
+        server.serve_into(&requests, &mut buf).unwrap();
+        assert_eq!(buf, first);
+        assert_eq!(buf.capacity(), cap, "steady-state serve_into reallocated");
     }
 
     #[test]

@@ -25,6 +25,13 @@ thread_local! {
     static THREAD_FREES: Cell<u64> = const { Cell::new(0) };
 }
 
+// Process-wide totals alongside the per-thread cells: steady-state tests for
+// paths that fan work out across the persistent worker pool need to see
+// allocations performed *on pool threads*, which the per-thread counters of
+// the measuring thread cannot.
+static PROCESS_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static PROCESS_FREES: AtomicU64 = AtomicU64::new(0);
+
 /// A [`GlobalAlloc`] wrapper around the system allocator that counts every
 /// heap allocation per thread. Install it as the `#[global_allocator]` of a
 /// dedicated test binary to *prove* a code path is allocation-free — the
@@ -58,6 +65,22 @@ impl CountingSystemAlloc {
     pub fn thread_frees() -> u64 {
         THREAD_FREES.try_with(Cell::get).unwrap_or(0)
     }
+
+    /// Heap allocations performed by **every** thread of the process since
+    /// start. Use this (instead of [`Self::thread_allocations`]) to measure
+    /// paths that dispatch onto the persistent worker pool, whose
+    /// allocations land on pool threads. Note: in a multi-threaded test
+    /// harness other concurrently-running tests perturb this counter —
+    /// process-wide measurements belong in single-test binaries or
+    /// `--test-threads=1` contexts.
+    pub fn process_allocations() -> u64 {
+        PROCESS_ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Heap frees performed by every thread of the process since start.
+    pub fn process_frees() -> u64 {
+        PROCESS_FREES.load(Ordering::Relaxed)
+    }
 }
 
 // `try_with` everywhere: during thread teardown the TLS slot may already be
@@ -66,21 +89,25 @@ impl CountingSystemAlloc {
 unsafe impl GlobalAlloc for CountingSystemAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        PROCESS_ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        PROCESS_ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        PROCESS_ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         let _ = THREAD_FREES.try_with(|c| c.set(c.get() + 1));
+        PROCESS_FREES.fetch_add(1, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 }

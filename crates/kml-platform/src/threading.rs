@@ -7,7 +7,7 @@
 //! joins, and named threads for debuggability.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use crate::{Persona, PlatformError, Result};
@@ -183,6 +183,343 @@ where
         .collect()
 }
 
+/// Environment variable that overrides the size of the process-global
+/// [`WorkerPool`] (number of resident pool threads, caller not counted).
+pub const POOL_THREADS_ENV: &str = "KML_POOL_THREADS";
+
+/// Lifetime-erased reference to the closure being broadcast for one epoch.
+///
+/// Workers only dereference it while `finished < participants` for the
+/// active epoch, and [`WorkerPool::broadcast`] blocks until
+/// `finished == participants` before returning, so the pointee strictly
+/// outlives every use.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared access from many threads is fine)
+// and `broadcast` keeps it alive for the duration of the epoch.
+unsafe impl Send for TaskRef {}
+
+struct PoolState {
+    /// Bumped once per dispatch; workers compare against their last-seen
+    /// epoch to detect new work.
+    epoch: u64,
+    /// Closure for the active epoch (`None` between dispatches).
+    task: Option<TaskRef>,
+    /// How many pool threads take part in the active epoch.
+    participants: usize,
+    /// How many participants have finished the active epoch.
+    finished: usize,
+    /// First panic payload captured from a participant this epoch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a new epoch is published (or on shutdown).
+    work_cv: Condvar,
+    /// Signalled when the last participant of an epoch finishes.
+    done_cv: Condvar,
+}
+
+/// A persistent worker pool: threads are spawned once and parked on a
+/// condvar between dispatches, so repeated fan-outs (a fleet run issues
+/// thousands) cost a wakeup instead of a `std::thread::spawn` each.
+///
+/// Dispatch model: [`broadcast`](Self::broadcast) publishes one closure per
+/// *epoch*; every participating worker invokes it exactly once with its
+/// **slot index** (pool thread `w` gets slot `w + 1`), and the calling
+/// thread participates as slot 0. Slots let callers keep per-worker scratch
+/// without allocation. [`run`](Self::run) and [`map`](Self::map) build the
+/// familiar atomic-cursor/item-order-deterministic scheme on top, matching
+/// [`parallel_map`] (the retained scoped reference implementation) result
+/// for result at any worker count.
+///
+/// Panic safety: a panicking task is caught in the worker, re-raised on the
+/// dispatching thread after the epoch completes, and the pool remains
+/// usable for subsequent dispatches — no wedging, no poisoning.
+///
+/// Re-entrancy: a dispatch issued while another is in flight (including
+/// from inside a pool task) runs inline on the caller, so nested
+/// parallelism degrades to sequential instead of deadlocking.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Guards against concurrent/nested dispatch; see [`Self::broadcast`].
+    dispatching: AtomicBool,
+    threads: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` resident worker threads. The caller's
+    /// thread always participates in dispatches as slot 0, so a pool with
+    /// `threads == 0` is valid and simply runs everything inline.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                task: None,
+                participants: 0,
+                finished: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("kml-pool/{w}"))
+                    .spawn(move || Self::worker_loop(&shared, w))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            dispatching: AtomicBool::new(false),
+            threads,
+            handles,
+        }
+    }
+
+    /// Number of resident pool threads (excluding the dispatching caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Highest slot index a task closure can observe (`threads`, because the
+    /// caller is slot 0). Size per-slot scratch as `max_slot() + 1`.
+    pub fn max_slot(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_loop(shared: &PoolShared, w: usize) {
+        let mut seen = 0u64;
+        loop {
+            let task = {
+                let mut st = shared.state.lock().expect("pool mutex poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        seen = st.epoch;
+                        if w < st.participants {
+                            break st.task.expect("active epoch has a task");
+                        }
+                    }
+                    st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+                }
+            };
+            // SAFETY: see `TaskRef` — valid until we bump `finished` below.
+            let f = unsafe { &*task.0 };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(w + 1)));
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.finished += 1;
+            if st.finished == st.participants {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Invokes `f(slot)` once on the caller (slot 0) and once on each of up
+    /// to `extra_workers` pool threads (slots 1..), returning after **all**
+    /// invocations finish. With `extra_workers == 0`, or when another
+    /// dispatch is already in flight (nested use), `f(0)` runs inline.
+    ///
+    /// Allocation-free on the dispatch path: the closure is passed by
+    /// reference through a lifetime-erased pointer, not boxed.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from any participant after the epoch
+    /// completes; the pool stays usable afterwards.
+    pub fn broadcast<F>(&self, extra_workers: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let participants = extra_workers.min(self.threads);
+        if participants == 0 {
+            f(0);
+            return;
+        }
+        if self
+            .dispatching
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Pool busy (nested or concurrent dispatch): degrade to inline
+            // execution instead of deadlocking on the epoch protocol.
+            f(0);
+            return;
+        }
+        struct DispatchGuard<'a>(&'a AtomicBool);
+        impl Drop for DispatchGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let guard = DispatchGuard(&self.dispatching);
+
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: lifetime erasure only; `broadcast` blocks until every
+        // participant finished, so `f` outlives all uses (see `TaskRef`).
+        let task = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.epoch = st.epoch.wrapping_add(1);
+            st.task = Some(task);
+            st.participants = participants;
+            st.finished = 0;
+            st.panic = None;
+            self.shared.work_cv.notify_all();
+        }
+        // The caller participates as slot 0. Catch a local panic so we
+        // still wait for the workers before unwinding (they hold a
+        // pointer into our frame).
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(0)));
+        let worker_panic = {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            while st.finished < st.participants {
+                st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+            }
+            st.task = None;
+            st.panic.take()
+        };
+        drop(guard);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Runs `task(slot, index)` for every `index in 0..tasks`, handing
+    /// indices out through an atomic cursor across `workers` participants
+    /// (caller included). Same deterministic-schedule contract as
+    /// [`parallel_map`]: which slot runs which index is dynamic, but
+    /// callers that key results/scratch by **index** (not slot) get
+    /// byte-identical output at any worker count. With `workers <= 1` or
+    /// fewer than two tasks everything runs inline as slot 0.
+    ///
+    /// Unlike [`map`](Self::map) this returns nothing and allocates
+    /// nothing: tasks write results into caller-owned storage indexed by
+    /// `index` (disjoint per task) or `slot` (exclusive per participant).
+    pub fn run<F>(&self, workers: usize, tasks: usize, task: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = workers.clamp(1, tasks.max(1));
+        if workers <= 1 || tasks <= 1 {
+            for i in 0..tasks {
+                task(0, i);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        self.broadcast(workers - 1, |slot| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            task(slot, i);
+        });
+    }
+
+    /// Drop-in, result-identical replacement for [`parallel_map`] running
+    /// on the persistent pool instead of freshly scoped threads.
+    pub fn map<T, R, F>(&self, items: &[T], workers: usize, work: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = workers.clamp(1, items.len().max(1));
+        if workers <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+        }
+        let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        self.run(workers, items.len(), |_slot, i| {
+            let r = work(i, &items[i]);
+            *results[i].lock().expect("result slot poisoned") = Some(r);
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every task index was visited")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pool-thread count for the process-global pool: `KML_POOL_THREADS` when
+/// set to a positive integer, otherwise enough threads that the repro
+/// byte-identity sweeps (`--threads 8`) schedule on real pool workers even
+/// on small hosts — parked threads cost nothing.
+fn global_pool_threads() -> usize {
+    if let Ok(v) = std::env::var(POOL_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    hw.max(9) - 1
+}
+
+/// The process-global [`WorkerPool`], created on first use and never torn
+/// down. Every production fan-out (fleet rounds, batched serving, repro
+/// sweeps, sharded training) dispatches here so the whole process performs
+/// exactly one round of thread spawns.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(global_pool_threads()))
+}
+
+/// [`parallel_map`] semantics on the process-global persistent pool: same
+/// signature, same item-order determinism, no per-call thread spawns.
+pub fn pool_map<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    global_pool().map(items, workers, work)
+}
+
 /// Yields the current thread (`kml_yield` analogue; `cond_resched` in-kernel).
 pub fn kml_yield() {
     std::thread::yield_now();
@@ -263,6 +600,136 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn pool_map_matches_parallel_map() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 3, 4, 9] {
+            let scoped = parallel_map(&items, workers, |i, &x| (i, x.wrapping_mul(x)));
+            let pooled = pool.map(&items, workers, |i, &x| (i, x.wrapping_mul(x)));
+            assert_eq!(scoped, pooled, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_single() {
+        let pool = WorkerPool::new(2);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_zero_threads_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let items: Vec<usize> = (0..32).collect();
+        assert_eq!(
+            pool.map(&items, 8, |_, &x| x * 2),
+            items.iter().map(|&x| x * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<u64> = (0..64).collect();
+        for round in 0..50u64 {
+            let out = pool.map(&items, 4, |_, &x| x + round);
+            assert_eq!(out[63], 63 + round);
+        }
+    }
+
+    #[test]
+    fn pool_run_covers_every_index_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool.run(5, hits.len(), |_slot, i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_run_slots_are_disjoint_participants() {
+        let pool = WorkerPool::new(4);
+        let max_slot = pool.max_slot();
+        let seen: Vec<AtomicU64> = (0..=max_slot).map(|_| AtomicU64::new(0)).collect();
+        pool.run(5, 512, |slot, _i| {
+            assert!(slot <= max_slot, "slot {slot} out of range");
+            seen[slot].fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        });
+        let total: u64 = seen.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 512);
+    }
+
+    #[test]
+    fn pool_panic_propagates_and_does_not_wedge() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, 4, |_, &x| {
+                if x == 17 {
+                    panic!("task 17 exploded");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate to the dispatcher");
+        // The pool must remain fully usable after a panicking epoch.
+        for _ in 0..10 {
+            let out = pool.map(&items, 4, |_, &x| x + 1);
+            assert_eq!(out.len(), items.len());
+            assert_eq!(out[17], 18);
+        }
+    }
+
+    #[test]
+    fn pool_caller_panic_still_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(2, |slot| {
+                if slot == 0 {
+                    panic!("caller slot panics");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        }));
+        assert!(result.is_err());
+        // Subsequent dispatch works.
+        let done = AtomicU64::new(0);
+        pool.broadcast(2, |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let pool = WorkerPool::new(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let inner: Vec<usize> = (0..8).collect();
+        let out = pool.map(&outer, 3, |_, &x| {
+            // A nested map on the same pool must degrade to inline, not
+            // deadlock on the single-dispatch protocol.
+            let sums: usize = pool.map(&inner, 3, |_, &y| x + y).iter().sum();
+            sums
+        });
+        let expected: Vec<usize> = outer.iter().map(|&x| 8 * x + 28).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global_pool() as *const WorkerPool;
+        let b = global_pool() as *const WorkerPool;
+        assert_eq!(a, b);
+        let items: Vec<usize> = (0..128).collect();
+        let out = pool_map(&items, 8, |i, &x| (i, x));
+        assert_eq!(out.len(), 128);
+        assert_eq!(out[77], (77, 77));
     }
 
     #[test]

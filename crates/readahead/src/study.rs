@@ -103,7 +103,7 @@ impl ReadaheadStudy {
                 tasks.push((workload, ra_kb));
             }
         }
-        let cells = threading::parallel_map(&tasks, workers, |_, &(workload, ra_kb)| StudyCell {
+        let cells = threading::pool_map(&tasks, workers, |_, &(workload, ra_kb)| StudyCell {
             workload,
             ra_kb,
             ops_per_sec: measure(device, workload, ra_kb, cfg),
