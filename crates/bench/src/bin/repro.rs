@@ -20,6 +20,10 @@
 //!                  watchdog promotion + rollback (DESIGN.md §11);
 //!                  `--corrupt` instead proves a corrupted artifact is
 //!                  refused with a typed error (the command exits non-zero)
+//!   continual  E14 closed-loop online learning: drift detection on a live
+//!                  workload pivot, reservoir retrain on the background
+//!                  trainer, shadow staging, earned promotion — plus a
+//!                  no-drift control that never retrains (DESIGN.md §13)
 //!   ablate     —   window-length and activation ablations (DESIGN.md §5)
 //!   all        everything above
 //! ```
@@ -92,12 +96,13 @@ fn main() {
         "netfs" => cmd_netfs(quick, json),
         "fleet" => cmd_fleet(&cfg, quick, json),
         "lifecycle" => cmd_lifecycle(quick, json, corrupt),
+        "continual" => cmd_continual(quick, json),
         "ablate" => cmd_ablate(&cfg),
         "all" => cmd_all(&cfg, quick, json),
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs fleet lifecycle ablate all"
+                "experiments: study accuracy table2 figure2 overheads dtree rl iosched netfs fleet lifecycle continual ablate all"
             );
             std::process::exit(2);
         }
@@ -152,6 +157,7 @@ fn cmd_all(cfg: &LoopConfig, quick: bool, json: bool) -> DynResult {
     cmd_netfs(quick, json)?;
     cmd_fleet(cfg, quick, json)?;
     cmd_lifecycle(quick, json, false)?;
+    cmd_continual(quick, json)?;
     cmd_ablate(cfg)
 }
 
@@ -810,6 +816,382 @@ fn lifecycle_artifact(
     let mut m32 = kml_core::modelfile::decode::<f32>(&bytes).map_err(|e| e.to_string())?;
     kml_lifecycle::save_model(kml_lifecycle::ArtifactKind::Readahead, &mut m32)
         .map_err(|e| e.to_string())
+}
+
+/// E14 — closed-loop online learning (DESIGN.md §13): a live loop served
+/// by a constant class-0 model pivots from random to sequential reads;
+/// the drift detector fires on the sustained feature shift, the
+/// background retrainer trains a candidate from the reservoir, the
+/// candidate shadow-stages and earns promotion after clean windows, and
+/// every post-promotion decision is stamped with the new generation while
+/// the readahead recovers to the sequential class. A control arc without
+/// the pivot proves the loop never retrains on a stationary workload.
+fn cmd_continual(quick: bool, json: bool) -> DynResult {
+    use kernel_sim::{FileId, Sim, SimConfig, PAGE_SIZE};
+    use kml_collect::RingBuffer;
+    use kml_continual::{
+        train_candidate, BackgroundRetrainer, ContinualConfig, ContinualController, DriftConfig,
+        ReservoirSample, RetrainMode, RetrainSpec,
+    };
+    use kml_lifecycle::{ArtifactKind, LifecycleEvent, WatchdogConfig};
+    use kml_platform::Persona;
+    use readahead::tuner::{KmlTuner, RaPolicy, TunerModel};
+
+    const POLICY_KB: [u32; 2] = [16, 1024];
+    const INITIAL_RA_KB: u32 = 128;
+    const WINDOW_NS: u64 = 200_000;
+    const PAGES_PER_OP: u64 = 4;
+    const FILE_PAGES: u64 = 1 << 16;
+    // Observation windows per phase: enough random windows to freeze the
+    // drift reference, enough shifted ones for trigger + retrain +
+    // shadow + post-promotion proof.
+    const RANDOM_WINDOWS: u64 = 12;
+    const SHIFTED_WINDOWS: u64 = 40;
+
+    println!("## E14: continual learning — drift, retrain, earned promotion (DESIGN.md §13)\n");
+
+    // Full-batch steps over a ≤64-sample reservoir — cheap enough that
+    // "quick" barely differs, and enough of them that the boundary is
+    // actually learned rather than approximated.
+    let epochs = if quick { 1_500 } else { 3_000 };
+    let spec = RetrainSpec {
+        kind: ArtifactKind::Readahead,
+        classes: POLICY_KB.len(),
+        epochs,
+        seed: 0xE14_7EA1,
+    };
+
+    // Generation 1: trained through the retrainer's own packaging path on
+    // a random-phase cluster labeled class 0 — it holds the 16 KiB class
+    // no matter what it sees, so the pivot genuinely hurts until the loop
+    // retrains its way out.
+    let t0 = Instant::now();
+    eprintln!("[training the generation-1 artifact]");
+    let gen1_samples: Vec<ReservoirSample> = (0..32u64)
+        .map(|j| {
+            let jit = |k: u64| ((j * 7 + k) % 11) as f64 * 0.05;
+            ReservoirSample {
+                id: j,
+                priority: 0,
+                // The random-phase cluster in the loop's pattern-feature
+                // space (see `Arc14::phi`): ~14 bits of per-window offset
+                // spread, ~12 bits of mean jump distance.
+                features: [0.0, 0.0, 14.2 + jit(0), 12.0 + jit(1), 0.0],
+                label: 0,
+            }
+        })
+        .collect();
+    let gen1 = train_candidate(&spec, 0, &gen1_samples)?;
+    eprintln!("[trained in {:.1?}]", t0.elapsed());
+
+    let continual_cfg = ContinualConfig {
+        // Blocks of 6 put the trigger ~12 windows past the pivot, so the
+        // reservoir the retrainer samples holds both phases in balance.
+        drift: DriftConfig {
+            reference_windows: 6,
+            block_windows: 6,
+            threshold: 8.0,
+            trigger_blocks: 2,
+            abs_floor: 1.0,
+        },
+        reservoir_capacity: 64,
+        seed: 0xE14_5EED,
+        min_samples: 16,
+        watchdog: WatchdogConfig {
+            baseline_windows: 1,
+            promote_after: 3,
+            regress_windows: 2,
+            regress_ratio: 0.5,
+        },
+        spec,
+    };
+
+    // One driven loop: a fresh sim + tuner + controller, windows observed
+    // through the full reservoir → drift → retrain → watchdog path, the
+    // model's decision actuated after observation so a just-promoted
+    // generation stamps the very window it won.
+    struct Arc14 {
+        sim: Sim,
+        tuner: KmlTuner,
+        controller: Option<ContinualController>,
+        file: FileId,
+        cursor: u64,
+        lcg: u64,
+        window_start_ns: u64,
+        pages_since: u64,
+        total_records: f64,
+        sum_offset: f64,
+        sum_offset2: f64,
+        rows: Vec<Vec<String>>,
+        windows: u64,
+        promoted_at: Option<u64>,
+        decisions_at_promotion: usize,
+    }
+
+    impl Arc14 {
+        fn new(gen1: &[u8], cfg: &ContinualConfig, background: bool) -> DynResult2<Self> {
+            let mut sim = Sim::new(SimConfig {
+                device: DeviceProfile::nvme(),
+                cache_pages: 4_096,
+                default_ra_kb: INITIAL_RA_KB,
+                ..SimConfig::default()
+            });
+            let (producer, consumer) = RingBuffer::with_capacity(4_096).split();
+            sim.attach_trace(producer);
+            let file = sim.create_file(FILE_PAGES);
+            let mut tuner = KmlTuner::new(
+                TunerModel::Remote,
+                RaPolicy::new(POLICY_KB.to_vec()),
+                consumer,
+                WINDOW_NS,
+                INITIAL_RA_KB,
+            );
+            let mode = if background {
+                RetrainMode::Background(BackgroundRetrainer::spawn(Persona::Kernel, cfg.spec)?)
+            } else {
+                RetrainMode::Inline
+            };
+            let controller = ContinualController::new(*cfg, &mut tuner, gen1.to_vec(), mode)?;
+            let window_start_ns = sim.now_ns();
+            Ok(Arc14 {
+                sim,
+                tuner,
+                controller: Some(controller),
+                file,
+                cursor: 0,
+                lcg: 0xE14,
+                window_start_ns,
+                pages_since: 0,
+                total_records: 0.0,
+                sum_offset: 0.0,
+                sum_offset2: 0.0,
+                rows: Vec::new(),
+                windows: 0,
+                promoted_at: None,
+                decisions_at_promotion: 0,
+            })
+        }
+
+        /// Actuation-invariant pattern features for one window. The raw
+        /// extractor's mean/std channels are cumulative over the run, so
+        /// this first recovers per-window statistics from the running
+        /// totals, then keeps only the channels the loop's own decisions
+        /// cannot move: a promoted model that changes the readahead size
+        /// changes the op count and knob channels of every later window,
+        /// and a model keyed on those would drift out of its own training
+        /// distribution the moment it won. Log2 compression matches the
+        /// generation-1 cluster and keeps the phase step a few clean bits.
+        fn phi(&mut self, raw: &[f64; 5]) -> [f64; 5] {
+            let n = raw[0];
+            let w_std = if n > 0.0 {
+                let total = self.total_records + n;
+                let sum = raw[1] * total;
+                let sum2 = (raw[2] * raw[2] + raw[1] * raw[1]) * total;
+                let wm = (sum - self.sum_offset) / n;
+                let we2 = (sum2 - self.sum_offset2) / n;
+                self.total_records = total;
+                self.sum_offset = sum;
+                self.sum_offset2 = sum2;
+                (we2 - wm * wm).max(0.0).sqrt()
+            } else {
+                0.0
+            };
+            [0.0, 0.0, (1.0 + w_std).log2(), (1.0 + raw[3]).log2(), 0.0]
+        }
+
+        /// Runs ops of one phase until `until` total windows have been
+        /// observed, recording a row per window.
+        fn drive(&mut self, phase: &str, random: bool, until: u64) -> DynResult2<()> {
+            let file = self.file;
+            while self.windows < until {
+                let page = if random {
+                    self.lcg = self
+                        .lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (self.lcg >> 33) % (FILE_PAGES - PAGES_PER_OP)
+                } else {
+                    let p = self.cursor;
+                    self.cursor = (self.cursor + PAGES_PER_OP) % (FILE_PAGES - PAGES_PER_OP);
+                    p
+                };
+                self.sim.read(file, page, PAGES_PER_OP)?;
+                self.pages_since += PAGES_PER_OP;
+                let Some(features) = self.tuner.poll_window(&mut self.sim) else {
+                    continue;
+                };
+                self.windows += 1;
+                let now = self.sim.now_ns();
+                let dt = (now - self.window_start_ns).max(1);
+                let mbps = (self.pages_since * PAGE_SIZE) as f64 * 1e3 / dt as f64;
+                self.window_start_ns = now;
+                self.pages_since = 0;
+                let label = KmlTuner::heuristic_class(&features);
+                let phi = self.phi(&features);
+                let controller = self.controller.as_mut().expect("not shut down");
+                let out = controller.observe_window(&mut self.tuner, &phi, label, mbps)?;
+                let mut note = String::new();
+                if out.drifted {
+                    note = format!("drift (score {:.1})", controller.last_drift_score());
+                }
+                if out.retrained {
+                    note = format!(
+                        "{note}{}retrained on {} reservoir samples → staged",
+                        if note.is_empty() { "" } else { "; " },
+                        controller.reservoir_len()
+                    );
+                }
+                match out.lifecycle {
+                    Some(LifecycleEvent::Promoted {
+                        from,
+                        to,
+                        agreement_pct,
+                    }) => {
+                        self.promoted_at = Some(self.windows);
+                        self.decisions_at_promotion = self.tuner.decisions().len();
+                        note = format!("promoted {from}→{to} (agreement {agreement_pct:.1}%)");
+                    }
+                    Some(LifecycleEvent::RolledBack { from, to }) => {
+                        note = format!("rolled back {from}→{to}");
+                    }
+                    None => {}
+                }
+                let class = self.tuner.predict_active(&phi).map_err(|e| {
+                    Box::<dyn std::error::Error>::from(format!("predict failed: {e:?}"))
+                })?;
+                self.tuner.apply_class(&mut self.sim, class);
+                self.rows.push(vec![
+                    self.windows.to_string(),
+                    phase.into(),
+                    self.tuner.model_generation().to_string(),
+                    self.tuner.current_ra_kb().to_string(),
+                    format!("{mbps:.1}"),
+                    note,
+                ]);
+            }
+            Ok(())
+        }
+
+        fn shutdown(&mut self) -> DynResult2<()> {
+            if let Some(c) = self.controller.take() {
+                c.shutdown()?;
+            }
+            Ok(())
+        }
+    }
+
+    // The drift arc: random phase, then the pivot — on the background
+    // retrainer, the deployed shape (bytes are identical to inline).
+    let mut arc = Arc14::new(&gen1, &continual_cfg, true)?;
+    arc.drive("random", true, RANDOM_WINDOWS)?;
+    arc.drive("shifted", false, RANDOM_WINDOWS + SHIFTED_WINDOWS)?;
+    let controller = arc.controller.as_ref().expect("not shut down");
+    let (drift_events, retrains, promotions, rollbacks) = (
+        controller.drift_events(),
+        controller.retrains(),
+        controller.promotions(),
+        controller.rollbacks(),
+    );
+    let generation = controller.generation();
+    let reservoir_hash = controller.reservoir_hash();
+    if promotions == 0 {
+        return Err("the shifted arc never promoted a retrained candidate".into());
+    }
+    if generation != 1 + promotions {
+        return Err(format!(
+            "active generation {generation} after {promotions} promotions (expected {})",
+            1 + promotions
+        )
+        .into());
+    }
+    let promoted_at = arc.promoted_at.expect("promotions > 0");
+    let fresh = &arc.tuner.decisions()[arc.decisions_at_promotion..];
+    if fresh.is_empty() {
+        return Err("no decisions in the post-promotion proof windows".into());
+    }
+    if let Some(d) = fresh.iter().find(|d| d.generation != generation) {
+        return Err(format!(
+            "post-promotion decision tagged generation {} (expected {generation})",
+            d.generation
+        )
+        .into());
+    }
+    let fresh_len = fresh.len();
+    let final_ra = arc.tuner.current_ra_kb();
+    if final_ra != 1024 {
+        return Err(format!(
+            "loop did not recover the sequential 1024 KiB class (holds {final_ra})"
+        )
+        .into());
+    }
+    arc.shutdown()?;
+
+    // The control arc: same loop, same windows, no pivot — the reservoir
+    // fills, the detector monitors, and nothing ever fires.
+    let mut control = Arc14::new(&gen1, &continual_cfg, false)?;
+    control.drive("control", true, RANDOM_WINDOWS + SHIFTED_WINDOWS)?;
+    let cctl = control.controller.as_ref().expect("not shut down");
+    let control_counts = (
+        cctl.drift_events(),
+        cctl.retrains(),
+        cctl.promotions(),
+        cctl.generation(),
+    );
+    if control_counts != (0, 0, 0, 1) {
+        return Err(format!(
+            "the no-drift control was not silent: {} drift, {} retrains, {} promotions, generation {}",
+            control_counts.0, control_counts.1, control_counts.2, control_counts.3
+        )
+        .into());
+    }
+    control.shutdown()?;
+
+    let mut table = bench::render_table(
+        &[
+            "window",
+            "phase",
+            "gen",
+            "ra KiB",
+            "MB/s (virtual)",
+            "event",
+        ],
+        &arc.rows,
+    );
+    table.push('\n');
+    table.push_str(&format!(
+        "arc:     {drift_events} drift trigger(s) → {retrains} retrain(s) → \
+         {promotions} promotion(s), {rollbacks} rollback(s); promoted at window {promoted_at}\n\
+         proof:   {fresh_len} post-promotion decisions all tagged generation {generation}; \
+         readahead recovered to {final_ra} KiB\n\
+         control: 0 drift, 0 retrains, 0 promotions over {} stationary windows \
+         (generation stayed 1)\n\
+         reservoir contents hash: {reservoir_hash:#018x}\n",
+        RANDOM_WINDOWS + SHIFTED_WINDOWS,
+    ));
+    println!("{table}");
+    let path = bench::write_results("e14_continual.txt", &table)?;
+    println!("written to {}\n", path.display());
+
+    if json {
+        let mut json_lines = String::new();
+        for r in &arc.rows {
+            json_lines.push_str(&format!(
+                "{{\"schema\":\"continual\",\"experiment\":\"e14_continual\",\"window\":{},\"phase\":{},\"generation\":{},\"ra_kb\":{},\"mbps\":{},\"event\":{}}}\n",
+                r[0],
+                kml_telemetry::json_str(&r[1]),
+                r[2],
+                r[3],
+                r[4],
+                kml_telemetry::json_str(&r[5]),
+            ));
+        }
+        json_lines.push_str(&format!(
+            "{{\"schema\":\"continual\",\"experiment\":\"e14_continual\",\"drift_events\":{drift_events},\"retrains\":{retrains},\"promotions\":{promotions},\"rollbacks\":{rollbacks},\"promoted_window\":{promoted_at},\"final_generation\":{generation},\"final_ra_kb\":{final_ra},\"post_promotion_decisions\":{fresh_len},\"control_drift_events\":0,\"control_retrains\":0,\"control_promotions\":0,\"reservoir_hash\":\"{reservoir_hash:#018x}\"}}\n",
+        ));
+        let jp = write_json_results("e14_continual.jsonl", &json_lines)?;
+        println!("json-lines written to {}\n", jp.display());
+    }
+    Ok(())
 }
 
 /// E9 — third use case: the same framework tuning an NFS-like mount's

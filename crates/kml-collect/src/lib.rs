@@ -40,4 +40,4 @@ pub use featurize::{Channel, FeatureBatch, WindowedFeatures};
 pub use pool::{ShardedCollector, TrainerPool};
 pub use ringbuf::RingBuffer;
 pub use stats::{CumulativeStats, MovingAverage, ZScore};
-pub use trainer::AsyncTrainer;
+pub use trainer::{AsyncTrainer, TRAINER_BACKLOG_METRIC, TRAINER_DROPPED_METRIC};

@@ -11,8 +11,16 @@
 use crate::ringbuf::Consumer;
 use kml_platform::threading::{kml_yield, KmlThread};
 use kml_platform::Persona;
+use kml_telemetry::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Gauge name for the trainer's input backlog (records waiting in the
+/// collection ring), published by [`AsyncTrainer::spawn_with_telemetry`].
+pub const TRAINER_BACKLOG_METRIC: &str = "kml.trainer_backlog";
+/// Counter name for records lost to ring overwrites before the trainer
+/// could drain them, published by [`AsyncTrainer::spawn_with_telemetry`].
+pub const TRAINER_DROPPED_METRIC: &str = "kml.trainer_dropped";
 
 /// Counters published by the training thread.
 #[derive(Debug, Default)]
@@ -67,6 +75,30 @@ impl AsyncTrainer {
     /// Returns a platform error if the thread cannot be spawned.
     pub fn spawn<T, F>(
         persona: Persona,
+        consumer: Consumer<T>,
+        train: F,
+    ) -> kml_platform::Result<Self>
+    where
+        T: Copy + Send + 'static,
+        F: FnMut(&[T]) + Send + 'static,
+    {
+        Self::spawn_with_telemetry(persona, &Registry::noop(), consumer, train)
+    }
+
+    /// Like [`spawn`](Self::spawn), but also publishes the trainer's
+    /// health to `registry`: the [`TRAINER_BACKLOG_METRIC`] gauge tracks
+    /// how far the producer has run ahead of training (records waiting in
+    /// the ring) and the [`TRAINER_DROPPED_METRIC`] counter accumulates
+    /// records lost to ring overwrites. Both update once per drain pass
+    /// on the training thread — nothing is added to the wait-free
+    /// collection hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns a platform error if the thread cannot be spawned.
+    pub fn spawn_with_telemetry<T, F>(
+        persona: Persona,
+        registry: &Registry,
         mut consumer: Consumer<T>,
         mut train: F,
     ) -> kml_platform::Result<Self>
@@ -74,10 +106,13 @@ impl AsyncTrainer {
         T: Copy + Send + 'static,
         F: FnMut(&[T]) + Send + 'static,
     {
+        let backlog_gauge = registry.gauge(TRAINER_BACKLOG_METRIC);
+        let dropped_counter = registry.counter(TRAINER_DROPPED_METRIC);
         let stats = Arc::new(TrainerStats::default());
         let thread_stats = stats.clone();
         let thread = KmlThread::spawn(persona, "kml-train", move |ctl| {
             let mut batch = Vec::with_capacity(Self::BATCH);
+            let mut reported_dropped = 0u64;
             loop {
                 batch.clear();
                 while batch.len() < Self::BATCH {
@@ -86,6 +121,10 @@ impl AsyncTrainer {
                         None => break,
                     }
                 }
+                backlog_gauge.set(consumer.len_estimate());
+                let dropped = consumer.dropped();
+                dropped_counter.add(dropped - reported_dropped);
+                reported_dropped = dropped;
                 if batch.is_empty() {
                     if ctl.should_stop() {
                         break;
@@ -98,13 +137,12 @@ impl AsyncTrainer {
                     .samples
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 thread_stats.batches.fetch_add(1, Ordering::Relaxed);
-                thread_stats
-                    .dropped
-                    .store(consumer.dropped(), Ordering::Relaxed);
+                thread_stats.dropped.store(dropped, Ordering::Relaxed);
             }
-            thread_stats
-                .dropped
-                .store(consumer.dropped(), Ordering::Relaxed);
+            backlog_gauge.set(0);
+            let dropped = consumer.dropped();
+            dropped_counter.add(dropped - reported_dropped);
+            thread_stats.dropped.store(dropped, Ordering::Relaxed);
         })?;
         Ok(AsyncTrainer { thread, stats })
     }
@@ -192,6 +230,30 @@ mod tests {
         let dropped = trainer.samples_dropped();
         trainer.stop().unwrap();
         assert!(dropped >= 10_000 - 8, "dropped only {dropped}");
+    }
+
+    #[test]
+    fn telemetry_reports_backlog_and_drops() {
+        let registry = Registry::new();
+        let (p, c) = RingBuffer::<u64>::with_capacity(8).split();
+        // Overflow before the trainer exists: the ring overwrites, and the
+        // trainer must surface the loss through the registry.
+        for i in 0..100u64 {
+            p.push(i);
+        }
+        let trainer =
+            AsyncTrainer::spawn_with_telemetry(Persona::User, &registry, c, |_batch| {}).unwrap();
+        while trainer.samples_processed() + trainer.samples_dropped() < 100 {
+            std::thread::yield_now();
+        }
+        trainer.stop().unwrap();
+        let dropped = registry.counter(TRAINER_DROPPED_METRIC).get();
+        assert!(dropped >= 100 - 8, "dropped counter reads {dropped}");
+        assert_eq!(
+            registry.gauge(TRAINER_BACKLOG_METRIC).get(),
+            0,
+            "backlog gauge must read empty after stop"
+        );
     }
 
     #[test]

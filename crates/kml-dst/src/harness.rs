@@ -12,6 +12,10 @@ use crate::scenario::{FaultMask, Scenario, SeedStream};
 use kernel_sim::sim::Advice;
 use kernel_sim::{DeviceProfile, FaultPlan, FaultStats, FileId, Sim, SimConfig};
 use kml_collect::RingBuffer;
+use kml_continual::{
+    train_candidate, ContinualConfig, ContinualController, DriftConfig, ReservoirSample,
+    RetrainMode, RetrainSpec,
+};
 use kml_core::dataset::Dataset;
 use kml_core::dtree::{DecisionTree, DecisionTreeConfig};
 use kml_core::model::ModelBuilder;
@@ -52,9 +56,10 @@ pub struct Event {
 
 /// Names for `Event::op`, index-aligned with the dispatch in `run_inner`
 /// (`net_read`/`net_write` belong to `run_netfs_inner`; the `lc_*` codes
-/// are only ever emitted by lifecycle scenarios, so pre-lifecycle trace
-/// hashes are untouched).
-pub const OP_NAMES: [&str; 19] = [
+/// are emitted by lifecycle scenarios — and `lc_promote`/`lc_rollback`
+/// also by continual scenarios, whose own arc events get the `ct_*`
+/// codes — so pre-lifecycle trace hashes are untouched).
+pub const OP_NAMES: [&str; 21] = [
     "put",
     "get",
     "scan",
@@ -74,6 +79,8 @@ pub const OP_NAMES: [&str; 19] = [
     "lc_corrupt",
     "lc_promote",
     "lc_rollback",
+    "ct_drift",
+    "ct_retrain",
 ];
 
 /// `Event::op` codes for the scripted lifecycle events.
@@ -82,6 +89,9 @@ const OP_LC_INSTALL: u8 = 15;
 const OP_LC_CORRUPT: u8 = 16;
 const OP_LC_PROMOTE: u8 = 17;
 const OP_LC_ROLLBACK: u8 = 18;
+/// `Event::op` codes for the continual loop's arc events.
+const OP_CT_DRIFT: u8 = 19;
+const OP_CT_RETRAIN: u8 = 20;
 
 /// Everything a passing run proves, plus the fingerprint replays must
 /// reproduce bit-for-bit.
@@ -105,6 +115,12 @@ pub struct RunSummary {
     /// Rollbacks the lifecycle watchdog executed (lifecycle scenarios;
     /// 0 otherwise).
     pub rollbacks: u64,
+    /// Drift triggers the continual detector fired (continual scenarios;
+    /// 0 otherwise).
+    pub drift_events: u64,
+    /// Reservoir retrains the continual controller ran (continual
+    /// scenarios; 0 otherwise).
+    pub retrains: u64,
 }
 
 /// A caught invariant violation, with everything needed to reproduce it.
@@ -141,6 +157,9 @@ impl FailureReport {
         }
         if self.scenario.lifecycle {
             line.push_str(" KML_DST_LIFECYCLE=1");
+        }
+        if self.scenario.continual {
+            line.push_str(" KML_DST_CONTINUAL=1");
         }
         line.push_str(" cargo test -p kml-dst replays_reproducer_from_env");
         line
@@ -438,6 +457,162 @@ impl LifecycleScript {
     }
 }
 
+/// Drift tuning for the continual loop: reference and block windows small
+/// enough that a sweep-sized run completes the full reference → trigger →
+/// retrain → shadow → promotion arc, with a threshold high enough that
+/// the *stationary* op mix (whose window features vary plenty) never
+/// trips it — the no-drift control leans on exactly that.
+fn continual_drift() -> DriftConfig {
+    DriftConfig {
+        reference_windows: 6,
+        block_windows: 8,
+        threshold: 3.0,
+        trigger_blocks: 3,
+        abs_floor: 1.0,
+    }
+}
+
+/// Windows dropped before the controller starts observing: the first few
+/// windows after boot are cache-warmup transients whose features sit far
+/// from the steady mix, and a reference contaminated by them reads the
+/// settling *as* drift — the no-drift control must never do that.
+const CT_WARMUP_WINDOWS: u32 = 4;
+
+/// Log-compressed features for the continual loop's detector, reservoir,
+/// and model. The raw window features span orders of magnitude and their
+/// window-to-window variance under the mixed op stream is enormous (a
+/// window can be db-heavy or aux-heavy), which drowns the workload shift
+/// in reference noise *and* lets warmup phases fire spurious triggers.
+/// In log space the mix variance is a few bits while the workload pivot
+/// moves the offset channels by several bits — cleanly separable.
+/// The trailing knob channel stays raw (it is excluded from drift).
+fn continual_features(raw: &[f64; 5]) -> [f64; 5] {
+    [
+        (1.0 + raw[0]).log2(),
+        (1.0 + raw[1]).log2(),
+        (1.0 + raw[2]).log2(),
+        (1.0 + raw[3]).log2(),
+        raw[4],
+    ]
+}
+
+/// The initial (generation 1) artifact for a continual scenario: trained
+/// through the same `train_candidate` packaging path the live retrainer
+/// uses, on a seeded random-phase cluster (in the same log-feature space
+/// the loop serves) labeled class 0, so pre-shift windows actuate the
+/// small readahead and the shift genuinely hurts.
+fn continual_initial_artifact(p: &crate::scenario::ContinualParams) -> Result<Vec<u8>, String> {
+    let mut samples = Vec::with_capacity(32);
+    for j in 0..32u64 {
+        let jit = |k: u64| ((j * 7 + k) % 11) as f64 * 0.1;
+        let raw = [80.0, 2.0e4, 1.8e4, 5.0e2, f64::from(INITIAL_RA_KB)];
+        let mut features = continual_features(&raw);
+        for (k, f) in features.iter_mut().take(4).enumerate() {
+            *f += jit(k as u64);
+        }
+        samples.push(ReservoirSample {
+            id: j,
+            priority: 0,
+            features,
+            label: 0,
+        });
+    }
+    train_candidate(
+        &RetrainSpec {
+            kind: ArtifactKind::Readahead,
+            classes: POLICY_RA_KB.len(),
+            epochs: 40,
+            seed: p.initial_seed,
+        },
+        0,
+        &samples,
+    )
+}
+
+/// The live continual loop of a continual scenario, plus the bookkeeping
+/// for invariants I14–I16.
+struct ContinualScript {
+    controller: ContinualController,
+    /// Step at which the op mix pivots to the sequential scan.
+    shift_step: u64,
+    /// Whether the shift actually happens (`ct_shift` not disabled —
+    /// disabled turns the run into its own no-drift control).
+    shift_enabled: bool,
+    capacity: usize,
+    /// Every generation ever installed into the tuner; a decision tagged
+    /// with anything else means a candidate actuated before promotion.
+    installed_gens: Vec<u64>,
+    decision_cursor: usize,
+    /// Warmup windows left to drop before the controller observes.
+    warmup_left: u32,
+    /// Running totals for un-cumulating the extractor's offset channels
+    /// (which accumulate over the whole run): records seen, Σoffset, and
+    /// Σoffset² up to the previous window.
+    total_records: f64,
+    sum_offset: f64,
+    sum_offset2: f64,
+}
+
+impl ContinualScript {
+    fn new(scenario: &Scenario, tuner: &mut KmlTuner) -> Result<Self, String> {
+        let p = scenario.continual_params();
+        let cfg = ContinualConfig {
+            drift: continual_drift(),
+            reservoir_capacity: p.reservoir_capacity,
+            seed: p.retrain_seed ^ 0x5EED,
+            min_samples: 8,
+            watchdog: lifecycle_watchdog(),
+            spec: RetrainSpec {
+                kind: ArtifactKind::Readahead,
+                classes: POLICY_RA_KB.len(),
+                epochs: 40,
+                seed: p.retrain_seed,
+            },
+        };
+        let initial = continual_initial_artifact(&p)?;
+        let controller = ContinualController::new(cfg, tuner, initial, RetrainMode::Inline)
+            .map_err(|e| e.to_string())?;
+        Ok(ContinualScript {
+            controller,
+            shift_step: scenario.ops * p.shift_pct / 100,
+            shift_enabled: !scenario.disabled.contains(FaultMask::CT_SHIFT),
+            capacity: p.reservoir_capacity,
+            installed_gens: vec![1],
+            decision_cursor: 0,
+            warmup_left: CT_WARMUP_WINDOWS,
+            total_records: 0.0,
+            sum_offset: 0.0,
+            sum_offset2: 0.0,
+        })
+    }
+
+    /// The drift/reservoir feature vector for one window. The extractor's
+    /// mean/std offset channels are *cumulative* over the whole run, so a
+    /// step change in the workload only shows up as an asymptotic ramp
+    /// there; this un-cumulates them via running Σoffset / Σoffset²
+    /// totals, recovering the genuinely per-window mean and std the
+    /// detector needs to see the pivot as a step. Everything then goes
+    /// through the log compression of [`continual_features`].
+    fn window_phi(&mut self, raw: &[f64; 5]) -> [f64; 5] {
+        let n = raw[0];
+        let (w_mean, w_std) = if n > 0.0 {
+            let total = self.total_records + n;
+            let sum = raw[1] * total;
+            let sum2 = (raw[2] * raw[2] + raw[1] * raw[1]) * total;
+            let wm = (sum - self.sum_offset) / n;
+            let we2 = (sum2 - self.sum_offset2) / n;
+            let ws = (we2 - wm * wm).max(0.0).sqrt();
+            self.total_records = total;
+            self.sum_offset = sum;
+            self.sum_offset2 = sum2;
+            (wm.max(0.0), ws)
+        } else {
+            (0.0, 0.0)
+        };
+        continual_features(&[n, w_mean, w_std, raw[3], raw[4]])
+    }
+}
+
 /// Runs `scenario`, converting any panic into an `I5.no-panic` failure.
 /// All state is built fresh from the seed inside the call, so replays are
 /// byte-identical regardless of what other tests (or threads) are doing.
@@ -628,11 +803,19 @@ fn run_inner(scenario: &Scenario) -> Outcome {
     let aux_pages = 1 << 16;
     let aux = sim.create_file(aux_pages);
 
+    // Continual scenarios use their own (longer) window so each window
+    // averages the whole op mix — the drift detector then sees the
+    // workload pivot as a step, not per-window mix noise.
+    let window_ns = if scenario.continual {
+        scenario.continual_params().window_ns
+    } else {
+        p.window_ns
+    };
     let tuner = KmlTuner::new(
         harness_model(),
         RaPolicy::new(POLICY_RA_KB.to_vec()),
         consumer,
-        p.window_ns,
+        window_ns,
         INITIAL_RA_KB,
     );
 
@@ -657,7 +840,10 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         io_errors: 0,
         seq_cursor: 0,
     };
-    let mut lifecycle = if scenario.lifecycle {
+    // The scripted-lifecycle and continual paths both own the tuner's
+    // install surface, so a continual scenario runs without the script
+    // (its controller drives the same `LifecycleController` machinery).
+    let mut lifecycle = if scenario.lifecycle && !scenario.continual {
         match LifecycleScript::new(
             scenario,
             &mut h.tuner,
@@ -677,10 +863,36 @@ fn run_inner(scenario: &Scenario) -> Outcome {
     } else {
         None
     };
+    let mut continual = if scenario.continual {
+        match ContinualScript::new(scenario, &mut h.tuner) {
+            Ok(script) => Some(script),
+            Err(e) => {
+                return h.fail(
+                    scenario,
+                    0,
+                    "I13.artifact-atomic",
+                    format!("the initial continual artifact failed: {e}"),
+                )
+            }
+        }
+    } else {
+        None
+    };
     let mut ops = SeedStream::new(scenario.seed, 0x0B5);
 
     for step in 0..scenario.ops {
         let roll = ops.range(0, 100);
+        // The continual workload shift: past the seed-derived pivot the
+        // mix collapses onto the sequential scan (plus the untouched
+        // maintenance tail), and the scan moves to the far half of the
+        // aux file — the windowed offset distribution steps cleanly.
+        let shifted = matches!(&continual,
+            Some(ct) if ct.shift_enabled && step >= ct.shift_step);
+        let roll = if shifted && !(85..97).contains(&roll) {
+            70
+        } else {
+            roll
+        };
         let key = ops.range(0, h.key_space);
         let (op, code) = match roll {
             0..=29 => {
@@ -756,6 +968,13 @@ fn run_inner(scenario: &Scenario) -> Outcome {
                 let n = 4 + ops.range(0, 4);
                 let page = h.seq_cursor;
                 h.seq_cursor = (h.seq_cursor + n) % (h.aux_pages - 8);
+                // Draw order and cursor arithmetic are untouched by the
+                // shift — only where the scan actually lands moves.
+                let page = if shifted {
+                    h.aux_pages / 2 + page % (h.aux_pages / 2 - 8)
+                } else {
+                    page
+                };
                 match h.sim.read(h.aux, page, n) {
                     Ok(_) => (4, 0),
                     Err(_) => (4, 2),
@@ -806,7 +1025,124 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         h.record(step, op, key, code);
 
         // The closed loop's per-op hook: drain tracepoints, maybe retune.
-        if let Err(e) = h.tuner.on_op(&mut h.sim) {
+        // Continual scenarios drive the window explicitly — lifecycle
+        // observation first, then the (possibly just-promoted) model's
+        // decision, so every post-promotion decision carries the new
+        // generation.
+        if let Some(ct) = continual.as_mut() {
+            if let Some(features) = h.tuner.poll_window(&mut h.sim) {
+                let label = KmlTuner::heuristic_class(&features);
+                let phi = ct.window_phi(&features);
+                // Warmup windows still feed the un-cumulation totals and
+                // still get a decision below — the controller just does
+                // not observe them, so cache-warmup transients can't
+                // contaminate the drift reference.
+                let observed = if ct.warmup_left > 0 {
+                    ct.warmup_left -= 1;
+                    None
+                } else {
+                    match ct
+                        .controller
+                        .observe_window(&mut h.tuner, &phi, label, 1000.0)
+                    {
+                        Ok(out) => Some(out),
+                        Err(e) => {
+                            return h.fail(
+                                scenario,
+                                step,
+                                "I13.artifact-atomic",
+                                format!("continual window failed: {e}"),
+                            )
+                        }
+                    }
+                };
+                if let Some(out) = &observed {
+                    // I14: a retrain can only ever ride a drift trigger.
+                    if out.retrained && !out.drifted {
+                        return h.fail(
+                            scenario,
+                            step,
+                            "I14.retrain-only-on-drift",
+                            "a retrain ran on a drift-free window".to_string(),
+                        );
+                    }
+                    if out.drifted {
+                        h.record(step, OP_CT_DRIFT, ct.controller.windows(), 0);
+                    }
+                    if out.retrained {
+                        h.record(step, OP_CT_RETRAIN, ct.controller.retrains(), 0);
+                    }
+                    match out.lifecycle {
+                        Some(LifecycleEvent::Promoted { to, .. }) => {
+                            ct.installed_gens.push(to);
+                            h.record(step, OP_LC_PROMOTE, to, 0);
+                        }
+                        Some(LifecycleEvent::RolledBack { to, .. }) => {
+                            ct.installed_gens.push(to);
+                            h.record(step, OP_LC_ROLLBACK, to, 0);
+                        }
+                        None => {}
+                    }
+                }
+                let class = match h.tuner.predict_active(&phi) {
+                    Ok(class) => class,
+                    Err(e) => {
+                        return h.fail(
+                            scenario,
+                            step,
+                            "I5.no-panic",
+                            format!("continual predict failed: {e:?}"),
+                        )
+                    }
+                };
+                h.tuner.apply_class(&mut h.sim, class);
+                // I16: reservoir accounting — one unique offer per window
+                // means the fill level is a pure function of the window
+                // count and the capacity.
+                let (len, windows) = (ct.controller.reservoir_len(), ct.controller.windows());
+                if len as u64 != windows.min(ct.capacity as u64) {
+                    return h.fail(
+                        scenario,
+                        step,
+                        "I16.reservoir-deterministic",
+                        format!(
+                            "reservoir holds {len} samples after {windows} windows (capacity {})",
+                            ct.capacity
+                        ),
+                    );
+                }
+            }
+            // I15: the loop never serves a generation that was not
+            // installed (a staged candidate has none), and the tuner and
+            // controller always agree on the active one.
+            if h.tuner.model_generation() != ct.controller.generation() {
+                return h.fail(
+                    scenario,
+                    step,
+                    "I15.candidate-never-actuates",
+                    format!(
+                        "loop serves generation {} but the controller holds {}",
+                        h.tuner.model_generation(),
+                        ct.controller.generation()
+                    ),
+                );
+            }
+            let decisions = h.tuner.decisions();
+            for d in &decisions[ct.decision_cursor..] {
+                if !ct.installed_gens.contains(&d.generation) {
+                    return h.fail(
+                        scenario,
+                        step,
+                        "I15.candidate-never-actuates",
+                        format!(
+                            "a decision is tagged with never-installed generation {}",
+                            d.generation
+                        ),
+                    );
+                }
+            }
+            ct.decision_cursor = decisions.len();
+        } else if let Err(e) = h.tuner.on_op(&mut h.sim) {
             return h.fail(
                 scenario,
                 step,
@@ -878,9 +1214,20 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         }
     }
 
-    let (promotions, rollbacks) = lifecycle
+    let (mut promotions, mut rollbacks) = lifecycle
         .as_ref()
         .map_or((0, 0), |s| (s.promotions, s.rollbacks));
+    let (drift_events, retrains) = continual.as_ref().map_or((0, 0), |ct| {
+        (ct.controller.drift_events(), ct.controller.retrains())
+    });
+    if let Some(ct) = &continual {
+        promotions += ct.controller.promotions();
+        rollbacks += ct.controller.rollbacks();
+        // The reservoir contents are part of the determinism contract:
+        // fold their hash into the trace so a replay that samples even
+        // one different training row changes the fingerprint.
+        fnv1a(&mut h.trace_hash, ct.controller.reservoir_hash());
+    }
     Outcome::Pass(RunSummary {
         trace_hash: h.trace_hash,
         steps: scenario.ops,
@@ -890,6 +1237,8 @@ fn run_inner(scenario: &Scenario) -> Outcome {
         ring_dropped: h.tuner.records_dropped(),
         promotions,
         rollbacks,
+        drift_events,
+        retrains,
     })
 }
 
@@ -1199,6 +1548,8 @@ fn run_netfs_inner(scenario: &Scenario) -> Outcome {
         ring_dropped: h.tuner.events_dropped(),
         promotions,
         rollbacks,
+        drift_events: 0,
+        retrains: 0,
     })
 }
 
@@ -1231,6 +1582,7 @@ mod tests {
                 lsm_bug: true,
                 netfs: false,
                 lifecycle: false,
+                continual: false,
             },
             step: 12,
             invariant: "I1.lsm-vs-reference",

@@ -60,6 +60,29 @@
 //! (`lc_shadow`, `lc_regress`, `lc_corrupt`), so the shrinker minimises
 //! lifecycle failures the same way it minimises fault kinds.
 //!
+//! Continual scenarios ([`Scenario::continual_from_seed`]) run the
+//! closed continual-learning loop on the LSM/readahead stack: a
+//! `kml-continual` controller watches every tuner window, and a genuine
+//! mid-run workload shift — the op mix pivots onto the sequential scan
+//! at a seed-derived step — drives the full drift → reservoir retrain →
+//! shadow → earned-promotion arc under the seeded device faults. The
+//! shift itself is a [`FaultMask`] member (`ct_shift`); disabling it
+//! turns any continual seed into its own no-drift control, where the
+//! detector must stay silent and nothing may retrain or promote. The
+//! continual invariants:
+//!
+//! - **I14 retrain-only-on-drift** — a candidate is only ever trained on
+//!   a window whose drift detector actually triggered.
+//! - **I15 candidate-never-actuates** — the loop never serves a
+//!   generation that was not installed: every decision is tagged with an
+//!   installed generation, and the tuner and controller always agree on
+//!   the active one (a staged candidate has no generation until the
+//!   watchdog promotes it).
+//! - **I16 reservoir-deterministic** — the training reservoir's fill
+//!   level is a pure function of the window count and capacity, and its
+//!   contents hash is folded into the trace hash, so a replay that
+//!   samples even one different training row changes the fingerprint.
+//!
 //! A violation is reported as a [`FailureReport`] carrying the trace
 //! tail and a shell-ready reproducer; [`shrink`] then searches for the
 //! smallest op count and fewest fault kinds that still fail and prints

@@ -89,11 +89,15 @@ impl FaultMask {
     /// Lifecycle: attempt to load a corrupted artifact (lifecycle
     /// scenarios; the load must fail atomically).
     pub const LC_CORRUPT: FaultMask = FaultMask(1 << 12);
+    /// Continual: the mid-run workload shift (continual scenarios).
+    /// Disabling it turns the scenario into its own no-drift control —
+    /// the detector must then never fire and no retrain may happen.
+    pub const CT_SHIFT: FaultMask = FaultMask(1 << 13);
 
-    /// All thirteen kinds, in shrink order (device, then network, then
-    /// lifecycle events; the shrinker tries them in this order and keeps
-    /// whatever still fails).
-    pub const KINDS: [(FaultMask, &'static str); 13] = [
+    /// All fourteen kinds, in shrink order (device, then network, then
+    /// lifecycle events, then the continual workload shift; the shrinker
+    /// tries them in this order and keeps whatever still fails).
+    pub const KINDS: [(FaultMask, &'static str); 14] = [
         (Self::READ_ERROR, "read_error"),
         (Self::WRITE_ERROR, "write_error"),
         (Self::TORN_WRITE, "torn_write"),
@@ -107,6 +111,7 @@ impl FaultMask {
         (Self::LC_SHADOW, "lc_shadow"),
         (Self::LC_REGRESS, "lc_regress"),
         (Self::LC_CORRUPT, "lc_corrupt"),
+        (Self::CT_SHIFT, "ct_shift"),
     ];
 
     /// Whether `kind` is set in this mask.
@@ -161,6 +166,12 @@ pub struct Scenario {
     /// regressed install the watchdog must roll back, a corrupted-artifact
     /// load) into the run and checks the lifecycle invariants I11–I13.
     pub lifecycle: bool,
+    /// Runs the closed continual-learning loop on the LSM/readahead stack:
+    /// a `kml-continual` controller watches every tuner window, a genuine
+    /// mid-run workload shift (at a seed-derived step) drives drift →
+    /// reservoir retrain → shadow staging → earned promotion, and the
+    /// continual invariants I14–I16 are checked after every step.
+    pub continual: bool,
 }
 
 /// Parameters derived from the seed (fixed draw order — append only).
@@ -186,6 +197,7 @@ impl Scenario {
             lsm_bug: false,
             netfs: false,
             lifecycle: false,
+            continual: false,
         }
     }
 
@@ -213,6 +225,17 @@ impl Scenario {
         Scenario {
             lifecycle: true,
             ..Scenario::netfs_from_seed(seed, ops)
+        }
+    }
+
+    /// A continual scenario: the LSM/readahead stack with a live
+    /// `kml-continual` controller and a seed-derived mid-run workload
+    /// shift (the op mix pivots to a sequential scan), under the same
+    /// seeded device-fault schedule.
+    pub fn continual_from_seed(seed: u64, ops: u64) -> Scenario {
+        Scenario {
+            continual: true,
+            ..Scenario::from_seed(seed, ops)
         }
     }
 
@@ -345,6 +368,29 @@ impl Scenario {
         }
     }
 
+    /// The continual-loop schedule for continual scenarios. Drawn from its
+    /// own domain (`0xC01F`) so none of the other parameter streams — and
+    /// with them every pre-continual pinned trace hash — moves by a single
+    /// draw. Fixed draw order, append only.
+    pub(crate) fn continual_params(&self) -> ContinualParams {
+        let mut s = SeedStream::new(self.seed, 0xC01F);
+        let shift_pct = s.range(35, 60);
+        let reservoir_capacity = (64usize) << s.range(0, 3);
+        let initial_seed = s.next_u64();
+        let retrain_seed = s.next_u64();
+        // Continual scenarios use longer windows than the base stack so
+        // each window averages over the whole op mix — per-window feature
+        // noise shrinks and the workload shift stands clear of it.
+        let window_ns = s.range(2_000_000, 8_000_000);
+        ContinualParams {
+            shift_pct,
+            reservoir_capacity,
+            initial_seed,
+            retrain_seed,
+            window_ns,
+        }
+    }
+
     /// The scripted lifecycle schedule for lifecycle scenarios. Drawn from
     /// its own domain (`0x11FC`) so neither [`Scenario::params`] nor
     /// [`Scenario::net_params`] — and with them every pre-lifecycle pinned
@@ -385,6 +431,23 @@ pub(crate) struct LifecycleParams {
     pub shadow_seed: u64,
     /// Model seed for the deliberately regressed artifact.
     pub regress_seed: u64,
+}
+
+/// Continual-loop parameters derived from the seed (continual scenarios
+/// only; fixed draw order — append only).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ContinualParams {
+    /// Percentage of the run after which the op mix pivots sequential.
+    pub shift_pct: u64,
+    /// Training-reservoir capacity (64, 128, or 256 samples).
+    pub reservoir_capacity: usize,
+    /// Model seed for the initial (generation 1) artifact.
+    pub initial_seed: u64,
+    /// Model seed for retrained candidates.
+    pub retrain_seed: u64,
+    /// Tuner window length (longer than the base stack's, so windows
+    /// average over the op mix).
+    pub window_ns: u64,
 }
 
 /// Network-path parameters derived from the seed (netfs scenarios only;
@@ -472,6 +535,28 @@ mod tests {
         assert_eq!(plain.params().key_space, s.params().key_space);
         assert_eq!(plain.params().faults.seed, s.params().faults.seed);
         assert_eq!(plain.net_params().rtt_ns, s.net_params().rtt_ns);
+    }
+
+    #[test]
+    fn continual_params_are_pure_and_leave_other_domains_untouched() {
+        let s = Scenario::continual_from_seed(0xC0, 400);
+        let (a, b) = (s.continual_params(), s.continual_params());
+        assert_eq!(a.shift_pct, b.shift_pct);
+        assert_eq!(a.reservoir_capacity, b.reservoir_capacity);
+        assert_eq!(a.initial_seed, b.initial_seed);
+        assert_eq!(a.retrain_seed, b.retrain_seed);
+        assert!((35..60).contains(&a.shift_pct));
+        assert!([64, 128, 256].contains(&a.reservoir_capacity));
+        // The continual stream is its own domain: turning continual on
+        // must not move a single draw anywhere else.
+        let plain = Scenario::from_seed(0xC0, 400);
+        assert_eq!(plain.params().key_space, s.params().key_space);
+        assert_eq!(plain.params().faults.seed, s.params().faults.seed);
+        assert_eq!(plain.net_params().rtt_ns, s.net_params().rtt_ns);
+        assert_eq!(
+            plain.lifecycle_params().stage_step,
+            s.lifecycle_params().stage_step
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The continual-scenario entry points: the drift → retrain → shadow →
+//! earned-promotion arc must complete under seeded device faults, the
+//! no-drift control must never retrain or promote, and the whole sweep
+//! must be byte-identical at any worker count.
+
+use kml_dst::{run, FaultMask, Outcome, RunSummary, Scenario};
+use kml_platform::threading::pool_map;
+
+/// Ops per continual scenario: enough tuner windows on every seed-derived
+/// geometry for the detector's reference phase, three sustained hot
+/// blocks, and the watchdog's shadow windows after the mid-run pivot.
+/// (Seeds whose drawn window length leaves too few windows simply never
+/// trigger — the sweep asserts the arc on the population, the pinned
+/// seeds assert it exactly.)
+const CT_OPS: u64 = 2400;
+
+const SWEEP_SEEDS: u64 = 12;
+
+fn summary(scenario: &Scenario) -> RunSummary {
+    match run(scenario) {
+        Outcome::Pass(s) => s,
+        Outcome::Fail(report) => panic!(
+            "seed {:#x} violated {}: {}\nreproduce: {}",
+            report.scenario.seed,
+            report.invariant,
+            report.detail,
+            report.reproducer()
+        ),
+    }
+}
+
+fn control_of(scenario: &Scenario) -> Scenario {
+    Scenario {
+        disabled: scenario.disabled.with(FaultMask::CT_SHIFT),
+        ..*scenario
+    }
+}
+
+/// Every shifted run and its no-drift control upholds I1–I16, controls
+/// never drift/retrain/promote, and the arc is *earned* across the
+/// population: most window-rich seeds complete drift → retrain →
+/// promotion, and none completes it without a drift trigger first.
+#[test]
+fn continual_sweep_upholds_invariants_and_controls_stay_silent() {
+    let mut completed_arcs = 0u64;
+    for i in 0..SWEEP_SEEDS {
+        let scenario = Scenario::continual_from_seed(0x5EED_0010 + i, CT_OPS);
+        let s = summary(&scenario);
+        // The causal chain only ever flows drift → retrain → promotion.
+        assert!(
+            s.retrains <= s.drift_events,
+            "seed {:#x}: {} retrains from {} drift triggers",
+            scenario.seed,
+            s.retrains,
+            s.drift_events
+        );
+        assert!(
+            s.promotions + s.rollbacks <= s.retrains,
+            "seed {:#x}: {} promotions + {} rollbacks from {} retrains",
+            scenario.seed,
+            s.promotions,
+            s.rollbacks,
+            s.retrains
+        );
+        if s.promotions > 0 {
+            completed_arcs += 1;
+        }
+        let c = summary(&control_of(&scenario));
+        assert_eq!(
+            (c.drift_events, c.retrains, c.promotions, c.rollbacks),
+            (0, 0, 0, 0),
+            "seed {:#x}: the no-drift control must stay silent",
+            scenario.seed
+        );
+    }
+    assert!(
+        completed_arcs >= 6,
+        "only {completed_arcs}/{SWEEP_SEEDS} shifted seeds earned a promotion"
+    );
+}
+
+/// Three window-rich seeds pinned end to end: the shifted run completes
+/// exactly one drift → retrain → promotion arc, its control completes
+/// none, and every trace hash is stable down to the byte. A diff here
+/// means replay broke — bisect it, don't repin it.
+#[test]
+fn continual_arc_trace_hashes_are_pinned() {
+    // (seed, shifted hash, control hash)
+    let pinned = [
+        (
+            0x5EED_0013u64,
+            0xc6fb_acb6_832b_9620u64,
+            0x6e77_142d_ed0b_ed56u64,
+        ),
+        (0x5EED_0016, 0xd90a_feb5_2d97_9109, 0x224b_7438_bce5_f8c5),
+        (0x5EED_0019, 0x9c5f_880f_f38e_9948, 0x5aec_15f4_e57b_bfeb),
+    ];
+    for (seed, shifted_hash, control_hash) in pinned {
+        let scenario = Scenario::continual_from_seed(seed, CT_OPS);
+        let s = summary(&scenario);
+        assert_eq!(
+            (s.drift_events, s.retrains, s.promotions, s.rollbacks),
+            (1, 1, 1, 0),
+            "seed {seed:#x}: the shifted run must earn exactly one promotion"
+        );
+        assert_eq!(
+            s.trace_hash, shifted_hash,
+            "seed {seed:#x}: shifted trace hash moved"
+        );
+        let c = summary(&control_of(&scenario));
+        assert_eq!(
+            (c.drift_events, c.retrains, c.promotions),
+            (0, 0, 0),
+            "seed {seed:#x}: control must stay silent"
+        );
+        assert_eq!(
+            c.trace_hash, control_hash,
+            "seed {seed:#x}: control trace hash moved"
+        );
+    }
+}
+
+/// The sweep — shifted runs and controls interleaved — produces the same
+/// summaries at 1, 3, and 8 workers: reservoir sampling, retraining, and
+/// promotion decisions owe nothing to scheduling.
+#[test]
+fn continual_sweep_is_identical_at_any_worker_count() {
+    let jobs: Vec<(u64, bool)> = (0..8u64)
+        .flat_map(|i| [(0x5EED_0010 + i, false), (0x5EED_0010 + i, true)])
+        .collect();
+    let run_job = |_w: usize, &(seed, control): &(u64, bool)| {
+        let mut scenario = Scenario::continual_from_seed(seed, CT_OPS);
+        if control {
+            scenario = control_of(&scenario);
+        }
+        let s = summary(&scenario);
+        (
+            s.trace_hash,
+            s.decisions,
+            s.drift_events,
+            s.retrains,
+            s.promotions,
+            s.rollbacks,
+        )
+    };
+    let single = pool_map(&jobs, 1, run_job);
+    for workers in [3usize, 8] {
+        let multi = pool_map(&jobs, workers, run_job);
+        assert_eq!(
+            single, multi,
+            "continual sweep diverged at {workers} workers"
+        );
+    }
+}

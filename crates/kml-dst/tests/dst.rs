@@ -310,6 +310,9 @@ fn replays_reproducer_from_env() {
     if std::env::var("KML_DST_LIFECYCLE").is_ok_and(|v| v == "1") {
         scenario.lifecycle = true;
     }
+    if std::env::var("KML_DST_CONTINUAL").is_ok_and(|v| v == "1") {
+        scenario.continual = true;
+    }
     if let Ok(disable) = std::env::var("KML_DST_DISABLE") {
         scenario.disabled = FaultMask::from_env(&disable);
     }

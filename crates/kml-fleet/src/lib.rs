@@ -35,6 +35,7 @@ pub use fleet::{
     run_fleet, FleetConfig, FleetReport, FleetSummary, PlannedSwap, MAX_PLANNED_SWAPS, NO_SWAPS,
 };
 pub use server::{
-    FleetModels, InferRequest, InferResponse, InferenceServer, ModelKind, ServeOptions,
+    FleetModels, InferRequest, InferResponse, InferenceServer, LifecycleLane, ModelKind,
+    ServeOptions,
 };
 pub use tenant::{FleetSampler, Tenant, TenantWorkload};

@@ -57,6 +57,16 @@ impl ModelKind {
             ModelKind::Netfs => 2,
         }
     }
+
+    /// The `.kmlm` artifact kind serving this lane — what a lifecycle
+    /// install/stage against the fleet server verifies bytes as.
+    pub fn artifact_kind(self) -> kml_lifecycle::ArtifactKind {
+        match self {
+            ModelKind::Readahead => kml_lifecycle::ArtifactKind::Readahead,
+            ModelKind::Iosched => kml_lifecycle::ArtifactKind::Iosched,
+            ModelKind::Netfs => kml_lifecycle::ArtifactKind::NetfsRsize,
+        }
+    }
 }
 
 impl std::fmt::Display for ModelKind {
@@ -409,6 +419,15 @@ impl InferenceServer {
     /// Agreement stats for `kind`'s staged shadow (zeroed when none).
     pub fn shadow_stats(&self, kind: ModelKind) -> ShadowStats {
         self.shadow_stats[kind.index()]
+    }
+
+    /// A per-kind [`kml_lifecycle::LifecycleTarget`] view of this server,
+    /// so a `LifecycleController` (or the continual-learning loop on top
+    /// of it) can drive `kind`'s lane from `.kmlm` bytes: installs land
+    /// as explicitly tagged generations in the swap cell, stages land in
+    /// the shadow lane, and the other kinds are untouched.
+    pub fn lifecycle_lane(&mut self, kind: ModelKind) -> LifecycleLane<'_> {
+        LifecycleLane { server: self, kind }
     }
 
     /// Serves one tick: answers every pending request, in order, exactly
@@ -831,6 +850,55 @@ impl InferenceServer {
             }
             Err(_) => self.shadow_stats[kind.index()].errors += 1,
         }
+    }
+}
+
+/// One model kind's lifecycle view of an [`InferenceServer`] — see
+/// [`InferenceServer::lifecycle_lane`].
+#[derive(Debug)]
+pub struct LifecycleLane<'a> {
+    server: &'a mut InferenceServer,
+    kind: ModelKind,
+}
+
+impl kml_lifecycle::LifecycleTarget for LifecycleLane<'_> {
+    fn install_artifact(
+        &mut self,
+        bytes: &[u8],
+        generation: u64,
+    ) -> std::result::Result<(), kml_lifecycle::ArtifactError> {
+        let loaded = kml_lifecycle::load_model_for::<f32>(bytes, self.kind.artifact_kind())?;
+        let mut model = loaded.model;
+        if self.server.options.q8_serving && !model.q8_enabled() {
+            // This lane serves quantized; a candidate without embedded
+            // calibration must quantize cleanly or it cannot install.
+            model
+                .enable_q8()
+                .map_err(|e| kml_lifecycle::ArtifactError::Model(e.to_string()))?;
+        }
+        self.server.cells[self.kind.index()].publish_tagged(model, generation);
+        Ok(())
+    }
+
+    fn stage_shadow_artifact(
+        &mut self,
+        bytes: &[u8],
+    ) -> std::result::Result<(), kml_lifecycle::ArtifactError> {
+        let loaded = kml_lifecycle::load_model_for::<f32>(bytes, self.kind.artifact_kind())?;
+        self.server.set_shadow(self.kind, loaded.model);
+        Ok(())
+    }
+
+    fn clear_shadow(&mut self) {
+        self.server.clear_shadow(self.kind);
+    }
+
+    fn generation(&self) -> u64 {
+        self.server.generation(self.kind)
+    }
+
+    fn shadow_stats(&self) -> ShadowStats {
+        self.server.shadow_stats(self.kind)
     }
 }
 

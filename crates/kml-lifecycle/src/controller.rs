@@ -248,6 +248,21 @@ impl LifecycleController {
         self.shadow.is_some()
     }
 
+    /// Discards the staged shadow candidate (and the target's copy of
+    /// it) without promoting — the caller has decided the candidate is
+    /// not worth further evidence, e.g. a regression fired while it was
+    /// staged. Returns whether a candidate was actually discarded.
+    pub fn discard_shadow<T: LifecycleTarget>(&mut self, target: &mut T) -> bool {
+        if self.shadow.take().is_some() {
+            target.clear_shadow();
+            self.shadow_tp_sum = 0.0;
+            self.shadow_tp_windows = 0;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Mean loop throughput over the windows the current candidate has
     /// been staged for, relative to the watchdog baseline: `Some(+0.02)`
     /// means the loop ran 2% above baseline while shadowed. `None` until

@@ -343,6 +343,33 @@ impl RsizeTuner {
         Ok(())
     }
 
+    /// Runs the *active* model on a window's feature vector (inside the
+    /// inference span), without actuating — the continual-learning seam
+    /// between [`Self::poll_window`] and [`Self::apply_class`], mirroring
+    /// `readahead::KmlTuner::predict_active`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction failures, exactly like
+    /// [`Self::on_op`].
+    pub fn predict_active(&mut self, features: &[f64; NUM_RSIZE_FEATURES]) -> Result<usize> {
+        let span = Span::start(&self.telemetry.stages.infer_ns);
+        let class = self.model.predict(features)?;
+        span.finish();
+        Ok(class)
+    }
+
+    /// The deterministic label oracle continual retraining trains
+    /// against: a congested mount retransmits a meaningful fraction of
+    /// its RPCs (feature 2), a calm one almost never does.
+    pub fn heuristic_class(features: &[f64; NUM_RSIZE_FEATURES]) -> usize {
+        if features[2] >= 0.3 {
+            1 // congested => small rsize
+        } else {
+            0 // calm => large rsize
+        }
+    }
+
     /// Drains RPC events and, when a window has closed with traffic in it,
     /// rolls and returns the window's feature vector.
     ///

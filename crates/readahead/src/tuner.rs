@@ -236,6 +236,35 @@ impl KmlTuner {
         Ok(())
     }
 
+    /// Runs the *active* model on a window's feature vector (inside the
+    /// inference span), without actuating. Continual-learning harnesses
+    /// use this between [`Self::poll_window`] and [`Self::apply_class`]
+    /// so drift detection and reservoir sampling can observe the window
+    /// before the decision lands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model prediction failures, exactly like
+    /// [`Self::on_op`].
+    pub fn predict_active(&mut self, features: &FeatureVector) -> Result<usize> {
+        let span = Span::start(&self.telemetry.stages.infer_ns);
+        let class = self.model.predict(features)?;
+        span.finish();
+        Ok(class)
+    }
+
+    /// The deterministic label oracle continual retraining trains
+    /// against: sequential streams have near-unit mean |Δoffset|
+    /// (feature 3), random streams jump by whole file spans. Pure
+    /// function of the features — usable at any worker count.
+    pub fn heuristic_class(features: &FeatureVector) -> usize {
+        if features[3] <= 16.0 {
+            1 // sequential => large readahead
+        } else {
+            0 // random => minimal readahead
+        }
+    }
+
     /// Drains tracepoints and, when a window has closed with traffic in it,
     /// rolls and returns the window's feature vector.
     ///
